@@ -1,0 +1,27 @@
+//! Criterion: real-thread parallel speedup of the combined evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragram_bench::Workload;
+use paragram_core::parallel::threads::{run_threads, ThreadConfig};
+
+fn bench_parallel(c: &mut Criterion) {
+    let w = Workload::paper();
+    let mut group = c.benchmark_group("threaded-combined");
+    group.sample_size(10);
+    for machines in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(machines),
+            &machines,
+            |b, &machines| {
+                b.iter(|| {
+                    run_threads(&w.tree, Some(&w.plans), ThreadConfig::combined(machines))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: rope vs `String` concatenation — the §4.3 claim that
+//! tree-structured strings make code-attribute concatenation constant
+//! time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragram_rope::Rope;
+
+const LINE: &str = "\tmovl 4(fp), r0 ; addl2 r1, r0 ; pushl r0\n";
+
+fn bench_rope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code-concat");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("rope", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut r = Rope::new();
+                for _ in 0..n {
+                    r.push_str(LINE);
+                }
+                r.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("string", n), &n, |b, &n| {
+            b.iter(|| {
+                // The naive applicative alternative: a fresh String per
+                // concatenation, as a pure semantic rule would need.
+                let mut s = String::new();
+                for _ in 0..n {
+                    let mut t = s.clone();
+                    t.push_str(LINE);
+                    s = t;
+                }
+                s.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rope);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion: the AG compiler against the conventional (direct)
+//! compiler — §4.1's "sequential compilation speeds comparable to
+//! commonly available compilers" claim, on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragram_bench::Workload;
+use paragram_pascal::direct::compile_direct;
+use paragram_pascal::generator::GenConfig;
+use paragram_pascal::parser::parse;
+
+fn bench_sequential(c: &mut Criterion) {
+    let w = Workload::from_config(&GenConfig::small());
+    let mut group = c.benchmark_group("full-compilation");
+    group.sample_size(20);
+    group.bench_function("ag-static", |b| {
+        b.iter(|| w.compiler.compile(&w.source).unwrap())
+    });
+    group.bench_function("ag-dynamic", |b| {
+        b.iter(|| w.compiler.compile_dynamic(&w.source).unwrap())
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let ast = parse(&w.source).unwrap();
+            compile_direct(&ast)
+        })
+    });
+    group.bench_function("parse-only", |b| b.iter(|| parse(&w.source).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

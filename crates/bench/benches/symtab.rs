@@ -1,0 +1,42 @@
+//! Criterion: applicative symbol tables vs cloning a `BTreeMap` — the
+//! §4.3 claim that path-copying BSTs make applicative updates cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragram_symtab::SymTab;
+use std::collections::BTreeMap;
+
+fn bench_symtab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applicative-updates");
+    for n in [100usize, 1_000] {
+        let names: Vec<String> = (0..n).map(|i| format!("ident{i}")).collect();
+        group.bench_with_input(BenchmarkId::new("symtab", n), &names, |b, names| {
+            b.iter(|| {
+                // Keep every version alive, as the attribute grammar does.
+                let mut versions = Vec::with_capacity(names.len());
+                let mut t: SymTab<usize> = SymTab::new();
+                for (i, name) in names.iter().enumerate() {
+                    t = t.add(name.as_str(), i);
+                    versions.push(t.clone());
+                }
+                versions.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap-clone", n), &names, |b, names| {
+            b.iter(|| {
+                let mut versions = Vec::with_capacity(names.len());
+                let mut m: BTreeMap<String, usize> = BTreeMap::new();
+                for (i, name) in names.iter().enumerate() {
+                    let mut next = m.clone();
+                    next.insert(name.clone(), i);
+                    m = next.clone();
+                    versions.push(next);
+                }
+                versions.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symtab);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! §2.5 ablation: split-granularity runtime argument.
+//!
+//! The grammar declares a minimum subtree size per split nonterminal;
+//! the paper scales it "by a runtime argument to the parser to allow
+//! for easy experimentation with decompositions with different
+//! granularities". Sweeping the scale on 6 machines shows the
+//! trade-off: too coarse and the tree cannot be divided evenly (or at
+//! all); the declared sizes are near the sweet spot.
+
+use paragram_bench::{fmt_secs, pascal_classifier, Workload};
+use paragram_core::eval::MachineMode;
+use paragram_core::parallel::sim::{run_sim, SimConfig};
+use paragram_core::parallel::ResultPropagation;
+
+fn main() {
+    let w = Workload::paper();
+    println!("§2.5 — split granularity sweep, 6 machines\n");
+    println!("{:>12} | {:>8} | {:>9}", "scale", "regions", "time");
+    println!("{}", "-".repeat(36));
+    for scale in [0.1, 1.0, 50.0, 150.0, 250.0, 400.0, 700.0, 1000.0] {
+        let mut cfg = SimConfig::paper(6);
+        cfg.mode = MachineMode::Combined;
+        cfg.result = ResultPropagation::Librarian;
+        cfg.classifier = pascal_classifier();
+        cfg.min_size_scale = scale;
+        let r = run_sim(&w.tree, Some(&w.plans), &cfg);
+        println!("{scale:>12} | {:>8} | {}", r.regions, fmt_secs(r.eval_time));
+    }
+}

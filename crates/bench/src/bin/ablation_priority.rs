@@ -1,0 +1,43 @@
+//! §4.3 ablation: priority attributes.
+//!
+//! Without priority markings on the symbol-table attributes, a machine
+//! can schedule ready local code-generation work ahead of the
+//! environment values its *peers* are blocked on — the paper's
+//! "pathological situations ... whereby local attributes are computed
+//! ahead of attributes that are required globally".
+
+use paragram_bench::{fmt_secs, pascal_classifier};
+use paragram_core::eval::MachineMode;
+use paragram_core::parallel::sim::{run_sim, SimConfig};
+use paragram_core::parallel::ResultPropagation;
+use paragram_pascal::generator::GenConfig;
+use std::sync::Arc;
+
+fn main() {
+    println!("§4.3 — priority attributes on 5 machines\n");
+    println!("{:>22} | {:>9}", "configuration", "time");
+    println!("{}", "-".repeat(36));
+    let mut times = Vec::new();
+    for (name, priority) in [("priority attrs ON", true), ("priority attrs OFF", false)] {
+        // Build the grammar variant and recompile the workload with it.
+        let pg = paragram_pascal::grammar::build_with(priority);
+        let evals = paragram_core::eval::Evaluators::new(&pg.grammar);
+        let src = paragram_pascal::generator::generate(&GenConfig::paper());
+        let ast = paragram_pascal::parser::parse(&src).unwrap();
+        let tree = paragram_pascal::agtree::build_tree(&pg, &ast).unwrap();
+        let plans = Arc::clone(evals.plans().expect("ordered"));
+        let mut cfg = SimConfig::paper(5);
+        cfg.mode = MachineMode::Combined;
+        cfg.result = ResultPropagation::Librarian;
+        cfg.classifier = pascal_classifier();
+        let r = run_sim(&tree, Some(&plans), &cfg);
+        println!("{name:>22} | {}", fmt_secs(r.eval_time));
+        times.push(r.eval_time);
+    }
+    let delta = times[1].saturating_sub(times[0]);
+    println!(
+        "\npriority attributes save {} ({:.1}%)",
+        fmt_secs(delta),
+        100.0 * delta as f64 / times[1].max(1) as f64
+    );
+}

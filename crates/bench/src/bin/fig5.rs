@@ -1,0 +1,50 @@
+//! Figure 5: evaluator running times vs. number of machines.
+//!
+//! Reproduces the paper's central measurement: running time of the
+//! parallel *dynamic* and *combined* evaluators on 1–6 machines (plus a
+//! couple more for context), compiling the ≈2000-line generated Pascal
+//! workload on the simulated SUN-2/Ethernet testbed. The expected
+//! shape: the combined evaluator is consistently faster, speedup peaks
+//! around five machines (the balanced decomposition), and adding a
+//! sixth machine does not help monotonically.
+
+use paragram_bench::{bar, fmt_secs, simulate, Workload};
+use paragram_core::eval::MachineMode;
+
+fn main() {
+    let w = Workload::paper();
+    println!(
+        "Figure 5 — running time vs machines ({} source lines, {} tree nodes)\n",
+        w.lines(),
+        w.tree.len()
+    );
+    println!("{:>9} | {:>10} {:>8} | {:>10} {:>8} | chart (combined)", "machines", "dynamic", "speedup", "combined", "speedup");
+    println!("{}", "-".repeat(78));
+    let mut base_dyn = 0.0;
+    let mut base_comb = 0.0;
+    let mut rows = Vec::new();
+    for machines in 1..=8 {
+        let d = simulate(&w, machines, MachineMode::Dynamic);
+        let c = simulate(&w, machines, MachineMode::Combined);
+        if machines == 1 {
+            base_dyn = d.eval_time as f64;
+            base_comb = c.eval_time as f64;
+        }
+        rows.push((machines, d.eval_time, c.eval_time, d.regions, c.regions));
+    }
+    let max = rows.iter().map(|r| r.1).max().unwrap_or(1) as f64;
+    for (machines, dt, ct, _dr, cr) in &rows {
+        println!(
+            "{:>9} | {:>10} {:>7.2}x | {:>10} {:>7.2}x | {}",
+            format!("{machines} ({cr})"),
+            fmt_secs(*dt),
+            base_dyn / *dt as f64,
+            fmt_secs(*ct),
+            base_comb / *ct as f64,
+            bar(*ct as f64, max, 28),
+        );
+    }
+    println!("\n(regions actually used shown in parentheses; sequential parse time");
+    let parse = simulate(&w, 1, MachineMode::Combined).parse_time;
+    println!(" reported separately as in §4.1: {})", fmt_secs(parse));
+}

@@ -1,0 +1,30 @@
+//! Figure 7: decomposition of the source program into subtrees.
+//!
+//! Shows how the parser divides the measurement program for five
+//! machines: five subtrees (a–e) of about equal size, split at the
+//! grammar's `%split` nonterminals (procedure declarations and
+//! statement lists).
+
+use paragram_bench::Workload;
+use paragram_core::split::{boundary_children, decompose, SplitConfig};
+
+fn main() {
+    let w = Workload::paper();
+    for machines in [5, 6] {
+        let d = decompose(&w.tree, SplitConfig::machines(machines));
+        println!(
+            "Figure 7 — decomposition for {machines} machines ({} source lines):\n",
+            w.lines()
+        );
+        print!("{}", d.render(&w.tree));
+        for r in 0..d.len() as u32 {
+            let b = boundary_children(&w.tree, &d, r);
+            let letter = (b'a' + (r % 26) as u8) as char;
+            println!(
+                "  region {letter}: {} remotely evaluated leaves",
+                b.len()
+            );
+        }
+        println!();
+    }
+}

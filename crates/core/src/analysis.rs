@@ -1,0 +1,988 @@
+//! Grammar-time dependency analysis (§2.3).
+//!
+//! Two artifacts are computed from a grammar, once, before any tree is
+//! seen:
+//!
+//! 1. **Induced dependency relations** `IDS(X)` — for every symbol `X`, a
+//!    conservative relation over its attributes: `a → b` if in *some*
+//!    parse-tree context `b`'s instance can transitively depend on `a`'s.
+//!    Computed by Kastens' fixpoint over per-production graphs; if any
+//!    production's induced graph becomes cyclic the grammar is rejected
+//!    (it is not evaluable by the static method — the paper's §4.1 caveat
+//!    that dynamic evaluators handle a wider class).
+//!
+//! 2. **Visit sequences** (*plans*) — per production, an ordered list of
+//!    [`Step`]s (evaluate a semantic rule / visit a child for its j-th
+//!    visit), segmented by the left-hand side's own visits. This is the
+//!    "precomputed order" executed by the static evaluator without any
+//!    run-time dependency analysis (Figures 2–3).
+//!
+//! The attribute partitions also drive the **combined** evaluator: the
+//! transitive dependencies of a statically evaluated subtree root are
+//! exactly "synthesized attributes of phase *i* depend on inherited
+//! attributes of phases ≤ *i*" (§2.4).
+
+use crate::grammar::{AttrId, AttrKind, Grammar, OccRef, ProdId, SymbolId};
+use crate::value::AttrValue;
+use std::fmt;
+
+/// A small dense binary relation (adjacency bitsets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRel {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl BitRel {
+    /// Creates an empty relation over `n` elements.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64).max(1);
+        BitRel {
+            n,
+            words,
+            rows: vec![0; n * words],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the relation is over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds edge `from → to`; returns `true` if it was new.
+    pub fn add(&mut self, from: usize, to: usize) -> bool {
+        let w = &mut self.rows[from * self.words + to / 64];
+        let bit = 1u64 << (to % 64);
+        let new = *w & bit == 0;
+        *w |= bit;
+        new
+    }
+
+    /// `true` if edge `from → to` is present.
+    pub fn has(&self, from: usize, to: usize) -> bool {
+        self.rows[from * self.words + to / 64] & (1 << (to % 64)) != 0
+    }
+
+    /// Successors of `from`.
+    pub fn succs(&self, from: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&t| self.has(from, t))
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place transitive closure (Floyd–Warshall on bitsets).
+    pub fn close(&mut self) {
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if self.has(i, k) {
+                    for w in 0..self.words {
+                        let krow = self.rows[k * self.words + w];
+                        self.rows[i * self.words + w] |= krow;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `true` if some element reaches itself (after [`BitRel::close`]).
+    pub fn has_self_loop(&self) -> bool {
+        (0..self.n).any(|i| self.has(i, i))
+    }
+}
+
+/// Analysis failure: the grammar cannot be ordered statically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OagError {
+    /// The induced dependency graph of a production is cyclic; the
+    /// grammar is (conservatively) circular.
+    Cyclic {
+        /// Production name.
+        prod: String,
+    },
+    /// Attribute partitions exist but no consistent visit sequence could
+    /// be scheduled for a production: the grammar is noncircular but not
+    /// *l-ordered*.
+    NotOrdered {
+        /// Production name.
+        prod: String,
+        /// Name of an attribute occurrence that could not be scheduled.
+        stuck: String,
+    },
+}
+
+impl fmt::Display for OagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OagError::Cyclic { prod } => {
+                write!(f, "grammar is circular (induced cycle in production {prod:?})")
+            }
+            OagError::NotOrdered { prod, stuck } => write!(
+                f,
+                "grammar is not l-ordered: cannot schedule {stuck} in production {prod:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OagError {}
+
+/// Per-production occurrence-attribute indexing: a dense id for every
+/// `(occurrence, attribute)` pair of a production.
+pub struct OccIndex {
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl OccIndex {
+    /// Builds the index for production `p`.
+    pub fn new<V: AttrValue>(g: &Grammar<V>, p: ProdId) -> Self {
+        let prod = g.prod(p);
+        let mut offsets = Vec::with_capacity(prod.occ_count());
+        let mut total = 0;
+        for occ in 0..prod.occ_count() {
+            offsets.push(total);
+            total += g.attr_count(prod.occ_symbol(occ));
+        }
+        OccIndex { offsets, total }
+    }
+
+    /// Dense id of `(occ, attr)`.
+    pub fn id(&self, r: OccRef) -> usize {
+        self.offsets[r.occ] + r.attr.0 as usize
+    }
+
+    /// Inverse of [`OccIndex::id`].
+    pub fn decode(&self, id: usize) -> OccRef {
+        let occ = match self.offsets.binary_search(&id) {
+            Ok(i) => {
+                // Ambiguous when a symbol has zero attributes; pick the
+                // latest offset equal to id that has capacity.
+                let mut i = i;
+                while i + 1 < self.offsets.len() && self.offsets[i + 1] == id {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        OccRef {
+            occ,
+            attr: AttrId((id - self.offsets[occ]) as u32),
+        }
+    }
+
+    /// Total number of occurrence attributes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Result of the induced-dependency fixpoint.
+pub struct InducedDeps {
+    /// Per symbol: relation over its attributes (`a → b` = `b` may
+    /// transitively depend on `a`).
+    pub ids: Vec<BitRel>,
+}
+
+/// Computes the induced dependency relations for every symbol.
+///
+/// # Errors
+///
+/// [`OagError::Cyclic`] if a production's induced graph is cyclic.
+pub fn induced_deps<V: AttrValue>(g: &Grammar<V>) -> Result<InducedDeps, OagError> {
+    let mut ids: Vec<BitRel> = g
+        .symbols()
+        .iter()
+        .map(|s| BitRel::new(s.attrs.len()))
+        .collect();
+    let occ_indexes: Vec<OccIndex> = (0..g.prods().len())
+        .map(|i| OccIndex::new(g, ProdId(i as u32)))
+        .collect();
+
+    loop {
+        let mut changed = false;
+        for (pi, prod) in g.prods().iter().enumerate() {
+            let ix = &occ_indexes[pi];
+            let mut idp = BitRel::new(ix.total());
+            // Local rule dependencies: arg → target.
+            for rule in &prod.rules {
+                let t = ix.id(rule.target);
+                for a in &rule.args {
+                    idp.add(ix.id(*a), t);
+                }
+            }
+            // Inject induced deps of each occurrence's symbol.
+            for occ in 0..prod.occ_count() {
+                let sym = prod.occ_symbol(occ);
+                let rel = &ids[sym.0 as usize];
+                for a in 0..rel.len() {
+                    for b in rel.succs(a) {
+                        idp.add(
+                            ix.id(OccRef {
+                                occ,
+                                attr: AttrId(a as u32),
+                            }),
+                            ix.id(OccRef {
+                                occ,
+                                attr: AttrId(b as u32),
+                            }),
+                        );
+                    }
+                }
+            }
+            idp.close();
+            if idp.has_self_loop() {
+                return Err(OagError::Cyclic {
+                    prod: prod.name.clone(),
+                });
+            }
+            // Project back onto each occurrence's symbol.
+            for occ in 0..prod.occ_count() {
+                let sym = prod.occ_symbol(occ);
+                let nattrs = g.attr_count(sym);
+                for a in 0..nattrs {
+                    let ia = ix.id(OccRef {
+                        occ,
+                        attr: AttrId(a as u32),
+                    });
+                    for b in 0..nattrs {
+                        if a == b {
+                            continue;
+                        }
+                        let ib = ix.id(OccRef {
+                            occ,
+                            attr: AttrId(b as u32),
+                        });
+                        if idp.has(ia, ib) && ids[sym.0 as usize].add(a, b) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return Ok(InducedDeps { ids });
+        }
+    }
+}
+
+/// Attribute partitions: for every symbol, each attribute's *phase*
+/// (visit number, 1-based). Inherited attributes of phase `i` are
+/// supplied by the parent before the i-th visit; synthesized attributes
+/// of phase `i` are available after it.
+#[derive(Debug, Clone)]
+pub struct Phases {
+    /// `phase[symbol][attr]` — 1-based visit number.
+    pub phase: Vec<Vec<u32>>,
+    /// `visits[symbol]` — number of visits (≥ 1 for nonterminals so that
+    /// even attribute-free subtrees are walked once).
+    pub visits: Vec<u32>,
+}
+
+impl Phases {
+    /// Phase of an attribute.
+    pub fn of(&self, sym: SymbolId, attr: AttrId) -> u32 {
+        self.phase[sym.0 as usize][attr.0 as usize]
+    }
+
+    /// Visit count of a symbol.
+    pub fn visit_count(&self, sym: SymbolId) -> u32 {
+        self.visits[sym.0 as usize]
+    }
+}
+
+/// Computes attribute partitions from the induced dependencies.
+///
+/// Phase assignment is a longest-path computation over `IDS(X)`: an edge
+/// `p → a` forces `phase(a) ≥ phase(p)`, plus one if `p` is synthesized
+/// and `a` inherited (the parent can only react to a child's synthesized
+/// value on the *next* visit).
+///
+/// A second pass then *relaxes inherited attributes upward* to the
+/// latest phase their consumers allow: an inherited attribute needed
+/// only by visit-2 work must not gate visit 1, or the parallel
+/// evaluator would serialize early visits behind values nobody reads
+/// yet. (Synthesized attributes stay at their earliest phase so results
+/// are exposed — and transmitted — as soon as possible.)
+pub fn compute_phases<V: AttrValue>(g: &Grammar<V>, deps: &InducedDeps) -> Phases {
+    let mut phase = Vec::with_capacity(g.symbols().len());
+    let mut visits = Vec::with_capacity(g.symbols().len());
+    for (si, sym) in g.symbols().iter().enumerate() {
+        let rel = &deps.ids[si];
+        let n = sym.attrs.len();
+        // preds[a] = attrs p with p → a.
+        let mut memo = vec![0u32; n];
+        fn assign(
+            a: usize,
+            sym: &crate::grammar::Symbol,
+            rel: &BitRel,
+            memo: &mut Vec<u32>,
+            visiting: &mut Vec<bool>,
+        ) -> u32 {
+            if memo[a] != 0 {
+                return memo[a];
+            }
+            debug_assert!(!visiting[a], "IDS must be acyclic here");
+            visiting[a] = true;
+            let mut k = 1;
+            for p in 0..rel.len() {
+                if p != a && rel.has(p, a) {
+                    let kp = assign(p, sym, rel, memo, visiting);
+                    let w = u32::from(
+                        sym.attrs[p].kind == AttrKind::Syn && sym.attrs[a].kind == AttrKind::Inh,
+                    );
+                    k = k.max(kp + w);
+                }
+            }
+            visiting[a] = false;
+            memo[a] = k;
+            k
+        }
+        let mut visiting = vec![false; n];
+        for a in 0..n {
+            assign(a, sym, rel, &mut memo, &mut visiting);
+        }
+        let v = memo
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(u32::from(!sym.terminal));
+
+        // Relax inherited attributes to the latest phase allowed by
+        // their successors (monotone; fixpoint within `v` rounds).
+        if !sym.terminal {
+            loop {
+                let mut changed = false;
+                for a in 0..n {
+                    if sym.attrs[a].kind != AttrKind::Inh {
+                        continue;
+                    }
+                    // Latest phase allowed: min over successors (same
+                    // phase is fine for both inh→syn and inh→inh
+                    // edges); unconstrained attrs stay where they are.
+                    let mut latest = u32::MAX;
+                    for b in rel.succs(a) {
+                        if b != a {
+                            latest = latest.min(memo[b]);
+                        }
+                    }
+                    if latest == u32::MAX {
+                        continue;
+                    }
+                    // Never earlier than predecessors force.
+                    let mut earliest = 1;
+                    #[allow(clippy::needless_range_loop)]
+                    for p in 0..n {
+                        if p != a && rel.has(p, a) {
+                            let w = u32::from(sym.attrs[p].kind == AttrKind::Syn);
+                            earliest = earliest.max(memo[p] + w);
+                        }
+                    }
+                    let target = latest.clamp(earliest, v);
+                    if target > memo[a] {
+                        memo[a] = target;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        phase.push(memo);
+        visits.push(if sym.terminal { 0 } else { v });
+    }
+    Phases { phase, visits }
+}
+
+/// One instruction of a visit sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Apply semantic rule `rule` (index into the production's rules).
+    Eval(usize),
+    /// Perform the `visit`-th visit (1-based) of the child at RHS
+    /// occurrence `occ` (1-based).
+    Visit {
+        /// RHS occurrence index, 1-based.
+        occ: usize,
+        /// Visit number, 1-based.
+        visit: u32,
+    },
+}
+
+/// The visit sequence of one production, segmented by LHS visit: segment
+/// `i` (0-based) is executed during the LHS's `(i+1)`-th visit.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Steps per LHS visit.
+    pub segments: Vec<Vec<Step>>,
+}
+
+impl Plan {
+    /// Total number of steps across all segments.
+    pub fn step_count(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+}
+
+/// The full static-evaluation artifact: phases plus per-production plans.
+pub struct Plans {
+    /// Attribute partitions.
+    pub phases: Phases,
+    /// `plans[p]` is the plan of production `p`.
+    pub plans: Vec<Plan>,
+}
+
+impl Plans {
+    /// The plan of a production.
+    pub fn plan(&self, p: ProdId) -> &Plan {
+        &self.plans[p.0 as usize]
+    }
+
+    /// Renders one production's visit sequence in a human-readable form
+    /// — the "collection of mutually recursive visit procedures" of the
+    /// paper's §2.3, as text:
+    ///
+    /// ```text
+    /// plan cons (L -> B L):
+    ///   visit 1: eval $0.count := count($2.count)
+    ///   visit 2: eval $1.benv ...; visit $1/1; ...
+    /// ```
+    pub fn render_plan<V: AttrValue>(&self, g: &Grammar<V>, p: ProdId) -> String {
+        use std::fmt::Write as _;
+        let prod = g.prod(p);
+        let mut out = String::new();
+        let rhs: Vec<&str> = prod
+            .rhs
+            .iter()
+            .map(|s| g.symbol(*s).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "plan {} ({} -> {}):",
+            prod.name,
+            g.symbol(prod.lhs).name,
+            if rhs.is_empty() {
+                "ε".to_string()
+            } else {
+                rhs.join(" ")
+            }
+        );
+        let occ_attr = |o: OccRef| {
+            let sym = g.symbol(prod.occ_symbol(o.occ));
+            format!("${}.{}", o.occ, sym.attrs[o.attr.0 as usize].name)
+        };
+        for (i, segment) in self.plan(p).segments.iter().enumerate() {
+            let _ = write!(out, "  visit {}:", i + 1);
+            for step in segment {
+                match step {
+                    Step::Eval(ri) => {
+                        let rule = &prod.rules[*ri];
+                        let args: Vec<String> =
+                            rule.args.iter().map(|a| occ_attr(*a)).collect();
+                        let _ = write!(
+                            out,
+                            " eval {} := f({});",
+                            occ_attr(rule.target),
+                            args.join(", ")
+                        );
+                    }
+                    Step::Visit { occ, visit } => {
+                        let _ = write!(out, " visit ${occ}/{visit};");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders every production's plan.
+    pub fn render_all<V: AttrValue>(&self, g: &Grammar<V>) -> String {
+        (0..g.prods().len())
+            .map(|i| self.render_plan(g, ProdId(i as u32)))
+            .collect()
+    }
+}
+
+/// Runs the full static analysis: induced dependencies, phases and visit
+/// sequences.
+///
+/// # Errors
+///
+/// [`OagError::Cyclic`] for (conservatively) circular grammars and
+/// [`OagError::NotOrdered`] if scheduling fails; callers such as
+/// [`crate::eval::Evaluators`] fall back to fully dynamic evaluation in
+/// that case, as the paper prescribes.
+pub fn compute_plans<V: AttrValue>(g: &Grammar<V>) -> Result<Plans, OagError> {
+    let deps = induced_deps(g)?;
+    let phases = compute_phases(g, &deps);
+    let mut plans = Vec::with_capacity(g.prods().len());
+    for (pi, prod) in g.prods().iter().enumerate() {
+        let lhs_visits = phases.visit_count(prod.lhs);
+        let mut segments: Vec<Vec<Step>> = Vec::with_capacity(lhs_visits as usize);
+
+        // Task state.
+        let ix = OccIndex::new(g, ProdId(pi as u32));
+        let mut avail = vec![false; ix.total()];
+        // Terminal occurrence attributes (lexical values) are available
+        // from the start.
+        for occ in 1..prod.occ_count() {
+            let sym = prod.occ_symbol(occ);
+            if g.symbol(sym).terminal {
+                for a in 0..g.attr_count(sym) {
+                    avail[ix.id(OccRef {
+                        occ,
+                        attr: AttrId(a as u32),
+                    })] = true;
+                }
+            }
+        }
+        let mut rule_done = vec![false; prod.rules.len()];
+        // Next pending visit number per nonterminal RHS occurrence.
+        let mut next_visit: Vec<u32> = (0..prod.occ_count())
+            .map(|occ| {
+                if occ == 0 {
+                    0
+                } else {
+                    let sym = prod.occ_symbol(occ);
+                    if g.symbol(sym).terminal || phases.visit_count(sym) == 0 {
+                        u32::MAX // nothing to visit
+                    } else {
+                        1
+                    }
+                }
+            })
+            .collect();
+
+        for lhs_visit in 1..=lhs_visits {
+            // Inherited attributes of the LHS with this phase arrive now.
+            let lhs_sym = g.symbol(prod.lhs);
+            for (ai, attr) in lhs_sym.attrs.iter().enumerate() {
+                if attr.kind == AttrKind::Inh && phases.of(prod.lhs, AttrId(ai as u32)) == lhs_visit
+                {
+                    avail[ix.id(OccRef {
+                        occ: 0,
+                        attr: AttrId(ai as u32),
+                    })] = true;
+                }
+            }
+            let mut steps = Vec::new();
+            loop {
+                let mut progressed = false;
+                // Ready semantic rules.
+                for (ri, rule) in prod.rules.iter().enumerate() {
+                    if rule_done[ri] {
+                        continue;
+                    }
+                    if rule.args.iter().all(|a| avail[ix.id(*a)]) {
+                        rule_done[ri] = true;
+                        avail[ix.id(rule.target)] = true;
+                        steps.push(Step::Eval(ri));
+                        progressed = true;
+                    }
+                }
+                // Ready child visits.
+                for occ in 1..prod.occ_count() {
+                    let v = next_visit[occ];
+                    if v == u32::MAX || v == 0 {
+                        continue;
+                    }
+                    let sym = prod.occ_symbol(occ);
+                    if v > phases.visit_count(sym) {
+                        continue;
+                    }
+                    let ready = g
+                        .symbol(sym)
+                        .attrs
+                        .iter()
+                        .enumerate()
+                        .filter(|(ai, a)| {
+                            a.kind == AttrKind::Inh
+                                && phases.of(sym, AttrId(*ai as u32)) == v
+                        })
+                        .all(|(ai, _)| {
+                            avail[ix.id(OccRef {
+                                occ,
+                                attr: AttrId(ai as u32),
+                            })]
+                        });
+                    if ready {
+                        steps.push(Step::Visit { occ, visit: v });
+                        // Synthesized attributes of phase v become
+                        // available.
+                        for (ai, a) in g.symbol(sym).attrs.iter().enumerate() {
+                            if a.kind == AttrKind::Syn
+                                && phases.of(sym, AttrId(ai as u32)) == v
+                            {
+                                avail[ix.id(OccRef {
+                                    occ,
+                                    attr: AttrId(ai as u32),
+                                })] = true;
+                            }
+                        }
+                        next_visit[occ] = v + 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            // The LHS's synthesized attributes of this phase must now be
+            // available.
+            for (ai, attr) in g.symbol(prod.lhs).attrs.iter().enumerate() {
+                let id = AttrId(ai as u32);
+                if attr.kind == AttrKind::Syn
+                    && phases.of(prod.lhs, id) == lhs_visit
+                    && !avail[ix.id(OccRef { occ: 0, attr: id })]
+                {
+                    return Err(OagError::NotOrdered {
+                        prod: prod.name.clone(),
+                        stuck: format!("$0.{}", attr.name),
+                    });
+                }
+            }
+            segments.push(steps);
+        }
+        // Completeness: after the last LHS visit every rule must have
+        // been applied and every child fully visited, so that static
+        // evaluation computes the same instances dynamic evaluation does.
+        if let Some(ri) = rule_done.iter().position(|d| !d) {
+            let t = prod.rules[ri].target;
+            let sym = g.symbol(prod.occ_symbol(t.occ));
+            return Err(OagError::NotOrdered {
+                prod: prod.name.clone(),
+                stuck: format!("${}.{}", t.occ, sym.attrs[t.attr.0 as usize].name),
+            });
+        }
+        #[allow(clippy::needless_range_loop)]
+        for occ in 1..prod.occ_count() {
+            let sym = prod.occ_symbol(occ);
+            if next_visit[occ] != u32::MAX && next_visit[occ] <= phases.visit_count(sym) {
+                return Err(OagError::NotOrdered {
+                    prod: prod.name.clone(),
+                    stuck: format!("visit {} of ${}", next_visit[occ], occ),
+                });
+            }
+        }
+        plans.push(Plan { segments });
+    }
+    Ok(Plans { phases, plans })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    #[test]
+    fn bitrel_basics() {
+        let mut r = BitRel::new(70); // multi-word
+        assert!(r.add(0, 69));
+        assert!(!r.add(0, 69));
+        assert!(r.has(0, 69));
+        assert!(!r.has(69, 0));
+        assert_eq!(r.edge_count(), 1);
+        r.add(69, 5);
+        r.close();
+        assert!(r.has(0, 5), "closure adds 0→69→5");
+        assert!(!r.has_self_loop());
+        r.add(5, 0);
+        r.close();
+        assert!(r.has_self_loop());
+    }
+
+    /// Purely synthesized grammar: one visit, everything in phase 1.
+    #[test]
+    fn synthesized_only_single_visit() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let t = g.nonterminal("T");
+        let size = g.synthesized(t, "size");
+        let leaf = g.production("leaf", t, []);
+        g.rule(leaf, (0, size), [], |_| 1);
+        let fork = g.production("fork", t, [t, t]);
+        g.rule(fork, (0, size), [(1, size), (2, size)], |a| a[0] + a[1] + 1);
+        let gr = g.build(t).unwrap();
+        let plans = compute_plans(&gr).unwrap();
+        assert_eq!(plans.phases.visit_count(t), 1);
+        assert_eq!(plans.phases.of(t, size), 1);
+        let fork_plan = plans.plan(fork);
+        assert_eq!(fork_plan.segments.len(), 1);
+        // Visit both children, then the rule.
+        assert_eq!(
+            fork_plan.segments[0],
+            vec![
+                Step::Visit { occ: 1, visit: 1 },
+                Step::Visit { occ: 2, visit: 1 },
+                Step::Eval(0)
+            ]
+        );
+    }
+
+    /// Inherited-then-synthesized: still one visit (inh phase 1 feeds syn
+    /// phase 1).
+    #[test]
+    fn l_attributed_single_visit() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let t = g.nonterminal("T");
+        let total = g.synthesized(s, "total");
+        let env = g.inherited(t, "env");
+        let out = g.synthesized(t, "out");
+        let top = g.production("top", s, [t]);
+        g.rule(top, (1, env), [], |_| 10);
+        g.rule(top, (0, total), [(1, out)], |a| a[0]);
+        let body = g.production("body", t, []);
+        g.rule(body, (0, out), [(0, env)], |a| a[0] + 1);
+        let gr = g.build(s).unwrap();
+        let plans = compute_plans(&gr).unwrap();
+        assert_eq!(plans.phases.visit_count(t), 1);
+        assert_eq!(plans.phases.of(t, env), 1);
+        assert_eq!(plans.phases.of(t, out), 1);
+        assert_eq!(
+            plans.plan(top).segments[0],
+            vec![
+                Step::Eval(0),
+                Step::Visit { occ: 1, visit: 1 },
+                Step::Eval(1)
+            ]
+        );
+    }
+
+    /// Two-pass grammar: syn `decl` feeds inh `env` feeds syn `code` —
+    /// the child needs two visits (the paper's symbol-table-then-codegen
+    /// pattern).
+    #[test]
+    fn two_pass_grammar_two_visits() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let t = g.nonterminal("T");
+        let done = g.synthesized(s, "done");
+        let decls = g.synthesized(t, "decls");
+        let env = g.inherited(t, "env");
+        let code = g.synthesized(t, "code");
+        let top = g.production("top", s, [t]);
+        // env of child depends on decls of child: forces phase(env) = 2.
+        g.rule(top, (1, env), [(1, decls)], |a| a[0]);
+        g.rule(top, (0, done), [(1, code)], |a| a[0]);
+        let body = g.production("body", t, []);
+        g.rule(body, (0, decls), [], |_| 5);
+        g.rule(body, (0, code), [(0, env)], |a| a[0] * 2);
+        let gr = g.build(s).unwrap();
+        let plans = compute_plans(&gr).unwrap();
+        assert_eq!(plans.phases.of(t, decls), 1);
+        assert_eq!(plans.phases.of(t, env), 2);
+        assert_eq!(plans.phases.of(t, code), 2);
+        assert_eq!(plans.phases.visit_count(t), 2);
+        let top_plan = plans.plan(top);
+        assert_eq!(top_plan.segments.len(), 1);
+        assert_eq!(
+            top_plan.segments[0],
+            vec![
+                Step::Visit { occ: 1, visit: 1 },
+                Step::Eval(0),
+                Step::Visit { occ: 1, visit: 2 },
+                Step::Eval(1)
+            ]
+        );
+        // The child's plan has two segments: decls in the first, code in
+        // the second.
+        let body_plan = plans.plan(body);
+        assert_eq!(body_plan.segments.len(), 2);
+        assert_eq!(body_plan.segments[0], vec![Step::Eval(0)]);
+        assert_eq!(body_plan.segments[1], vec![Step::Eval(1)]);
+    }
+
+    /// A circular grammar is rejected.
+    #[test]
+    fn circular_grammar_rejected() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let t = g.nonterminal("T");
+        let out = g.synthesized(s, "out");
+        let i = g.inherited(t, "i");
+        let o = g.synthesized(t, "o");
+        let top = g.production("top", s, [t]);
+        g.rule(top, (1, i), [(1, o)], |a| a[0]); // i <- o
+        g.rule(top, (0, out), [(1, o)], |a| a[0]);
+        let body = g.production("body", t, []);
+        g.rule(body, (0, o), [(0, i)], |a| a[0]); // o <- i : cycle
+        let gr = g.build(s).unwrap();
+        assert!(matches!(
+            compute_plans(&gr),
+            Err(OagError::Cyclic { prod }) if prod == "top" || prod == "body"
+        ));
+    }
+
+    /// Attribute-free child subtrees still get one visit so all their
+    /// internal instances are evaluated.
+    #[test]
+    fn attribute_free_symbols_get_one_visit() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let u = g.nonterminal("U"); // no attributes
+        let t = g.nonterminal("T");
+        let out = g.synthesized(s, "out");
+        let x = g.synthesized(t, "x");
+        let top = g.production("top", s, [u]);
+        g.rule(top, (0, out), [], |_| 0);
+        let mid = g.production("mid", u, [t]);
+        let _ = mid;
+        let body = g.production("body", t, []);
+        g.rule(body, (0, x), [], |_| 7);
+        let gr = g.build(s).unwrap();
+        let plans = compute_plans(&gr).unwrap();
+        assert_eq!(plans.phases.visit_count(u), 1);
+        // top must still visit U once so T's x gets evaluated.
+        assert!(plans
+            .plan(top)
+            .segments[0]
+            .contains(&Step::Visit { occ: 1, visit: 1 }));
+        assert!(plans
+            .plan(mid)
+            .segments[0]
+            .contains(&Step::Visit { occ: 1, visit: 1 }));
+    }
+
+    /// Terminals are never visited; their attrs are available at once.
+    #[test]
+    fn terminals_not_visited() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let t = g.nonterminal("T");
+        let num = g.terminal("num");
+        let val = g.synthesized(num, "val");
+        let size = g.synthesized(t, "size");
+        let leaf = g.production("leaf", t, [num]);
+        g.rule(leaf, (0, size), [(1, val)], |a| a[0]);
+        let gr = g.build(t).unwrap();
+        let plans = compute_plans(&gr).unwrap();
+        assert_eq!(plans.phases.visit_count(num), 0);
+        assert_eq!(plans.plan(leaf).segments[0], vec![Step::Eval(0)]);
+    }
+
+    #[test]
+    fn occ_index_round_trip() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let t = g.nonterminal("T");
+        let a = g.synthesized(t, "a");
+        let b = g.inherited(t, "b");
+        let leaf = g.production("leaf", t, []);
+        g.rule(leaf, (0, a), [(0, b)], |x| x[0]);
+        let fork = g.production("fork", t, [t, t]);
+        g.rule(fork, (0, a), [(1, a), (2, a)], |x| x[0] + x[1]);
+        g.rule(fork, (1, b), [(0, b)], |x| x[0]);
+        g.rule(fork, (2, b), [(0, b)], |x| x[0]);
+        // build would fail StartHasInherited; test the index directly
+        // against the builder's internal state via a built grammar with a
+        // wrapper start.
+        let s = g.nonterminal("S");
+        let sa = g.synthesized(s, "sa");
+        let top = g.production("top", s, [t]);
+        g.rule(top, (1, b), [], |_| 0);
+        g.rule(top, (0, sa), [(1, a)], |x| x[0]);
+        let gr = g.build(s).unwrap();
+        let ix = OccIndex::new(&gr, fork);
+        assert_eq!(ix.total(), 6);
+        for occ in 0..3 {
+            for attr in 0..2 {
+                let r = OccRef {
+                    occ,
+                    attr: AttrId(attr),
+                };
+                assert_eq!(ix.decode(ix.id(r)), r);
+            }
+        }
+    }
+
+    /// The plan renderer shows readable visit sequences.
+    #[test]
+    fn render_plan_is_readable() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let t = g.nonterminal("T");
+        let size = g.synthesized(t, "size");
+        let leaf = g.production("leaf", t, []);
+        g.rule(leaf, (0, size), [], |_| 1);
+        let fork = g.production("fork", t, [t, t]);
+        g.rule(fork, (0, size), [(1, size), (2, size)], |a| a[0] + a[1]);
+        let gr = g.build(t).unwrap();
+        let plans = compute_plans(&gr).unwrap();
+        let text = plans.render_plan(&gr, fork);
+        assert!(text.contains("plan fork (T -> T T):"));
+        assert!(text.contains("visit $1/1;"));
+        assert!(text.contains("visit $2/1;"));
+        assert!(text.contains("eval $0.size := f($1.size, $2.size);"));
+        let all = plans.render_all(&gr);
+        assert!(all.contains("plan leaf (T -> ε):"));
+    }
+
+    /// Inherited attributes consumed only by late work are relaxed to
+    /// the late phase, so early visits are not gated on them. Here
+    /// `base` feeds only `obj` (phase 2 via the syn→inh `tab → gtab`
+    /// round trip), so `base` must also be phase 2 even though nothing
+    /// *forces* it later than phase 1.
+    #[test]
+    fn inherited_attrs_relax_to_their_consumers_phase() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let t = g.nonterminal("T");
+        let out = g.synthesized(s, "out");
+        let tab = g.synthesized(t, "tab");
+        let gtab = g.inherited(t, "gtab");
+        let base = g.inherited(t, "base");
+        let obj = g.synthesized(t, "obj");
+        let top = g.production("top", s, [t]);
+        g.rule(top, (1, gtab), [(1, tab)], |a| a[0]);
+        g.rule(top, (1, base), [], |_| 0);
+        g.rule(top, (0, out), [(1, obj)], |a| a[0]);
+        let body = g.production("body", t, []);
+        g.rule(body, (0, tab), [], |_| 1);
+        g.rule(body, (0, obj), [(0, gtab), (0, base)], |a| a[0] + a[1]);
+        let gr = g.build(s).unwrap();
+        let plans = compute_plans(&gr).unwrap();
+        assert_eq!(plans.phases.of(t, tab), 1);
+        assert_eq!(plans.phases.of(t, gtab), 2);
+        assert_eq!(plans.phases.of(t, obj), 2);
+        assert_eq!(
+            plans.phases.of(t, base),
+            2,
+            "base is only used by phase-2 work and must not gate visit 1"
+        );
+        // The plan still evaluates everything.
+        assert_eq!(plans.plan(body).segments.len(), 2);
+        assert_eq!(plans.plan(body).segments[0], vec![Step::Eval(0)]);
+        assert_eq!(plans.plan(body).segments[1], vec![Step::Eval(1)]);
+    }
+
+    /// The induced-deps fixpoint discovers transitive dependencies that
+    /// flow through children.
+    #[test]
+    fn induced_deps_flow_through_productions() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let t = g.nonterminal("T");
+        let out = g.synthesized(s, "out");
+        let i = g.inherited(t, "i");
+        let o = g.synthesized(t, "o");
+        let top = g.production("top", s, [t]);
+        g.rule(top, (1, i), [], |_| 1);
+        g.rule(top, (0, out), [(1, o)], |a| a[0]);
+        let body = g.production("body", t, []);
+        g.rule(body, (0, o), [(0, i)], |a| a[0]);
+        let gr = g.build(s).unwrap();
+        let deps = induced_deps(&gr).unwrap();
+        // o depends on i for T.
+        assert!(deps.ids[t.0 as usize].has(i.0 as usize, o.0 as usize));
+        assert!(!deps.ids[t.0 as usize].has(o.0 as usize, i.0 as usize));
+    }
+}

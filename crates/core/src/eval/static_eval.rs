@@ -1,0 +1,220 @@
+//! The static (ordered) evaluator (Figures 2–3).
+//!
+//! Attributes are evaluated in the order fixed at grammar-analysis time:
+//! per production, a visit sequence of `Eval`/`Visit` steps (see
+//! [`crate::analysis`]). No dependency information is computed or stored
+//! at evaluation time — this is exactly why the paper's measurements show
+//! static evaluation beating dynamic evaluation sequentially.
+//!
+//! The interpreter is iterative (explicit frame stack) so deep parse
+//! trees — statement lists are a linear chain — cannot overflow the call
+//! stack.
+
+use crate::analysis::{Plans, Step};
+use crate::stats::EvalStats;
+use crate::tree::{occ_slot, occ_value, AttrStore, NodeId, ParseTree};
+use crate::value::AttrValue;
+
+use super::EvalError;
+
+/// Evaluates every attribute instance of `tree` using precomputed visit
+/// sequences.
+///
+/// # Errors
+///
+/// [`EvalError::PlanInconsistency`] if a plan step reads an unavailable
+/// instance — impossible for plans produced by
+/// [`crate::analysis::compute_plans`] on the same grammar.
+pub fn static_eval<V: AttrValue>(
+    tree: &ParseTree<V>,
+    plans: &Plans,
+) -> Result<(AttrStore<V>, EvalStats), EvalError> {
+    let mut store = AttrStore::new(tree);
+    let mut stats = EvalStats::default();
+    let root_sym = tree.grammar().prod(tree.node(tree.root()).prod).lhs;
+    for visit in 1..=plans.phases.visit_count(root_sym) {
+        run_static_segment(tree, plans, &mut store, tree.root(), visit, &mut stats)?;
+    }
+    Ok((store, stats))
+}
+
+/// Executes the `visit`-th (1-based) visit of `node`: the corresponding
+/// plan segment of its production, recursing (iteratively) into child
+/// visits.
+///
+/// This is the building block shared by [`static_eval`] and the combined
+/// evaluator's static-subtree tasks.
+///
+/// # Errors
+///
+/// [`EvalError::PlanInconsistency`] when a step's inputs are missing —
+/// for the combined evaluator this would mean an inherited attribute of
+/// the subtree root was not provided before the visit.
+pub fn run_static_segment<V: AttrValue>(
+    tree: &ParseTree<V>,
+    plans: &Plans,
+    store: &mut AttrStore<V>,
+    node: NodeId,
+    visit: u32,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    // Explicit interpreter stack: (node, segment index, program counter).
+    let mut stack: Vec<(NodeId, u32, usize)> = vec![(node, visit - 1, 0)];
+    let g = tree.grammar();
+    while let Some((n, seg, pc)) = stack.pop() {
+        let prod_id = tree.node(n).prod;
+        let plan = plans.plan(prod_id);
+        let Some(segment) = plan.segments.get(seg as usize) else {
+            return Err(EvalError::PlanInconsistency {
+                node: n,
+                step: format!("no segment {seg} in plan of {:?}", g.prod(prod_id).name),
+            });
+        };
+        let Some(step) = segment.get(pc) else {
+            continue; // segment finished; frame popped
+        };
+        // Re-push the frame with an advanced pc before possibly pushing
+        // a child frame on top.
+        stack.push((n, seg, pc + 1));
+        match *step {
+            Step::Eval(ri) => {
+                let rule = &g.prod(prod_id).rules[ri];
+                let mut args = Vec::with_capacity(rule.args.len());
+                for a in &rule.args {
+                    match occ_value(tree, store, n, a.occ, a.attr) {
+                        Some(v) => args.push(v.clone()),
+                        None => {
+                            return Err(EvalError::PlanInconsistency {
+                                node: n,
+                                step: format!(
+                                    "rule {ri} of {:?} reads unavailable ${}.{:?}",
+                                    g.prod(prod_id).name,
+                                    a.occ,
+                                    a.attr
+                                ),
+                            })
+                        }
+                    }
+                }
+                let value = (rule.func)(&args);
+                let (tn, ta) = occ_slot(tree, n, rule.target.occ, rule.target.attr);
+                store.set(tn, ta, value);
+                stats.static_applied += 1;
+                stats.rule_cost_units += rule.cost;
+            }
+            Step::Visit { occ, visit } => {
+                let Some(child) = tree.child_node(n, occ) else {
+                    return Err(EvalError::PlanInconsistency {
+                        node: n,
+                        step: format!("visit of non-node occurrence {occ}"),
+                    });
+                };
+                stack.push((child, visit - 1, 0));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::compute_plans;
+    use crate::eval::dynamic_eval;
+    use crate::grammar::{AttrId, GrammarBuilder};
+    use crate::tree::{token, TreeBuilder};
+    use std::sync::Arc;
+
+    /// Static evaluation must agree with dynamic evaluation — the central
+    /// equivalence invariant.
+    #[test]
+    fn agrees_with_dynamic_on_two_pass_grammar() {
+        // decls/env/code two-pass grammar over a list tree.
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("L");
+        let done = g.synthesized(s, "done");
+        let decls = g.synthesized(l, "decls");
+        let env = g.inherited(l, "env");
+        let code = g.synthesized(l, "code");
+        let top = g.production("top", s, [l]);
+        g.rule(top, (1, env), [(1, decls)], |a| a[0] * 100);
+        g.rule(top, (0, done), [(1, code)], |a| a[0]);
+        let cons = g.production("cons", l, [l]);
+        g.rule(cons, (0, decls), [(1, decls)], |a| a[0] + 1);
+        g.rule(cons, (1, env), [(0, env)], |a| a[0] + 1);
+        g.rule(cons, (0, code), [(1, code), (0, env)], |a| a[0] + a[1]);
+        let nil = g.production("nil", l, []);
+        g.rule(nil, (0, decls), [], |_| 0);
+        g.rule(nil, (0, code), [(0, env)], |a| a[0]);
+        let gr = Arc::new(g.build(s).unwrap());
+        let plans = compute_plans(&gr).unwrap();
+
+        let mut tb = TreeBuilder::new(&gr);
+        let mut n = tb.leaf(nil);
+        for _ in 0..10 {
+            n = tb.node(cons, [n]);
+        }
+        let root = tb.node(top, [n]);
+        let tree = tb.finish(root).unwrap();
+
+        let (dyn_store, dyn_stats) = dynamic_eval(&tree).unwrap();
+        let (stat_store, stat_stats) = static_eval(&tree, &plans).unwrap();
+        // Same number of rule applications, same values everywhere.
+        assert_eq!(dyn_stats.dynamic_applied, stat_stats.static_applied);
+        assert_eq!(stat_stats.dynamic_applied, 0);
+        assert_eq!(stat_stats.graph_nodes, 0, "static pays no graph cost");
+        for node in tree.node_ids() {
+            let sym = gr.prod(tree.node(node).prod).lhs;
+            for a in 0..gr.attr_count(sym) {
+                let attr = AttrId(a as u32);
+                assert_eq!(
+                    dyn_store.get(node, attr),
+                    stat_store.get(node, attr),
+                    "mismatch at {node:?} attr {attr:?}"
+                );
+            }
+        }
+    }
+
+    /// Deep trees do not overflow the stack (iterative interpreter).
+    #[test]
+    fn deep_tree_no_stack_overflow() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let t = g.nonterminal("T");
+        let size = g.synthesized(t, "size");
+        let wrap = g.production("wrap", t, [t]);
+        g.rule(wrap, (0, size), [(1, size)], |a| a[0] + 1);
+        let stop = g.production("stop", t, []);
+        g.rule(stop, (0, size), [], |_| 0);
+        let gr = Arc::new(g.build(t).unwrap());
+        let plans = compute_plans(&gr).unwrap();
+        let mut tb = TreeBuilder::new(&gr);
+        let mut n = tb.leaf(stop);
+        for _ in 0..200_000 {
+            n = tb.node(wrap, [n]);
+        }
+        let tree = tb.finish(n).unwrap();
+        let (store, _) = static_eval(&tree, &plans).unwrap();
+        assert_eq!(store.get(tree.root(), size), Some(&200_000));
+    }
+
+    /// Tokens are read directly from the tree.
+    #[test]
+    fn reads_token_values() {
+        let mut g = GrammarBuilder::<i64>::new();
+        let t = g.nonterminal("T");
+        let num = g.terminal("num");
+        let val = g.synthesized(num, "val");
+        let size = g.synthesized(t, "size");
+        let leaf = g.production("leaf", t, [num]);
+        g.rule(leaf, (0, size), [(1, val)], |a| a[0] + 1);
+        let gr = Arc::new(g.build(t).unwrap());
+        let plans = compute_plans(&gr).unwrap();
+        let mut tb = TreeBuilder::new(&gr);
+        let root = tb.node_full(leaf, vec![token(vec![41i64])]);
+        let tree = tb.finish(root).unwrap();
+        let (store, _) = static_eval(&tree, &plans).unwrap();
+        assert_eq!(store.get(tree.root(), size), Some(&42));
+    }
+}

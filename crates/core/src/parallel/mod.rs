@@ -1,0 +1,71 @@
+//! Parallel compiler runtimes (§2.1, §3, §4).
+//!
+//! The structure mirrors the paper's Figure-6 setting: a sequential
+//! parser process, N evaluator machines, and a string-librarian process.
+//!
+//! * [`sim`] — runs the whole parallel compilation on the deterministic
+//!   [`paragram_netsim`] network-multiprocessor simulator, reproducing
+//!   the paper's running-time and activity-trace figures exactly.
+//! * [`threads`] — the same protocol over real OS threads and crossbeam
+//!   channels, demonstrating genuine parallel speedup on host cores.
+
+pub mod sim;
+pub mod threads;
+
+use crate::grammar::{AttrId, SymbolId};
+use crate::value::AttrValue;
+
+/// How evaluators propagate large result attributes back to the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultPropagation {
+    /// Each evaluator ships its full result value to its ancestor; the
+    /// ancestor concatenates and re-transmits — the paper's "naive
+    /// implementation" whose cost grows with process-tree depth.
+    Naive,
+    /// String-librarian protocol (§4.2): text goes to the librarian
+    /// once, only small descriptors travel up the process tree.
+    Librarian,
+}
+
+/// Classifies attributes into activity-trace phases (Figure 6's "symbol
+/// table" / "code generation" labels). The default classifier labels
+/// everything "evaluate".
+pub type PhaseClassifier = std::sync::Arc<dyn Fn(&str) -> &'static str + Send + Sync>;
+
+/// Builds a classifier from `(substring, label)` pairs matched against
+/// the attribute name, in order.
+pub fn phase_classifier(rules: Vec<(&'static str, &'static str)>) -> PhaseClassifier {
+    std::sync::Arc::new(move |attr: &str| {
+        for (pat, label) in &rules {
+            if attr.contains(pat) {
+                return label;
+            }
+        }
+        "evaluate"
+    })
+}
+
+/// Resolves a phase label for a machine step's target attribute.
+pub(crate) fn classify<V: AttrValue>(
+    g: &crate::grammar::Grammar<V>,
+    classifier: &PhaseClassifier,
+    target: Option<(SymbolId, AttrId)>,
+) -> &'static str {
+    match target {
+        Some((sym, attr)) => classifier(&g.symbol(sym).attrs[attr.0 as usize].name),
+        None => "evaluate",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_matches_substrings_in_order() {
+        let c = phase_classifier(vec![("stab", "symbol table"), ("code", "code generation")]);
+        assert_eq!(c("stab_out"), "symbol table");
+        assert_eq!(c("code"), "code generation");
+        assert_eq!(c("value"), "evaluate");
+    }
+}

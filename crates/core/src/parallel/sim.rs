@@ -1,0 +1,714 @@
+//! The parallel compiler on the simulated network multiprocessor.
+//!
+//! Reproduces the paper's experimental configuration (§3): one
+//! sequential parser process, N evaluator machines (one region each),
+//! and a string-librarian process, communicating over a shared 10 Mbit
+//! Ethernet modelled by [`paragram_netsim`]. Virtual CPU consumption is
+//! derived from a [`CostModel`] calibrated to SUN-2-class hardware, so
+//! the reported times are in "1987 seconds" and the *shape* of Figure 5
+//! (speedups, crossovers, the non-monotonic tail) is reproduced
+//! deterministically.
+//!
+//! The protocol is the paper's: the parser ships linearized subtrees;
+//! evaluators evaluate, exchanging attribute values; synthesized
+//! attributes of region roots travel up, inherited attributes of remote
+//! subtree roots travel down; in librarian mode large code text goes to
+//! the librarian once and only small descriptor ropes travel up the
+//! process tree (§4.2).
+
+use crate::analysis::Plans;
+use crate::eval::{AttrMsg, EvalError, Machine, MachineMode, SendTarget};
+use crate::grammar::{AttrId, AttrKind};
+use crate::split::{decompose, Decomposition, RegionId, SplitConfig};
+use crate::stats::EvalStats;
+use crate::tree::{Child, NodeId, ParseTree};
+use crate::value::AttrValue;
+use paragram_netsim::{secs, Ctx, NetModel, ProcId, Process, Sim, Time, Trace};
+use paragram_rope::{Rope, SegmentId, SegmentStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use super::{classify, PhaseClassifier, ResultPropagation};
+
+/// Virtual CPU cost constants (µs) mapping evaluator work onto 1987
+/// hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Per rule-cost unit (semantic function execution).
+    pub rule_unit_us: u64,
+    /// Per dependency-graph task created (dynamic pipeline, Figure 1).
+    pub graph_node_us: u64,
+    /// Per dependency-graph edge created.
+    pub graph_edge_us: u64,
+    /// Scheduler overhead per dynamically applied rule.
+    pub dynamic_rule_us: u64,
+    /// Tree-walk overhead per statically applied rule.
+    pub static_rule_us: u64,
+    /// Parser cost per tree node built.
+    pub parse_node_us: u64,
+    /// Cost per node to linearize/rebuild a shipped subtree.
+    pub ship_node_us: u64,
+    /// Librarian cost per kilobyte when combining final code.
+    pub resolve_kb_us: u64,
+}
+
+impl CostModel {
+    /// Calibration for a SUN-2-class workstation (≈1 MIPS): semantic
+    /// functions dominated by allocation, a dynamic-scheduler overhead
+    /// per instance, and a much cheaper static tree walk.
+    pub fn sun2() -> Self {
+        CostModel {
+            rule_unit_us: 120,
+            graph_node_us: 80,
+            graph_edge_us: 40,
+            dynamic_rule_us: 120,
+            static_rule_us: 25,
+            parse_node_us: 180,
+            ship_node_us: 40,
+            resolve_kb_us: 150,
+        }
+    }
+}
+
+/// Everything configurable about one simulated parallel compilation.
+pub struct SimConfig {
+    /// Number of evaluator machines (regions targeted by the splitter).
+    pub machines: usize,
+    /// Combined or purely dynamic evaluation.
+    pub mode: MachineMode,
+    /// Result propagation strategy (§4.2 ablation).
+    pub result: ResultPropagation,
+    /// Network model.
+    pub net: NetModel,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Split-granularity scale (the paper's runtime argument).
+    pub min_size_scale: f64,
+    /// Attribute-name → phase label mapping for the activity trace.
+    pub classifier: PhaseClassifier,
+}
+
+impl SimConfig {
+    /// Paper-like defaults for `machines` machines with the combined
+    /// evaluator.
+    pub fn paper(machines: usize) -> Self {
+        SimConfig {
+            machines,
+            mode: MachineMode::Combined,
+            result: ResultPropagation::Librarian,
+            net: NetModel::lan_1987(),
+            cost: CostModel::sun2(),
+            min_size_scale: 1.0,
+            classifier: super::phase_classifier(vec![
+                ("stab", "symbol table"),
+                ("env", "symbol table"),
+                ("decl", "symbol table"),
+                ("code", "code generation"),
+            ]),
+        }
+    }
+}
+
+/// Result of one simulated parallel compilation.
+pub struct SimReport<V> {
+    /// The paper's running-time measure: "from the time the parser
+    /// initiates evaluation until it receives back the root attributes".
+    pub eval_time: Time,
+    /// Parser time (reported separately, as in §4.1).
+    pub parse_time: Time,
+    /// Number of regions actually produced.
+    pub regions: usize,
+    /// Per-machine statistics.
+    pub per_machine: Vec<EvalStats>,
+    /// Aggregated statistics.
+    pub stats: EvalStats,
+    /// The activity/message trace (Figure 6).
+    pub trace: Trace,
+    /// Process names aligned with the trace.
+    pub names: Vec<String>,
+    /// Root attribute values (librarian-resolved).
+    pub root_values: Vec<(AttrId, V)>,
+    /// The decomposition rendered in Figure-7 style.
+    pub decomposition: String,
+}
+
+impl<V> SimReport<V> {
+    /// The evaluation time in seconds.
+    pub fn eval_secs(&self) -> f64 {
+        secs(self.eval_time)
+    }
+
+    /// Renders the Figure-6 activity chart.
+    pub fn render_gantt(&self, width: usize) -> String {
+        self.trace.render_gantt(&self.names, width)
+    }
+}
+
+enum SimMsg<V> {
+    Subtree(RegionId),
+    Attr {
+        node: NodeId,
+        attr: AttrId,
+        value: V,
+    },
+    Segment {
+        id: SegmentId,
+        text: Rope,
+    },
+    ResolveRoot,
+    RootResolved,
+}
+
+struct Shared<V: AttrValue> {
+    tree: Arc<ParseTree<V>>,
+    plans: Option<Arc<Plans>>,
+    decomp: Arc<Decomposition>,
+    cost: CostModel,
+    mode: MachineMode,
+    result: ResultPropagation,
+    classifier: PhaseClassifier,
+    librarian: ProcId,
+    parser: ProcId,
+    eval_start: Mutex<Time>,
+    eval_end: Mutex<Time>,
+    root_values: Mutex<Vec<(AttrId, V)>>,
+    segstore: Mutex<SegmentStore>,
+    per_machine: Mutex<Vec<EvalStats>>,
+    error: Mutex<Option<EvalError>>,
+}
+
+impl<V: AttrValue> Shared<V> {
+    fn proc_of_region(&self, r: RegionId) -> ProcId {
+        ProcId(1 + r as usize)
+    }
+}
+
+/// Approximate linearized wire size of a region's local nodes.
+fn region_wire_size<V: AttrValue>(
+    tree: &ParseTree<V>,
+    decomp: &Decomposition,
+    region: RegionId,
+) -> usize {
+    let mut bytes = 0;
+    let mut stack = vec![decomp.regions[region as usize].root];
+    while let Some(n) = stack.pop() {
+        bytes += 8;
+        for c in &tree.node(n).children {
+            match c {
+                Child::Node(c) if decomp.region(*c) == region => stack.push(*c),
+                Child::Node(_) => bytes += 8, // remote-leaf marker
+                Child::Token(vals) => {
+                    bytes += vals.iter().map(|v| v.wire_size()).sum::<usize>()
+                }
+            }
+        }
+    }
+    bytes
+}
+
+struct ParserProc<V: AttrValue> {
+    shared: Arc<Shared<V>>,
+    expected_roots: usize,
+}
+
+impl<V: AttrValue> Process<SimMsg<V>> for ParserProc<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<SimMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        ctx.phase("parse");
+        ctx.spend(sh.tree.len() as Time * sh.cost.parse_node_us);
+        ctx.phase("ship subtrees");
+        // Linearize and ship each region (region 0 included: its
+        // evaluator is a separate machine from the parser, as in the
+        // paper's Figure 6 where evaluator `a` holds the root subtree).
+        *sh.eval_start.lock() = ctx.now();
+        for r in 0..sh.decomp.len() as RegionId {
+            let info = &sh.decomp.regions[r as usize];
+            ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
+            let bytes = region_wire_size(&sh.tree, &sh.decomp, r);
+            ctx.send(sh.proc_of_region(r), SimMsg::Subtree(r), bytes, "subtree");
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<SimMsg<V>>, _from: ProcId, msg: SimMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        match msg {
+            SimMsg::Attr { attr, value, .. } => {
+                ctx.phase("result propagation");
+                let done = {
+                    let mut roots = sh.root_values.lock();
+                    roots.push((attr, value));
+                    roots.len() == self.expected_roots
+                };
+                if done {
+                    match sh.result {
+                        ResultPropagation::Naive => {
+                            *sh.eval_end.lock() = ctx.now();
+                            ctx.stop();
+                        }
+                        ResultPropagation::Librarian => {
+                            ctx.send(sh.librarian, SimMsg::ResolveRoot, 64, "resolve");
+                        }
+                    }
+                }
+            }
+            SimMsg::RootResolved => {
+                *sh.eval_end.lock() = ctx.now();
+                ctx.stop();
+            }
+            _ => {}
+        }
+    }
+}
+
+struct EvaluatorProc<V: AttrValue> {
+    shared: Arc<Shared<V>>,
+    region: RegionId,
+    machine: Option<Machine<V>>,
+    next_seg: u32,
+}
+
+impl<V: AttrValue> EvaluatorProc<V> {
+    fn pump(&mut self, ctx: &mut Ctx<SimMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        loop {
+            let Some(machine) = self.machine.as_mut() else {
+                return;
+            };
+            match machine.step() {
+                Err(e) => {
+                    *sh.error.lock() = Some(e);
+                    ctx.stop();
+                    return;
+                }
+                Ok(None) => break,
+                Ok(Some(outcome)) => {
+                    let label =
+                        classify(sh.tree.grammar(), &sh.classifier, outcome.target);
+                    ctx.phase(label);
+                    ctx.spend(
+                        outcome.cost_units * sh.cost.rule_unit_us
+                            + outcome.dynamic_rules as Time * sh.cost.dynamic_rule_us
+                            + outcome.static_rules as Time * sh.cost.static_rule_us,
+                    );
+                    for send in outcome.sends {
+                        self.transmit(ctx, send);
+                    }
+                }
+            }
+        }
+        let machine = self.machine.as_ref().expect("machine exists");
+        self.shared.per_machine.lock()[self.region as usize] = machine.stats();
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<SimMsg<V>>, msg: AttrMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        let upward = match msg.to {
+            SendTarget::Parser => true,
+            SendTarget::Region(r) => {
+                Some(r) == sh.decomp.regions[self.region as usize].parent
+            }
+        };
+        let mut value = msg.value;
+        if upward && sh.result == ResultPropagation::Librarian {
+            // Ship large code text to the librarian; pass a descriptor
+            // rope up the process tree (§4.2).
+            let region = self.region;
+            let next = &mut self.next_seg;
+            let mut segments: Vec<(SegmentId, Rope)> = Vec::new();
+            let deflated = value.deflate(&mut |text: Rope| {
+                let id = SegmentId::from_parts(region, *next);
+                *next += 1;
+                segments.push((id, text));
+                id
+            });
+            if let Some(d) = deflated {
+                value = d;
+                ctx.phase("result propagation");
+                for (id, text) in segments {
+                    let bytes = text.physical_wire_size();
+                    ctx.send(
+                        sh.librarian,
+                        SimMsg::Segment { id, text },
+                        bytes,
+                        "code-segment",
+                    );
+                }
+            }
+        }
+        let dest = match msg.to {
+            SendTarget::Parser => sh.parser,
+            SendTarget::Region(r) => sh.proc_of_region(r),
+        };
+        let bytes = value.wire_size();
+        ctx.send(
+            dest,
+            SimMsg::Attr {
+                node: msg.node,
+                attr: msg.attr,
+                value,
+            },
+            bytes,
+            "attr",
+        );
+    }
+}
+
+impl<V: AttrValue> Process<SimMsg<V>> for EvaluatorProc<V> {
+    fn on_message(&mut self, ctx: &mut Ctx<SimMsg<V>>, _from: ProcId, msg: SimMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        match msg {
+            SimMsg::Subtree(region) => {
+                debug_assert_eq!(region, self.region);
+                ctx.phase("build");
+                let machine = Machine::new(
+                    &sh.tree,
+                    sh.plans.as_ref(),
+                    &sh.decomp,
+                    self.region,
+                    sh.mode,
+                );
+                let (gn, ge) = machine.graph_size();
+                ctx.spend(
+                    machine.local_nodes() as Time * sh.cost.ship_node_us
+                        + gn as Time * sh.cost.graph_node_us
+                        + ge as Time * sh.cost.graph_edge_us,
+                );
+                self.machine = Some(machine);
+                self.pump(ctx);
+            }
+            SimMsg::Attr { node, attr, value } => {
+                if let Some(m) = self.machine.as_mut() {
+                    m.provide(node, attr, value);
+                }
+                self.pump(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct LibrarianProc<V: AttrValue> {
+    shared: Arc<Shared<V>>,
+}
+
+impl<V: AttrValue> Process<SimMsg<V>> for LibrarianProc<V> {
+    fn on_message(&mut self, ctx: &mut Ctx<SimMsg<V>>, from: ProcId, msg: SimMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        match msg {
+            SimMsg::Segment { id, text } => {
+                ctx.phase("receive code");
+                ctx.spend((text.len() as Time).div_ceil(1024) * sh.cost.resolve_kb_us / 10);
+                sh.segstore.lock().register(id, text);
+            }
+            SimMsg::ResolveRoot => {
+                ctx.phase("combine code");
+                let total = sh.segstore.lock().total_bytes();
+                ctx.spend((total as Time).div_ceil(1024) * sh.cost.resolve_kb_us);
+                ctx.send(from, SimMsg::RootResolved, 64, "resolved");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs one simulated parallel compilation of `tree`.
+///
+/// `plans` must be `Some` for [`MachineMode::Combined`].
+///
+/// # Panics
+///
+/// Panics if evaluation fails (cycle or plan inconsistency) or if the
+/// protocol deadlocks — validate the grammar with the sequential
+/// evaluators first.
+pub fn run_sim<V: AttrValue>(
+    tree: &Arc<ParseTree<V>>,
+    plans: Option<&Arc<Plans>>,
+    config: &SimConfig,
+) -> SimReport<V> {
+    let decomp = Arc::new(decompose(
+        tree,
+        SplitConfig {
+            target_regions: config.machines,
+            min_size_scale: config.min_size_scale,
+        },
+    ));
+    let regions = decomp.len();
+    let g = tree.grammar();
+    let root_sym = g.prod(tree.node(tree.root()).prod).lhs;
+    let expected_roots = g.symbol(root_sym).attrs_of_kind(AttrKind::Syn).count();
+
+    let shared = Arc::new(Shared {
+        tree: Arc::clone(tree),
+        plans: plans.cloned(),
+        decomp: Arc::clone(&decomp),
+        cost: config.cost,
+        mode: config.mode,
+        result: config.result,
+        classifier: Arc::clone(&config.classifier),
+        librarian: ProcId(1 + regions),
+        parser: ProcId(0),
+        eval_start: Mutex::new(0),
+        eval_end: Mutex::new(0),
+        root_values: Mutex::new(Vec::new()),
+        segstore: Mutex::new(SegmentStore::new()),
+        per_machine: Mutex::new(vec![EvalStats::default(); regions]),
+        error: Mutex::new(None),
+    });
+
+    let mut sim: Sim<SimMsg<V>> = Sim::new(config.net);
+    sim.add_process(
+        "parser",
+        ParserProc {
+            shared: Arc::clone(&shared),
+            expected_roots,
+        },
+    );
+    for r in 0..regions {
+        let letter = (b'a' + (r % 26) as u8) as char;
+        sim.add_process(
+            format!("evaluator-{letter}"),
+            EvaluatorProc {
+                shared: Arc::clone(&shared),
+                region: r as RegionId,
+                machine: None,
+                next_seg: 0,
+            },
+        );
+    }
+    sim.add_process(
+        "librarian",
+        LibrarianProc {
+            shared: Arc::clone(&shared),
+        },
+    );
+    sim.run();
+
+    if let Some(e) = shared.error.lock().take() {
+        panic!("parallel evaluation failed: {e}");
+    }
+    let eval_start = *shared.eval_start.lock();
+    let eval_end = *shared.eval_end.lock();
+    assert!(
+        eval_end >= eval_start && eval_end > 0,
+        "simulation ended without root attributes (deadlock?)"
+    );
+
+    let per_machine = shared.per_machine.lock().clone();
+    let mut stats = EvalStats::default();
+    for s in &per_machine {
+        stats += *s;
+    }
+    let store = shared.segstore.lock();
+    let root_values: Vec<(AttrId, V)> = shared
+        .root_values
+        .lock()
+        .iter()
+        .map(|(a, v)| (*a, v.inflate(&store)))
+        .collect();
+    drop(store);
+
+    SimReport {
+        eval_time: eval_end - eval_start,
+        parse_time: eval_start,
+        regions,
+        per_machine,
+        stats,
+        trace: sim.trace().clone(),
+        names: sim.names().to_vec(),
+        root_values,
+        decomposition: decomp.render(tree),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::compute_plans;
+    use crate::eval::dynamic_eval;
+    use crate::grammar::{Grammar, GrammarBuilder};
+    use crate::tree::TreeBuilder;
+    use crate::value::Value;
+
+    /// A mini "compiler" grammar over [`Value`]: decls flow up, env
+    /// flows down (symbol table), code (rope) flows up — with splittable
+    /// statement lists. The paper's workload in miniature.
+    struct Mini {
+        tree: Arc<ParseTree<Value>>,
+        plans: Arc<Plans>,
+        code: AttrId,
+    }
+
+    /// `n` statements; each statement owns an off-spine "procedure body"
+    /// subtree of `depth` costly nodes — the shape that makes parallel
+    /// evaluation worthwhile in the paper's workload.
+    fn mini_shape(n: usize, depth: usize) -> Mini {
+        let mut g = GrammarBuilder::<Value>::new();
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("stmts");
+        let body = g.nonterminal("body");
+        let done_code = g.synthesized(s, "code");
+        let decls = g.synthesized(l, "decls");
+        let env = g.inherited(l, "env");
+        let code = g.synthesized(l, "code");
+        let benv = g.inherited(body, "env");
+        let bcode = g.synthesized(body, "code");
+        g.mark_split(l, 4);
+        g.mark_priority(l, env);
+
+        let top = g.production("top", s, [l]);
+        g.rule(top, (1, env), [(1, decls)], |a| a[0].clone());
+        g.rule(top, (0, done_code), [(1, code)], |a| a[0].clone());
+
+        let cons = g.production("cons", l, [body, l]);
+        g.rule(cons, (0, decls), [(2, decls)], |a| {
+            Value::Int(a[0].as_int().unwrap() + 1)
+        });
+        g.rule(cons, (2, env), [(0, env)], |a| a[0].clone());
+        g.rule(cons, (1, benv), [(0, env)], |a| a[0].clone());
+        g.rule(cons, (0, code), [(1, bcode), (2, code)], |a| {
+            a[0].as_rope()
+                .unwrap()
+                .concat(a[1].as_rope().unwrap())
+                .into()
+        });
+        let nil = g.production("nil", l, []);
+        g.rule(nil, (0, decls), [], |_| Value::Int(0));
+        g.rule(nil, (0, code), [], |_| Value::Rope(Rope::new()));
+
+        let wrap = g.production("wrap", body, [body]);
+        g.rule(wrap, (1, benv), [(0, benv)], |a| a[0].clone());
+        g.rule_with_cost(
+            wrap,
+            (0, bcode),
+            [(1, bcode), (0, benv)],
+            |a| {
+                let line = format!(
+                    "movl r{}, r0 ; addl2 $4, sp ; calls $0, proc\n",
+                    a[1].as_int().unwrap() % 12
+                );
+                Value::Rope(Rope::from(line).concat(a[0].as_rope().unwrap()))
+            },
+            5,
+        );
+        let unit = g.production("unit", body, []);
+        g.rule(unit, (0, bcode), [(0, benv)], |a| {
+            Value::Rope(Rope::from(format!(
+                "ret ; base {}\n",
+                a[0].as_int().unwrap()
+            )))
+        });
+
+        let grammar: Arc<Grammar<Value>> = Arc::new(g.build(s).unwrap());
+        let plans = Arc::new(compute_plans(&grammar).unwrap());
+        let mut tb = TreeBuilder::new(&grammar);
+        let mut tail = tb.leaf(nil);
+        for _ in 0..n {
+            let mut b = tb.leaf(unit);
+            for _ in 0..depth {
+                b = tb.node(wrap, [b]);
+            }
+            tail = tb.node(cons, [b, tail]);
+        }
+        let root = tb.node(top, [tail]);
+        let tree = Arc::new(tb.finish(root).unwrap());
+        Mini {
+            tree,
+            plans,
+            code: done_code,
+        }
+    }
+
+    fn mini(n: usize) -> Mini {
+        mini_shape(n, 6)
+    }
+
+    fn root_code(report: &SimReport<Value>, attr: AttrId) -> Rope {
+        report
+            .root_values
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .and_then(|(_, v)| v.as_rope().cloned())
+            .expect("root code attribute present")
+    }
+
+    #[test]
+    fn sim_matches_sequential_dynamic_result() {
+        let m = mini(32);
+        let (dstore, _) = dynamic_eval(&m.tree).unwrap();
+        let want = dstore
+            .get(m.tree.root(), m.code)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        for machines in [1, 2, 4] {
+            let report = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(machines));
+            let got = root_code(&report, m.code);
+            assert!(got.content_eq(&want), "machines={machines}: code mismatch");
+            assert!(report.eval_time > 0);
+            assert!(report.parse_time > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_is_faster_than_one_machine() {
+        let m = mini(128);
+        let t1 = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(1)).eval_time;
+        let t4 = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(4)).eval_time;
+        assert!(t4 < t1, "4 machines ({t4}µs) should beat 1 ({t1}µs)");
+    }
+
+    #[test]
+    fn combined_beats_dynamic_mode() {
+        let m = mini(128);
+        let mut cfg = SimConfig::paper(4);
+        let tc = run_sim(&m.tree, Some(&m.plans), &cfg).eval_time;
+        cfg.mode = MachineMode::Dynamic;
+        let td = run_sim(&m.tree, Some(&m.plans), &cfg).eval_time;
+        assert!(tc < td, "combined ({tc}µs) should beat dynamic ({td}µs)");
+    }
+
+    #[test]
+    fn librarian_beats_naive_result_propagation() {
+        let m = mini(192);
+        let mut cfg = SimConfig::paper(5);
+        let tl = run_sim(&m.tree, Some(&m.plans), &cfg).eval_time;
+        cfg.result = ResultPropagation::Naive;
+        let tn = run_sim(&m.tree, Some(&m.plans), &cfg).eval_time;
+        assert!(tl < tn, "librarian ({tl}µs) should beat naive ({tn}µs)");
+    }
+
+    #[test]
+    fn naive_mode_produces_same_code() {
+        let m = mini(32);
+        let mut cfg = SimConfig::paper(3);
+        cfg.result = ResultPropagation::Naive;
+        let report = run_sim(&m.tree, Some(&m.plans), &cfg);
+        let (dstore, _) = dynamic_eval(&m.tree).unwrap();
+        let want = dstore
+            .get(m.tree.root(), m.code)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        assert!(root_code(&report, m.code).content_eq(&want));
+    }
+
+    #[test]
+    fn report_exposes_trace_and_decomposition() {
+        let m = mini(64);
+        let report = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(3));
+        assert_eq!(report.regions, 3);
+        let gantt = report.render_gantt(72);
+        assert!(gantt.contains("evaluator-a"));
+        assert!(gantt.contains("legend"));
+        assert!(report.decomposition.contains("regions"));
+        assert!(report.stats.total_applied() > 0);
+        // Most work is static in combined mode (§4.1).
+        assert!(report.stats.dynamic_fraction() < 0.5);
+    }
+
+    #[test]
+    fn determinism_of_the_full_pipeline() {
+        let m = mini(49);
+        let a = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(3)).eval_time;
+        let b = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(3)).eval_time;
+        assert_eq!(a, b);
+    }
+}

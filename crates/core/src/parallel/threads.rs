@@ -1,0 +1,352 @@
+//! The parallel compiler on real OS threads.
+//!
+//! Same protocol as [`crate::parallel::sim`] — one machine per region,
+//! attribute values crossing region boundaries as messages, optional
+//! string-librarian result propagation — but executed on host threads
+//! with crossbeam channels and measured in wall-clock time. Sends are
+//! forwarded after every scheduler step (not when a machine runs dry),
+//! so the symbol-table chain pipelines across machines exactly as on
+//! the simulated network.
+//!
+//! Wall-clock speedup naturally requires a multi-core host; on a
+//! single-core machine this runtime still produces identical results
+//! (the equivalence tests run it everywhere) but measures scheduling
+//! overhead rather than parallelism.
+
+use crate::analysis::Plans;
+use crate::eval::{EvalError, Machine, MachineMode, SendTarget};
+use crate::grammar::{AttrId, AttrKind};
+use crate::split::{decompose, RegionId, SplitConfig};
+use crate::stats::EvalStats;
+use crate::tree::{AttrStore, NodeId, ParseTree};
+use crate::value::AttrValue;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use paragram_rope::{Rope, SegmentId, SegmentStore};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::ResultPropagation;
+
+/// Configuration for [`run_threads`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadConfig {
+    /// Number of evaluator threads (split target).
+    pub machines: usize,
+    /// Combined or purely dynamic machines.
+    pub mode: MachineMode,
+    /// Result propagation strategy.
+    pub result: ResultPropagation,
+    /// Split-granularity scale.
+    pub min_size_scale: f64,
+}
+
+impl ThreadConfig {
+    /// Combined evaluation on `n` threads with librarian propagation.
+    pub fn combined(n: usize) -> Self {
+        ThreadConfig {
+            machines: n,
+            mode: MachineMode::Combined,
+            result: ResultPropagation::Librarian,
+            min_size_scale: 1.0,
+        }
+    }
+}
+
+/// Result of a threaded parallel evaluation.
+pub struct ThreadReport<V: AttrValue> {
+    /// Root attribute values, librarian-resolved.
+    pub root_values: Vec<(AttrId, V)>,
+    /// Merged attribute store (boundary-crossing string values may
+    /// contain segment references; resolve against `segments`).
+    pub store: AttrStore<V>,
+    /// The librarian's segment store.
+    pub segments: SegmentStore,
+    /// Aggregated statistics.
+    pub stats: EvalStats,
+    /// Wall-clock evaluation time (excludes decomposition).
+    pub elapsed: Duration,
+    /// Number of regions actually used.
+    pub regions: usize,
+}
+
+enum Msg<V> {
+    Attr {
+        node: NodeId,
+        attr: AttrId,
+        value: V,
+    },
+}
+
+enum LibMsg<V> {
+    Segment { id: SegmentId, text: Rope },
+    Resolve,
+    /// Root attribute forwarded for final resolution.
+    _Marker(std::marker::PhantomData<V>),
+}
+
+/// Evaluates `tree` in parallel on real threads.
+///
+/// # Errors
+///
+/// Returns the first [`EvalError`] raised by any machine.
+pub fn run_threads<V: AttrValue>(
+    tree: &Arc<ParseTree<V>>,
+    plans: Option<&Arc<Plans>>,
+    config: ThreadConfig,
+) -> Result<ThreadReport<V>, EvalError> {
+    let decomp = Arc::new(decompose(
+        tree,
+        SplitConfig {
+            target_regions: config.machines,
+            min_size_scale: config.min_size_scale,
+        },
+    ));
+    let regions = decomp.len();
+    let g = tree.grammar();
+    let root_sym = g.prod(tree.node(tree.root()).prod).lhs;
+    let expected_roots = g.symbol(root_sym).attrs_of_kind(AttrKind::Syn).count();
+
+    // Channels: one per machine, one for the parser, one for the
+    // librarian.
+    let mut machine_tx: Vec<Sender<Msg<V>>> = Vec::with_capacity(regions);
+    let mut machine_rx: Vec<Option<Receiver<Msg<V>>>> = Vec::with_capacity(regions);
+    for _ in 0..regions {
+        let (tx, rx) = unbounded();
+        machine_tx.push(tx);
+        machine_rx.push(Some(rx));
+    }
+    let (parser_tx, parser_rx) = unbounded::<Msg<V>>();
+    let (lib_tx, lib_rx) = unbounded::<LibMsg<V>>();
+    let (lib_reply_tx, lib_reply_rx) = unbounded::<SegmentStore>();
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(regions);
+    for r in 0..regions as RegionId {
+        let tree = Arc::clone(tree);
+        let plans = plans.cloned();
+        let decomp = Arc::clone(&decomp);
+        let rx = machine_rx[r as usize].take().expect("receiver unclaimed");
+        let machine_tx = machine_tx.clone();
+        let parser_tx = parser_tx.clone();
+        let lib_tx = lib_tx.clone();
+        let mode = config.mode;
+        let result = config.result;
+        handles.push(std::thread::spawn(
+            move || -> Result<(EvalStats, AttrStore<V>), EvalError> {
+                let mut machine =
+                    Machine::new(&tree, plans.as_ref(), &decomp, r, mode);
+                let parent = decomp.regions[r as usize].parent;
+                let mut next_seg = 0u32;
+                let route = |send: crate::eval::AttrMsg<V>, next_seg: &mut u32| {
+                    let upward = match send.to {
+                        SendTarget::Parser => true,
+                        SendTarget::Region(q) => Some(q) == parent,
+                    };
+                    let mut value = send.value;
+                    if upward && result == ResultPropagation::Librarian {
+                        let deflated = value.deflate(&mut |text: Rope| {
+                            let id = SegmentId::from_parts(r, *next_seg);
+                            *next_seg += 1;
+                            lib_tx
+                                .send(LibMsg::Segment { id, text })
+                                .expect("librarian alive");
+                            id
+                        });
+                        if let Some(d) = deflated {
+                            value = d;
+                        }
+                    }
+                    let msg = Msg::Attr {
+                        node: send.node,
+                        attr: send.attr,
+                        value,
+                    };
+                    match send.to {
+                        SendTarget::Parser => parser_tx.send(msg).expect("parser alive"),
+                        SendTarget::Region(q) => machine_tx[q as usize]
+                            .send(msg)
+                            .expect("machine alive"),
+                    }
+                };
+                loop {
+                    match machine.step()? {
+                        Some(outcome) => {
+                            // Forward sends *immediately*: peers block on
+                            // these values, and batching them until this
+                            // machine runs dry would serialize the whole
+                            // pipeline (the priority lane already orders
+                            // the urgent work first).
+                            for send in outcome.sends {
+                                route(send, &mut next_seg);
+                            }
+                        }
+                        None => {
+                            if machine.is_done() {
+                                break;
+                            }
+                            let Msg::Attr { node, attr, value } =
+                                rx.recv().expect("peers alive while we are blocked");
+                            machine.provide(node, attr, value);
+                            // Opportunistically drain anything else queued.
+                            while let Ok(Msg::Attr { node, attr, value }) = rx.try_recv() {
+                                machine.provide(node, attr, value);
+                            }
+                        }
+                    }
+                }
+                Ok((machine.stats(), machine.into_store()))
+            },
+        ));
+    }
+
+    // Librarian thread.
+    let librarian = std::thread::spawn(move || {
+        let mut store = SegmentStore::new();
+        while let Ok(msg) = lib_rx.recv() {
+            match msg {
+                LibMsg::Segment { id, text } => store.register(id, text),
+                LibMsg::Resolve => {
+                    lib_reply_tx.send(store).expect("parser alive");
+                    return;
+                }
+                LibMsg::_Marker(_) => {}
+            }
+        }
+    });
+
+    // Parser role: collect root attributes.
+    let mut raw_roots: Vec<(AttrId, V)> = Vec::with_capacity(expected_roots);
+    while raw_roots.len() < expected_roots {
+        let Msg::Attr { attr, value, .. } =
+            parser_rx.recv().expect("machines alive until roots arrive");
+        raw_roots.push((attr, value));
+    }
+    lib_tx.send(LibMsg::Resolve).expect("librarian alive");
+    let segments = lib_reply_rx.recv().expect("librarian replies");
+    let root_values: Vec<(AttrId, V)> = raw_roots
+        .iter()
+        .map(|(a, v)| (*a, v.inflate(&segments)))
+        .collect();
+    let elapsed = start.elapsed();
+    librarian.join().expect("librarian thread clean");
+
+    let mut stats = EvalStats::default();
+    let mut merged: Option<AttrStore<V>> = None;
+    for h in handles {
+        let (s, store) = h.join().expect("machine thread clean")?;
+        stats += s;
+        merged = Some(match merged {
+            None => store,
+            Some(mut acc) => {
+                acc.absorb(store);
+                acc
+            }
+        });
+    }
+
+    Ok(ThreadReport {
+        root_values,
+        store: merged.expect("at least one region"),
+        segments,
+        stats,
+        elapsed,
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::compute_plans;
+    use crate::eval::dynamic_eval;
+    use crate::grammar::GrammarBuilder;
+    use crate::tree::TreeBuilder;
+    use crate::value::Value;
+
+    fn fixture(n: usize) -> (Arc<ParseTree<Value>>, Arc<Plans>, AttrId) {
+        let mut g = GrammarBuilder::<Value>::new();
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("stmts");
+        let out = g.synthesized(s, "code");
+        let decls = g.synthesized(l, "decls");
+        let env = g.inherited(l, "env");
+        let code = g.synthesized(l, "code");
+        g.mark_split(l, 4);
+        let top = g.production("top", s, [l]);
+        g.rule(top, (1, env), [(1, decls)], |a| a[0].clone());
+        g.rule(top, (0, out), [(1, code)], |a| a[0].clone());
+        let cons = g.production("cons", l, [l]);
+        g.rule(cons, (0, decls), [(1, decls)], |a| {
+            Value::Int(a[0].as_int().unwrap() + 1)
+        });
+        g.rule(cons, (1, env), [(0, env)], |a| a[0].clone());
+        g.rule(cons, (0, code), [(1, code), (0, env)], |a| {
+            let line = format!("op {}\n", a[1].as_int().unwrap());
+            Value::Rope(Rope::from(line).concat(a[0].as_rope().unwrap()))
+        });
+        let nil = g.production("nil", l, []);
+        g.rule(nil, (0, decls), [], |_| Value::Int(0));
+        g.rule(nil, (0, code), [], |_| Value::Rope(Rope::new()));
+        let grammar = Arc::new(g.build(s).unwrap());
+        let plans = Arc::new(compute_plans(&grammar).unwrap());
+        let mut tb = TreeBuilder::new(&grammar);
+        let mut tail = tb.leaf(nil);
+        for _ in 0..n {
+            tail = tb.node(cons, [tail]);
+        }
+        let root = tb.node(top, [tail]);
+        (Arc::new(tb.finish(root).unwrap()), plans, out)
+    }
+
+    #[test]
+    fn threads_match_sequential_result() {
+        let (tree, plans, out) = fixture(64);
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        let want = dstore
+            .get(tree.root(), out)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        for n in [1, 2, 4] {
+            let report =
+                run_threads(&tree, Some(&plans), ThreadConfig::combined(n)).unwrap();
+            let got = report
+                .root_values
+                .iter()
+                .find(|(a, _)| *a == out)
+                .and_then(|(_, v)| v.as_rope().cloned())
+                .unwrap();
+            assert!(got.content_eq(&want), "n={n}");
+            assert!(report.stats.total_applied() > 0);
+        }
+    }
+
+    #[test]
+    fn threads_work_in_dynamic_mode_and_naive_propagation() {
+        let (tree, plans, out) = fixture(48);
+        let config = ThreadConfig {
+            machines: 3,
+            mode: MachineMode::Dynamic,
+            result: ResultPropagation::Naive,
+            min_size_scale: 1.0,
+        };
+        let report = run_threads(&tree, Some(&plans), config).unwrap();
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        let want = dstore.get(tree.root(), out).unwrap();
+        let got = &report
+            .root_values
+            .iter()
+            .find(|(a, _)| *a == out)
+            .unwrap()
+            .1;
+        assert_eq!(got, want);
+        assert_eq!(report.stats.static_applied, 0);
+    }
+
+    #[test]
+    fn merged_store_covers_all_instances() {
+        let (tree, plans, _) = fixture(32);
+        let report =
+            run_threads(&tree, Some(&plans), ThreadConfig::combined(3)).unwrap();
+        assert_eq!(report.store.filled(), report.store.len());
+    }
+}

@@ -1,0 +1,413 @@
+//! Parse-tree decomposition for parallel evaluation (§2.1, §2.5, Fig 7).
+//!
+//! The (sequential) parser divides the syntax tree into subtrees and
+//! ships them to the attribute evaluators. Splits may only happen at
+//! nonterminals the grammar marked `%split`, and only for subtrees at
+//! least as large as the declared minimum size — scaled by a runtime
+//! argument "to allow for easy experimentation with decompositions with
+//! different granularities".
+//!
+//! [`decompose`] targets a region count (one region per machine) and
+//! greedily splits the largest region at the candidate that yields the
+//! most even partition, reproducing the balanced five-way decomposition
+//! of the paper's Figure 7 (and the *uneven* six-way decomposition that
+//! makes the paper's running time non-monotonic in machine count).
+
+use crate::grammar::SymbolId;
+use crate::tree::{NodeId, ParseTree};
+use crate::value::AttrValue;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a region (one per evaluator machine).
+pub type RegionId = u32;
+
+/// One region of a decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Root node of the region (the whole tree's root for region 0).
+    pub root: NodeId,
+    /// Region owning the root's parent (`None` for region 0).
+    pub parent: Option<RegionId>,
+    /// Number of nodes owned by the region (excluding nested regions).
+    pub local_size: usize,
+}
+
+/// A partition of a tree's nodes into regions.
+pub struct Decomposition {
+    /// Region of each node, indexed by [`NodeId`].
+    pub region_of: Vec<RegionId>,
+    /// Region metadata, indexed by [`RegionId`].
+    pub regions: Vec<RegionInfo>,
+}
+
+impl Decomposition {
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// `true` if the tree was not split at all.
+    pub fn is_empty(&self) -> bool {
+        self.regions.len() <= 1
+    }
+
+    /// Region owning a node.
+    pub fn region(&self, n: NodeId) -> RegionId {
+        self.region_of[n.idx()]
+    }
+
+    /// The trivial decomposition: everything in region 0.
+    pub fn whole<V: AttrValue>(tree: &ParseTree<V>) -> Self {
+        Decomposition {
+            region_of: vec![0; tree.len()],
+            regions: vec![RegionInfo {
+                root: tree.root(),
+                parent: None,
+                local_size: tree.len(),
+            }],
+        }
+    }
+
+    /// Renders the decomposition in the style of the paper's Figure 7:
+    /// one line per region with its letter, root symbol, and size.
+    pub fn render<V: AttrValue>(&self, tree: &ParseTree<V>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "decomposition: {} regions over {} nodes",
+            self.regions.len(),
+            tree.len()
+        );
+        for (i, r) in self.regions.iter().enumerate() {
+            let letter = (b'a' + (i % 26) as u8) as char;
+            let sym = tree.grammar().prod(tree.node(r.root).prod).lhs;
+            let name = &tree.grammar().symbol(sym).name;
+            let parent = match r.parent {
+                None => "-".to_string(),
+                Some(p) => format!("{}", (b'a' + (p % 26) as u8) as char),
+            };
+            let _ = writeln!(
+                out,
+                "  {letter}: root={name:<24} nodes={:<7} parent={parent}",
+                r.local_size
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Decomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Decomposition({} regions)", self.regions.len())
+    }
+}
+
+/// Configuration for [`decompose`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Desired number of regions (= machines). 1 means no splitting.
+    pub target_regions: usize,
+    /// Multiplier applied to every symbol's declared minimum split size
+    /// (the paper's runtime granularity argument).
+    pub min_size_scale: f64,
+}
+
+impl SplitConfig {
+    /// One region per machine with the grammar's declared minimum sizes.
+    pub fn machines(n: usize) -> Self {
+        SplitConfig {
+            target_regions: n,
+            min_size_scale: 1.0,
+        }
+    }
+}
+
+/// Splits `tree` into at most `config.target_regions` regions at
+/// `%split` nonterminals.
+///
+/// The decomposition aims at one *quantum* — `tree.len() / target` —
+/// of work per machine: while below the target region count, carve out
+/// of the largest region the eligible subtree whose local size is
+/// closest to the quantum. On the paper's workload this yields the
+/// "subtrees of about equal size" the authors observed for five
+/// machines. Returns fewer regions than requested when not enough
+/// eligible split points exist.
+pub fn decompose<V: AttrValue>(tree: &Arc<ParseTree<V>>, config: SplitConfig) -> Decomposition {
+    let g = tree.grammar();
+    let mut d = Decomposition::whole(tree);
+    if config.target_regions <= 1 {
+        return d;
+    }
+    let quantum = (tree.len() / config.target_regions).max(2);
+
+    // Candidate split points: nodes at %split symbols meeting the scaled
+    // minimum size, excluding the tree root.
+    let candidates: Vec<(NodeId, SymbolId)> = tree
+        .node_ids()
+        .filter(|&n| n != tree.root())
+        .filter_map(|n| {
+            let sym = g.prod(tree.node(n).prod).lhs;
+            let spec = g.symbol(sym).split?;
+            let min = (spec.min_size as f64 * config.min_size_scale) as usize;
+            (tree.subtree_size(n) >= min.max(2)).then_some((n, sym))
+        })
+        .collect();
+
+    // Preorder intervals let us compute a candidate's *local* subtree
+    // size in O(#regions) instead of walking the subtree. A region root
+    // is *maximal within region R* when its parent node lies in R; such
+    // subtrees are pairwise disjoint and contain no R nodes, so
+    //   local(n) = subtree_size(n) − Σ subtree_size(root)
+    // over maximal-in-R region roots under n.
+    let mut pre_in = vec![0u32; tree.len()];
+    for (i, n) in tree.subtree(tree.root()).enumerate() {
+        pre_in[n.idx()] = i as u32;
+    }
+    let under = |anc: NodeId, desc: NodeId| {
+        let a = pre_in[anc.idx()] as usize;
+        let di = pre_in[desc.idx()] as usize;
+        di > a && di < a + tree.subtree_size(anc)
+    };
+    let local_size = |d: &Decomposition, n: NodeId| -> usize {
+        let r = d.region(n);
+        let mut size = tree.subtree_size(n);
+        for info in d.regions.iter().skip(1) {
+            let (pnode, _) = tree
+                .node(info.root)
+                .parent
+                .expect("carved region roots are not the tree root");
+            if d.region(pnode) == r && under(n, info.root) {
+                size -= tree.subtree_size(info.root);
+            }
+        }
+        size
+    };
+
+    while d.regions.len() < config.target_regions {
+        // Find the region with most local nodes.
+        let (big, big_size) = match d
+            .regions
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.local_size)
+        {
+            Some((i, r)) => (i as RegionId, r.local_size),
+            None => break,
+        };
+        // Best candidate inside `big`: local subtree size closest to
+        // the quantum, leaving at least 2 nodes on both sides.
+        let mut best: Option<(NodeId, usize)> = None;
+        for &(n, _) in &candidates {
+            if d.region(n) != big || n == d.regions[big as usize].root {
+                continue;
+            }
+            // Already a region root?
+            if d.regions.iter().any(|r| r.root == n) {
+                continue;
+            }
+            let local = local_size(&d, n);
+            if local < 2 || big_size - local < 2 {
+                continue;
+            }
+            let score = local.abs_diff(quantum);
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((n, score));
+            }
+        }
+        let Some((node, _)) = best else { break };
+        split_off(tree, &mut d, node);
+    }
+    // A later split may carve out a subtree containing an earlier
+    // region's root-parent; recompute parent links from the final map.
+    for i in 1..d.regions.len() {
+        let root = d.regions[i].root;
+        let (p, _) = tree.node(root).parent.expect("non-root region root has a parent");
+        d.regions[i].parent = Some(d.region_of[p.idx()]);
+    }
+    d
+}
+
+/// Carves the local subtree of `node` out of its current region into a
+/// new one.
+fn split_off<V: AttrValue>(tree: &Arc<ParseTree<V>>, d: &mut Decomposition, node: NodeId) {
+    let old = d.region(node);
+    let new = d.regions.len() as RegionId;
+    let mut moved = 0usize;
+    let mut stack = vec![node];
+    while let Some(x) = stack.pop() {
+        if d.region(x) != old {
+            continue;
+        }
+        d.region_of[x.idx()] = new;
+        moved += 1;
+        for c in &tree.node(x).children {
+            if let crate::tree::Child::Node(c) = c {
+                stack.push(*c);
+            }
+        }
+    }
+    d.regions[old as usize].local_size -= moved;
+    d.regions.push(RegionInfo {
+        root: node,
+        parent: Some(old),
+        local_size: moved,
+    });
+}
+
+/// The boundary children of a region: in-region parents paired with
+/// child nodes owned by other regions (the "remotely evaluated leaves"
+/// of §2.4).
+pub fn boundary_children<V: AttrValue>(
+    tree: &ParseTree<V>,
+    d: &Decomposition,
+    region: RegionId,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    let root = d.regions[region as usize].root;
+    let mut stack = vec![root];
+    while let Some(x) = stack.pop() {
+        for c in &tree.node(x).children {
+            if let crate::tree::Child::Node(c) = c {
+                if d.region(*c) == region {
+                    stack.push(*c);
+                } else {
+                    out.push((x, *c));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+    use crate::tree::TreeBuilder;
+    use crate::ProdId;
+
+    /// Builds a grammar with splittable `list` nodes and a chain/comb
+    /// tree: root -> list of `n` items, each item a small subtree.
+    fn comb(n: usize, item_depth: usize) -> (Arc<ParseTree<i64>>, ProdId) {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let list = g.nonterminal("list");
+        let item = g.nonterminal("item");
+        let sv = g.synthesized(s, "v");
+        let lv = g.synthesized(list, "v");
+        let iv = g.synthesized(item, "v");
+        g.mark_split(list, 4);
+        let top = g.production("top", s, [list]);
+        g.rule(top, (0, sv), [(1, lv)], |a| a[0]);
+        let cons = g.production("cons", list, [item, list]);
+        g.rule(cons, (0, lv), [(1, iv), (2, lv)], |a| a[0] + a[1]);
+        let nil = g.production("nil", list, []);
+        g.rule(nil, (0, lv), [], |_| 0);
+        let wrap = g.production("wrap", item, [item]);
+        g.rule(wrap, (0, iv), [(1, iv)], |a| a[0]);
+        let unit = g.production("unit", item, []);
+        g.rule(unit, (0, iv), [], |_| 1);
+        let gr = Arc::new(g.build(s).unwrap());
+
+        let mut tb = TreeBuilder::new(&gr);
+        let mut tail = tb.leaf(nil);
+        for _ in 0..n {
+            let mut it = tb.leaf(unit);
+            for _ in 0..item_depth {
+                it = tb.node(wrap, [it]);
+            }
+            tail = tb.node(cons, [it, tail]);
+        }
+        let root = tb.node(top, [tail]);
+        (Arc::new(tb.finish(root).unwrap()), top)
+    }
+
+    #[test]
+    fn whole_decomposition_is_one_region() {
+        let (tree, _) = comb(4, 1);
+        let d = Decomposition::whole(&tree);
+        assert_eq!(d.len(), 1);
+        assert!(d.is_empty());
+        assert!(tree.node_ids().all(|n| d.region(n) == 0));
+    }
+
+    #[test]
+    fn decompose_reaches_target_when_possible() {
+        let (tree, _) = comb(32, 3);
+        for k in 2..=5 {
+            let d = decompose(&tree, SplitConfig::machines(k));
+            assert_eq!(d.len(), k, "k={k}");
+            // Every node accounted for, regions partition the tree.
+            let total: usize = d.regions.iter().map(|r| r.local_size).sum();
+            assert_eq!(total, tree.len());
+            // Region 0 owns the tree root.
+            assert_eq!(d.regions[0].root, tree.root());
+            assert_eq!(d.region(tree.root()), 0);
+        }
+    }
+
+    #[test]
+    fn regions_are_reasonably_balanced() {
+        let (tree, _) = comb(64, 4);
+        let d = decompose(&tree, SplitConfig::machines(4));
+        assert_eq!(d.len(), 4);
+        let sizes: Vec<usize> = d.regions.iter().map(|r| r.local_size).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(
+            max <= min * 4,
+            "decomposition too uneven: {sizes:?} (tree {} nodes)",
+            tree.len()
+        );
+    }
+
+    #[test]
+    fn min_size_scale_suppresses_splits() {
+        let (tree, _) = comb(8, 1);
+        let d = decompose(
+            &tree,
+            SplitConfig {
+                target_regions: 4,
+                min_size_scale: 1e6,
+            },
+        );
+        assert_eq!(d.len(), 1, "nothing is large enough to split");
+    }
+
+    #[test]
+    fn boundary_children_cross_regions() {
+        let (tree, _) = comb(32, 3);
+        let d = decompose(&tree, SplitConfig::machines(3));
+        let b0 = boundary_children(&tree, &d, 0);
+        assert!(!b0.is_empty());
+        for (p, c) in b0 {
+            assert_eq!(d.region(p), 0);
+            assert_ne!(d.region(c), 0);
+            // The boundary child is a region root.
+            assert!(d.regions.iter().any(|r| r.root == c));
+        }
+    }
+
+    #[test]
+    fn parent_links_are_consistent() {
+        let (tree, _) = comb(48, 2);
+        let d = decompose(&tree, SplitConfig::machines(5));
+        for (i, r) in d.regions.iter().enumerate().skip(1) {
+            let parent = r.parent.expect("non-root regions have parents");
+            let (pnode, _) = tree.node(r.root).parent.expect("region root has a parent node");
+            assert_eq!(d.region(pnode), parent, "region {i}");
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_region() {
+        let (tree, _) = comb(32, 3);
+        let d = decompose(&tree, SplitConfig::machines(3));
+        let s = d.render(&tree);
+        assert!(s.contains("a: root="));
+        assert!(s.contains("b: root="));
+        assert!(s.contains("c: root="));
+    }
+}

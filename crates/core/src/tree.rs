@@ -1,0 +1,704 @@
+//! Arena-allocated parse trees and attribute storage.
+//!
+//! Nodes live in a `Vec` and are addressed by [`NodeId`]; this mirrors the
+//! paper's "extremely fast storage allocation ... no provision for reusing
+//! memory" (§4.3) and sidesteps shared-ownership graph problems — the tree
+//! is immutable after construction and freely shared across evaluator
+//! threads.
+//!
+//! Attribute *instances* (one per attribute of each node's symbol) are
+//! stored out-of-line in an [`AttrStore`], so several evaluations of the
+//! same tree can proceed independently.
+
+use crate::grammar::{AttrId, AttrKind, Grammar, ProdId};
+use crate::value::AttrValue;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a node within its [`ParseTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A child position of a node: either a nested nonterminal node or the
+/// attribute values of a terminal token (predefined by the scanner, as in
+/// Knuth's extension used by the paper).
+#[derive(Debug, Clone)]
+pub enum Child<V> {
+    /// Nonterminal child.
+    Node(NodeId),
+    /// Terminal occurrence with its lexical attribute values (indexed by
+    /// the terminal symbol's [`AttrId`]s).
+    Token(Arc<[V]>),
+}
+
+/// A parse-tree node: an instance of a production.
+#[derive(Debug, Clone)]
+pub struct Node<V> {
+    /// The production this node instantiates.
+    pub prod: ProdId,
+    /// Children, aligned with the production's RHS occurrences.
+    pub children: Vec<Child<V>>,
+    /// Parent node and this node's occurrence index there (1-based, as in
+    /// [`crate::grammar::OccRef`]); `None` at the root.
+    pub parent: Option<(NodeId, usize)>,
+}
+
+/// An immutable parse tree over a shared [`Grammar`].
+pub struct ParseTree<V> {
+    grammar: Arc<Grammar<V>>,
+    nodes: Vec<Node<V>>,
+    root: NodeId,
+    subtree_size: Vec<u32>,
+}
+
+impl<V: AttrValue> ParseTree<V> {
+    /// The grammar this tree conforms to.
+    pub fn grammar(&self) -> &Arc<Grammar<V>> {
+        &self.grammar
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> &Node<V> {
+        &self.nodes[id.idx()]
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree has no nodes (never produced by the builder,
+    /// which requires a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.subtree_size[id.idx()] as usize
+    }
+
+    /// The nonterminal child at RHS occurrence `occ` (1-based), if it is
+    /// a node.
+    pub fn child_node(&self, id: NodeId, occ: usize) -> Option<NodeId> {
+        match self.node(id).children.get(occ - 1)? {
+            Child::Node(c) => Some(*c),
+            Child::Token(_) => None,
+        }
+    }
+
+    /// Iterates over the subtree rooted at `id` in preorder.
+    pub fn subtree(&self, id: NodeId) -> SubtreeIter<'_, V> {
+        SubtreeIter {
+            tree: self,
+            stack: vec![id],
+        }
+    }
+
+    /// All node ids in arena order (not tree order).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth of the tree (root = 1).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        // Parents precede children in preorder; compute iteratively over
+        // the preorder to avoid recursion on deep trees.
+        for id in self.subtree(self.root) {
+            let d = match self.node(id).parent {
+                None => 1,
+                Some((p, _)) => depth[p.idx()] + 1,
+            };
+            depth[id.idx()] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Approximate linearized size in bytes of the subtree at `id` — the
+    /// cost of shipping the subtree to a remote evaluator (production id +
+    /// child arity per node plus token payloads).
+    pub fn subtree_wire_size(&self, id: NodeId) -> usize {
+        let mut bytes = 0;
+        for n in self.subtree(id) {
+            bytes += 8;
+            for c in &self.node(n).children {
+                if let Child::Token(vals) = c {
+                    bytes += vals.iter().map(|v| v.wire_size()).sum::<usize>();
+                }
+            }
+        }
+        bytes
+    }
+}
+
+impl<V: AttrValue> fmt::Debug for ParseTree<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ParseTree({} nodes, root {:?})",
+            self.nodes.len(),
+            self.root
+        )
+    }
+}
+
+/// Preorder iterator over a subtree.
+pub struct SubtreeIter<'a, V> {
+    tree: &'a ParseTree<V>,
+    stack: Vec<NodeId>,
+}
+
+impl<'a, V: AttrValue> Iterator for SubtreeIter<'a, V> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let node = &self.tree.nodes[id.idx()];
+        // Push children in reverse so they pop in order.
+        for c in node.children.iter().rev() {
+            if let Child::Node(n) = c {
+                self.stack.push(*n);
+            }
+        }
+        Some(id)
+    }
+}
+
+/// A child specification handed to [`TreeBuilder::node`].
+#[derive(Debug)]
+pub enum ChildSpec<V> {
+    /// A previously built node.
+    Built(BuiltNode),
+    /// A terminal token with its lexical attribute values.
+    Token(Arc<[V]>),
+}
+
+/// Opaque handle to a node under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuiltNode(NodeId);
+
+impl<V> From<BuiltNode> for ChildSpec<V> {
+    fn from(b: BuiltNode) -> Self {
+        ChildSpec::Built(b)
+    }
+}
+
+/// Creates a token child with the given lexical values.
+pub fn token<V>(values: impl Into<Arc<[V]>>) -> ChildSpec<V> {
+    ChildSpec::Token(values.into())
+}
+
+/// Errors detected while building a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Wrong number of children for the production.
+    Arity {
+        /// Production name.
+        prod: String,
+        /// Expected RHS length.
+        expected: usize,
+        /// Provided child count.
+        got: usize,
+    },
+    /// A child's symbol does not match the production's RHS.
+    SymbolMismatch {
+        /// Production name.
+        prod: String,
+        /// Occurrence index (1-based).
+        occ: usize,
+    },
+    /// A token's value count does not match the terminal's attributes.
+    TokenArity {
+        /// Production name.
+        prod: String,
+        /// Occurrence index (1-based).
+        occ: usize,
+    },
+    /// A built node was used as a child twice.
+    Reused(NodeId),
+    /// `finish` called with nodes left dangling (not reachable from the
+    /// root).
+    Dangling {
+        /// Number of unreachable nodes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Arity {
+                prod,
+                expected,
+                got,
+            } => write!(f, "production {prod:?} takes {expected} children, got {got}"),
+            TreeError::SymbolMismatch { prod, occ } => {
+                write!(f, "child {occ} of {prod:?} has the wrong symbol")
+            }
+            TreeError::TokenArity { prod, occ } => {
+                write!(f, "token at occurrence {occ} of {prod:?} has the wrong number of lexical values")
+            }
+            TreeError::Reused(id) => write!(f, "node {id:?} used as a child more than once"),
+            TreeError::Dangling { count } => {
+                write!(f, "{count} built nodes are not reachable from the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Builds [`ParseTree`]s bottom-up (the natural order for an LR parser).
+pub struct TreeBuilder<V> {
+    grammar: Arc<Grammar<V>>,
+    nodes: Vec<Node<V>>,
+    used: Vec<bool>,
+    error: Option<TreeError>,
+}
+
+impl<V: AttrValue> TreeBuilder<V> {
+    /// Starts building a tree over `grammar`.
+    pub fn new(grammar: &Arc<Grammar<V>>) -> Self {
+        TreeBuilder {
+            grammar: Arc::clone(grammar),
+            nodes: Vec::new(),
+            used: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Builds a node for a production whose RHS is all nonterminals.
+    /// Errors are deferred to [`TreeBuilder::finish`].
+    pub fn node(&mut self, prod: ProdId, children: impl IntoIterator<Item = BuiltNode>) -> BuiltNode {
+        self.node_full(
+            prod,
+            children.into_iter().map(ChildSpec::from).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Builds a leaf node (nullary production).
+    pub fn leaf(&mut self, prod: ProdId) -> BuiltNode {
+        self.node_full(prod, Vec::new())
+    }
+
+    /// Builds a node with explicit child specifications (nodes and
+    /// tokens). Errors are recorded and reported by
+    /// [`TreeBuilder::finish`].
+    pub fn node_full(&mut self, prod: ProdId, children: Vec<ChildSpec<V>>) -> BuiltNode {
+        let id = NodeId(self.nodes.len() as u32);
+        let grammar = Arc::clone(&self.grammar);
+        let p = grammar.prod(prod);
+        if children.len() != p.rhs.len() {
+            self.record(TreeError::Arity {
+                prod: p.name.clone(),
+                expected: p.rhs.len(),
+                got: children.len(),
+            });
+        }
+        let mut kids = Vec::with_capacity(children.len());
+        for (i, spec) in children.into_iter().enumerate() {
+            let expected = p.rhs.get(i).copied();
+            match spec {
+                ChildSpec::Built(BuiltNode(cid)) => {
+                    if let Some(exp) = expected {
+                        let child_sym = self.grammar.prod(self.nodes[cid.idx()].prod).lhs;
+                        if child_sym != exp {
+                            self.record(TreeError::SymbolMismatch {
+                                prod: p.name.clone(),
+                                occ: i + 1,
+                            });
+                        }
+                    }
+                    if self.used[cid.idx()] {
+                        self.record(TreeError::Reused(cid));
+                    }
+                    self.used[cid.idx()] = true;
+                    self.nodes[cid.idx()].parent = Some((id, i + 1));
+                    kids.push(Child::Node(cid));
+                }
+                ChildSpec::Token(vals) => {
+                    if let Some(exp) = expected {
+                        let sym = self.grammar.symbol(exp);
+                        if !sym.terminal {
+                            self.record(TreeError::SymbolMismatch {
+                                prod: p.name.clone(),
+                                occ: i + 1,
+                            });
+                        } else if sym.attrs.len() != vals.len() {
+                            self.record(TreeError::TokenArity {
+                                prod: p.name.clone(),
+                                occ: i + 1,
+                            });
+                        }
+                    }
+                    kids.push(Child::Token(vals));
+                }
+            }
+        }
+        self.nodes.push(Node {
+            prod,
+            children: kids,
+            parent: None,
+        });
+        self.used.push(false);
+        BuiltNode(id)
+    }
+
+    fn record(&mut self, e: TreeError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Number of nodes built so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes have been built.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finishes the tree with `root` at the top.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error, or [`TreeError::Dangling`] if
+    /// some built nodes are unreachable from `root`.
+    pub fn finish(mut self, root: BuiltNode) -> Result<ParseTree<V>, TreeError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let BuiltNode(root) = root;
+        // Reachability: every node except the root must have a parent.
+        let dangling = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| NodeId(*i as u32) != root && n.parent.is_none())
+            .count();
+        if dangling > 0 {
+            return Err(TreeError::Dangling { count: dangling });
+        }
+        // Subtree sizes: children have higher arena indices than parents
+        // is NOT guaranteed (bottom-up build means children have *lower*
+        // ids), so accumulate children-first by arena order ascending —
+        // a child's size is final before its parent is processed only if
+        // child id < parent id, which bottom-up construction guarantees.
+        let mut size = vec![1u32; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            let mut s = 1;
+            for c in &self.nodes[i].children {
+                if let Child::Node(cid) = c {
+                    debug_assert!(cid.idx() < i, "bottom-up build order violated");
+                    s += size[cid.idx()];
+                }
+            }
+            size[i] = s;
+        }
+        Ok(ParseTree {
+            grammar: self.grammar,
+            nodes: self.nodes,
+            root,
+            subtree_size: size,
+        })
+    }
+}
+
+/// Attribute-instance storage for one evaluation of a tree.
+///
+/// One slot per (node, attribute-of-node's-LHS-symbol) pair; slots are
+/// write-once (enforced in debug builds — semantic rules are pure and an
+/// instance has exactly one defining rule).
+pub struct AttrStore<V> {
+    base: Vec<u32>,
+    slots: Vec<Option<V>>,
+}
+
+impl<V: AttrValue> AttrStore<V> {
+    /// Creates an empty store sized for `tree`.
+    pub fn new(tree: &ParseTree<V>) -> Self {
+        let mut base = Vec::with_capacity(tree.len());
+        let mut total = 0u32;
+        for id in tree.node_ids() {
+            base.push(total);
+            let sym = tree.grammar().prod(tree.node(id).prod).lhs;
+            total += tree.grammar().attr_count(sym) as u32;
+        }
+        AttrStore {
+            base,
+            slots: vec![None; total as usize],
+        }
+    }
+
+    /// Dense index of an attribute instance.
+    pub fn instance(&self, node: NodeId, attr: AttrId) -> usize {
+        self.base[node.idx()] as usize + attr.0 as usize
+    }
+
+    /// Reads an instance.
+    pub fn get(&self, node: NodeId, attr: AttrId) -> Option<&V> {
+        self.slots[self.instance(node, attr)].as_ref()
+    }
+
+    /// Writes an instance.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the instance was already written (each
+    /// instance has exactly one defining rule).
+    pub fn set(&mut self, node: NodeId, attr: AttrId, value: V) {
+        let idx = self.instance(node, attr);
+        debug_assert!(
+            self.slots[idx].is_none(),
+            "attribute instance ({node:?}, {attr:?}) written twice"
+        );
+        self.slots[idx] = Some(value);
+    }
+
+    /// Reads by dense instance index.
+    pub fn get_by_index(&self, idx: usize) -> Option<&V> {
+        self.slots[idx].as_ref()
+    }
+
+    /// Overwrites an instance (incremental re-evaluation only; ordinary
+    /// evaluation writes each instance exactly once via
+    /// [`AttrStore::set`]).
+    pub fn replace(&mut self, node: NodeId, attr: AttrId, value: V) {
+        let idx = self.instance(node, attr);
+        self.slots[idx] = Some(value);
+    }
+
+    /// Writes by dense instance index.
+    pub fn set_by_index(&mut self, idx: usize, value: V) {
+        debug_assert!(self.slots[idx].is_none());
+        self.slots[idx] = Some(value);
+    }
+
+    /// Total number of instances.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the tree has no attribute instances.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of instances currently filled.
+    pub fn filled(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Merges another store's filled slots into this one (used when
+    /// combining per-machine results; disjoint by construction).
+    pub fn absorb(&mut self, other: AttrStore<V>) {
+        for (i, v) in other.slots.into_iter().enumerate() {
+            if let Some(v) = v {
+                if self.slots[i].is_none() {
+                    self.slots[i] = Some(v);
+                }
+            }
+        }
+    }
+}
+
+impl<V: AttrValue> fmt::Debug for AttrStore<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttrStore({}/{} filled)", self.filled(), self.len())
+    }
+}
+
+/// Looks up the value of an argument occurrence for a rule at `node`:
+/// either an attribute slot or a token's lexical value.
+pub fn occ_value<'a, V: AttrValue>(
+    tree: &'a ParseTree<V>,
+    store: &'a AttrStore<V>,
+    node: NodeId,
+    occ: usize,
+    attr: AttrId,
+) -> Option<&'a V> {
+    if occ == 0 {
+        store.get(node, attr)
+    } else {
+        match &tree.node(node).children[occ - 1] {
+            Child::Node(c) => store.get(*c, attr),
+            Child::Token(vals) => vals.get(attr.0 as usize),
+        }
+    }
+}
+
+/// The (node, attr) pair a target occurrence of a rule at `node` refers
+/// to. Token occurrences are never rule targets (validated by the
+/// grammar builder).
+pub fn occ_slot<V: AttrValue>(
+    tree: &ParseTree<V>,
+    node: NodeId,
+    occ: usize,
+    attr: AttrId,
+) -> (NodeId, AttrId) {
+    if occ == 0 {
+        (node, attr)
+    } else {
+        match &tree.node(node).children[occ - 1] {
+            Child::Node(c) => (*c, attr),
+            Child::Token(_) => unreachable!("rule target cannot be a token occurrence"),
+        }
+    }
+}
+
+/// Kind of an attribute instance's defining site, used by evaluators.
+pub fn attr_kind<V: AttrValue>(g: &Grammar<V>, sym: crate::grammar::SymbolId, attr: AttrId) -> AttrKind {
+    g.symbol(sym).attrs[attr.0 as usize].kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    fn tree_grammar() -> (Arc<Grammar<i64>>, ProdId, ProdId, ProdId, AttrId) {
+        let mut g = GrammarBuilder::<i64>::new();
+        let t = g.nonterminal("T");
+        let num = g.terminal("num");
+        let val = g.synthesized(num, "val");
+        let _ = val;
+        let size = g.synthesized(t, "size");
+        let leaf = g.production("leaf", t, [num]);
+        g.rule(leaf, (0, size), [(1, AttrId(0))], |a| a[0]);
+        let fork = g.production("fork", t, [t, t]);
+        g.rule(fork, (0, size), [(1, size), (2, size)], |a| a[0] + a[1] + 1);
+        let wrap = g.production("wrap", t, [t]);
+        g.rule(wrap, (0, size), [(1, size)], |a| a[0]);
+        (Arc::new(g.build(t).unwrap()), leaf, fork, wrap, size)
+    }
+
+    #[test]
+    fn build_and_inspect_tree() {
+        let (g, leaf, fork, _wrap, _size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let l1 = tb.node_full(leaf, vec![token(vec![5i64])]);
+        let l2 = tb.node_full(leaf, vec![token(vec![7i64])]);
+        let root = tb.node(fork, [l1, l2]);
+        let tree = tb.finish(root).unwrap();
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.subtree_size(tree.root()), 3);
+        assert_eq!(tree.depth(), 2);
+        let order: Vec<NodeId> = tree.subtree(tree.root()).collect();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], tree.root());
+        // Parent links.
+        let c1 = tree.child_node(tree.root(), 1).unwrap();
+        assert_eq!(tree.node(c1).parent, Some((tree.root(), 1)));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let (g, _leaf, fork, _wrap, _size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let only = tb.node_full(fork, vec![]);
+        assert!(matches!(tb.finish(only), Err(TreeError::Arity { .. })));
+    }
+
+    #[test]
+    fn token_arity_mismatch_reported() {
+        let (g, leaf, _fork, _wrap, _size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let bad = tb.node_full(leaf, vec![token(Vec::<i64>::new())]);
+        assert!(matches!(
+            tb.finish(bad),
+            Err(TreeError::TokenArity { .. })
+        ));
+    }
+
+    #[test]
+    fn reuse_reported() {
+        let (g, leaf, fork, _wrap, _size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let l = tb.node_full(leaf, vec![token(vec![1i64])]);
+        let root = tb.node(fork, [l, l]);
+        assert!(matches!(tb.finish(root), Err(TreeError::Reused(_))));
+    }
+
+    #[test]
+    fn dangling_reported() {
+        let (g, leaf, _fork, _wrap, _size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let a = tb.node_full(leaf, vec![token(vec![1i64])]);
+        let _b = tb.node_full(leaf, vec![token(vec![2i64])]);
+        assert!(matches!(
+            tb.finish(a),
+            Err(TreeError::Dangling { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn attr_store_read_write() {
+        let (g, leaf, fork, _wrap, size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let l1 = tb.node_full(leaf, vec![token(vec![5i64])]);
+        let l2 = tb.node_full(leaf, vec![token(vec![7i64])]);
+        let root = tb.node(fork, [l1, l2]);
+        let tree = tb.finish(root).unwrap();
+        let mut store = AttrStore::new(&tree);
+        assert_eq!(store.len(), 3); // one `size` instance per node
+        assert_eq!(store.filled(), 0);
+        store.set(tree.root(), size, 42);
+        assert_eq!(store.get(tree.root(), size), Some(&42));
+        assert_eq!(store.filled(), 1);
+    }
+
+    #[test]
+    fn occ_value_reads_tokens() {
+        let (g, leaf, _fork, _wrap, _size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let l = tb.node_full(leaf, vec![token(vec![9i64])]);
+        let tree = tb.finish(l).unwrap();
+        let store = AttrStore::new(&tree);
+        let v = occ_value(&tree, &store, tree.root(), 1, AttrId(0));
+        assert_eq!(v, Some(&9));
+    }
+
+    #[test]
+    fn wire_size_counts_tokens() {
+        let (g, leaf, _fork, _wrap, _size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let l = tb.node_full(leaf, vec![token(vec![9i64])]);
+        let tree = tb.finish(l).unwrap();
+        assert_eq!(tree.subtree_wire_size(tree.root()), 8 + 8);
+    }
+
+    #[test]
+    fn absorb_merges_disjoint_stores() {
+        let (g, leaf, fork, _wrap, size) = tree_grammar();
+        let mut tb = TreeBuilder::new(&g);
+        let l1 = tb.node_full(leaf, vec![token(vec![5i64])]);
+        let l2 = tb.node_full(leaf, vec![token(vec![7i64])]);
+        let root = tb.node(fork, [l1, l2]);
+        let tree = tb.finish(root).unwrap();
+        let mut a = AttrStore::new(&tree);
+        let mut b = AttrStore::new(&tree);
+        a.set(tree.root(), size, 1);
+        b.set(NodeId(0), size, 2);
+        a.absorb(b);
+        assert_eq!(a.get(tree.root(), size), Some(&1));
+        assert_eq!(a.get(NodeId(0), size), Some(&2));
+        assert_eq!(a.filled(), 2);
+    }
+}

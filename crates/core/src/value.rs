@@ -1,0 +1,337 @@
+//! Attribute value domains.
+//!
+//! Evaluators are generic over the attribute value type `V`; the only
+//! requirements are captured by [`AttrValue`]. A convenience [`Value`]
+//! enum covering the domains the paper's examples need (integers, rope
+//! strings, applicative symbol tables, lists) is provided for the `spec`
+//! crate and the examples; the Pascal compiler defines its own richer
+//! domain.
+
+use paragram_rope::Rope;
+use paragram_symtab::SymTab;
+use std::fmt;
+use std::sync::Arc;
+
+/// Requirements on attribute values.
+///
+/// `wire_size` is the paper's "conversion function" abstraction (§2.5): a
+/// flattened, contiguous representation suitable for transmission over the
+/// network must exist, and its size drives the simulated (and measured)
+/// communication cost.
+pub trait AttrValue: Clone + Send + Sync + fmt::Debug + 'static {
+    /// Bytes needed to ship this value over the network.
+    fn wire_size(&self) -> usize {
+        16
+    }
+
+    /// String-librarian hook (§4.2): replace large embedded text with
+    /// segment references allocated through `alloc` (which registers the
+    /// text with the librarian). Returns `None` when the value carries
+    /// no deflatable text — the default for non-string domains.
+    ///
+    /// Only the *string data type implementation* changes for the
+    /// librarian optimization; grammars and evaluators are untouched,
+    /// exactly as the paper claims.
+    fn deflate(&self, _alloc: &mut dyn FnMut(Rope) -> paragram_rope::SegmentId) -> Option<Self> {
+        None
+    }
+
+    /// Inverse hook: resolve any segment references against the
+    /// librarian's store. Default: identity.
+    fn inflate(&self, _store: &paragram_rope::SegmentStore) -> Self {
+        self.clone()
+    }
+}
+
+impl AttrValue for i64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl AttrValue for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl AttrValue for bool {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+impl AttrValue for String {
+    fn wire_size(&self) -> usize {
+        self.len() + 8
+    }
+}
+impl AttrValue for () {}
+
+/// A general-purpose attribute value domain: everything the paper's
+/// appendix grammar and the examples need.
+#[derive(Clone)]
+#[derive(Default)]
+pub enum Value {
+    /// Unit/absent value.
+    #[default]
+    Unit,
+    /// 64-bit integer (the appendix grammar's `value` attribute).
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Short immutable string (identifier names from the scanner).
+    Str(Arc<str>),
+    /// Rope string (code attributes).
+    Rope(Rope),
+    /// Applicative symbol table (the appendix grammar's `stab`).
+    Tab(SymTab<Value>),
+    /// List of values.
+    List(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Creates a list value.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(Arc::new(items.into_iter().collect()))
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The rope inside, if this is a `Rope`.
+    pub fn as_rope(&self) -> Option<&Rope> {
+        match self {
+            Value::Rope(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The symbol table inside, if this is a `Tab`.
+    pub fn as_tab(&self) -> Option<&SymTab<Value>> {
+        match self {
+            Value::Tab(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The list inside, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Name of the variant, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::Rope(_) => "rope",
+            Value::Tab(_) => "tab",
+            Value::List(_) => "list",
+        }
+    }
+}
+
+/// Minimum rope size worth shipping to the librarian; smaller text is
+/// cheaper to carry inline than to indirect.
+pub const DEFLATE_THRESHOLD: usize = 256;
+
+impl AttrValue for Value {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Value::Unit => 0,
+            Value::Int(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => s.len() + 4,
+            Value::Rope(r) => r.physical_wire_size(),
+            Value::Tab(t) => t.wire_size(AttrValue::wire_size),
+            Value::List(l) => 4 + l.iter().map(AttrValue::wire_size).sum::<usize>(),
+        }
+    }
+
+    fn deflate(&self, alloc: &mut dyn FnMut(Rope) -> paragram_rope::SegmentId) -> Option<Self> {
+        match self {
+            Value::Rope(r) => {
+                let (deflated, created) = r.deflate(DEFLATE_THRESHOLD, alloc);
+                (created > 0).then_some(Value::Rope(deflated))
+            }
+            _ => None,
+        }
+    }
+
+    fn inflate(&self, store: &paragram_rope::SegmentStore) -> Self {
+        match self {
+            Value::Rope(r) if r.has_segments() => match r.resolve(store) {
+                Ok(resolved) => Value::Rope(resolved),
+                Err(_) => self.clone(),
+            },
+            _ => self.clone(),
+        }
+    }
+}
+
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Rope(a), Value::Rope(b)) => a == b,
+            (Value::Tab(a), Value::Tab(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Rope(r) => write!(f, "rope({} bytes)", r.len()),
+            Value::Tab(t) => write!(f, "tab({} entries)", t.len()),
+            Value::List(l) => f.debug_list().entries(l.iter()).finish(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Rope(r) => write!(f, "{r}"),
+            Value::Tab(t) => write!(f, "{t:?}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Rope> for Value {
+    fn from(r: Rope) -> Self {
+        Value::Rope(r)
+    }
+}
+
+impl From<SymTab<Value>> for Value {
+    fn from(t: SymTab<Value>) -> Self {
+        Value::Tab(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::Unit.as_int(), None);
+        let l = Value::list([Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.as_list().map(|x| x.len()), Some(2));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::Int(1), Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Int(2));
+        assert_ne!(Value::Int(1), Value::Bool(true));
+        let a = Value::Rope(Rope::from("ab").concat(&Rope::from("c")));
+        let b = Value::Rope(Rope::from("abc"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        assert_eq!(Value::Unit.wire_size(), 1);
+        assert_eq!(Value::Int(0).wire_size(), 9);
+        let small = Value::Rope(Rope::from("x"));
+        let big = Value::Rope(Rope::from("x".repeat(1000)));
+        assert!(big.wire_size() > small.wire_size());
+        let tab = Value::Tab(SymTab::new().add("name", Value::Int(1)));
+        assert!(tab.wire_size() > 10);
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("id").to_string(), "id");
+        assert_eq!(
+            Value::list([Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Unit.kind_name(), "unit");
+        assert_eq!(Value::Tab(SymTab::new()).kind_name(), "tab");
+    }
+}

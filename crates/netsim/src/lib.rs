@@ -1,0 +1,542 @@
+//! Deterministic discrete-event simulation of a network multiprocessor.
+//!
+//! The paper's experiments ran on up to 6 SUN-2 workstations connected by a
+//! 10 Mbit Ethernet under the V System (§3). This crate is the substitute
+//! substrate: a virtual-time simulator in which each *process* (one per
+//! machine, plus auxiliary processes such as the string librarian) owns a
+//! local clock, consumes CPU via [`Ctx::spend`], and exchanges messages over
+//! a shared-bus network model with latency, bandwidth and per-message CPU
+//! cost. The simulation is fully deterministic, so every figure regenerated
+//! from it is exactly reproducible.
+//!
+//! Processes implement [`Process`]; the driver in `paragram-core::parallel`
+//! layers attribute evaluators on top.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragram_netsim::{Ctx, NetModel, Process, ProcId, Sim};
+//!
+//! struct Echo;
+//! impl Process<u32> for Echo {
+//!     fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+//!         if ctx.me() == ProcId(0) {
+//!             ctx.send(ProcId(1), 41, 64, "ping");
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Ctx<u32>, _from: ProcId, msg: u32) {
+//!         ctx.spend(100);
+//!         if msg == 41 {
+//!             ctx.send(ProcId(0), 42, 64, "pong");
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(NetModel::lan_1987());
+//! sim.add_process("a", Echo);
+//! sim.add_process("b", Echo);
+//! sim.run();
+//! assert!(sim.now() > 0);
+//! assert_eq!(sim.trace().messages.len(), 2);
+//! ```
+
+pub mod trace;
+
+pub use trace::{Activity, MsgRecord, Trace};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type Time = u64;
+
+/// One second of virtual time.
+pub const SECOND: Time = 1_000_000;
+
+/// Formats a virtual time as fractional seconds.
+pub fn secs(t: Time) -> f64 {
+    t as f64 / SECOND as f64
+}
+
+/// Identifier of a simulated process (machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Network cost model: a shared bus (Ethernet) with propagation latency,
+/// finite bandwidth, and CPU cost per message at the sender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// One-way propagation + protocol latency per message, µs.
+    pub latency_us: Time,
+    /// Bus throughput in bytes per microsecond.
+    pub bytes_per_us: f64,
+    /// Sender-side CPU cost per message (marshalling, kernel), µs.
+    pub send_cpu_us: Time,
+    /// Receiver-side CPU cost per message, µs.
+    pub recv_cpu_us: Time,
+    /// If `true`, transmissions serialize on the shared bus.
+    pub shared_bus: bool,
+}
+
+impl NetModel {
+    /// Constants approximating the paper's setting: 10 Mbit/s Ethernet
+    /// (~1.25 bytes/µs), V-System message latency on SUN-2-class machines
+    /// in the low milliseconds.
+    pub fn lan_1987() -> Self {
+        NetModel {
+            latency_us: 2_000,
+            bytes_per_us: 1.25,
+            send_cpu_us: 1_000,
+            recv_cpu_us: 1_000,
+            shared_bus: true,
+        }
+    }
+
+    /// An effectively free network, useful to isolate CPU effects in
+    /// ablation experiments.
+    pub fn instant() -> Self {
+        NetModel {
+            latency_us: 0,
+            bytes_per_us: f64::INFINITY,
+            send_cpu_us: 0,
+            recv_cpu_us: 0,
+            shared_bus: false,
+        }
+    }
+
+    /// Pure transmission time for a payload of `bytes`.
+    pub fn tx_time(&self, bytes: usize) -> Time {
+        if self.bytes_per_us.is_infinite() {
+            0
+        } else {
+            (bytes as f64 / self.bytes_per_us).ceil() as Time
+        }
+    }
+}
+
+/// Behaviour of a simulated process. Handlers run to completion; CPU is
+/// accounted explicitly through [`Ctx::spend`].
+pub trait Process<M> {
+    /// Invoked once at simulation start (virtual time 0).
+    fn on_start(&mut self, _ctx: &mut Ctx<M>) {}
+
+    /// Invoked when a message is delivered to this process.
+    fn on_message(&mut self, ctx: &mut Ctx<M>, from: ProcId, msg: M);
+}
+
+struct PendingSend<M> {
+    to: ProcId,
+    msg: M,
+    bytes: usize,
+    tag: &'static str,
+    /// CPU offset within the current handler run at which the send occurs.
+    at_cpu: Time,
+}
+
+/// Handler-side view of the simulation: clock, CPU accounting, sends and
+/// phase labels for the Gantt trace.
+pub struct Ctx<'a, M> {
+    me: ProcId,
+    wake: Time,
+    cpu: Time,
+    phase: &'static str,
+    segments: Vec<(Time, Time, &'static str)>, // cpu offsets [start,end)
+    seg_start: Time,
+    sends: Vec<PendingSend<M>>,
+    names: &'a [String],
+    stopped: bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// This process's id.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Current local virtual time (wake time plus CPU spent so far in this
+    /// handler).
+    pub fn now(&self) -> Time {
+        self.wake + self.cpu
+    }
+
+    /// Consumes `cpu_us` microseconds of virtual CPU.
+    pub fn spend(&mut self, cpu_us: Time) {
+        self.cpu += cpu_us;
+    }
+
+    /// Labels subsequent CPU consumption for the activity trace
+    /// ("symbol table", "code generation", "result propagation"...).
+    pub fn phase(&mut self, label: &'static str) {
+        if label != self.phase {
+            if self.cpu > self.seg_start {
+                self.segments.push((self.seg_start, self.cpu, self.phase));
+            }
+            self.seg_start = self.cpu;
+            self.phase = label;
+        }
+    }
+
+    /// Sends `msg` (`bytes` long on the wire) to `to`. The send is stamped
+    /// at the current local time; network costs are applied by the
+    /// simulator. `tag` labels the message in the trace.
+    pub fn send(&mut self, to: ProcId, msg: M, bytes: usize, tag: &'static str) {
+        self.sends.push(PendingSend {
+            to,
+            msg,
+            bytes,
+            tag,
+            at_cpu: self.cpu,
+        });
+    }
+
+    /// Name of a process (for diagnostics).
+    pub fn name_of(&self, p: ProcId) -> &str {
+        &self.names[p.0]
+    }
+
+    /// Requests that the whole simulation stop after this handler returns
+    /// (used by the driver when the root attributes have arrived).
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+}
+
+enum Event<M> {
+    Start(ProcId),
+    Deliver {
+        to: ProcId,
+        from: ProcId,
+        msg: M,
+    },
+}
+
+/// The discrete-event simulator.
+pub struct Sim<M> {
+    processes: Vec<Box<dyn Process<M>>>,
+    names: Vec<String>,
+    local_time: Vec<Time>,
+    net: NetModel,
+    bus_free: Time,
+    queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    events: Vec<Option<Event<M>>>,
+    seq: u64,
+    now: Time,
+    trace: Trace,
+    stopped: bool,
+}
+
+impl<M> Sim<M> {
+    /// Creates an empty simulation with the given network model.
+    pub fn new(net: NetModel) -> Self {
+        Sim {
+            processes: Vec::new(),
+            names: Vec::new(),
+            local_time: Vec::new(),
+            net,
+            bus_free: 0,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+            now: 0,
+            trace: Trace::default(),
+            stopped: false,
+        }
+    }
+
+    /// Registers a process; returns its id. Processes are started in
+    /// registration order at time 0.
+    pub fn add_process(&mut self, name: impl Into<String>, p: impl Process<M> + 'static) -> ProcId {
+        let id = ProcId(self.processes.len());
+        self.processes.push(Box::new(p));
+        self.names.push(name.into());
+        self.local_time.push(0);
+        id
+    }
+
+    /// Number of registered processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Final virtual time after [`Sim::run`] (max over event completion).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Activity and message trace accumulated during the run.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Local completion time of a process.
+    pub fn local_time(&self, p: ProcId) -> Time {
+        self.local_time[p.0]
+    }
+
+    fn push_event(&mut self, at: Time, ev: Event<M>) {
+        let idx = self.events.len();
+        self.events.push(Some(ev));
+        self.queue.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Runs the simulation to completion (or until a handler calls
+    /// [`Ctx::stop`]). Returns the final virtual time.
+    pub fn run(&mut self) -> Time {
+        for i in 0..self.processes.len() {
+            self.push_event(0, Event::Start(ProcId(i)));
+        }
+        while let Some(Reverse((at, _, idx))) = self.queue.pop() {
+            if self.stopped {
+                break;
+            }
+            let ev = self.events[idx].take().expect("event consumed twice");
+            match ev {
+                Event::Start(p) => self.dispatch(at, p, None),
+                Event::Deliver { to, from, msg } => self.dispatch(at, to, Some((from, msg))),
+            }
+        }
+        self.now
+    }
+
+    fn dispatch(&mut self, at: Time, p: ProcId, incoming: Option<(ProcId, M)>) {
+        let wake = at.max(self.local_time[p.0]);
+        let mut ctx = Ctx {
+            me: p,
+            wake,
+            cpu: if incoming.is_some() {
+                self.net.recv_cpu_us
+            } else {
+                0
+            },
+            phase: "recv",
+            segments: Vec::new(),
+            seg_start: 0,
+            sends: Vec::new(),
+            names: &self.names,
+            stopped: false,
+        };
+        // Temporarily move the process out to appease the borrow checker.
+        let mut proc_box = std::mem::replace(
+            &mut self.processes[p.0],
+            Box::new(Inert) as Box<dyn Process<M>>,
+        );
+        match incoming {
+            None => proc_box.on_start(&mut ctx),
+            Some((from, msg)) => proc_box.on_message(&mut ctx, from, msg),
+        }
+        self.processes[p.0] = proc_box;
+
+        // Close the last phase segment.
+        if ctx.cpu > ctx.seg_start {
+            ctx.segments.push((ctx.seg_start, ctx.cpu, ctx.phase));
+        }
+        let done = wake + ctx.cpu;
+        self.local_time[p.0] = done;
+        self.now = self.now.max(done);
+        for (s, e, label) in ctx.segments.drain(..) {
+            self.trace.activities.push(Activity {
+                proc: p,
+                start: wake + s,
+                end: wake + e,
+                phase: label,
+            });
+        }
+        let stopped = ctx.stopped;
+        let sends = std::mem::take(&mut ctx.sends);
+        drop(ctx);
+        for send in sends {
+            let send_time = wake + send.at_cpu + self.net.send_cpu_us;
+            // Sender CPU for the message itself.
+            self.local_time[p.0] = self.local_time[p.0].max(send_time);
+            let tx = self.net.tx_time(send.bytes);
+            let on_bus = if self.net.shared_bus {
+                let start = send_time.max(self.bus_free);
+                self.bus_free = start + tx;
+                start
+            } else {
+                send_time
+            };
+            let deliver = on_bus + tx + self.net.latency_us;
+            self.trace.messages.push(MsgRecord {
+                from: p,
+                to: send.to,
+                send: send_time,
+                recv: deliver,
+                bytes: send.bytes,
+                tag: send.tag,
+            });
+            self.push_event(
+                deliver,
+                Event::Deliver {
+                    to: send.to,
+                    from: p,
+                    msg: send.msg,
+                },
+            );
+        }
+        if stopped {
+            self.stopped = true;
+        }
+    }
+
+    /// Process names, indexed by [`ProcId`].
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+struct Inert;
+impl<M> Process<M> for Inert {
+    fn on_message(&mut self, _ctx: &mut Ctx<M>, _from: ProcId, _msg: M) {
+        panic!("message delivered to a process that is currently executing");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pinger {
+        replies: usize,
+    }
+
+    impl Process<u32> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            if ctx.me() == ProcId(0) {
+                ctx.phase("ping");
+                ctx.spend(500);
+                ctx.send(ProcId(1), 1, 100, "ping");
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, from: ProcId, msg: u32) {
+            ctx.phase("serve");
+            ctx.spend(200);
+            if msg < 3 {
+                ctx.send(from, msg + 1, 100, "reply");
+            } else {
+                self.replies += 1;
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_virtual_time() {
+        let mut sim = Sim::new(NetModel::lan_1987());
+        sim.add_process("a", Pinger { replies: 0 });
+        sim.add_process("b", Pinger { replies: 0 });
+        let end = sim.run();
+        assert!(end > 3 * 2_000, "three hops of latency at least");
+        assert_eq!(sim.trace().messages.len(), 3);
+        // Messages are causally ordered.
+        let msgs = &sim.trace().messages;
+        for w in msgs.windows(2) {
+            assert!(w[0].recv <= w[1].send + 1_000_000);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sim = Sim::new(NetModel::lan_1987());
+            sim.add_process("a", Pinger { replies: 0 });
+            sim.add_process("b", Pinger { replies: 0 });
+            sim.run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn instant_network_has_latency_only_from_cpu() {
+        let mut sim = Sim::new(NetModel::instant());
+        sim.add_process("a", Pinger { replies: 0 });
+        sim.add_process("b", Pinger { replies: 0 });
+        let end = sim.run();
+        // 500 (ping cpu) + 3 * 200 (handler cpus); no network terms.
+        assert_eq!(end, 500 + 3 * 200);
+    }
+
+    #[test]
+    fn shared_bus_serializes_transmissions() {
+        struct Burst;
+        impl Process<u32> for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me().0 < 2 {
+                    ctx.send(ProcId(2), 0, 125_000, "big"); // 100 ms on bus
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<u32>, _from: ProcId, _msg: u32) {}
+        }
+        let net = NetModel {
+            shared_bus: true,
+            ..NetModel::lan_1987()
+        };
+        let mut sim = Sim::new(net);
+        sim.add_process("s1", Burst);
+        sim.add_process("s2", Burst);
+        sim.add_process("sink", Burst);
+        sim.run();
+        let msgs = &sim.trace().messages;
+        assert_eq!(msgs.len(), 2);
+        let tx = net.tx_time(125_000);
+        let gap = msgs[1].recv.saturating_sub(msgs[0].recv);
+        assert!(gap >= tx, "second transmission must wait for the bus");
+    }
+
+    #[test]
+    fn phases_recorded_per_segment() {
+        struct TwoPhase;
+        impl Process<u32> for TwoPhase {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.phase("one");
+                ctx.spend(10);
+                ctx.phase("two");
+                ctx.spend(20);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u32>, _: ProcId, _: u32) {}
+        }
+        let mut sim = Sim::new(NetModel::instant());
+        sim.add_process("p", TwoPhase);
+        sim.run();
+        let acts = &sim.trace().activities;
+        assert_eq!(acts.len(), 2);
+        assert_eq!((acts[0].start, acts[0].end, acts[0].phase), (0, 10, "one"));
+        assert_eq!((acts[1].start, acts[1].end, acts[1].phase), (10, 30, "two"));
+    }
+
+    #[test]
+    fn wake_respects_local_clock() {
+        // A process busy until t=1000 must not handle a message delivered
+        // at t=10 before finishing.
+        struct Busy;
+        impl Process<u32> for Busy {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me() == ProcId(0) {
+                    ctx.send(ProcId(1), 7, 1, "early");
+                } else {
+                    ctx.spend(1_000_000);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<u32>, _: ProcId, _: u32) {
+                assert!(ctx.now() >= 1_000_000);
+                ctx.stop();
+            }
+        }
+        let mut sim = Sim::new(NetModel::instant());
+        sim.add_process("src", Busy);
+        sim.add_process("busy", Busy);
+        sim.run();
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(1_500_000), 1.5);
+    }
+}

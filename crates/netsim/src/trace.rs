@@ -1,0 +1,256 @@
+//! Activity traces and ASCII Gantt rendering (paper Figure 6).
+//!
+//! The simulator records one [`Activity`] per contiguous busy interval of a
+//! process, labelled with the phase the process declared via
+//! [`crate::Ctx::phase`], and one [`MsgRecord`] per message. Figure 6 of the
+//! paper — horizontal activity lines with thin idle segments, thick busy
+//! segments and arrows for attribute communication — is rendered from this
+//! trace as ASCII art by [`Trace::render_gantt`].
+
+use crate::{secs, ProcId, Time};
+use std::fmt::Write as _;
+
+/// A contiguous busy interval of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    /// The process that was busy.
+    pub proc: ProcId,
+    /// Start of the interval (µs, inclusive).
+    pub start: Time,
+    /// End of the interval (µs, exclusive).
+    pub end: Time,
+    /// Phase label active during the interval.
+    pub phase: &'static str,
+}
+
+/// One message transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Sender.
+    pub from: ProcId,
+    /// Receiver.
+    pub to: ProcId,
+    /// Virtual time the sender issued the message.
+    pub send: Time,
+    /// Virtual time of delivery.
+    pub recv: Time,
+    /// Payload size in bytes (wire size of the attribute value).
+    pub bytes: usize,
+    /// Human-readable label ("subtree", "attr", "code-segment"...).
+    pub tag: &'static str,
+}
+
+/// Full record of a simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// Busy intervals, in dispatch order.
+    pub activities: Vec<Activity>,
+    /// Messages, in send order.
+    pub messages: Vec<MsgRecord>,
+}
+
+impl Trace {
+    /// Total busy time of a process.
+    pub fn busy_time(&self, p: ProcId) -> Time {
+        self.activities
+            .iter()
+            .filter(|a| a.proc == p)
+            .map(|a| a.end - a.start)
+            .sum()
+    }
+
+    /// Busy time of a process within a given phase label.
+    pub fn phase_time(&self, p: ProcId, phase: &str) -> Time {
+        self.activities
+            .iter()
+            .filter(|a| a.proc == p && a.phase == phase)
+            .map(|a| a.end - a.start)
+            .sum()
+    }
+
+    /// End of the last activity or message.
+    pub fn span(&self) -> Time {
+        let a = self.activities.iter().map(|a| a.end).max().unwrap_or(0);
+        let m = self.messages.iter().map(|m| m.recv).max().unwrap_or(0);
+        a.max(m)
+    }
+
+    /// Total bytes put on the network.
+    pub fn network_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Renders the trace as an ASCII Gantt chart in the style of the
+    /// paper's Figure 6: one row per process, `=` for busy time (with a
+    /// phase-initial letter), `-` for idle periods between activities,
+    /// and a legend mapping letters to phase labels. Message sends and
+    /// deliveries are marked below each row with `v`/`^` columns.
+    pub fn render_gantt(&self, names: &[String], width: usize) -> String {
+        let span = self.span().max(1);
+        let col = |t: Time| ((t as u128 * (width as u128 - 1)) / span as u128) as usize;
+        let mut out = String::new();
+        let mut phases: Vec<&'static str> = Vec::new();
+        let time_header = format!(
+            "time: 0 .. {:.2}s, one column = {:.1} ms",
+            secs(span),
+            span as f64 / (width as f64) / 1_000.0
+        );
+        out.push_str(&time_header);
+        out.push('\n');
+        for (i, name) in names.iter().enumerate() {
+            let p = ProcId(i);
+            let mut row = vec![b'.'; width];
+            let mut first: Option<Time> = None;
+            let mut last: Time = 0;
+            for a in self.activities.iter().filter(|a| a.proc == p) {
+                first = Some(first.map_or(a.start, |f| f.min(a.start)));
+                last = last.max(a.end);
+            }
+            if let Some(first) = first {
+                // Idle-but-alive span rendered as thin line.
+                for c in row.iter_mut().take(col(last) + 1).skip(col(first)) {
+                    *c = b'-';
+                }
+            }
+            for a in self.activities.iter().filter(|a| a.proc == p) {
+                if !phases.contains(&a.phase) {
+                    phases.push(a.phase);
+                }
+                let letter = phase_letter(&phases, a.phase);
+                let (s, e) = (col(a.start), col(a.end).max(col(a.start)));
+                for c in row.iter_mut().take(e + 1).skip(s) {
+                    *c = letter;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:>12} |{}|",
+                truncate(name, 12),
+                String::from_utf8_lossy(&row)
+            );
+            // Message markers for this row: v = send, ^ = receive.
+            let mut marks = vec![b' '; width];
+            let mut any = false;
+            for m in &self.messages {
+                if m.from == p {
+                    marks[col(m.send)] = b'v';
+                    any = true;
+                }
+                if m.to == p {
+                    let c = col(m.recv);
+                    marks[c] = if marks[c] == b'v' { b'x' } else { b'^' };
+                    any = true;
+                }
+            }
+            if any {
+                let _ = writeln!(out, "{:>12} |{}|", "", String::from_utf8_lossy(&marks));
+            }
+        }
+        out.push_str("legend: ");
+        for (i, ph) in phases.iter().enumerate() {
+            let letter = (b'A' + (i % 26) as u8) as char;
+            let _ = write!(out, "{letter}={ph}  ");
+        }
+        out.push_str("(v=send ^=recv x=both .=not started -=idle)\n");
+        out
+    }
+}
+
+fn phase_letter(phases: &[&'static str], phase: &'static str) -> u8 {
+    let idx = phases.iter().position(|p| *p == phase).unwrap_or(0);
+    b'A' + (idx % 26) as u8
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            activities: vec![
+                Activity {
+                    proc: ProcId(0),
+                    start: 0,
+                    end: 500_000,
+                    phase: "symbol table",
+                },
+                Activity {
+                    proc: ProcId(0),
+                    start: 700_000,
+                    end: 1_000_000,
+                    phase: "code generation",
+                },
+                Activity {
+                    proc: ProcId(1),
+                    start: 500_000,
+                    end: 900_000,
+                    phase: "code generation",
+                },
+            ],
+            messages: vec![MsgRecord {
+                from: ProcId(0),
+                to: ProcId(1),
+                send: 500_000,
+                recv: 520_000,
+                bytes: 2_048,
+                tag: "attr",
+            }],
+        }
+    }
+
+    #[test]
+    fn busy_and_phase_times() {
+        let t = sample_trace();
+        assert_eq!(t.busy_time(ProcId(0)), 800_000);
+        assert_eq!(t.phase_time(ProcId(0), "symbol table"), 500_000);
+        assert_eq!(t.phase_time(ProcId(0), "code generation"), 300_000);
+        assert_eq!(t.phase_time(ProcId(1), "symbol table"), 0);
+        assert_eq!(t.span(), 1_000_000);
+        assert_eq!(t.network_bytes(), 2_048);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_legend() {
+        let t = sample_trace();
+        let names = vec!["evaluator-a".to_string(), "evaluator-b".to_string()];
+        let chart = t.render_gantt(&names, 60);
+        assert!(chart.contains("evaluator-a"));
+        assert!(chart.contains("evaluator-b"));
+        assert!(chart.contains("A=symbol table"));
+        assert!(chart.contains("B=code generation"));
+        assert!(chart.contains('v'));
+        assert!(chart.contains('^'));
+    }
+
+    #[test]
+    fn gantt_empty_trace_does_not_panic() {
+        let t = Trace::default();
+        let chart = t.render_gantt(&["p".to_string()], 20);
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn gantt_width_is_respected() {
+        let t = sample_trace();
+        let names = vec!["a".to_string(), "b".to_string()];
+        let chart = t.render_gantt(&names, 40);
+        for line in chart.lines().filter(|l| l.contains('|')) {
+            let inner = l_between_pipes(line);
+            assert_eq!(inner.len(), 40, "line: {line}");
+        }
+    }
+
+    fn l_between_pipes(line: &str) -> &str {
+        let a = line.find('|').unwrap();
+        let b = line.rfind('|').unwrap();
+        &line[a + 1..b]
+    }
+}

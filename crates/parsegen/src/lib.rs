@@ -1,0 +1,924 @@
+//! SLR(1) parser-table generation with precedence-based conflict
+//! resolution.
+//!
+//! The paper's evaluator generator uses YACC to produce the parser for the
+//! attribute-grammar specification's underlying context-free grammar, with
+//! `%left` declarations resolving expression ambiguity. This crate is that
+//! substrate: it builds LR(0) item sets, computes FIRST/FOLLOW, produces an
+//! SLR(1) action/goto table — resolving shift/reduce conflicts by
+//! precedence and associativity exactly the way YACC does — and drives a
+//! generic parser over a token stream, delegating tree construction to a
+//! [`TreeBuilder`] so that the `spec` crate can build attribute-grammar
+//! parse trees directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragram_parsegen::*;
+//!
+//! // E -> E + E | E * E | num     with  %left '+'  %left '*'
+//! let mut cfg = CfgBuilder::new();
+//! let e = cfg.nonterminal("E");
+//! let plus = cfg.terminal("+");
+//! let star = cfg.terminal("*");
+//! let num = cfg.terminal("num");
+//! cfg.left(&[plus]);
+//! cfg.left(&[star]);
+//! cfg.prod(e, [GSym::N(e), GSym::T(plus), GSym::N(e)]);
+//! cfg.prod(e, [GSym::N(e), GSym::T(star), GSym::N(e)]);
+//! cfg.prod(e, [GSym::T(num)]);
+//! let table = cfg.build(e).unwrap();
+//!
+//! // Evaluate 2 + 3 * 4 directly through a TreeBuilder.
+//! struct Eval;
+//! impl TreeBuilder<i64> for Eval {
+//!     type Node = i64;
+//!     fn shift(&mut self, _t: Term, tok: i64) -> i64 { tok }
+//!     fn reduce(&mut self, prod: ProdIdx, kids: Vec<i64>) -> i64 {
+//!         match prod.0 {
+//!             0 => kids[0] + kids[2],
+//!             1 => kids[0] * kids[2],
+//!             _ => kids[0],
+//!         }
+//!     }
+//! }
+//! let tokens = vec![(num, 2), (plus, 0), (num, 3), (star, 0), (num, 4)];
+//! let result = parse(&table, tokens, &mut Eval).unwrap();
+//! assert_eq!(result, 14); // * binds tighter than +
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Terminal symbol id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Term(pub u32);
+
+/// Nonterminal symbol id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NonTerm(pub u32);
+
+/// A grammar symbol: terminal or nonterminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GSym {
+    /// Terminal occurrence.
+    T(Term),
+    /// Nonterminal occurrence.
+    N(NonTerm),
+}
+
+/// Index of a production in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProdIdx(pub usize);
+
+/// Operator associativity for precedence conflict resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assoc {
+    /// `%left`: reduce on a same-precedence conflict.
+    Left,
+    /// `%right`: shift on a same-precedence conflict.
+    Right,
+    /// `%nonassoc`: same-precedence conflict is a syntax error.
+    NonAssoc,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Prec {
+    level: u32,
+    assoc: Assoc,
+}
+
+/// A context-free production.
+#[derive(Debug, Clone)]
+pub struct CfgProd {
+    /// Left-hand side.
+    pub lhs: NonTerm,
+    /// Right-hand side symbols.
+    pub rhs: Vec<GSym>,
+    prec: Option<Prec>,
+}
+
+/// Incrementally assembles a context-free grammar.
+#[derive(Debug, Default)]
+pub struct CfgBuilder {
+    term_names: Vec<String>,
+    nt_names: Vec<String>,
+    prods: Vec<CfgProd>,
+    term_prec: BTreeMap<Term, Prec>,
+    next_level: u32,
+}
+
+impl CfgBuilder {
+    /// Creates an empty grammar builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a terminal and returns its id.
+    pub fn terminal(&mut self, name: impl Into<String>) -> Term {
+        self.term_names.push(name.into());
+        Term(self.term_names.len() as u32 - 1)
+    }
+
+    /// Declares a nonterminal and returns its id.
+    pub fn nonterminal(&mut self, name: impl Into<String>) -> NonTerm {
+        self.nt_names.push(name.into());
+        NonTerm(self.nt_names.len() as u32 - 1)
+    }
+
+    /// Declares a `%left` precedence level (later calls bind tighter).
+    pub fn left(&mut self, terms: &[Term]) {
+        self.prec_level(terms, Assoc::Left);
+    }
+
+    /// Declares a `%right` precedence level.
+    pub fn right(&mut self, terms: &[Term]) {
+        self.prec_level(terms, Assoc::Right);
+    }
+
+    /// Declares a `%nonassoc` precedence level.
+    pub fn nonassoc(&mut self, terms: &[Term]) {
+        self.prec_level(terms, Assoc::NonAssoc);
+    }
+
+    fn prec_level(&mut self, terms: &[Term], assoc: Assoc) {
+        self.next_level += 1;
+        for &t in terms {
+            self.term_prec.insert(
+                t,
+                Prec {
+                    level: self.next_level,
+                    assoc,
+                },
+            );
+        }
+    }
+
+    /// Adds a production; its precedence defaults to that of the last
+    /// terminal in the right-hand side (YACC's rule).
+    pub fn prod(&mut self, lhs: NonTerm, rhs: impl IntoIterator<Item = GSym>) -> ProdIdx {
+        let rhs: Vec<GSym> = rhs.into_iter().collect();
+        let prec = rhs.iter().rev().find_map(|s| match s {
+            GSym::T(t) => self.term_prec.get(t).copied(),
+            GSym::N(_) => None,
+        });
+        self.prods.push(CfgProd { lhs, rhs, prec });
+        ProdIdx(self.prods.len() - 1)
+    }
+
+    /// Adds a production with an explicit `%prec terminal` override.
+    pub fn prod_with_prec(
+        &mut self,
+        lhs: NonTerm,
+        rhs: impl IntoIterator<Item = GSym>,
+        prec_of: Term,
+    ) -> ProdIdx {
+        let idx = self.prod(lhs, rhs);
+        self.prods[idx.0].prec = self.term_prec.get(&prec_of).copied();
+        idx
+    }
+
+    /// Builds the SLR(1) table for start symbol `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the grammar has an unresolvable
+    /// shift/reduce or any reduce/reduce conflict, or if a nonterminal is
+    /// used but has no productions.
+    pub fn build(self, start: NonTerm) -> Result<Table, BuildError> {
+        build_table(self, start)
+    }
+}
+
+/// Error from [`CfgBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Shift/reduce conflict not resolvable by precedence.
+    ShiftReduce {
+        /// State where the conflict occurs.
+        state: usize,
+        /// Lookahead terminal name.
+        lookahead: String,
+        /// Conflicting production index.
+        prod: ProdIdx,
+    },
+    /// Reduce/reduce conflict.
+    ReduceReduce {
+        /// State where the conflict occurs.
+        state: usize,
+        /// Lookahead terminal name.
+        lookahead: String,
+        /// The two conflicting productions.
+        prods: (ProdIdx, ProdIdx),
+    },
+    /// A nonterminal has no productions.
+    NoProductions(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ShiftReduce {
+                state,
+                lookahead,
+                prod,
+            } => write!(
+                f,
+                "shift/reduce conflict in state {state} on {lookahead:?} (production {})",
+                prod.0
+            ),
+            BuildError::ReduceReduce {
+                state,
+                lookahead,
+                prods,
+            } => write!(
+                f,
+                "reduce/reduce conflict in state {state} on {lookahead:?} (productions {} and {})",
+                prods.0 .0, prods.1 .0
+            ),
+            BuildError::NoProductions(nt) => {
+                write!(f, "nonterminal {nt:?} has no productions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Parser action for one (state, lookahead) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Push the token, go to the state.
+    Shift(usize),
+    /// Reduce by the production.
+    Reduce(ProdIdx),
+    /// Accept the input.
+    Accept,
+    /// Syntax error (explicit entry from `%nonassoc`).
+    Error,
+}
+
+/// A complete SLR(1) parse table.
+#[derive(Debug)]
+pub struct Table {
+    actions: Vec<BTreeMap<u32, Action>>, // state -> term(+eof) -> action
+    gotos: Vec<BTreeMap<u32, usize>>,    // state -> nonterm -> state
+    prods: Vec<CfgProd>,
+    term_names: Vec<String>,
+    nt_names: Vec<String>,
+    eof: u32,
+}
+
+impl Table {
+    /// Number of LR states.
+    pub fn state_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The productions, in the order [`ProdIdx`] refers to them (the
+    /// augmented start production is last).
+    pub fn productions(&self) -> &[CfgProd] {
+        &self.prods
+    }
+
+    /// Name of a terminal.
+    pub fn term_name(&self, t: Term) -> &str {
+        &self.term_names[t.0 as usize]
+    }
+
+    /// Name of a nonterminal.
+    pub fn nonterm_name(&self, n: NonTerm) -> &str {
+        &self.nt_names[n.0 as usize]
+    }
+}
+
+/// Receives parser events and builds whatever tree (or value) the caller
+/// wants. `Tok` is the lexer's token payload.
+pub trait TreeBuilder<Tok> {
+    /// The node type being built.
+    type Node;
+
+    /// A terminal was shifted.
+    fn shift(&mut self, term: Term, tok: Tok) -> Self::Node;
+
+    /// A production was reduced over `children` (one node per RHS symbol,
+    /// in order).
+    fn reduce(&mut self, prod: ProdIdx, children: Vec<Self::Node>) -> Self::Node;
+}
+
+/// Parse error with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index of the offending token in the input stream (or one past the
+    /// end for premature EOF).
+    pub at: usize,
+    /// Name of the offending terminal, or `"<eof>"`.
+    pub found: String,
+    /// Names of terminals that would have been accepted.
+    pub expected: Vec<String>,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "syntax error at token {}: found {}, expected one of {}",
+            self.at,
+            self.found,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Runs the SLR parser over `tokens`, delegating node construction to
+/// `builder`. Returns the node for the start symbol.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on a syntax error; the error lists the expected
+/// terminals for the failing state.
+pub fn parse<Tok, B: TreeBuilder<Tok>>(
+    table: &Table,
+    tokens: impl IntoIterator<Item = (Term, Tok)>,
+    builder: &mut B,
+) -> Result<B::Node, ParseError> {
+    let mut states = vec![0usize];
+    let mut nodes: Vec<B::Node> = Vec::new();
+    let mut input = tokens.into_iter();
+    let mut pos = 0usize;
+    let mut lookahead: Option<(Term, Tok)> = input.next();
+
+    loop {
+        let state = *states.last().expect("state stack never empty");
+        let la_id = lookahead.as_ref().map_or(table.eof, |(t, _)| t.0);
+        let action = table.actions[state].get(&la_id).copied();
+        match action {
+            Some(Action::Shift(next)) => {
+                let (term, tok) = lookahead.take().expect("eof is never shifted");
+                nodes.push(builder.shift(term, tok));
+                states.push(next);
+                pos += 1;
+                lookahead = input.next();
+            }
+            Some(Action::Reduce(prod_idx)) => {
+                let prod = &table.prods[prod_idx.0];
+                let n = prod.rhs.len();
+                let children = nodes.split_off(nodes.len() - n);
+                states.truncate(states.len() - n);
+                let top = *states.last().expect("state stack never empty");
+                let goto = *table.gotos[top]
+                    .get(&prod.lhs.0)
+                    .expect("goto must exist after reduce");
+                nodes.push(builder.reduce(prod_idx, children));
+                states.push(goto);
+            }
+            Some(Action::Accept) => {
+                return Ok(nodes.pop().expect("accept with start node on stack"));
+            }
+            Some(Action::Error) | None => {
+                let expected: Vec<String> = table.actions[state]
+                    .iter()
+                    .filter(|(_, a)| !matches!(a, Action::Error))
+                    .map(|(id, _)| {
+                        if *id == table.eof {
+                            "<eof>".to_string()
+                        } else {
+                            table.term_names[*id as usize].clone()
+                        }
+                    })
+                    .collect();
+                let found = lookahead
+                    .as_ref()
+                    .map_or("<eof>".to_string(), |(t, _)| {
+                        table.term_name(*t).to_string()
+                    });
+                return Err(ParseError {
+                    at: pos,
+                    found,
+                    expected,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table construction
+// ---------------------------------------------------------------------
+
+/// LR(0) item: (production, dot position). The augmented production is
+/// stored at index `prods.len() - 1` after augmentation.
+type Item = (usize, usize);
+
+fn build_table(builder: CfgBuilder, start: NonTerm) -> Result<Table, BuildError> {
+    let CfgBuilder {
+        term_names,
+        nt_names,
+        mut prods,
+        term_prec,
+        ..
+    } = builder;
+
+    // Check every used nonterminal has productions.
+    let mut has_prods = vec![false; nt_names.len()];
+    for p in &prods {
+        has_prods[p.lhs.0 as usize] = true;
+    }
+    for p in &prods {
+        for s in &p.rhs {
+            if let GSym::N(n) = s {
+                if !has_prods[n.0 as usize] {
+                    return Err(BuildError::NoProductions(nt_names[n.0 as usize].clone()));
+                }
+            }
+        }
+    }
+    if !has_prods.get(start.0 as usize).copied().unwrap_or(false) {
+        return Err(BuildError::NoProductions(
+            nt_names
+                .get(start.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| "<start>".into()),
+        ));
+    }
+
+    // Augment: S' -> S.
+    let aug_nt = NonTerm(nt_names.len() as u32);
+    let aug_idx = prods.len();
+    prods.push(CfgProd {
+        lhs: aug_nt,
+        rhs: vec![GSym::N(start)],
+        prec: None,
+    });
+    let nt_count = nt_names.len() + 1;
+    let eof = term_names.len() as u32;
+
+    // FIRST sets over nonterminals (a terminal's FIRST is itself).
+    let mut first: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nt_count];
+    let mut nullable = vec![false; nt_count];
+    loop {
+        let mut changed = false;
+        for p in &prods {
+            let lhs = p.lhs.0 as usize;
+            let mut all_nullable = true;
+            for s in &p.rhs {
+                match s {
+                    GSym::T(t) => {
+                        changed |= first[lhs].insert(t.0);
+                        all_nullable = false;
+                        break;
+                    }
+                    GSym::N(n) => {
+                        let add: Vec<u32> = first[n.0 as usize].iter().copied().collect();
+                        for a in add {
+                            changed |= first[lhs].insert(a);
+                        }
+                        if !nullable[n.0 as usize] {
+                            all_nullable = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if all_nullable && !nullable[lhs] {
+                nullable[lhs] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // FOLLOW sets.
+    let mut follow: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nt_count];
+    follow[aug_nt.0 as usize].insert(eof);
+    loop {
+        let mut changed = false;
+        for p in &prods {
+            for (i, s) in p.rhs.iter().enumerate() {
+                let GSym::N(n) = s else { continue };
+                let n = n.0 as usize;
+                let mut rest_nullable = true;
+                for t in &p.rhs[i + 1..] {
+                    match t {
+                        GSym::T(t) => {
+                            changed |= follow[n].insert(t.0);
+                            rest_nullable = false;
+                            break;
+                        }
+                        GSym::N(m) => {
+                            let add: Vec<u32> = first[m.0 as usize].iter().copied().collect();
+                            for a in add {
+                                changed |= follow[n].insert(a);
+                            }
+                            if !nullable[m.0 as usize] {
+                                rest_nullable = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if rest_nullable {
+                    let add: Vec<u32> = follow[p.lhs.0 as usize].iter().copied().collect();
+                    for a in add {
+                        changed |= follow[n].insert(a);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // LR(0) canonical collection.
+    let closure = |items: BTreeSet<Item>| -> BTreeSet<Item> {
+        let mut set = items;
+        let mut work: Vec<Item> = set.iter().copied().collect();
+        while let Some((p, dot)) = work.pop() {
+            if let Some(GSym::N(n)) = prods[p].rhs.get(dot) {
+                for (q, prod) in prods.iter().enumerate() {
+                    if prod.lhs == *n && set.insert((q, 0)) {
+                        work.push((q, 0));
+                    }
+                }
+            }
+        }
+        set
+    };
+
+    let start_state = closure(BTreeSet::from([(aug_idx, 0)]));
+    let mut states: Vec<BTreeSet<Item>> = vec![start_state.clone()];
+    let mut state_ids: BTreeMap<Vec<Item>, usize> = BTreeMap::new();
+    state_ids.insert(start_state.iter().copied().collect(), 0);
+    let mut transitions: Vec<BTreeMap<GSym, usize>> = vec![BTreeMap::new()];
+    let mut frontier = vec![0usize];
+    while let Some(sid) = frontier.pop() {
+        // Group items by the symbol after the dot.
+        let mut by_sym: BTreeMap<GSym, BTreeSet<Item>> = BTreeMap::new();
+        for &(p, dot) in &states[sid] {
+            if let Some(&sym) = prods[p].rhs.get(dot) {
+                by_sym.entry(sym).or_default().insert((p, dot + 1));
+            }
+        }
+        for (sym, kernel) in by_sym {
+            let next = closure(kernel);
+            let key: Vec<Item> = next.iter().copied().collect();
+            let nid = match state_ids.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = states.len();
+                    states.push(next);
+                    transitions.push(BTreeMap::new());
+                    state_ids.insert(key, id);
+                    frontier.push(id);
+                    id
+                }
+            };
+            transitions[sid].insert(sym, nid);
+        }
+    }
+
+    // Fill action/goto tables.
+    let mut actions: Vec<BTreeMap<u32, Action>> = vec![BTreeMap::new(); states.len()];
+    let mut gotos: Vec<BTreeMap<u32, usize>> = vec![BTreeMap::new(); states.len()];
+    for (sid, trans) in transitions.iter().enumerate() {
+        for (&sym, &nid) in trans {
+            match sym {
+                GSym::T(t) => {
+                    actions[sid].insert(t.0, Action::Shift(nid));
+                }
+                GSym::N(n) => {
+                    gotos[sid].insert(n.0, nid);
+                }
+            }
+        }
+    }
+    for (sid, items) in states.iter().enumerate() {
+        for &(p, dot) in items {
+            if dot != prods[p].rhs.len() {
+                continue;
+            }
+            if p == aug_idx {
+                actions[sid].insert(eof, Action::Accept);
+                continue;
+            }
+            let lhs = prods[p].lhs.0 as usize;
+            for &la in &follow[lhs] {
+                let la_name = |id: u32| {
+                    if id == eof {
+                        "<eof>".to_string()
+                    } else {
+                        term_names[id as usize].clone()
+                    }
+                };
+                match actions[sid].get(&la).copied() {
+                    None => {
+                        actions[sid].insert(la, Action::Reduce(ProdIdx(p)));
+                    }
+                    Some(Action::Shift(next)) => {
+                        // Shift/reduce: resolve by precedence like YACC.
+                        let rp = prods[p].prec;
+                        let tp = if la == eof {
+                            None
+                        } else {
+                            term_prec.get(&Term(la)).copied()
+                        };
+                        let resolved = match (rp, tp) {
+                            (Some(r), Some(t)) => {
+                                use std::cmp::Ordering::*;
+                                match r.level.cmp(&t.level) {
+                                    Greater => Some(Action::Reduce(ProdIdx(p))),
+                                    Less => Some(Action::Shift(next)),
+                                    Equal => match r.assoc {
+                                        Assoc::Left => Some(Action::Reduce(ProdIdx(p))),
+                                        Assoc::Right => Some(Action::Shift(next)),
+                                        Assoc::NonAssoc => Some(Action::Error),
+                                    },
+                                }
+                            }
+                            _ => None,
+                        };
+                        match resolved {
+                            Some(a) => {
+                                actions[sid].insert(la, a);
+                            }
+                            None => {
+                                return Err(BuildError::ShiftReduce {
+                                    state: sid,
+                                    lookahead: la_name(la),
+                                    prod: ProdIdx(p),
+                                })
+                            }
+                        }
+                    }
+                    Some(Action::Reduce(q)) => {
+                        return Err(BuildError::ReduceReduce {
+                            state: sid,
+                            lookahead: la_name(la),
+                            prods: (q, ProdIdx(p)),
+                        })
+                    }
+                    Some(Action::Accept) | Some(Action::Error) => {}
+                }
+            }
+        }
+    }
+
+    Ok(Table {
+        actions,
+        gotos,
+        prods,
+        term_names,
+        nt_names,
+        eof,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// num-only grammar: S -> num.
+    #[test]
+    fn trivial_grammar_accepts_single_token() {
+        let mut cfg = CfgBuilder::new();
+        let s = cfg.nonterminal("S");
+        let num = cfg.terminal("num");
+        cfg.prod(s, [GSym::T(num)]);
+        let table = cfg.build(s).unwrap();
+
+        struct B;
+        impl TreeBuilder<i32> for B {
+            type Node = i32;
+            fn shift(&mut self, _t: Term, tok: i32) -> i32 {
+                tok
+            }
+            fn reduce(&mut self, _p: ProdIdx, kids: Vec<i32>) -> i32 {
+                kids[0]
+            }
+        }
+        assert_eq!(parse(&table, vec![(num, 5)], &mut B).unwrap(), 5);
+    }
+
+    #[test]
+    fn empty_input_is_syntax_error() {
+        let mut cfg = CfgBuilder::new();
+        let s = cfg.nonterminal("S");
+        let num = cfg.terminal("num");
+        cfg.prod(s, [GSym::T(num)]);
+        let table = cfg.build(s).unwrap();
+        struct B;
+        impl TreeBuilder<i32> for B {
+            type Node = i32;
+            fn shift(&mut self, _t: Term, tok: i32) -> i32 {
+                tok
+            }
+            fn reduce(&mut self, _p: ProdIdx, kids: Vec<i32>) -> i32 {
+                kids[0]
+            }
+        }
+        let err = parse(&table, Vec::<(Term, i32)>::new(), &mut B).unwrap_err();
+        assert_eq!(err.found, "<eof>");
+        assert_eq!(err.expected, vec!["num".to_string()]);
+    }
+
+    struct Calc;
+    impl TreeBuilder<i64> for Calc {
+        type Node = i64;
+        fn shift(&mut self, _t: Term, tok: i64) -> i64 {
+            tok
+        }
+        fn reduce(&mut self, prod: ProdIdx, kids: Vec<i64>) -> i64 {
+            match prod.0 {
+                0 => kids[0] + kids[2],
+                1 => kids[0] - kids[2],
+                2 => kids[0] * kids[2],
+                3 => kids[1],  // ( E )
+                4 => -kids[1], // unary minus
+                _ => kids[0],  // num
+            }
+        }
+    }
+
+    fn calc_table() -> (Table, Term, Term, Term, Term, Term, Term) {
+        let mut cfg = CfgBuilder::new();
+        let e = cfg.nonterminal("E");
+        let plus = cfg.terminal("+");
+        let minus = cfg.terminal("-");
+        let star = cfg.terminal("*");
+        let lp = cfg.terminal("(");
+        let rp = cfg.terminal(")");
+        let num = cfg.terminal("num");
+        let uminus = cfg.terminal("UMINUS");
+        cfg.left(&[plus, minus]);
+        cfg.left(&[star]);
+        cfg.right(&[uminus]);
+        cfg.prod(e, [GSym::N(e), GSym::T(plus), GSym::N(e)]);
+        cfg.prod(e, [GSym::N(e), GSym::T(minus), GSym::N(e)]);
+        cfg.prod(e, [GSym::N(e), GSym::T(star), GSym::N(e)]);
+        cfg.prod(e, [GSym::T(lp), GSym::N(e), GSym::T(rp)]);
+        cfg.prod_with_prec(e, [GSym::T(minus), GSym::N(e)], uminus);
+        cfg.prod(e, [GSym::T(num)]);
+        (cfg.build(e).unwrap(), plus, minus, star, lp, rp, num)
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let (table, plus, minus, star, _lp, _rp, num) = calc_table();
+        let run = |toks: Vec<(Term, i64)>| parse(&table, toks, &mut Calc).unwrap();
+        // 2 + 3 * 4 = 14
+        assert_eq!(
+            run(vec![(num, 2), (plus, 0), (num, 3), (star, 0), (num, 4)]),
+            14
+        );
+        // 10 - 3 - 2 = 5 (left assoc)
+        assert_eq!(
+            run(vec![(num, 10), (minus, 0), (num, 3), (minus, 0), (num, 2)]),
+            5
+        );
+        // -2 * 3 = -6 (unary tighter via %prec)
+        assert_eq!(run(vec![(minus, 0), (num, 2), (star, 0), (num, 3)]), -6);
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let (table, plus, _m, star, lp, rp, num) = calc_table();
+        // (2 + 3) * 4 = 20
+        let toks = vec![
+            (lp, 0),
+            (num, 2),
+            (plus, 0),
+            (num, 3),
+            (rp, 0),
+            (star, 0),
+            (num, 4),
+        ];
+        assert_eq!(parse(&table, toks, &mut Calc).unwrap(), 20);
+    }
+
+    #[test]
+    fn syntax_error_reports_expected_set() {
+        let (table, plus, _m, _s, _lp, _rp, num) = calc_table();
+        let err = parse(&table, vec![(num, 1), (plus, 0), (plus, 0)], &mut Calc).unwrap_err();
+        assert_eq!(err.at, 2);
+        assert_eq!(err.found, "+");
+        assert!(err.expected.contains(&"num".to_string()));
+        assert!(err.expected.contains(&"(".to_string()));
+        let msg = err.to_string();
+        assert!(msg.contains("syntax error"));
+    }
+
+    #[test]
+    fn unresolved_shift_reduce_is_reported() {
+        // Dangling-else shape without precedence: E -> a E | a E b | c
+        let mut cfg = CfgBuilder::new();
+        let e = cfg.nonterminal("E");
+        let a = cfg.terminal("a");
+        let b = cfg.terminal("b");
+        let c = cfg.terminal("c");
+        cfg.prod(e, [GSym::T(a), GSym::N(e)]);
+        cfg.prod(e, [GSym::T(a), GSym::N(e), GSym::T(b)]);
+        cfg.prod(e, [GSym::T(c)]);
+        match cfg.build(e) {
+            Err(BuildError::ShiftReduce { lookahead, .. }) => assert_eq!(lookahead, "b"),
+            other => panic!("expected shift/reduce error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_reduce_is_reported() {
+        // A -> x; B -> x; S -> A | B
+        let mut cfg = CfgBuilder::new();
+        let s = cfg.nonterminal("S");
+        let a = cfg.nonterminal("A");
+        let b = cfg.nonterminal("B");
+        let x = cfg.terminal("x");
+        cfg.prod(a, [GSym::T(x)]);
+        cfg.prod(b, [GSym::T(x)]);
+        cfg.prod(s, [GSym::N(a)]);
+        cfg.prod(s, [GSym::N(b)]);
+        assert!(matches!(cfg.build(s), Err(BuildError::ReduceReduce { .. })));
+    }
+
+    #[test]
+    fn undefined_nonterminal_is_reported() {
+        let mut cfg = CfgBuilder::new();
+        let s = cfg.nonterminal("S");
+        let ghost = cfg.nonterminal("Ghost");
+        cfg.prod(s, [GSym::N(ghost)]);
+        match cfg.build(s) {
+            Err(BuildError::NoProductions(name)) => assert_eq!(name, "Ghost"),
+            other => panic!("expected NoProductions, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn nullable_productions() {
+        // L -> <empty> | L x  — list with epsilon.
+        let mut cfg = CfgBuilder::new();
+        let l = cfg.nonterminal("L");
+        let x = cfg.terminal("x");
+        cfg.prod(l, []);
+        cfg.prod(l, [GSym::N(l), GSym::T(x)]);
+        let table = cfg.build(l).unwrap();
+        struct Count;
+        impl TreeBuilder<()> for Count {
+            type Node = usize;
+            fn shift(&mut self, _t: Term, _tok: ()) -> usize {
+                1
+            }
+            fn reduce(&mut self, _p: ProdIdx, kids: Vec<usize>) -> usize {
+                kids.iter().sum()
+            }
+        }
+        let toks = vec![(x, ()), (x, ()), (x, ())];
+        assert_eq!(parse(&table, toks, &mut Count).unwrap(), 3);
+        assert_eq!(
+            parse(&table, Vec::<(Term, ())>::new(), &mut Count).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn nonassoc_rejects_chained_comparison() {
+        // E -> E < E | num with %nonassoc '<'
+        let mut cfg = CfgBuilder::new();
+        let e = cfg.nonterminal("E");
+        let lt = cfg.terminal("<");
+        let num = cfg.terminal("num");
+        cfg.nonassoc(&[lt]);
+        cfg.prod(e, [GSym::N(e), GSym::T(lt), GSym::N(e)]);
+        cfg.prod(e, [GSym::T(num)]);
+        let table = cfg.build(e).unwrap();
+        struct B;
+        impl TreeBuilder<i64> for B {
+            type Node = i64;
+            fn shift(&mut self, _t: Term, tok: i64) -> i64 {
+                tok
+            }
+            fn reduce(&mut self, _p: ProdIdx, kids: Vec<i64>) -> i64 {
+                kids[0]
+            }
+        }
+        assert!(parse(&table, vec![(num, 1), (lt, 0), (num, 2)], &mut B).is_ok());
+        let err = parse(
+            &table,
+            vec![(num, 1), (lt, 0), (num, 2), (lt, 0), (num, 3)],
+            &mut B,
+        );
+        assert!(err.is_err(), "1 < 2 < 3 must be rejected by %nonassoc");
+    }
+
+    #[test]
+    fn table_exposes_metadata() {
+        let (table, _p, _m, _s, _lp, _rp, num) = calc_table();
+        assert!(table.state_count() > 5);
+        assert_eq!(table.term_name(num), "num");
+        assert_eq!(table.nonterm_name(NonTerm(0)), "E");
+        assert_eq!(table.productions().len(), 7); // 6 + augmented
+    }
+}

@@ -1,0 +1,632 @@
+//! A conventional single-pass compiler over the AST.
+//!
+//! This plays the role of the vendor Pascal compiler in the paper's
+//! sequential comparison (§4.1): the same language, the same target and
+//! calling conventions, but implemented as a straightforward mutable
+//! tree walk with no attribute-grammar machinery at all. It is the
+//! baseline the AG evaluators are benchmarked against, and an
+//! independent implementation that end-to-end tests cross-check the AG
+//! compiler's output behaviour against.
+
+use crate::ast::*;
+use crate::codegen as cg;
+use crate::env::{scalar_ty, Entry, Env, ParamSig, Ty};
+use paragram_rope::Rope;
+use std::sync::Arc;
+
+/// Output of the direct compiler.
+#[derive(Debug)]
+pub struct DirectOutput {
+    /// Generated assembly.
+    pub asm: String,
+    /// Semantic errors.
+    pub errors: Vec<String>,
+}
+
+/// Compiles an AST directly (no attribute grammar).
+pub fn compile_direct(ast: &Program) -> DirectOutput {
+    let mut d = Direct {
+        errors: Vec::new(),
+        next_uid: 1,
+    };
+    let env = Env::new();
+    let (env, off_out, proc_code) = d.decls(&ast.decls, env, 0, -8);
+    let body = d.stmts(&ast.body, &env, 0);
+    let asm = cg::program_code(off_out, &body, &proc_code).to_string();
+    DirectOutput {
+        asm,
+        errors: d.errors,
+    }
+}
+
+struct Direct {
+    errors: Vec<String>,
+    next_uid: i64,
+}
+
+impl Direct {
+    fn uid(&mut self) -> i64 {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        u
+    }
+
+    /// Two passes, matching the attribute grammar's scope semantics:
+    /// first build the complete scope environment (symbol-table phase),
+    /// then compile routine bodies against it (code-generation phase).
+    /// This gives whole-scope visibility — mutual recursion works.
+    fn decls(&mut self, ds: &[Decl], mut env: Env, level: u32, mut off: i32) -> (Env, i32, Rope) {
+        struct PendingProc<'a> {
+            label: Arc<str>,
+            sig: Arc<Vec<ParamSig>>,
+            is_func: bool,
+            decls: &'a [Decl],
+            body: &'a [Stmt],
+        }
+        let mut pending: Vec<PendingProc<'_>> = Vec::new();
+
+        // Pass 1: the symbol table.
+        for d in ds {
+            match d {
+                Decl::Const { name, value } => {
+                    env = env.add(name.as_str(), Entry::Const(*value));
+                }
+                Decl::Var { names, ty } => {
+                    for name in names {
+                        match ty {
+                            TypeExpr::Array { lo, hi } => {
+                                let n = (hi - lo + 1).max(1);
+                                let base = off - 4 * (n as i32 - 1);
+                                env = env.add(
+                                    name.as_str(),
+                                    Entry::Arr {
+                                        level,
+                                        offset: base,
+                                        lo: *lo,
+                                        hi: *hi,
+                                    },
+                                );
+                                off = base - 4;
+                            }
+                            _ => {
+                                env = env.add(
+                                    name.as_str(),
+                                    Entry::Var {
+                                        level,
+                                        offset: off,
+                                        ty: scalar_ty(ty),
+                                        by_ref: false,
+                                    },
+                                );
+                                off -= 4;
+                            }
+                        }
+                    }
+                }
+                Decl::Proc {
+                    name,
+                    params,
+                    result,
+                    decls,
+                    body,
+                } => {
+                    let uid = self.uid();
+                    let label: Arc<str> = Arc::from(format!("P{uid}_{name}").as_str());
+                    let sig: Arc<Vec<ParamSig>> = Arc::new(
+                        params
+                            .iter()
+                            .map(|p| ParamSig {
+                                name: Arc::from(p.name.as_str()),
+                                ty: scalar_ty(&p.ty),
+                                by_ref: p.by_ref,
+                            })
+                            .collect(),
+                    );
+                    let entry = match result {
+                        None => Entry::Proc {
+                            label: Arc::clone(&label),
+                            level: level + 1,
+                            params: Arc::clone(&sig),
+                        },
+                        Some(rt) => Entry::Func {
+                            label: Arc::clone(&label),
+                            level: level + 1,
+                            params: Arc::clone(&sig),
+                            ret: scalar_ty(rt),
+                        },
+                    };
+                    env = env.add(name.as_str(), entry);
+                    pending.push(PendingProc {
+                        label,
+                        sig,
+                        is_func: result.is_some(),
+                        decls,
+                        body,
+                    });
+                }
+            }
+        }
+
+        // Pass 2: bodies against the complete scope.
+        let mut code = Rope::new();
+        for p in pending {
+            let mut inner = env.clone();
+            for (pname, pentry) in cg::param_entries(&p.sig, level + 1) {
+                inner = inner.add(pname, pentry);
+            }
+            let inner_off = if p.is_func { -12 } else { -8 };
+            let (inner_env, inner_off_out, nested) =
+                self.decls(p.decls, inner, level + 1, inner_off);
+            let body_code = self.stmts(p.body, &inner_env, level + 1);
+            let mut proc = cg::prologue(&p.label, inner_off_out, p.is_func);
+            proc.push_rope(&body_code);
+            proc.push_rope(&cg::epilogue(p.is_func));
+            proc.push_rope(&nested);
+            code.push_rope(&proc);
+        }
+        (env, off, code)
+    }
+
+    fn stmts(&mut self, ss: &[Stmt], env: &Env, level: u32) -> Rope {
+        let mut code = Rope::new();
+        for s in ss {
+            code.push_rope(&self.stmt(s, env, level));
+        }
+        code
+    }
+
+    fn stmt(&mut self, s: &Stmt, env: &Env, level: u32) -> Rope {
+        match s {
+            Stmt::Assign { target, value } => {
+                let (vcode, vty) = self.expr(value, env, level);
+                match target {
+                    LValue::Name(name) => {
+                        let slot = match env.lookup(name) {
+                            Some(Entry::Var {
+                                level: l,
+                                offset,
+                                ty,
+                                by_ref,
+                            }) => Some((*l, *offset, *by_ref, *ty)),
+                            Some(Entry::Func { level: l, ret, .. }) => {
+                                Some((*l, -8, false, *ret))
+                            }
+                            Some(e) => {
+                                self.errors
+                                    .push(format!("cannot assign to {name:?} ({})", e.describe()));
+                                None
+                            }
+                            None => {
+                                self.errors
+                                    .push(format!("assignment to undeclared name {name:?}"));
+                                None
+                            }
+                        };
+                        let Some((l, off, by_ref, ty)) = slot else {
+                            return Rope::new();
+                        };
+                        if !ty.compatible(vty) {
+                            self.errors.push(format!(
+                                "cannot assign {vty} to {name:?} of type {ty}"
+                            ));
+                        }
+                        let mut code = vcode;
+                        code.push_rope(&cg::var_addr_to_r2(l, off, by_ref, level));
+                        code.push_rope(&cg::pop_to("r0"));
+                        code.push_str("\tmovl r0, (r2)\n");
+                        code
+                    }
+                    LValue::Index { name, index } => {
+                        let (icode, ity) = self.expr(index, env, level);
+                        cg::expect_int("array index", ity, &mut self.errors);
+                        cg::expect_int("array element value", vty, &mut self.errors);
+                        let Some(Entry::Arr {
+                            level: l,
+                            offset,
+                            lo,
+                            ..
+                        }) = env.lookup(name)
+                        else {
+                            self.errors.push(format!("undeclared array {name:?}"));
+                            return Rope::new();
+                        };
+                        let mut code = vcode;
+                        code.push_rope(&icode);
+                        code.push_rope(&cg::arr_base_to_r2(*l, *offset, level));
+                        code.push_rope(&cg::index_fixup(*lo));
+                        code.push_rope(&cg::pop_to("r0"));
+                        code.push_str("\tmovl r0, (r2)\n");
+                        code
+                    }
+                }
+            }
+            Stmt::Call { name, args } => match env.lookup(name).cloned() {
+                Some(Entry::Proc {
+                    label,
+                    level: plevel,
+                    params,
+                }) => {
+                    let acode = self.args(args, &params, name, env, level);
+                    cg::call(&acode, args.len(), &label, plevel, level, false)
+                }
+                Some(Entry::Func { .. }) => {
+                    self.errors
+                        .push(format!("function {name:?} used as a procedure"));
+                    Rope::new()
+                }
+                Some(e) => {
+                    self.errors
+                        .push(format!("{name:?} is {}, not a procedure", e.describe()));
+                    Rope::new()
+                }
+                None => {
+                    self.errors
+                        .push(format!("call to undeclared procedure {name:?}"));
+                    Rope::new()
+                }
+            },
+            Stmt::If { cond, then, els } => {
+                let uid = self.uid();
+                let (ccode, cty) = self.expr(cond, env, level);
+                cg::expect_bool("if condition", cty, &mut self.errors);
+                let tcode = self.stmts(then, env, level);
+                let mut code = ccode;
+                code.push_rope(&cg::pop_to("r0"));
+                if els.is_empty() {
+                    code.push_str(&format!("\ttstl r0\n\tbeql L{uid}x\n"));
+                    code.push_rope(&tcode);
+                    code.push_str(&format!("L{uid}x:\n"));
+                } else {
+                    let ecode = self.stmts(els, env, level);
+                    code.push_str(&format!("\ttstl r0\n\tbeql L{uid}e\n"));
+                    code.push_rope(&tcode);
+                    code.push_str(&format!("\tbrb L{uid}x\nL{uid}e:\n"));
+                    code.push_rope(&ecode);
+                    code.push_str(&format!("L{uid}x:\n"));
+                }
+                code
+            }
+            Stmt::While { cond, body } => {
+                let uid = self.uid();
+                let (ccode, cty) = self.expr(cond, env, level);
+                cg::expect_bool("while condition", cty, &mut self.errors);
+                let bcode = self.stmts(body, env, level);
+                let mut code = Rope::from(format!("L{uid}t:\n"));
+                code.push_rope(&ccode);
+                code.push_rope(&cg::pop_to("r0"));
+                code.push_str(&format!("\ttstl r0\n\tbeql L{uid}x\n"));
+                code.push_rope(&bcode);
+                code.push_str(&format!("\tbrb L{uid}t\nL{uid}x:\n"));
+                code
+            }
+            Stmt::Write { args } => self.write_args(args, env, level),
+            Stmt::Writeln { args } => {
+                let mut code = self.write_args(args, env, level);
+                code.push_str("\twriteln\n");
+                code
+            }
+            Stmt::Compound(body) => self.stmts(body, env, level),
+            Stmt::Empty => Rope::new(),
+        }
+    }
+
+    fn write_args(&mut self, args: &[WriteArg], env: &Env, level: u32) -> Rope {
+        let mut code = Rope::new();
+        for a in args {
+            match a {
+                WriteArg::Expr(e) => {
+                    let (ecode, _) = self.expr(e, env, level);
+                    code.push_rope(&ecode);
+                    code.push_rope(&cg::write_top());
+                }
+                WriteArg::Str(s) => code.push_rope(&cg::write_str(s)),
+            }
+        }
+        code
+    }
+
+    fn args(
+        &mut self,
+        actuals: &[Expr],
+        formals: &[ParamSig],
+        name: &str,
+        env: &Env,
+        level: u32,
+    ) -> Rope {
+        if actuals.len() != formals.len() {
+            self.errors.push(format!(
+                "procedure {name:?} takes {} arguments, got {}",
+                formals.len(),
+                actuals.len()
+            ));
+        }
+        let mut code = Rope::new();
+        for (i, a) in actuals.iter().enumerate() {
+            let formal = formals.get(i);
+            if formal.is_some_and(|f| f.by_ref) {
+                match self.addr_expr(a, env, level) {
+                    Some(acode) => code.push_rope(&acode),
+                    None => {
+                        self.errors.push(format!(
+                            "var argument {:?} must be a variable",
+                            formal.expect("checked").name
+                        ));
+                        let (vcode, _) = self.expr(a, env, level);
+                        code.push_rope(&vcode);
+                    }
+                }
+            } else {
+                let (vcode, vty) = self.expr(a, env, level);
+                if let Some(f) = formal {
+                    if !f.ty.compatible(vty) {
+                        self.errors.push(format!(
+                            "argument for {:?} must be {}, found {vty}",
+                            f.name, f.ty
+                        ));
+                    }
+                }
+                code.push_rope(&vcode);
+            }
+        }
+        code
+    }
+
+    /// Address-push code for `var` arguments, when the expression is
+    /// addressable.
+    fn addr_expr(&mut self, e: &Expr, env: &Env, level: u32) -> Option<Rope> {
+        match e {
+            Expr::Name(name) => match env.lookup(name) {
+                Some(Entry::Var {
+                    level: l,
+                    offset,
+                    by_ref,
+                    ..
+                }) => {
+                    let mut code = cg::var_addr_to_r2(*l, *offset, *by_ref, level);
+                    code.push_str("\tpushl r2\n");
+                    Some(code)
+                }
+                _ => None,
+            },
+            Expr::Index { name, index } => match env.lookup(name).cloned() {
+                Some(Entry::Arr {
+                    level: l,
+                    offset,
+                    lo,
+                    ..
+                }) => {
+                    let (icode, ity) = self.expr(index, env, level);
+                    cg::expect_int("array index", ity, &mut self.errors);
+                    let mut code = icode;
+                    code.push_rope(&cg::arr_base_to_r2(l, offset, level));
+                    code.push_rope(&cg::index_fixup(lo));
+                    code.push_str("\tpushl r2\n");
+                    Some(code)
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, env: &Env, level: u32) -> (Rope, Ty) {
+        match e {
+            Expr::Num(n) => (cg::push_imm(*n), Ty::Int),
+            Expr::Bool(b) => (cg::push_imm(i64::from(*b)), Ty::Bool),
+            Expr::Name(name) => match env.lookup(name).cloned() {
+                Some(Entry::Const(v)) => (cg::push_imm(v), Ty::Int),
+                Some(Entry::Var {
+                    level: l,
+                    offset,
+                    by_ref,
+                    ty,
+                }) => (cg::push_var(l, offset, by_ref, level), ty),
+                Some(Entry::Func {
+                    label,
+                    level: flevel,
+                    params,
+                    ret,
+                }) if params.is_empty() => (
+                    cg::call(&Rope::new(), 0, &label, flevel, level, true),
+                    ret,
+                ),
+                Some(Entry::Func { .. }) => {
+                    self.errors
+                        .push(format!("function {name:?} needs arguments"));
+                    (Rope::new(), Ty::Error)
+                }
+                Some(Entry::Arr { .. }) => {
+                    self.errors
+                        .push(format!("array {name:?} used as a value"));
+                    (Rope::new(), Ty::Error)
+                }
+                Some(Entry::Proc { .. }) => {
+                    self.errors
+                        .push(format!("procedure {name:?} used as a value"));
+                    (Rope::new(), Ty::Error)
+                }
+                None => {
+                    self.errors.push(format!("undeclared name {name:?}"));
+                    (Rope::new(), Ty::Error)
+                }
+            },
+            Expr::Index { name, index } => {
+                let (icode, ity) = self.expr(index, env, level);
+                cg::expect_int("array index", ity, &mut self.errors);
+                match env.lookup(name) {
+                    Some(Entry::Arr {
+                        level: l,
+                        offset,
+                        lo,
+                        ..
+                    }) => {
+                        let mut code = icode;
+                        code.push_rope(&cg::arr_base_to_r2(*l, *offset, level));
+                        code.push_rope(&cg::index_fixup(*lo));
+                        code.push_str("\tpushl (r2)\n");
+                        (code, Ty::Int)
+                    }
+                    Some(e) => {
+                        self.errors
+                            .push(format!("{name:?} is {}, not an array", e.describe()));
+                        (Rope::new(), Ty::Error)
+                    }
+                    None => {
+                        self.errors.push(format!("undeclared array {name:?}"));
+                        (Rope::new(), Ty::Error)
+                    }
+                }
+            }
+            Expr::Call { name, args } => match env.lookup(name).cloned() {
+                Some(Entry::Func {
+                    label,
+                    level: flevel,
+                    params,
+                    ret,
+                }) => {
+                    if params.len() != args.len() {
+                        self.errors.push(format!(
+                            "function {name:?} takes {} arguments, got {}",
+                            params.len(),
+                            args.len()
+                        ));
+                    }
+                    let acode = self.args(args, &params, name, env, level);
+                    (
+                        cg::call(&acode, args.len(), &label, flevel, level, true),
+                        ret,
+                    )
+                }
+                Some(Entry::Proc { .. }) => {
+                    self.errors
+                        .push(format!("procedure {name:?} used in an expression"));
+                    (Rope::new(), Ty::Error)
+                }
+                Some(e) => {
+                    self.errors
+                        .push(format!("{name:?} is {}, not a function", e.describe()));
+                    (Rope::new(), Ty::Error)
+                }
+                None => {
+                    self.errors
+                        .push(format!("call to undeclared function {name:?}"));
+                    (Rope::new(), Ty::Error)
+                }
+            },
+            Expr::Bin { op, lhs, rhs } => {
+                let (lcode, lty) = self.expr(lhs, env, level);
+                let (rcode, rty) = self.expr(rhs, env, level);
+                let mut code = lcode;
+                code.push_rope(&rcode);
+                let (tail, result) = match op {
+                    BinOp::Add => (cg::arith("addl2"), Ty::Int),
+                    BinOp::Sub => (cg::arith("subl2"), Ty::Int),
+                    BinOp::Mul => (cg::arith("mull2"), Ty::Int),
+                    BinOp::Div => (cg::arith("divl2"), Ty::Int),
+                    BinOp::Mod => (cg::runtime2("__mod"), Ty::Int),
+                    BinOp::And => (cg::runtime2("__and"), Ty::Bool),
+                    BinOp::Or => (cg::runtime2("__or"), Ty::Bool),
+                    BinOp::Eq => (cg::runtime2("__eql"), Ty::Bool),
+                    BinOp::Ne => (cg::runtime2("__neq"), Ty::Bool),
+                    BinOp::Lt => (cg::runtime2("__lss"), Ty::Bool),
+                    BinOp::Le => (cg::runtime2("__leq"), Ty::Bool),
+                    BinOp::Gt => (cg::runtime2("__gtr"), Ty::Bool),
+                    BinOp::Ge => (cg::runtime2("__geq"), Ty::Bool),
+                };
+                match op {
+                    BinOp::Eq | BinOp::Ne => {
+                        if !lty.compatible(rty) {
+                            self.errors
+                                .push(format!("cannot compare {lty} with {rty}"));
+                        }
+                    }
+                    BinOp::And | BinOp::Or => {
+                        cg::expect_bool("left operand", lty, &mut self.errors);
+                        cg::expect_bool("right operand", rty, &mut self.errors);
+                    }
+                    _ => {
+                        cg::expect_int("left operand", lty, &mut self.errors);
+                        cg::expect_int("right operand", rty, &mut self.errors);
+                    }
+                }
+                code.push_rope(&tail);
+                (code, result)
+            }
+            Expr::Neg(x) => {
+                let (xcode, xty) = self.expr(x, env, level);
+                cg::expect_int("negation operand", xty, &mut self.errors);
+                let mut code = xcode;
+                code.push_rope(&cg::negate());
+                (code, Ty::Int)
+            }
+            Expr::Not(x) => {
+                let (xcode, xty) = self.expr(x, env, level);
+                cg::expect_bool("not operand", xty, &mut self.errors);
+                let mut code = xcode;
+                code.push_rope(&cg::runtime1("__not"));
+                (code, Ty::Bool)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::run_asm;
+
+    fn run_direct(src: &str) -> String {
+        let ast = parse(src).unwrap();
+        let out = compile_direct(&ast);
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        run_asm(&out.asm).unwrap()
+    }
+
+    #[test]
+    fn direct_compiles_and_runs() {
+        let out = run_direct(
+            "program p; var i, s: integer; begin i := 1; s := 0; while i <= 4 do begin s := s + i * i; i := i + 1 end; write(s) end.",
+        );
+        assert_eq!(out, "30");
+    }
+
+    #[test]
+    fn direct_handles_procedures() {
+        let out = run_direct(
+            "program p; var r: integer;\nfunction add(a, b: integer): integer;\nbegin add := a + b end;\nbegin r := add(20, 22); write(r) end.",
+        );
+        assert_eq!(out, "42");
+    }
+
+    #[test]
+    fn direct_reports_errors() {
+        let ast = parse("program p; begin x := 1; q(2) end.").unwrap();
+        let out = compile_direct(&ast);
+        assert_eq!(out.errors.len(), 2);
+    }
+
+    /// The key cross-check: on valid programs, the direct compiler and
+    /// the AG compiler must produce behaviourally identical programs.
+    #[test]
+    fn direct_matches_ag_compiler_behaviour() {
+        let srcs = [
+            "program p; var a: array [0..7] of integer; var i: integer;\nbegin i := 0; while i < 8 do begin a[i] := 7 * i; i := i + 1 end; write(a[3], ' ', a[7]) end.",
+            "program p; var g: integer;\nprocedure bump(var x: integer);\nbegin x := x + 1 end;\nfunction twice(n: integer): integer;\nbegin twice := 2 * n end;\nbegin g := 1; bump(g); write(twice(g)) end.",
+            "program p;\nprocedure o;\nvar t: integer;\n procedure i1;\n begin t := t + 10 end;\nbegin t := 1; i1; write(t) end;\nbegin o end.",
+        ];
+        let c = crate::Compiler::new();
+        for src in srcs {
+            let ag = c.compile(src).unwrap();
+            assert!(ag.errors.is_empty());
+            let ast = parse(src).unwrap();
+            let direct = compile_direct(&ast);
+            assert!(direct.errors.is_empty());
+            assert_eq!(
+                run_asm(&ag.asm).unwrap(),
+                run_asm(&direct.asm).unwrap(),
+                "behaviour mismatch for {src}"
+            );
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Lexer for the Pascal subset (§3 of the paper).
+
+use std::fmt;
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Keywords.
+    /// `program`
+    Program,
+    /// `const`
+    Const,
+    /// `var`
+    Var,
+    /// `procedure`
+    Procedure,
+    /// `function`
+    Function,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `integer`
+    Integer,
+    /// `boolean`
+    Boolean,
+    /// `array`
+    Array,
+    /// `of`
+    Of,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `write` (treated as a keyword, as the paper notes its compiler
+    /// does)
+    Write,
+    /// `writeln`
+    Writeln,
+    // Literals and identifiers.
+    /// Identifier.
+    Ident(String),
+    /// Unsigned integer literal.
+    Num(i64),
+    /// Quoted string literal (for `write('...')`).
+    Str(String),
+    // Punctuation and operators.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            other => write!(f, "{}", keyword_text(other)),
+        }
+    }
+}
+
+fn keyword_text(t: &Tok) -> &'static str {
+    use Tok::*;
+    match t {
+        Program => "program",
+        Const => "const",
+        Var => "var",
+        Procedure => "procedure",
+        Function => "function",
+        Begin => "begin",
+        End => "end",
+        If => "if",
+        Then => "then",
+        Else => "else",
+        While => "while",
+        Do => "do",
+        Integer => "integer",
+        Boolean => "boolean",
+        Array => "array",
+        Of => "of",
+        Div => "div",
+        Mod => "mod",
+        And => "and",
+        Or => "or",
+        Not => "not",
+        True => "true",
+        False => "false",
+        Write => "write",
+        Writeln => "writeln",
+        Plus => "+",
+        Minus => "-",
+        Star => "*",
+        LParen => "(",
+        RParen => ")",
+        LBrack => "[",
+        RBrack => "]",
+        Semi => ";",
+        Colon => ":",
+        Comma => ",",
+        Dot => ".",
+        DotDot => "..",
+        Assign => ":=",
+        Eq => "=",
+        Ne => "<>",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        Ident(_) | Num(_) | Str(_) => unreachable!(),
+    }
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes Pascal source. Case-insensitive keywords; `{ … }` and
+/// `(* … *)` comments.
+///
+/// # Errors
+///
+/// [`LexError`] on unterminated strings/comments or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '{' => {
+                while i < bytes.len() && bytes[i] != b'}' {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err(LexError {
+                        line,
+                        msg: "unterminated comment".into(),
+                    });
+                }
+                i += 1;
+            }
+            '(' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            line,
+                            msg: "unterminated comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    if bytes[j] == b'\n' {
+                        return Err(LexError {
+                            line,
+                            msg: "unterminated string".into(),
+                        });
+                    }
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(LexError {
+                        line,
+                        msg: "unterminated string".into(),
+                    });
+                }
+                toks.push(Token {
+                    kind: Tok::Str(src[start..j].to_string()),
+                    line,
+                });
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| LexError {
+                    line,
+                    msg: format!("number {} out of range", &src[start..i]),
+                })?;
+                toks.push(Token {
+                    kind: Tok::Num(n),
+                    line,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = src[start..i].to_ascii_lowercase();
+                let kind = match word.as_str() {
+                    "program" => Tok::Program,
+                    "const" => Tok::Const,
+                    "var" => Tok::Var,
+                    "procedure" => Tok::Procedure,
+                    "function" => Tok::Function,
+                    "begin" => Tok::Begin,
+                    "end" => Tok::End,
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "do" => Tok::Do,
+                    "integer" => Tok::Integer,
+                    "boolean" => Tok::Boolean,
+                    "array" => Tok::Array,
+                    "of" => Tok::Of,
+                    "div" => Tok::Div,
+                    "mod" => Tok::Mod,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "write" => Tok::Write,
+                    "writeln" => Tok::Writeln,
+                    _ => Tok::Ident(word),
+                };
+                toks.push(Token { kind, line });
+            }
+            '+' => push1(&mut toks, &mut i, line, Tok::Plus),
+            '-' => push1(&mut toks, &mut i, line, Tok::Minus),
+            '*' => push1(&mut toks, &mut i, line, Tok::Star),
+            '(' => push1(&mut toks, &mut i, line, Tok::LParen),
+            ')' => push1(&mut toks, &mut i, line, Tok::RParen),
+            '[' => push1(&mut toks, &mut i, line, Tok::LBrack),
+            ']' => push1(&mut toks, &mut i, line, Tok::RBrack),
+            ';' => push1(&mut toks, &mut i, line, Tok::Semi),
+            ',' => push1(&mut toks, &mut i, line, Tok::Comma),
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    toks.push(Token {
+                        kind: Tok::DotDot,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push1(&mut toks, &mut i, line, Tok::Dot);
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token {
+                        kind: Tok::Assign,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push1(&mut toks, &mut i, line, Tok::Colon);
+                }
+            }
+            '=' => push1(&mut toks, &mut i, line, Tok::Eq),
+            '<' => match bytes.get(i + 1) {
+                Some(b'>') => {
+                    toks.push(Token {
+                        kind: Tok::Ne,
+                        line,
+                    });
+                    i += 2;
+                }
+                Some(b'=') => {
+                    toks.push(Token {
+                        kind: Tok::Le,
+                        line,
+                    });
+                    i += 2;
+                }
+                _ => push1(&mut toks, &mut i, line, Tok::Lt),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token {
+                        kind: Tok::Ge,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push1(&mut toks, &mut i, line, Tok::Gt);
+                }
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn push1(toks: &mut Vec<Token>, i: &mut usize, line: usize, kind: Tok) {
+    toks.push(Token { kind, line });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("program Foo; begin end."),
+            vec![
+                Tok::Program,
+                Tok::Ident("foo".into()),
+                Tok::Semi,
+                Tok::Begin,
+                Tok::End,
+                Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("BEGIN End"), vec![Tok::Begin, Tok::End]);
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            kinds("a := 1 <= 2 <> 3 >= 4 < 5 > 6 = 7"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Num(1),
+                Tok::Le,
+                Tok::Num(2),
+                Tok::Ne,
+                Tok::Num(3),
+                Tok::Ge,
+                Tok::Num(4),
+                Tok::Lt,
+                Tok::Num(5),
+                Tok::Gt,
+                Tok::Num(6),
+                Tok::Eq,
+                Tok::Num(7)
+            ]
+        );
+    }
+
+    #[test]
+    fn array_range_dots() {
+        assert_eq!(
+            kinds("array [1..10] of integer"),
+            vec![
+                Tok::Array,
+                Tok::LBrack,
+                Tok::Num(1),
+                Tok::DotDot,
+                Tok::Num(10),
+                Tok::RBrack,
+                Tok::Of,
+                Tok::Integer
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("write('hi { not a comment }') { real comment } (* also *) ;"),
+            vec![
+                Tok::Write,
+                Tok::LParen,
+                Tok::Str("hi { not a comment }".into()),
+                Tok::RParen,
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("'oops\n'").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("{ forever").is_err());
+        assert!(lex("(* forever").is_err());
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        let e = lex("a ? b").unwrap_err();
+        assert!(e.to_string().contains('?'));
+    }
+}

@@ -1,0 +1,221 @@
+//! The Pascal compiler's attribute-value domain.
+
+use crate::env::{Env, ParamSig, Ty};
+use paragram_core::value::AttrValue;
+use paragram_rope::Rope;
+use std::fmt;
+use std::sync::Arc;
+
+/// Attribute values of the Pascal attribute grammar.
+#[derive(Clone, PartialEq)]
+#[derive(Default)]
+pub enum PVal {
+    /// Absent/unit value.
+    #[default]
+    Unit,
+    /// Integer (offsets, constants, levels, unique ids).
+    Int(i64),
+    /// Identifier or string-literal text.
+    Str(Arc<str>),
+    /// A type.
+    Ty(Ty),
+    /// The environment (symbol table).
+    Env(Env),
+    /// Generated code.
+    Code(Rope),
+    /// Semantic-error messages.
+    Errs(Arc<Vec<String>>),
+    /// Parameter signatures (synthesized by formal-parameter lists).
+    Sig(Arc<Vec<ParamSig>>),
+}
+
+impl PVal {
+    /// Empty error list.
+    pub fn no_errs() -> PVal {
+        PVal::Errs(Arc::new(Vec::new()))
+    }
+
+    /// Single-message error list.
+    pub fn err(msg: impl Into<String>) -> PVal {
+        PVal::Errs(Arc::new(vec![msg.into()]))
+    }
+
+    /// Concatenates any number of error lists.
+    pub fn errs_concat(parts: &[&PVal]) -> PVal {
+        let mut out: Vec<String> = Vec::new();
+        for p in parts {
+            out.extend(p.as_errs().iter().cloned());
+        }
+        PVal::Errs(Arc::new(out))
+    }
+
+    /// The integer inside (panics on other variants — semantic rules
+    /// are type-correct by construction and tested).
+    pub fn int(&self) -> i64 {
+        match self {
+            PVal::Int(i) => *i,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// The string inside.
+    pub fn str(&self) -> &Arc<str> {
+        match self {
+            PVal::Str(s) => s,
+            other => panic!("expected Str, got {other:?}"),
+        }
+    }
+
+    /// The type inside.
+    pub fn ty(&self) -> Ty {
+        match self {
+            PVal::Ty(t) => *t,
+            other => panic!("expected Ty, got {other:?}"),
+        }
+    }
+
+    /// The environment inside.
+    pub fn env(&self) -> &Env {
+        match self {
+            PVal::Env(e) => e,
+            other => panic!("expected Env, got {other:?}"),
+        }
+    }
+
+    /// The code rope inside.
+    pub fn code(&self) -> &Rope {
+        match self {
+            PVal::Code(c) => c,
+            other => panic!("expected Code, got {other:?}"),
+        }
+    }
+
+    /// The error list inside (empty for `Unit`).
+    pub fn as_errs(&self) -> &[String] {
+        match self {
+            PVal::Errs(e) => e,
+            PVal::Unit => &[],
+            other => panic!("expected Errs, got {other:?}"),
+        }
+    }
+
+    /// The signature list inside.
+    pub fn sig(&self) -> &Arc<Vec<ParamSig>> {
+        match self {
+            PVal::Sig(s) => s,
+            other => panic!("expected Sig, got {other:?}"),
+        }
+    }
+}
+
+
+impl fmt::Debug for PVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PVal::Unit => write!(f, "()"),
+            PVal::Int(i) => write!(f, "{i}"),
+            PVal::Str(s) => write!(f, "{s:?}"),
+            PVal::Ty(t) => write!(f, "{t}"),
+            PVal::Env(e) => write!(f, "env({} entries)", e.len()),
+            PVal::Code(c) => write!(f, "code({} bytes)", c.len()),
+            PVal::Errs(e) => write!(f, "errs({})", e.len()),
+            PVal::Sig(s) => write!(f, "sig({} params)", s.len()),
+        }
+    }
+}
+
+impl AttrValue for PVal {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            PVal::Unit => 0,
+            PVal::Int(_) => 8,
+            PVal::Str(s) => 4 + s.len(),
+            PVal::Ty(_) => 1,
+            PVal::Env(e) => e.wire_size(|entry| match entry {
+                crate::env::Entry::Proc { params, label, .. }
+                | crate::env::Entry::Func { params, label, .. } => {
+                    label.len() + 8 + params.len() * 12
+                }
+                _ => 16,
+            }),
+            PVal::Code(c) => c.physical_wire_size(),
+            PVal::Errs(e) => 4 + e.iter().map(|m| m.len() + 4).sum::<usize>(),
+            PVal::Sig(s) => 4 + s.len() * 12,
+        }
+    }
+
+    fn deflate(&self, alloc: &mut dyn FnMut(Rope) -> paragram_rope::SegmentId) -> Option<Self> {
+        match self {
+            PVal::Code(c) => {
+                let (deflated, created) = c.deflate(256, alloc);
+                (created > 0).then_some(PVal::Code(deflated))
+            }
+            _ => None,
+        }
+    }
+
+    fn inflate(&self, store: &paragram_rope::SegmentStore) -> Self {
+        match self {
+            PVal::Code(c) if c.has_segments() => match c.resolve(store) {
+                Ok(r) => PVal::Code(r),
+                Err(_) => self.clone(),
+            },
+            _ => self.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errs_concat_flattens() {
+        let a = PVal::err("one");
+        let b = PVal::no_errs();
+        let c = PVal::err("two");
+        let all = PVal::errs_concat(&[&a, &b, &c]);
+        assert_eq!(all.as_errs(), &["one".to_string(), "two".to_string()]);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(PVal::Int(3).int(), 3);
+        assert_eq!(PVal::Ty(Ty::Bool).ty(), Ty::Bool);
+        assert_eq!(PVal::Code(Rope::from("x")).code().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        PVal::Unit.int();
+    }
+
+    #[test]
+    fn wire_size_env_counts_entries() {
+        let e = Env::new().add("x", crate::env::Entry::Const(1));
+        let small = PVal::Env(Env::new()).wire_size();
+        let big = PVal::Env(e).wire_size();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn code_deflates_and_inflates() {
+        use paragram_rope::{SegmentId, SegmentStore};
+        let mut store = SegmentStore::new();
+        let text = "instr\n".repeat(100);
+        let v = PVal::Code(Rope::from(text.as_str()));
+        let mut n = 0;
+        let d = v
+            .deflate(&mut |r| {
+                let id = SegmentId::from_parts(0, n);
+                n += 1;
+                store.register(id, r);
+                id
+            })
+            .expect("big code deflates");
+        assert!(d.wire_size() < v.wire_size());
+        let back = d.inflate(&store);
+        assert_eq!(back.code().to_string(), text);
+    }
+}

@@ -1,0 +1,268 @@
+//! String-librarian descriptors (paper §4.2).
+//!
+//! When an evaluator finishes its final code attribute it sends the *text*
+//! to the string librarian process once, and passes only a small
+//! [`Descriptor`] to its ancestor in the process tree. Ancestors combine
+//! descriptors (cheap), and the root forwards the combined descriptor to the
+//! librarian, which resolves it against its [`SegmentStore`] to produce the
+//! final code rope. This turns result propagation from a sequential chain of
+//! ever-growing string transmissions into one parallel transmission per
+//! evaluator plus O(#evaluators) descriptor bytes.
+
+use crate::Rope;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a text segment registered with the librarian.
+///
+/// The high bits name the owning evaluator so that ids allocated on
+/// different machines never collide (the same scheme the paper uses for
+/// unique label generation, §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u64);
+
+impl SegmentId {
+    /// Builds a segment id from an evaluator index and a local counter.
+    pub fn from_parts(evaluator: u32, local: u32) -> Self {
+        SegmentId(((evaluator as u64) << 32) | local as u64)
+    }
+
+    /// The evaluator that allocated this id.
+    pub fn evaluator(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}.{}", self.evaluator(), self.0 as u32)
+    }
+}
+
+/// A compact, shareable description of a string built from registered
+/// segments and small literal snippets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Descriptor {
+    /// The empty string.
+    #[default]
+    Empty,
+    /// A segment stored at the librarian.
+    Seg(SegmentId),
+    /// A short literal carried inline (used for glue text between
+    /// separately generated code blocks).
+    Lit(Arc<str>),
+    /// Concatenation of two descriptors.
+    Concat(Arc<Descriptor>, Arc<Descriptor>),
+}
+
+impl Descriptor {
+    /// Descriptor for a literal snippet. Empty literals collapse to
+    /// [`Descriptor::Empty`].
+    pub fn lit(text: impl Into<Arc<str>>) -> Self {
+        let text: Arc<str> = text.into();
+        if text.is_empty() {
+            Descriptor::Empty
+        } else {
+            Descriptor::Lit(text)
+        }
+    }
+
+    /// Combines two descriptors (O(1)).
+    pub fn concat(&self, other: &Descriptor) -> Descriptor {
+        match (self, other) {
+            (Descriptor::Empty, d) | (d, Descriptor::Empty) => d.clone(),
+            (a, b) => Descriptor::Concat(Arc::new(a.clone()), Arc::new(b.clone())),
+        }
+    }
+
+    /// All segment ids referenced by this descriptor, left to right.
+    pub fn segments(&self) -> Vec<SegmentId> {
+        let mut out = Vec::new();
+        self.collect_segments(&mut out);
+        out
+    }
+
+    fn collect_segments(&self, out: &mut Vec<SegmentId>) {
+        match self {
+            Descriptor::Empty | Descriptor::Lit(_) => {}
+            Descriptor::Seg(id) => out.push(*id),
+            Descriptor::Concat(a, b) => {
+                a.collect_segments(out);
+                b.collect_segments(out);
+            }
+        }
+    }
+
+    /// Number of bytes needed to transmit this descriptor over the
+    /// network: a tag byte per node plus 8 bytes per segment id plus
+    /// literal text.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Descriptor::Empty => 1,
+            Descriptor::Seg(_) => 9,
+            Descriptor::Lit(s) => 1 + 4 + s.len(),
+            Descriptor::Concat(a, b) => 1 + a.wire_size() + b.wire_size(),
+        }
+    }
+}
+
+
+/// The librarian's storage: segment id → text.
+///
+/// # Examples
+///
+/// ```
+/// use paragram_rope::{Descriptor, Rope, SegmentId, SegmentStore};
+///
+/// let mut store = SegmentStore::new();
+/// let a = SegmentId::from_parts(1, 0);
+/// let b = SegmentId::from_parts(2, 0);
+/// store.register(a, Rope::from("hello "));
+/// store.register(b, Rope::from("world"));
+/// let d = Descriptor::Seg(a).concat(&Descriptor::Seg(b));
+/// assert_eq!(store.resolve(&d).unwrap().to_string(), "hello world");
+/// ```
+#[derive(Debug, Default)]
+pub struct SegmentStore {
+    segments: HashMap<SegmentId, Rope>,
+    bytes: usize,
+}
+
+/// Error returned by [`SegmentStore::resolve`] when a descriptor names a
+/// segment that was never registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSegment(pub SegmentId);
+
+impl fmt::Display for UnknownSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown segment {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSegment {}
+
+impl SegmentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `text` under `id`, replacing any previous registration.
+    pub fn register(&mut self, id: SegmentId, text: Rope) {
+        self.bytes += text.len();
+        if let Some(old) = self.segments.insert(id, text) {
+            self.bytes -= old.len();
+        }
+    }
+
+    /// Looks up a registered segment.
+    pub fn get(&self, id: SegmentId) -> Option<&Rope> {
+        self.segments.get(&id)
+    }
+
+    /// Number of registered segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` if no segments are registered.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total registered text bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Resolves a descriptor into the final rope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSegment`] if the descriptor references a segment id
+    /// that has not been registered (e.g. an evaluator crashed before
+    /// shipping its code text).
+    pub fn resolve(&self, d: &Descriptor) -> Result<Rope, UnknownSegment> {
+        match d {
+            Descriptor::Empty => Ok(Rope::new()),
+            Descriptor::Seg(id) => self
+                .segments
+                .get(id)
+                .cloned()
+                .ok_or(UnknownSegment(*id)),
+            Descriptor::Lit(s) => Ok(Rope::leaf(Arc::clone(s))),
+            Descriptor::Concat(a, b) => Ok(self.resolve(a)?.concat(&self.resolve(b)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_id_round_trips_parts() {
+        let id = SegmentId::from_parts(3, 17);
+        assert_eq!(id.evaluator(), 3);
+        assert_eq!(id.0 & 0xffff_ffff, 17);
+        assert_eq!(id.to_string(), "seg3.17");
+    }
+
+    #[test]
+    fn empty_descriptor_resolves_empty() {
+        let store = SegmentStore::new();
+        assert!(store.resolve(&Descriptor::Empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concat_collapses_empty() {
+        let d = Descriptor::Empty.concat(&Descriptor::lit("x"));
+        assert_eq!(d, Descriptor::lit("x"));
+        let d2 = Descriptor::lit("").concat(&Descriptor::Empty);
+        assert_eq!(d2, Descriptor::Empty);
+    }
+
+    #[test]
+    fn resolve_interleaves_segments_and_literals() {
+        let mut store = SegmentStore::new();
+        let a = SegmentId::from_parts(0, 1);
+        let b = SegmentId::from_parts(1, 1);
+        store.register(a, Rope::from("AAA"));
+        store.register(b, Rope::from("BBB"));
+        let d = Descriptor::Seg(a)
+            .concat(&Descriptor::lit("--"))
+            .concat(&Descriptor::Seg(b));
+        assert_eq!(store.resolve(&d).unwrap().to_string(), "AAA--BBB");
+        assert_eq!(d.segments(), vec![a, b]);
+    }
+
+    #[test]
+    fn unknown_segment_is_an_error() {
+        let store = SegmentStore::new();
+        let d = Descriptor::Seg(SegmentId::from_parts(9, 9));
+        let err = store.resolve(&d).unwrap_err();
+        assert_eq!(err.0, SegmentId::from_parts(9, 9));
+        assert!(err.to_string().contains("seg9.9"));
+    }
+
+    #[test]
+    fn register_replaces_and_tracks_bytes() {
+        let mut store = SegmentStore::new();
+        let id = SegmentId::from_parts(0, 0);
+        store.register(id, Rope::from("12345"));
+        assert_eq!(store.total_bytes(), 5);
+        store.register(id, Rope::from("12"));
+        assert_eq!(store.total_bytes(), 2);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn wire_size_is_small_for_descriptors() {
+        let d = Descriptor::Seg(SegmentId(1)).concat(&Descriptor::Seg(SegmentId(2)));
+        // Far smaller than any realistic code attribute.
+        assert!(d.wire_size() < 32);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for segment-bearing ropes (the librarian protocol):
+//! deflate followed by resolve must be the identity on content, for any
+//! mix of text and pre-existing segment references.
+
+use paragram_rope::{Rope, SegmentId, SegmentStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Text(String),
+    Registered(String),
+}
+
+fn pieces() -> impl Strategy<Value = Vec<Piece>> {
+    prop::collection::vec(
+        prop_oneof![
+            "[a-z]{0,300}".prop_map(Piece::Text),
+            "[A-Z]{1,40}".prop_map(Piece::Registered),
+        ],
+        0..12,
+    )
+}
+
+proptest! {
+    #[test]
+    fn deflate_then_resolve_is_identity(parts in pieces(), threshold in 1usize..512) {
+        let mut store = SegmentStore::new();
+        let mut next = 0u32;
+        // Build the input rope: text leaves plus already-registered
+        // child segments (as an inner evaluator would have produced).
+        let mut rope = Rope::new();
+        let mut expected = String::new();
+        for p in &parts {
+            match p {
+                Piece::Text(t) => {
+                    rope.push_str(t);
+                    expected.push_str(t);
+                }
+                Piece::Registered(t) => {
+                    let id = SegmentId::from_parts(9, next);
+                    next += 1;
+                    store.register(id, Rope::from(t.as_str()));
+                    rope.push_rope(&Rope::seg(id, t.len()));
+                    expected.push_str(t);
+                }
+            }
+        }
+        prop_assert_eq!(rope.len(), expected.len());
+
+        let (deflated, _created) = rope.deflate(threshold, &mut |text| {
+            let id = SegmentId::from_parts(3, next);
+            next += 1;
+            store.register(id, text);
+            id
+        });
+        // Logical length is preserved by deflation.
+        prop_assert_eq!(deflated.len(), expected.len());
+        // Physical wire size never exceeds the original text plus
+        // header/reference overhead.
+        prop_assert!(deflated.physical_wire_size() <= expected.len() + 8 + 9 * (parts.len() + 4));
+        // Resolution restores the exact content.
+        let resolved = deflated.resolve(&store).unwrap();
+        prop_assert_eq!(resolved.to_string(), expected);
+        prop_assert!(!resolved.has_segments());
+    }
+
+    #[test]
+    fn concat_of_deflated_ropes_resolves_in_order(
+        a in "[a-z]{0,400}",
+        b in "[a-z]{0,400}",
+    ) {
+        let mut store = SegmentStore::new();
+        let mut next = 0u32;
+        let mut alloc = |text: Rope| {
+            let id = SegmentId::from_parts(0, next);
+            next += 1;
+            store.register(id, text);
+            id
+        };
+        let (da, _) = Rope::from(a.as_str()).deflate(64, &mut alloc);
+        let (db, _) = Rope::from(b.as_str()).deflate(64, &mut alloc);
+        let combined = da.concat(&db);
+        prop_assert_eq!(
+            combined.resolve(&store).unwrap().to_string(),
+            format!("{a}{b}")
+        );
+    }
+}

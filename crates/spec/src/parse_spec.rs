@@ -1,0 +1,596 @@
+//! Parser for the specification language itself.
+
+use std::fmt;
+
+/// A parsed (but not yet bound) specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecAst {
+    /// `%name` terminals (carry a scanner-computed `string` attribute).
+    pub name_terminals: Vec<String>,
+    /// `%keyword` terminals (no attributes).
+    pub keywords: Vec<String>,
+    /// Nonterminal declarations.
+    pub nonterminals: Vec<NtDecl>,
+    /// Start symbol and the function to call with its root attributes.
+    pub start: (String, String),
+    /// Precedence levels, weakest first.
+    pub prec: Vec<(Assoc, Vec<String>)>,
+    /// Productions.
+    pub prods: Vec<SpecProd>,
+}
+
+/// Associativity of a precedence level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assoc {
+    /// `%left`.
+    Left,
+    /// `%right`.
+    Right,
+}
+
+/// One nonterminal declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtDecl {
+    /// Name.
+    pub name: String,
+    /// Synthesized attribute names.
+    pub syn: Vec<String>,
+    /// Inherited attribute names.
+    pub inh: Vec<String>,
+    /// `Some(min_size)` if `%split`, `None` if `%nosplit`.
+    pub split: Option<usize>,
+}
+
+/// One production with its semantic rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecProd {
+    /// LHS nonterminal.
+    pub lhs: String,
+    /// RHS symbols: nonterminal/terminal names or quoted literals.
+    pub rhs: Vec<SpecSym>,
+    /// Semantic rules.
+    pub rules: Vec<SpecRule>,
+}
+
+/// An RHS symbol in a production.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecSym {
+    /// Named symbol (terminal or nonterminal).
+    Named(String),
+    /// Quoted literal terminal like `'+'`.
+    Lit(String),
+}
+
+/// One semantic rule `target = expr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRule {
+    /// Target occurrence: 0 = `$$`, i = `$i`.
+    pub target_occ: usize,
+    /// Target attribute name.
+    pub target_attr: String,
+    /// Right-hand-side expression.
+    pub expr: RuleExpr,
+}
+
+/// Expression language of rule right-hand sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleExpr {
+    /// `$i.attr` (or `$$.attr` with occ 0).
+    Attr {
+        /// Occurrence (0 = LHS).
+        occ: usize,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `f(arg, …)`.
+    Call {
+        /// Function name (resolved against the registry).
+        func: String,
+        /// Arguments.
+        args: Vec<RuleExpr>,
+    },
+}
+
+impl RuleExpr {
+    /// All attribute references, in evaluation order.
+    pub fn attr_refs(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<(usize, String)>) {
+        match self {
+            RuleExpr::Attr { occ, attr } => out.push((*occ, attr.clone())),
+            RuleExpr::Call { args, .. } => {
+                for a in args {
+                    a.collect(out);
+                }
+            }
+        }
+    }
+}
+
+/// A specification-language error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// Tokenizer for the spec language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum T {
+    Directive(String), // %name, %split, ...
+    Ident(String),
+    Lit(String),  // '...'
+    DollarDollar, // $$
+    DollarNum(usize),
+    Num(usize),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+    Eq,
+    Dot,
+    Sep, // %%
+}
+
+fn tokenize(src: &str) -> Result<Vec<(T, usize)>, SpecError> {
+    let mut out = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        // Comments: -- to end of line.
+        let text = raw.split("--").next().unwrap_or("");
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\r' => i += 1,
+                '%' => {
+                    if text[i..].starts_with("%%") {
+                        out.push((T::Sep, line));
+                        i += 2;
+                    } else {
+                        let start = i + 1;
+                        let mut j = start;
+                        while j < bytes.len() && (bytes[j] as char).is_ascii_alphanumeric() {
+                            j += 1;
+                        }
+                        if j == start {
+                            return Err(SpecError {
+                                line,
+                                msg: "bare '%'".into(),
+                            });
+                        }
+                        out.push((T::Directive(text[start..j].to_string()), line));
+                        i = j;
+                    }
+                }
+                '$' => {
+                    if text[i..].starts_with("$$") {
+                        out.push((T::DollarDollar, line));
+                        i += 2;
+                    } else {
+                        let start = i + 1;
+                        let mut j = start;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                        if j == start {
+                            return Err(SpecError {
+                                line,
+                                msg: "bare '$'".into(),
+                            });
+                        }
+                        let n: usize = text[start..j].parse().map_err(|_| SpecError {
+                            line,
+                            msg: "bad occurrence number".into(),
+                        })?;
+                        out.push((T::DollarNum(n), line));
+                        i = j;
+                    }
+                }
+                '\'' => {
+                    let start = i + 1;
+                    let Some(rel) = text[start..].find('\'') else {
+                        return Err(SpecError {
+                            line,
+                            msg: "unterminated literal".into(),
+                        });
+                    };
+                    out.push((T::Lit(text[start..start + rel].to_string()), line));
+                    i = start + rel + 1;
+                }
+                '{' => {
+                    out.push((T::LBrace, line));
+                    i += 1;
+                }
+                '}' => {
+                    out.push((T::RBrace, line));
+                    i += 1;
+                }
+                '(' => {
+                    out.push((T::LParen, line));
+                    i += 1;
+                }
+                ')' => {
+                    out.push((T::RParen, line));
+                    i += 1;
+                }
+                ':' => {
+                    out.push((T::Colon, line));
+                    i += 1;
+                }
+                ';' => {
+                    out.push((T::Semi, line));
+                    i += 1;
+                }
+                ',' => {
+                    out.push((T::Comma, line));
+                    i += 1;
+                }
+                '=' => {
+                    out.push((T::Eq, line));
+                    i += 1;
+                }
+                '.' => {
+                    out.push((T::Dot, line));
+                    i += 1;
+                }
+                '0'..='9' => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: usize = text[start..i].parse().map_err(|_| SpecError {
+                        line,
+                        msg: "bad number".into(),
+                    })?;
+                    out.push((T::Num(n), line));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.push((T::Ident(text[start..i].to_string()), line));
+                }
+                other => {
+                    return Err(SpecError {
+                        line,
+                        msg: format!("unexpected character {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(T, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&T> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SpecError {
+        SpecError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<T> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, want: &T, what: &str) -> Result<(), SpecError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SpecError> {
+        match self.peek() {
+            Some(T::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+}
+
+/// Parses a specification.
+///
+/// # Errors
+///
+/// [`SpecError`] with the offending line.
+pub fn parse_spec(src: &str) -> Result<SpecAst, SpecError> {
+    let toks = tokenize(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut ast = SpecAst {
+        name_terminals: Vec::new(),
+        keywords: Vec::new(),
+        nonterminals: Vec::new(),
+        start: (String::new(), String::new()),
+        prec: Vec::new(),
+        prods: Vec::new(),
+    };
+
+    // Declarations until %%.
+    loop {
+        let dline = p.line();
+        match p.bump() {
+            Some(T::Sep) => break,
+            Some(T::Directive(d)) => match d.as_str() {
+                "name" => {
+                    while let Some(T::Ident(_)) = p.peek() {
+                        ast.name_terminals.push(p.ident("terminal name")?);
+                    }
+                }
+                "keyword" => {
+                    while let Some(T::Ident(_)) = p.peek() {
+                        ast.keywords.push(p.ident("keyword name")?);
+                    }
+                }
+                "nosplit" | "split" => {
+                    let split = if d == "split" {
+                        p.eat(&T::LParen, "'(' after %split")?;
+                        let Some(T::Num(n)) = p.bump() else {
+                            return Err(p.err("expected minimum split size"));
+                        };
+                        p.eat(&T::RParen, "')'")?;
+                        Some(n)
+                    } else {
+                        None
+                    };
+                    let name = p.ident("nonterminal name")?;
+                    p.eat(&T::LBrace, "'{'")?;
+                    let mut syn = Vec::new();
+                    let mut inh = Vec::new();
+                    while p.peek() != Some(&T::RBrace) {
+                        let kind = p.ident("'syn' or 'inh'")?;
+                        let list = match kind.as_str() {
+                            "syn" => &mut syn,
+                            "inh" => &mut inh,
+                            other => {
+                                return Err(p.err(format!(
+                                    "expected 'syn' or 'inh', found {other:?}"
+                                )))
+                            }
+                        };
+                        loop {
+                            list.push(p.ident("attribute name")?);
+                            if p.peek() == Some(&T::Comma) {
+                                p.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        p.eat(&T::Semi, "';'")?;
+                    }
+                    p.eat(&T::RBrace, "'}'")?;
+                    ast.nonterminals.push(NtDecl {
+                        name,
+                        syn,
+                        inh,
+                        split,
+                    });
+                }
+                "start" => {
+                    let sym = p.ident("start symbol")?;
+                    let func = p.ident("start function")?;
+                    ast.start = (sym, func);
+                }
+                "left" | "right" => {
+                    let assoc = if d == "left" { Assoc::Left } else { Assoc::Right };
+                    let mut terms = Vec::new();
+                    loop {
+                        match p.peek() {
+                            Some(T::Lit(s)) => {
+                                terms.push(s.clone());
+                                p.pos += 1;
+                            }
+                            Some(T::Ident(_)) => terms.push(p.ident("terminal")?),
+                            _ => break,
+                        }
+                    }
+                    ast.prec.push((assoc, terms));
+                }
+                other => {
+                    return Err(SpecError {
+                        line: dline,
+                        msg: format!("unknown directive %{other}"),
+                    })
+                }
+            },
+            Some(_) => {
+                return Err(SpecError {
+                    line: dline,
+                    msg: "expected a %directive or %%".into(),
+                })
+            }
+            None => return Err(p.err("missing %% separator")),
+        }
+    }
+
+    // Productions.
+    while p.peek().is_some() {
+        let lhs = p.ident("production LHS")?;
+        p.eat(&T::Colon, "':'")?;
+        let mut rhs = Vec::new();
+        loop {
+            match p.peek() {
+                Some(T::Ident(s)) => {
+                    rhs.push(SpecSym::Named(s.clone()));
+                    p.pos += 1;
+                }
+                Some(T::Lit(s)) => {
+                    rhs.push(SpecSym::Lit(s.clone()));
+                    p.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        p.eat(&T::LBrace, "'{' before semantic rules")?;
+        let mut rules = Vec::new();
+        while p.peek() != Some(&T::RBrace) {
+            let target_occ = match p.bump() {
+                Some(T::DollarDollar) => 0,
+                Some(T::DollarNum(n)) => n,
+                _ => return Err(p.err("rule target must be $$ or $i")),
+            };
+            p.eat(&T::Dot, "'.'")?;
+            let target_attr = p.ident("attribute name")?;
+            p.eat(&T::Eq, "'='")?;
+            let expr = parse_rule_expr(&mut p)?;
+            p.eat(&T::Semi, "';' after rule")?;
+            rules.push(SpecRule {
+                target_occ,
+                target_attr,
+                expr,
+            });
+        }
+        p.eat(&T::RBrace, "'}'")?;
+        ast.prods.push(SpecProd { lhs, rhs, rules });
+    }
+
+    if ast.start.0.is_empty() {
+        return Err(SpecError {
+            line: 0,
+            msg: "missing %start declaration".into(),
+        });
+    }
+    Ok(ast)
+}
+
+fn parse_rule_expr(p: &mut P) -> Result<RuleExpr, SpecError> {
+    match p.bump() {
+        Some(T::DollarDollar) => {
+            p.eat(&T::Dot, "'.'")?;
+            Ok(RuleExpr::Attr {
+                occ: 0,
+                attr: p.ident("attribute name")?,
+            })
+        }
+        Some(T::DollarNum(n)) => {
+            p.eat(&T::Dot, "'.'")?;
+            Ok(RuleExpr::Attr {
+                occ: n,
+                attr: p.ident("attribute name")?,
+            })
+        }
+        Some(T::Ident(func)) => {
+            p.eat(&T::LParen, "'(' after function name")?;
+            let mut args = Vec::new();
+            if p.peek() != Some(&T::RParen) {
+                loop {
+                    args.push(parse_rule_expr(p)?);
+                    if p.peek() == Some(&T::Comma) {
+                        p.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            p.eat(&T::RParen, "')'")?;
+            Ok(RuleExpr::Call { func, args })
+        }
+        _ => Err(p.err("expected $$.a, $i.a or f(...)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_appendix_spec() {
+        let ast = parse_spec(crate::EXPR_SPEC).unwrap();
+        assert_eq!(ast.name_terminals, vec!["IDENTIFIER", "NUMBER"]);
+        assert_eq!(ast.keywords, vec!["LET", "IN", "NI"]);
+        assert_eq!(ast.nonterminals.len(), 3);
+        let block = ast
+            .nonterminals
+            .iter()
+            .find(|n| n.name == "block")
+            .unwrap();
+        assert_eq!(block.split, Some(1000));
+        assert_eq!(block.syn, vec!["value"]);
+        assert_eq!(block.inh, vec!["stab"]);
+        assert_eq!(ast.start, ("main_expr".to_string(), "printn".to_string()));
+        assert_eq!(ast.prec.len(), 2);
+        assert_eq!(ast.prods.len(), 7);
+    }
+
+    #[test]
+    fn rule_expressions_nest() {
+        let ast = parse_spec(
+            "%name N\n%nosplit e { syn v; }\n%start e f\n%%\ne : N { $$.v = add(mul($1.string, $1.string), $1.string); }\n",
+        )
+        .unwrap();
+        let rule = &ast.prods[0].rules[0];
+        assert_eq!(rule.target_occ, 0);
+        let refs = rule.expr.attr_refs();
+        assert_eq!(refs.len(), 3);
+        assert!(refs.iter().all(|(occ, a)| *occ == 1 && a == "string"));
+    }
+
+    #[test]
+    fn comments_are_ignored()  {
+        let ast = parse_spec(
+            "%name N -- tokens\n%nosplit e { syn v; } -- nt\n%start e f\n%%\n-- rules\ne : N { $$.v = $1.string; }\n",
+        )
+        .unwrap();
+        assert_eq!(ast.prods.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_spec("%name N\n%bogus\n%%\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn missing_start_is_rejected() {
+        let e = parse_spec("%name N\n%nosplit e { syn v; }\n%%\ne : N { $$.v = $1.string; }\n")
+            .unwrap_err();
+        assert!(e.msg.contains("start"));
+    }
+}

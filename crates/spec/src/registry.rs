@@ -1,0 +1,166 @@
+//! Semantic-function registry.
+//!
+//! The paper's semantic rules call functions like `st_add` that are
+//! "written in a standard programming language and trusted not to
+//! produce any visible side effects". A [`FnRegistry`] maps the names
+//! used in a specification to such functions; [`builtins`] provides the
+//! standard library the appendix assumes (symbol tables, arithmetic,
+//! string/rope helpers).
+
+use paragram_core::value::Value;
+use paragram_rope::Rope;
+use paragram_symtab::SymTab;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A semantic function over attribute values.
+pub type SemFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// Name → semantic function bindings for a specification.
+#[derive(Clone, Default)]
+pub struct FnRegistry {
+    fns: HashMap<String, SemFn>,
+}
+
+impl FnRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a function under `name` (replacing any previous
+    /// binding).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.fns.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Looks up a function.
+    pub fn get(&self, name: &str) -> Option<&SemFn> {
+        self.fns.get(name)
+    }
+
+    /// Registered names (sorted, for error messages).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.fns.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl std::fmt::Debug for FnRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnRegistry({} functions)", self.fns.len())
+    }
+}
+
+/// The standard library of the appendix: symbol tables, integer
+/// arithmetic and rope strings.
+pub fn builtins() -> FnRegistry {
+    let mut r = FnRegistry::new();
+    // Symbol tables (st_create / st_add / st_lookup of the appendix).
+    r.register("st_create", |_| Value::Tab(SymTab::new()));
+    r.register("st_add", |a| match (&a[0], &a[1]) {
+        (Value::Tab(t), Value::Str(name)) => Value::Tab(t.add(Arc::clone(name), a[2].clone())),
+        _ => Value::Unit,
+    });
+    r.register("st_lookup", |a| match (&a[0], &a[1]) {
+        (Value::Tab(t), Value::Str(name)) => t.lookup(name).cloned().unwrap_or(Value::Unit),
+        _ => Value::Unit,
+    });
+    // Integer arithmetic.
+    let int2 = |f: fn(i64, i64) -> i64| {
+        move |a: &[Value]| match (a[0].as_int(), a[1].as_int()) {
+            (Some(x), Some(y)) => Value::Int(f(x, y)),
+            _ => Value::Unit,
+        }
+    };
+    r.register("add", int2(i64::wrapping_add));
+    r.register("sub", int2(i64::wrapping_sub));
+    r.register("mul", int2(i64::wrapping_mul));
+    r.register("neg", |a| match a[0].as_int() {
+        Some(x) => Value::Int(-x),
+        None => Value::Unit,
+    });
+    // Rope strings (the code-attribute domain).
+    r.register("str_empty", |_| Value::Rope(Rope::new()));
+    r.register("str_concat", |a| match (&a[0], &a[1]) {
+        (Value::Rope(x), Value::Rope(y)) => Value::Rope(x.concat(y)),
+        _ => Value::Unit,
+    });
+    r.register("str_of", |a| {
+        Value::Rope(Rope::from(format!("{}", a[0])))
+    });
+    // Identity, useful for copy rules written as calls.
+    r.register("id", |a| a[0].clone());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_cover_the_appendix() {
+        let b = builtins();
+        for name in ["st_create", "st_add", "st_lookup", "add", "mul"] {
+            assert!(b.get(name).is_some(), "missing builtin {name}");
+        }
+    }
+
+    #[test]
+    fn symbol_table_functions_compose() {
+        let b = builtins();
+        let t = b.get("st_create").unwrap()(&[]);
+        let t = b.get("st_add").unwrap()(&[t, Value::str("x"), Value::Int(2)]);
+        let v = b.get("st_lookup").unwrap()(&[t, Value::str("x")]);
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn lookup_of_missing_name_is_unit() {
+        let b = builtins();
+        let t = b.get("st_create").unwrap()(&[]);
+        let v = b.get("st_lookup").unwrap()(&[t, Value::str("nope")]);
+        assert_eq!(v, Value::Unit);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let b = builtins();
+        assert_eq!(
+            b.get("add").unwrap()(&[Value::Int(2), Value::Int(3)]),
+            Value::Int(5)
+        );
+        assert_eq!(
+            b.get("mul").unwrap()(&[Value::Int(2), Value::Int(3)]),
+            Value::Int(6)
+        );
+        assert_eq!(b.get("neg").unwrap()(&[Value::Int(2)]), Value::Int(-2));
+    }
+
+    #[test]
+    fn ropes() {
+        let b = builtins();
+        let x = b.get("str_of").unwrap()(&[Value::Int(42)]);
+        let y = b.get("str_of").unwrap()(&[Value::str("!")]);
+        let z = b.get("str_concat").unwrap()(&[x, y]);
+        match z {
+            Value::Rope(r) => assert_eq!(r.to_string(), "42!"),
+            other => panic!("expected rope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let b = builtins();
+        let names = b.names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,88 @@
+//! A second specification: a right-associative "power tower" language
+//! that *generates code* (rope attributes) instead of evaluating —
+//! exercising `%right`, custom semantic functions, and rope builtins
+//! through the full generator pipeline.
+
+use paragram_core::value::Value;
+use paragram_rope::Rope;
+use paragram_spec::{builtins, SpecLang};
+
+const SPEC: &str = r#"
+%name NUMBER
+%nosplit prog { syn code; }
+%split(64) expr { syn code; }
+%start prog print_code
+%left '+'
+%right '^'
+%%
+prog : expr {
+  $$.code = finish($1.code);
+}
+expr : expr '+' expr {
+  $$.code = emit2($1.code, $3.code, add_op());
+}
+expr : expr '^' expr {
+  $$.code = emit2($1.code, $3.code, pow_op());
+}
+expr : NUMBER {
+  $$.code = push_op($1.string);
+}
+"#;
+
+fn registry() -> paragram_spec::FnRegistry {
+    let mut r = builtins();
+    r.register("push_op", |a| {
+        Value::Rope(Rope::from(format!("push {}\n", a[0])))
+    });
+    r.register("add_op", |_| Value::Rope(Rope::from("add\n")));
+    r.register("pow_op", |_| Value::Rope(Rope::from("pow\n")));
+    r.register("emit2", |a| {
+        let code = a[0]
+            .as_rope()
+            .unwrap()
+            .concat(a[1].as_rope().unwrap())
+            .concat(a[2].as_rope().unwrap());
+        Value::Rope(code)
+    });
+    r.register("finish", |a| {
+        Value::Rope(a[0].as_rope().unwrap().concat(&Rope::from("halt\n")))
+    });
+    r
+}
+
+#[test]
+fn generates_stack_code() {
+    let lang = SpecLang::from_spec(SPEC, &registry()).unwrap();
+    let v = lang.eval_str("1 + 2 + 3").unwrap();
+    let code = v.as_rope().unwrap().to_string();
+    // Left associativity: (1+2)+3.
+    assert_eq!(code, "push 1\npush 2\nadd\npush 3\nadd\nhalt\n");
+}
+
+#[test]
+fn right_associativity_of_power() {
+    let lang = SpecLang::from_spec(SPEC, &registry()).unwrap();
+    let v = lang.eval_str("2 ^ 3 ^ 4").unwrap();
+    let code = v.as_rope().unwrap().to_string();
+    // %right: 2 ^ (3 ^ 4) — the 3/4 pair reduces first.
+    assert_eq!(
+        code,
+        "push 2\npush 3\npush 4\npow\npow\nhalt\n"
+    );
+}
+
+#[test]
+fn power_binds_tighter_than_plus() {
+    let lang = SpecLang::from_spec(SPEC, &registry()).unwrap();
+    let v = lang.eval_str("1 + 2 ^ 3").unwrap();
+    let code = v.as_rope().unwrap().to_string();
+    assert_eq!(code, "push 1\npush 2\npush 3\npow\nadd\nhalt\n");
+}
+
+#[test]
+fn purely_synthesized_language_is_single_visit() {
+    let lang = SpecLang::from_spec(SPEC, &registry()).unwrap();
+    let plans = lang.evals().plans().expect("ordered");
+    let expr = lang.grammar().symbol_named("expr").unwrap();
+    assert_eq!(plans.phases.visit_count(expr), 1);
+}

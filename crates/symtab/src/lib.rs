@@ -1,0 +1,395 @@
+//! Applicative (persistent) symbol tables.
+//!
+//! The paper (§4.3) implements symbol tables as binary search trees so that
+//! *applicative updates are simple and fast*: `st_add` returns a new table
+//! sharing almost all structure with the old one, which is exactly what an
+//! attribute grammar needs — the symbol-table attribute of a block is a pure
+//! function of the enclosing table, and many attribute instances alias large
+//! parts of each other.
+//!
+//! Keys are not identifiers themselves but a *hash* of the identifier
+//! ("symbol table entries map the hash table index of an identifier to the
+//! information associated with that identifier"), which keeps key values
+//! essentially uniformly distributed so the unbalanced BST stays shallow
+//! without any rebalancing machinery. Hash collisions are handled with a
+//! per-node bucket of `(name, value)` pairs.
+//!
+//! # Examples
+//!
+//! ```
+//! use paragram_symtab::SymTab;
+//!
+//! let empty: SymTab<i64> = SymTab::new();       // st_create
+//! let t1 = empty.add("x", 7);                   // st_add (applicative)
+//! let t2 = t1.add("y", 9);
+//! assert_eq!(t2.lookup("x"), Some(&7));         // st_lookup
+//! assert_eq!(t2.lookup("y"), Some(&9));
+//! assert_eq!(t1.lookup("y"), None);             // old version unchanged
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+/// FNV-1a, the uniform identifier hash used as the BST key.
+///
+/// Any 64-bit avalanche hash works; FNV is dependency-free and stable
+/// across runs, which keeps the simulator deterministic.
+pub fn ident_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    // FNV-1a alone avalanches poorly in the high bits that drive BST
+    // ordering; finish with a splitmix64-style mixer so similar
+    // identifiers spread uniformly (the balance property §4.3 relies on).
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[derive(Debug)]
+struct TNode<V> {
+    key: u64,
+    bucket: Vec<(Arc<str>, V)>,
+    left: Option<Arc<TNode<V>>>,
+    right: Option<Arc<TNode<V>>>,
+}
+
+/// A persistent symbol table: `add` is O(depth) path copying, `lookup`
+/// is O(depth), and old versions remain valid and unchanged.
+pub struct SymTab<V> {
+    root: Option<Arc<TNode<V>>>,
+    len: usize,
+}
+
+impl<V> Clone for SymTab<V> {
+    fn clone(&self) -> Self {
+        SymTab {
+            root: self.root.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<V> Default for SymTab<V> {
+    fn default() -> Self {
+        SymTab { root: None, len: 0 }
+    }
+}
+
+impl<V: Clone> SymTab<V> {
+    /// Creates an empty table (`st_create` in the paper's appendix).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bindings (later bindings of the same name shadow but are
+    /// counted once).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the table holds no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a *new* table in which `name` is bound to `value`
+    /// (`st_add`). The receiver is unchanged; structure is shared.
+    #[must_use = "st_add is applicative: it returns the updated table"]
+    pub fn add(&self, name: impl Into<Arc<str>>, value: V) -> SymTab<V> {
+        let name: Arc<str> = name.into();
+        let key = ident_hash(&name);
+        let (root, added) = insert(self.root.as_ref(), key, name, value);
+        SymTab {
+            root: Some(root),
+            len: self.len + usize::from(added),
+        }
+    }
+
+    /// Looks up the binding of `name` (`st_lookup`).
+    pub fn lookup(&self, name: &str) -> Option<&V> {
+        let key = ident_hash(name);
+        let mut node = self.root.as_deref()?;
+        loop {
+            if key == node.key {
+                return node
+                    .bucket
+                    .iter()
+                    .find(|(n, _)| n.as_ref() == name)
+                    .map(|(_, v)| v);
+            }
+            node = if key < node.key {
+                node.left.as_deref()?
+            } else {
+                node.right.as_deref()?
+            };
+        }
+    }
+
+    /// `true` if `name` is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.lookup(name).is_some()
+    }
+
+    /// Iterates over all `(name, value)` bindings in unspecified order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(root);
+        }
+        Iter {
+            stack,
+            bucket: [].iter(),
+        }
+    }
+
+    /// Height of the tree (empty = 0). With uniform hash keys this stays
+    /// close to log2(len) without rebalancing — asserted in tests, since
+    /// the paper's performance argument depends on it.
+    pub fn depth(&self) -> usize {
+        fn go<V>(n: Option<&TNode<V>>) -> usize {
+            n.map_or(0, |n| 1 + go(n.left.as_deref()).max(go(n.right.as_deref())))
+        }
+        go(self.root.as_deref())
+    }
+
+    /// Approximate bytes to transmit the table flattened over the network
+    /// (`st_put`/`st_get` conversion functions, §2.5): per entry the name,
+    /// the value size from `value_size`, and fixed overhead.
+    pub fn wire_size(&self, mut value_size: impl FnMut(&V) -> usize) -> usize {
+        8 + self
+            .iter()
+            .map(|(n, v)| n.len() + 12 + value_size(v))
+            .sum::<usize>()
+    }
+}
+
+fn insert<V: Clone>(
+    node: Option<&Arc<TNode<V>>>,
+    key: u64,
+    name: Arc<str>,
+    value: V,
+) -> (Arc<TNode<V>>, bool) {
+    match node {
+        None => (
+            Arc::new(TNode {
+                key,
+                bucket: vec![(name, value)],
+                left: None,
+                right: None,
+            }),
+            true,
+        ),
+        Some(n) => {
+            if key == n.key {
+                let mut bucket = n.bucket.clone();
+                let added = match bucket.iter_mut().find(|(b, _)| *b == name) {
+                    Some(slot) => {
+                        slot.1 = value;
+                        false
+                    }
+                    None => {
+                        bucket.push((name, value));
+                        true
+                    }
+                };
+                (
+                    Arc::new(TNode {
+                        key,
+                        bucket,
+                        left: n.left.clone(),
+                        right: n.right.clone(),
+                    }),
+                    added,
+                )
+            } else if key < n.key {
+                let (left, added) = insert(n.left.as_ref(), key, name, value);
+                (
+                    Arc::new(TNode {
+                        key: n.key,
+                        bucket: n.bucket.clone(),
+                        left: Some(left),
+                        right: n.right.clone(),
+                    }),
+                    added,
+                )
+            } else {
+                let (right, added) = insert(n.right.as_ref(), key, name, value);
+                (
+                    Arc::new(TNode {
+                        key: n.key,
+                        bucket: n.bucket.clone(),
+                        left: n.left.clone(),
+                        right: Some(right),
+                    }),
+                    added,
+                )
+            }
+        }
+    }
+}
+
+/// Iterator over the bindings of a [`SymTab`].
+pub struct Iter<'a, V> {
+    stack: Vec<&'a TNode<V>>,
+    bucket: std::slice::Iter<'a, (Arc<str>, V)>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (&'a str, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((n, v)) = self.bucket.next() {
+                return Some((n.as_ref(), v));
+            }
+            let node = self.stack.pop()?;
+            if let Some(l) = node.left.as_deref() {
+                self.stack.push(l);
+            }
+            if let Some(r) = node.right.as_deref() {
+                self.stack.push(r);
+            }
+            self.bucket = node.bucket.iter();
+        }
+    }
+}
+
+impl<V: Clone> FromIterator<(Arc<str>, V)> for SymTab<V> {
+    fn from_iter<I: IntoIterator<Item = (Arc<str>, V)>>(iter: I) -> Self {
+        let mut t = SymTab::new();
+        for (n, v) in iter {
+            t = t.add(n, v);
+        }
+        t
+    }
+}
+
+impl<V: fmt::Debug + Clone> fmt::Debug for SymTab<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<(&str, &V)> = self.iter().collect();
+        entries.sort_by_key(|(n, _)| *n);
+        f.debug_map().entries(entries).finish()
+    }
+}
+
+impl<V: PartialEq + Clone> PartialEq for SymTab<V> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        self.iter()
+            .all(|(n, v)| other.lookup(n) == Some(v))
+    }
+}
+
+impl<V: Eq + Clone> Eq for SymTab<V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table() {
+        let t: SymTab<i32> = SymTab::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup("x"), None);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn add_then_lookup() {
+        let t = SymTab::new().add("alpha", 1).add("beta", 2);
+        assert_eq!(t.lookup("alpha"), Some(&1));
+        assert_eq!(t.lookup("beta"), Some(&2));
+        assert_eq!(t.lookup("gamma"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn applicative_update_preserves_old_versions() {
+        let t0: SymTab<i32> = SymTab::new();
+        let t1 = t0.add("x", 1);
+        let t2 = t1.add("x", 2); // shadow
+        let t3 = t2.add("y", 3);
+        assert_eq!(t0.lookup("x"), None);
+        assert_eq!(t1.lookup("x"), Some(&1));
+        assert_eq!(t2.lookup("x"), Some(&2));
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t3.lookup("x"), Some(&2));
+        assert_eq!(t3.lookup("y"), Some(&3));
+    }
+
+    #[test]
+    fn rebinding_does_not_grow_len() {
+        let t = SymTab::new().add("k", 1).add("k", 2).add("k", 3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("k"), Some(&3));
+    }
+
+    #[test]
+    fn iter_visits_every_binding_once() {
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let mut t = SymTab::new();
+        for (i, n) in names.iter().enumerate() {
+            t = t.add(*n, i);
+        }
+        let mut got: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        got.sort_unstable();
+        assert_eq!(got, names);
+    }
+
+    #[test]
+    fn uniform_hash_keeps_tree_shallow() {
+        // The paper's balance argument: with hash keys, no rebalancing is
+        // needed. 4096 sequentially named identifiers (worst case for a
+        // name-keyed BST) must stay within a small factor of log2(n).
+        let mut t = SymTab::new();
+        for i in 0..4096 {
+            t = t.add(format!("ident{i}"), i);
+        }
+        assert_eq!(t.len(), 4096);
+        assert!(
+            t.depth() <= 4 * 12,
+            "depth {} too large for 4096 uniform keys",
+            t.depth()
+        );
+    }
+
+    #[test]
+    fn equality_is_extensional() {
+        let a = SymTab::new().add("x", 1).add("y", 2);
+        let b = SymTab::new().add("y", 2).add("x", 1);
+        assert_eq!(a, b);
+        let c = a.add("z", 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wire_size_counts_entries() {
+        let t = SymTab::new().add("ab", 5u32).add("cde", 6u32);
+        let size = t.wire_size(|_| 4);
+        assert_eq!(size, 8 + (2 + 12 + 4) + (3 + 12 + 4));
+    }
+
+    #[test]
+    fn debug_output_sorted_and_nonempty() {
+        let t = SymTab::new().add("b", 2).add("a", 1);
+        assert_eq!(format!("{t:?}"), r#"{"a": 1, "b": 2}"#);
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // The simulator's determinism depends on a stable hash.
+        let h = ident_hash("");
+        assert_eq!(h, ident_hash("")); // same run
+        assert_ne!(h, 0); // mixed, not a raw constant
+        assert_eq!(ident_hash("x"), ident_hash("x"));
+        assert_ne!(ident_hash("x"), ident_hash("y"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: the persistent symbol table must behave exactly like a
+//! sequence of immutable snapshots of a reference map.
+
+use paragram_symtab::SymTab;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(String, i64),
+    Shadow(usize, i64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            ("[a-z]{1,8}", any::<i64>()).prop_map(|(n, v)| Op::Add(n, v)),
+            (any::<usize>(), any::<i64>()).prop_map(|(i, v)| Op::Shadow(i, v)),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    #[test]
+    fn matches_reference_map(ops in ops()) {
+        let mut tab = SymTab::new();
+        let mut reference: HashMap<String, i64> = HashMap::new();
+        let mut names: Vec<String> = Vec::new();
+        for op in ops {
+            let (name, value) = match op {
+                Op::Add(n, v) => (n, v),
+                Op::Shadow(i, v) => {
+                    if names.is_empty() { continue; }
+                    (names[i % names.len()].clone(), v)
+                }
+            };
+            tab = tab.add(name.clone(), value);
+            reference.insert(name.clone(), value);
+            names.push(name);
+            prop_assert_eq!(tab.len(), reference.len());
+        }
+        for (name, value) in &reference {
+            prop_assert_eq!(tab.lookup(name), Some(value));
+        }
+        let mut got: Vec<(String, i64)> =
+            tab.iter().map(|(n, v)| (n.to_owned(), *v)).collect();
+        got.sort();
+        let mut want: Vec<(String, i64)> =
+            reference.into_iter().collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshots_are_immutable(names in prop::collection::vec("[a-z]{1,6}", 1..32)) {
+        // Record every intermediate version, then mutate further and check
+        // the old versions still answer from their own era.
+        let mut versions: Vec<(SymTab<usize>, usize)> = Vec::new();
+        let mut tab = SymTab::new();
+        for (i, n) in names.iter().enumerate() {
+            versions.push((tab.clone(), i));
+            tab = tab.add(n.clone(), i);
+        }
+        for (snapshot, era) in &versions {
+            for n in &names {
+                // The binding visible in snapshot `era` is the most recent
+                // add of `n` strictly before `era`, if any.
+                match names[..*era].iter().rposition(|m| m == n) {
+                    Some(pos) => prop_assert_eq!(snapshot.lookup(n), Some(&pos)),
+                    None => prop_assert_eq!(snapshot.lookup(n), None),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_stays_logarithmic(n in 1usize..600) {
+        let mut tab = SymTab::new();
+        for i in 0..n {
+            tab = tab.add(format!("v{i}"), i);
+        }
+        let log2 = usize::BITS - n.leading_zeros();
+        prop_assert!(tab.depth() <= 4 * log2 as usize + 4,
+            "depth {} for n {}", tab.depth(), n);
+    }
+}

@@ -1,0 +1,485 @@
+//! Assembly text parsing and the two-pass assembler.
+
+use crate::instr::{Instr, Item, Operand, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled program: instructions with labels resolved to
+/// instruction indices.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The instruction stream (labels removed).
+    pub instrs: Vec<Instr>,
+    /// Label → instruction index.
+    pub labels: HashMap<String, usize>,
+    /// Entry point (the `start` label if present, else index 0).
+    pub entry: usize,
+}
+
+impl Program {
+    /// Rough machine-code size in bytes (the paper notes machine code is
+    /// much more compact than assembly text — this quantifies it for the
+    /// parallel-assembly discussion in §4.1).
+    pub fn machine_size(&self) -> usize {
+        self.instrs.iter().map(Instr::encoded_size).sum()
+    }
+}
+
+impl Instr {
+    /// Rough encoded machine-code size in bytes (opcode byte(s) plus
+    /// four bytes per operand) — the basis of the paper's observation
+    /// that machine code is much more compact than assembly text.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Instr::Ret | Instr::Halt | Instr::WriteLn => 1,
+            Instr::WriteStr(s) => 2 + s.len(),
+            _ => 2 + 4 * operand_count(self),
+        }
+    }
+}
+
+fn operand_count(i: &Instr) -> usize {
+    use Instr::*;
+    match i {
+        Movl(..) | Mnegl(..) | Addl2(..) | Subl2(..) | Mull2(..) | Divl2(..) | Cmpl(..) => 2,
+        Addl3(..) | Subl3(..) | Mull3(..) | Divl3(..) => 3,
+        Clrl(..) | Pushl(..) | Tstl(..) | WriteInt(..) => 1,
+        Beql(..) | Bneq(..) | Blss(..) | Bleq(..) | Bgtr(..) | Bgeq(..) | Brb(..) => 1,
+        Calls(..) => 2,
+        Ret | Halt | WriteLn | WriteStr(..) => 0,
+    }
+}
+
+/// Assembly-format error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses assembly text into items (labels and instructions).
+///
+/// Comments start with `;` or `#` and run to end of line.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for unknown mnemonics, malformed operands, or
+/// wrong operand counts.
+pub fn parse_asm(text: &str) -> Result<Vec<Item>, AsmError> {
+    let mut items = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Possibly several `label:` prefixes on one line.
+        let mut rest = line;
+        while let Some(colon) = find_label_colon(rest) {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if !is_ident(label) {
+                return Err(err(line_no, format!("bad label {label:?}")));
+            }
+            items.push(Item::Label(label.to_string()));
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        items.push(Item::Instr(parse_instr(rest, line_no)?));
+    }
+    Ok(items)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Respect string literals for writestr.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn find_label_colon(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    // Only a leading identifier followed by ':' counts as a label.
+    is_ident(s[..colon].trim()).then_some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+fn parse_instr(s: &str, line: usize) -> Result<Instr, AsmError> {
+    let (mnemonic, rest) = match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim()),
+        None => (s, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+
+    if mnemonic == "writestr" {
+        let t = rest.trim();
+        if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+            return Ok(Instr::WriteStr(unescape(&t[1..t.len() - 1])));
+        }
+        return Err(err(line, "writestr needs a quoted string"));
+    }
+
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let op = |i: usize| -> Result<Operand, AsmError> {
+        ops.get(i)
+            .ok_or_else(|| err(line, format!("{mnemonic} needs operand {}", i + 1)))
+            .and_then(|t| parse_operand(t, line))
+    };
+    let lab = |i: usize| -> Result<String, AsmError> {
+        let t = ops
+            .get(i)
+            .ok_or_else(|| err(line, format!("{mnemonic} needs a label")))?;
+        if is_ident(t) {
+            Ok((*t).to_string())
+        } else {
+            Err(err(line, format!("bad label {t:?}")))
+        }
+    };
+    let arity = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("{mnemonic} takes {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    let i = match mnemonic.as_str() {
+        "movl" => {
+            arity(2)?;
+            Instr::Movl(op(0)?, op(1)?)
+        }
+        "clrl" => {
+            arity(1)?;
+            Instr::Clrl(op(0)?)
+        }
+        "mnegl" => {
+            arity(2)?;
+            Instr::Mnegl(op(0)?, op(1)?)
+        }
+        "pushl" => {
+            arity(1)?;
+            Instr::Pushl(op(0)?)
+        }
+        "addl2" => {
+            arity(2)?;
+            Instr::Addl2(op(0)?, op(1)?)
+        }
+        "addl3" => {
+            arity(3)?;
+            Instr::Addl3(op(0)?, op(1)?, op(2)?)
+        }
+        "subl2" => {
+            arity(2)?;
+            Instr::Subl2(op(0)?, op(1)?)
+        }
+        "subl3" => {
+            arity(3)?;
+            Instr::Subl3(op(0)?, op(1)?, op(2)?)
+        }
+        "mull2" => {
+            arity(2)?;
+            Instr::Mull2(op(0)?, op(1)?)
+        }
+        "mull3" => {
+            arity(3)?;
+            Instr::Mull3(op(0)?, op(1)?, op(2)?)
+        }
+        "divl2" => {
+            arity(2)?;
+            Instr::Divl2(op(0)?, op(1)?)
+        }
+        "divl3" => {
+            arity(3)?;
+            Instr::Divl3(op(0)?, op(1)?, op(2)?)
+        }
+        "cmpl" => {
+            arity(2)?;
+            Instr::Cmpl(op(0)?, op(1)?)
+        }
+        "tstl" => {
+            arity(1)?;
+            Instr::Tstl(op(0)?)
+        }
+        "beql" => Instr::Beql(lab(0)?),
+        "bneq" => Instr::Bneq(lab(0)?),
+        "blss" => Instr::Blss(lab(0)?),
+        "bleq" => Instr::Bleq(lab(0)?),
+        "bgtr" => Instr::Bgtr(lab(0)?),
+        "bgeq" => Instr::Bgeq(lab(0)?),
+        "brb" | "brw" | "jmp" => Instr::Brb(lab(0)?),
+        "calls" => {
+            arity(2)?;
+            let n = match op(0)? {
+                Operand::Imm(n) if n >= 0 => n as u32,
+                other => {
+                    return Err(err(line, format!("calls needs $n, got {other}")));
+                }
+            };
+            Instr::Calls(n, lab(1)?)
+        }
+        "ret" => {
+            arity(0)?;
+            Instr::Ret
+        }
+        "halt" => {
+            arity(0)?;
+            Instr::Halt
+        }
+        "writeint" => {
+            arity(1)?;
+            Instr::WriteInt(op(0)?)
+        }
+        "writeln" => {
+            arity(0)?;
+            Instr::WriteLn
+        }
+        other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+    };
+    Ok(i)
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_operand(t: &str, line: usize) -> Result<Operand, AsmError> {
+    if let Some(imm) = t.strip_prefix('$') {
+        return imm
+            .parse::<i64>()
+            .map(Operand::Imm)
+            .map_err(|_| err(line, format!("bad immediate {t:?}")));
+    }
+    if let Some(reg) = parse_reg(t) {
+        return Ok(Operand::Reg(reg));
+    }
+    if t.starts_with('(') && t.ends_with(')') {
+        let inner = &t[1..t.len() - 1];
+        return parse_reg(inner)
+            .map(Operand::Ind)
+            .ok_or_else(|| err(line, format!("bad register {inner:?}")));
+    }
+    if let Some(open) = t.find('(') {
+        if t.ends_with(')') {
+            let disp = t[..open]
+                .parse::<i32>()
+                .map_err(|_| err(line, format!("bad displacement in {t:?}")))?;
+            let reg = parse_reg(&t[open + 1..t.len() - 1])
+                .ok_or_else(|| err(line, format!("bad register in {t:?}")))?;
+            return Ok(Operand::Disp(disp, reg));
+        }
+    }
+    Err(err(line, format!("unparsable operand {t:?}")))
+}
+
+fn parse_reg(t: &str) -> Option<Reg> {
+    match t {
+        "ap" => return Some(Reg::AP),
+        "fp" => return Some(Reg::FP),
+        "sp" => return Some(Reg::SP),
+        "pc" => return Some(Reg(15)),
+        _ => {}
+    }
+    let n = t.strip_prefix('r')?.parse::<u8>().ok()?;
+    (n < 16).then_some(Reg(n))
+}
+
+/// Assembles text into an executable [`Program`] (two passes: collect
+/// labels, then resolve).
+///
+/// # Errors
+///
+/// [`AsmError`] on parse failures, duplicate labels or undefined branch
+/// targets.
+pub fn assemble(text: &str) -> Result<Program, AsmError> {
+    assemble_items(parse_asm(text)?)
+}
+
+/// Assembles already-parsed items.
+///
+/// # Errors
+///
+/// [`AsmError`] (line 0) for duplicate labels or undefined targets.
+pub fn assemble_items(items: Vec<Item>) -> Result<Program, AsmError> {
+    let mut labels = HashMap::new();
+    let mut instrs = Vec::new();
+    for item in &items {
+        match item {
+            Item::Label(l) => {
+                if labels.insert(l.clone(), instrs.len()).is_some() {
+                    return Err(err(0, format!("duplicate label {l:?}")));
+                }
+            }
+            Item::Instr(i) => instrs.push(i.clone()),
+        }
+    }
+    for (idx, i) in instrs.iter().enumerate() {
+        if let Some(t) = i.target() {
+            if !labels.contains_key(t) {
+                return Err(err(0, format!("undefined label {t:?} at instruction {idx}")));
+            }
+        }
+    }
+    let entry = labels.get("start").copied().unwrap_or(0);
+    Ok(Program {
+        instrs,
+        labels,
+        entry,
+    })
+}
+
+/// Renders items back to assembly text.
+pub fn render(items: &[Item]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for item in items {
+        let _ = writeln!(out, "{item}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let src = "start:\n\tmovl $5, r0\n\taddl3 r0, 4(fp), r1\n\tbrb start\n";
+        let items = parse_asm(src).unwrap();
+        assert_eq!(items.len(), 4);
+        let rendered = render(&items);
+        let again = parse_asm(&rendered).unwrap();
+        assert_eq!(items, again);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let items = parse_asm("; header\n\n movl $1, r0 ; set r0\n# done\n").unwrap();
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn writestr_keeps_semicolons_and_escapes() {
+        let items = parse_asm(r#" writestr "a;b\n" "#).unwrap();
+        assert_eq!(
+            items,
+            vec![Item::Instr(Instr::WriteStr("a;b\n".into()))]
+        );
+    }
+
+    #[test]
+    fn operand_forms() {
+        let items = parse_asm(" movl (r3), -8(fp)\n movl $-7, sp\n").unwrap();
+        assert_eq!(
+            items[0],
+            Item::Instr(Instr::Movl(
+                Operand::Ind(Reg(3)),
+                Operand::Disp(-8, Reg::FP)
+            ))
+        );
+        assert_eq!(
+            items[1],
+            Item::Instr(Instr::Movl(Operand::Imm(-7), Operand::Reg(Reg::SP)))
+        );
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_reported_with_line() {
+        let e = parse_asm("\n\n frobl r0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("frobl"));
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let e = parse_asm(" addl3 r0, r1\n").unwrap_err();
+        assert!(e.msg.contains("3 operands"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\n halt\na:\n halt\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_target_rejected() {
+        let e = assemble(" brb nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_or_start() {
+        let p = assemble(" halt\n").unwrap();
+        assert_eq!(p.entry, 0);
+        let p = assemble(" movl $1, r0\nstart:\n halt\n").unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn machine_size_is_smaller_than_text() {
+        let src = " movl $5, r0\n addl2 r0, r1\n halt\n";
+        let p = assemble(src).unwrap();
+        assert!(p.machine_size() < src.len());
+        assert!(p.machine_size() > 0);
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let p = assemble("a: b: halt\n").unwrap();
+        assert_eq!(p.labels["a"], 0);
+        assert_eq!(p.labels["b"], 0);
+    }
+}

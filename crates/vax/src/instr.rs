@@ -1,0 +1,263 @@
+//! Instruction and operand model.
+
+use std::fmt;
+
+/// A VAX general register. `r12`–`r15` have their conventional roles
+/// (argument pointer, frame pointer, stack pointer, program counter),
+/// though the VM only gives special meaning to `fp` and `sp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Argument pointer (r12).
+    pub const AP: Reg = Reg(12);
+    /// Frame pointer (r13).
+    pub const FP: Reg = Reg(13);
+    /// Stack pointer (r14).
+    pub const SP: Reg = Reg(14);
+    /// Static-link scratch register used by the Pascal compiler.
+    pub const SL: Reg = Reg(11);
+    /// Result register (r0).
+    pub const R0: Reg = Reg(0);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            12 => write!(f, "ap"),
+            13 => write!(f, "fp"),
+            14 => write!(f, "sp"),
+            15 => write!(f, "pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// An addressing mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Literal: `$n`.
+    Imm(i64),
+    /// Register: `rN`.
+    Reg(Reg),
+    /// Register deferred: `(rN)`.
+    Ind(Reg),
+    /// Displacement: `d(rN)`.
+    Disp(i32, Reg),
+}
+
+impl Operand {
+    /// `true` if writing to this operand is meaningful.
+    pub fn is_writable(&self) -> bool {
+        !matches!(self, Operand::Imm(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Imm(n) => write!(f, "${n}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Ind(r) => write!(f, "({r})"),
+            Operand::Disp(d, r) => write!(f, "{d}({r})"),
+        }
+    }
+}
+
+/// One machine instruction (or pseudo-instruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `movl src, dst`.
+    Movl(Operand, Operand),
+    /// `clrl dst` — clear.
+    Clrl(Operand),
+    /// `mnegl src, dst` — negate.
+    Mnegl(Operand, Operand),
+    /// `pushl src` — push a longword.
+    Pushl(Operand),
+    /// `addl2 src, dst` — `dst += src`.
+    Addl2(Operand, Operand),
+    /// `addl3 a, b, dst` — `dst = a + b`.
+    Addl3(Operand, Operand, Operand),
+    /// `subl2 src, dst` — `dst -= src`.
+    Subl2(Operand, Operand),
+    /// `subl3 a, b, dst` — `dst = b - a` (VAX operand order).
+    Subl3(Operand, Operand, Operand),
+    /// `mull2 src, dst`.
+    Mull2(Operand, Operand),
+    /// `mull3 a, b, dst` — `dst = a * b`.
+    Mull3(Operand, Operand, Operand),
+    /// `divl2 src, dst` — `dst /= src`.
+    Divl2(Operand, Operand),
+    /// `divl3 a, b, dst` — `dst = b / a` (VAX operand order).
+    Divl3(Operand, Operand, Operand),
+    /// `cmpl a, b` — set condition from `a - b`.
+    Cmpl(Operand, Operand),
+    /// `tstl a` — set condition from `a`.
+    Tstl(Operand),
+    /// Conditional branches on the last `cmpl`/`tstl`.
+    Beql(String),
+    /// Branch if not equal.
+    Bneq(String),
+    /// Branch if less.
+    Blss(String),
+    /// Branch if less or equal.
+    Bleq(String),
+    /// Branch if greater.
+    Bgtr(String),
+    /// Branch if greater or equal.
+    Bgeq(String),
+    /// Unconditional branch.
+    Brb(String),
+    /// `calls $n, label` — call with `n` stacked arguments.
+    Calls(u32, String),
+    /// Return from `calls`.
+    Ret,
+    /// Stop execution.
+    Halt,
+    /// Pseudo: print an integer (Pascal `write`).
+    WriteInt(Operand),
+    /// Pseudo: print a literal string.
+    WriteStr(String),
+    /// Pseudo: print a newline (Pascal `writeln`).
+    WriteLn,
+}
+
+impl Instr {
+    /// Mnemonic of the instruction.
+    pub fn mnemonic(&self) -> &'static str {
+        use Instr::*;
+        match self {
+            Movl(..) => "movl",
+            Clrl(..) => "clrl",
+            Mnegl(..) => "mnegl",
+            Pushl(..) => "pushl",
+            Addl2(..) => "addl2",
+            Addl3(..) => "addl3",
+            Subl2(..) => "subl2",
+            Subl3(..) => "subl3",
+            Mull2(..) => "mull2",
+            Mull3(..) => "mull3",
+            Divl2(..) => "divl2",
+            Divl3(..) => "divl3",
+            Cmpl(..) => "cmpl",
+            Tstl(..) => "tstl",
+            Beql(..) => "beql",
+            Bneq(..) => "bneq",
+            Blss(..) => "blss",
+            Bleq(..) => "bleq",
+            Bgtr(..) => "bgtr",
+            Bgeq(..) => "bgeq",
+            Brb(..) => "brb",
+            Calls(..) => "calls",
+            Ret => "ret",
+            Halt => "halt",
+            WriteInt(..) => "writeint",
+            WriteStr(..) => "writestr",
+            WriteLn => "writeln",
+        }
+    }
+
+    /// Branch target label, if this is a branch or call.
+    pub fn target(&self) -> Option<&str> {
+        use Instr::*;
+        match self {
+            Beql(l) | Bneq(l) | Blss(l) | Bleq(l) | Bgtr(l) | Bgeq(l) | Brb(l)
+            | Calls(_, l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match self {
+            Movl(a, b) => write!(f, "movl {a}, {b}"),
+            Clrl(a) => write!(f, "clrl {a}"),
+            Mnegl(a, b) => write!(f, "mnegl {a}, {b}"),
+            Pushl(a) => write!(f, "pushl {a}"),
+            Addl2(a, b) => write!(f, "addl2 {a}, {b}"),
+            Addl3(a, b, c) => write!(f, "addl3 {a}, {b}, {c}"),
+            Subl2(a, b) => write!(f, "subl2 {a}, {b}"),
+            Subl3(a, b, c) => write!(f, "subl3 {a}, {b}, {c}"),
+            Mull2(a, b) => write!(f, "mull2 {a}, {b}"),
+            Mull3(a, b, c) => write!(f, "mull3 {a}, {b}, {c}"),
+            Divl2(a, b) => write!(f, "divl2 {a}, {b}"),
+            Divl3(a, b, c) => write!(f, "divl3 {a}, {b}, {c}"),
+            Cmpl(a, b) => write!(f, "cmpl {a}, {b}"),
+            Tstl(a) => write!(f, "tstl {a}"),
+            Beql(l) => write!(f, "beql {l}"),
+            Bneq(l) => write!(f, "bneq {l}"),
+            Blss(l) => write!(f, "blss {l}"),
+            Bleq(l) => write!(f, "bleq {l}"),
+            Bgtr(l) => write!(f, "bgtr {l}"),
+            Bgeq(l) => write!(f, "bgeq {l}"),
+            Brb(l) => write!(f, "brb {l}"),
+            Calls(n, l) => write!(f, "calls ${n}, {l}"),
+            Ret => write!(f, "ret"),
+            Halt => write!(f, "halt"),
+            WriteInt(a) => write!(f, "writeint {a}"),
+            WriteStr(s) => write!(f, "writestr {s:?}"),
+            WriteLn => write!(f, "writeln"),
+        }
+    }
+}
+
+/// One line of an assembly listing: a label definition or an
+/// instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `name:`.
+    Label(String),
+    /// An instruction.
+    Instr(Instr),
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Label(l) => write!(f, "{l}:"),
+            Item::Instr(i) => write!(f, "\t{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_mnemonics() {
+        let i = Instr::Addl3(
+            Operand::Imm(1),
+            Operand::Disp(-4, Reg::FP),
+            Operand::Reg(Reg(2)),
+        );
+        assert_eq!(i.to_string(), "addl3 $1, -4(fp), r2");
+        assert_eq!(i.mnemonic(), "addl3");
+        assert_eq!(Instr::Calls(2, "P_f".into()).to_string(), "calls $2, P_f");
+    }
+
+    #[test]
+    fn special_registers_print_by_name() {
+        assert_eq!(Reg::FP.to_string(), "fp");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg(15).to_string(), "pc");
+        assert_eq!(Reg(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn targets_reported_for_branches_only() {
+        assert_eq!(Instr::Brb("L1".into()).target(), Some("L1"));
+        assert_eq!(Instr::Calls(0, "main".into()).target(), Some("main"));
+        assert_eq!(Instr::Ret.target(), None);
+    }
+
+    #[test]
+    fn imm_is_not_writable() {
+        assert!(!Operand::Imm(5).is_writable());
+        assert!(Operand::Reg(Reg(0)).is_writable());
+        assert!(Operand::Disp(8, Reg::FP).is_writable());
+    }
+}

@@ -1,0 +1,257 @@
+//! Peephole optimizer — the paper's "limited amount of local
+//! optimization" (§3).
+//!
+//! Works on an [`Item`] list (so label boundaries are respected) and
+//! applies classic VAX-era window patterns until a fixpoint:
+//!
+//! * constant folding of three-operand arithmetic on immediates;
+//! * `movl $0, x` → `clrl x`;
+//! * algebraic identities (`addl2 $0`, `mull2 $1`, …);
+//! * self-moves (`movl x, x`) removed;
+//! * redundant reciprocal moves (`movl a, b; movl b, a`) removed;
+//! * branches to the immediately following label removed;
+//! * code between an unconditional branch and the next label removed.
+
+use crate::instr::{Instr, Item, Operand};
+
+/// Counters describing what the optimizer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeepholeStats {
+    /// Instructions removed.
+    pub removed: usize,
+    /// Instructions rewritten in place.
+    pub rewritten: usize,
+    /// Full passes over the code.
+    pub passes: usize,
+}
+
+/// Optimizes an item list, returning the new list and statistics.
+pub fn peephole(items: Vec<Item>) -> (Vec<Item>, PeepholeStats) {
+    let mut items = items;
+    let mut stats = PeepholeStats::default();
+    loop {
+        stats.passes += 1;
+        let before_removed = stats.removed;
+        let before_rewritten = stats.rewritten;
+        items = pass(items, &mut stats);
+        if stats.removed == before_removed && stats.rewritten == before_rewritten {
+            break;
+        }
+        // Safety valve: patterns above strictly shrink or rewrite
+        // finitely, but cap passes anyway.
+        if stats.passes > 32 {
+            break;
+        }
+    }
+    (items, stats)
+}
+
+fn pass(items: Vec<Item>, stats: &mut PeepholeStats) -> Vec<Item> {
+    let mut out: Vec<Item> = Vec::with_capacity(items.len());
+    let mut skip_until_label = false;
+    let mut iter = items.into_iter().peekable();
+
+    while let Some(item) = iter.next() {
+        if skip_until_label {
+            match item {
+                Item::Label(_) => skip_until_label = false,
+                Item::Instr(_) => {
+                    stats.removed += 1;
+                    continue;
+                }
+            }
+        }
+        let item = match item {
+            Item::Instr(i) => match rewrite(i, stats) {
+                Some(i) => Item::Instr(i),
+                None => continue,
+            },
+            l => l,
+        };
+
+        // Branch to the immediately following label.
+        if let (Item::Instr(Instr::Brb(target)), Some(Item::Label(next))) =
+            (&item, iter.peek())
+        {
+            if target == next {
+                stats.removed += 1;
+                continue;
+            }
+        }
+        // Reciprocal move: movl a, b; movl b, a → keep only the first.
+        if let (Some(Item::Instr(Instr::Movl(pa, pb))), Item::Instr(Instr::Movl(ca, cb))) =
+            (out.last(), &item)
+        {
+            if pa == cb && pb == ca {
+                stats.removed += 1;
+                continue;
+            }
+        }
+        // Push/pop fusion: `pushl a; movl (sp), b; addl2 $4, sp` →
+        // `movl a, b`. This is the dominant redundancy of stack code
+        // (every operator pops its freshly pushed operands). Unsafe only
+        // when `a` reads through sp, whose value differs after the push.
+        if let Item::Instr(Instr::Addl2(Operand::Imm(4), Operand::Reg(sp))) = &item {
+            if sp.0 == 14 && out.len() >= 2 {
+                let window = (&out[out.len() - 2], &out[out.len() - 1]);
+                if let (
+                    Item::Instr(Instr::Pushl(a)),
+                    Item::Instr(Instr::Movl(Operand::Ind(src), b)),
+                ) = window
+                {
+                    let a_uses_sp = matches!(
+                        a,
+                        Operand::Ind(r) | Operand::Disp(_, r) if r.0 == 14
+                    );
+                    if src.0 == 14 && !a_uses_sp {
+                        let (a, b) = (a.clone(), b.clone());
+                        out.truncate(out.len() - 2);
+                        stats.removed += 2;
+                        if a != b {
+                            stats.rewritten += 1;
+                            out.push(Item::Instr(Instr::Movl(a, b)));
+                        } else {
+                            stats.removed += 1;
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        // Dead code after an unconditional branch/ret/halt.
+        if let Item::Instr(i) = &item {
+            if matches!(i, Instr::Brb(_) | Instr::Ret | Instr::Halt) {
+                out.push(item);
+                skip_until_label = true;
+                continue;
+            }
+        }
+        out.push(item);
+    }
+    out
+}
+
+/// Rewrites one instruction; `None` removes it.
+fn rewrite(i: Instr, stats: &mut PeepholeStats) -> Option<Instr> {
+    use Instr::*;
+    use Operand::Imm;
+    let rewritten = |s: &mut PeepholeStats, i: Instr| {
+        s.rewritten += 1;
+        Some(i)
+    };
+    let removed = |s: &mut PeepholeStats| {
+        s.removed += 1;
+        None
+    };
+    match i {
+        // Self move.
+        Movl(a, b) if a == b => removed(stats),
+        // Clear idiom.
+        Movl(Imm(0), b) => rewritten(stats, Clrl(b)),
+        // Algebraic identities.
+        Addl2(Imm(0), _) | Subl2(Imm(0), _) | Mull2(Imm(1), _) | Divl2(Imm(1), _) => {
+            removed(stats)
+        }
+        // Constant folding.
+        Addl3(Imm(a), Imm(b), c) => rewritten(stats, fold(a.wrapping_add(b), c)),
+        Subl3(Imm(a), Imm(b), c) => rewritten(stats, fold(b.wrapping_sub(a), c)),
+        Mull3(Imm(a), Imm(b), c) => rewritten(stats, fold(a.wrapping_mul(b), c)),
+        Divl3(Imm(a), Imm(b), c) if a != 0 => {
+            rewritten(stats, fold(b.wrapping_div(a), c))
+        }
+        // addl3 $0, b, c → movl b, c (and symmetric); mull3 $1 likewise.
+        Addl3(Imm(0), b, c) | Addl3(b, Imm(0), c) => rewritten(stats, Movl(b, c)),
+        Mull3(Imm(1), b, c) | Mull3(b, Imm(1), c) => rewritten(stats, Movl(b, c)),
+        other => Some(other),
+    }
+}
+
+fn fold(v: i64, dst: Operand) -> Instr {
+    if v == 0 {
+        Instr::Clrl(dst)
+    } else {
+        Instr::Movl(Operand::Imm(v), dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{assemble_items, parse_asm, render};
+    use crate::Vm;
+
+    fn optimize(src: &str) -> (String, PeepholeStats) {
+        let items = parse_asm(src).unwrap();
+        let (opt, stats) = peephole(items);
+        (render(&opt), stats)
+    }
+
+    #[test]
+    fn constant_folding() {
+        let (out, stats) = optimize(" addl3 $2, $3, r0\n halt\n");
+        assert!(out.contains("movl $5, r0"));
+        assert_eq!(stats.rewritten, 1);
+    }
+
+    #[test]
+    fn fold_to_zero_becomes_clrl() {
+        let (out, _) = optimize(" subl3 $5, $5, r0\n halt\n");
+        assert!(out.contains("clrl r0"));
+    }
+
+    #[test]
+    fn identity_operations_removed() {
+        let (out, stats) = optimize(" addl2 $0, r1\n mull2 $1, r2\n halt\n");
+        assert!(!out.contains("addl2"));
+        assert!(!out.contains("mull2"));
+        assert_eq!(stats.removed, 2);
+    }
+
+    #[test]
+    fn self_move_removed() {
+        let (out, _) = optimize(" movl r3, r3\n halt\n");
+        assert!(!out.contains("movl"));
+    }
+
+    #[test]
+    fn reciprocal_move_removed() {
+        let (out, _) = optimize(" movl r1, r2\n movl r2, r1\n halt\n");
+        assert_eq!(out.matches("movl").count(), 1);
+    }
+
+    #[test]
+    fn branch_to_next_label_removed() {
+        let (out, _) = optimize(" brb next\nnext:\n halt\n");
+        assert!(!out.contains("brb"));
+    }
+
+    #[test]
+    fn dead_code_after_branch_removed_until_label() {
+        let (out, _) = optimize(" brb far\n movl $1, r0\n movl $2, r0\nfar:\n halt\n");
+        assert!(!out.contains("$1"));
+        assert!(!out.contains("$2"));
+        // After the dead code is gone the branch lands on the next
+        // label, so a later pass removes it too.
+        assert!(!out.contains("brb"));
+    }
+
+    #[test]
+    fn labels_block_dead_code_elimination() {
+        let (out, _) = optimize(" brb l2\nl1:\n movl $9, r0\nl2:\n halt\n");
+        assert!(out.contains("$9"), "code after a label must survive");
+    }
+
+    #[test]
+    fn optimized_program_behaves_identically() {
+        let src = "start:\n movl $0, r0\n addl3 $20, $22, r1\n addl2 $0, r1\n movl r1, r2\n movl r2, r1\n brb out\nout:\n writeint r1\n halt\n";
+        let items = parse_asm(src).unwrap();
+        let p0 = assemble_items(items.clone()).unwrap();
+        let want = Vm::new(&p0).run().unwrap();
+        let (opt, stats) = peephole(items);
+        let p1 = assemble_items(opt).unwrap();
+        let got = Vm::new(&p1).run().unwrap();
+        assert_eq!(want, got);
+        assert!(stats.removed >= 3);
+        assert!(p1.instrs.len() < p0.instrs.len());
+    }
+}

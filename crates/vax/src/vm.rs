@@ -1,0 +1,425 @@
+//! Execution VM for assembled programs.
+//!
+//! Longword (conceptually 32-bit, stored as `i64`) machine with sixteen
+//! registers, a downward-growing stack, and the simplified
+//! `calls`/`ret` frame convention the Pascal compiler targets:
+//!
+//! ```text
+//! calls $n, L:   push n; push return-pc; push saved fp; fp = sp; goto L
+//! ret:           sp = fp; pop fp; pop return-pc; pop n; sp += 4*n
+//! ```
+//!
+//! So inside a procedure, `4(fp)` is the return address, `8(fp)` the
+//! argument count, `12(fp)` the last-pushed argument, and locals live at
+//! `-4(fp)`, `-8(fp)`, … after the prologue's `subl2 $k, sp`.
+
+use crate::asm::Program;
+use crate::instr::{Instr, Operand, Reg};
+use std::fmt;
+
+/// Default stack size in longwords.
+const STACK_WORDS: usize = 1 << 16;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Division by zero at the given instruction index.
+    DivideByZero(usize),
+    /// Memory access outside the stack segment.
+    BadAddress {
+        /// Instruction index.
+        at: usize,
+        /// Offending byte address.
+        addr: i64,
+    },
+    /// Write to an immediate operand.
+    BadWrite(usize),
+    /// The step limit was exceeded (probable infinite loop).
+    StepLimit(usize),
+    /// `ret` executed with a corrupt frame.
+    BadFrame(usize),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::DivideByZero(at) => write!(f, "division by zero at instruction {at}"),
+            RunError::BadAddress { at, addr } => {
+                write!(f, "bad address {addr:#x} at instruction {at}")
+            }
+            RunError::BadWrite(at) => write!(f, "write to immediate at instruction {at}"),
+            RunError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            RunError::BadFrame(at) => write!(f, "corrupt frame on ret at instruction {at}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Condition codes from the last `cmpl`/`tstl` (and arithmetic).
+#[derive(Debug, Clone, Copy, Default)]
+struct Cond {
+    n: bool,
+    z: bool,
+}
+
+/// The virtual machine.
+pub struct Vm<'p> {
+    program: &'p Program,
+    regs: [i64; 16],
+    /// Stack memory, indexed by `addr / 4`.
+    mem: Vec<i64>,
+    pc: usize,
+    cond: Cond,
+    output: String,
+    steps: usize,
+    step_limit: usize,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` with the default stack and step limit.
+    pub fn new(program: &'p Program) -> Self {
+        let mut regs = [0i64; 16];
+        regs[Reg::SP.0 as usize] = (STACK_WORDS * 4) as i64;
+        regs[Reg::FP.0 as usize] = (STACK_WORDS * 4) as i64;
+        Vm {
+            program,
+            regs,
+            mem: vec![0; STACK_WORDS],
+            pc: program.entry,
+            cond: Cond::default(),
+            output: String::new(),
+            steps: 0,
+            step_limit: 50_000_000,
+        }
+    }
+
+    /// Overrides the step limit.
+    pub fn with_step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Register value.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.0 as usize]
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Runs until `halt` (or falling off the end of the program).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunError`]; the partial output is available via
+    /// [`Vm::output`].
+    pub fn run(&mut self) -> Result<String, RunError> {
+        while self.pc < self.program.instrs.len() {
+            self.steps += 1;
+            if self.steps > self.step_limit {
+                return Err(RunError::StepLimit(self.step_limit));
+            }
+            let at = self.pc;
+            let instr = &self.program.instrs[at];
+            self.pc += 1;
+            match instr.clone() {
+                Instr::Halt => break,
+                Instr::Movl(a, b) => {
+                    let v = self.read(&a, at)?;
+                    self.write(&b, v, at)?;
+                }
+                Instr::Clrl(a) => self.write(&a, 0, at)?,
+                Instr::Mnegl(a, b) => {
+                    let v = self.read(&a, at)?;
+                    self.write(&b, v.wrapping_neg(), at)?;
+                }
+                Instr::Pushl(a) => {
+                    let v = self.read(&a, at)?;
+                    self.push(v, at)?;
+                }
+                Instr::Addl2(a, b) => self.binop2(&a, &b, at, i64::wrapping_add)?,
+                Instr::Subl2(a, b) => self.binop2(&a, &b, at, |x, y| y.wrapping_sub(x))?,
+                Instr::Mull2(a, b) => self.binop2(&a, &b, at, i64::wrapping_mul)?,
+                Instr::Divl2(a, b) => {
+                    let x = self.read(&a, at)?;
+                    let y = self.read(&b, at)?;
+                    if x == 0 {
+                        return Err(RunError::DivideByZero(at));
+                    }
+                    self.write(&b, y.wrapping_div(x), at)?;
+                    self.set_cond(y.wrapping_div(x));
+                }
+                Instr::Addl3(a, b, c) => self.binop3(&a, &b, &c, at, i64::wrapping_add)?,
+                // VAX subl3: dst = b - a.
+                Instr::Subl3(a, b, c) => {
+                    self.binop3(&a, &b, &c, at, |x, y| y.wrapping_sub(x))?
+                }
+                Instr::Mull3(a, b, c) => self.binop3(&a, &b, &c, at, i64::wrapping_mul)?,
+                Instr::Divl3(a, b, c) => {
+                    let x = self.read(&a, at)?;
+                    let y = self.read(&b, at)?;
+                    if x == 0 {
+                        return Err(RunError::DivideByZero(at));
+                    }
+                    let v = y.wrapping_div(x);
+                    self.write(&c, v, at)?;
+                    self.set_cond(v);
+                }
+                Instr::Cmpl(a, b) => {
+                    let x = self.read(&a, at)?;
+                    let y = self.read(&b, at)?;
+                    self.set_cond(x.wrapping_sub(y));
+                }
+                Instr::Tstl(a) => {
+                    let v = self.read(&a, at)?;
+                    self.set_cond(v);
+                }
+                Instr::Beql(l) => self.branch_if(self.cond.z, &l),
+                Instr::Bneq(l) => self.branch_if(!self.cond.z, &l),
+                Instr::Blss(l) => self.branch_if(self.cond.n, &l),
+                Instr::Bleq(l) => self.branch_if(self.cond.n || self.cond.z, &l),
+                Instr::Bgtr(l) => self.branch_if(!self.cond.n && !self.cond.z, &l),
+                Instr::Bgeq(l) => self.branch_if(!self.cond.n, &l),
+                Instr::Brb(l) => self.branch_if(true, &l),
+                Instr::Calls(n, l) => {
+                    self.push(n as i64, at)?;
+                    self.push(self.pc as i64, at)?;
+                    self.push(self.reg(Reg::FP), at)?;
+                    self.regs[Reg::FP.0 as usize] = self.reg(Reg::SP);
+                    self.pc = self.program.labels[l.as_str()];
+                }
+                Instr::Ret => {
+                    let fp = self.reg(Reg::FP);
+                    self.regs[Reg::SP.0 as usize] = fp;
+                    let saved_fp = self.pop(at)?;
+                    let ret_pc = self.pop(at)?;
+                    let n = self.pop(at)?;
+                    if ret_pc < 0
+                        || ret_pc as usize > self.program.instrs.len()
+                        || !(0..=255).contains(&n)
+                    {
+                        return Err(RunError::BadFrame(at));
+                    }
+                    self.regs[Reg::FP.0 as usize] = saved_fp;
+                    self.regs[Reg::SP.0 as usize] += 4 * n;
+                    self.pc = ret_pc as usize;
+                }
+                Instr::WriteInt(a) => {
+                    let v = self.read(&a, at)?;
+                    self.output.push_str(&v.to_string());
+                }
+                Instr::WriteStr(s) => self.output.push_str(&s),
+                Instr::WriteLn => self.output.push('\n'),
+            }
+        }
+        Ok(self.output.clone())
+    }
+
+    /// Output produced so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    fn branch_if(&mut self, cond: bool, label: &str) {
+        if cond {
+            self.pc = self.program.labels[label];
+        }
+    }
+
+    fn set_cond(&mut self, v: i64) {
+        self.cond = Cond {
+            n: v < 0,
+            z: v == 0,
+        };
+    }
+
+    fn binop2(
+        &mut self,
+        a: &Operand,
+        b: &Operand,
+        at: usize,
+        f: fn(i64, i64) -> i64,
+    ) -> Result<(), RunError> {
+        let x = self.read(a, at)?;
+        let y = self.read(b, at)?;
+        let v = f(x, y);
+        self.write(b, v, at)?;
+        self.set_cond(v);
+        Ok(())
+    }
+
+    fn binop3(
+        &mut self,
+        a: &Operand,
+        b: &Operand,
+        c: &Operand,
+        at: usize,
+        f: fn(i64, i64) -> i64,
+    ) -> Result<(), RunError> {
+        let x = self.read(a, at)?;
+        let y = self.read(b, at)?;
+        let v = f(x, y);
+        self.write(c, v, at)?;
+        self.set_cond(v);
+        Ok(())
+    }
+
+    fn push(&mut self, v: i64, at: usize) -> Result<(), RunError> {
+        let sp = self.reg(Reg::SP) - 4;
+        self.regs[Reg::SP.0 as usize] = sp;
+        self.store(sp, v, at)
+    }
+
+    fn pop(&mut self, at: usize) -> Result<i64, RunError> {
+        let sp = self.reg(Reg::SP);
+        let v = self.load(sp, at)?;
+        self.regs[Reg::SP.0 as usize] = sp + 4;
+        Ok(v)
+    }
+
+    fn read(&self, op: &Operand, at: usize) -> Result<i64, RunError> {
+        match op {
+            Operand::Imm(n) => Ok(*n),
+            Operand::Reg(r) => Ok(self.reg(*r)),
+            Operand::Ind(r) => self.load(self.reg(*r), at),
+            Operand::Disp(d, r) => self.load(self.reg(*r) + *d as i64, at),
+        }
+    }
+
+    fn write(&mut self, op: &Operand, v: i64, at: usize) -> Result<(), RunError> {
+        match op {
+            Operand::Imm(_) => Err(RunError::BadWrite(at)),
+            Operand::Reg(r) => {
+                self.regs[r.0 as usize] = v;
+                Ok(())
+            }
+            Operand::Ind(r) => self.store(self.reg(*r), v, at),
+            Operand::Disp(d, r) => self.store(self.reg(*r) + *d as i64, v, at),
+        }
+    }
+
+    fn load(&self, addr: i64, at: usize) -> Result<i64, RunError> {
+        self.slot(addr, at).map(|i| self.mem[i])
+    }
+
+    fn store(&mut self, addr: i64, v: i64, at: usize) -> Result<(), RunError> {
+        let i = self.slot(addr, at)?;
+        self.mem[i] = v;
+        Ok(())
+    }
+
+    fn slot(&self, addr: i64, at: usize) -> Result<usize, RunError> {
+        if addr < 0 || addr % 4 != 0 || (addr / 4) as usize >= self.mem.len() {
+            return Err(RunError::BadAddress { at, addr });
+        }
+        Ok((addr / 4) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> String {
+        let p = assemble(src).unwrap();
+        Vm::new(&p).run().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let out = run(" movl $6, r1\n mull3 $7, r1, r0\n writeint r0\n writeln\n halt\n");
+        assert_eq!(out, "42\n");
+    }
+
+    #[test]
+    fn subl3_operand_order_is_vax() {
+        // subl3 a, b, c computes c = b - a.
+        let out = run(" subl3 $3, $10, r0\n writeint r0\n halt\n");
+        assert_eq!(out, "7");
+    }
+
+    #[test]
+    fn divl3_operand_order_is_vax() {
+        let out = run(" divl3 $3, $12, r0\n writeint r0\n halt\n");
+        assert_eq!(out, "4");
+    }
+
+    #[test]
+    fn conditional_branches() {
+        let out = run(
+            " movl $1, r1\n cmpl r1, $2\n blss less\n writestr \"no\"\n brb end\nless:\n writestr \"yes\"\nend:\n halt\n",
+        );
+        assert_eq!(out, "yes");
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let out = run(
+            " movl $3, r1\nloop:\n tstl r1\n beql done\n writeint r1\n subl2 $1, r1\n brb loop\ndone:\n halt\n",
+        );
+        assert_eq!(out, "321");
+    }
+
+    #[test]
+    fn calls_and_ret_frame_discipline() {
+        // double(x) = x + x; result in r0. Argument at 12(fp).
+        let out = run(
+            "start:\n pushl $21\n calls $1, double\n writeint r0\n halt\ndouble:\n addl3 12(fp), 12(fp), r0\n ret\n",
+        );
+        assert_eq!(out, "42");
+    }
+
+    #[test]
+    fn nested_calls_restore_frames() {
+        let out = run(
+            "start:\n pushl $5\n calls $1, f\n writeint r0\n halt\nf:\n pushl 12(fp)\n calls $1, g\n addl2 $1, r0\n ret\ng:\n addl3 12(fp), $10, r0\n ret\n",
+        );
+        assert_eq!(out, "16");
+    }
+
+    #[test]
+    fn locals_below_fp() {
+        let out = run(
+            "start:\n calls $0, f\n writeint r0\n halt\nf:\n subl2 $8, sp\n movl $11, -4(fp)\n movl $31, -8(fp)\n addl3 -4(fp), -8(fp), r0\n ret\n",
+        );
+        assert_eq!(out, "42");
+    }
+
+    #[test]
+    fn divide_by_zero_is_an_error() {
+        let p = assemble(" divl3 $0, $1, r0\n halt\n").unwrap();
+        assert_eq!(Vm::new(&p).run(), Err(RunError::DivideByZero(0)));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let p = assemble("l:\n brb l\n").unwrap();
+        let mut vm = Vm::new(&p).with_step_limit(1000);
+        assert_eq!(vm.run(), Err(RunError::StepLimit(1000)));
+    }
+
+    #[test]
+    fn bad_address_reported() {
+        let p = assemble(" movl $-4, r1\n movl (r1), r0\n halt\n").unwrap();
+        match Vm::new(&p).run() {
+            Err(RunError::BadAddress { at: 1, addr: -4 }) => {}
+            other => panic!("expected BadAddress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_to_immediate_rejected() {
+        let p = assemble(" movl r0, $5\n halt\n").unwrap();
+        assert_eq!(Vm::new(&p).run(), Err(RunError::BadWrite(0)));
+    }
+
+    #[test]
+    fn writestr_escapes() {
+        let out = run(" writestr \"a\\tb\\n\"\n halt\n");
+        assert_eq!(out, "a\tb\n");
+    }
+}

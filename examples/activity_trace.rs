@@ -1,0 +1,46 @@
+//! Renders the Figure-6 activity chart for a parallel compilation —
+//! parser, five evaluators and the string librarian on a shared
+//! Ethernet, with per-phase busy-time accounting.
+//!
+//! Run with: `cargo run --release --example activity_trace`
+
+use paragram::core::eval::MachineMode;
+use paragram::core::parallel::sim::{run_sim, SimConfig};
+use paragram::core::parallel::{phase_classifier, ResultPropagation};
+use paragram::pascal::generator::{generate, GenConfig};
+use paragram::pascal::Compiler;
+use std::sync::Arc;
+
+fn main() {
+    let compiler = Compiler::new();
+    let source = generate(&GenConfig {
+        clusters: 4,
+        procs_per_cluster: 6,
+        stmts_per_proc: 10,
+        nesting: 3,
+        seed: 7,
+    });
+    let tree = compiler.tree_from_source(&source).expect("workload parses");
+    let plans = Arc::clone(compiler.evals.plans().expect("ordered grammar"));
+
+    let mut cfg = SimConfig::paper(5);
+    cfg.mode = MachineMode::Combined;
+    cfg.result = ResultPropagation::Librarian;
+    cfg.classifier = phase_classifier(vec![
+        ("env", "symbol table"),
+        ("off", "symbol table"),
+        ("sig", "symbol table"),
+        ("code", "code generation"),
+        ("errs", "code generation"),
+        ("ty", "code generation"),
+    ]);
+    let report = run_sim(&tree, Some(&plans), &cfg);
+
+    println!(
+        "combined evaluator, {} regions, evaluation {:.2} virtual s\n",
+        report.regions,
+        report.eval_secs()
+    );
+    println!("{}", report.render_gantt(96));
+    println!("\ndecomposition:\n{}", report.decomposition);
+}

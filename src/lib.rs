@@ -1,0 +1,47 @@
+//! # paragram — Parallel Attribute Grammar Evaluation
+//!
+//! A from-scratch Rust reproduction of *Parallel Attribute Grammar
+//! Evaluation* (Hans-Juergen Boehm and Willy Zwaenepoel, ICDCS 1987).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — attribute-grammar model, dependency analysis, Kastens OAG
+//!   visit sequences, and the dynamic / static / **combined** evaluators,
+//!   plus the parallel runtimes (simulated network multiprocessor and real
+//!   threads).
+//! * [`rope`] — persistent rope strings with O(1) concatenation and the
+//!   string-librarian descriptor protocol.
+//! * [`symtab`] — applicative binary-search-tree symbol tables.
+//! * [`netsim`] — the deterministic discrete-event "network of
+//!   workstations" simulator.
+//! * [`parsegen`] — SLR(1) parser-table generator (the YACC substitute).
+//! * [`spec`] — the evaluator generator's attribute-grammar specification
+//!   language (the appendix syntax).
+//! * [`vax`] — VAX-like assembly, assembler, peephole optimizer and VM.
+//! * [`pascal`] — the Pascal-subset compiler expressed as an attribute
+//!   grammar, with a direct (non-AG) baseline compiler and a workload
+//!   generator.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//!
+//! # Examples
+//!
+//! Evaluate the paper's appendix expression grammar:
+//!
+//! ```
+//! use paragram::spec::{builtins, SpecLang};
+//!
+//! let lang = SpecLang::expression_language();
+//! let value = lang.eval_str("let x = 2 in 1 + 3 * x ni").unwrap();
+//! assert_eq!(value.as_int(), Some(7));
+//! ```
+
+pub use paragram_core as core;
+pub use paragram_netsim as netsim;
+pub use paragram_parsegen as parsegen;
+pub use paragram_pascal as pascal;
+pub use paragram_rope as rope;
+pub use paragram_spec as spec;
+pub use paragram_symtab as symtab;
+pub use paragram_vax as vax;
