@@ -14,8 +14,7 @@ fn bench_parallel(c: &mut Criterion) {
             &machines,
             |b, &machines| {
                 b.iter(|| {
-                    run_threads(&w.tree, Some(&w.plans), ThreadConfig::combined(machines))
-                        .unwrap()
+                    run_threads(&w.tree, Some(&w.plans), ThreadConfig::combined(machines)).unwrap()
                 })
             },
         );

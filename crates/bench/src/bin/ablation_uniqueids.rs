@@ -49,9 +49,7 @@ fn uid_language() -> (Arc<Grammar<Value>>, Arc<ParseTree<Value>>) {
         [(1, paragram_core::grammar::AttrId(0)), (2, bcode)],
         |a| {
             let label = a[0].as_int().unwrap();
-            Value::Rope(
-                Rope::from(format!("L{label}:\n\tinstr\n")).concat(a[1].as_rope().unwrap()),
-            )
+            Value::Rope(Rope::from(format!("L{label}:\n\tinstr\n")).concat(a[1].as_rope().unwrap()))
         },
         4,
     );
@@ -113,9 +111,7 @@ fn threaded_language() -> (Arc<Grammar<Value>>, Arc<ParseTree<Value>>) {
         [(0, bin), (1, bcode)],
         |a| {
             let label = a[0].as_int().unwrap();
-            Value::Rope(
-                Rope::from(format!("L{label}:\n\tinstr\n")).concat(a[1].as_rope().unwrap()),
-            )
+            Value::Rope(Rope::from(format!("L{label}:\n\tinstr\n")).concat(a[1].as_rope().unwrap()))
         },
         4,
     );
@@ -160,10 +156,7 @@ fn main() {
         let mut cfg = SimConfig::paper(5);
         cfg.mode = MachineMode::Combined;
         let r = run_sim(&tree, Some(&plans), &cfg);
-        println!(
-            "{name:>26} | {:8.2}s | {note}",
-            r.eval_time as f64 / 1e6
-        );
+        println!("{name:>26} | {:8.2}s | {note}", r.eval_time as f64 / 1e6);
         times.push(r.eval_time);
     }
     println!(

@@ -1,0 +1,181 @@
+//! Perf-trajectory benchmark for the dynamic pipeline.
+//!
+//! Measures, on the paper workload (and the small workload for quick
+//! sanity), the median wall-clock time of:
+//!
+//! * `dynamic_eval` — graph construction + dynamic evaluation,
+//! * `static_eval` — plan-driven evaluation (no graph),
+//! * dependency-graph construction alone (a dynamic-mode [`Machine`]
+//!   over the undecomposed tree builds exactly the instance graph).
+//!
+//! Writes `BENCH_dynamic.json` (override with `--out`). With
+//! `--baseline FILE` (a previous run's output), the new file embeds the
+//! baseline numbers and the relative improvement so the repo can track
+//! its perf trajectory across PRs.
+//!
+//! Usage: `cargo run --release --bin bench_dynamic -- [--iters N]
+//! [--out PATH] [--baseline PATH] [--label TEXT]`
+
+use paragram_bench::Workload;
+use paragram_core::eval::{dynamic_eval, static_eval, Machine, MachineMode};
+use paragram_core::split::Decomposition;
+use paragram_pascal::generator::GenConfig;
+use std::time::Instant;
+
+struct Args {
+    iters: usize,
+    out: String,
+    baseline: Option<String>,
+    label: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        iters: 15,
+        out: "BENCH_dynamic.json".to_string(),
+        baseline: None,
+        label: "current".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--iters" => {
+                args.iters = val("--iters").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --iters takes an integer");
+                    std::process::exit(2);
+                });
+                args.iters = args.iters.max(1);
+            }
+            "--out" => args.out = val("--out"),
+            "--baseline" => args.baseline = Some(val("--baseline")),
+            "--label" => args.label = val("--label"),
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?}\nusage: bench_dynamic [--iters N] [--out PATH] [--baseline PATH] [--label TEXT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Median of `iters` timed runs, in nanoseconds.
+fn median_ns<O>(iters: usize, mut f: impl FnMut() -> O) -> u128 {
+    let mut times: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Measurement {
+    name: &'static str,
+    median_ns: u128,
+}
+
+fn measure(w: &Workload, iters: usize) -> Vec<Measurement> {
+    let whole = Decomposition::whole(&w.tree);
+    vec![
+        Measurement {
+            name: "dynamic_eval",
+            median_ns: median_ns(iters, || dynamic_eval(&w.tree).unwrap()),
+        },
+        Measurement {
+            name: "static_eval",
+            median_ns: median_ns(iters, || static_eval(&w.tree, &w.plans).unwrap()),
+        },
+        Measurement {
+            name: "graph_build",
+            median_ns: median_ns(iters, || {
+                Machine::new(&w.tree, None, &whole, 0, MachineMode::Dynamic).graph_size()
+            }),
+        },
+    ]
+}
+
+/// Pulls `"name": { ... "median_ns": N ... }` out of a previous run's
+/// JSON without a JSON parser (the format is our own, flat and stable).
+fn baseline_value(json: &str, workload: &str, name: &str) -> Option<u128> {
+    let w = json.find(&format!("\"{workload}\""))?;
+    let sect = &json[w..];
+    let k = sect.find(&format!("\"{name}\""))?;
+    let rest = &sect[k..];
+    let m = rest.find("\"median_ns\":")?;
+    let tail = rest[m + "\"median_ns\":".len()..].trim_start();
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = args.baseline.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": {:?},\n", args.label));
+    out.push_str(&format!("  \"iters\": {},\n", args.iters));
+
+    let workloads = [("small", GenConfig::small()), ("paper", GenConfig::paper())];
+    for (wi, (wname, cfg)) in workloads.iter().enumerate() {
+        let w = Workload::from_config(cfg);
+        let (d, dstats) = dynamic_eval(&w.tree).unwrap();
+        drop(d);
+        println!(
+            "workload {wname}: {} lines, {} nodes, graph {} nodes / {} edges",
+            w.lines(),
+            w.tree.len(),
+            dstats.graph_nodes,
+            dstats.graph_edges
+        );
+        let results = measure(&w, args.iters);
+        out.push_str(&format!("  \"{wname}\": {{\n"));
+        out.push_str(&format!("    \"source_lines\": {},\n", w.lines()));
+        out.push_str(&format!("    \"tree_nodes\": {},\n", w.tree.len()));
+        out.push_str(&format!("    \"graph_nodes\": {},\n", dstats.graph_nodes));
+        out.push_str(&format!("    \"graph_edges\": {},\n", dstats.graph_edges));
+        for (i, m) in results.iter().enumerate() {
+            let base = baseline
+                .as_deref()
+                .and_then(|b| baseline_value(b, wname, m.name));
+            out.push_str(&format!("    \"{}\": {{\n", m.name));
+            out.push_str(&format!("      \"median_ns\": {}", m.median_ns));
+            if let Some(base) = base {
+                let pct = 100.0 * (base as f64 - m.median_ns as f64) / base as f64;
+                out.push_str(&format!(",\n      \"baseline_median_ns\": {base}"));
+                out.push_str(&format!(",\n      \"improvement_pct\": {pct:.1}"));
+                println!(
+                    "  {wname}/{}: {} ns (baseline {base} ns, {pct:+.1}%)",
+                    m.name, m.median_ns
+                );
+            } else {
+                println!("  {wname}/{}: {} ns", m.name, m.median_ns);
+            }
+            out.push_str("\n    }");
+            out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }");
+        out.push_str(if wi + 1 < workloads.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("}\n");
+    std::fs::write(&args.out, out).expect("write output");
+    println!("wrote {}", args.out);
+}

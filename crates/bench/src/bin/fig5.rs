@@ -18,7 +18,10 @@ fn main() {
         w.lines(),
         w.tree.len()
     );
-    println!("{:>9} | {:>10} {:>8} | {:>10} {:>8} | chart (combined)", "machines", "dynamic", "speedup", "combined", "speedup");
+    println!(
+        "{:>9} | {:>10} {:>8} | {:>10} {:>8} | chart (combined)",
+        "machines", "dynamic", "speedup", "combined", "speedup"
+    );
     println!("{}", "-".repeat(78));
     let mut base_dyn = 0.0;
     let mut base_comb = 0.0;

@@ -20,10 +20,7 @@ fn main() {
         for r in 0..d.len() as u32 {
             let b = boundary_children(&w.tree, &d, r);
             let letter = (b'a' + (r % 26) as u8) as char;
-            println!(
-                "  region {letter}: {} remotely evaluated leaves",
-                b.len()
-            );
+            println!("  region {letter}: {} remotely evaluated leaves", b.len());
         }
         println!();
     }

@@ -20,8 +20,8 @@ use paragram_bench::Workload;
 use paragram_core::analysis::compute_plans;
 use paragram_core::eval::{static_eval, MachineMode};
 use paragram_core::grammar::{AttrId, Grammar, GrammarBuilder};
-use paragram_core::parallel::sim::{run_sim, SimConfig};
 use paragram_core::parallel::phase_classifier;
+use paragram_core::parallel::sim::{run_sim, SimConfig};
 use paragram_core::tree::{token, ParseTree, TreeBuilder};
 use paragram_core::value::Value;
 use paragram_rope::Rope;
@@ -40,9 +40,7 @@ fn split_sections(asm: &str) -> Vec<(String, Vec<Item>)> {
             Item::Label(l) => {
                 // Local labels (branch targets) stay inside the current
                 // section; routine labels (start/__*/P*) open a new one.
-                let is_routine = l == "start"
-                    || l.starts_with("__")
-                    || l.starts_with('P');
+                let is_routine = l == "start" || l.starts_with("__") || l.starts_with('P');
                 if is_routine || current.is_none() {
                     if let Some(s) = current.take() {
                         sections.push(s);
@@ -112,9 +110,7 @@ fn asm_grammar() -> AsmLang {
         }
     }
 
-    let parse_section = |text: &str| -> Vec<Item> {
-        parse_asm(text).expect("section text parses")
-    };
+    let parse_section = |text: &str| -> Vec<Item> { parse_asm(text).expect("section text parses") };
 
     // S -> sections
     let p_top = g.production("asm_prog", s, [list]);
@@ -244,7 +240,9 @@ fn asm_grammar() -> AsmLang {
 
 fn opcode(i: &Instr) -> u8 {
     // Stable tiny opcode map by mnemonic hash.
-    i.mnemonic().bytes().fold(7u8, |h, b| h.wrapping_mul(31).wrapping_add(b))
+    i.mnemonic()
+        .bytes()
+        .fold(7u8, |h, b| h.wrapping_mul(31).wrapping_add(b))
 }
 
 fn build_asm_tree(lang: &AsmLang, sections: &[(String, Vec<Item>)]) -> Arc<ParseTree<Value>> {

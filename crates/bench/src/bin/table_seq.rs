@@ -26,9 +26,18 @@ fn main() {
     let combined = simulate(&w, 1, MachineMode::Combined);
     let dynamic = simulate(&w, 1, MachineMode::Dynamic);
     println!("virtual 1987 seconds (simulator cost model):");
-    println!("  parsing (reported separately)   {}", fmt_secs(combined.parse_time));
-    println!("  static/combined evaluation      {}", fmt_secs(combined.eval_time));
-    println!("  dynamic evaluation              {}", fmt_secs(dynamic.eval_time));
+    println!(
+        "  parsing (reported separately)   {}",
+        fmt_secs(combined.parse_time)
+    );
+    println!(
+        "  static/combined evaluation      {}",
+        fmt_secs(combined.eval_time)
+    );
+    println!(
+        "  dynamic evaluation              {}",
+        fmt_secs(dynamic.eval_time)
+    );
 
     // Real host times.
     println!("\nreal host wall-clock:");
@@ -73,8 +82,14 @@ fn main() {
     assert_eq!(ag_run, direct_run, "compilers disagree!");
     let (opt, pstats) = paragram_pascal::optimize_asm(&ag_out.asm).unwrap();
     println!("\ngenerated code:");
-    println!("  AG assembly                     {:>8} lines", ag_out.asm.lines().count());
-    println!("  direct assembly                 {:>8} lines", direct.asm.lines().count());
+    println!(
+        "  AG assembly                     {:>8} lines",
+        ag_out.asm.lines().count()
+    );
+    println!(
+        "  direct assembly                 {:>8} lines",
+        direct.asm.lines().count()
+    );
     println!(
         "  after peephole                  {:>8} lines  ({} removed, {} rewritten)",
         opt.lines().count(),

@@ -123,7 +123,10 @@ impl fmt::Display for OagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OagError::Cyclic { prod } => {
-                write!(f, "grammar is circular (induced cycle in production {prod:?})")
+                write!(
+                    f,
+                    "grammar is circular (induced cycle in production {prod:?})"
+                )
             }
             OagError::NotOrdered { prod, stuck } => write!(
                 f,
@@ -488,8 +491,7 @@ impl Plans {
                 match step {
                     Step::Eval(ri) => {
                         let rule = &prod.rules[*ri];
-                        let args: Vec<String> =
-                            rule.args.iter().map(|a| occ_attr(*a)).collect();
+                        let args: Vec<String> = rule.args.iter().map(|a| occ_attr(*a)).collect();
                         let _ = write!(
                             out,
                             " eval {} := f({});",
@@ -608,8 +610,7 @@ pub fn compute_plans<V: AttrValue>(g: &Grammar<V>) -> Result<Plans, OagError> {
                         .iter()
                         .enumerate()
                         .filter(|(ai, a)| {
-                            a.kind == AttrKind::Inh
-                                && phases.of(sym, AttrId(*ai as u32)) == v
+                            a.kind == AttrKind::Inh && phases.of(sym, AttrId(*ai as u32)) == v
                         })
                         .all(|(ai, _)| {
                             avail[ix.id(OccRef {
@@ -622,9 +623,7 @@ pub fn compute_plans<V: AttrValue>(g: &Grammar<V>) -> Result<Plans, OagError> {
                         // Synthesized attributes of phase v become
                         // available.
                         for (ai, a) in g.symbol(sym).attrs.iter().enumerate() {
-                            if a.kind == AttrKind::Syn
-                                && phases.of(sym, AttrId(ai as u32)) == v
-                            {
+                            if a.kind == AttrKind::Syn && phases.of(sym, AttrId(ai as u32)) == v {
                                 avail[ix.id(OccRef {
                                     occ,
                                     attr: AttrId(ai as u32),
@@ -845,14 +844,8 @@ mod tests {
         let plans = compute_plans(&gr).unwrap();
         assert_eq!(plans.phases.visit_count(u), 1);
         // top must still visit U once so T's x gets evaluated.
-        assert!(plans
-            .plan(top)
-            .segments[0]
-            .contains(&Step::Visit { occ: 1, visit: 1 }));
-        assert!(plans
-            .plan(mid)
-            .segments[0]
-            .contains(&Step::Visit { occ: 1, visit: 1 }));
+        assert!(plans.plan(top).segments[0].contains(&Step::Visit { occ: 1, visit: 1 }));
+        assert!(plans.plan(mid).segments[0].contains(&Step::Visit { occ: 1, visit: 1 }));
     }
 
     /// Terminals are never visited; their attrs are available at once.

@@ -1,0 +1,233 @@
+//! Compressed sparse row (CSR) adjacency for instance dependency graphs.
+//!
+//! The dynamic pipeline's dominant start-up cost is building "who waits
+//! on whom": for every attribute instance, the tasks whose arguments
+//! read it. A `Vec<Vec<u32>>` (or `HashMap<usize, Vec<u32>>`) pays one
+//! heap allocation per instance plus pointer-chasing on every wake-up.
+//! [`Csr`] stores the same relation as two flat arrays — `offsets`
+//! (one entry per source, plus a sentinel) and `edges` (all targets,
+//! grouped by source) — built by the classic two-pass counting sort:
+//! count per source, exclusive prefix-sum, fill.
+//!
+//! Two construction paths:
+//!
+//! * [`CsrCounter`] — streaming two-pass: run the edge enumeration once
+//!   through [`CsrCounter::count`], turn it into a [`CsrFiller`], run
+//!   the same enumeration again through [`CsrFiller::fill`]. No
+//!   temporary storage beyond the final arrays.
+//! * [`Csr::from_pairs`] — when the enumeration is expensive or
+//!   interleaved with other construction work, collect `(source,
+//!   target)` pairs into one flat `Vec` and convert. One temporary
+//!   allocation total, still no per-source allocations.
+//!
+//! Edge order within a source is the enumeration order, so replacing an
+//! adjacency-list build with either path preserves scheduling order
+//! exactly.
+
+/// An immutable source → targets adjacency in compressed sparse row
+/// form.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    /// `offsets[s]..offsets[s + 1]` indexes `edges` for source `s`.
+    offsets: Vec<u32>,
+    /// Targets, grouped by source.
+    edges: Vec<u32>,
+}
+
+impl Csr {
+    /// An adjacency with no sources and no edges.
+    pub fn empty() -> Csr {
+        Csr {
+            offsets: vec![0],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds from a flat pair list (count → prefix-sum → fill).
+    pub fn from_pairs(sources: usize, pairs: &[(u32, u32)]) -> Csr {
+        let mut counter = CsrCounter::new(sources);
+        for &(src, _) in pairs {
+            counter.count(src as usize);
+        }
+        let mut filler = counter.into_filler();
+        for &(src, dst) in pairs {
+            filler.fill(src as usize, dst);
+        }
+        filler.finish()
+    }
+
+    /// Number of sources.
+    pub fn sources(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The targets of `source`, in insertion order.
+    pub fn targets(&self, source: usize) -> &[u32] {
+        let lo = self.offsets[source] as usize;
+        let hi = self.offsets[source + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// The `edges` index range of `source` (for callers that need to
+    /// iterate while mutating other state).
+    pub fn target_range(&self, source: usize) -> std::ops::Range<usize> {
+        self.offsets[source] as usize..self.offsets[source + 1] as usize
+    }
+
+    /// The target at a flat edge index (pairs with
+    /// [`Csr::target_range`]).
+    pub fn target_at(&self, edge: usize) -> u32 {
+        self.edges[edge]
+    }
+}
+
+/// Pass 1 of the streaming build: per-source edge counts.
+#[derive(Debug)]
+pub struct CsrCounter {
+    counts: Vec<u32>,
+}
+
+impl CsrCounter {
+    /// Starts counting for `sources` sources.
+    pub fn new(sources: usize) -> CsrCounter {
+        CsrCounter {
+            counts: vec![0; sources + 1],
+        }
+    }
+
+    /// Records one edge out of `source`.
+    pub fn count(&mut self, source: usize) {
+        self.counts[source] += 1;
+    }
+
+    /// Prefix-sums the counts into offsets, ready for the fill pass.
+    pub fn into_filler(self) -> CsrFiller {
+        let mut offsets = self.counts;
+        let total: u32 = {
+            // Exclusive prefix sum in place; the sentinel slot receives
+            // the grand total.
+            let mut acc = 0u32;
+            for o in offsets.iter_mut() {
+                let c = *o;
+                *o = acc;
+                acc += c;
+            }
+            acc
+        };
+        CsrFiller {
+            offsets,
+            edges: vec![0; total as usize],
+            #[cfg(debug_assertions)]
+            filled: 0,
+        }
+    }
+}
+
+/// Pass 2 of the streaming build: edge placement.
+#[derive(Debug)]
+pub struct CsrFiller {
+    /// During filling, `offsets[s]` is the cursor for source `s`; after
+    /// [`CsrFiller::finish`] shifts it, it is the start offset again.
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+    /// Debug guard: edges placed so far, checked against the count
+    /// pass's total in [`CsrFiller::finish`]. Catches a fill pass whose
+    /// enumeration diverged from the count pass (the two-pass contract).
+    #[cfg(debug_assertions)]
+    filled: usize,
+}
+
+impl CsrFiller {
+    /// Places one edge; edges of a source keep their fill order.
+    ///
+    /// Every edge counted in pass 1 must be filled exactly once, in any
+    /// source order.
+    pub fn fill(&mut self, source: usize, target: u32) {
+        let at = self.offsets[source];
+        self.edges[at as usize] = target;
+        self.offsets[source] = at + 1;
+        #[cfg(debug_assertions)]
+        {
+            self.filled += 1;
+        }
+    }
+
+    /// Restores the offsets and freezes the adjacency.
+    pub fn finish(mut self) -> Csr {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.filled,
+            self.edges.len(),
+            "fill pass placed a different number of edges than the count pass recorded"
+        );
+        // Each cursor advanced to the start of the next source: shift
+        // right by one to recover starts.
+        for i in (1..self.offsets.len()).rev() {
+            self.offsets[i] = self.offsets[i - 1];
+        }
+        self.offsets[0] = 0;
+        Csr {
+            offsets: self.offsets,
+            edges: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_pass_build_round_trips() {
+        let edges: &[(usize, u32)] = &[(0, 10), (2, 20), (0, 11), (4, 40), (2, 21), (2, 22)];
+        let mut counter = CsrCounter::new(5);
+        for &(s, _) in edges {
+            counter.count(s);
+        }
+        let mut filler = counter.into_filler();
+        for &(s, t) in edges {
+            filler.fill(s, t);
+        }
+        let csr = filler.finish();
+        assert_eq!(csr.sources(), 5);
+        assert_eq!(csr.edge_count(), 6);
+        assert_eq!(csr.targets(0), &[10, 11]);
+        assert_eq!(csr.targets(1), &[] as &[u32]);
+        assert_eq!(csr.targets(2), &[20, 21, 22]);
+        assert_eq!(csr.targets(3), &[] as &[u32]);
+        assert_eq!(csr.targets(4), &[40]);
+    }
+
+    #[test]
+    fn from_pairs_matches_streaming_build_and_order() {
+        let pairs = [(3u32, 9u32), (1, 5), (3, 8), (0, 1), (3, 7)];
+        let csr = Csr::from_pairs(4, &pairs);
+        assert_eq!(csr.targets(3), &[9, 8, 7], "insertion order preserved");
+        assert_eq!(csr.targets(0), &[1]);
+        assert_eq!(csr.targets(1), &[5]);
+        assert_eq!(csr.targets(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn target_range_pairs_with_target_at() {
+        let csr = Csr::from_pairs(2, &[(0, 4), (1, 6), (0, 5)]);
+        let r = csr.target_range(0);
+        let got: Vec<u32> = r.map(|k| csr.target_at(k)).collect();
+        assert_eq!(got, vec![4, 5]);
+    }
+
+    #[test]
+    fn empty_and_edgeless_sources() {
+        let csr = Csr::empty();
+        assert_eq!(csr.sources(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        let csr = Csr::from_pairs(3, &[]);
+        assert_eq!(csr.sources(), 3);
+        assert_eq!(csr.targets(1), &[] as &[u32]);
+    }
+}

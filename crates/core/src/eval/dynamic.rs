@@ -7,7 +7,8 @@
 //! (§4.3) are served from a separate ready lane so globally needed
 //! values (the symbol table) are never starved by local work.
 
-use crate::grammar::OccRef;
+use crate::csr::CsrCounter;
+use crate::grammar::{ArgScratch, OccRef};
 use crate::stats::EvalStats;
 use crate::tree::{occ_slot, occ_value, AttrStore, Child, NodeId, ParseTree};
 use crate::value::AttrValue;
@@ -32,28 +33,31 @@ pub fn dynamic_eval<V: AttrValue>(
     let mut store = AttrStore::new(tree);
     let mut stats = EvalStats::default();
 
-    // One task per rule application: (node, rule index).
+    // One task per rule application: (node, rule index). The waiters
+    // relation (instance -> tasks reading it) is built in compressed
+    // sparse row form by the classic two-pass counting sort — count,
+    // prefix-sum, fill — so graph construction performs a constant
+    // number of allocations instead of one `Vec` per attribute
+    // instance.
     let mut tasks: Vec<(NodeId, usize)> = Vec::new();
-    // Instance index -> producing task.
-    // Instance index -> tasks waiting on it.
-    let mut waiters: Vec<Vec<u32>> = vec![Vec::new(); store.len()];
     let mut missing: Vec<u32> = Vec::new();
     // Whether the task's target attribute is a priority attribute.
     let mut is_priority: Vec<bool> = Vec::new();
 
+    // Pass 1: enumerate tasks, count edges per instance.
+    let mut counter = CsrCounter::new(store.len());
     for node in tree.node_ids() {
         let prod = g.prod(tree.node(node).prod);
         for (ri, rule) in prod.rules.iter().enumerate() {
-            let tid = tasks.len() as u32;
             tasks.push((node, ri));
             let mut need = 0u32;
-            for arg in &rule.args {
-                if let Some(inst) = arg_instance(tree, &store, node, *arg) {
-                    waiters[inst].push(tid);
+            for_each_rule_arg(tree, &store, node, ri, |_, inst| {
+                if let Some(inst) = inst {
+                    counter.count(inst);
                     need += 1;
                     stats.graph_edges += 1;
                 }
-            }
+            });
             missing.push(need);
             let (tnode, tattr) = occ_slot(tree, node, rule.target.occ, rule.target.attr);
             let tsym = g.prod(tree.node(tnode).prod).lhs;
@@ -61,6 +65,19 @@ pub fn dynamic_eval<V: AttrValue>(
         }
     }
     stats.graph_nodes = tasks.len();
+
+    // Pass 2: fill the edge array (same enumeration order via
+    // for_each_rule_arg, so each instance's waiter list keeps the
+    // task-id order the adjacency-list build produced).
+    let mut filler = counter.into_filler();
+    for (tid, &(node, ri)) in tasks.iter().enumerate() {
+        for_each_rule_arg(tree, &store, node, ri, |_, inst| {
+            if let Some(inst) = inst {
+                filler.fill(inst, tid as u32);
+            }
+        });
+    }
+    let waiters = filler.finish();
 
     let mut ready: VecDeque<u32> = VecDeque::new();
     let mut ready_priority: VecDeque<u32> = VecDeque::new();
@@ -75,25 +92,20 @@ pub fn dynamic_eval<V: AttrValue>(
     }
 
     let mut executed = 0usize;
+    let mut scratch = ArgScratch::new();
     while let Some(tid) = ready_priority.pop_front().or_else(|| ready.pop_front()) {
         let (node, ri) = tasks[tid as usize];
         let rule = &g.prod(tree.node(node).prod).rules[ri];
-        let args: Vec<V> = rule
-            .args
-            .iter()
-            .map(|a| {
-                occ_value(tree, &store, node, a.occ, a.attr)
-                    .expect("scheduler readiness guarantees arguments")
-                    .clone()
-            })
-            .collect();
-        let value = (rule.func)(&args);
+        let value = scratch.apply(rule, |a| {
+            occ_value(tree, &store, node, a.occ, a.attr)
+                .expect("scheduler readiness guarantees arguments")
+        });
         stats.rule_cost_units += rule.cost;
         let (tnode, tattr) = occ_slot(tree, node, rule.target.occ, rule.target.attr);
         store.set(tnode, tattr, value);
         executed += 1;
         let inst = store.instance(tnode, tattr);
-        for &w in &waiters[inst] {
+        for &w in waiters.targets(inst) {
             missing[w as usize] -= 1;
             if missing[w as usize] == 0 {
                 if is_priority[w as usize] {
@@ -129,6 +141,26 @@ pub(crate) fn arg_instance<V: AttrValue>(
             Child::Node(c) => Some(store.instance(*c, arg.attr)),
             Child::Token(_) => None,
         }
+    }
+}
+
+/// Enumerates the arguments of rule `ri` at `node` with their resolved
+/// instance indices (`None` for token arguments).
+///
+/// This is the *single* edge enumeration behind every two-pass CSR
+/// graph build: the count pass and the fill pass must visit identical
+/// edges in identical order, so both call this — divergence is
+/// impossible by construction.
+pub(crate) fn for_each_rule_arg<V: AttrValue>(
+    tree: &ParseTree<V>,
+    store: &AttrStore<V>,
+    node: NodeId,
+    ri: usize,
+    mut f: impl FnMut(OccRef, Option<usize>),
+) {
+    let rule = &tree.grammar().prod(tree.node(node).prod).rules[ri];
+    for arg in &rule.args {
+        f(*arg, arg_instance(tree, store, node, *arg));
     }
 }
 
@@ -244,7 +276,7 @@ mod tests {
     /// normal work.
     #[test]
     fn priority_attributes_jump_the_queue() {
-        use parking_lot::Mutex;
+        use std::sync::Mutex;
         let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
         let mut g = GrammarBuilder::<i64>::new();
         let s = g.nonterminal("S");
@@ -256,7 +288,7 @@ mod tests {
         {
             let order = Arc::clone(&order);
             g.rule(top, (0, stab), [], move |_| {
-                order.lock().push("stab");
+                order.lock().unwrap().push("stab");
                 0
             });
         }
@@ -264,7 +296,7 @@ mod tests {
             let order = Arc::clone(&order);
             let _ = i;
             g.rule(top, (0, *w), [], move |_| {
-                order.lock().push("local");
+                order.lock().unwrap().push("local");
                 0
             });
         }
@@ -274,7 +306,7 @@ mod tests {
         let root = tb.leaf(top);
         let tree = tb.finish(root).unwrap();
         dynamic_eval(&tree).unwrap();
-        let order = order.lock();
+        let order = order.lock().unwrap();
         assert_eq!(
             order[0], "stab",
             "priority attribute must be evaluated first, got {order:?}"

@@ -49,7 +49,8 @@
 //! assert!(changed <= 2);
 //! ```
 
-use crate::grammar::AttrId;
+use crate::csr::{Csr, CsrCounter};
+use crate::grammar::{ArgScratch, AttrId};
 use crate::stats::EvalStats;
 use crate::tree::{occ_slot, AttrStore, Child, NodeId, ParseTree};
 use crate::value::AttrValue;
@@ -96,10 +97,13 @@ pub struct Incremental<V: AttrValue + PartialEq> {
     /// Position of each task in the batch run's topological order
     /// (for ordered dirty processing).
     topo_pos: Vec<u32>,
-    /// instance index → tasks whose arguments read it.
-    dependents: HashMap<usize, Vec<u32>>,
+    /// instance index → tasks whose arguments read it (CSR: one flat
+    /// allocation, kept alive for the editor session).
+    dependents: Csr,
     /// (node, occ) token → tasks reading any of its values.
     token_dependents: HashMap<(NodeId, usize), Vec<u32>>,
+    /// Reusable argument-gathering buffer.
+    scratch: ArgScratch<V>,
     /// Cumulative statistics (batch + all updates).
     stats: EvalStats,
 }
@@ -116,34 +120,44 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
         let mut store = AttrStore::new(tree);
         let mut stats = EvalStats::default();
 
+        // Two-pass CSR build of the dependents relation (count →
+        // prefix-sum → fill); token dependents are sparse and stay in a
+        // map keyed by (node, occurrence).
         let mut tasks: Vec<(NodeId, usize)> = Vec::new();
-        let mut dependents: HashMap<usize, Vec<u32>> = HashMap::new();
         let mut token_dependents: HashMap<(NodeId, usize), Vec<u32>> = HashMap::new();
         let mut missing: Vec<u32> = Vec::new();
+        let mut counter = CsrCounter::new(store.len());
         for node in tree.node_ids() {
             let prod = g.prod(tree.node(node).prod);
-            for (ri, rule) in prod.rules.iter().enumerate() {
+            for ri in 0..prod.rules.len() {
                 let tid = tasks.len() as u32;
                 tasks.push((node, ri));
                 let mut need = 0u32;
-                for arg in &rule.args {
-                    match super::dynamic::arg_instance(tree, &store, node, *arg) {
-                        Some(inst) => {
-                            dependents.entry(inst).or_default().push(tid);
-                            need += 1;
-                            stats.graph_edges += 1;
-                        }
-                        None => {
-                            token_dependents
-                                .entry((node, arg.occ))
-                                .or_default()
-                                .push(tid);
-                        }
+                super::dynamic::for_each_rule_arg(tree, &store, node, ri, |arg, inst| match inst {
+                    Some(inst) => {
+                        counter.count(inst);
+                        need += 1;
+                        stats.graph_edges += 1;
                     }
-                }
+                    None => {
+                        token_dependents
+                            .entry((node, arg.occ))
+                            .or_default()
+                            .push(tid);
+                    }
+                });
                 missing.push(need);
             }
         }
+        let mut filler = counter.into_filler();
+        for (tid, &(node, ri)) in tasks.iter().enumerate() {
+            super::dynamic::for_each_rule_arg(tree, &store, node, ri, |_, inst| {
+                if let Some(inst) = inst {
+                    filler.fill(inst, tid as u32);
+                }
+            });
+        }
+        let dependents = filler.finish();
         stats.graph_nodes = tasks.len();
 
         // Kahn worklist, recording the completion order.
@@ -155,21 +169,20 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
             .collect();
         let mut topo = Vec::with_capacity(tasks.len());
         let overrides = HashMap::new();
+        let mut scratch = ArgScratch::new();
         while let Some(tid) = ready.pop() {
             topo.push(tid);
             let (node, ri) = tasks[tid as usize];
             let rule = &g.prod(tree.node(node).prod).rules[ri];
-            let value = apply_rule(tree, &store, &overrides, node, ri);
+            let value = apply_rule(tree, &store, &overrides, &mut scratch, node, ri);
             stats.rule_cost_units += rule.cost;
             stats.dynamic_applied += 1;
             let (tn, ta) = occ_slot(tree, node, rule.target.occ, rule.target.attr);
             store.set(tn, ta, value);
-            if let Some(deps) = dependents.get(&store.instance(tn, ta)) {
-                for &d in deps {
-                    missing[d as usize] -= 1;
-                    if missing[d as usize] == 0 {
-                        ready.push(d);
-                    }
+            for &d in dependents.targets(store.instance(tn, ta)) {
+                missing[d as usize] -= 1;
+                if missing[d as usize] == 0 {
+                    ready.push(d);
                 }
             }
         }
@@ -190,6 +203,7 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
             topo_pos,
             dependents,
             token_dependents,
+            scratch,
             stats,
         })
     }
@@ -271,7 +285,14 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
             i += 1;
             let (tnode, ri) = self.tasks[tid as usize];
             let rule = &self.tree.grammar().prod(self.tree.node(tnode).prod).rules[ri];
-            let new = apply_rule(&self.tree, &self.store, &self.overrides, tnode, ri);
+            let new = apply_rule(
+                &self.tree,
+                &self.store,
+                &self.overrides,
+                &mut self.scratch,
+                tnode,
+                ri,
+            );
             applied += 1;
             self.stats.rule_cost_units += rule.cost;
             self.stats.dynamic_applied += 1;
@@ -281,20 +302,18 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
                 continue; // early cutoff: value unchanged
             }
             self.store.replace(sn, sa, new);
-            if let Some(deps) = self.dependents.get(&inst) {
-                for &d in deps {
-                    if !dirty[d as usize] {
-                        dirty[d as usize] = true;
-                        // Insert keeping topo order; the slice after i is
-                        // small, linear insertion is fine.
-                        let pos = self.topo_pos[d as usize];
-                        let at = cursor[i..]
-                            .iter()
-                            .position(|&x| self.topo_pos[x as usize] > pos)
-                            .map(|k| i + k)
-                            .unwrap_or(cursor.len());
-                        cursor.insert(at, d);
-                    }
+            for &d in self.dependents.targets(inst) {
+                if !dirty[d as usize] {
+                    dirty[d as usize] = true;
+                    // Insert keeping topo order; the slice after i is
+                    // small, linear insertion is fine.
+                    let pos = self.topo_pos[d as usize];
+                    let at = cursor[i..]
+                        .iter()
+                        .position(|&x| self.topo_pos[x as usize] > pos)
+                        .map(|k| i + k)
+                        .unwrap_or(cursor.len());
+                    cursor.insert(at, d);
                 }
             }
         }
@@ -302,35 +321,32 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
     }
 }
 
-/// Applies one rule against the store with token overrides.
+/// Applies one rule against the store with token overrides, gathering
+/// argument references through the reusable scratch (no clones).
 fn apply_rule<V: AttrValue + PartialEq>(
     tree: &ParseTree<V>,
     store: &AttrStore<V>,
     overrides: &HashMap<(NodeId, usize), Vec<Option<V>>>,
+    scratch: &mut ArgScratch<V>,
     node: NodeId,
     ri: usize,
 ) -> V {
     let rule = &tree.grammar().prod(tree.node(node).prod).rules[ri];
-    let args: Vec<V> = rule
-        .args
-        .iter()
-        .map(|a| {
-            if a.occ > 0 {
-                if let Child::Token(vals) = &tree.node(node).children[a.occ - 1] {
-                    if let Some(over) = overrides.get(&(node, a.occ)) {
-                        if let Some(Some(v)) = over.get(a.attr.0 as usize) {
-                            return v.clone();
-                        }
-                    }
-                    return vals[a.attr.0 as usize].clone();
+    scratch.apply(rule, |a| {
+        if a.occ > 0 {
+            if let Child::Token(vals) = &tree.node(node).children[a.occ - 1] {
+                if let Some(Some(v)) = overrides
+                    .get(&(node, a.occ))
+                    .and_then(|over| over.get(a.attr.0 as usize))
+                {
+                    return v;
                 }
+                return &vals[a.attr.0 as usize];
             }
-            crate::tree::occ_value(tree, store, node, a.occ, a.attr)
-                .expect("graph order guarantees availability")
-                .clone()
-        })
-        .collect();
-    (rule.func)(&args)
+        }
+        crate::tree::occ_value(tree, store, node, a.occ, a.attr)
+            .expect("graph order guarantees availability")
+    })
 }
 
 #[cfg(test)]
@@ -391,7 +407,10 @@ mod tests {
         let (tree, out, _) = fixture(&[1, 2, 3, 4]);
         let inc = Incremental::new(&tree).unwrap();
         let (batch, _) = dynamic_eval(&tree).unwrap();
-        assert_eq!(inc.store().get(tree.root(), out), batch.get(tree.root(), out));
+        assert_eq!(
+            inc.store().get(tree.root(), out),
+            batch.get(tree.root(), out)
+        );
     }
 
     #[test]
@@ -400,9 +419,7 @@ mod tests {
         let mut inc = Incremental::new(&tree).unwrap();
         // Change the token of some middle cons node.
         let target = cons[3];
-        let applied = inc
-            .update_token(target, 1, AttrId(0), 100)
-            .unwrap();
+        let applied = inc.update_token(target, 1, AttrId(0), 100).unwrap();
         assert!(applied > 0);
         // Full re-evaluation of an equivalent tree must agree: rebuild
         // via a second Incremental with the same override.

@@ -23,7 +23,8 @@
 //! which is exactly the paper's "purely dynamic" parallel evaluator.
 
 use crate::analysis::Plans;
-use crate::grammar::{AttrId, AttrKind, SymbolId};
+use crate::csr::Csr;
+use crate::grammar::{ArgScratch, AttrId, AttrKind, SymbolId};
 use crate::split::{boundary_children, Decomposition, RegionId};
 use crate::stats::EvalStats;
 use crate::tree::{occ_slot, occ_value, AttrStore, NodeId, ParseTree};
@@ -94,12 +95,19 @@ pub struct Machine<V: AttrValue> {
     store: AttrStore<V>,
     tasks: Vec<Task>,
     missing: Vec<u32>,
-    waiters: HashMap<usize, Vec<u32>>,
+    /// instance -> tasks waiting on it, in compressed sparse row form
+    /// (one flat allocation instead of a `Vec` per instance).
+    waiters: Csr,
+    /// Per-task priority flag (precomputed so the hot wake-up path does
+    /// no tree walks).
+    priority: Vec<bool>,
     /// StaticVisit chaining: task -> the next visit's task.
     chain_next: HashMap<u32, u32>,
     ready: VecDeque<u32>,
     ready_priority: VecDeque<u32>,
     executed: usize,
+    /// Reusable argument-gathering buffer for dynamic rule applications.
+    scratch: ArgScratch<V>,
     stats: EvalStats,
     /// Locally computed instances that must be transmitted.
     send_on_fill: HashMap<usize, (NodeId, AttrId, SendTarget)>,
@@ -179,11 +187,13 @@ impl<V: AttrValue> Machine<V> {
             store,
             tasks: Vec::new(),
             missing: Vec::new(),
-            waiters: HashMap::new(),
+            waiters: Csr::empty(),
+            priority: Vec::new(),
             chain_next: HashMap::new(),
             ready: VecDeque::new(),
             ready_priority: VecDeque::new(),
             executed: 0,
+            scratch: ArgScratch::new(),
             stats: EvalStats::default(),
             send_on_fill: HashMap::new(),
             awaiting: HashSet::new(),
@@ -230,7 +240,10 @@ impl<V: AttrValue> Machine<V> {
             }
         }
 
-        // Dynamic tasks for spine nodes.
+        // Dynamic tasks for spine nodes. The waiters relation is
+        // accumulated as one flat (instance, task) pair list and
+        // compressed into CSR afterwards — no per-instance allocations.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
         for &n in &region_nodes {
             if !spine.contains(&n) {
                 continue;
@@ -241,9 +254,8 @@ impl<V: AttrValue> Machine<V> {
                 m.tasks.push(Task::Apply { node: n, rule: ri });
                 let mut need = 0u32;
                 for arg in &rule.args {
-                    if let Some(inst) = super::dynamic::arg_instance(&m.tree, &m.store, n, *arg)
-                    {
-                        m.waiters.entry(inst).or_default().push(tid);
+                    if let Some(inst) = super::dynamic::arg_instance(&m.tree, &m.store, n, *arg) {
+                        edges.push((inst as u32, tid));
                         need += 1;
                         m.graph_edges += 1;
                     }
@@ -284,7 +296,7 @@ impl<V: AttrValue> Machine<V> {
                     for a in g.symbol(rsym).attrs_of_kind(AttrKind::Inh) {
                         if plans.phases.of(rsym, a) == v {
                             let inst = m.store.instance(r, a);
-                            m.waiters.entry(inst).or_default().push(tid);
+                            edges.push((inst as u32, tid));
                             need += 1;
                             m.graph_edges += 1;
                         }
@@ -300,6 +312,20 @@ impl<V: AttrValue> Machine<V> {
             }
         }
 
+        m.waiters = Csr::from_pairs(m.store.len(), &edges);
+        m.priority = m
+            .tasks
+            .iter()
+            .map(|t| match *t {
+                Task::Apply { node, rule } => {
+                    let r = &g.prod(tree.node(node).prod).rules[rule];
+                    let (tn, ta) = occ_slot(tree, node, r.target.occ, r.target.attr);
+                    let sym = g.prod(tree.node(tn).prod).lhs;
+                    g.symbol(sym).attrs[ta.0 as usize].priority
+                }
+                Task::StaticVisit { .. } => false,
+            })
+            .collect();
         m.graph_nodes = m.tasks.len();
         m.stats.graph_nodes = m.graph_nodes;
         m.stats.graph_edges = m.graph_edges;
@@ -314,23 +340,10 @@ impl<V: AttrValue> Machine<V> {
     }
 
     fn enqueue(&mut self, tid: u32) {
-        if self.is_priority(tid) {
+        if self.priority[tid as usize] {
             self.ready_priority.push_back(tid);
         } else {
             self.ready.push_back(tid);
-        }
-    }
-
-    fn is_priority(&self, tid: u32) -> bool {
-        let g = self.tree.grammar();
-        match self.tasks[tid as usize] {
-            Task::Apply { node, rule } => {
-                let r = &g.prod(self.tree.node(node).prod).rules[rule];
-                let (tn, ta) = occ_slot(&self.tree, node, r.target.occ, r.target.attr);
-                let sym = g.prod(self.tree.node(tn).prod).lhs;
-                g.symbol(sym).attrs[ta.0 as usize].priority
-            }
-            Task::StaticVisit { .. } => false,
         }
     }
 
@@ -392,12 +405,13 @@ impl<V: AttrValue> Machine<V> {
     }
 
     fn notify(&mut self, inst: usize) {
-        if let Some(ws) = self.waiters.remove(&inst) {
-            for w in ws {
-                self.missing[w as usize] -= 1;
-                if self.missing[w as usize] == 0 {
-                    self.enqueue(w);
-                }
+        // Instances are write-once, so each is notified at most once;
+        // provide() independently drops duplicate external deliveries.
+        for k in self.waiters.target_range(inst) {
+            let w = self.waiters.target_at(k);
+            self.missing[w as usize] -= 1;
+            if self.missing[w as usize] == 0 {
+                self.enqueue(w);
             }
         }
     }
@@ -443,16 +457,12 @@ impl<V: AttrValue> Machine<V> {
         match self.tasks[tid as usize] {
             Task::Apply { node, rule } => {
                 let r = &g.prod(self.tree.node(node).prod).rules[rule];
-                let args: Vec<V> = r
-                    .args
-                    .iter()
-                    .map(|a| {
-                        occ_value(&self.tree, &self.store, node, a.occ, a.attr)
-                            .expect("scheduler readiness guarantees arguments")
-                            .clone()
-                    })
-                    .collect();
-                let value = (r.func)(&args);
+                let tree = &self.tree;
+                let store = &self.store;
+                let value = self.scratch.apply(r, |a| {
+                    occ_value(tree, store, node, a.occ, a.attr)
+                        .expect("scheduler readiness guarantees arguments")
+                });
                 let (tn, ta) = occ_slot(&self.tree, node, r.target.occ, r.target.attr);
                 self.store.set(tn, ta, value);
                 self.stats.dynamic_applied += 1;
@@ -479,6 +489,7 @@ impl<V: AttrValue> Machine<V> {
                     node,
                     visit,
                     &mut self.stats,
+                    &mut self.scratch,
                 )?;
                 let rules = self.stats.static_applied - before.static_applied;
                 let cost = self.stats.rule_cost_units - before.rule_cost_units;
@@ -769,7 +780,11 @@ mod tests {
         let decomp = decompose(&fx.tree, SplitConfig::machines(2));
         let region1_root = decomp.regions[1].root;
         let sym = fx.grammar.prod(fx.tree.node(region1_root).prod).lhs;
-        let env: Vec<AttrId> = fx.grammar.symbol(sym).attrs_of_kind(AttrKind::Inh).collect();
+        let env: Vec<AttrId> = fx
+            .grammar
+            .symbol(sym)
+            .attrs_of_kind(AttrKind::Inh)
+            .collect();
         let mut m1 = Machine::new(&fx.tree, Some(&fx.plans), &decomp, 1, MachineMode::Combined);
         m1.run().unwrap();
         let before = m1.awaiting();

@@ -61,7 +61,10 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::Cycle { stuck } => {
-                write!(f, "attribute dependency cycle: {stuck} instances unevaluated")
+                write!(
+                    f,
+                    "attribute dependency cycle: {stuck} instances unevaluated"
+                )
             }
             EvalError::PlanInconsistency { node, step } => {
                 write!(f, "static plan inconsistency at {node:?}: {step}")

@@ -11,6 +11,7 @@
 //! stack.
 
 use crate::analysis::{Plans, Step};
+use crate::grammar::ArgScratch;
 use crate::stats::EvalStats;
 use crate::tree::{occ_slot, occ_value, AttrStore, NodeId, ParseTree};
 use crate::value::AttrValue;
@@ -31,9 +32,18 @@ pub fn static_eval<V: AttrValue>(
 ) -> Result<(AttrStore<V>, EvalStats), EvalError> {
     let mut store = AttrStore::new(tree);
     let mut stats = EvalStats::default();
+    let mut scratch = ArgScratch::new();
     let root_sym = tree.grammar().prod(tree.node(tree.root()).prod).lhs;
     for visit in 1..=plans.phases.visit_count(root_sym) {
-        run_static_segment(tree, plans, &mut store, tree.root(), visit, &mut stats)?;
+        run_static_segment(
+            tree,
+            plans,
+            &mut store,
+            tree.root(),
+            visit,
+            &mut stats,
+            &mut scratch,
+        )?;
     }
     Ok((store, stats))
 }
@@ -43,7 +53,9 @@ pub fn static_eval<V: AttrValue>(
 /// visits.
 ///
 /// This is the building block shared by [`static_eval`] and the combined
-/// evaluator's static-subtree tasks.
+/// evaluator's static-subtree tasks. `scratch` is the caller's reusable
+/// argument buffer, so repeated segments amortize gathering to zero
+/// allocations.
 ///
 /// # Errors
 ///
@@ -57,6 +69,7 @@ pub fn run_static_segment<V: AttrValue>(
     node: NodeId,
     visit: u32,
     stats: &mut EvalStats,
+    scratch: &mut ArgScratch<V>,
 ) -> Result<(), EvalError> {
     // Explicit interpreter stack: (node, segment index, program counter).
     let mut stack: Vec<(NodeId, u32, usize)> = vec![(node, visit - 1, 0)];
@@ -79,24 +92,19 @@ pub fn run_static_segment<V: AttrValue>(
         match *step {
             Step::Eval(ri) => {
                 let rule = &g.prod(prod_id).rules[ri];
-                let mut args = Vec::with_capacity(rule.args.len());
-                for a in &rule.args {
-                    match occ_value(tree, store, n, a.occ, a.attr) {
-                        Some(v) => args.push(v.clone()),
-                        None => {
-                            return Err(EvalError::PlanInconsistency {
-                                node: n,
-                                step: format!(
-                                    "rule {ri} of {:?} reads unavailable ${}.{:?}",
-                                    g.prod(prod_id).name,
-                                    a.occ,
-                                    a.attr
-                                ),
-                            })
+                let value = scratch.try_apply(rule, |a| {
+                    occ_value(tree, store, n, a.occ, a.attr).ok_or_else(|| {
+                        EvalError::PlanInconsistency {
+                            node: n,
+                            step: format!(
+                                "rule {ri} of {:?} reads unavailable ${}.{:?}",
+                                g.prod(prod_id).name,
+                                a.occ,
+                                a.attr
+                            ),
                         }
-                    }
-                }
-                let value = (rule.func)(&args);
+                    })
+                })?;
                 let (tn, ta) = occ_slot(tree, n, rule.target.occ, rule.target.attr);
                 store.set(tn, ta, value);
                 stats.static_applied += 1;

@@ -17,9 +17,38 @@
 //! [`SplitSpec`] (the `%split` declaration with a minimum subtree size,
 //! §2.5) and attributes may be flagged *priority* (§4.3) so that the
 //! dynamic scheduler evaluates and propagates them as soon as possible.
+//!
+//! # The `Args` calling convention
+//!
+//! Semantic functions receive their arguments as [`Args<'_, V>`] — a
+//! borrowed view of the argument attribute values — rather than an owned
+//! `&[V]` slice. This is the paper's §4.3 "extremely fast storage
+//! allocation" requirement applied to rule invocation: evaluators gather
+//! argument *references* into a reusable [`ArgScratch`] buffer, so one
+//! rule application performs **zero heap allocations and zero argument
+//! clones**, at any tree size.
+//!
+//! [`Args`] implements `Index<usize, Output = V>`, so the closure style
+//! used throughout (`|a| a[0].clone()`, `|a| a[0] + a[1]`,
+//! `|a| PVal::errs_concat(&[&a[0], &a[1]])`) compiles unchanged.
+//!
+//! ## Migration notes (from the `&[V]` convention)
+//!
+//! * `|a| ...` closures with *inferred* parameter types need no edits —
+//!   indexing, `&a[i]` borrows and method calls on `a[i]` all behave as
+//!   before.
+//! * Closures or functions with an *explicit* `&[V]` parameter type must
+//!   either drop the annotation (and let the `rule` bound infer it) or
+//!   be wrapped at the registration site so inference applies.
+//! * Code that invoked a [`RuleFn`] directly with a temporary slice
+//!   (`f(&[x, y])`) becomes `f(Args::from_slice(&[x, y]))`.
+//! * Code that iterated the whole argument slice uses [`Args::iter`] or
+//!   [`Args::len`] + indexing.
 
 use crate::value::AttrValue;
 use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Index;
 use std::sync::Arc;
 
 /// Identifies a symbol (terminal or nonterminal) within its [`Grammar`].
@@ -117,9 +146,211 @@ impl From<(usize, AttrId)> for OccRef {
     }
 }
 
+/// Borrowed arguments of one semantic-rule application.
+///
+/// Indexing yields the argument values in the order the rule declared
+/// them (`a[0]` is the first argument occurrence). The view is `Copy`
+/// and only valid for the duration of the call — semantic functions are
+/// pure, so nothing outlives it.
+pub struct Args<'a, V> {
+    repr: ArgsRepr<'a, V>,
+}
+
+enum ArgsRepr<'a, V> {
+    /// Pointers gathered by an [`ArgScratch`] (the evaluators' path).
+    ///
+    /// Invariant: every pointer is valid for `'a` — upheld by
+    /// [`Args::from_ptrs`]'s safety contract.
+    Ptrs(&'a [*const V], PhantomData<&'a V>),
+    /// A plain value slice (direct calls, nested semantic functions).
+    Slice(&'a [V]),
+}
+
+impl<'a, V> Clone for Args<'a, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, V> Copy for Args<'a, V> {}
+
+impl<'a, V> Clone for ArgsRepr<'a, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, V> Copy for ArgsRepr<'a, V> {}
+
+impl<'a, V> Args<'a, V> {
+    /// Views a value slice as arguments (for calling a [`RuleFn`]
+    /// directly, e.g. from tests or interpreters that computed owned
+    /// argument values).
+    pub fn from_slice(values: &'a [V]) -> Self {
+        Args {
+            repr: ArgsRepr::Slice(values),
+        }
+    }
+
+    /// Wraps gathered pointers.
+    ///
+    /// # Safety
+    ///
+    /// Every pointer in `ptrs` must be dereferenceable and point to a
+    /// live `V` for the whole lifetime `'a`.
+    unsafe fn from_ptrs(ptrs: &'a [*const V]) -> Self {
+        Args {
+            repr: ArgsRepr::Ptrs(ptrs, PhantomData),
+        }
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        match self.repr {
+            ArgsRepr::Ptrs(p, _) => p.len(),
+            ArgsRepr::Slice(s) => s.len(),
+        }
+    }
+
+    /// `true` for nullary rules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th argument, if present.
+    pub fn get(&self, i: usize) -> Option<&'a V> {
+        match self.repr {
+            // SAFETY: pointers are valid for 'a per the from_ptrs
+            // contract.
+            ArgsRepr::Ptrs(p, _) => p.get(i).map(|&p| unsafe { &*p }),
+            ArgsRepr::Slice(s) => s.get(i),
+        }
+    }
+
+    /// Iterates over the argument values.
+    pub fn iter(self) -> impl Iterator<Item = &'a V> {
+        (0..self.len()).map(move |i| self.get(i).expect("index in range"))
+    }
+}
+
+impl<V> Index<usize> for Args<'_, V> {
+    type Output = V;
+
+    fn index(&self, i: usize) -> &V {
+        match self.repr {
+            // SAFETY: pointers are valid for 'a per the from_ptrs
+            // contract (the returned borrow is further shortened to
+            // &self here, which 'a outlives).
+            ArgsRepr::Ptrs(p, _) => unsafe { &*p[i] },
+            ArgsRepr::Slice(s) => &s[i],
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for Args<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut list = f.debug_list();
+        for i in 0..self.len() {
+            list.entry(&self[i]);
+        }
+        list.finish()
+    }
+}
+
+/// A reusable argument-gathering buffer: the zero-allocation bridge
+/// between an attribute store and a [`RuleFn`].
+///
+/// Each evaluator owns one scratch and reuses its capacity across every
+/// rule application, so argument passing allocates only until the
+/// largest rule arity has been seen once.
+pub struct ArgScratch<V> {
+    ptrs: Vec<*const V>,
+}
+
+// SAFETY: the pointer buffer is logically empty between `apply` calls
+// (cleared before the arguments could dangle); a scratch moved across
+// threads carries no live borrows.
+unsafe impl<V: Send> Send for ArgScratch<V> {}
+// SAFETY: as above; `&ArgScratch` exposes no pointer reads.
+unsafe impl<V: Sync> Sync for ArgScratch<V> {}
+
+impl<V> Default for ArgScratch<V> {
+    fn default() -> Self {
+        ArgScratch { ptrs: Vec::new() }
+    }
+}
+
+impl<V> ArgScratch<V> {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies `rule`, resolving each argument occurrence through `get`.
+    ///
+    /// The resolved references only need to live for this call; the
+    /// borrow of whatever backs them ends when `apply` returns, so the
+    /// caller may mutate the attribute store immediately afterwards.
+    pub fn apply<'t>(&mut self, rule: &Rule<V>, mut get: impl FnMut(OccRef) -> &'t V) -> V
+    where
+        V: 't,
+    {
+        self.ptrs.clear();
+        for &a in &rule.args {
+            let v: &'t V = get(a);
+            self.ptrs.push(v as *const V);
+        }
+        // SAFETY: the pointers were just derived from `&'t V` borrows,
+        // which outlive this call; `Args` does not escape `rule.func`
+        // (semantic functions return owned values).
+        let value = (rule.func)(unsafe { Args::from_ptrs(&self.ptrs) });
+        self.ptrs.clear();
+        value
+    }
+
+    /// Fallible variant of [`ArgScratch::apply`]: stops at the first
+    /// argument `get` cannot resolve.
+    ///
+    /// # Errors
+    ///
+    /// Returns `get`'s error for the first unresolvable occurrence.
+    pub fn try_apply<'t, E>(
+        &mut self,
+        rule: &Rule<V>,
+        mut get: impl FnMut(OccRef) -> Result<&'t V, E>,
+    ) -> Result<V, E>
+    where
+        V: 't,
+    {
+        self.ptrs.clear();
+        for &a in &rule.args {
+            match get(a) {
+                Ok(v) => {
+                    let v: &'t V = v;
+                    self.ptrs.push(v as *const V);
+                }
+                Err(e) => {
+                    self.ptrs.clear();
+                    return Err(e);
+                }
+            }
+        }
+        // SAFETY: as in `apply`.
+        let value = (rule.func)(unsafe { Args::from_ptrs(&self.ptrs) });
+        self.ptrs.clear();
+        Ok(value)
+    }
+}
+
+impl<V> fmt::Debug for ArgScratch<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArgScratch(capacity {})", self.ptrs.capacity())
+    }
+}
+
 /// A semantic function: pure mapping from argument values to the target
 /// value.
-pub type RuleFn<V> = Arc<dyn Fn(&[V]) -> V + Send + Sync>;
+pub type RuleFn<V> = Arc<dyn for<'a> Fn(Args<'a, V>) -> V + Send + Sync>;
 
 /// A semantic rule: `target = func(args...)`.
 #[derive(Clone)]
@@ -305,7 +536,10 @@ impl fmt::Display for GrammarError {
                 write!(f, "production {prod:?}: rule target {target} must be a synthesized attribute of the LHS or an inherited attribute of an RHS occurrence")
             }
             GrammarError::DuplicateRule { prod, target } => {
-                write!(f, "production {prod:?}: {target} is defined by more than one rule")
+                write!(
+                    f,
+                    "production {prod:?}: {target} is defined by more than one rule"
+                )
             }
             GrammarError::MissingRule { prod, target } => {
                 write!(f, "production {prod:?}: no rule defines {target}")
@@ -314,7 +548,10 @@ impl fmt::Display for GrammarError {
                 write!(f, "production {prod:?}: rule argument {arg} is invalid")
             }
             GrammarError::TerminalInherited { symbol, attr } => {
-                write!(f, "terminal {symbol:?} cannot have inherited attribute {attr:?}")
+                write!(
+                    f,
+                    "terminal {symbol:?} cannot have inherited attribute {attr:?}"
+                )
             }
             GrammarError::StartHasInherited { attr } => {
                 write!(f, "start symbol cannot have inherited attribute {attr:?}")
@@ -429,7 +666,7 @@ impl<V: AttrValue> GrammarBuilder<V> {
         prod: ProdId,
         target: impl Into<OccRef>,
         args: impl IntoIterator<Item = (usize, AttrId)>,
-        func: impl Fn(&[V]) -> V + Send + Sync + 'static,
+        func: impl for<'a> Fn(Args<'a, V>) -> V + Send + Sync + 'static,
     ) {
         self.rule_with_cost(prod, target, args, func, 1);
     }
@@ -441,7 +678,7 @@ impl<V: AttrValue> GrammarBuilder<V> {
         prod: ProdId,
         target: impl Into<OccRef>,
         args: impl IntoIterator<Item = (usize, AttrId)>,
-        func: impl Fn(&[V]) -> V + Send + Sync + 'static,
+        func: impl for<'a> Fn(Args<'a, V>) -> V + Send + Sync + 'static,
         cost: u64,
     ) {
         self.prods[prod.0 as usize].rules.push(Rule {
@@ -454,12 +691,8 @@ impl<V: AttrValue> GrammarBuilder<V> {
 
     /// Convenience: a copy rule `target = source` (very common in real
     /// grammars — e.g. threading the symbol table through expressions).
-    pub fn copy_rule(
-        &mut self,
-        prod: ProdId,
-        target: impl Into<OccRef>,
-        source: impl Into<OccRef>,
-    ) where
+    pub fn copy_rule(&mut self, prod: ProdId, target: impl Into<OccRef>, source: impl Into<OccRef>)
+    where
         V: Clone,
     {
         let src: OccRef = source.into();
@@ -773,6 +1006,65 @@ mod tests {
         let grammar = g.build(t).unwrap();
         assert!(grammar.symbol(t).attrs[0].priority);
         assert_eq!(grammar.symbol(t).split, Some(SplitSpec { min_size: 100 }));
+    }
+
+    #[test]
+    fn args_index_len_get_and_iter() {
+        let vals = [10i64, 20, 30];
+        let a = Args::from_slice(&vals);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a[0] + a[2], 40);
+        assert_eq!(a.get(1), Some(&20));
+        assert_eq!(a.get(3), None);
+        assert_eq!(a.iter().copied().sum::<i64>(), 60);
+        assert_eq!(format!("{a:?}"), "[10, 20, 30]");
+    }
+
+    #[test]
+    fn arg_scratch_gathers_without_cloning_values() {
+        let mut g = tiny();
+        let t = g.nonterminal("T");
+        let size = g.synthesized(t, "size");
+        let fork = g.production("fork", t, [t, t]);
+        g.rule(fork, (0, size), [(1, size), (2, size)], |a| a[0] + a[1]);
+        let leaf = g.production("leaf", t, []);
+        g.rule(leaf, (0, size), [], |_| 1);
+        let gr = g.build(t).unwrap();
+
+        let rule = &gr.prod(fork).rules[0];
+        let store = [7i64, 35];
+        let mut scratch = ArgScratch::new();
+        let v = scratch.apply(rule, |occ| &store[occ.occ - 1]);
+        assert_eq!(v, 42);
+        // Reuse across applications (capacity persists, contents don't).
+        let v = scratch.apply(rule, |occ| &store[2 - occ.occ]);
+        assert_eq!(v, 42);
+
+        let err: Result<i64, &str> = scratch.try_apply(rule, |occ| {
+            if occ.occ == 1 {
+                Ok(&store[0])
+            } else {
+                Err("missing")
+            }
+        });
+        assert_eq!(err, Err("missing"));
+        let ok: Result<i64, &str> = scratch.try_apply(rule, |occ| Ok(&store[occ.occ - 1]));
+        assert_eq!(ok, Ok(42));
+    }
+
+    #[test]
+    fn rule_fn_direct_call_via_from_slice() {
+        let mut g = tiny();
+        let t = g.nonterminal("T");
+        let size = g.synthesized(t, "size");
+        let fork = g.production("fork", t, [t, t]);
+        g.rule(fork, (0, size), [(1, size), (2, size)], |a| a[0] * a[1]);
+        let leaf = g.production("leaf", t, []);
+        g.rule(leaf, (0, size), [], |_| 1);
+        let gr = g.build(t).unwrap();
+        let f = Arc::clone(&gr.prod(fork).rules[0].func);
+        assert_eq!(f(Args::from_slice(&[6, 7])), 42);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   rules that are pure functions (§2.2), split annotations and priority
 //!   attributes (§2.5, §4.3);
 //! * [`tree`] — arena-allocated parse trees and attribute stores;
+//! * [`csr`] — compressed-sparse-row adjacency backing the instance
+//!   dependency graphs (one flat allocation instead of one per
+//!   instance);
 //! * [`analysis`] — dependency analysis: noncircularity, induced
 //!   dependencies, and Kastens' *ordered* attribute-grammar construction
 //!   producing per-production visit sequences (§2.3);
@@ -56,6 +59,7 @@
 //! ```
 
 pub mod analysis;
+pub mod csr;
 pub mod eval;
 pub mod grammar;
 pub mod parallel;

@@ -6,7 +6,7 @@
 //! * [`sim`] — runs the whole parallel compilation on the deterministic
 //!   [`paragram_netsim`] network-multiprocessor simulator, reproducing
 //!   the paper's running-time and activity-trace figures exactly.
-//! * [`threads`] — the same protocol over real OS threads and crossbeam
+//! * [`threads`] — the same protocol over real OS threads and std mpsc
 //!   channels, demonstrating genuine parallel speedup on host cores.
 
 pub mod sim;

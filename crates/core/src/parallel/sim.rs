@@ -25,8 +25,8 @@ use crate::tree::{Child, NodeId, ParseTree};
 use crate::value::AttrValue;
 use paragram_netsim::{secs, Ctx, NetModel, ProcId, Process, Sim, Time, Trace};
 use paragram_rope::{Rope, SegmentId, SegmentStore};
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use super::{classify, PhaseClassifier, ResultPropagation};
 
@@ -197,9 +197,7 @@ fn region_wire_size<V: AttrValue>(
             match c {
                 Child::Node(c) if decomp.region(*c) == region => stack.push(*c),
                 Child::Node(_) => bytes += 8, // remote-leaf marker
-                Child::Token(vals) => {
-                    bytes += vals.iter().map(|v| v.wire_size()).sum::<usize>()
-                }
+                Child::Token(vals) => bytes += vals.iter().map(|v| v.wire_size()).sum::<usize>(),
             }
         }
     }
@@ -220,7 +218,7 @@ impl<V: AttrValue> Process<SimMsg<V>> for ParserProc<V> {
         // Linearize and ship each region (region 0 included: its
         // evaluator is a separate machine from the parser, as in the
         // paper's Figure 6 where evaluator `a` holds the root subtree).
-        *sh.eval_start.lock() = ctx.now();
+        *sh.eval_start.lock().unwrap() = ctx.now();
         for r in 0..sh.decomp.len() as RegionId {
             let info = &sh.decomp.regions[r as usize];
             ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
@@ -235,14 +233,14 @@ impl<V: AttrValue> Process<SimMsg<V>> for ParserProc<V> {
             SimMsg::Attr { attr, value, .. } => {
                 ctx.phase("result propagation");
                 let done = {
-                    let mut roots = sh.root_values.lock();
+                    let mut roots = sh.root_values.lock().unwrap();
                     roots.push((attr, value));
                     roots.len() == self.expected_roots
                 };
                 if done {
                     match sh.result {
                         ResultPropagation::Naive => {
-                            *sh.eval_end.lock() = ctx.now();
+                            *sh.eval_end.lock().unwrap() = ctx.now();
                             ctx.stop();
                         }
                         ResultPropagation::Librarian => {
@@ -252,7 +250,7 @@ impl<V: AttrValue> Process<SimMsg<V>> for ParserProc<V> {
                 }
             }
             SimMsg::RootResolved => {
-                *sh.eval_end.lock() = ctx.now();
+                *sh.eval_end.lock().unwrap() = ctx.now();
                 ctx.stop();
             }
             _ => {}
@@ -276,14 +274,13 @@ impl<V: AttrValue> EvaluatorProc<V> {
             };
             match machine.step() {
                 Err(e) => {
-                    *sh.error.lock() = Some(e);
+                    *sh.error.lock().unwrap() = Some(e);
                     ctx.stop();
                     return;
                 }
                 Ok(None) => break,
                 Ok(Some(outcome)) => {
-                    let label =
-                        classify(sh.tree.grammar(), &sh.classifier, outcome.target);
+                    let label = classify(sh.tree.grammar(), &sh.classifier, outcome.target);
                     ctx.phase(label);
                     ctx.spend(
                         outcome.cost_units * sh.cost.rule_unit_us
@@ -297,16 +294,14 @@ impl<V: AttrValue> EvaluatorProc<V> {
             }
         }
         let machine = self.machine.as_ref().expect("machine exists");
-        self.shared.per_machine.lock()[self.region as usize] = machine.stats();
+        self.shared.per_machine.lock().unwrap()[self.region as usize] = machine.stats();
     }
 
     fn transmit(&mut self, ctx: &mut Ctx<SimMsg<V>>, msg: AttrMsg<V>) {
         let sh = Arc::clone(&self.shared);
         let upward = match msg.to {
             SendTarget::Parser => true,
-            SendTarget::Region(r) => {
-                Some(r) == sh.decomp.regions[self.region as usize].parent
-            }
+            SendTarget::Region(r) => Some(r) == sh.decomp.regions[self.region as usize].parent,
         };
         let mut value = msg.value;
         if upward && sh.result == ResultPropagation::Librarian {
@@ -398,11 +393,11 @@ impl<V: AttrValue> Process<SimMsg<V>> for LibrarianProc<V> {
             SimMsg::Segment { id, text } => {
                 ctx.phase("receive code");
                 ctx.spend((text.len() as Time).div_ceil(1024) * sh.cost.resolve_kb_us / 10);
-                sh.segstore.lock().register(id, text);
+                sh.segstore.lock().unwrap().register(id, text);
             }
             SimMsg::ResolveRoot => {
                 ctx.phase("combine code");
-                let total = sh.segstore.lock().total_bytes();
+                let total = sh.segstore.lock().unwrap().total_bytes();
                 ctx.spend((total as Time).div_ceil(1024) * sh.cost.resolve_kb_us);
                 ctx.send(from, SimMsg::RootResolved, 64, "resolved");
             }
@@ -483,25 +478,26 @@ pub fn run_sim<V: AttrValue>(
     );
     sim.run();
 
-    if let Some(e) = shared.error.lock().take() {
+    if let Some(e) = shared.error.lock().unwrap().take() {
         panic!("parallel evaluation failed: {e}");
     }
-    let eval_start = *shared.eval_start.lock();
-    let eval_end = *shared.eval_end.lock();
+    let eval_start = *shared.eval_start.lock().unwrap();
+    let eval_end = *shared.eval_end.lock().unwrap();
     assert!(
         eval_end >= eval_start && eval_end > 0,
         "simulation ended without root attributes (deadlock?)"
     );
 
-    let per_machine = shared.per_machine.lock().clone();
+    let per_machine = shared.per_machine.lock().unwrap().clone();
     let mut stats = EvalStats::default();
     for s in &per_machine {
         stats += *s;
     }
-    let store = shared.segstore.lock();
+    let store = shared.segstore.lock().unwrap();
     let root_values: Vec<(AttrId, V)> = shared
         .root_values
         .lock()
+        .unwrap()
         .iter()
         .map(|(a, v)| (*a, v.inflate(&store)))
         .collect();

@@ -3,7 +3,7 @@
 //! Same protocol as [`crate::parallel::sim`] — one machine per region,
 //! attribute values crossing region boundaries as messages, optional
 //! string-librarian result propagation — but executed on host threads
-//! with crossbeam channels and measured in wall-clock time. Sends are
+//! with `std::sync::mpsc` channels and measured in wall-clock time. Sends are
 //! forwarded after every scheduler step (not when a machine runs dry),
 //! so the symbol-table chain pipelines across machines exactly as on
 //! the simulated network.
@@ -20,8 +20,8 @@ use crate::split::{decompose, RegionId, SplitConfig};
 use crate::stats::EvalStats;
 use crate::tree::{AttrStore, NodeId, ParseTree};
 use crate::value::AttrValue;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use paragram_rope::{Rope, SegmentId, SegmentStore};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,19 +69,16 @@ pub struct ThreadReport<V: AttrValue> {
     pub regions: usize,
 }
 
-enum Msg<V> {
-    Attr {
-        node: NodeId,
-        attr: AttrId,
-        value: V,
-    },
+/// An attribute value crossing a machine boundary on a channel.
+struct AttrPacket<V> {
+    node: NodeId,
+    attr: AttrId,
+    value: V,
 }
 
-enum LibMsg<V> {
+enum LibMsg {
     Segment { id: SegmentId, text: Rope },
     Resolve,
-    /// Root attribute forwarded for final resolution.
-    _Marker(std::marker::PhantomData<V>),
 }
 
 /// Evaluates `tree` in parallel on real threads.
@@ -108,16 +105,16 @@ pub fn run_threads<V: AttrValue>(
 
     // Channels: one per machine, one for the parser, one for the
     // librarian.
-    let mut machine_tx: Vec<Sender<Msg<V>>> = Vec::with_capacity(regions);
-    let mut machine_rx: Vec<Option<Receiver<Msg<V>>>> = Vec::with_capacity(regions);
+    let mut machine_tx: Vec<Sender<AttrPacket<V>>> = Vec::with_capacity(regions);
+    let mut machine_rx: Vec<Option<Receiver<AttrPacket<V>>>> = Vec::with_capacity(regions);
     for _ in 0..regions {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         machine_tx.push(tx);
         machine_rx.push(Some(rx));
     }
-    let (parser_tx, parser_rx) = unbounded::<Msg<V>>();
-    let (lib_tx, lib_rx) = unbounded::<LibMsg<V>>();
-    let (lib_reply_tx, lib_reply_rx) = unbounded::<SegmentStore>();
+    let (parser_tx, parser_rx) = channel::<AttrPacket<V>>();
+    let (lib_tx, lib_rx) = channel::<LibMsg>();
+    let (lib_reply_tx, lib_reply_rx) = channel::<SegmentStore>();
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(regions);
@@ -133,8 +130,7 @@ pub fn run_threads<V: AttrValue>(
         let result = config.result;
         handles.push(std::thread::spawn(
             move || -> Result<(EvalStats, AttrStore<V>), EvalError> {
-                let mut machine =
-                    Machine::new(&tree, plans.as_ref(), &decomp, r, mode);
+                let mut machine = Machine::new(&tree, plans.as_ref(), &decomp, r, mode);
                 let parent = decomp.regions[r as usize].parent;
                 let mut next_seg = 0u32;
                 let route = |send: crate::eval::AttrMsg<V>, next_seg: &mut u32| {
@@ -156,16 +152,16 @@ pub fn run_threads<V: AttrValue>(
                             value = d;
                         }
                     }
-                    let msg = Msg::Attr {
+                    let msg = AttrPacket {
                         node: send.node,
                         attr: send.attr,
                         value,
                     };
                     match send.to {
                         SendTarget::Parser => parser_tx.send(msg).expect("parser alive"),
-                        SendTarget::Region(q) => machine_tx[q as usize]
-                            .send(msg)
-                            .expect("machine alive"),
+                        SendTarget::Region(q) => {
+                            machine_tx[q as usize].send(msg).expect("machine alive")
+                        }
                     }
                 };
                 loop {
@@ -184,11 +180,11 @@ pub fn run_threads<V: AttrValue>(
                             if machine.is_done() {
                                 break;
                             }
-                            let Msg::Attr { node, attr, value } =
+                            let AttrPacket { node, attr, value } =
                                 rx.recv().expect("peers alive while we are blocked");
                             machine.provide(node, attr, value);
                             // Opportunistically drain anything else queued.
-                            while let Ok(Msg::Attr { node, attr, value }) = rx.try_recv() {
+                            while let Ok(AttrPacket { node, attr, value }) = rx.try_recv() {
                                 machine.provide(node, attr, value);
                             }
                         }
@@ -209,7 +205,6 @@ pub fn run_threads<V: AttrValue>(
                     lib_reply_tx.send(store).expect("parser alive");
                     return;
                 }
-                LibMsg::_Marker(_) => {}
             }
         }
     });
@@ -217,7 +212,7 @@ pub fn run_threads<V: AttrValue>(
     // Parser role: collect root attributes.
     let mut raw_roots: Vec<(AttrId, V)> = Vec::with_capacity(expected_roots);
     while raw_roots.len() < expected_roots {
-        let Msg::Attr { attr, value, .. } =
+        let AttrPacket { attr, value, .. } =
             parser_rx.recv().expect("machines alive until roots arrive");
         raw_roots.push((attr, value));
     }
@@ -307,8 +302,7 @@ mod tests {
             .and_then(|v| v.as_rope().cloned())
             .unwrap();
         for n in [1, 2, 4] {
-            let report =
-                run_threads(&tree, Some(&plans), ThreadConfig::combined(n)).unwrap();
+            let report = run_threads(&tree, Some(&plans), ThreadConfig::combined(n)).unwrap();
             let got = report
                 .root_values
                 .iter()
@@ -345,8 +339,7 @@ mod tests {
     #[test]
     fn merged_store_covers_all_instances() {
         let (tree, plans, _) = fixture(32);
-        let report =
-            run_threads(&tree, Some(&plans), ThreadConfig::combined(3)).unwrap();
+        let report = run_threads(&tree, Some(&plans), ThreadConfig::combined(3)).unwrap();
         assert_eq!(report.store.filled(), report.store.len());
     }
 }

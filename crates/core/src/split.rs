@@ -223,7 +223,10 @@ pub fn decompose<V: AttrValue>(tree: &Arc<ParseTree<V>>, config: SplitConfig) ->
     // region's root-parent; recompute parent links from the final map.
     for i in 1..d.regions.len() {
         let root = d.regions[i].root;
-        let (p, _) = tree.node(root).parent.expect("non-root region root has a parent");
+        let (p, _) = tree
+            .node(root)
+            .parent
+            .expect("non-root region root has a parent");
         d.regions[i].parent = Some(d.region_of[p.idx()]);
     }
     d
@@ -396,7 +399,10 @@ mod tests {
         let d = decompose(&tree, SplitConfig::machines(5));
         for (i, r) in d.regions.iter().enumerate().skip(1) {
             let parent = r.parent.expect("non-root regions have parents");
-            let (pnode, _) = tree.node(r.root).parent.expect("region root has a parent node");
+            let (pnode, _) = tree
+                .node(r.root)
+                .parent
+                .expect("region root has a parent node");
             assert_eq!(d.region(pnode), parent, "region {i}");
         }
     }

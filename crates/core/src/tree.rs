@@ -246,12 +246,18 @@ impl fmt::Display for TreeError {
                 prod,
                 expected,
                 got,
-            } => write!(f, "production {prod:?} takes {expected} children, got {got}"),
+            } => write!(
+                f,
+                "production {prod:?} takes {expected} children, got {got}"
+            ),
             TreeError::SymbolMismatch { prod, occ } => {
                 write!(f, "child {occ} of {prod:?} has the wrong symbol")
             }
             TreeError::TokenArity { prod, occ } => {
-                write!(f, "token at occurrence {occ} of {prod:?} has the wrong number of lexical values")
+                write!(
+                    f,
+                    "token at occurrence {occ} of {prod:?} has the wrong number of lexical values"
+                )
             }
             TreeError::Reused(id) => write!(f, "node {id:?} used as a child more than once"),
             TreeError::Dangling { count } => {
@@ -284,10 +290,17 @@ impl<V: AttrValue> TreeBuilder<V> {
 
     /// Builds a node for a production whose RHS is all nonterminals.
     /// Errors are deferred to [`TreeBuilder::finish`].
-    pub fn node(&mut self, prod: ProdId, children: impl IntoIterator<Item = BuiltNode>) -> BuiltNode {
+    pub fn node(
+        &mut self,
+        prod: ProdId,
+        children: impl IntoIterator<Item = BuiltNode>,
+    ) -> BuiltNode {
         self.node_full(
             prod,
-            children.into_iter().map(ChildSpec::from).collect::<Vec<_>>(),
+            children
+                .into_iter()
+                .map(ChildSpec::from)
+                .collect::<Vec<_>>(),
         )
     }
 
@@ -564,7 +577,11 @@ pub fn occ_slot<V: AttrValue>(
 }
 
 /// Kind of an attribute instance's defining site, used by evaluators.
-pub fn attr_kind<V: AttrValue>(g: &Grammar<V>, sym: crate::grammar::SymbolId, attr: AttrId) -> AttrKind {
+pub fn attr_kind<V: AttrValue>(
+    g: &Grammar<V>,
+    sym: crate::grammar::SymbolId,
+    attr: AttrId,
+) -> AttrKind {
     g.symbol(sym).attrs[attr.0 as usize].kind
 }
 
@@ -621,10 +638,7 @@ mod tests {
         let (g, leaf, _fork, _wrap, _size) = tree_grammar();
         let mut tb = TreeBuilder::new(&g);
         let bad = tb.node_full(leaf, vec![token(Vec::<i64>::new())]);
-        assert!(matches!(
-            tb.finish(bad),
-            Err(TreeError::TokenArity { .. })
-        ));
+        assert!(matches!(tb.finish(bad), Err(TreeError::TokenArity { .. })));
     }
 
     #[test]

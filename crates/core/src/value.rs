@@ -67,8 +67,7 @@ impl AttrValue for () {}
 
 /// A general-purpose attribute value domain: everything the paper's
 /// appendix grammar and the examples need.
-#[derive(Clone)]
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub enum Value {
     /// Unit/absent value.
     #[default]
@@ -197,7 +196,6 @@ impl AttrValue for Value {
         }
     }
 }
-
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {

@@ -1,0 +1,285 @@
+//! Cross-evaluator equivalence property: every evaluator the crate
+//! ships — dynamic (Figure 1), static (Figures 2–3), the combined
+//! machine engine (Figure 4) in both modes, and the real-thread
+//! parallel runtime — must fill the attribute store with *identical*
+//! values on the same tree, for arbitrary tree shapes and machine
+//! counts, with priority attributes in play (§4.3).
+//!
+//! This guards the `Args<'_, V>` zero-allocation calling convention and
+//! the CSR dependency-graph layout: any gather-order, wake-up-order or
+//! argument-aliasing bug in one evaluator breaks agreement with the
+//! others.
+
+use paragram_core::analysis::{compute_plans, Plans};
+use paragram_core::eval::{dynamic_eval, static_eval, AttrMsg, Machine, MachineMode, SendTarget};
+use paragram_core::grammar::{AttrId, Grammar, GrammarBuilder, ProdId};
+use paragram_core::parallel::threads::{run_threads, ThreadConfig};
+use paragram_core::parallel::ResultPropagation;
+use paragram_core::split::{decompose, Decomposition, RegionId, SplitConfig};
+use paragram_core::tree::{AttrStore, ParseTree, TreeBuilder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The paper's compiler shape over i64: decls flow up, a *priority*
+/// env flows down (the symbol-table chain §4.3 serves first), code
+/// flows up — with splittable statement lists and off-spine bodies.
+struct Fixture {
+    grammar: Arc<Grammar<i64>>,
+    top: ProdId,
+    cons: ProdId,
+    nil: ProdId,
+    wrap: ProdId,
+    unit: ProdId,
+}
+
+fn fixture() -> Fixture {
+    let mut g = GrammarBuilder::<i64>::new();
+    let s = g.nonterminal("S");
+    let l = g.nonterminal("L");
+    let b = g.nonterminal("B");
+    let out = g.synthesized(s, "out");
+    let decls = g.synthesized(l, "decls");
+    let env = g.inherited(l, "env");
+    let code = g.synthesized(l, "code");
+    let benv = g.inherited(b, "env");
+    let bcode = g.synthesized(b, "code");
+    g.mark_split(l, 2);
+    g.mark_split(b, 2);
+    g.mark_priority(l, env);
+    g.mark_priority(b, benv);
+
+    let top = g.production("top", s, [l]);
+    g.rule(top, (1, env), [(1, decls)], |a| a[0].wrapping_mul(31) + 1);
+    g.rule(top, (0, out), [(1, code)], |a| a[0]);
+    let cons = g.production("cons", l, [b, l]);
+    g.rule(cons, (0, decls), [(2, decls)], |a| a[0] + 1);
+    g.rule(cons, (2, env), [(0, env)], |a| a[0].wrapping_add(3));
+    g.rule(cons, (1, benv), [(0, env)], |a| a[0] ^ 0x55);
+    g.rule(cons, (0, code), [(1, bcode), (2, code)], |a| {
+        a[0].wrapping_mul(1_000_003).wrapping_add(a[1])
+    });
+    let nil = g.production("nil", l, []);
+    g.rule(nil, (0, decls), [], |_| 0);
+    g.rule(nil, (0, code), [(0, env)], |a| a[0]);
+    let wrap = g.production("wrap", b, [b]);
+    g.rule(wrap, (1, benv), [(0, benv)], |a| a[0].wrapping_add(7));
+    g.rule(wrap, (0, bcode), [(1, bcode), (0, benv)], |a| {
+        a[0].wrapping_mul(17) ^ a[1]
+    });
+    let unit = g.production("unit", b, []);
+    g.rule(unit, (0, bcode), [(0, benv)], |a| a[0].wrapping_mul(13) + 1);
+
+    Fixture {
+        grammar: Arc::new(g.build(s).unwrap()),
+        top,
+        cons,
+        nil,
+        wrap,
+        unit,
+    }
+}
+
+/// One list item per shape entry, each with a body of that depth.
+fn build_tree(fx: &Fixture, shape: &[u8]) -> Arc<ParseTree<i64>> {
+    let mut tb = TreeBuilder::new(&fx.grammar);
+    let mut tail = tb.leaf(fx.nil);
+    for &depth in shape {
+        let mut body = tb.leaf(fx.unit);
+        for _ in 0..depth {
+            body = tb.node(fx.wrap, [body]);
+        }
+        tail = tb.node(fx.cons, [body, tail]);
+    }
+    let root = tb.node(fx.top, [tail]);
+    Arc::new(tb.finish(root).unwrap())
+}
+
+/// Runs all machines of a decomposition to completion with a
+/// synchronous round-robin message pump; returns the merged store.
+fn pump_machines(
+    tree: &Arc<ParseTree<i64>>,
+    plans: &Arc<Plans>,
+    decomp: &Decomposition,
+    mode: MachineMode,
+) -> AttrStore<i64> {
+    let mut machines: Vec<Machine<i64>> = (0..decomp.len() as RegionId)
+        .map(|r| Machine::new(tree, Some(plans), decomp, r, mode))
+        .collect();
+    let mut inbox: Vec<AttrMsg<i64>> = Vec::new();
+    loop {
+        let mut progressed = false;
+        for m in machines.iter_mut() {
+            let sends = m.run().unwrap();
+            progressed |= !sends.is_empty();
+            inbox.extend(sends);
+        }
+        for msg in inbox.drain(..) {
+            if let SendTarget::Region(r) = msg.to {
+                machines[r as usize].provide(msg.node, msg.attr, msg.value);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    assert!(
+        machines.iter().all(|m| m.is_done()),
+        "machine pump deadlocked: {machines:?}"
+    );
+    let mut merged: Option<AttrStore<i64>> = None;
+    for m in machines {
+        let s = m.into_store();
+        merged = Some(match merged {
+            None => s,
+            Some(mut acc) => {
+                acc.absorb(s);
+                acc
+            }
+        });
+    }
+    merged.expect("at least one region")
+}
+
+fn assert_stores_equal(
+    g: &Arc<Grammar<i64>>,
+    tree: &ParseTree<i64>,
+    want: &AttrStore<i64>,
+    got: &AttrStore<i64>,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    for node in tree.node_ids() {
+        let sym = g.prod(tree.node(node).prod).lhs;
+        for i in 0..g.attr_count(sym) {
+            let attr = AttrId(i as u32);
+            prop_assert_eq!(
+                want.get(node, attr),
+                got.get(node, attr),
+                "{} disagrees at {:?} attr {:?}",
+                label,
+                node,
+                attr
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// dynamic == static == combined machines == dynamic machines ==
+    /// threaded runtime, everywhere, for random shapes, machine counts
+    /// and split granularities.
+    #[test]
+    fn all_evaluators_fill_identical_stores(
+        shape in prop::collection::vec(0u8..6, 1..16),
+        machines in 1usize..5,
+        scale in prop::sample::select(vec![0.5f64, 1.0, 4.0]),
+    ) {
+        let fx = fixture();
+        let tree = build_tree(&fx, &shape);
+        let plans = Arc::new(compute_plans(fx.grammar.as_ref()).unwrap());
+
+        let (reference, dstats) = dynamic_eval(&tree).unwrap();
+        prop_assert_eq!(dstats.graph_nodes, fx.grammar.rule_count_for_tree(&tree));
+
+        let (stat, _) = static_eval(&tree, &plans).unwrap();
+        assert_stores_equal(&fx.grammar, &tree, &reference, &stat, "static")?;
+
+        let decomp = decompose(&tree, SplitConfig {
+            target_regions: machines,
+            min_size_scale: scale,
+        });
+        let combined = pump_machines(&tree, &plans, &decomp, MachineMode::Combined);
+        assert_stores_equal(&fx.grammar, &tree, &reference, &combined, "combined machines")?;
+
+        let dynamic_m = pump_machines(&tree, &plans, &decomp, MachineMode::Dynamic);
+        assert_stores_equal(&fx.grammar, &tree, &reference, &dynamic_m, "dynamic machines")?;
+
+        let report = run_threads(&tree, Some(&plans), ThreadConfig {
+            machines,
+            mode: MachineMode::Combined,
+            result: ResultPropagation::Naive,
+            min_size_scale: scale,
+        }).unwrap();
+        assert_stores_equal(&fx.grammar, &tree, &reference, &report.store, "run_threads")?;
+    }
+}
+
+/// Helper used by the property above (kept on the grammar so the count
+/// stays in sync with rule additions).
+trait RuleCount {
+    fn rule_count_for_tree(&self, tree: &ParseTree<i64>) -> usize;
+}
+
+impl RuleCount for Grammar<i64> {
+    fn rule_count_for_tree(&self, tree: &ParseTree<i64>) -> usize {
+        tree.node_ids()
+            .map(|n| self.prod(tree.node(n).prod).rules.len())
+            .sum()
+    }
+}
+
+/// Priority attributes must not change results, only order — verified
+/// against an identical grammar without priority markings.
+#[test]
+fn priority_markings_do_not_change_values() {
+    let fx = fixture();
+    let tree = build_tree(&fx, &[3, 0, 5, 2, 1]);
+    let (with_priority, _) = dynamic_eval(&tree).unwrap();
+
+    // Same grammar, no priority flags.
+    let mut g = GrammarBuilder::<i64>::new();
+    let s = g.nonterminal("S");
+    let l = g.nonterminal("L");
+    let b = g.nonterminal("B");
+    let _out = g.synthesized(s, "out");
+    let decls = g.synthesized(l, "decls");
+    let env = g.inherited(l, "env");
+    let code = g.synthesized(l, "code");
+    let benv = g.inherited(b, "env");
+    let bcode = g.synthesized(b, "code");
+    let top = g.production("top", s, [l]);
+    g.rule(top, (1, env), [(1, decls)], |a| a[0].wrapping_mul(31) + 1);
+    g.rule(top, (0, _out), [(1, code)], |a| a[0]);
+    let cons = g.production("cons", l, [b, l]);
+    g.rule(cons, (0, decls), [(2, decls)], |a| a[0] + 1);
+    g.rule(cons, (2, env), [(0, env)], |a| a[0].wrapping_add(3));
+    g.rule(cons, (1, benv), [(0, env)], |a| a[0] ^ 0x55);
+    g.rule(cons, (0, code), [(1, bcode), (2, code)], |a| {
+        a[0].wrapping_mul(1_000_003).wrapping_add(a[1])
+    });
+    let nil = g.production("nil", l, []);
+    g.rule(nil, (0, decls), [], |_| 0);
+    g.rule(nil, (0, code), [(0, env)], |a| a[0]);
+    let wrap = g.production("wrap", b, [b]);
+    g.rule(wrap, (1, benv), [(0, benv)], |a| a[0].wrapping_add(7));
+    g.rule(wrap, (0, bcode), [(1, bcode), (0, benv)], |a| {
+        a[0].wrapping_mul(17) ^ a[1]
+    });
+    let unit = g.production("unit", b, []);
+    g.rule(unit, (0, bcode), [(0, benv)], |a| a[0].wrapping_mul(13) + 1);
+    let plain = Fixture {
+        grammar: Arc::new(g.build(s).unwrap()),
+        top,
+        cons,
+        nil,
+        wrap,
+        unit,
+    };
+    let plain_tree = build_tree(&plain, &[3, 0, 5, 2, 1]);
+    let (without_priority, _) = dynamic_eval(&plain_tree).unwrap();
+
+    for node in plain_tree.node_ids() {
+        let sym = plain.grammar.prod(plain_tree.node(node).prod).lhs;
+        for i in 0..plain.grammar.attr_count(sym) {
+            let attr = AttrId(i as u32);
+            assert_eq!(
+                with_priority.get(node, attr),
+                without_priority.get(node, attr),
+                "priority changed a value at {node:?} {attr:?}"
+            );
+        }
+    }
+}

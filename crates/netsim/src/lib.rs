@@ -209,11 +209,7 @@ impl<'a, M> Ctx<'a, M> {
 
 enum Event<M> {
     Start(ProcId),
-    Deliver {
-        to: ProcId,
-        from: ProcId,
-        msg: M,
-    },
+    Deliver { to: ProcId, from: ProcId, msg: M },
 }
 
 /// The discrete-event simulator.

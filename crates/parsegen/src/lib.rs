@@ -389,11 +389,9 @@ pub fn parse<Tok, B: TreeBuilder<Tok>>(
                         }
                     })
                     .collect();
-                let found = lookahead
-                    .as_ref()
-                    .map_or("<eof>".to_string(), |(t, _)| {
-                        table.term_name(*t).to_string()
-                    });
+                let found = lookahead.as_ref().map_or("<eof>".to_string(), |(t, _)| {
+                    table.term_name(*t).to_string()
+                });
                 return Err(ParseError {
                     at: pos,
                     found,

@@ -24,10 +24,7 @@ struct Conv<'g> {
 ///
 /// Propagates [`TreeError`] — impossible for trees produced by the
 /// parser unless the grammar and converter disagree (covered by tests).
-pub fn build_tree(
-    pg: &PascalGrammar,
-    ast: &Program,
-) -> Result<Arc<ParseTree<PVal>>, TreeError> {
+pub fn build_tree(pg: &PascalGrammar, ast: &Program) -> Result<Arc<ParseTree<PVal>>, TreeError> {
     let mut c = Conv {
         pg,
         tb: TreeBuilder::new(&pg.grammar),
@@ -95,12 +92,8 @@ impl<'g> Conv<'g> {
             Decl::Var { names, ty } => {
                 let name = &names[0];
                 match ty {
-                    TypeExpr::Integer => {
-                        self.tb.node_full(self.pg.p_var_int, vec![id_tok(name)])
-                    }
-                    TypeExpr::Boolean => {
-                        self.tb.node_full(self.pg.p_var_bool, vec![id_tok(name)])
-                    }
+                    TypeExpr::Integer => self.tb.node_full(self.pg.p_var_int, vec![id_tok(name)]),
+                    TypeExpr::Boolean => self.tb.node_full(self.pg.p_var_bool, vec![id_tok(name)]),
                     TypeExpr::Array { lo, hi } => self.tb.node_full(
                         self.pg.p_var_arr,
                         vec![id_tok(name), num_tok(*lo), num_tok(*hi)],
@@ -173,10 +166,8 @@ impl<'g> Conv<'g> {
                 LValue::Index { name, index } => {
                     let i = self.expr(index);
                     let v = self.expr(value);
-                    self.tb.node_full(
-                        self.pg.p_assign_idx,
-                        vec![id_tok(name), i.into(), v.into()],
-                    )
+                    self.tb
+                        .node_full(self.pg.p_assign_idx, vec![id_tok(name), i.into(), v.into()])
                 }
             },
             Stmt::Call { name, args } => {
@@ -193,10 +184,8 @@ impl<'g> Conv<'g> {
                         .node_full(self.pg.p_if, vec![uid, c.into(), t.into()])
                 } else {
                     let e = self.stmts(els);
-                    self.tb.node_full(
-                        self.pg.p_ifelse,
-                        vec![uid, c.into(), t.into(), e.into()],
-                    )
+                    self.tb
+                        .node_full(self.pg.p_ifelse, vec![uid, c.into(), t.into(), e.into()])
                 }
             }
             Stmt::While { cond, body } => {
@@ -307,10 +296,8 @@ mod tests {
     #[test]
     fn builds_tree_for_small_program() {
         let pg = grammar::build();
-        let ast = parse(
-            "program p;\nvar x, y: integer;\nbegin x := 1; y := x + 2; write(y) end.",
-        )
-        .unwrap();
+        let ast = parse("program p;\nvar x, y: integer;\nbegin x := 1; y := x + 2; write(y) end.")
+            .unwrap();
         let tree = build_tree(&pg, &ast).unwrap();
         assert!(tree.len() > 15);
         // Root is the prog production.

@@ -188,9 +188,7 @@ impl Direct {
                                 ty,
                                 by_ref,
                             }) => Some((*l, *offset, *by_ref, *ty)),
-                            Some(Entry::Func { level: l, ret, .. }) => {
-                                Some((*l, -8, false, *ret))
-                            }
+                            Some(Entry::Func { level: l, ret, .. }) => Some((*l, -8, false, *ret)),
                             Some(e) => {
                                 self.errors
                                     .push(format!("cannot assign to {name:?} ({})", e.describe()));
@@ -206,9 +204,8 @@ impl Direct {
                             return Rope::new();
                         };
                         if !ty.compatible(vty) {
-                            self.errors.push(format!(
-                                "cannot assign {vty} to {name:?} of type {ty}"
-                            ));
+                            self.errors
+                                .push(format!("cannot assign {vty} to {name:?} of type {ty}"));
                         }
                         let mut code = vcode;
                         code.push_rope(&cg::var_addr_to_r2(l, off, by_ref, level));
@@ -426,18 +423,16 @@ impl Direct {
                     level: flevel,
                     params,
                     ret,
-                }) if params.is_empty() => (
-                    cg::call(&Rope::new(), 0, &label, flevel, level, true),
-                    ret,
-                ),
+                }) if params.is_empty() => {
+                    (cg::call(&Rope::new(), 0, &label, flevel, level, true), ret)
+                }
                 Some(Entry::Func { .. }) => {
                     self.errors
                         .push(format!("function {name:?} needs arguments"));
                     (Rope::new(), Ty::Error)
                 }
                 Some(Entry::Arr { .. }) => {
-                    self.errors
-                        .push(format!("array {name:?} used as a value"));
+                    self.errors.push(format!("array {name:?} used as a value"));
                     (Rope::new(), Ty::Error)
                 }
                 Some(Entry::Proc { .. }) => {
@@ -536,8 +531,7 @@ impl Direct {
                 match op {
                     BinOp::Eq | BinOp::Ne => {
                         if !lty.compatible(rty) {
-                            self.errors
-                                .push(format!("cannot compare {lty} with {rty}"));
+                            self.errors.push(format!("cannot compare {lty} with {rty}"));
                         }
                     }
                     BinOp::And | BinOp::Or => {

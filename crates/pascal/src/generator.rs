@@ -167,10 +167,7 @@ fn gen_stmt(src: &mut String, _c: usize, _j: usize, rng: &mut SmallRng) {
             );
         }
         3 => {
-            let _ = writeln!(
-                src,
-                "  buf[((t1 + t2) mod 16 + 16) mod 16] := t0 mod 1009;"
-            );
+            let _ = writeln!(src, "  buf[((t1 + t2) mod 16 + 16) mod 16] := t0 mod 1009;");
         }
         4 => {
             let _ = writeln!(
@@ -222,10 +219,7 @@ mod tests {
         let direct = compile_direct(&parse(&src).unwrap());
         assert!(ag.errors.is_empty());
         assert!(direct.errors.is_empty());
-        assert_eq!(
-            run_asm(&ag.asm).unwrap(),
-            run_asm(&direct.asm).unwrap()
-        );
+        assert_eq!(run_asm(&ag.asm).unwrap(), run_asm(&direct.asm).unwrap());
     }
 
     #[test]

@@ -334,11 +334,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.rule_with_cost(
         p_prog,
         (0, s_code),
-        [
-            (2, a_decls.off_out),
-            (3, a_stmts.code),
-            (2, a_decls.code),
-        ],
+        [(2, a_decls.off_out), (3, a_stmts.code), (2, a_decls.code)],
         |a| {
             PVal::Code(cg::program_code(
                 a[0].int() as i32,
@@ -348,9 +344,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         4,
     );
-    g.rule(p_prog, (0, s_errs), [(2, a_decls.errs), (3, a_stmts.errs)], |a| {
-        PVal::errs_concat(&[&a[0], &a[1]])
-    });
+    g.rule(
+        p_prog,
+        (0, s_errs),
+        [(2, a_decls.errs), (3, a_stmts.errs)],
+        |a| PVal::errs_concat(&[&a[0], &a[1]]),
+    );
 
     // ---------------------------------------------------------------
     // Declaration lists.
@@ -383,7 +382,9 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_decls_nil = g.production("decls_nil", decls, []);
     g.copy_rule(p_decls_nil, (0, a_decls.env_out), (0, a_decls.env_in));
     g.copy_rule(p_decls_nil, (0, a_decls.off_out), (0, a_decls.off_in));
-    g.rule(p_decls_nil, (0, a_decls.code), [], |_| PVal::Code(Rope::new()));
+    g.rule(p_decls_nil, (0, a_decls.code), [], |_| {
+        PVal::Code(Rope::new())
+    });
     g.rule(p_decls_nil, (0, a_decls.errs), [], |_| PVal::no_errs());
 
     // ---------------------------------------------------------------
@@ -395,7 +396,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         p_const,
         (0, a_decl.env_out),
         [(0, a_decl.env_in), (1, AttrId(0)), (2, AttrId(0))],
-        |a| PVal::Env(a[0].env().add(Arc::clone(a[1].str()), Entry::Const(a[2].int()))),
+        |a| {
+            PVal::Env(
+                a[0].env()
+                    .add(Arc::clone(a[1].str()), Entry::Const(a[2].int())),
+            )
+        },
         3,
     );
     g.copy_rule(p_const, (0, a_decl.off_out), (0, a_decl.off_in));
@@ -410,7 +416,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         g.rule_with_cost(
             p,
             (0, a_decl.env_out),
-            [(0, a_decl.env_in), (1, AttrId(0)), (0, a_decl.level), (0, a_decl.off_in)],
+            [
+                (0, a_decl.env_in),
+                (1, AttrId(0)),
+                (0, a_decl.level),
+                (0, a_decl.off_in),
+            ],
             move |a| {
                 PVal::Env(a[0].env().add(
                     Arc::clone(a[1].str()),
@@ -673,7 +684,9 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         |a| PVal::errs_concat(&[&a[0], &a[1]]),
     );
     let p_stmts_nil = g.production("stmts_nil", stmts, []);
-    g.rule(p_stmts_nil, (0, a_stmts.code), [], |_| PVal::Code(Rope::new()));
+    g.rule(p_stmts_nil, (0, a_stmts.code), [], |_| {
+        PVal::Code(Rope::new())
+    });
     g.rule(p_stmts_nil, (0, a_stmts.errs), [], |_| PVal::no_errs());
 
     // ---------------------------------------------------------------
@@ -708,7 +721,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.rule(
         p_assign,
         (0, a_stmt.errs),
-        [(0, a_stmt.env), (1, AttrId(0)), (2, a_expr.ty), (2, a_expr.errs)],
+        [
+            (0, a_stmt.env),
+            (1, AttrId(0)),
+            (2, a_expr.ty),
+            (2, a_expr.errs),
+        ],
         |a| {
             let mut errs: Vec<String> = a[3].as_errs().to_vec();
             let name = a[1].str();
@@ -723,10 +741,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
                             ));
                         }
                     }
-                    None => errs.push(format!(
-                        "cannot assign to {name:?} ({})",
-                        e.describe()
-                    )),
+                    None => errs.push(format!("cannot assign to {name:?} ({})", e.describe())),
                 },
             }
             PVal::Errs(Arc::new(errs))
@@ -835,7 +850,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.rule(
         p_call,
         (0, a_stmt.errs),
-        [(0, a_stmt.env), (1, AttrId(0)), (2, a_args.count), (2, a_args.errs)],
+        [
+            (0, a_stmt.env),
+            (1, AttrId(0)),
+            (2, a_args.count),
+            (2, a_args.errs),
+        ],
         |a| {
             let mut errs: Vec<String> = a[3].as_errs().to_vec();
             let name = a[1].str();
@@ -1037,7 +1057,9 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     );
     g.copy_rule(p_wargs_str, (0, a_wargs.errs), (2, a_wargs.errs));
     let p_wargs_nil = g.production("wargs_nil", wargs, []);
-    g.rule(p_wargs_nil, (0, a_wargs.code), [], |_| PVal::Code(Rope::new()));
+    g.rule(p_wargs_nil, (0, a_wargs.code), [], |_| {
+        PVal::Code(Rope::new())
+    });
     g.rule(p_wargs_nil, (0, a_wargs.errs), [], |_| PVal::no_errs());
 
     // actual-argument lists
@@ -1046,10 +1068,15 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.copy_rule(p_args_cons, (1, a_expr.level), (0, a_args.level));
     g.copy_rule(p_args_cons, (2, a_args.env), (0, a_args.env));
     g.copy_rule(p_args_cons, (2, a_args.level), (0, a_args.level));
-    g.rule(p_args_cons, (2, a_args.sig_rest), [(0, a_args.sig_rest)], |a| {
-        let s = a[0].sig();
-        PVal::Sig(Arc::new(s.iter().skip(1).cloned().collect()))
-    });
+    g.rule(
+        p_args_cons,
+        (2, a_args.sig_rest),
+        [(0, a_args.sig_rest)],
+        |a| {
+            let s = a[0].sig();
+            PVal::Sig(Arc::new(s.iter().skip(1).cloned().collect()))
+        },
+    );
     g.rule(p_args_cons, (0, a_args.count), [(2, a_args.count)], |a| {
         PVal::Int(a[0].int() + 1)
     });
@@ -1108,7 +1135,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     );
     let p_args_nil = g.production("args_nil", args, []);
     g.rule(p_args_nil, (0, a_args.count), [], |_| PVal::Int(0));
-    g.rule(p_args_nil, (0, a_args.code), [], |_| PVal::Code(Rope::new()));
+    g.rule(
+        p_args_nil,
+        (0, a_args.code),
+        [],
+        |_| PVal::Code(Rope::new()),
+    );
     g.rule(p_args_nil, (0, a_args.errs), [], |_| PVal::no_errs());
 
     // ---------------------------------------------------------------
@@ -1129,7 +1161,9 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_true = g.production("true", expr, []);
     let p_false = g.production("false", expr, []);
     for (p, v) in [(p_true, 1), (p_false, 0)] {
-        g.rule(p, (0, a_expr.code), [], move |_| PVal::Code(cg::push_imm(v)));
+        g.rule(p, (0, a_expr.code), [], move |_| {
+            PVal::Code(cg::push_imm(v))
+        });
         no_addr(&mut g, p, &a_expr);
         g.rule(p, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Bool));
         g.rule(p, (0, a_expr.errs), [], |_| PVal::no_errs());
@@ -1155,9 +1189,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
                     level,
                     params,
                     ..
-                }) if params.is_empty() => {
-                    cg::call(&Rope::new(), 0, label, *level, cur, true)
-                }
+                }) if params.is_empty() => cg::call(&Rope::new(), 0, label, *level, cur, true),
                 _ => Rope::new(),
             })
         },
@@ -1174,8 +1206,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
                 by_ref,
                 ..
             }) => {
-                let mut code =
-                    cg::var_addr_to_r2(*level, *offset, *by_ref, a[1].int() as u32);
+                let mut code = cg::var_addr_to_r2(*level, *offset, *by_ref, a[1].int() as u32);
                 code.push_str("\tpushl r2\n");
                 PVal::Code(code)
             }
@@ -1203,9 +1234,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             let name = a[1].str();
             match a[0].env().lookup(name) {
                 None => PVal::err(format!("undeclared name {name:?}")),
-                Some(Entry::Arr { .. }) => {
-                    PVal::err(format!("array {name:?} used as a value"))
-                }
+                Some(Entry::Arr { .. }) => PVal::err(format!("array {name:?} used as a value")),
                 Some(Entry::Proc { .. }) => {
                     PVal::err(format!("procedure {name:?} used as a value"))
                 }
@@ -1268,16 +1297,26 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Code(code)
         },
     );
-    g.rule(p_index, (0, a_expr.ty), [(0, a_expr.env), (1, AttrId(0))], |a| {
-        PVal::Ty(match a[0].env().lookup(a[1].str()) {
-            Some(Entry::Arr { .. }) => Ty::Int,
-            _ => Ty::Error,
-        })
-    });
+    g.rule(
+        p_index,
+        (0, a_expr.ty),
+        [(0, a_expr.env), (1, AttrId(0))],
+        |a| {
+            PVal::Ty(match a[0].env().lookup(a[1].str()) {
+                Some(Entry::Arr { .. }) => Ty::Int,
+                _ => Ty::Error,
+            })
+        },
+    );
     g.rule(
         p_index,
         (0, a_expr.errs),
-        [(0, a_expr.env), (1, AttrId(0)), (2, a_expr.ty), (2, a_expr.errs)],
+        [
+            (0, a_expr.env),
+            (1, AttrId(0)),
+            (2, a_expr.ty),
+            (2, a_expr.errs),
+        ],
         |a| {
             let mut errs: Vec<String> = a[3].as_errs().to_vec();
             let name = a[1].str();
@@ -1330,16 +1369,26 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         3,
     );
     no_addr(&mut g, p_fcall, &a_expr);
-    g.rule(p_fcall, (0, a_expr.ty), [(0, a_expr.env), (1, AttrId(0))], |a| {
-        PVal::Ty(match a[0].env().lookup(a[1].str()) {
-            Some(Entry::Func { ret, .. }) => *ret,
-            _ => Ty::Error,
-        })
-    });
+    g.rule(
+        p_fcall,
+        (0, a_expr.ty),
+        [(0, a_expr.env), (1, AttrId(0))],
+        |a| {
+            PVal::Ty(match a[0].env().lookup(a[1].str()) {
+                Some(Entry::Func { ret, .. }) => *ret,
+                _ => Ty::Error,
+            })
+        },
+    );
     g.rule(
         p_fcall,
         (0, a_expr.errs),
-        [(0, a_expr.env), (1, AttrId(0)), (2, a_args.count), (2, a_args.errs)],
+        [
+            (0, a_expr.env),
+            (1, AttrId(0)),
+            (2, a_args.count),
+            (2, a_args.errs),
+        ],
         |a| {
             let mut errs: Vec<String> = a[3].as_errs().to_vec();
             let name = a[1].str();
@@ -1418,7 +1467,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         g.rule(
             p,
             (0, a_expr.errs),
-            [(1, a_expr.ty), (2, a_expr.ty), (1, a_expr.errs), (2, a_expr.errs)],
+            [
+                (1, a_expr.ty),
+                (2, a_expr.ty),
+                (1, a_expr.errs),
+                (2, a_expr.errs),
+            ],
             move |a| {
                 let mut errs: Vec<String> = a[2].as_errs().to_vec();
                 errs.extend(a[3].as_errs().iter().cloned());
@@ -1473,11 +1527,16 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         2,
     );
     g.rule(p_neg, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Int));
-    g.rule(p_neg, (0, a_expr.errs), [(1, a_expr.ty), (1, a_expr.errs)], |a| {
-        let mut errs: Vec<String> = a[1].as_errs().to_vec();
-        cg::expect_int("negation operand", a[0].ty(), &mut errs);
-        PVal::Errs(Arc::new(errs))
-    });
+    g.rule(
+        p_neg,
+        (0, a_expr.errs),
+        [(1, a_expr.ty), (1, a_expr.errs)],
+        |a| {
+            let mut errs: Vec<String> = a[1].as_errs().to_vec();
+            cg::expect_int("negation operand", a[0].ty(), &mut errs);
+            PVal::Errs(Arc::new(errs))
+        },
+    );
     g.rule_with_cost(
         p_not,
         (0, a_expr.code),
@@ -1490,11 +1549,16 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         2,
     );
     g.rule(p_not, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Bool));
-    g.rule(p_not, (0, a_expr.errs), [(1, a_expr.ty), (1, a_expr.errs)], |a| {
-        let mut errs: Vec<String> = a[1].as_errs().to_vec();
-        cg::expect_bool("not operand", a[0].ty(), &mut errs);
-        PVal::Errs(Arc::new(errs))
-    });
+    g.rule(
+        p_not,
+        (0, a_expr.errs),
+        [(1, a_expr.ty), (1, a_expr.errs)],
+        |a| {
+            let mut errs: Vec<String> = a[1].as_errs().to_vec();
+            cg::expect_bool("not operand", a[0].ty(), &mut errs);
+            PVal::Errs(Arc::new(errs))
+        },
+    );
 
     let grammar = Arc::new(g.build(s).expect("pascal grammar is well-formed"));
     PascalGrammar {
@@ -1590,8 +1654,16 @@ mod tests {
     fn grammar_builds_and_is_ordered() {
         let pg = build();
         // Paper scale check: dozens of productions, hundreds of rules.
-        assert!(pg.grammar.prods().len() >= 50, "{}", pg.grammar.prods().len());
-        assert!(pg.grammar.rule_count() >= 180, "{}", pg.grammar.rule_count());
+        assert!(
+            pg.grammar.prods().len() >= 50,
+            "{}",
+            pg.grammar.prods().len()
+        );
+        assert!(
+            pg.grammar.rule_count() >= 180,
+            "{}",
+            pg.grammar.rule_count()
+        );
         // The grammar must be statically evaluable (l-ordered).
         let plans = compute_plans(pg.grammar.as_ref()).expect("pascal grammar is l-ordered");
         // Declarations are two-visit (symbol table, then codegen against

@@ -245,25 +245,21 @@ mod tests {
 
     #[test]
     fn arithmetic_program() {
-        let out = run_static(
-            "program p; var x: integer; begin x := 2 + 3 * 4 - 6 div 2; write(x) end.",
-        );
+        let out =
+            run_static("program p; var x: integer; begin x := 2 + 3 * 4 - 6 div 2; write(x) end.");
         assert_eq!(out, "11");
     }
 
     #[test]
     fn modulo_and_unary() {
-        let out = run_static(
-            "program p; var x: integer; begin x := -(17 mod 5); write(x) end.",
-        );
+        let out = run_static("program p; var x: integer; begin x := -(17 mod 5); write(x) end.");
         assert_eq!(out, "-2");
     }
 
     #[test]
     fn constants_fold_into_pushes() {
-        let out = run_static(
-            "program p; const k = 10; var x: integer; begin x := k * k; write(x) end.",
-        );
+        let out =
+            run_static("program p; const k = 10; var x: integer; begin x := k * k; write(x) end.");
         assert_eq!(out, "100");
     }
 
@@ -325,9 +321,7 @@ mod tests {
 
     #[test]
     fn writeln_and_strings() {
-        let out = run_static(
-            "program p; begin write('x = ', 5); writeln; writeln('done') end.",
-        );
+        let out = run_static("program p; begin write('x = ', 5); writeln; writeln('done') end.");
         assert_eq!(out, "x = 5\ndone\n");
     }
 

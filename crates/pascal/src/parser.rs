@@ -196,9 +196,7 @@ impl Parser {
                             self.eat(&Tok::Colon)?;
                             let ty = self.type_expr()?;
                             if matches!(ty, TypeExpr::Array { .. }) {
-                                return Err(
-                                    self.err_here("array parameters are not supported")
-                                );
+                                return Err(self.err_here("array parameters are not supported"));
                             }
                             for n in names {
                                 params.push(Param {
@@ -531,9 +529,13 @@ mod tests {
             }
         );
         assert!(matches!(&p.decls[2], Decl::Var { names, .. } if names.len() == 2));
-        assert!(
-            matches!(&p.decls[4], Decl::Var { ty: TypeExpr::Array { lo: 1, hi: 10 }, .. })
-        );
+        assert!(matches!(
+            &p.decls[4],
+            Decl::Var {
+                ty: TypeExpr::Array { lo: 1, hi: 10 },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -563,10 +565,18 @@ mod tests {
             panic!()
         };
         // (1 + (2*3)) < 4
-        let Expr::Bin { op: BinOp::Lt, lhs, .. } = value else {
+        let Expr::Bin {
+            op: BinOp::Lt, lhs, ..
+        } = value
+        else {
             panic!("top must be <: {value:?}")
         };
-        let Expr::Bin { op: BinOp::Add, rhs, .. } = lhs.as_ref() else {
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = lhs.as_ref()
+        else {
             panic!()
         };
         assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
@@ -592,7 +602,9 @@ mod tests {
             panic!()
         };
         assert!(matches!(target, LValue::Index { .. }));
-        let Expr::Bin { lhs, .. } = value else { panic!() };
+        let Expr::Bin { lhs, .. } = value else {
+            panic!()
+        };
         assert!(matches!(lhs.as_ref(), Expr::Index { .. }));
     }
 

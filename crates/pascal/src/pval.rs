@@ -7,8 +7,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Attribute values of the Pascal attribute grammar.
-#[derive(Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, PartialEq, Default)]
 pub enum PVal {
     /// Absent/unit value.
     #[default]
@@ -107,7 +106,6 @@ impl PVal {
         }
     }
 }
-
 
 impl fmt::Debug for PVal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -42,8 +42,7 @@ impl fmt::Display for SegmentId {
 
 /// A compact, shareable description of a string built from registered
 /// segments and small literal snippets.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Descriptor {
     /// The empty string.
     #[default]
@@ -107,7 +106,6 @@ impl Descriptor {
         }
     }
 }
-
 
 /// The librarian's storage: segment id → text.
 ///
@@ -187,11 +185,7 @@ impl SegmentStore {
     pub fn resolve(&self, d: &Descriptor) -> Result<Rope, UnknownSegment> {
         match d {
             Descriptor::Empty => Ok(Rope::new()),
-            Descriptor::Seg(id) => self
-                .segments
-                .get(id)
-                .cloned()
-                .ok_or(UnknownSegment(*id)),
+            Descriptor::Seg(id) => self.segments.get(id).cloned().ok_or(UnknownSegment(*id)),
             Descriptor::Lit(s) => Ok(Rope::leaf(Arc::clone(s))),
             Descriptor::Concat(a, b) => Ok(self.resolve(a)?.concat(&self.resolve(b)?)),
         }

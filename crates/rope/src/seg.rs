@@ -197,7 +197,9 @@ mod tests {
     fn resolve_round_trips() {
         let a = SegmentId::from_parts(0, 0);
         let store = store_with(&[(a, "HELLO")]);
-        let r = Rope::from("<").concat(&Rope::seg(a, 5)).concat(&Rope::from(">"));
+        let r = Rope::from("<")
+            .concat(&Rope::seg(a, 5))
+            .concat(&Rope::from(">"));
         assert_eq!(r.len(), 7);
         let resolved = r.resolve(&store).unwrap();
         assert_eq!(resolved.to_string(), "<HELLO>");
@@ -212,7 +214,12 @@ mod tests {
         let b = SegmentId::from_parts(1, 0);
         let mut store = SegmentStore::new();
         store.register(b, Rope::from("inner"));
-        store.register(a, Rope::from("[").concat(&Rope::seg(b, 5)).concat(&Rope::from("]")));
+        store.register(
+            a,
+            Rope::from("[")
+                .concat(&Rope::seg(b, 5))
+                .concat(&Rope::from("]")),
+        );
         let r = Rope::seg(a, 7);
         assert_eq!(r.resolve(&store).unwrap().to_string(), "[inner]");
     }

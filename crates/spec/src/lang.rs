@@ -4,7 +4,7 @@
 use crate::parse_spec::{parse_spec, Assoc, RuleExpr, SpecAst, SpecError, SpecSym};
 use crate::registry::{builtins, FnRegistry, SemFn};
 use paragram_core::eval::{EvalError, Evaluators};
-use paragram_core::grammar::{AttrId, AttrKind, Grammar, GrammarBuilder, ProdId, SymbolId};
+use paragram_core::grammar::{Args, AttrId, AttrKind, Grammar, GrammarBuilder, ProdId, SymbolId};
 use paragram_core::tree::{token, ChildSpec, ParseTree, TreeBuilder, TreeError};
 use paragram_core::value::Value;
 use paragram_parsegen as pg;
@@ -68,16 +68,23 @@ impl std::error::Error for EvalStrError {}
 /// Compiled rule-expression evaluator.
 enum Compiled {
     Arg(usize),
+    /// The common shape `f($i.a, $j.b, ...)` with the arguments exactly
+    /// in rule-argument order: the gathered [`Args`] view is forwarded
+    /// straight to the semantic function — no allocation, no clones.
+    Direct(SemFn),
     Call(SemFn, Vec<Compiled>),
 }
 
 impl Compiled {
-    fn eval(&self, args: &[Value]) -> Value {
+    fn eval(&self, args: Args<'_, Value>) -> Value {
         match self {
             Compiled::Arg(i) => args[*i].clone(),
+            Compiled::Direct(f) => f(args),
             Compiled::Call(f, sub) => {
+                // Nested calls produce owned intermediate values; those
+                // are genuine data, not argument-passing overhead.
                 let vals: Vec<Value> = sub.iter().map(|c| c.eval(args)).collect();
-                f(&vals)
+                f(Args::from_slice(&vals))
             }
         }
     }
@@ -106,7 +113,19 @@ fn compile_expr(
                 .iter()
                 .map(|a| compile_expr(a, refs, registry, line_err))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Compiled::Call(f, sub))
+            // `refs` lists attribute references in first-occurrence
+            // order, so a call whose arguments are plain references in
+            // identity order can take the direct path.
+            let identity = sub
+                .iter()
+                .enumerate()
+                .all(|(i, c)| matches!(c, Compiled::Arg(j) if *j == i))
+                && sub.len() == refs.len();
+            if identity {
+                Ok(Compiled::Direct(f))
+            } else {
+                Ok(Compiled::Call(f, sub))
+            }
         }
     }
 }
@@ -173,13 +192,13 @@ impl SpecLang {
         }
         // Literal terminals (from productions and precedence lines).
         let add_lit = |lit: &str,
-                           g: &mut GrammarBuilder<Value>,
-                           cfg: &mut pg::CfgBuilder,
-                           sym_ids: &mut HashMap<String, SymbolId>,
-                           gsyms: &mut HashMap<String, pg::GSym>,
-                           term_kinds: &mut Vec<TermKind>,
-                           term_names: &mut Vec<String>,
-                           literals: &mut Vec<(String, pg::Term)>|
+                       g: &mut GrammarBuilder<Value>,
+                       cfg: &mut pg::CfgBuilder,
+                       sym_ids: &mut HashMap<String, SymbolId>,
+                       gsyms: &mut HashMap<String, pg::GSym>,
+                       term_kinds: &mut Vec<TermKind>,
+                       term_names: &mut Vec<String>,
+                       literals: &mut Vec<(String, pg::Term)>|
          -> pg::Term {
             let key = format!("'{lit}'");
             if let Some(pg::GSym::T(t)) = gsyms.get(&key) {
@@ -270,13 +289,10 @@ impl SpecLang {
                         SpecSym::Named(n) => n.clone(),
                         SpecSym::Lit(l) => format!("'{l}'"),
                     };
-                    sym_ids
-                        .get(&key)
-                        .copied()
-                        .ok_or_else(|| SpecError {
-                            line: 0,
-                            msg: format!("undeclared symbol {key:?} in production {pi}"),
-                        })
+                    sym_ids.get(&key).copied().ok_or_else(|| SpecError {
+                        line: 0,
+                        msg: format!("undeclared symbol {key:?} in production {pi}"),
+                    })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             let prod = g.production(format!("{}#{pi}", sp.lhs), lhs, rhs.clone());
@@ -406,8 +422,7 @@ impl SpecLang {
     ///
     /// Never — the embedded specification is tested.
     pub fn expression_language() -> SpecLang {
-        SpecLang::from_spec(crate::EXPR_SPEC, &builtins())
-            .expect("embedded appendix spec is valid")
+        SpecLang::from_spec(crate::EXPR_SPEC, &builtins()).expect("embedded appendix spec is valid")
     }
 
     /// The generated attribute grammar.
@@ -497,12 +512,15 @@ impl SpecLang {
             lang: self,
             tb: TreeBuilder::new(&self.grammar),
         };
-        let root = pg::parse(&self.table, tokens, &mut builder)
-            .map_err(EvalStrError::Parse)?;
+        let root = pg::parse(&self.table, tokens, &mut builder).map_err(EvalStrError::Parse)?;
         let ChildSpec::Built(root) = root else {
             return Err(EvalStrError::Lex("input reduced to a bare token".into()));
         };
-        builder.tb.finish(root).map(Arc::new).map_err(EvalStrError::Tree)
+        builder
+            .tb
+            .finish(root)
+            .map(Arc::new)
+            .map_err(EvalStrError::Tree)
     }
 
     /// Parses and evaluates input, returning the root's synthesized

@@ -389,9 +389,9 @@ pub fn parse_spec(src: &str) -> Result<SpecAst, SpecError> {
                             "syn" => &mut syn,
                             "inh" => &mut inh,
                             other => {
-                                return Err(p.err(format!(
-                                    "expected 'syn' or 'inh', found {other:?}"
-                                )))
+                                return Err(
+                                    p.err(format!("expected 'syn' or 'inh', found {other:?}"))
+                                )
                             }
                         };
                         loop {
@@ -418,7 +418,11 @@ pub fn parse_spec(src: &str) -> Result<SpecAst, SpecError> {
                     ast.start = (sym, func);
                 }
                 "left" | "right" => {
-                    let assoc = if d == "left" { Assoc::Left } else { Assoc::Right };
+                    let assoc = if d == "left" {
+                        Assoc::Left
+                    } else {
+                        Assoc::Right
+                    };
                     let mut terms = Vec::new();
                     loop {
                         match p.peek() {
@@ -545,11 +549,7 @@ mod tests {
         assert_eq!(ast.name_terminals, vec!["IDENTIFIER", "NUMBER"]);
         assert_eq!(ast.keywords, vec!["LET", "IN", "NI"]);
         assert_eq!(ast.nonterminals.len(), 3);
-        let block = ast
-            .nonterminals
-            .iter()
-            .find(|n| n.name == "block")
-            .unwrap();
+        let block = ast.nonterminals.iter().find(|n| n.name == "block").unwrap();
         assert_eq!(block.split, Some(1000));
         assert_eq!(block.syn, vec!["value"]);
         assert_eq!(block.inh, vec!["stab"]);
@@ -572,7 +572,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_are_ignored()  {
+    fn comments_are_ignored() {
         let ast = parse_spec(
             "%name N -- tokens\n%nosplit e { syn v; } -- nt\n%start e f\n%%\n-- rules\ne : N { $$.v = $1.string; }\n",
         )

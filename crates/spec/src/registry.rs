@@ -7,6 +7,7 @@
 //! standard library the appendix assumes (symbol tables, arithmetic,
 //! string/rope helpers).
 
+use paragram_core::grammar::Args;
 use paragram_core::value::Value;
 use paragram_rope::Rope;
 use paragram_symtab::SymTab;
@@ -14,7 +15,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A semantic function over attribute values.
-pub type SemFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+///
+/// Arguments arrive as a borrowed [`Args`] view (see
+/// [`paragram_core::grammar`]'s module docs for the calling
+/// convention); call one directly with `f(Args::from_slice(&values))`.
+pub type SemFn = Arc<dyn for<'a> Fn(Args<'a, Value>) -> Value + Send + Sync>;
 
 /// Name → semantic function bindings for a specification.
 #[derive(Clone, Default)]
@@ -33,7 +38,7 @@ impl FnRegistry {
     pub fn register(
         &mut self,
         name: impl Into<String>,
-        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+        f: impl for<'a> Fn(Args<'a, Value>) -> Value + Send + Sync + 'static,
     ) -> &mut Self {
         self.fns.insert(name.into(), Arc::new(f));
         self
@@ -73,15 +78,15 @@ pub fn builtins() -> FnRegistry {
         _ => Value::Unit,
     });
     // Integer arithmetic.
-    let int2 = |f: fn(i64, i64) -> i64| {
-        move |a: &[Value]| match (a[0].as_int(), a[1].as_int()) {
+    fn int2(r: &mut FnRegistry, name: &str, f: fn(i64, i64) -> i64) {
+        r.register(name, move |a| match (a[0].as_int(), a[1].as_int()) {
             (Some(x), Some(y)) => Value::Int(f(x, y)),
             _ => Value::Unit,
-        }
-    };
-    r.register("add", int2(i64::wrapping_add));
-    r.register("sub", int2(i64::wrapping_sub));
-    r.register("mul", int2(i64::wrapping_mul));
+        });
+    }
+    int2(&mut r, "add", i64::wrapping_add);
+    int2(&mut r, "sub", i64::wrapping_sub);
+    int2(&mut r, "mul", i64::wrapping_mul);
     r.register("neg", |a| match a[0].as_int() {
         Some(x) => Value::Int(-x),
         None => Value::Unit,
@@ -92,9 +97,7 @@ pub fn builtins() -> FnRegistry {
         (Value::Rope(x), Value::Rope(y)) => Value::Rope(x.concat(y)),
         _ => Value::Unit,
     });
-    r.register("str_of", |a| {
-        Value::Rope(Rope::from(format!("{}", a[0])))
-    });
+    r.register("str_of", |a| Value::Rope(Rope::from(format!("{}", a[0]))));
     // Identity, useful for copy rules written as calls.
     r.register("id", |a| a[0].clone());
     r
@@ -103,6 +106,10 @@ pub fn builtins() -> FnRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn call(f: &SemFn, args: &[Value]) -> Value {
+        f(Args::from_slice(args))
+    }
 
     #[test]
     fn builtins_cover_the_appendix() {
@@ -115,17 +122,20 @@ mod tests {
     #[test]
     fn symbol_table_functions_compose() {
         let b = builtins();
-        let t = b.get("st_create").unwrap()(&[]);
-        let t = b.get("st_add").unwrap()(&[t, Value::str("x"), Value::Int(2)]);
-        let v = b.get("st_lookup").unwrap()(&[t, Value::str("x")]);
+        let t = call(b.get("st_create").unwrap(), &[]);
+        let t = call(
+            b.get("st_add").unwrap(),
+            &[t, Value::str("x"), Value::Int(2)],
+        );
+        let v = call(b.get("st_lookup").unwrap(), &[t, Value::str("x")]);
         assert_eq!(v, Value::Int(2));
     }
 
     #[test]
     fn lookup_of_missing_name_is_unit() {
         let b = builtins();
-        let t = b.get("st_create").unwrap()(&[]);
-        let v = b.get("st_lookup").unwrap()(&[t, Value::str("nope")]);
+        let t = call(b.get("st_create").unwrap(), &[]);
+        let v = call(b.get("st_lookup").unwrap(), &[t, Value::str("nope")]);
         assert_eq!(v, Value::Unit);
     }
 
@@ -133,22 +143,25 @@ mod tests {
     fn arithmetic() {
         let b = builtins();
         assert_eq!(
-            b.get("add").unwrap()(&[Value::Int(2), Value::Int(3)]),
+            call(b.get("add").unwrap(), &[Value::Int(2), Value::Int(3)]),
             Value::Int(5)
         );
         assert_eq!(
-            b.get("mul").unwrap()(&[Value::Int(2), Value::Int(3)]),
+            call(b.get("mul").unwrap(), &[Value::Int(2), Value::Int(3)]),
             Value::Int(6)
         );
-        assert_eq!(b.get("neg").unwrap()(&[Value::Int(2)]), Value::Int(-2));
+        assert_eq!(
+            call(b.get("neg").unwrap(), &[Value::Int(2)]),
+            Value::Int(-2)
+        );
     }
 
     #[test]
     fn ropes() {
         let b = builtins();
-        let x = b.get("str_of").unwrap()(&[Value::Int(42)]);
-        let y = b.get("str_of").unwrap()(&[Value::str("!")]);
-        let z = b.get("str_concat").unwrap()(&[x, y]);
+        let x = call(b.get("str_of").unwrap(), &[Value::Int(42)]);
+        let y = call(b.get("str_of").unwrap(), &[Value::str("!")]);
+        let z = call(b.get("str_concat").unwrap(), &[x, y]);
         match z {
             Value::Rope(r) => assert_eq!(r.to_string(), "42!"),
             other => panic!("expected rope, got {other:?}"),

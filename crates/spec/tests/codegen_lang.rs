@@ -65,10 +65,7 @@ fn right_associativity_of_power() {
     let v = lang.eval_str("2 ^ 3 ^ 4").unwrap();
     let code = v.as_rope().unwrap().to_string();
     // %right: 2 ^ (3 ^ 4) — the 3/4 pair reduces first.
-    assert_eq!(
-        code,
-        "push 2\npush 3\npush 4\npow\npow\nhalt\n"
-    );
+    assert_eq!(code, "push 2\npush 3\npush 4\npow\npow\nhalt\n");
 }
 
 #[test]

@@ -282,8 +282,7 @@ impl<V: PartialEq + Clone> PartialEq for SymTab<V> {
         if self.len != other.len {
             return false;
         }
-        self.iter()
-            .all(|(n, v)| other.lookup(n) == Some(v))
+        self.iter().all(|(n, v)| other.lookup(n) == Some(v))
     }
 }
 

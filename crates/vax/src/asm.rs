@@ -130,8 +130,11 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
 }
 
 fn parse_instr(s: &str, line: usize) -> Result<Instr, AsmError> {
@@ -368,7 +371,10 @@ pub fn assemble_items(items: Vec<Item>) -> Result<Program, AsmError> {
     for (idx, i) in instrs.iter().enumerate() {
         if let Some(t) = i.target() {
             if !labels.contains_key(t) {
-                return Err(err(0, format!("undefined label {t:?} at instruction {idx}")));
+                return Err(err(
+                    0,
+                    format!("undefined label {t:?} at instruction {idx}"),
+                ));
             }
         }
     }
@@ -413,10 +419,7 @@ mod tests {
     #[test]
     fn writestr_keeps_semicolons_and_escapes() {
         let items = parse_asm(r#" writestr "a;b\n" "#).unwrap();
-        assert_eq!(
-            items,
-            vec![Item::Instr(Instr::WriteStr("a;b\n".into()))]
-        );
+        assert_eq!(items, vec![Item::Instr(Instr::WriteStr("a;b\n".into()))]);
     }
 
     #[test]

@@ -162,8 +162,9 @@ impl Instr {
     pub fn target(&self) -> Option<&str> {
         use Instr::*;
         match self {
-            Beql(l) | Bneq(l) | Blss(l) | Bleq(l) | Bgtr(l) | Bgeq(l) | Brb(l)
-            | Calls(_, l) => Some(l),
+            Beql(l) | Bneq(l) | Blss(l) | Bleq(l) | Bgtr(l) | Bgeq(l) | Brb(l) | Calls(_, l) => {
+                Some(l)
+            }
             _ => None,
         }
     }

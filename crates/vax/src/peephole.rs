@@ -70,9 +70,7 @@ fn pass(items: Vec<Item>, stats: &mut PeepholeStats) -> Vec<Item> {
         };
 
         // Branch to the immediately following label.
-        if let (Item::Instr(Instr::Brb(target)), Some(Item::Label(next))) =
-            (&item, iter.peek())
-        {
+        if let (Item::Instr(Instr::Brb(target)), Some(Item::Label(next))) = (&item, iter.peek()) {
             if target == next {
                 stats.removed += 1;
                 continue;
@@ -149,16 +147,12 @@ fn rewrite(i: Instr, stats: &mut PeepholeStats) -> Option<Instr> {
         // Clear idiom.
         Movl(Imm(0), b) => rewritten(stats, Clrl(b)),
         // Algebraic identities.
-        Addl2(Imm(0), _) | Subl2(Imm(0), _) | Mull2(Imm(1), _) | Divl2(Imm(1), _) => {
-            removed(stats)
-        }
+        Addl2(Imm(0), _) | Subl2(Imm(0), _) | Mull2(Imm(1), _) | Divl2(Imm(1), _) => removed(stats),
         // Constant folding.
         Addl3(Imm(a), Imm(b), c) => rewritten(stats, fold(a.wrapping_add(b), c)),
         Subl3(Imm(a), Imm(b), c) => rewritten(stats, fold(b.wrapping_sub(a), c)),
         Mull3(Imm(a), Imm(b), c) => rewritten(stats, fold(a.wrapping_mul(b), c)),
-        Divl3(Imm(a), Imm(b), c) if a != 0 => {
-            rewritten(stats, fold(b.wrapping_div(a), c))
-        }
+        Divl3(Imm(a), Imm(b), c) if a != 0 => rewritten(stats, fold(b.wrapping_div(a), c)),
         // addl3 $0, b, c → movl b, c (and symmetric); mull3 $1 likewise.
         Addl3(Imm(0), b, c) | Addl3(b, Imm(0), c) => rewritten(stats, Movl(b, c)),
         Mull3(Imm(1), b, c) | Mull3(b, Imm(1), c) => rewritten(stats, Movl(b, c)),

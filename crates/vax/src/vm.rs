@@ -154,9 +154,7 @@ impl<'p> Vm<'p> {
                 }
                 Instr::Addl3(a, b, c) => self.binop3(&a, &b, &c, at, i64::wrapping_add)?,
                 // VAX subl3: dst = b - a.
-                Instr::Subl3(a, b, c) => {
-                    self.binop3(&a, &b, &c, at, |x, y| y.wrapping_sub(x))?
-                }
+                Instr::Subl3(a, b, c) => self.binop3(&a, &b, &c, at, |x, y| y.wrapping_sub(x))?,
                 Instr::Mull3(a, b, c) => self.binop3(&a, &b, &c, at, i64::wrapping_mul)?,
                 Instr::Divl3(a, b, c) => {
                     let x = self.read(&a, at)?;

@@ -123,7 +123,10 @@ fn parallel_dynamic_without_plans_matches_sequential() {
         .find(|(a, _)| a.0 == 0)
         .map(|(_, v)| *v)
         .unwrap();
-    assert_eq!(Some(&got), want.get(tree.root(), paragram::core::grammar::AttrId(0)));
+    assert_eq!(
+        Some(&got),
+        want.get(tree.root(), paragram::core::grammar::AttrId(0))
+    );
 
     // Threads, no plans.
     let r = run_threads(
