@@ -17,9 +17,12 @@
 //! [--out PATH] [--baseline PATH] [--label TEXT]`
 
 use paragram_bench::Workload;
-use paragram_core::eval::{dynamic_eval, static_eval, Machine, MachineMode};
+use paragram_core::eval::{
+    dynamic_eval, static_eval, EvalPlan, Machine, MachineMode, MachineScratch,
+};
 use paragram_core::split::Decomposition;
 use paragram_pascal::generator::GenConfig;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -85,6 +88,9 @@ struct Measurement {
 
 fn measure(w: &Workload, iters: usize) -> Vec<Measurement> {
     let whole = Decomposition::whole(&w.tree);
+    // Plan tables are grammar-level and shared; build them outside the
+    // timed loop so graph_build isolates graph construction.
+    let plan = Arc::new(EvalPlan::from_parts(w.tree.grammar(), None, None));
     vec![
         Measurement {
             name: "dynamic_eval",
@@ -97,7 +103,15 @@ fn measure(w: &Workload, iters: usize) -> Vec<Measurement> {
         Measurement {
             name: "graph_build",
             median_ns: median_ns(iters, || {
-                Machine::new(&w.tree, None, &whole, 0, MachineMode::Dynamic).graph_size()
+                Machine::from_plan(
+                    &plan,
+                    &w.tree,
+                    &whole,
+                    0,
+                    MachineMode::Dynamic,
+                    MachineScratch::new(),
+                )
+                .graph_size()
             }),
         },
     ]

@@ -1,0 +1,248 @@
+//! Throughput benchmark for the batched compilation driver.
+//!
+//! Measures trees/second when a stream of parse trees is compiled
+//! through `paragram-driver`, for batch sizes 1 / 16 / 256: each batch
+//! pays the full per-compilation setup **once** — grammar analysis and
+//! visit plans ([`CompilationPlan::analyze`]), split tables, worker and
+//! librarian spin-up ([`BatchDriver::new`]) — and then streams its
+//! trees through the persistent pool. Batch size 1 is the unamortized
+//! baseline (the single-compilation pipeline the paper measures);
+//! larger batches show how much of a compilation was really per-grammar
+//! overhead.
+//!
+//! Two workload scales are generated from [`GenConfig`]: `unit`, a
+//! small compilation-unit-sized program, and `small`, the generator's
+//! standard small program. Trees are parsed up front (the paper's
+//! parser is a separate sequential pipeline stage); distinct seeds make
+//! the trees distinct.
+//!
+//! Writes `BENCH_throughput.json` (override with `--out`). `--smoke`
+//! runs a seconds-scale subset and writes nothing unless `--out` is
+//! given — CI uses it to keep the driver's bench path alive.
+//!
+//! Usage: `cargo run --release --bin bench_throughput --
+//! [--smoke] [--workers N] [--out PATH] [--label TEXT]`
+
+use paragram_core::tree::ParseTree;
+use paragram_driver::{BatchDriver, CompilationPlan, DriverConfig};
+use paragram_pascal::generator::{generate, GenConfig};
+use paragram_pascal::{Compiler, PVal};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    workers: usize,
+    out: Option<String>,
+    label: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        workers: 4,
+        out: None,
+        label: "current".to_string(),
+    };
+    let mut explicit_out = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--workers" => {
+                args.workers = val("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --workers takes an integer");
+                    std::process::exit(2);
+                });
+                args.workers = args.workers.max(1);
+            }
+            "--out" => {
+                args.out = Some(val("--out"));
+                explicit_out = true;
+            }
+            "--label" => args.label = val("--label"),
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?}\nusage: bench_throughput [--smoke] [--workers N] [--out PATH] [--label TEXT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if !args.smoke && !explicit_out {
+        args.out = Some("BENCH_throughput.json".to_string());
+    }
+    args
+}
+
+/// A named workload scale: the generator shape and the batch sizes /
+/// repetition counts measured at that scale.
+struct Scale {
+    name: &'static str,
+    cfg: GenConfig,
+}
+
+fn scales(smoke: bool) -> Vec<Scale> {
+    // Batch throughput matters where per-tree work is comparable to the
+    // per-compilation setup it amortizes — streams of procedure- and
+    // compilation-unit-sized trees. (At the generator's 2000-line paper
+    // scale a single tree's evaluation dwarfs setup; that regime is
+    // tracked by BENCH_dynamic.json instead.)
+    let proc = Scale {
+        name: "proc",
+        cfg: GenConfig {
+            clusters: 1,
+            procs_per_cluster: 1,
+            stmts_per_proc: 3,
+            nesting: 1,
+            seed: 7,
+        },
+    };
+    let unit = Scale {
+        name: "unit",
+        cfg: GenConfig {
+            clusters: 1,
+            procs_per_cluster: 2,
+            stmts_per_proc: 4,
+            nesting: 1,
+            seed: 2024,
+        },
+    };
+    if smoke {
+        return vec![proc];
+    }
+    vec![proc, unit]
+}
+
+/// Distinct trees for a scale (seeds vary; sources differ).
+fn build_trees(compiler: &Compiler, cfg: &GenConfig, count: usize) -> Vec<Arc<ParseTree<PVal>>> {
+    (0..count)
+        .map(|i| {
+            let src = generate(&GenConfig {
+                seed: cfg.seed + i as u64,
+                ..*cfg
+            });
+            compiler
+                .tree_from_source(&src)
+                .expect("generated workload parses")
+        })
+        .collect()
+}
+
+/// One timed batch: full setup (grammar analysis + plans + pool spawn)
+/// plus `batch` trees streamed through the driver. Returns nanoseconds.
+fn run_batch(
+    compiler: &Compiler,
+    trees: &[Arc<ParseTree<PVal>>],
+    batch: usize,
+    workers: usize,
+) -> u128 {
+    let t = Instant::now();
+    let plan = CompilationPlan::analyze(&compiler.pg.grammar, DriverConfig::workers(workers));
+    let mut driver = BatchDriver::new(&plan);
+    for i in 0..batch {
+        let tree = &trees[i % trees.len()];
+        let out = driver.compile_tree(tree).expect("evaluation succeeds");
+        std::hint::black_box(out.root_values.len());
+    }
+    t.elapsed().as_nanos()
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let compiler = Compiler::new();
+    let batch_sizes: &[usize] = if args.smoke { &[1, 4] } else { &[1, 16, 256] };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": {:?},\n", args.label));
+    out.push_str(&format!("  \"workers\": {},\n", args.workers));
+    out.push_str(&format!(
+        "  \"batch_sizes\": [{}],\n",
+        batch_sizes
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    let scales = scales(args.smoke);
+    let mut all_amortized = true;
+    for (si, scale) in scales.iter().enumerate() {
+        let distinct = batch_sizes.iter().copied().max().unwrap().min(32);
+        let trees = build_trees(&compiler, &scale.cfg, distinct);
+        let nodes_avg: usize = trees.iter().map(|t| t.len()).sum::<usize>() / trees.len();
+        println!(
+            "scale {}: {} distinct trees, ~{} nodes each",
+            scale.name,
+            trees.len(),
+            nodes_avg
+        );
+
+        out.push_str(&format!("  \"{}\": {{\n", scale.name));
+        out.push_str(&format!("    \"tree_nodes_avg\": {nodes_avg},\n"));
+        let mut per_batch: Vec<(usize, f64)> = Vec::new();
+        for &batch in batch_sizes {
+            // Keep total work per batch size comparable: more reps for
+            // small batches, fewer for large ones.
+            let reps = if args.smoke {
+                2
+            } else {
+                (512 / batch).clamp(3, 15)
+            };
+            // Warm-up (loads code paths, grows allocator arenas).
+            run_batch(&compiler, &trees, batch.min(4), args.workers);
+            let times: Vec<u128> = (0..reps)
+                .map(|_| run_batch(&compiler, &trees, batch, args.workers))
+                .collect();
+            let med = median(times);
+            let tps = batch as f64 / (med as f64 / 1e9);
+            per_batch.push((batch, tps));
+            println!(
+                "  {}/batch_{batch}: median {med} ns/batch, {tps:.1} trees/sec ({reps} reps)",
+                scale.name
+            );
+            out.push_str(&format!("    \"batch_{batch}\": {{\n"));
+            out.push_str(&format!("      \"median_ns_per_batch\": {med},\n"));
+            out.push_str(&format!("      \"trees_per_sec\": {tps:.1}\n"));
+            // The speedup field follows, so every batch entry takes a
+            // trailing comma.
+            out.push_str("    },\n");
+        }
+        let (b0, tps0) = per_batch[0];
+        let (bn, tpsn) = *per_batch.last().unwrap();
+        let speedup = tpsn / tps0;
+        if speedup < 1.3 {
+            all_amortized = false;
+        }
+        println!(
+            "  {}: batch_{bn} is {speedup:.2}x batch_{b0} throughput",
+            scale.name
+        );
+        out.push_str(&format!(
+            "    \"speedup_batch_{bn}_vs_{b0}\": {speedup:.2}\n"
+        ));
+        out.push_str("  }");
+        out.push_str(if si + 1 < scales.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+
+    if let Some(path) = &args.out {
+        std::fs::write(path, &out).expect("write output");
+        println!("wrote {path}");
+    }
+    if !all_amortized {
+        println!("warning: amortization below 1.3x on at least one scale");
+    }
+}

@@ -24,15 +24,15 @@
 
 use crate::analysis::Plans;
 use crate::csr::Csr;
-use crate::grammar::{ArgScratch, AttrId, AttrKind, SymbolId};
-use crate::split::{boundary_children, Decomposition, RegionId};
+use crate::grammar::{AttrId, SymbolId};
+use crate::split::{Decomposition, RegionId};
 use crate::stats::EvalStats;
 use crate::tree::{occ_slot, occ_value, AttrStore, NodeId, ParseTree};
 use crate::value::AttrValue;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use super::{run_static_segment, EvalError};
+use super::{run_static_segment, EvalError, EvalPlan, MachineScratch};
 
 /// Evaluation strategy of a machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +90,7 @@ enum Task {
 /// One parallel evaluator working on one region of the tree.
 pub struct Machine<V: AttrValue> {
     tree: Arc<ParseTree<V>>,
-    plans: Option<Arc<Plans>>,
+    plan: Arc<EvalPlan<V>>,
     region: RegionId,
     store: AttrStore<V>,
     tasks: Vec<Task>,
@@ -106,8 +106,9 @@ pub struct Machine<V: AttrValue> {
     ready: VecDeque<u32>,
     ready_priority: VecDeque<u32>,
     executed: usize,
-    /// Reusable argument-gathering buffer for dynamic rule applications.
-    scratch: ArgScratch<V>,
+    /// Reusable construction/evaluation buffers (recycled across trees
+    /// via [`Machine::recycle`]).
+    scratch: MachineScratch<V>,
     stats: EvalStats,
     /// Locally computed instances that must be transmitted.
     send_on_fill: HashMap<usize, (NodeId, AttrId, SendTarget)>,
@@ -133,40 +134,69 @@ impl<V: AttrValue> Machine<V> {
         region: RegionId,
         mode: MachineMode,
     ) -> Self {
+        let plan = Arc::new(EvalPlan::from_parts(tree.grammar(), plans.cloned(), None));
+        Machine::from_plan(&plan, tree, decomp, region, mode, MachineScratch::new())
+    }
+
+    /// Builds the machine from a shared [`EvalPlan`] with reusable
+    /// buffers — the batched-driver path. `scratch` is consumed and can
+    /// be recovered (with its grown capacity) via [`Machine::recycle`]
+    /// when this tree is finished.
+    ///
+    /// Construction performs **one** walk over the region: a single DFS
+    /// collects the region's nodes and its boundary children, and the
+    /// task-enumeration pass derives each task's priority flag and the
+    /// external/send classification from the plan's precomputed tables
+    /// instead of re-walking the tree per attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`MachineMode::Combined`] but the plan has no
+    /// visit sequences — the caller must fall back to dynamic mode when
+    /// the grammar is not l-ordered.
+    pub fn from_plan(
+        plan: &Arc<EvalPlan<V>>,
+        tree: &Arc<ParseTree<V>>,
+        decomp: &Decomposition,
+        region: RegionId,
+        mode: MachineMode,
+        mut scratch: MachineScratch<V>,
+    ) -> Self {
         assert!(
-            mode == MachineMode::Dynamic || plans.is_some(),
+            mode == MachineMode::Dynamic || plan.plans().is_some(),
             "combined mode requires static plans"
         );
         let g = tree.grammar();
         let info = &decomp.regions[region as usize];
         let region_root = info.root;
+        scratch.reset();
 
-        // Region nodes, skipping nested regions.
-        let mut region_nodes: Vec<NodeId> = Vec::with_capacity(info.local_size);
-        {
-            let mut stack = vec![region_root];
-            while let Some(n) = stack.pop() {
-                region_nodes.push(n);
-                for c in &tree.node(n).children {
-                    if let crate::tree::Child::Node(c) = c {
-                        if decomp.region(*c) == region {
-                            stack.push(*c);
-                        }
+        // The single construction walk: one DFS collects region nodes
+        // AND boundary children (in-region parent, out-of-region child).
+        // All collection buffers live in the scratch and keep their
+        // capacity across trees.
+        scratch.stack.push(region_root);
+        while let Some(n) = scratch.stack.pop() {
+            scratch.region_nodes.push(n);
+            for c in &tree.node(n).children {
+                if let crate::tree::Child::Node(c) = c {
+                    if decomp.region(*c) == region {
+                        scratch.stack.push(*c);
+                    } else {
+                        scratch.boundary.push((n, *c));
                     }
                 }
             }
         }
-        let boundary = boundary_children(tree, decomp, region);
 
         // Spine: ancestors (within the region) of boundary children.
-        let mut spine: HashSet<NodeId> = HashSet::new();
         match mode {
-            MachineMode::Dynamic => spine.extend(region_nodes.iter().copied()),
+            MachineMode::Dynamic => scratch.spine.extend(scratch.region_nodes.iter().copied()),
             MachineMode::Combined => {
-                for &(parent, _) in &boundary {
+                for &(parent, _) in &scratch.boundary {
                     let mut n = parent;
                     loop {
-                        if !spine.insert(n) {
+                        if !scratch.spine.insert(n) {
                             break;
                         }
                         if n == region_root {
@@ -180,9 +210,10 @@ impl<V: AttrValue> Machine<V> {
         }
 
         let store = AttrStore::new(tree);
+        let local_nodes = scratch.region_nodes.len();
         let mut m = Machine {
             tree: Arc::clone(tree),
-            plans: plans.cloned(),
+            plan: Arc::clone(plan),
             region,
             store,
             tasks: Vec::new(),
@@ -193,19 +224,19 @@ impl<V: AttrValue> Machine<V> {
             ready: VecDeque::new(),
             ready_priority: VecDeque::new(),
             executed: 0,
-            scratch: ArgScratch::new(),
+            scratch,
             stats: EvalStats::default(),
             send_on_fill: HashMap::new(),
             awaiting: HashSet::new(),
             graph_nodes: 0,
             graph_edges: 0,
-            local_nodes: region_nodes.len(),
+            local_nodes,
         };
 
         // External inputs: syn attrs of boundary children ...
-        for &(_, child) in &boundary {
+        for &(_, child) in &m.scratch.boundary {
             let csym = g.prod(tree.node(child).prod).lhs;
-            for a in g.symbol(csym).attrs_of_kind(AttrKind::Syn) {
+            for &a in plan.syn_attrs(csym) {
                 m.awaiting.insert(m.store.instance(child, a));
             }
         }
@@ -213,7 +244,7 @@ impl<V: AttrValue> Machine<V> {
         // root, whose start symbol has none).
         let root_sym = g.prod(tree.node(region_root).prod).lhs;
         if region_root != tree.root() {
-            for a in g.symbol(root_sym).attrs_of_kind(AttrKind::Inh) {
+            for &a in plan.inh_attrs(root_sym) {
                 m.awaiting.insert(m.store.instance(region_root, a));
             }
         }
@@ -221,10 +252,10 @@ impl<V: AttrValue> Machine<V> {
         // Outgoing values: inh attrs of boundary children go to the
         // owning region; syn attrs of the region root go to the parent
         // region (or the parser at the very top).
-        for &(_, child) in &boundary {
+        for &(_, child) in &m.scratch.boundary {
             let csym = g.prod(tree.node(child).prod).lhs;
             let target = SendTarget::Region(decomp.region(child));
-            for a in g.symbol(csym).attrs_of_kind(AttrKind::Inh) {
+            for &a in plan.inh_attrs(csym) {
                 let inst = m.store.instance(child, a);
                 m.send_on_fill.insert(inst, (child, a, target));
             }
@@ -234,24 +265,29 @@ impl<V: AttrValue> Machine<V> {
                 Some(p) => SendTarget::Region(p),
                 None => SendTarget::Parser,
             };
-            for a in g.symbol(root_sym).attrs_of_kind(AttrKind::Syn) {
+            for &a in plan.syn_attrs(root_sym) {
                 let inst = m.store.instance(region_root, a);
                 m.send_on_fill.insert(inst, (region_root, a, target));
             }
         }
 
-        // Dynamic tasks for spine nodes. The waiters relation is
-        // accumulated as one flat (instance, task) pair list and
-        // compressed into CSR afterwards — no per-instance allocations.
-        let mut edges: Vec<(u32, u32)> = Vec::new();
-        for &n in &region_nodes {
-            if !spine.contains(&n) {
+        // Task enumeration (dynamic tasks for spine nodes). The waiters
+        // relation is accumulated as one flat (instance, task) pair list
+        // and compressed into CSR afterwards — no per-instance
+        // allocations. Priority flags come straight from the plan's
+        // per-rule table, folded into this same pass.
+        let mut edges = std::mem::take(&mut m.scratch.edges);
+        for i in 0..m.scratch.region_nodes.len() {
+            let n = m.scratch.region_nodes[i];
+            if !m.scratch.spine.contains(&n) {
                 continue;
             }
-            let prod = g.prod(tree.node(n).prod);
+            let prod_id = tree.node(n).prod;
+            let prod = g.prod(prod_id);
             for (ri, rule) in prod.rules.iter().enumerate() {
                 let tid = m.tasks.len() as u32;
                 m.tasks.push(Task::Apply { node: n, rule: ri });
+                m.priority.push(plan.rule_priority(prod_id, ri));
                 let mut need = 0u32;
                 for arg in &rule.args {
                     if let Some(inst) = super::dynamic::arg_instance(&m.tree, &m.store, n, *arg) {
@@ -267,33 +303,35 @@ impl<V: AttrValue> Machine<V> {
         // Static-visit tasks for subtrees hanging off the spine (or the
         // whole region when it has no boundary at all).
         if mode == MachineMode::Combined {
-            let plans = m.plans.as_ref().expect("checked above").clone();
-            let mut static_roots: Vec<NodeId> = Vec::new();
-            if spine.is_empty() {
-                static_roots.push(region_root);
+            let plans = Arc::clone(plan.plans().expect("checked above"));
+            if m.scratch.spine.is_empty() {
+                m.scratch.static_roots.push(region_root);
             } else {
-                for &n in &region_nodes {
-                    if !spine.contains(&n) {
+                for i in 0..m.scratch.region_nodes.len() {
+                    let n = m.scratch.region_nodes[i];
+                    if !m.scratch.spine.contains(&n) {
                         continue;
                     }
                     for c in &tree.node(n).children {
                         if let crate::tree::Child::Node(c) = c {
-                            if decomp.region(*c) == region && !spine.contains(c) {
-                                static_roots.push(*c);
+                            if decomp.region(*c) == region && !m.scratch.spine.contains(c) {
+                                m.scratch.static_roots.push(*c);
                             }
                         }
                     }
                 }
             }
-            for r in static_roots {
+            for i in 0..m.scratch.static_roots.len() {
+                let r = m.scratch.static_roots[i];
                 let rsym = g.prod(tree.node(r).prod).lhs;
                 let visits = plans.phases.visit_count(rsym);
                 let mut prev: Option<u32> = None;
                 for v in 1..=visits {
                     let tid = m.tasks.len() as u32;
                     m.tasks.push(Task::StaticVisit { node: r, visit: v });
+                    m.priority.push(false);
                     let mut need = 0u32;
-                    for a in g.symbol(rsym).attrs_of_kind(AttrKind::Inh) {
+                    for &a in plan.inh_attrs(rsym) {
                         if plans.phases.of(rsym, a) == v {
                             let inst = m.store.instance(r, a);
                             edges.push((inst as u32, tid));
@@ -313,19 +351,7 @@ impl<V: AttrValue> Machine<V> {
         }
 
         m.waiters = Csr::from_pairs(m.store.len(), &edges);
-        m.priority = m
-            .tasks
-            .iter()
-            .map(|t| match *t {
-                Task::Apply { node, rule } => {
-                    let r = &g.prod(tree.node(node).prod).rules[rule];
-                    let (tn, ta) = occ_slot(tree, node, r.target.occ, r.target.attr);
-                    let sym = g.prod(tree.node(tn).prod).lhs;
-                    g.symbol(sym).attrs[ta.0 as usize].priority
-                }
-                Task::StaticVisit { .. } => false,
-            })
-            .collect();
+        m.scratch.edges = edges;
         m.graph_nodes = m.tasks.len();
         m.stats.graph_nodes = m.graph_nodes;
         m.stats.graph_edges = m.graph_edges;
@@ -386,6 +412,12 @@ impl<V: AttrValue> Machine<V> {
     /// Consumes the machine, returning its (partially) filled store.
     pub fn into_store(self) -> AttrStore<V> {
         self.store
+    }
+
+    /// Consumes the machine, returning its store, final statistics and
+    /// the reusable scratch buffers (for the next tree's machine).
+    pub fn recycle(self) -> (AttrStore<V>, EvalStats, MachineScratch<V>) {
+        (self.store, self.stats, self.scratch)
     }
 
     /// Read access to the machine's store.
@@ -459,7 +491,7 @@ impl<V: AttrValue> Machine<V> {
                 let r = &g.prod(self.tree.node(node).prod).rules[rule];
                 let tree = &self.tree;
                 let store = &self.store;
-                let value = self.scratch.apply(r, |a| {
+                let value = self.scratch.arg.apply(r, |a| {
                     occ_value(tree, store, node, a.occ, a.attr)
                         .expect("scheduler readiness guarantees arguments")
                 });
@@ -480,16 +512,17 @@ impl<V: AttrValue> Machine<V> {
                 }))
             }
             Task::StaticVisit { node, visit } => {
-                let plans = Arc::clone(self.plans.as_ref().expect("combined mode"));
+                let plan = Arc::clone(&self.plan);
+                let plans = plan.plans().expect("combined mode");
                 let before = self.stats;
                 run_static_segment(
                     &self.tree,
-                    &plans,
+                    plans,
                     &mut self.store,
                     node,
                     visit,
                     &mut self.stats,
-                    &mut self.scratch,
+                    &mut self.scratch.arg,
                 )?;
                 let rules = self.stats.static_applied - before.static_applied;
                 let cost = self.stats.rule_cost_units - before.rule_cost_units;
@@ -498,12 +531,10 @@ impl<V: AttrValue> Machine<V> {
                 let sym = g.prod(self.tree.node(node).prod).lhs;
                 let mut sends = Vec::new();
                 let mut target = None;
-                let syns: Vec<AttrId> = g
-                    .symbol(sym)
-                    .attrs_of_kind(AttrKind::Syn)
-                    .filter(|a| plans.phases.of(sym, *a) == visit)
-                    .collect();
-                for a in syns {
+                for &a in plan.syn_attrs(sym) {
+                    if plans.phases.of(sym, a) != visit {
+                        continue;
+                    }
                     target = Some((sym, a));
                     let inst = self.store.instance(node, a);
                     self.filled_locally(inst, &mut sends);
@@ -558,7 +589,7 @@ mod tests {
     use super::*;
     use crate::analysis::compute_plans;
     use crate::eval::dynamic_eval;
-    use crate::grammar::{Grammar, GrammarBuilder, ProdId};
+    use crate::grammar::{AttrKind, Grammar, GrammarBuilder, ProdId};
     use crate::split::{decompose, SplitConfig};
     use crate::tree::TreeBuilder;
 

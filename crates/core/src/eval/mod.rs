@@ -17,14 +17,16 @@
 mod dynamic;
 mod incremental;
 mod machine;
+mod plan;
 mod static_eval;
 
 pub use dynamic::dynamic_eval;
 pub use incremental::{Incremental, UpdateError};
 pub use machine::{AttrMsg, Machine, MachineMode, SendTarget, StepOutcome};
+pub use plan::{EvalPlan, MachineScratch};
 pub use static_eval::{run_static_segment, static_eval};
 
-use crate::analysis::{compute_plans, OagError, Plans};
+use crate::analysis::{OagError, Plans};
 use crate::grammar::Grammar;
 use crate::stats::EvalStats;
 use crate::tree::{AttrStore, NodeId, ParseTree};
@@ -90,37 +92,36 @@ pub enum Strategy {
 
 /// Precomputed evaluation artifacts for one grammar: the evaluator
 /// factory the "compiler generator" (§2.5) emits.
+///
+/// Internally this is a thin handle over a shared [`EvalPlan`]; batch
+/// drivers take the plan directly (via [`Evaluators::plan`]) and reuse
+/// it across every compilation.
 pub struct Evaluators<V: AttrValue> {
-    grammar: Arc<Grammar<V>>,
-    plans: Option<Arc<Plans>>,
-    ordered_failure: Option<OagError>,
+    plan: Arc<EvalPlan<V>>,
 }
 
 impl<V: AttrValue> Evaluators<V> {
     /// Analyses `grammar`, computing visit sequences when possible.
     pub fn new(grammar: &Arc<Grammar<V>>) -> Self {
-        match compute_plans(grammar.as_ref()) {
-            Ok(p) => Evaluators {
-                grammar: Arc::clone(grammar),
-                plans: Some(Arc::new(p)),
-                ordered_failure: None,
-            },
-            Err(e) => Evaluators {
-                grammar: Arc::clone(grammar),
-                plans: None,
-                ordered_failure: Some(e),
-            },
+        Evaluators {
+            plan: Arc::new(EvalPlan::analyze(grammar)),
         }
     }
 
     /// The grammar being evaluated.
     pub fn grammar(&self) -> &Arc<Grammar<V>> {
-        &self.grammar
+        self.plan.grammar()
+    }
+
+    /// The shared, immutable evaluation plan (grammar analysis + visit
+    /// sequences + lookup tables), reusable across trees and threads.
+    pub fn plan(&self) -> &Arc<EvalPlan<V>> {
+        &self.plan
     }
 
     /// Which strategy is available.
     pub fn strategy(&self) -> Strategy {
-        if self.plans.is_some() {
+        if self.plan.plans().is_some() {
             Strategy::Ordered
         } else {
             Strategy::DynamicOnly
@@ -129,12 +130,12 @@ impl<V: AttrValue> Evaluators<V> {
 
     /// Why static ordering failed, if it did.
     pub fn ordered_failure(&self) -> Option<&OagError> {
-        self.ordered_failure.as_ref()
+        self.plan.ordered_failure()
     }
 
     /// The static plans, when the grammar is l-ordered.
     pub fn plans(&self) -> Option<&Arc<Plans>> {
-        self.plans.as_ref()
+        self.plan.plans()
     }
 
     /// Sequential evaluation with the best available method: static when
@@ -147,7 +148,7 @@ impl<V: AttrValue> Evaluators<V> {
         &self,
         tree: &ParseTree<V>,
     ) -> Result<(AttrStore<V>, EvalStats), EvalError> {
-        match &self.plans {
+        match self.plan.plans() {
             Some(p) => static_eval(tree, p),
             None => dynamic_eval(tree),
         }

@@ -6,9 +6,14 @@
 //! * [`sim`] — runs the whole parallel compilation on the deterministic
 //!   [`paragram_netsim`] network-multiprocessor simulator, reproducing
 //!   the paper's running-time and activity-trace figures exactly.
-//! * [`threads`] — the same protocol over real OS threads and std mpsc
-//!   channels, demonstrating genuine parallel speedup on host cores.
+//! * [`pool`] — persistent evaluator worker pool (threads + librarian
+//!   spawned once, fed per-tree region jobs): the batched-compilation
+//!   runtime.
+//! * [`threads`] — the same protocol as a one-shot convenience wrapper
+//!   over [`pool`], demonstrating genuine parallel speedup on host
+//!   cores for a single tree.
 
+pub mod pool;
 pub mod sim;
 pub mod threads;
 

@@ -1,0 +1,630 @@
+//! A persistent evaluator worker pool for batched compilation.
+//!
+//! [`super::threads`] reproduces the paper's Figure-6 setting for *one*
+//! compilation: spawn one OS thread per region, evaluate, join. Under a
+//! batched driver compiling a stream of trees, that per-compilation
+//! spin-up (thread creation, channel setup, librarian start) is pure
+//! overhead repeated per tree. [`WorkerPool`] hoists it: evaluator
+//! threads and the string librarian are spawned **once** and fed
+//! per-tree region jobs over their channels; each worker keeps a
+//! [`MachineScratch`] alive so construction/evaluation buffer capacity
+//! also carries over from tree to tree.
+//!
+//! One tree is in flight at a time (the paper's parser is sequential;
+//! trees arrive as a stream), but within a tree all regions evaluate in
+//! parallel exactly as in [`super::threads`] — same message protocol,
+//! same librarian deflation of boundary-crossing string values.
+//!
+//! # Epochs
+//!
+//! Every [`WorkerPool::eval`] call is one *librarian epoch*: segment
+//! registration streams in during evaluation (the §4.2 split the
+//! librarian protocol allows) and resolution happens once, at the
+//! parser's final read, after which the librarian's store is reset for
+//! the next tree. Attribute messages carry the epoch so a value that
+//! races ahead of its region-assignment message is parked until the
+//! worker starts that tree.
+
+use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
+use crate::grammar::AttrId;
+use crate::split::{decompose_with, Decomposition, RegionId, SplitTable};
+use crate::stats::EvalStats;
+use crate::tree::{AttrStore, NodeId, ParseTree};
+use crate::value::AttrValue;
+use paragram_rope::{Rope, SegmentId, SegmentStore};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::ResultPropagation;
+
+/// Configuration for a [`WorkerPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of persistent evaluator threads (and the region target
+    /// per tree — a tree is never split into more regions than there
+    /// are workers to run them).
+    pub workers: usize,
+    /// Combined or purely dynamic machines.
+    pub mode: MachineMode,
+    /// Result propagation strategy.
+    pub result: ResultPropagation,
+    /// Split-granularity scale.
+    pub min_size_scale: f64,
+}
+
+impl PoolConfig {
+    /// Combined evaluation on `n` workers with librarian propagation.
+    pub fn combined(n: usize) -> Self {
+        PoolConfig {
+            workers: n,
+            mode: MachineMode::Combined,
+            result: ResultPropagation::Librarian,
+            min_size_scale: 1.0,
+        }
+    }
+}
+
+/// Result of one pooled parallel evaluation.
+pub struct PoolReport<V: AttrValue> {
+    /// Root attribute values, librarian-resolved.
+    pub root_values: Vec<(AttrId, V)>,
+    /// Merged attribute store, librarian-resolved (independent of the
+    /// decomposition that produced it).
+    pub store: AttrStore<V>,
+    /// The librarian's segment store for this tree's epoch.
+    pub segments: SegmentStore,
+    /// Aggregated statistics.
+    pub stats: EvalStats,
+    /// Wall-clock evaluation time (excludes decomposition).
+    pub elapsed: Duration,
+    /// Number of regions actually used.
+    pub regions: usize,
+}
+
+enum WorkerMsg<V> {
+    Job {
+        epoch: u64,
+        tree: Arc<ParseTree<V>>,
+        decomp: Arc<Decomposition>,
+        region: RegionId,
+    },
+    Attr {
+        epoch: u64,
+        node: NodeId,
+        attr: AttrId,
+        value: V,
+    },
+    Shutdown,
+}
+
+enum ParserMsg<V> {
+    Root {
+        attr: AttrId,
+        value: V,
+    },
+    Done {
+        region: RegionId,
+        result: Result<(EvalStats, AttrStore<V>), EvalError>,
+    },
+}
+
+enum LibMsg {
+    Segment { id: SegmentId, text: Rope },
+    Resolve,
+    Shutdown,
+}
+
+/// Persistent evaluator threads + librarian, reusable across a stream
+/// of trees compiled against one shared [`EvalPlan`].
+pub struct WorkerPool<V: AttrValue> {
+    plan: Arc<EvalPlan<V>>,
+    config: PoolConfig,
+    split: SplitTable,
+    worker_txs: Vec<Sender<WorkerMsg<V>>>,
+    parser_rx: Receiver<ParserMsg<V>>,
+    lib_tx: Sender<LibMsg>,
+    lib_reply_rx: Receiver<SegmentStore>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    lib_handle: Option<std::thread::JoinHandle<()>>,
+    epoch: u64,
+    poisoned: Option<EvalError>,
+}
+
+/// Everything a worker thread needs; owned by the thread.
+struct WorkerCtx<V: AttrValue> {
+    plan: Arc<EvalPlan<V>>,
+    rx: Receiver<WorkerMsg<V>>,
+    peers: Vec<Sender<WorkerMsg<V>>>,
+    parser_tx: Sender<ParserMsg<V>>,
+    lib_tx: Sender<LibMsg>,
+    mode: MachineMode,
+    result: ResultPropagation,
+}
+
+impl<V: AttrValue> WorkerPool<V> {
+    /// Spawns the pool: `config.workers` evaluator threads plus the
+    /// librarian, all persistent until the pool is dropped.
+    pub fn new(plan: &Arc<EvalPlan<V>>, config: PoolConfig) -> Self {
+        let workers = config.workers.max(1);
+        let split = SplitTable::new(plan.grammar().as_ref(), config.min_size_scale);
+
+        let mut worker_txs = Vec::with_capacity(workers);
+        let mut worker_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel();
+            worker_txs.push(tx);
+            worker_rxs.push(Some(rx));
+        }
+        let (parser_tx, parser_rx) = channel();
+        let (lib_tx, lib_rx) = channel::<LibMsg>();
+        let (lib_reply_tx, lib_reply_rx) = channel::<SegmentStore>();
+
+        let mut handles = Vec::with_capacity(workers);
+        for rx in worker_rxs.iter_mut() {
+            let ctx = WorkerCtx {
+                plan: Arc::clone(plan),
+                rx: rx.take().expect("receiver unclaimed"),
+                peers: worker_txs.clone(),
+                parser_tx: parser_tx.clone(),
+                lib_tx: lib_tx.clone(),
+                mode: config.mode,
+                result: config.result,
+            };
+            handles.push(std::thread::spawn(move || worker_main(ctx)));
+        }
+
+        let lib_handle = std::thread::spawn(move || {
+            let mut store = SegmentStore::new();
+            while let Ok(msg) = lib_rx.recv() {
+                match msg {
+                    LibMsg::Segment { id, text } => store.register(id, text),
+                    LibMsg::Resolve => {
+                        let resolved = std::mem::replace(&mut store, SegmentStore::new());
+                        if lib_reply_tx.send(resolved).is_err() {
+                            return;
+                        }
+                    }
+                    LibMsg::Shutdown => return,
+                }
+            }
+        });
+
+        WorkerPool {
+            plan: Arc::clone(plan),
+            config: PoolConfig { workers, ..config },
+            split,
+            worker_txs,
+            parser_rx,
+            lib_tx,
+            lib_reply_rx,
+            handles,
+            lib_handle: Some(lib_handle),
+            epoch: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Number of persistent workers.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// The shared plan this pool evaluates against.
+    pub fn plan(&self) -> &Arc<EvalPlan<V>> {
+        &self.plan
+    }
+
+    /// Evaluates one tree on the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EvalError`] raised by any machine; the pool
+    /// is poisoned afterwards (subsequent calls return the same error).
+    pub fn eval(&mut self, tree: &Arc<ParseTree<V>>) -> Result<PoolReport<V>, EvalError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        let decomp = Arc::new(decompose_with(tree, &self.split, self.config.workers));
+        let regions = decomp.len();
+        let root_sym = self.plan.grammar().prod(tree.node(tree.root()).prod).lhs;
+        let expected_roots = self.plan.syn_attrs(root_sym).len();
+
+        let start = Instant::now();
+        for r in 0..regions {
+            let job = WorkerMsg::Job {
+                epoch,
+                tree: Arc::clone(tree),
+                decomp: Arc::clone(&decomp),
+                region: r as RegionId,
+            };
+            self.worker_txs[r].send(job).expect("worker alive");
+        }
+
+        // Parser role: collect root attributes and per-region results.
+        let mut raw_roots: Vec<(AttrId, V)> = Vec::with_capacity(expected_roots);
+        let mut region_results: Vec<Option<(EvalStats, AttrStore<V>)>> =
+            (0..regions).map(|_| None).collect();
+        let mut done = 0;
+        while done < regions {
+            match self.parser_rx.recv().expect("workers alive") {
+                ParserMsg::Root { attr, value } => raw_roots.push((attr, value)),
+                ParserMsg::Done { region, result } => {
+                    done += 1;
+                    match result {
+                        Ok(r) => region_results[region as usize] = Some(r),
+                        Err(e) => {
+                            self.poisoned = Some(e.clone());
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(raw_roots.len(), expected_roots, "root attrs precede Done");
+
+        // Resolve the librarian's epoch store (all segment registrations
+        // were enqueued before the Dones we just drained).
+        self.lib_tx.send(LibMsg::Resolve).expect("librarian alive");
+        let segments = self.lib_reply_rx.recv().expect("librarian replies");
+        let root_values: Vec<(AttrId, V)> = raw_roots
+            .iter()
+            .map(|(a, v)| (*a, v.inflate(&segments)))
+            .collect();
+        let elapsed = start.elapsed();
+
+        // Merge per-region stores in region order (deterministic), then
+        // resolve segment references so the result is independent of the
+        // decomposition.
+        let mut stats = EvalStats::default();
+        let mut merged: Option<AttrStore<V>> = None;
+        for r in region_results.into_iter() {
+            let (s, store) = r.expect("every region reported");
+            stats += s;
+            merged = Some(match merged {
+                None => store,
+                Some(mut acc) => {
+                    acc.absorb(store);
+                    acc
+                }
+            });
+        }
+        let mut store = merged.expect("at least one region");
+        store.inflate_all(&segments);
+
+        Ok(PoolReport {
+            root_values,
+            store,
+            segments,
+            stats,
+            elapsed,
+            regions,
+        })
+    }
+}
+
+impl<V: AttrValue> Drop for WorkerPool<V> {
+    fn drop(&mut self) {
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        let _ = self.lib_tx.send(LibMsg::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.lib_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<V: AttrValue> std::fmt::Debug for WorkerPool<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WorkerPool({} workers, epoch {})",
+            self.config.workers, self.epoch
+        )
+    }
+}
+
+/// The persistent worker loop: idle between trees, one machine at a
+/// time while a tree is in flight.
+fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
+    let mut scratch = MachineScratch::new();
+    // Attribute values that arrived ahead of their epoch's job.
+    let mut parked: Vec<(u64, NodeId, AttrId, V)> = Vec::new();
+    loop {
+        let msg = match ctx.rx.recv() {
+            Ok(m) => m,
+            Err(_) => return, // pool dropped
+        };
+        match msg {
+            WorkerMsg::Shutdown => return,
+            WorkerMsg::Attr {
+                epoch,
+                node,
+                attr,
+                value,
+            } => parked.push((epoch, node, attr, value)),
+            WorkerMsg::Job {
+                epoch,
+                tree,
+                decomp,
+                region,
+            } => {
+                let (sc, outcome) =
+                    run_job(&ctx, epoch, &tree, &decomp, region, scratch, &mut parked);
+                scratch = sc;
+                let Some(result) = outcome else {
+                    return; // shutdown received mid-job
+                };
+                if ctx
+                    .parser_tx
+                    .send(ParserMsg::Done { region, result })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one region machine to completion. Returns the recycled scratch
+/// and `None` when a shutdown arrived mid-evaluation.
+#[allow(clippy::type_complexity)]
+fn run_job<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    epoch: u64,
+    tree: &Arc<ParseTree<V>>,
+    decomp: &Arc<Decomposition>,
+    region: RegionId,
+    scratch: MachineScratch<V>,
+    parked: &mut Vec<(u64, NodeId, AttrId, V)>,
+) -> (
+    MachineScratch<V>,
+    Option<Result<(EvalStats, AttrStore<V>), EvalError>>,
+) {
+    let mut machine = Machine::from_plan(&ctx.plan, tree, decomp, region, ctx.mode, scratch);
+
+    // Feed values that raced ahead of this job; drop stale epochs.
+    let mut i = 0;
+    while i < parked.len() {
+        if parked[i].0 > epoch {
+            i += 1;
+            continue;
+        }
+        let (e, node, attr, value) = parked.swap_remove(i);
+        if e == epoch {
+            machine.provide(node, attr, value);
+        }
+    }
+
+    let parent = decomp.regions[region as usize].parent;
+    let mut next_seg = 0u32;
+    let route = |send: AttrMsg<V>, next_seg: &mut u32| -> bool {
+        let upward = match send.to {
+            SendTarget::Parser => true,
+            SendTarget::Region(q) => Some(q) == parent,
+        };
+        let mut value = send.value;
+        if upward && ctx.result == ResultPropagation::Librarian {
+            let deflated = value.deflate(&mut |text: Rope| {
+                let id = SegmentId::from_parts(region, *next_seg);
+                *next_seg += 1;
+                let _ = ctx.lib_tx.send(LibMsg::Segment { id, text });
+                id
+            });
+            if let Some(d) = deflated {
+                value = d;
+            }
+        }
+        match send.to {
+            SendTarget::Parser => ctx
+                .parser_tx
+                .send(ParserMsg::Root {
+                    attr: send.attr,
+                    value,
+                })
+                .is_ok(),
+            SendTarget::Region(q) => ctx.peers[q as usize]
+                .send(WorkerMsg::Attr {
+                    epoch,
+                    node: send.node,
+                    attr: send.attr,
+                    value,
+                })
+                .is_ok(),
+        }
+    };
+
+    loop {
+        match machine.step() {
+            Err(e) => {
+                let (_, _, sc) = machine.recycle();
+                return (sc, Some(Err(e)));
+            }
+            Ok(Some(outcome)) => {
+                // Forward sends immediately: peers block on these values
+                // (see `super::threads` for why batching would serialize
+                // the pipeline).
+                for send in outcome.sends {
+                    if !route(send, &mut next_seg) {
+                        let (_, _, sc) = machine.recycle();
+                        return (sc, None);
+                    }
+                }
+            }
+            Ok(None) => {
+                if machine.is_done() {
+                    break;
+                }
+                match ctx.rx.recv() {
+                    Err(_) => {
+                        let (_, _, sc) = machine.recycle();
+                        return (sc, None);
+                    }
+                    Ok(WorkerMsg::Shutdown) => {
+                        let (_, _, sc) = machine.recycle();
+                        return (sc, None);
+                    }
+                    Ok(WorkerMsg::Attr {
+                        epoch: e,
+                        node,
+                        attr,
+                        value,
+                    }) => {
+                        if e == epoch {
+                            machine.provide(node, attr, value);
+                        } else if e > epoch {
+                            parked.push((e, node, attr, value));
+                        }
+                        // Opportunistically drain anything else queued.
+                        while let Ok(m) = ctx.rx.try_recv() {
+                            match m {
+                                WorkerMsg::Attr {
+                                    epoch: e,
+                                    node,
+                                    attr,
+                                    value,
+                                } => {
+                                    if e == epoch {
+                                        machine.provide(node, attr, value);
+                                    } else if e > epoch {
+                                        parked.push((e, node, attr, value));
+                                    }
+                                }
+                                WorkerMsg::Shutdown => {
+                                    let (_, _, sc) = machine.recycle();
+                                    return (sc, None);
+                                }
+                                WorkerMsg::Job { .. } => {
+                                    unreachable!("one tree in flight per pool")
+                                }
+                            }
+                        }
+                    }
+                    Ok(WorkerMsg::Job { .. }) => unreachable!("one tree in flight per pool"),
+                }
+            }
+        }
+    }
+    let (store, stats, sc) = machine.recycle();
+    (sc, Some(Ok((stats, store))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::dynamic_eval;
+    use crate::grammar::{AttrId, GrammarBuilder};
+    use crate::tree::TreeBuilder;
+    use crate::value::Value;
+
+    fn fixture(n: usize) -> (Arc<ParseTree<Value>>, Arc<EvalPlan<Value>>, AttrId) {
+        let mut g = GrammarBuilder::<Value>::new();
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("stmts");
+        let out = g.synthesized(s, "code");
+        let decls = g.synthesized(l, "decls");
+        let env = g.inherited(l, "env");
+        let code = g.synthesized(l, "code");
+        g.mark_split(l, 4);
+        let top = g.production("top", s, [l]);
+        g.rule(top, (1, env), [(1, decls)], |a| a[0].clone());
+        g.rule(top, (0, out), [(1, code)], |a| a[0].clone());
+        let cons = g.production("cons", l, [l]);
+        g.rule(cons, (0, decls), [(1, decls)], |a| {
+            Value::Int(a[0].as_int().unwrap() + 1)
+        });
+        g.rule(cons, (1, env), [(0, env)], |a| a[0].clone());
+        g.rule(cons, (0, code), [(1, code), (0, env)], |a| {
+            let line = format!("op {}\n", a[1].as_int().unwrap());
+            Value::Rope(Rope::from(line).concat(a[0].as_rope().unwrap()))
+        });
+        let nil = g.production("nil", l, []);
+        g.rule(nil, (0, decls), [], |_| Value::Int(0));
+        g.rule(nil, (0, code), [], |_| Value::Rope(Rope::new()));
+        let grammar = Arc::new(g.build(s).unwrap());
+        let plan = Arc::new(EvalPlan::analyze(&grammar));
+        let mut tb = TreeBuilder::new(&grammar);
+        let mut tail = tb.leaf(nil);
+        for _ in 0..n {
+            tail = tb.node(cons, [tail]);
+        }
+        let root = tb.node(top, [tail]);
+        (Arc::new(tb.finish(root).unwrap()), plan, out)
+    }
+
+    #[test]
+    fn pool_reused_across_trees_matches_sequential() {
+        let (tree, plan, out) = fixture(64);
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        let want = dstore
+            .get(tree.root(), out)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(3));
+        // Same pool, several trees in a row (the batched path).
+        for round in 0..4 {
+            let report = pool.eval(&tree).unwrap();
+            let got = report
+                .root_values
+                .iter()
+                .find(|(a, _)| *a == out)
+                .and_then(|(_, v)| v.as_rope().cloned())
+                .unwrap();
+            assert!(got.content_eq(&want), "round {round}");
+            assert!(report.regions > 1, "round {round}: tree was split");
+            assert_eq!(report.store.filled(), report.store.len());
+        }
+    }
+
+    #[test]
+    fn pool_store_is_decomposition_independent() {
+        let (tree, plan, _) = fixture(48);
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        for workers in [1, 2, 4] {
+            let mut pool = WorkerPool::new(&plan, PoolConfig::combined(workers));
+            let report = pool.eval(&tree).unwrap();
+            for node in tree.node_ids() {
+                let sym = tree.grammar().prod(tree.node(node).prod).lhs;
+                for a in 0..tree.grammar().attr_count(sym) {
+                    let attr = AttrId(a as u32);
+                    assert_eq!(
+                        report.store.get(node, attr),
+                        dstore.get(node, attr),
+                        "workers={workers} node={node:?} attr={attr:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_works_in_dynamic_mode_with_naive_propagation() {
+        let (tree, plan, out) = fixture(32);
+        let config = PoolConfig {
+            workers: 3,
+            mode: MachineMode::Dynamic,
+            result: ResultPropagation::Naive,
+            min_size_scale: 1.0,
+        };
+        let mut pool = WorkerPool::new(&plan, config);
+        let report = pool.eval(&tree).unwrap();
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        let want = dstore.get(tree.root(), out).unwrap();
+        let got = &report
+            .root_values
+            .iter()
+            .find(|(a, _)| *a == out)
+            .unwrap()
+            .1;
+        assert_eq!(got, want);
+        assert_eq!(report.stats.static_applied, 0);
+    }
+}

@@ -17,7 +17,7 @@
 //! process tree (§4.2).
 
 use crate::analysis::Plans;
-use crate::eval::{AttrMsg, EvalError, Machine, MachineMode, SendTarget};
+use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::{AttrId, AttrKind};
 use crate::split::{decompose, Decomposition, RegionId, SplitConfig};
 use crate::stats::EvalStats;
@@ -161,7 +161,9 @@ enum SimMsg<V> {
 
 struct Shared<V: AttrValue> {
     tree: Arc<ParseTree<V>>,
-    plans: Option<Arc<Plans>>,
+    /// Grammar-level artifacts shared by every simulated evaluator
+    /// (one table build per simulation, not per region).
+    plan: Arc<EvalPlan<V>>,
     decomp: Arc<Decomposition>,
     cost: CostModel,
     mode: MachineMode,
@@ -355,12 +357,13 @@ impl<V: AttrValue> Process<SimMsg<V>> for EvaluatorProc<V> {
             SimMsg::Subtree(region) => {
                 debug_assert_eq!(region, self.region);
                 ctx.phase("build");
-                let machine = Machine::new(
+                let machine = Machine::from_plan(
+                    &sh.plan,
                     &sh.tree,
-                    sh.plans.as_ref(),
                     &sh.decomp,
                     self.region,
                     sh.mode,
+                    MachineScratch::new(),
                 );
                 let (gn, ge) = machine.graph_size();
                 ctx.spend(
@@ -434,7 +437,7 @@ pub fn run_sim<V: AttrValue>(
 
     let shared = Arc::new(Shared {
         tree: Arc::clone(tree),
-        plans: plans.cloned(),
+        plan: Arc::new(EvalPlan::from_parts(tree.grammar(), plans.cloned(), None)),
         decomp: Arc::clone(&decomp),
         cost: config.cost,
         mode: config.mode,

@@ -8,22 +8,24 @@
 //! so the symbol-table chain pipelines across machines exactly as on
 //! the simulated network.
 //!
+//! Since the batched driver landed, the actual thread management lives
+//! in [`crate::parallel::pool`]: [`run_threads`] is the one-shot
+//! convenience entry — it spins up a [`WorkerPool`] for a single tree
+//! and tears it down again. Callers compiling a *stream* of trees
+//! should hold a [`WorkerPool`] (or a `paragram-driver` batch driver)
+//! instead, so thread spawn and plan construction amortize.
+//!
 //! Wall-clock speedup naturally requires a multi-core host; on a
 //! single-core machine this runtime still produces identical results
 //! (the equivalence tests run it everywhere) but measures scheduling
 //! overhead rather than parallelism.
 
 use crate::analysis::Plans;
-use crate::eval::{EvalError, Machine, MachineMode, SendTarget};
-use crate::grammar::{AttrId, AttrKind};
-use crate::split::{decompose, RegionId, SplitConfig};
-use crate::stats::EvalStats;
-use crate::tree::{AttrStore, NodeId, ParseTree};
+use crate::eval::{EvalError, EvalPlan, MachineMode};
+use crate::parallel::pool::{PoolConfig, PoolReport, WorkerPool};
+use crate::tree::ParseTree;
 use crate::value::AttrValue;
-use paragram_rope::{Rope, SegmentId, SegmentStore};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use super::ResultPropagation;
 
@@ -52,36 +54,11 @@ impl ThreadConfig {
     }
 }
 
-/// Result of a threaded parallel evaluation.
-pub struct ThreadReport<V: AttrValue> {
-    /// Root attribute values, librarian-resolved.
-    pub root_values: Vec<(AttrId, V)>,
-    /// Merged attribute store (boundary-crossing string values may
-    /// contain segment references; resolve against `segments`).
-    pub store: AttrStore<V>,
-    /// The librarian's segment store.
-    pub segments: SegmentStore,
-    /// Aggregated statistics.
-    pub stats: EvalStats,
-    /// Wall-clock evaluation time (excludes decomposition).
-    pub elapsed: Duration,
-    /// Number of regions actually used.
-    pub regions: usize,
-}
+/// Result of a threaded parallel evaluation (the pool report).
+pub type ThreadReport<V> = PoolReport<V>;
 
-/// An attribute value crossing a machine boundary on a channel.
-struct AttrPacket<V> {
-    node: NodeId,
-    attr: AttrId,
-    value: V,
-}
-
-enum LibMsg {
-    Segment { id: SegmentId, text: Rope },
-    Resolve,
-}
-
-/// Evaluates `tree` in parallel on real threads.
+/// Evaluates `tree` in parallel on real threads (one-shot: spawns a
+/// worker pool for this tree only).
 ///
 /// # Errors
 ///
@@ -91,162 +68,17 @@ pub fn run_threads<V: AttrValue>(
     plans: Option<&Arc<Plans>>,
     config: ThreadConfig,
 ) -> Result<ThreadReport<V>, EvalError> {
-    let decomp = Arc::new(decompose(
-        tree,
-        SplitConfig {
-            target_regions: config.machines,
+    let plan = Arc::new(EvalPlan::from_parts(tree.grammar(), plans.cloned(), None));
+    let mut pool = WorkerPool::new(
+        &plan,
+        PoolConfig {
+            workers: config.machines,
+            mode: config.mode,
+            result: config.result,
             min_size_scale: config.min_size_scale,
         },
-    ));
-    let regions = decomp.len();
-    let g = tree.grammar();
-    let root_sym = g.prod(tree.node(tree.root()).prod).lhs;
-    let expected_roots = g.symbol(root_sym).attrs_of_kind(AttrKind::Syn).count();
-
-    // Channels: one per machine, one for the parser, one for the
-    // librarian.
-    let mut machine_tx: Vec<Sender<AttrPacket<V>>> = Vec::with_capacity(regions);
-    let mut machine_rx: Vec<Option<Receiver<AttrPacket<V>>>> = Vec::with_capacity(regions);
-    for _ in 0..regions {
-        let (tx, rx) = channel();
-        machine_tx.push(tx);
-        machine_rx.push(Some(rx));
-    }
-    let (parser_tx, parser_rx) = channel::<AttrPacket<V>>();
-    let (lib_tx, lib_rx) = channel::<LibMsg>();
-    let (lib_reply_tx, lib_reply_rx) = channel::<SegmentStore>();
-
-    let start = Instant::now();
-    let mut handles = Vec::with_capacity(regions);
-    for r in 0..regions as RegionId {
-        let tree = Arc::clone(tree);
-        let plans = plans.cloned();
-        let decomp = Arc::clone(&decomp);
-        let rx = machine_rx[r as usize].take().expect("receiver unclaimed");
-        let machine_tx = machine_tx.clone();
-        let parser_tx = parser_tx.clone();
-        let lib_tx = lib_tx.clone();
-        let mode = config.mode;
-        let result = config.result;
-        handles.push(std::thread::spawn(
-            move || -> Result<(EvalStats, AttrStore<V>), EvalError> {
-                let mut machine = Machine::new(&tree, plans.as_ref(), &decomp, r, mode);
-                let parent = decomp.regions[r as usize].parent;
-                let mut next_seg = 0u32;
-                let route = |send: crate::eval::AttrMsg<V>, next_seg: &mut u32| {
-                    let upward = match send.to {
-                        SendTarget::Parser => true,
-                        SendTarget::Region(q) => Some(q) == parent,
-                    };
-                    let mut value = send.value;
-                    if upward && result == ResultPropagation::Librarian {
-                        let deflated = value.deflate(&mut |text: Rope| {
-                            let id = SegmentId::from_parts(r, *next_seg);
-                            *next_seg += 1;
-                            lib_tx
-                                .send(LibMsg::Segment { id, text })
-                                .expect("librarian alive");
-                            id
-                        });
-                        if let Some(d) = deflated {
-                            value = d;
-                        }
-                    }
-                    let msg = AttrPacket {
-                        node: send.node,
-                        attr: send.attr,
-                        value,
-                    };
-                    match send.to {
-                        SendTarget::Parser => parser_tx.send(msg).expect("parser alive"),
-                        SendTarget::Region(q) => {
-                            machine_tx[q as usize].send(msg).expect("machine alive")
-                        }
-                    }
-                };
-                loop {
-                    match machine.step()? {
-                        Some(outcome) => {
-                            // Forward sends *immediately*: peers block on
-                            // these values, and batching them until this
-                            // machine runs dry would serialize the whole
-                            // pipeline (the priority lane already orders
-                            // the urgent work first).
-                            for send in outcome.sends {
-                                route(send, &mut next_seg);
-                            }
-                        }
-                        None => {
-                            if machine.is_done() {
-                                break;
-                            }
-                            let AttrPacket { node, attr, value } =
-                                rx.recv().expect("peers alive while we are blocked");
-                            machine.provide(node, attr, value);
-                            // Opportunistically drain anything else queued.
-                            while let Ok(AttrPacket { node, attr, value }) = rx.try_recv() {
-                                machine.provide(node, attr, value);
-                            }
-                        }
-                    }
-                }
-                Ok((machine.stats(), machine.into_store()))
-            },
-        ));
-    }
-
-    // Librarian thread.
-    let librarian = std::thread::spawn(move || {
-        let mut store = SegmentStore::new();
-        while let Ok(msg) = lib_rx.recv() {
-            match msg {
-                LibMsg::Segment { id, text } => store.register(id, text),
-                LibMsg::Resolve => {
-                    lib_reply_tx.send(store).expect("parser alive");
-                    return;
-                }
-            }
-        }
-    });
-
-    // Parser role: collect root attributes.
-    let mut raw_roots: Vec<(AttrId, V)> = Vec::with_capacity(expected_roots);
-    while raw_roots.len() < expected_roots {
-        let AttrPacket { attr, value, .. } =
-            parser_rx.recv().expect("machines alive until roots arrive");
-        raw_roots.push((attr, value));
-    }
-    lib_tx.send(LibMsg::Resolve).expect("librarian alive");
-    let segments = lib_reply_rx.recv().expect("librarian replies");
-    let root_values: Vec<(AttrId, V)> = raw_roots
-        .iter()
-        .map(|(a, v)| (*a, v.inflate(&segments)))
-        .collect();
-    let elapsed = start.elapsed();
-    librarian.join().expect("librarian thread clean");
-
-    let mut stats = EvalStats::default();
-    let mut merged: Option<AttrStore<V>> = None;
-    for h in handles {
-        let (s, store) = h.join().expect("machine thread clean")?;
-        stats += s;
-        merged = Some(match merged {
-            None => store,
-            Some(mut acc) => {
-                acc.absorb(store);
-                acc
-            }
-        });
-    }
-
-    Ok(ThreadReport {
-        root_values,
-        store: merged.expect("at least one region"),
-        segments,
-        stats,
-        elapsed,
-        regions,
-    })
+    );
+    pool.eval(tree)
 }
 
 #[cfg(test)]
@@ -254,9 +86,10 @@ mod tests {
     use super::*;
     use crate::analysis::compute_plans;
     use crate::eval::dynamic_eval;
-    use crate::grammar::GrammarBuilder;
+    use crate::grammar::{AttrId, GrammarBuilder};
     use crate::tree::TreeBuilder;
     use crate::value::Value;
+    use paragram_rope::Rope;
 
     fn fixture(n: usize) -> (Arc<ParseTree<Value>>, Arc<Plans>, AttrId) {
         let mut g = GrammarBuilder::<Value>::new();

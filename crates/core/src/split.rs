@@ -13,7 +13,7 @@
 //! of the paper's Figure 7 (and the *uneven* six-way decomposition that
 //! makes the paper's running time non-monotonic in machine count).
 
-use crate::grammar::SymbolId;
+use crate::grammar::{Grammar, SymbolId};
 use crate::tree::{NodeId, ParseTree};
 use crate::value::AttrValue;
 use std::fmt;
@@ -124,6 +124,42 @@ impl SplitConfig {
     }
 }
 
+/// Precomputed split-candidate table: for every symbol, the *scaled*
+/// minimum subtree size at which a split is worthwhile (`None` for
+/// symbols without a `%split` declaration).
+///
+/// Built once per grammar + granularity scale and shared across every
+/// tree a batch driver decomposes, so the per-tree candidate scan is a
+/// table lookup instead of a symbol-metadata walk with floating-point
+/// scaling per node.
+#[derive(Debug, Clone)]
+pub struct SplitTable {
+    min_size: Vec<Option<usize>>,
+}
+
+impl SplitTable {
+    /// Builds the table for `grammar` with the runtime granularity
+    /// multiplier applied (the paper's "runtime argument to the
+    /// parser").
+    pub fn new<V: AttrValue>(grammar: &Grammar<V>, min_size_scale: f64) -> Self {
+        SplitTable {
+            min_size: grammar
+                .symbols()
+                .iter()
+                .map(|s| {
+                    s.split
+                        .map(|spec| ((spec.min_size as f64 * min_size_scale) as usize).max(2))
+                })
+                .collect(),
+        }
+    }
+
+    /// Scaled minimum split size of a symbol, if it is a split point.
+    pub fn min_size(&self, sym: SymbolId) -> Option<usize> {
+        self.min_size[sym.0 as usize]
+    }
+}
+
 /// Splits `tree` into at most `config.target_regions` regions at
 /// `%split` nonterminals.
 ///
@@ -135,12 +171,23 @@ impl SplitConfig {
 /// machines. Returns fewer regions than requested when not enough
 /// eligible split points exist.
 pub fn decompose<V: AttrValue>(tree: &Arc<ParseTree<V>>, config: SplitConfig) -> Decomposition {
+    let table = SplitTable::new(tree.grammar().as_ref(), config.min_size_scale);
+    decompose_with(tree, &table, config.target_regions)
+}
+
+/// [`decompose`] with a precomputed [`SplitTable`] — the batched-driver
+/// path, which amortizes the table across many trees.
+pub fn decompose_with<V: AttrValue>(
+    tree: &Arc<ParseTree<V>>,
+    table: &SplitTable,
+    target_regions: usize,
+) -> Decomposition {
     let g = tree.grammar();
     let mut d = Decomposition::whole(tree);
-    if config.target_regions <= 1 {
+    if target_regions <= 1 {
         return d;
     }
-    let quantum = (tree.len() / config.target_regions).max(2);
+    let quantum = (tree.len() / target_regions).max(2);
 
     // Candidate split points: nodes at %split symbols meeting the scaled
     // minimum size, excluding the tree root.
@@ -149,9 +196,8 @@ pub fn decompose<V: AttrValue>(tree: &Arc<ParseTree<V>>, config: SplitConfig) ->
         .filter(|&n| n != tree.root())
         .filter_map(|n| {
             let sym = g.prod(tree.node(n).prod).lhs;
-            let spec = g.symbol(sym).split?;
-            let min = (spec.min_size as f64 * config.min_size_scale) as usize;
-            (tree.subtree_size(n) >= min.max(2)).then_some((n, sym))
+            let min = table.min_size(sym)?;
+            (tree.subtree_size(n) >= min).then_some((n, sym))
         })
         .collect();
 
@@ -185,7 +231,7 @@ pub fn decompose<V: AttrValue>(tree: &Arc<ParseTree<V>>, config: SplitConfig) ->
         size
     };
 
-    while d.regions.len() < config.target_regions {
+    while d.regions.len() < target_regions {
         // Find the region with most local nodes.
         let (big, big_size) = match d
             .regions

@@ -519,6 +519,16 @@ impl<V: AttrValue> AttrStore<V> {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Resolves every filled slot against a librarian segment store
+    /// (values that crossed a machine boundary may hold segment
+    /// references; see [`AttrValue::inflate`]). After this the store's
+    /// contents are independent of how the tree was decomposed.
+    pub fn inflate_all(&mut self, segments: &paragram_rope::SegmentStore) {
+        for v in self.slots.iter_mut().flatten() {
+            *v = v.inflate(segments);
+        }
+    }
+
     /// Merges another store's filled slots into this one (used when
     /// combining per-machine results; disjoint by construction).
     pub fn absorb(&mut self, other: AttrStore<V>) {

@@ -1,0 +1,113 @@
+//! Property tests for the CSR adjacency builders: both construction
+//! paths (flat pair list and streaming two-pass) must be edge-set-equal
+//! to a naive `Vec<Vec<_>>` adjacency reference on arbitrary inputs —
+//! including empty rows, duplicate edges, and edge-free sources at the
+//! high end of the id range.
+
+use paragram_core::csr::{Csr, CsrCounter};
+use proptest::prelude::*;
+
+/// The reference implementation the CSR build replaced: one `Vec` per
+/// source, targets appended in enumeration order.
+fn naive_adjacency(sources: usize, pairs: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); sources];
+    for &(s, t) in pairs {
+        adj[s as usize].push(t);
+    }
+    adj
+}
+
+/// Builds via the streaming two-pass API (count, prefix-sum, fill).
+fn streaming_build(sources: usize, pairs: &[(u32, u32)]) -> Csr {
+    let mut counter = CsrCounter::new(sources);
+    for &(s, _) in pairs {
+        counter.count(s as usize);
+    }
+    let mut filler = counter.into_filler();
+    for &(s, t) in pairs {
+        filler.fill(s as usize, t);
+    }
+    filler.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn from_pairs_matches_naive_adjacency(
+        sources in 1usize..48,
+        raw in prop::collection::vec((0u32..48, 0u32..1000), 0..200),
+    ) {
+        // Clamp sources into range; duplicates arise naturally from the
+        // small source domain and are kept (duplicate edges are legal).
+        let pairs: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(s, t)| (s % sources as u32, t))
+            .collect();
+        let want = naive_adjacency(sources, &pairs);
+        let csr = Csr::from_pairs(sources, &pairs);
+
+        prop_assert_eq!(csr.sources(), sources);
+        prop_assert_eq!(csr.edge_count(), pairs.len());
+        for (s, row) in want.iter().enumerate() {
+            // Same edge multiset AND same order (scheduling order is
+            // part of the CSR contract).
+            prop_assert_eq!(csr.targets(s), row.as_slice(), "source {}", s);
+        }
+    }
+
+    #[test]
+    fn streaming_build_matches_from_pairs(
+        sources in 1usize..32,
+        raw in prop::collection::vec((0u32..32, 0u32..500), 0..150),
+    ) {
+        let pairs: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(s, t)| (s % sources as u32, t))
+            .collect();
+        let a = Csr::from_pairs(sources, &pairs);
+        let b = streaming_build(sources, &pairs);
+        prop_assert_eq!(a.sources(), b.sources());
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        for s in 0..sources {
+            prop_assert_eq!(a.targets(s), b.targets(s), "source {}", s);
+        }
+    }
+
+    #[test]
+    fn target_range_view_agrees_with_targets(
+        sources in 1usize..24,
+        raw in prop::collection::vec((0u32..24, 0u32..100), 0..80),
+    ) {
+        let pairs: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(s, t)| (s % sources as u32, t))
+            .collect();
+        let csr = Csr::from_pairs(sources, &pairs);
+        for s in 0..sources {
+            let via_range: Vec<u32> =
+                csr.target_range(s).map(|k| csr.target_at(k)).collect();
+            prop_assert_eq!(via_range.as_slice(), csr.targets(s), "source {}", s);
+        }
+    }
+}
+
+#[test]
+fn explicit_empty_row_and_duplicate_edge_cases() {
+    // Every row empty.
+    let csr = Csr::from_pairs(5, &[]);
+    assert_eq!(csr.sources(), 5);
+    assert_eq!(csr.edge_count(), 0);
+    for s in 0..5 {
+        assert!(csr.targets(s).is_empty());
+    }
+
+    // Duplicate edges survive, in order, including on the last source
+    // (the sentinel-offset edge case).
+    let pairs = [(4u32, 9u32), (4, 9), (0, 9), (4, 9)];
+    let csr = Csr::from_pairs(5, &pairs);
+    assert_eq!(csr.targets(4), &[9, 9, 9]);
+    assert_eq!(csr.targets(0), &[9]);
+    assert_eq!(csr.edge_count(), 4);
+    assert_eq!(naive_adjacency(5, &pairs)[4], vec![9, 9, 9]);
+}

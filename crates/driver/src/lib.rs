@@ -1,0 +1,428 @@
+//! # paragram-driver — batched compilation with shared plans
+//!
+//! The paper's Figure-6 experiment compiles *one* tree: the parser
+//! decomposes it, ships regions to evaluator machines, and the string
+//! librarian assembles the result. A production compilation service
+//! faces a different shape of load — a **stream** of trees (many
+//! compilation units, many requests) — where the dominant overheads are
+//! things the single-tree pipeline re-pays per compilation:
+//!
+//! * **grammar analysis** (induced dependencies, attribute partitions,
+//!   visit sequences — Kastens' fixpoint, §2.3),
+//! * **plan-derived lookup tables** (per-rule priority flags, per-symbol
+//!   attribute sets, split-candidate minimum sizes),
+//! * **worker spin-up** (OS threads, channels, the librarian process),
+//! * **buffer growth** (dependency-CSR pair lists, argument gather
+//!   scratch).
+//!
+//! This crate splits compilation state into the two halves those
+//! overheads suggest:
+//!
+//! * [`CompilationPlan`] — the **plan half**: immutable, computed once
+//!   per grammar, shared (`Arc`) by every tree, thread and driver. It
+//!   wraps [`paragram_core::eval::EvalPlan`] (grammar + analysis +
+//!   tables) plus the driver configuration.
+//! * [`BatchDriver`] — the **instance half**: a persistent
+//!   [`WorkerPool`] (evaluator threads + librarian spawned once) plus
+//!   per-tree state created and recycled as trees flow through
+//!   ([`paragram_core::eval::MachineScratch`] buffers survive from tree
+//!   to tree inside each worker).
+//!
+//! # Relation to the paper's §4.2 pipelining
+//!
+//! The librarian protocol separates *registration* (segments stream to
+//! the librarian while evaluation runs) from *resolution* (the parser's
+//! final read). The pool keeps exactly that split per tree — each
+//! [`BatchDriver::compile_tree`] call is one librarian epoch whose
+//! registrations overlap evaluation and whose resolution happens once
+//! at the end — which is what lets consecutive trees reuse the same
+//! librarian process without their segments colliding.
+//!
+//! # Example
+//!
+//! ```
+//! use paragram_core::grammar::GrammarBuilder;
+//! use paragram_core::tree::TreeBuilder;
+//! use paragram_driver::{BatchDriver, CompilationPlan, DriverConfig};
+//! use std::sync::Arc;
+//!
+//! let mut g = GrammarBuilder::<i64>::new();
+//! let t = g.nonterminal("T");
+//! let size = g.synthesized(t, "size");
+//! let leaf = g.production("leaf", t, []);
+//! g.rule(leaf, (0, size), [], |_| 1);
+//! let fork = g.production("fork", t, [t, t]);
+//! g.rule(fork, (0, size), [(1, size), (2, size)], |a| a[0] + a[1] + 1);
+//! let grammar = Arc::new(g.build(t).unwrap());
+//!
+//! // Plan once ...
+//! let plan = CompilationPlan::analyze(&grammar, DriverConfig::workers(2));
+//! let mut driver = BatchDriver::new(&plan);
+//!
+//! // ... compile many trees.
+//! let trees: Vec<_> = (0..3)
+//!     .map(|_| {
+//!         let mut tb = TreeBuilder::new(&grammar);
+//!         let (a, b) = (tb.leaf(leaf), tb.leaf(leaf));
+//!         let root = tb.node(fork, [a, b]);
+//!         Arc::new(tb.finish(root).unwrap())
+//!     })
+//!     .collect();
+//! let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+//! assert_eq!(report.outputs.len(), 3);
+//! assert_eq!(report.outputs[0].root_values[0].1, 3);
+//! ```
+
+use paragram_core::eval::{EvalError, EvalPlan, MachineMode};
+use paragram_core::grammar::{AttrId, Grammar};
+use paragram_core::parallel::pool::{PoolConfig, PoolReport, WorkerPool};
+use paragram_core::parallel::ResultPropagation;
+use paragram_core::stats::EvalStats;
+use paragram_core::tree::{AttrStore, ParseTree};
+use paragram_core::value::AttrValue;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Driver configuration: pool shape and evaluation strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Number of persistent evaluator threads.
+    pub workers: usize,
+    /// Machine mode override; `None` picks the best the plan supports
+    /// (combined when the grammar is l-ordered, dynamic otherwise).
+    pub mode: Option<MachineMode>,
+    /// Result propagation strategy.
+    pub result: ResultPropagation,
+    /// Split-granularity scale (the paper's runtime argument).
+    pub min_size_scale: f64,
+}
+
+impl DriverConfig {
+    /// Librarian propagation, best available mode, `n` workers.
+    pub fn workers(n: usize) -> Self {
+        DriverConfig {
+            workers: n.max(1),
+            mode: None,
+            result: ResultPropagation::Librarian,
+            min_size_scale: 1.0,
+        }
+    }
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig::workers(4)
+    }
+}
+
+/// The shared, immutable plan half of a batched compilation: grammar
+/// analysis artifacts plus driver configuration. Compute once, share
+/// with every [`BatchDriver`] (and across threads) via clone — all
+/// heavy state is behind `Arc`s.
+#[derive(Clone)]
+pub struct CompilationPlan<V: AttrValue> {
+    plan: Arc<EvalPlan<V>>,
+    config: DriverConfig,
+}
+
+impl<V: AttrValue> CompilationPlan<V> {
+    /// Runs the full grammar analysis (the expensive step) and captures
+    /// the configuration.
+    pub fn analyze(grammar: &Arc<Grammar<V>>, config: DriverConfig) -> Self {
+        CompilationPlan {
+            plan: Arc::new(EvalPlan::analyze(grammar)),
+            config,
+        }
+    }
+
+    /// Wraps an already-analyzed [`EvalPlan`] (e.g. the one inside
+    /// `paragram_core::eval::Evaluators`) — no re-analysis.
+    pub fn from_plan(plan: &Arc<EvalPlan<V>>, config: DriverConfig) -> Self {
+        CompilationPlan {
+            plan: Arc::clone(plan),
+            config,
+        }
+    }
+
+    /// The underlying evaluation plan.
+    pub fn eval_plan(&self) -> &Arc<EvalPlan<V>> {
+        &self.plan
+    }
+
+    /// The driver configuration.
+    pub fn config(&self) -> DriverConfig {
+        self.config
+    }
+
+    /// The machine mode the driver will run: the configured override,
+    /// or the best the plan supports.
+    pub fn mode(&self) -> MachineMode {
+        self.config.mode.unwrap_or_else(|| self.plan.best_mode())
+    }
+}
+
+impl<V: AttrValue> fmt::Debug for CompilationPlan<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CompilationPlan({:?}, {} workers)",
+            self.plan, self.config.workers
+        )
+    }
+}
+
+/// Result of compiling one tree through the driver.
+pub struct TreeOutput<V: AttrValue> {
+    /// Root attribute values, librarian-resolved.
+    pub root_values: Vec<(AttrId, V)>,
+    /// The merged, librarian-resolved attribute store (independent of
+    /// how the tree was decomposed).
+    pub store: AttrStore<V>,
+    /// Evaluation statistics aggregated over all regions.
+    pub stats: EvalStats,
+    /// Wall-clock evaluation time for this tree.
+    pub elapsed: Duration,
+    /// Regions (machines) this tree was decomposed into.
+    pub regions: usize,
+}
+
+impl<V: AttrValue> TreeOutput<V> {
+    /// The root value of an attribute, if it was produced.
+    pub fn root_value(&self, attr: AttrId) -> Option<&V> {
+        self.root_values
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, v)| v)
+    }
+
+    fn from_report(report: PoolReport<V>) -> Self {
+        TreeOutput {
+            root_values: report.root_values,
+            store: report.store,
+            stats: report.stats,
+            elapsed: report.elapsed,
+            regions: report.regions,
+        }
+    }
+}
+
+/// Result of a whole batch.
+pub struct BatchReport<V: AttrValue> {
+    /// Per-tree outputs, in input order.
+    pub outputs: Vec<TreeOutput<V>>,
+    /// Wall-clock time for the whole batch (including decomposition,
+    /// excluding plan construction and pool spin-up).
+    pub elapsed: Duration,
+}
+
+impl<V: AttrValue> BatchReport<V> {
+    /// Throughput over the batch's wall-clock time.
+    pub fn trees_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            f64::INFINITY
+        } else {
+            self.outputs.len() as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// The instance half of a batched compilation: a persistent worker
+/// pool fed a stream of parse trees, all evaluated against one shared
+/// [`CompilationPlan`].
+pub struct BatchDriver<V: AttrValue> {
+    pool: WorkerPool<V>,
+    trees_compiled: usize,
+}
+
+impl<V: AttrValue> BatchDriver<V> {
+    /// Spawns the worker pool (threads + librarian) for `plan`.
+    pub fn new(plan: &CompilationPlan<V>) -> Self {
+        let cfg = plan.config();
+        let pool = WorkerPool::new(
+            plan.eval_plan(),
+            PoolConfig {
+                workers: cfg.workers,
+                mode: plan.mode(),
+                result: cfg.result,
+                min_size_scale: cfg.min_size_scale,
+            },
+        );
+        BatchDriver {
+            pool,
+            trees_compiled: 0,
+        }
+    }
+
+    /// Number of persistent workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Trees compiled by this driver so far.
+    pub fn trees_compiled(&self) -> usize {
+        self.trees_compiled
+    }
+
+    /// Compiles one tree on the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EvalError`] raised by any machine.
+    pub fn compile_tree(&mut self, tree: &Arc<ParseTree<V>>) -> Result<TreeOutput<V>, EvalError> {
+        let report = self.pool.eval(tree)?;
+        self.trees_compiled += 1;
+        Ok(TreeOutput::from_report(report))
+    }
+
+    /// Compiles a stream of trees, in order, on the same pool.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first [`EvalError`]; earlier trees'
+    /// outputs are dropped with the error, as the pool is poisoned.
+    pub fn compile_batch(
+        &mut self,
+        trees: impl IntoIterator<Item = Arc<ParseTree<V>>>,
+    ) -> Result<BatchReport<V>, EvalError> {
+        let start = Instant::now();
+        let mut outputs = Vec::new();
+        for tree in trees {
+            outputs.push(self.compile_tree(&tree)?);
+        }
+        Ok(BatchReport {
+            outputs,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+impl<V: AttrValue> fmt::Debug for BatchDriver<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BatchDriver({:?}, {} trees compiled)",
+            self.pool, self.trees_compiled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragram_core::eval::dynamic_eval;
+    use paragram_core::grammar::GrammarBuilder;
+    use paragram_core::tree::TreeBuilder;
+    use paragram_core::value::Value;
+    use paragram_rope::Rope;
+
+    /// Splittable code-generating grammar over `Value` (ropes cross
+    /// region boundaries, exercising the librarian epochs). Mirrors the
+    /// fixture in `paragram_core::parallel::pool`'s tests — crate
+    /// boundaries keep `#[cfg(test)]` fixtures from being shared, and
+    /// the two test suites pin independent layers, so they need not
+    /// stay in lockstep.
+    fn grammar() -> (
+        Arc<Grammar<Value>>,
+        paragram_core::grammar::ProdId,
+        paragram_core::grammar::ProdId,
+        paragram_core::grammar::ProdId,
+        AttrId,
+    ) {
+        let mut g = GrammarBuilder::<Value>::new();
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("stmts");
+        let out = g.synthesized(s, "code");
+        let decls = g.synthesized(l, "decls");
+        let env = g.inherited(l, "env");
+        let code = g.synthesized(l, "code");
+        g.mark_split(l, 4);
+        let top = g.production("top", s, [l]);
+        g.rule(top, (1, env), [(1, decls)], |a| a[0].clone());
+        g.rule(top, (0, out), [(1, code)], |a| a[0].clone());
+        let cons = g.production("cons", l, [l]);
+        g.rule(cons, (0, decls), [(1, decls)], |a| {
+            Value::Int(a[0].as_int().unwrap() + 1)
+        });
+        g.rule(cons, (1, env), [(0, env)], |a| a[0].clone());
+        g.rule(cons, (0, code), [(1, code), (0, env)], |a| {
+            let line = format!("op {}\n", a[1].as_int().unwrap());
+            Value::Rope(Rope::from(line).concat(a[0].as_rope().unwrap()))
+        });
+        let nil = g.production("nil", l, []);
+        g.rule(nil, (0, decls), [], |_| Value::Int(0));
+        g.rule(nil, (0, code), [], |_| Value::Rope(Rope::new()));
+        (Arc::new(g.build(s).unwrap()), top, cons, nil, out)
+    }
+
+    fn chain(
+        grammar: &Arc<Grammar<Value>>,
+        top: paragram_core::grammar::ProdId,
+        cons: paragram_core::grammar::ProdId,
+        nil: paragram_core::grammar::ProdId,
+        n: usize,
+    ) -> Arc<ParseTree<Value>> {
+        let mut tb = TreeBuilder::new(grammar);
+        let mut tail = tb.leaf(nil);
+        for _ in 0..n {
+            tail = tb.node(cons, [tail]);
+        }
+        let root = tb.node(top, [tail]);
+        Arc::new(tb.finish(root).unwrap())
+    }
+
+    #[test]
+    fn batch_of_differently_sized_trees_matches_sequential() {
+        let (gr, top, cons, nil, out) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(3));
+        let mut driver = BatchDriver::new(&plan);
+        let sizes = [5usize, 40, 12, 64, 1, 23];
+        let trees: Vec<_> = sizes
+            .iter()
+            .map(|&n| chain(&gr, top, cons, nil, n))
+            .collect();
+        let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+        assert_eq!(report.outputs.len(), sizes.len());
+        assert_eq!(driver.trees_compiled(), sizes.len());
+        for (tree, output) in trees.iter().zip(&report.outputs) {
+            let (dstore, _) = dynamic_eval(tree).unwrap();
+            assert_eq!(
+                output.root_value(out),
+                dstore.get(tree.root(), out),
+                "tree of {} nodes",
+                tree.len()
+            );
+            assert_eq!(output.store.filled(), output.store.len());
+        }
+        assert!(report.trees_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn driver_uses_best_mode_and_reports_regions() {
+        let (gr, top, cons, nil, _) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(4));
+        assert_eq!(plan.mode(), MachineMode::Combined);
+        let mut driver = BatchDriver::new(&plan);
+        let output = driver
+            .compile_tree(&chain(&gr, top, cons, nil, 64))
+            .unwrap();
+        assert!(output.regions > 1, "large tree should be split");
+        assert!(output.stats.static_applied > 0, "combined mode ran plans");
+    }
+
+    #[test]
+    fn dynamic_mode_override_is_respected() {
+        let (gr, top, cons, nil, out) = grammar();
+        let config = DriverConfig {
+            mode: Some(MachineMode::Dynamic),
+            ..DriverConfig::workers(2)
+        };
+        let plan = CompilationPlan::analyze(&gr, config);
+        let mut driver = BatchDriver::new(&plan);
+        let tree = chain(&gr, top, cons, nil, 20);
+        let output = driver.compile_tree(&tree).unwrap();
+        assert_eq!(output.stats.static_applied, 0);
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        assert_eq!(output.root_value(out), dstore.get(tree.root(), out));
+    }
+}

@@ -45,6 +45,8 @@ use paragram_core::eval::{dynamic_eval, static_eval, EvalError, Evaluators};
 use paragram_core::stats::EvalStats;
 use paragram_core::tree::{AttrStore, ParseTree, TreeError};
 use paragram_core::value::AttrValue as _;
+pub use paragram_driver::DriverConfig;
+use paragram_driver::{BatchDriver, CompilationPlan};
 use std::fmt;
 use std::sync::Arc;
 
@@ -182,6 +184,42 @@ impl Compiler {
         let tree = self.tree_from_source(src)?;
         let (store, stats) = dynamic_eval(&tree)?;
         Ok(self.output_from_store(&tree, &store, stats))
+    }
+
+    /// A reusable batch driver over this compiler's (already computed)
+    /// plan: persistent evaluator workers fed a stream of parse trees.
+    /// Hold on to it when compiling many programs — plan construction
+    /// and worker spin-up amortize across every
+    /// [`BatchDriver::compile_tree`] call.
+    pub fn batch_driver(&self, config: DriverConfig) -> BatchDriver<PVal> {
+        BatchDriver::new(&CompilationPlan::from_plan(self.evals.plan(), config))
+    }
+
+    /// Compiles a batch of programs through the parallel batch driver
+    /// (shared plan, persistent worker pool, one librarian epoch per
+    /// program). Outputs are returned in input order and are identical
+    /// to what [`Compiler::compile`] produces for each source.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Parse`] on the first syntax error (no program is
+    /// evaluated until all parse), or an internal evaluation failure.
+    pub fn compile_batch<'a>(
+        &self,
+        sources: impl IntoIterator<Item = &'a str>,
+        config: DriverConfig,
+    ) -> Result<Vec<CompileOutput>, CompileError> {
+        let trees = sources
+            .into_iter()
+            .map(|s| self.tree_from_source(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut driver = self.batch_driver(config);
+        let report = driver.compile_batch(trees.iter().cloned())?;
+        Ok(trees
+            .iter()
+            .zip(report.outputs)
+            .map(|(tree, out)| self.output_from_store(tree, &out.store, out.stats))
+            .collect())
     }
 }
 
@@ -379,6 +417,38 @@ mod tests {
         assert!(a.stats.static_applied > 0 && a.stats.dynamic_applied == 0);
         assert!(b.stats.dynamic_applied > 0 && b.stats.static_applied == 0);
         assert_eq!(run_asm(&a.asm).unwrap(), "0149");
+    }
+
+    #[test]
+    fn compile_batch_matches_sequential_compile() {
+        let c = Compiler::new();
+        let sources = [
+            "program p; var x: integer; begin x := 6 * 7; write(x) end.",
+            "program q;\nfunction fact(n: integer): integer;\nbegin if n <= 1 then fact := 1 else fact := n * fact(n - 1) end;\nbegin write(fact(5)) end.",
+            "program r; var i, s: integer; begin i := 1; s := 0; while i <= 4 do begin s := s + i; i := i + 1 end; write(s) end.",
+        ];
+        let batch = c.compile_batch(sources, DriverConfig::workers(3)).unwrap();
+        assert_eq!(batch.len(), sources.len());
+        for (src, out) in sources.iter().zip(&batch) {
+            let seq = c.compile(src).unwrap();
+            assert_eq!(out.asm, seq.asm, "batch asm differs for {src:?}");
+            assert_eq!(out.errors, seq.errors);
+        }
+        assert_eq!(run_asm(&batch[0].asm).unwrap(), "42");
+        assert_eq!(run_asm(&batch[1].asm).unwrap(), "120");
+        assert_eq!(run_asm(&batch[2].asm).unwrap(), "10");
+    }
+
+    #[test]
+    fn compile_batch_surfaces_parse_errors_before_evaluating() {
+        let c = Compiler::new();
+        let err = c
+            .compile_batch(
+                ["program ok; begin write(1) end.", "program broken; begin"],
+                DriverConfig::workers(2),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Parse(_)));
     }
 
     #[test]

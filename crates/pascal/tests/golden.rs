@@ -1,0 +1,136 @@
+//! Golden tests for the full `pascal` → `vax` pipeline.
+//!
+//! Every `examples/pascal/*.pas` program is compiled with the attribute
+//! grammar compiler and its generated assembly is compared, byte for
+//! byte, against the committed snapshot in `tests/golden/<name>.s`. A
+//! mismatch prints a line-level diff. The assembly is also assembled
+//! and executed on the VAX VM so snapshots can never go stale against a
+//! non-running program.
+//!
+//! To (re)generate snapshots after an intentional codegen change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p paragram-pascal --test golden
+//! ```
+
+use paragram_pascal::{run_asm, Compiler};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn examples_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/pascal")
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// A minimal line diff: every changed/added/removed line, with context
+/// markers, good enough to read a codegen change at a glance.
+fn line_diff(want: &str, got: &str) -> String {
+    let want: Vec<&str> = want.lines().collect();
+    let got: Vec<&str> = got.lines().collect();
+    let mut out = String::new();
+    let n = want.len().max(got.len());
+    for i in 0..n {
+        match (want.get(i), got.get(i)) {
+            (Some(w), Some(g)) if w == g => {}
+            (w, g) => {
+                if let Some(w) = w {
+                    let _ = writeln!(out, "  -{:>4} | {w}", i + 1);
+                }
+                if let Some(g) = g {
+                    let _ = writeln!(out, "  +{:>4} | {g}", i + 1);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn generated_assembly_matches_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let compiler = Compiler::new();
+
+    let mut programs: Vec<PathBuf> = fs::read_dir(examples_dir())
+        .expect("examples/pascal exists")
+        .filter_map(|e| {
+            let p = e.expect("readable dir entry").path();
+            (p.extension().is_some_and(|x| x == "pas")).then_some(p)
+        })
+        .collect();
+    programs.sort();
+    assert!(
+        programs.len() >= 5,
+        "expected the committed example programs, found {programs:?}"
+    );
+
+    let mut failures = String::new();
+    for program in &programs {
+        let name = program
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 example name");
+        let src = fs::read_to_string(program).expect("readable example");
+        let out = compiler.compile(&src).unwrap_or_else(|e| {
+            panic!("{name}.pas failed to compile: {e}");
+        });
+        assert!(
+            out.errors.is_empty(),
+            "{name}.pas has semantic errors: {:?}",
+            out.errors
+        );
+        // The snapshot must describe a *running* program.
+        run_asm(&out.asm).unwrap_or_else(|e| panic!("{name}.pas assembly does not run: {e}"));
+
+        let snapshot = golden_dir().join(format!("{name}.s"));
+        if update {
+            fs::write(&snapshot, &out.asm).expect("write snapshot");
+            continue;
+        }
+        let want = fs::read_to_string(&snapshot).unwrap_or_else(|_| {
+            panic!(
+                "missing snapshot {}; run UPDATE_GOLDEN=1 cargo test -p paragram-pascal --test golden",
+                snapshot.display()
+            )
+        });
+        if want != out.asm {
+            let _ = writeln!(
+                failures,
+                "{name}.pas: generated assembly differs from {} (-golden / +generated):\n{}",
+                snapshot.display(),
+                line_diff(&want, &out.asm)
+            );
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches (UPDATE_GOLDEN=1 regenerates after intentional changes):\n{failures}"
+    );
+}
+
+/// The golden programs produce the expected runtime output — pins the
+/// whole pipeline (parse → evaluate → assemble → execute), not just the
+/// assembly text.
+#[test]
+fn golden_programs_run_to_expected_output() {
+    let expected = [
+        ("arith", "11 98"),
+        ("control", "sum 55"),
+        ("procs", "29"),
+        ("recurse", "720 144"),
+        ("nested", "81"),
+        ("output", "n = 5\ndone\n25"),
+    ];
+    let compiler = Compiler::new();
+    for (name, want) in expected {
+        let src = fs::read_to_string(examples_dir().join(format!("{name}.pas")))
+            .unwrap_or_else(|_| panic!("examples/pascal/{name}.pas exists"));
+        let out = compiler.compile(&src).expect("compiles");
+        assert!(out.errors.is_empty(), "{name}: {:?}", out.errors);
+        let got = run_asm(&out.asm).expect("runs");
+        assert_eq!(got, want, "{name}.pas runtime output");
+    }
+}

@@ -1,0 +1,132 @@
+start:
+	clrl r11
+	calls $0, __main
+	halt
+__lss:
+	cmpl 16(fp), 12(fp)
+	blss __rt_t
+	clrl r0
+	ret
+__leq:
+	cmpl 16(fp), 12(fp)
+	bleq __rt_t
+	clrl r0
+	ret
+__gtr:
+	cmpl 16(fp), 12(fp)
+	bgtr __rt_t
+	clrl r0
+	ret
+__geq:
+	cmpl 16(fp), 12(fp)
+	bgeq __rt_t
+	clrl r0
+	ret
+__eql:
+	cmpl 16(fp), 12(fp)
+	beql __rt_t
+	clrl r0
+	ret
+__neq:
+	cmpl 16(fp), 12(fp)
+	bneq __rt_t
+	clrl r0
+	ret
+__rt_t:
+	movl $1, r0
+	ret
+__and:
+	mull3 12(fp), 16(fp), r0
+	beql __rt_z
+	movl $1, r0
+	ret
+__or:
+	addl3 12(fp), 16(fp), r0
+	beql __rt_z
+	movl $1, r0
+	ret
+__rt_z:
+	clrl r0
+	ret
+__not:
+	tstl 12(fp)
+	beql __rt_t
+	clrl r0
+	ret
+__mod:
+	divl3 12(fp), 16(fp), r0
+	mull2 12(fp), r0
+	subl3 r0, 16(fp), r0
+	ret
+__main:
+	subl2 $12, sp
+	movl r11, -4(fp)
+	pushl $2
+	pushl $3
+	pushl $4
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	mull2 r1, r0
+	pushl r0
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	pushl $6
+	pushl $2
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	divl2 r1, r0
+	pushl r0
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	subl2 r1, r0
+	pushl r0
+	addl3 $-8, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	pushl $17
+	pushl $5
+	calls $2, __mod
+	pushl r0
+	movl (sp), r0
+	addl2 $4, sp
+	mnegl r0, r0
+	pushl r0
+	pushl $10
+	pushl $10
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	mull2 r1, r0
+	pushl r0
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	addl3 $-12, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	pushl -8(fp)
+	movl (sp), r0
+	addl2 $4, sp
+	writeint r0
+	writestr " "
+	pushl -12(fp)
+	movl (sp), r0
+	addl2 $4, sp
+	writeint r0
+	ret

@@ -1,0 +1,143 @@
+start:
+	clrl r11
+	calls $0, __main
+	halt
+__lss:
+	cmpl 16(fp), 12(fp)
+	blss __rt_t
+	clrl r0
+	ret
+__leq:
+	cmpl 16(fp), 12(fp)
+	bleq __rt_t
+	clrl r0
+	ret
+__gtr:
+	cmpl 16(fp), 12(fp)
+	bgtr __rt_t
+	clrl r0
+	ret
+__geq:
+	cmpl 16(fp), 12(fp)
+	bgeq __rt_t
+	clrl r0
+	ret
+__eql:
+	cmpl 16(fp), 12(fp)
+	beql __rt_t
+	clrl r0
+	ret
+__neq:
+	cmpl 16(fp), 12(fp)
+	bneq __rt_t
+	clrl r0
+	ret
+__rt_t:
+	movl $1, r0
+	ret
+__and:
+	mull3 12(fp), 16(fp), r0
+	beql __rt_z
+	movl $1, r0
+	ret
+__or:
+	addl3 12(fp), 16(fp), r0
+	beql __rt_z
+	movl $1, r0
+	ret
+__rt_z:
+	clrl r0
+	ret
+__not:
+	tstl 12(fp)
+	beql __rt_t
+	clrl r0
+	ret
+__mod:
+	divl3 12(fp), 16(fp), r0
+	mull2 12(fp), r0
+	subl3 r0, 16(fp), r0
+	ret
+__main:
+	subl2 $16, sp
+	movl r11, -4(fp)
+	pushl $1
+	addl3 $-8, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	pushl $0
+	addl3 $-12, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+L2t:
+	pushl -8(fp)
+	pushl $10
+	calls $2, __leq
+	pushl r0
+	movl (sp), r0
+	addl2 $4, sp
+	tstl r0
+	beql L2x
+	pushl -12(fp)
+	pushl -8(fp)
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	addl3 $-12, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	pushl -8(fp)
+	pushl $1
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	addl3 $-8, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	brb L2t
+L2x:
+	pushl -12(fp)
+	pushl $55
+	calls $2, __eql
+	pushl r0
+	pushl -8(fp)
+	pushl $1
+	calls $2, __eql
+	pushl r0
+	calls $1, __not
+	pushl r0
+	calls $2, __and
+	pushl r0
+	addl3 $-16, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	pushl -16(fp)
+	movl (sp), r0
+	addl2 $4, sp
+	tstl r0
+	beql L1e
+	writestr "sum "
+	pushl -12(fp)
+	movl (sp), r0
+	addl2 $4, sp
+	writeint r0
+	brb L1x
+L1e:
+	writestr "bad "
+	pushl -12(fp)
+	movl (sp), r0
+	addl2 $4, sp
+	writeint r0
+L1x:
+	ret

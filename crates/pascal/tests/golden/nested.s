@@ -1,0 +1,185 @@
+start:
+	clrl r11
+	calls $0, __main
+	halt
+__lss:
+	cmpl 16(fp), 12(fp)
+	blss __rt_t
+	clrl r0
+	ret
+__leq:
+	cmpl 16(fp), 12(fp)
+	bleq __rt_t
+	clrl r0
+	ret
+__gtr:
+	cmpl 16(fp), 12(fp)
+	bgtr __rt_t
+	clrl r0
+	ret
+__geq:
+	cmpl 16(fp), 12(fp)
+	bgeq __rt_t
+	clrl r0
+	ret
+__eql:
+	cmpl 16(fp), 12(fp)
+	beql __rt_t
+	clrl r0
+	ret
+__neq:
+	cmpl 16(fp), 12(fp)
+	bneq __rt_t
+	clrl r0
+	ret
+__rt_t:
+	movl $1, r0
+	ret
+__and:
+	mull3 12(fp), 16(fp), r0
+	beql __rt_z
+	movl $1, r0
+	ret
+__or:
+	addl3 12(fp), 16(fp), r0
+	beql __rt_z
+	movl $1, r0
+	ret
+__rt_z:
+	clrl r0
+	ret
+__not:
+	tstl 12(fp)
+	beql __rt_t
+	clrl r0
+	ret
+__mod:
+	divl3 12(fp), 16(fp), r0
+	mull2 12(fp), r0
+	subl3 r0, 16(fp), r0
+	ret
+__main:
+	subl2 $40, sp
+	movl r11, -4(fp)
+	pushl $4
+	addl3 $-8, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	movl fp, r11
+	calls $0, P1_outer
+	ret
+P1_outer:
+	subl2 $12, sp
+	movl r11, -4(fp)
+	pushl $0
+	addl3 $-8, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	pushl $1
+	addl3 $-12, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+L3t:
+	pushl -12(fp)
+	pushl $8
+	calls $2, __leq
+	pushl r0
+	movl (sp), r0
+	addl2 $4, sp
+	tstl r0
+	beql L3x
+	pushl -12(fp)
+	pushl -12(fp)
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	mull2 r1, r0
+	pushl r0
+	pushl -12(fp)
+	movl -4(fp), r10
+	addl3 $-40, r10, r2
+	movl (sp), r1
+	addl2 $4, sp
+	subl2 $1, r1
+	mull2 $4, r1
+	addl2 r1, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	pushl -12(fp)
+	pushl $1
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	addl3 $-12, fp, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	brb L3t
+L3x:
+	movl fp, r11
+	calls $0, P2_inner
+	movl fp, r11
+	calls $0, P2_inner
+	pushl -8(fp)
+	pushl $3
+	movl -4(fp), r10
+	addl3 $-40, r10, r2
+	movl (sp), r1
+	addl2 $4, sp
+	subl2 $1, r1
+	mull2 $4, r1
+	addl2 r1, r2
+	pushl (r2)
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	pushl $8
+	movl -4(fp), r10
+	addl3 $-40, r10, r2
+	movl (sp), r1
+	addl2 $4, sp
+	subl2 $1, r1
+	mull2 $4, r1
+	addl2 r1, r2
+	pushl (r2)
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	movl (sp), r0
+	addl2 $4, sp
+	writeint r0
+	ret
+P2_inner:
+	subl2 $4, sp
+	movl r11, -4(fp)
+	movl -4(fp), r10
+	pushl -8(r10)
+	movl -4(fp), r10
+	movl -4(r10), r10
+	pushl -8(r10)
+	movl (sp), r1
+	addl2 $4, sp
+	movl (sp), r0
+	addl2 $4, sp
+	addl2 r1, r0
+	pushl r0
+	movl -4(fp), r10
+	addl3 $-8, r10, r2
+	movl (sp), r0
+	addl2 $4, sp
+	movl r0, (r2)
+	ret

@@ -1,0 +1,9 @@
+program arith;
+const k = 10;
+var x, y: integer;
+begin
+  x := 2 + 3 * 4 - 6 div 2;
+  y := -(17 mod 5) + k * k;
+  write(x); write(' ');
+  write(y)
+end.

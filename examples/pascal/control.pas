@@ -1,0 +1,12 @@
+program control;
+var i, s: integer;
+var b: boolean;
+begin
+  i := 1; s := 0;
+  while i <= 10 do begin
+    s := s + i;
+    i := i + 1
+  end;
+  b := (s = 55) and not (i = 1);
+  if b then write('sum ', s) else write('bad ', s)
+end.

@@ -1,0 +1,23 @@
+program nested;
+var g: integer;
+var a: array [1..8] of integer;
+procedure outer;
+var t, i: integer;
+  procedure inner;
+  begin
+    t := t + g
+  end;
+begin
+  t := 0;
+  i := 1;
+  while i <= 8 do begin
+    a[i] := i * i;
+    i := i + 1
+  end;
+  inner; inner;
+  write(t + a[3] + a[8])
+end;
+begin
+  g := 4;
+  outer
+end.

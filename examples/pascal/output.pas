@@ -1,0 +1,9 @@
+program output;
+var n: integer;
+begin
+  n := 5;
+  write('n = ', n);
+  writeln;
+  writeln('done');
+  write(n * n)
+end.

@@ -1,0 +1,16 @@
+program procs;
+var r: integer;
+procedure addto(x: integer; var acc: integer);
+begin
+  acc := acc + x
+end;
+function twice(n: integer): integer;
+begin
+  twice := n * 2
+end;
+begin
+  r := 10;
+  addto(5, r);
+  addto(twice(7), r);
+  write(r)
+end.

@@ -1,0 +1,12 @@
+program recurse;
+function fact(n: integer): integer;
+begin
+  if n <= 1 then fact := 1 else fact := n * fact(n - 1)
+end;
+function fib(n: integer): integer;
+begin
+  if n < 2 then fib := n else fib := fib(n - 1) + fib(n - 2)
+end;
+begin
+  write(fact(6), ' ', fib(12))
+end.

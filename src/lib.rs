@@ -9,6 +9,8 @@
 //!   visit sequences, and the dynamic / static / **combined** evaluators,
 //!   plus the parallel runtimes (simulated network multiprocessor and real
 //!   threads).
+//! * [`driver`] — batched compilation: shared immutable compilation
+//!   plans and a persistent worker pool over streams of parse trees.
 //! * [`rope`] — persistent rope strings with O(1) concatenation and the
 //!   string-librarian descriptor protocol.
 //! * [`symtab`] — applicative binary-search-tree symbol tables.
@@ -38,6 +40,7 @@
 //! ```
 
 pub use paragram_core as core;
+pub use paragram_driver as driver;
 pub use paragram_netsim as netsim;
 pub use paragram_parsegen as parsegen;
 pub use paragram_pascal as pascal;

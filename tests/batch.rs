@@ -1,0 +1,156 @@
+//! Batched-compilation determinism: compiling the same stream of trees
+//! through the driver must yield byte-identical output code and
+//! identical attribute stores regardless of how many pool workers (and
+//! therefore regions, message interleavings and librarian epochs) were
+//! involved — and regardless of how often it is repeated on the same
+//! pool.
+
+use paragram::core::eval::static_eval;
+use paragram::core::grammar::AttrId;
+use paragram::core::tree::{AttrStore, ParseTree};
+use paragram::driver::{BatchDriver, CompilationPlan, DriverConfig};
+use paragram::pascal::generator::{generate, GenConfig};
+use paragram::pascal::{Compiler, PVal};
+use std::sync::Arc;
+
+fn sources() -> Vec<String> {
+    let mut srcs = vec![
+        "program a; var x: integer; begin x := 6 * 7; write(x) end.".to_string(),
+        "program b;\nfunction fib(n: integer): integer;\nbegin if n < 2 then fib := n else fib := fib(n - 1) + fib(n - 2) end;\nbegin write(fib(10)) end.".to_string(),
+        "program c; var i, s: integer; var a: array [0..9] of integer;\nbegin i := 0; s := 0;\nwhile i < 10 do begin a[i] := i * i; i := i + 1 end;\ni := 0; while i < 10 do begin s := s + a[i]; i := i + 1 end;\nwrite(s) end.".to_string(),
+    ];
+    // A generated multi-cluster program big enough to actually split.
+    srcs.push(generate(&GenConfig {
+        clusters: 2,
+        procs_per_cluster: 3,
+        stmts_per_proc: 5,
+        nesting: 2,
+        seed: 99,
+    }));
+    srcs
+}
+
+fn store_snapshot(tree: &ParseTree<PVal>, store: &AttrStore<PVal>) -> Vec<Option<PVal>> {
+    let g = tree.grammar();
+    let mut snap = Vec::new();
+    for node in tree.node_ids() {
+        let sym = g.prod(tree.node(node).prod).lhs;
+        for a in 0..g.attr_count(sym) {
+            snap.push(store.get(node, AttrId(a as u32)).cloned());
+        }
+    }
+    snap
+}
+
+/// One batch run: per-tree (asm text, full store snapshot).
+fn run_once(
+    compiler: &Compiler,
+    trees: &[Arc<ParseTree<PVal>>],
+    workers: usize,
+) -> Vec<(String, Vec<Option<PVal>>)> {
+    let plan = CompilationPlan::from_plan(compiler.evals.plan(), DriverConfig::workers(workers));
+    let mut driver = BatchDriver::new(&plan);
+    let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+    trees
+        .iter()
+        .zip(&report.outputs)
+        .map(|(tree, out)| {
+            let output = compiler.output_from_store(tree, &out.store, out.stats);
+            assert!(
+                output.errors.is_empty(),
+                "fixture programs compile cleanly: {:?}",
+                output.errors
+            );
+            (output.asm, store_snapshot(tree, &out.store))
+        })
+        .collect()
+}
+
+#[test]
+fn batch_output_is_identical_across_worker_counts_and_runs() {
+    let compiler = Compiler::new();
+    let trees: Vec<Arc<ParseTree<PVal>>> = sources()
+        .iter()
+        .map(|s| compiler.tree_from_source(s).unwrap())
+        .collect();
+
+    // Reference: the actual sequential static evaluator (not a
+    // 1-worker pool), so a systematic pool-vs-sequential divergence
+    // cannot slip through.
+    let plans = compiler.evals.plans().unwrap();
+    let reference: Vec<(String, Vec<Option<PVal>>)> = trees
+        .iter()
+        .map(|tree| {
+            let (store, stats) = static_eval(tree, plans).unwrap();
+            let out = compiler.output_from_store(tree, &store, stats);
+            assert!(out.errors.is_empty(), "{:?}", out.errors);
+            (out.asm, store_snapshot(tree, &store))
+        })
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        // Repeated runs: both fresh pools and a reused pool must agree.
+        for run in 0..2 {
+            let got = run_once(&compiler, &trees, workers);
+            for (i, ((want_asm, want_store), (got_asm, got_store))) in
+                reference.iter().zip(&got).enumerate()
+            {
+                assert_eq!(
+                    want_asm, got_asm,
+                    "tree {i}: asm differs at workers={workers} run={run}"
+                );
+                assert_eq!(
+                    want_store.len(),
+                    got_store.len(),
+                    "tree {i}: instance count differs at workers={workers}"
+                );
+                for (j, (a, b)) in want_store.iter().zip(got_store).enumerate() {
+                    assert_eq!(
+                        a, b,
+                        "tree {i} instance {j}: value differs at workers={workers} run={run}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_pool_is_deterministic_across_repeats() {
+    let compiler = Compiler::new();
+    let trees: Vec<Arc<ParseTree<PVal>>> = sources()
+        .iter()
+        .map(|s| compiler.tree_from_source(s).unwrap())
+        .collect();
+    let plan = CompilationPlan::from_plan(compiler.evals.plan(), DriverConfig::workers(8));
+    let mut driver = BatchDriver::new(&plan);
+    let mut first: Option<Vec<String>> = None;
+    for round in 0..3 {
+        let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+        let asms: Vec<String> = trees
+            .iter()
+            .zip(&report.outputs)
+            .map(|(tree, out)| compiler.output_from_store(tree, &out.store, out.stats).asm)
+            .collect();
+        match &first {
+            None => first = Some(asms),
+            Some(want) => assert_eq!(want, &asms, "round {round} diverged on the same pool"),
+        }
+    }
+    assert_eq!(driver.trees_compiled(), 3 * trees.len());
+}
+
+#[test]
+fn compile_batch_entry_point_matches_sequential_compiler() {
+    let compiler = Compiler::new();
+    let srcs = sources();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let batch = compiler
+        .compile_batch(refs.iter().copied(), DriverConfig::workers(2))
+        .unwrap();
+    for (src, out) in refs.iter().zip(&batch) {
+        let seq = compiler.compile(src).unwrap();
+        assert_eq!(out.asm, seq.asm);
+        assert_eq!(out.errors, seq.errors);
+    }
+}
