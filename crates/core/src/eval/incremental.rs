@@ -52,7 +52,7 @@
 use crate::csr::{Csr, CsrCounter};
 use crate::grammar::{ArgScratch, AttrId};
 use crate::stats::EvalStats;
-use crate::tree::{occ_slot, AttrStore, Child, NodeId, ParseTree};
+use crate::tree::{occ_slot, AttrStore, Child, NodeId, PackedSlots, ParseTree};
 use crate::value::AttrValue;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,8 +90,11 @@ impl std::error::Error for UpdateError {}
 pub struct Incremental<V: AttrValue + PartialEq> {
     tree: Arc<ParseTree<V>>,
     store: AttrStore<V>,
-    /// Token overlays: (node, occ) → replacement lexical values.
-    overrides: HashMap<(NodeId, usize), Vec<Option<V>>>,
+    /// Token overlays: (node, occ) → replacement lexical values,
+    /// mirroring [`AttrStore`]'s packed layout (dense values + side
+    /// presence bits; unset positions fall through to the tree's own
+    /// token values).
+    overrides: HashMap<(NodeId, usize), PackedSlots<V>>,
     /// One task per rule application.
     tasks: Vec<(NodeId, usize)>,
     /// Position of each task in the batch run's topological order
@@ -221,7 +224,7 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
     /// The current value of a token attribute (override-aware).
     pub fn token_value(&self, node: NodeId, occ: usize, attr: AttrId) -> Option<&V> {
         if let Some(over) = self.overrides.get(&(node, occ)) {
-            if let Some(Some(v)) = over.get(attr.0 as usize) {
+            if let Some(v) = over.get(attr.0 as usize) {
                 return Some(v);
             }
         }
@@ -259,7 +262,8 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
         }
         self.overrides
             .entry((node, occ))
-            .or_insert_with(|| vec![None; arity])[attr.0 as usize] = Some(value);
+            .or_insert_with(|| PackedSlots::new(arity))
+            .set(attr.0 as usize, value);
 
         // Seed the dirty set with the tasks reading this token, then
         // process in topological order with cutoff.
@@ -326,7 +330,7 @@ impl<V: AttrValue + PartialEq> Incremental<V> {
 fn apply_rule<V: AttrValue + PartialEq>(
     tree: &ParseTree<V>,
     store: &AttrStore<V>,
-    overrides: &HashMap<(NodeId, usize), Vec<Option<V>>>,
+    overrides: &HashMap<(NodeId, usize), PackedSlots<V>>,
     scratch: &mut ArgScratch<V>,
     node: NodeId,
     ri: usize,
@@ -335,7 +339,7 @@ fn apply_rule<V: AttrValue + PartialEq>(
     scratch.apply(rule, |a| {
         if a.occ > 0 {
             if let Child::Token(vals) = &tree.node(node).children[a.occ - 1] {
-                if let Some(Some(v)) = overrides
+                if let Some(v) = overrides
                     .get(&(node, a.occ))
                     .and_then(|over| over.get(a.attr.0 as usize))
                 {

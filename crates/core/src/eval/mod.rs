@@ -20,7 +20,7 @@ mod machine;
 mod plan;
 mod static_eval;
 
-pub use dynamic::dynamic_eval;
+pub use dynamic::{dynamic_eval, dynamic_eval_with, ReadyPolicy};
 pub use incremental::{Incremental, UpdateError};
 pub use machine::{AttrMsg, Machine, MachineMode, SendTarget, StepOutcome};
 pub use plan::{EvalPlan, MachineScratch};

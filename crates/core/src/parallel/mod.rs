@@ -7,11 +7,13 @@
 //!   [`paragram_netsim`] network-multiprocessor simulator, reproducing
 //!   the paper's running-time and activity-trace figures exactly.
 //! * [`pool`] — persistent evaluator worker pool (threads + librarian
-//!   spawned once, fed per-tree region jobs): the batched-compilation
-//!   runtime.
-//! * [`threads`] — the same protocol as a one-shot convenience wrapper
-//!   over [`pool`], demonstrating genuine parallel speedup on host
-//!   cores for a single tree.
+//!   spawned once, fed ticket-tagged region jobs): the
+//!   batched-compilation runtime, with split-phase code combining
+//!   (registration streams during evaluation, resolution at the
+//!   parser's final read) and a small cross-tree pipeline window.
+//! * [`threads`] — the same protocol as a one-shot, depth-1 convenience
+//!   wrapper over [`pool`], demonstrating genuine parallel speedup on
+//!   host cores for a single tree.
 
 pub mod pool;
 pub mod sim;

@@ -1,4 +1,5 @@
-//! A persistent evaluator worker pool for batched compilation.
+//! A persistent evaluator worker pool with split-phase code combining
+//! and cross-tree pipelining.
 //!
 //! [`super::threads`] reproduces the paper's Figure-6 setting for *one*
 //! compilation: spawn one OS thread per region, evaluate, join. Under a
@@ -10,20 +11,50 @@
 //! [`MachineScratch`] alive so construction/evaluation buffer capacity
 //! also carries over from tree to tree.
 //!
-//! One tree is in flight at a time (the paper's parser is sequential;
-//! trees arrive as a stream), but within a tree all regions evaluate in
-//! parallel exactly as in [`super::threads`] — same message protocol,
-//! same librarian deflation of boundary-crossing string values.
+//! # Tickets and the split-phase librarian
 //!
-//! # Epochs
+//! Every tree submitted to the pool gets a monotonically increasing
+//! [`Ticket`]. The librarian protocol is *split-phase*, exactly as the
+//! paper's §4.2 code-combining protocol allows:
 //!
-//! Every [`WorkerPool::eval`] call is one *librarian epoch*: segment
-//! registration streams in during evaluation (the §4.2 split the
-//! librarian protocol allows) and resolution happens once, at the
-//! parser's final read, after which the librarian's store is reset for
-//! the next tree. Attribute messages carry the epoch so a value that
-//! races ahead of its region-assignment message is parked until the
-//! worker starts that tree.
+//! * **Registration** streams: workers ship code segments to the
+//!   librarian *while evaluation is still running*, tagged with their
+//!   tree's ticket ([`SegmentLedger`] keeps one segment store per
+//!   in-flight ticket, so consecutive trees' segments never collide).
+//! * **Resolution** is deferred to the parser's final read of that
+//!   tree: only when the pool retires a ticket does it ask the
+//!   librarian to resolve — and by then the *next* tree's registrations
+//!   are already streaming in.
+//!
+//! # Cross-tree pipelining
+//!
+//! Because registration and resolution are decoupled per ticket, the
+//! pool no longer needs a barrier between trees. A small in-flight
+//! window ([`PoolConfig::pipeline_depth`], default 2) lets tree N+1's
+//! region jobs dispatch while tree N's regions drain, and workers run
+//! one machine per in-flight ticket, **multiplexed, oldest first**:
+//! whenever tree N's machine starves (blocked on an attribute from a
+//! straggling peer — e.g. downstream of the symbol-table pipeline),
+//! the worker steps tree N+1's machine instead of idling. Both the
+//! early-finisher idle time *and* the blocked-on-messages time the
+//! epoch barrier wasted become useful work, and the parser-side
+//! assembly of tree N (store merge + segment inflation) overlaps tree
+//! N+1's evaluation. Depth 1 restores the strict one-epoch-per-tree
+//! barrier.
+//!
+//! The protocol stays deterministic at every depth: region *r* of every
+//! tree is pinned to worker *r*, attribute messages carry their ticket
+//! (values racing ahead of their tree's job are parked, values for
+//! finished tickets dropped), and per-ticket result assembly merges
+//! region stores in region order — machine scheduling affects timing
+//! only, never values (each attribute instance has exactly one defining
+//! rule). Dependencies between machines exist only *within* a ticket
+//! and no machine ever waits for CPU behind a *later* ticket, so the
+//! pipelined schedule cannot deadlock.
+//!
+//! Use [`WorkerPool::submit`] / [`WorkerPool::collect`] to keep the
+//! window full (what `paragram-driver`'s batch driver does), or the
+//! one-shot [`WorkerPool::eval`] when compiling a single tree.
 
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::AttrId;
@@ -32,11 +63,18 @@ use crate::stats::EvalStats;
 use crate::tree::{AttrStore, NodeId, ParseTree};
 use crate::value::AttrValue;
 use paragram_rope::{Rope, SegmentId, SegmentStore};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use super::ResultPropagation;
+
+/// Identifies one tree's pass through the pool (monotone, assigned at
+/// [`WorkerPool::submit`] time). Messages carry their ticket so
+/// registration, attribute exchange and resolution of overlapping trees
+/// never interfere.
+pub type Ticket = u64;
 
 /// Configuration for a [`WorkerPool`].
 #[derive(Debug, Clone, Copy)]
@@ -51,46 +89,113 @@ pub struct PoolConfig {
     pub result: ResultPropagation,
     /// Split-granularity scale.
     pub min_size_scale: f64,
+    /// Maximum number of trees in flight at once. Depth 1 is the strict
+    /// per-tree barrier; depth 2 (the default) lets the next tree's
+    /// region jobs fill workers idling behind the current tree's
+    /// stragglers.
+    pub pipeline_depth: usize,
 }
 
 impl PoolConfig {
-    /// Combined evaluation on `n` workers with librarian propagation.
+    /// Combined evaluation on `n` workers with librarian propagation
+    /// and the default pipeline window.
     pub fn combined(n: usize) -> Self {
         PoolConfig {
             workers: n,
             mode: MachineMode::Combined,
             result: ResultPropagation::Librarian,
             min_size_scale: 1.0,
+            pipeline_depth: 2,
         }
+    }
+
+    /// Same as [`PoolConfig::combined`] but with the strict one-tree
+    /// barrier (pipeline depth 1).
+    pub fn barrier(n: usize) -> Self {
+        PoolConfig {
+            pipeline_depth: 1,
+            ..PoolConfig::combined(n)
+        }
+    }
+
+    /// Returns the configuration with the given in-flight window depth.
+    pub fn with_pipeline_depth(self, depth: usize) -> Self {
+        PoolConfig {
+            pipeline_depth: depth.max(1),
+            ..self
+        }
+    }
+}
+
+/// The librarian's split-phase bookkeeping: one [`SegmentStore`] per
+/// in-flight ticket. Registration is streaming (any ticket, any order);
+/// resolution removes and returns exactly one ticket's store, leaving
+/// other tickets' registrations untouched — which is what lets trees
+/// overlap in the pool without their segments colliding.
+#[derive(Debug, Default)]
+pub struct SegmentLedger {
+    tickets: HashMap<Ticket, SegmentStore>,
+}
+
+impl SegmentLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Streams one segment registration for `ticket`.
+    pub fn register(&mut self, ticket: Ticket, id: SegmentId, text: Rope) {
+        self.tickets.entry(ticket).or_default().register(id, text);
+    }
+
+    /// Resolves `ticket`: removes and returns its segment store (empty
+    /// if the ticket registered nothing, e.g. naive propagation).
+    pub fn resolve(&mut self, ticket: Ticket) -> SegmentStore {
+        self.tickets.remove(&ticket).unwrap_or_default()
+    }
+
+    /// Number of tickets with unresolved registrations.
+    pub fn open_tickets(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Total text bytes registered for `ticket` so far.
+    pub fn ticket_bytes(&self, ticket: Ticket) -> usize {
+        self.tickets.get(&ticket).map_or(0, |s| s.total_bytes())
     }
 }
 
 /// Result of one pooled parallel evaluation.
 pub struct PoolReport<V: AttrValue> {
+    /// The ticket this tree was evaluated under.
+    pub ticket: Ticket,
     /// Root attribute values, librarian-resolved.
     pub root_values: Vec<(AttrId, V)>,
     /// Merged attribute store, librarian-resolved (independent of the
     /// decomposition that produced it).
     pub store: AttrStore<V>,
-    /// The librarian's segment store for this tree's epoch.
+    /// The librarian's segment store for this tree's ticket.
     pub segments: SegmentStore,
     /// Aggregated statistics.
     pub stats: EvalStats,
-    /// Wall-clock evaluation time (excludes decomposition).
+    /// Wall-clock time from job dispatch to retirement. Under a
+    /// pipelined window this overlaps with neighbouring trees' times.
     pub elapsed: Duration,
     /// Number of regions actually used.
     pub regions: usize,
 }
 
+struct JobMsg<V> {
+    ticket: Ticket,
+    tree: Arc<ParseTree<V>>,
+    decomp: Arc<Decomposition>,
+    region: RegionId,
+}
+
 enum WorkerMsg<V> {
-    Job {
-        epoch: u64,
-        tree: Arc<ParseTree<V>>,
-        decomp: Arc<Decomposition>,
-        region: RegionId,
-    },
+    Job(JobMsg<V>),
     Attr {
-        epoch: u64,
+        ticket: Ticket,
         node: NodeId,
         attr: AttrId,
         value: V,
@@ -100,19 +205,43 @@ enum WorkerMsg<V> {
 
 enum ParserMsg<V> {
     Root {
+        ticket: Ticket,
         attr: AttrId,
         value: V,
     },
     Done {
+        ticket: Ticket,
         region: RegionId,
         result: Result<(EvalStats, AttrStore<V>), EvalError>,
     },
 }
 
 enum LibMsg {
-    Segment { id: SegmentId, text: Rope },
-    Resolve,
+    /// Streaming registration, accepted for any in-flight ticket while
+    /// evaluation is still running.
+    Register {
+        ticket: Ticket,
+        id: SegmentId,
+        text: Rope,
+    },
+    /// The parser's final read for one ticket; replies with that
+    /// ticket's store without disturbing the others.
+    Resolve {
+        ticket: Ticket,
+    },
     Shutdown,
+}
+
+/// Per-ticket assembly state: what the parser role has collected for
+/// one in-flight tree so far.
+struct InFlight<V: AttrValue> {
+    ticket: Ticket,
+    regions: usize,
+    expected_roots: usize,
+    raw_roots: Vec<(AttrId, V)>,
+    region_results: Vec<Option<(EvalStats, AttrStore<V>)>>,
+    done: usize,
+    start: Instant,
 }
 
 /// Persistent evaluator threads + librarian, reusable across a stream
@@ -124,10 +253,13 @@ pub struct WorkerPool<V: AttrValue> {
     worker_txs: Vec<Sender<WorkerMsg<V>>>,
     parser_rx: Receiver<ParserMsg<V>>,
     lib_tx: Sender<LibMsg>,
-    lib_reply_rx: Receiver<SegmentStore>,
+    lib_reply_rx: Receiver<(Ticket, SegmentStore)>,
     handles: Vec<std::thread::JoinHandle<()>>,
     lib_handle: Option<std::thread::JoinHandle<()>>,
-    epoch: u64,
+    next_ticket: Ticket,
+    in_flight: VecDeque<InFlight<V>>,
+    ready: VecDeque<PoolReport<V>>,
+    max_in_flight: usize,
     poisoned: Option<EvalError>,
 }
 
@@ -147,6 +279,7 @@ impl<V: AttrValue> WorkerPool<V> {
     /// librarian, all persistent until the pool is dropped.
     pub fn new(plan: &Arc<EvalPlan<V>>, config: PoolConfig) -> Self {
         let workers = config.workers.max(1);
+        let depth = config.pipeline_depth.max(1);
         let split = SplitTable::new(plan.grammar().as_ref(), config.min_size_scale);
 
         let mut worker_txs = Vec::with_capacity(workers);
@@ -158,7 +291,7 @@ impl<V: AttrValue> WorkerPool<V> {
         }
         let (parser_tx, parser_rx) = channel();
         let (lib_tx, lib_rx) = channel::<LibMsg>();
-        let (lib_reply_tx, lib_reply_rx) = channel::<SegmentStore>();
+        let (lib_reply_tx, lib_reply_rx) = channel::<(Ticket, SegmentStore)>();
 
         let mut handles = Vec::with_capacity(workers);
         for rx in worker_rxs.iter_mut() {
@@ -175,13 +308,12 @@ impl<V: AttrValue> WorkerPool<V> {
         }
 
         let lib_handle = std::thread::spawn(move || {
-            let mut store = SegmentStore::new();
+            let mut ledger = SegmentLedger::new();
             while let Ok(msg) = lib_rx.recv() {
                 match msg {
-                    LibMsg::Segment { id, text } => store.register(id, text),
-                    LibMsg::Resolve => {
-                        let resolved = std::mem::replace(&mut store, SegmentStore::new());
-                        if lib_reply_tx.send(resolved).is_err() {
+                    LibMsg::Register { ticket, id, text } => ledger.register(ticket, id, text),
+                    LibMsg::Resolve { ticket } => {
+                        if lib_reply_tx.send((ticket, ledger.resolve(ticket))).is_err() {
                             return;
                         }
                     }
@@ -192,7 +324,11 @@ impl<V: AttrValue> WorkerPool<V> {
 
         WorkerPool {
             plan: Arc::clone(plan),
-            config: PoolConfig { workers, ..config },
+            config: PoolConfig {
+                workers,
+                pipeline_depth: depth,
+                ..config
+            },
             split,
             worker_txs,
             parser_rx,
@@ -200,7 +336,10 @@ impl<V: AttrValue> WorkerPool<V> {
             lib_reply_rx,
             handles,
             lib_handle: Some(lib_handle),
-            epoch: 0,
+            next_ticket: 0,
+            in_flight: VecDeque::with_capacity(depth),
+            ready: VecDeque::new(),
+            max_in_flight: 0,
             poisoned: None,
         }
     }
@@ -210,24 +349,53 @@ impl<V: AttrValue> WorkerPool<V> {
         self.config.workers
     }
 
+    /// The configured in-flight window depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.config.pipeline_depth
+    }
+
+    /// Trees currently submitted but not yet collected (evaluating or
+    /// buffered as finished reports).
+    pub fn pending(&self) -> usize {
+        self.in_flight.len() + self.ready.len()
+    }
+
+    /// Trees currently evaluating (dispatched, not yet retired).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The largest number of trees that were ever simultaneously in
+    /// flight on this pool.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
     /// The shared plan this pool evaluates against.
     pub fn plan(&self) -> &Arc<EvalPlan<V>> {
         &self.plan
     }
 
-    /// Evaluates one tree on the pool.
+    /// Submits one tree into the pipeline window: decomposes it,
+    /// assigns the next ticket and dispatches its region jobs. If the
+    /// window is full, the oldest in-flight tree is retired first (its
+    /// report is buffered for [`WorkerPool::collect`]).
     ///
     /// # Errors
     ///
     /// Returns the first [`EvalError`] raised by any machine; the pool
     /// is poisoned afterwards (subsequent calls return the same error).
-    pub fn eval(&mut self, tree: &Arc<ParseTree<V>>) -> Result<PoolReport<V>, EvalError> {
+    pub fn submit(&mut self, tree: &Arc<ParseTree<V>>) -> Result<(), EvalError> {
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
         }
-        let epoch = self.epoch;
-        self.epoch += 1;
+        while self.in_flight.len() >= self.config.pipeline_depth {
+            let report = self.retire_front()?;
+            self.ready.push_back(report);
+        }
 
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
         let decomp = Arc::new(decompose_with(tree, &self.split, self.config.workers));
         let regions = decomp.len();
         let root_sym = self.plan.grammar().prod(tree.node(tree.root()).prod).lhs;
@@ -235,53 +403,144 @@ impl<V: AttrValue> WorkerPool<V> {
 
         let start = Instant::now();
         for r in 0..regions {
-            let job = WorkerMsg::Job {
-                epoch,
+            let job = WorkerMsg::Job(JobMsg {
+                ticket,
                 tree: Arc::clone(tree),
                 decomp: Arc::clone(&decomp),
                 region: r as RegionId,
-            };
+            });
             self.worker_txs[r].send(job).expect("worker alive");
         }
+        self.in_flight.push_back(InFlight {
+            ticket,
+            regions,
+            expected_roots,
+            raw_roots: Vec::with_capacity(expected_roots),
+            region_results: (0..regions).map(|_| None).collect(),
+            done: 0,
+            start,
+        });
+        self.max_in_flight = self.max_in_flight.max(self.in_flight.len());
+        Ok(())
+    }
 
-        // Parser role: collect root attributes and per-region results.
-        let mut raw_roots: Vec<(AttrId, V)> = Vec::with_capacity(expected_roots);
-        let mut region_results: Vec<Option<(EvalStats, AttrStore<V>)>> =
-            (0..regions).map(|_| None).collect();
-        let mut done = 0;
-        while done < regions {
+    /// Collects the oldest uncollected tree's report (submission
+    /// order), blocking until it finishes. Returns `None` when nothing
+    /// is pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EvalError`] raised by any machine; the pool
+    /// is poisoned afterwards.
+    pub fn collect(&mut self) -> Result<Option<PoolReport<V>>, EvalError> {
+        if let Some(r) = self.ready.pop_front() {
+            return Ok(Some(r));
+        }
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.in_flight.is_empty() {
+            return Ok(None);
+        }
+        self.retire_front().map(Some)
+    }
+
+    /// Pops a report that already finished (retired as submit-time
+    /// backpressure) without blocking on in-flight trees.
+    pub fn take_ready(&mut self) -> Option<PoolReport<V>> {
+        self.ready.pop_front()
+    }
+
+    /// Evaluates one tree on the pool, start to finish (the one-shot
+    /// path; [`super::threads::run_threads`] and single-tree drivers
+    /// use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if trees are still pending from [`WorkerPool::submit`] —
+    /// use [`WorkerPool::collect`] to drain the window first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EvalError`] raised by any machine; the pool
+    /// is poisoned afterwards (subsequent calls return the same error).
+    pub fn eval(&mut self, tree: &Arc<ParseTree<V>>) -> Result<PoolReport<V>, EvalError> {
+        assert!(
+            self.in_flight.is_empty() && self.ready.is_empty(),
+            "eval requires an idle pool; drain submit/collect pipelines first"
+        );
+        self.submit(tree)?;
+        Ok(self.collect()?.expect("one tree was just submitted"))
+    }
+
+    /// Index into `in_flight` of the entry holding `ticket`. Tickets
+    /// are assigned and retired in order, so this is a simple offset.
+    fn entry_index(&self, ticket: Ticket) -> usize {
+        let front = self.in_flight.front().expect("in-flight entry").ticket;
+        (ticket - front) as usize
+    }
+
+    /// Parser role for the oldest in-flight tree: drain worker messages
+    /// (routing them to whichever ticket they belong to) until its
+    /// regions all report, then perform the librarian's deferred
+    /// resolution and assemble the report.
+    fn retire_front(&mut self) -> Result<PoolReport<V>, EvalError> {
+        while self.in_flight[0].done < self.in_flight[0].regions {
             match self.parser_rx.recv().expect("workers alive") {
-                ParserMsg::Root { attr, value } => raw_roots.push((attr, value)),
-                ParserMsg::Done { region, result } => {
-                    done += 1;
+                ParserMsg::Root {
+                    ticket,
+                    attr,
+                    value,
+                } => {
+                    let i = self.entry_index(ticket);
+                    self.in_flight[i].raw_roots.push((attr, value));
+                }
+                ParserMsg::Done {
+                    ticket,
+                    region,
+                    result,
+                } => {
+                    let i = self.entry_index(ticket);
+                    let entry = &mut self.in_flight[i];
+                    entry.done += 1;
                     match result {
-                        Ok(r) => region_results[region as usize] = Some(r),
+                        Ok(r) => entry.region_results[region as usize] = Some(r),
                         Err(e) => {
-                            self.poisoned = Some(e.clone());
+                            self.poison(e.clone());
                             return Err(e);
                         }
                     }
                 }
             }
         }
-        debug_assert_eq!(raw_roots.len(), expected_roots, "root attrs precede Done");
+        let fl = self.in_flight.pop_front().expect("checked non-empty");
+        debug_assert_eq!(
+            fl.raw_roots.len(),
+            fl.expected_roots,
+            "root attrs precede Done"
+        );
 
-        // Resolve the librarian's epoch store (all segment registrations
-        // were enqueued before the Dones we just drained).
-        self.lib_tx.send(LibMsg::Resolve).expect("librarian alive");
-        let segments = self.lib_reply_rx.recv().expect("librarian replies");
-        let root_values: Vec<(AttrId, V)> = raw_roots
+        // The librarian's deferred resolution for this ticket: all of
+        // its registrations were enqueued before the Dones we just
+        // drained, while later tickets' registrations keep streaming.
+        self.lib_tx
+            .send(LibMsg::Resolve { ticket: fl.ticket })
+            .expect("librarian alive");
+        let (ticket, segments) = self.lib_reply_rx.recv().expect("librarian replies");
+        debug_assert_eq!(ticket, fl.ticket, "resolutions are issued in order");
+        let root_values: Vec<(AttrId, V)> = fl
+            .raw_roots
             .iter()
             .map(|(a, v)| (*a, v.inflate(&segments)))
             .collect();
-        let elapsed = start.elapsed();
+        let elapsed = fl.start.elapsed();
 
         // Merge per-region stores in region order (deterministic), then
         // resolve segment references so the result is independent of the
         // decomposition.
         let mut stats = EvalStats::default();
         let mut merged: Option<AttrStore<V>> = None;
-        for r in region_results.into_iter() {
+        for r in fl.region_results.into_iter() {
             let (s, store) = r.expect("every region reported");
             stats += s;
             merged = Some(match merged {
@@ -296,13 +555,22 @@ impl<V: AttrValue> WorkerPool<V> {
         store.inflate_all(&segments);
 
         Ok(PoolReport {
+            ticket: fl.ticket,
             root_values,
             store,
             segments,
             stats,
             elapsed,
-            regions,
+            regions: fl.regions,
         })
+    }
+
+    fn poison(&mut self, e: EvalError) {
+        self.poisoned = Some(e);
+        // Abandon everything in flight: workers will finish or park
+        // their jobs; a poisoned pool rejects further submissions.
+        self.in_flight.clear();
+        self.ready.clear();
     }
 }
 
@@ -325,196 +593,301 @@ impl<V: AttrValue> std::fmt::Debug for WorkerPool<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "WorkerPool({} workers, epoch {})",
-            self.config.workers, self.epoch
+            "WorkerPool({} workers, depth {}, next ticket {}, {} in flight)",
+            self.config.workers,
+            self.config.pipeline_depth,
+            self.next_ticket,
+            self.in_flight.len()
         )
     }
 }
 
-/// The persistent worker loop: idle between trees, one machine at a
-/// time while a tree is in flight.
+/// One region machine a worker is currently running (one per in-flight
+/// ticket that assigned this worker a region).
+struct Running<V: AttrValue> {
+    ticket: Ticket,
+    region: RegionId,
+    parent: Option<RegionId>,
+    next_seg: u32,
+    machine: Machine<V>,
+}
+
+/// What [`drive`] left the machine in.
+enum Drive {
+    /// Out of ready work, waiting on attribute messages.
+    Starved,
+    /// Step budget exhausted with ready work left (a younger ticket's
+    /// machine yielding so the worker can poll for older work).
+    Yielded,
+    /// Ran to completion (`None`) or failed (`Some(error)`).
+    Finished(Option<EvalError>),
+    /// A send failed: the pool is gone, terminate the worker.
+    Dead,
+}
+
+/// How many scheduler steps a *non-oldest* machine may run before the
+/// worker polls the channel for values that unblock an older ticket.
+/// The oldest machine runs unbudgeted — nothing can preempt it.
+const YIELD_STEPS: usize = 64;
+
+/// The persistent worker loop. Machines for every in-flight ticket run
+/// **multiplexed**: jobs activate the moment they arrive, and whenever
+/// the oldest tree's machine starves (blocked on attribute messages
+/// from a straggling peer region), the worker steps the next tree's
+/// machine instead of idling — this is where cross-tree pipelining
+/// recovers the blocked-straggler time the epoch barrier wasted. Older
+/// tickets are always preferred: younger machines run on a small step
+/// budget and the channel is polled between bursts, so a value that
+/// unblocks an older machine preempts younger-ticket work within
+/// [`YIELD_STEPS`] scheduler steps and pipelining never materially
+/// delays the tree the parser will read next.
 fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
-    let mut scratch = MachineScratch::new();
-    // Attribute values that arrived ahead of their epoch's job.
-    let mut parked: Vec<(u64, NodeId, AttrId, V)> = Vec::new();
+    // Recycled construction/evaluation buffers, one per concurrently
+    // running machine (bounded by the pool's pipeline depth).
+    let mut scratches: Vec<MachineScratch<V>> = Vec::new();
+    // Attribute values whose ticket has no running machine yet.
+    let mut parked_attrs: Vec<(Ticket, NodeId, AttrId, V)> = Vec::new();
+    // Active machines in ticket order (jobs arrive in ticket order).
+    let mut running: Vec<Running<V>> = Vec::new();
     loop {
-        let msg = match ctx.rx.recv() {
-            Ok(m) => m,
+        // Step machines oldest-first. (Machines on one worker never
+        // feed each other — regions send only to peer workers/the
+        // parser — but incoming values can unblock an older machine,
+        // so the channel is drained between bursts and the pass jumps
+        // back whenever an older machine is fed.)
+        let mut i = 0;
+        while i < running.len() {
+            let budget = if i == 0 { usize::MAX } else { YIELD_STEPS };
+            let outcome = drive(&ctx, &mut running[i], budget);
+            match outcome {
+                Drive::Dead => return,
+                Drive::Finished(err) => {
+                    let done = running.remove(i);
+                    let (store, stats, sc) = done.machine.recycle();
+                    scratches.push(sc);
+                    let result = match err {
+                        Some(e) => Err(e),
+                        None => Ok((stats, store)),
+                    };
+                    if ctx
+                        .parser_tx
+                        .send(ParserMsg::Done {
+                            ticket: done.ticket,
+                            region: done.region,
+                            result,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    // The next machine shifted into `i`; re-drive it.
+                }
+                Drive::Starved | Drive::Yielded => {
+                    // Poll before sinking more time into this or a
+                    // younger machine: a queued value for an older
+                    // machine must run first.
+                    let mut fed = usize::MAX;
+                    loop {
+                        match ctx.rx.try_recv() {
+                            Err(_) => break,
+                            Ok(m) => match absorb(
+                                &ctx,
+                                m,
+                                &mut running,
+                                &mut parked_attrs,
+                                &mut scratches,
+                            ) {
+                                Absorbed::Shutdown => return,
+                                Absorbed::Fed(idx) => fed = fed.min(idx),
+                                Absorbed::Other => {}
+                            },
+                        }
+                    }
+                    if fed <= i {
+                        i = fed; // that machine (possibly this one) can run again
+                    } else if matches!(outcome, Drive::Starved) {
+                        i += 1;
+                    }
+                    // Yielded and nothing at-or-before the cursor fed:
+                    // keep driving the same machine.
+                }
+            }
+        }
+        // Everything starved (or no machines): block for one message,
+        // then drain whatever else is queued.
+        match ctx.rx.recv() {
             Err(_) => return, // pool dropped
-        };
-        match msg {
-            WorkerMsg::Shutdown => return,
-            WorkerMsg::Attr {
-                epoch,
-                node,
-                attr,
-                value,
-            } => parked.push((epoch, node, attr, value)),
-            WorkerMsg::Job {
-                epoch,
-                tree,
-                decomp,
-                region,
-            } => {
-                let (sc, outcome) =
-                    run_job(&ctx, epoch, &tree, &decomp, region, scratch, &mut parked);
-                scratch = sc;
-                let Some(result) = outcome else {
-                    return; // shutdown received mid-job
-                };
-                if ctx
-                    .parser_tx
-                    .send(ParserMsg::Done { region, result })
-                    .is_err()
-                {
+            Ok(m) => {
+                if matches!(
+                    absorb(&ctx, m, &mut running, &mut parked_attrs, &mut scratches),
+                    Absorbed::Shutdown
+                ) {
                     return;
                 }
+            }
+        }
+        while let Ok(m) = ctx.rx.try_recv() {
+            if matches!(
+                absorb(&ctx, m, &mut running, &mut parked_attrs, &mut scratches),
+                Absorbed::Shutdown
+            ) {
+                return;
             }
         }
     }
 }
 
-/// Runs one region machine to completion. Returns the recycled scratch
-/// and `None` when a shutdown arrived mid-evaluation.
-#[allow(clippy::type_complexity)]
-fn run_job<V: AttrValue>(
+/// What [`absorb`] did with a message.
+enum Absorbed {
+    /// Shutdown received: terminate the worker.
+    Shutdown,
+    /// An attribute value was provided to the running machine at this
+    /// index (the caller jumps back if it is older than its cursor).
+    Fed(usize),
+    /// Job activated, value parked or dropped.
+    Other,
+}
+
+/// Routes one incoming message: activates jobs, feeds attribute values
+/// to their ticket's machine (parking values whose machine does not
+/// exist yet, dropping values for already-finished tickets).
+fn absorb<V: AttrValue>(
     ctx: &WorkerCtx<V>,
-    epoch: u64,
-    tree: &Arc<ParseTree<V>>,
-    decomp: &Arc<Decomposition>,
-    region: RegionId,
-    scratch: MachineScratch<V>,
-    parked: &mut Vec<(u64, NodeId, AttrId, V)>,
-) -> (
-    MachineScratch<V>,
-    Option<Result<(EvalStats, AttrStore<V>), EvalError>>,
-) {
-    let mut machine = Machine::from_plan(&ctx.plan, tree, decomp, region, ctx.mode, scratch);
-
-    // Feed values that raced ahead of this job; drop stale epochs.
-    let mut i = 0;
-    while i < parked.len() {
-        if parked[i].0 > epoch {
-            i += 1;
-            continue;
-        }
-        let (e, node, attr, value) = parked.swap_remove(i);
-        if e == epoch {
-            machine.provide(node, attr, value);
-        }
-    }
-
-    let parent = decomp.regions[region as usize].parent;
-    let mut next_seg = 0u32;
-    let route = |send: AttrMsg<V>, next_seg: &mut u32| -> bool {
-        let upward = match send.to {
-            SendTarget::Parser => true,
-            SendTarget::Region(q) => Some(q) == parent,
-        };
-        let mut value = send.value;
-        if upward && ctx.result == ResultPropagation::Librarian {
-            let deflated = value.deflate(&mut |text: Rope| {
-                let id = SegmentId::from_parts(region, *next_seg);
-                *next_seg += 1;
-                let _ = ctx.lib_tx.send(LibMsg::Segment { id, text });
-                id
-            });
-            if let Some(d) = deflated {
-                value = d;
+    msg: WorkerMsg<V>,
+    running: &mut Vec<Running<V>>,
+    parked_attrs: &mut Vec<(Ticket, NodeId, AttrId, V)>,
+    scratches: &mut Vec<MachineScratch<V>>,
+) -> Absorbed {
+    match msg {
+        WorkerMsg::Shutdown => Absorbed::Shutdown,
+        WorkerMsg::Attr {
+            ticket,
+            node,
+            attr,
+            value,
+        } => {
+            match running.iter_mut().position(|r| r.ticket == ticket) {
+                Some(idx) => {
+                    running[idx].machine.provide(node, attr, value);
+                    Absorbed::Fed(idx)
+                }
+                // Either the job has not arrived yet (replayed at
+                // activation) or it already finished (pruned then).
+                None => {
+                    parked_attrs.push((ticket, node, attr, value));
+                    Absorbed::Other
+                }
             }
         }
-        match send.to {
-            SendTarget::Parser => ctx
-                .parser_tx
-                .send(ParserMsg::Root {
-                    attr: send.attr,
-                    value,
-                })
-                .is_ok(),
-            SendTarget::Region(q) => ctx.peers[q as usize]
-                .send(WorkerMsg::Attr {
-                    epoch,
-                    node: send.node,
-                    attr: send.attr,
-                    value,
-                })
-                .is_ok(),
+        WorkerMsg::Job(job) => {
+            let JobMsg {
+                ticket,
+                tree,
+                decomp,
+                region,
+            } = job;
+            debug_assert!(
+                running.last().is_none_or(|r| r.ticket < ticket),
+                "jobs arrive in ticket order"
+            );
+            let scratch = scratches.pop().unwrap_or_default();
+            let mut machine =
+                Machine::from_plan(&ctx.plan, &tree, &decomp, region, ctx.mode, scratch);
+            // Replay values that raced ahead of this job; prune values
+            // for tickets that can no longer have a machine (older than
+            // this job, not running — i.e. finished).
+            let mut i = 0;
+            while i < parked_attrs.len() {
+                let t = parked_attrs[i].0;
+                if t == ticket {
+                    let (_, node, attr, value) = parked_attrs.swap_remove(i);
+                    machine.provide(node, attr, value);
+                } else if t < ticket && !running.iter().any(|r| r.ticket == t) {
+                    parked_attrs.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            running.push(Running {
+                ticket,
+                region,
+                parent: decomp.regions[region as usize].parent,
+                next_seg: 0,
+                machine,
+            });
+            Absorbed::Other
         }
-    };
+    }
+}
 
-    loop {
-        match machine.step() {
-            Err(e) => {
-                let (_, _, sc) = machine.recycle();
-                return (sc, Some(Err(e)));
+/// Steps one machine until it starves, finishes, fails, or exhausts
+/// `budget` scheduler steps ([`Drive::Yielded`], so the worker can poll
+/// for older-ticket work), forwarding its sends immediately (peers
+/// block on these values; see `super::threads` for why batching would
+/// serialize the pipeline).
+fn drive<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, budget: usize) -> Drive {
+    for _ in 0..budget {
+        match r.machine.step() {
+            Err(e) => return Drive::Finished(Some(e)),
+            Ok(None) => {
+                if r.machine.is_done() {
+                    return Drive::Finished(None);
+                }
+                return Drive::Starved;
             }
             Ok(Some(outcome)) => {
-                // Forward sends immediately: peers block on these values
-                // (see `super::threads` for why batching would serialize
-                // the pipeline).
                 for send in outcome.sends {
-                    if !route(send, &mut next_seg) {
-                        let (_, _, sc) = machine.recycle();
-                        return (sc, None);
+                    if !route_send(ctx, r, send) {
+                        return Drive::Dead;
                     }
-                }
-            }
-            Ok(None) => {
-                if machine.is_done() {
-                    break;
-                }
-                match ctx.rx.recv() {
-                    Err(_) => {
-                        let (_, _, sc) = machine.recycle();
-                        return (sc, None);
-                    }
-                    Ok(WorkerMsg::Shutdown) => {
-                        let (_, _, sc) = machine.recycle();
-                        return (sc, None);
-                    }
-                    Ok(WorkerMsg::Attr {
-                        epoch: e,
-                        node,
-                        attr,
-                        value,
-                    }) => {
-                        if e == epoch {
-                            machine.provide(node, attr, value);
-                        } else if e > epoch {
-                            parked.push((e, node, attr, value));
-                        }
-                        // Opportunistically drain anything else queued.
-                        while let Ok(m) = ctx.rx.try_recv() {
-                            match m {
-                                WorkerMsg::Attr {
-                                    epoch: e,
-                                    node,
-                                    attr,
-                                    value,
-                                } => {
-                                    if e == epoch {
-                                        machine.provide(node, attr, value);
-                                    } else if e > epoch {
-                                        parked.push((e, node, attr, value));
-                                    }
-                                }
-                                WorkerMsg::Shutdown => {
-                                    let (_, _, sc) = machine.recycle();
-                                    return (sc, None);
-                                }
-                                WorkerMsg::Job { .. } => {
-                                    unreachable!("one tree in flight per pool")
-                                }
-                            }
-                        }
-                    }
-                    Ok(WorkerMsg::Job { .. }) => unreachable!("one tree in flight per pool"),
                 }
             }
         }
     }
-    let (store, stats, sc) = machine.recycle();
-    (sc, Some(Ok((stats, store))))
+    Drive::Yielded
+}
+
+/// Forwards one attribute send, deflating librarian-bound string values
+/// into streaming ticket-tagged segment registrations (§4.2's
+/// registration phase). Returns `false` when the pool is gone.
+fn route_send<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, send: AttrMsg<V>) -> bool {
+    let upward = match send.to {
+        SendTarget::Parser => true,
+        SendTarget::Region(q) => Some(q) == r.parent,
+    };
+    let mut value = send.value;
+    if upward && ctx.result == ResultPropagation::Librarian {
+        let ticket = r.ticket;
+        let region = r.region;
+        let next_seg = &mut r.next_seg;
+        let deflated = value.deflate(&mut |text: Rope| {
+            let id = SegmentId::from_parts(region, *next_seg);
+            *next_seg += 1;
+            let _ = ctx.lib_tx.send(LibMsg::Register { ticket, id, text });
+            id
+        });
+        if let Some(d) = deflated {
+            value = d;
+        }
+    }
+    match send.to {
+        SendTarget::Parser => ctx
+            .parser_tx
+            .send(ParserMsg::Root {
+                ticket: r.ticket,
+                attr: send.attr,
+                value,
+            })
+            .is_ok(),
+        SendTarget::Region(q) => ctx.peers[q as usize]
+            .send(WorkerMsg::Attr {
+                ticket: r.ticket,
+                node: send.node,
+                attr: send.attr,
+                value,
+            })
+            .is_ok(),
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +899,15 @@ mod tests {
     use crate::value::Value;
 
     fn fixture(n: usize) -> (Arc<ParseTree<Value>>, Arc<EvalPlan<Value>>, AttrId) {
+        let (trees, plan, out) = fixture_trees(&[n]);
+        (trees.into_iter().next().unwrap(), plan, out)
+    }
+
+    /// One splittable grammar, many chain trees of the given lengths.
+    #[allow(clippy::type_complexity)]
+    fn fixture_trees(
+        sizes: &[usize],
+    ) -> (Vec<Arc<ParseTree<Value>>>, Arc<EvalPlan<Value>>, AttrId) {
         let mut g = GrammarBuilder::<Value>::new();
         let s = g.nonterminal("S");
         let l = g.nonterminal("stmts");
@@ -551,13 +933,28 @@ mod tests {
         g.rule(nil, (0, code), [], |_| Value::Rope(Rope::new()));
         let grammar = Arc::new(g.build(s).unwrap());
         let plan = Arc::new(EvalPlan::analyze(&grammar));
-        let mut tb = TreeBuilder::new(&grammar);
-        let mut tail = tb.leaf(nil);
-        for _ in 0..n {
-            tail = tb.node(cons, [tail]);
-        }
-        let root = tb.node(top, [tail]);
-        (Arc::new(tb.finish(root).unwrap()), plan, out)
+        let trees = sizes
+            .iter()
+            .map(|&n| {
+                let mut tb = TreeBuilder::new(&grammar);
+                let mut tail = tb.leaf(nil);
+                for _ in 0..n {
+                    tail = tb.node(cons, [tail]);
+                }
+                let root = tb.node(top, [tail]);
+                Arc::new(tb.finish(root).unwrap())
+            })
+            .collect();
+        (trees, plan, out)
+    }
+
+    fn root_rope(report: &PoolReport<Value>, out: AttrId) -> Rope {
+        report
+            .root_values
+            .iter()
+            .find(|(a, _)| *a == out)
+            .and_then(|(_, v)| v.as_rope().cloned())
+            .unwrap()
     }
 
     #[test]
@@ -572,15 +969,11 @@ mod tests {
         // Same pool, several trees in a row (the batched path).
         for round in 0..4 {
             let report = pool.eval(&tree).unwrap();
-            let got = report
-                .root_values
-                .iter()
-                .find(|(a, _)| *a == out)
-                .and_then(|(_, v)| v.as_rope().cloned())
-                .unwrap();
+            let got = root_rope(&report, out);
             assert!(got.content_eq(&want), "round {round}");
             assert!(report.regions > 1, "round {round}: tree was split");
             assert_eq!(report.store.filled(), report.store.len());
+            assert_eq!(report.ticket, round as Ticket);
         }
     }
 
@@ -613,6 +1006,7 @@ mod tests {
             mode: MachineMode::Dynamic,
             result: ResultPropagation::Naive,
             min_size_scale: 1.0,
+            pipeline_depth: 2,
         };
         let mut pool = WorkerPool::new(&plan, config);
         let report = pool.eval(&tree).unwrap();
@@ -626,5 +1020,56 @@ mod tests {
             .1;
         assert_eq!(got, want);
         assert_eq!(report.stats.static_applied, 0);
+    }
+
+    #[test]
+    fn pipelined_submit_collect_preserves_order_and_results() {
+        let sizes = [48usize, 5, 33, 17, 64, 2, 21];
+        let (trees, plan, out) = fixture_trees(&sizes);
+        for depth in [1usize, 2, 4] {
+            let mut pool =
+                WorkerPool::new(&plan, PoolConfig::combined(3).with_pipeline_depth(depth));
+            let mut reports = Vec::new();
+            for tree in &trees {
+                pool.submit(tree).unwrap();
+            }
+            assert!(pool.pending() == trees.len());
+            while let Some(r) = pool.collect().unwrap() {
+                reports.push(r);
+            }
+            assert_eq!(reports.len(), trees.len());
+            assert!(pool.max_in_flight() <= depth);
+            assert_eq!(pool.max_in_flight(), depth.min(trees.len()));
+            for ((tree, report), (i, _)) in trees.iter().zip(&reports).zip(sizes.iter().enumerate())
+            {
+                assert_eq!(report.ticket, i as Ticket, "reports in submission order");
+                let (dstore, _) = dynamic_eval(tree).unwrap();
+                let want = dstore
+                    .get(tree.root(), out)
+                    .and_then(|v| v.as_rope().cloned())
+                    .unwrap();
+                assert!(
+                    root_rope(report, out).content_eq(&want),
+                    "depth={depth} tree {i}"
+                );
+                assert_eq!(report.store.filled(), report.store.len());
+            }
+        }
+    }
+
+    #[test]
+    fn segment_ledger_isolates_tickets() {
+        let mut ledger = SegmentLedger::new();
+        let id = SegmentId::from_parts(0, 0);
+        ledger.register(0, id, Rope::from("tree zero"));
+        ledger.register(1, id, Rope::from("tree one"));
+        assert_eq!(ledger.open_tickets(), 2);
+        assert_eq!(ledger.ticket_bytes(0), 9);
+        let s0 = ledger.resolve(0);
+        assert_eq!(s0.get(id).unwrap().to_string(), "tree zero");
+        assert_eq!(ledger.open_tickets(), 1);
+        let s1 = ledger.resolve(1);
+        assert_eq!(s1.get(id).unwrap().to_string(), "tree one");
+        assert!(ledger.resolve(7).is_empty());
     }
 }

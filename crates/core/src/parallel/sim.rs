@@ -19,12 +19,14 @@
 use crate::analysis::Plans;
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::{AttrId, AttrKind};
+use crate::parallel::pool::SegmentLedger;
 use crate::split::{decompose, Decomposition, RegionId, SplitConfig};
 use crate::stats::EvalStats;
 use crate::tree::{Child, NodeId, ParseTree};
 use crate::value::AttrValue;
 use paragram_netsim::{secs, Ctx, NetModel, ProcId, Process, Sim, Time, Trace};
 use paragram_rope::{Rope, SegmentId, SegmentStore};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -519,6 +521,578 @@ pub fn run_sim<V: AttrValue>(
     }
 }
 
+// ---------------------------------------------------------------------
+// Batched simulation: a stream of trees through one simulated machine
+// park, with the pool's split-phase / ticket-window schedule.
+// ---------------------------------------------------------------------
+
+/// Result of one simulated *batched* parallel compilation.
+pub struct BatchSimReport<V> {
+    /// Evaluation makespan: from the parser initiating the first tree's
+    /// evaluation until the last tree's root attributes are resolved.
+    pub makespan: Time,
+    /// Per-tree completion times, measured from the same origin (the
+    /// start of evaluation), in submission order.
+    pub finish_times: Vec<Time>,
+    /// Parser time for the whole stream (reported separately, §4.1).
+    pub parse_time: Time,
+    /// Regions each tree was decomposed into.
+    pub regions: Vec<usize>,
+    /// Aggregated statistics over every tree and machine.
+    pub stats: EvalStats,
+    /// Per-evaluator statistics accumulated across the stream.
+    pub per_machine: Vec<EvalStats>,
+    /// The activity/message trace.
+    pub trace: Trace,
+    /// Process names aligned with the trace.
+    pub names: Vec<String>,
+    /// Per-tree root attribute values (librarian-resolved).
+    pub root_values: Vec<Vec<(AttrId, V)>>,
+}
+
+impl<V> BatchSimReport<V> {
+    /// The makespan in seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        secs(self.makespan)
+    }
+}
+
+enum BatchMsg<V> {
+    Subtree {
+        ticket: usize,
+        region: RegionId,
+    },
+    Attr {
+        ticket: usize,
+        node: NodeId,
+        attr: AttrId,
+        value: V,
+    },
+    /// Split-phase registration: streams in during evaluation.
+    Register {
+        ticket: usize,
+        id: SegmentId,
+        text: Rope,
+    },
+    /// A region's machine ran to completion (the pool's `Done`); the
+    /// parser retires a ticket — freeing its window slot — only after
+    /// every region reports.
+    Done {
+        ticket: usize,
+    },
+    /// The parser's final read for one ticket.
+    Resolve {
+        ticket: usize,
+    },
+    Resolved {
+        ticket: usize,
+    },
+}
+
+struct BatchShared<V: AttrValue> {
+    trees: Vec<Arc<ParseTree<V>>>,
+    decomps: Vec<Arc<Decomposition>>,
+    plan: Arc<EvalPlan<V>>,
+    cost: CostModel,
+    mode: MachineMode,
+    result: ResultPropagation,
+    classifier: PhaseClassifier,
+    librarian: ProcId,
+    parser: ProcId,
+    depth: usize,
+    expected_roots: Vec<usize>,
+    eval_start: Mutex<Time>,
+    finish: Mutex<Vec<Time>>,
+    root_values: Mutex<Vec<Vec<(AttrId, V)>>>,
+    segstores: Mutex<HashMap<usize, SegmentStore>>,
+    per_machine: Mutex<Vec<EvalStats>>,
+    error: Mutex<Option<EvalError>>,
+}
+
+impl<V: AttrValue> BatchShared<V> {
+    fn proc_of_region(&self, r: RegionId) -> ProcId {
+        ProcId(1 + r as usize)
+    }
+}
+
+struct BatchParserProc<V: AttrValue> {
+    shared: Arc<BatchShared<V>>,
+    /// Next ticket whose subtrees have not been shipped yet.
+    next_ship: usize,
+    /// Next ticket to resolve (strictly in submission order, matching
+    /// the pool's FIFO retirement).
+    next_resolve: usize,
+    /// Whether a Resolve for `next_resolve` is outstanding.
+    resolving: bool,
+    /// Per-ticket count of regions whose machines have reported done
+    /// (the pool retires — and frees a window slot — only then).
+    region_dones: Vec<usize>,
+    finished: usize,
+}
+
+impl<V: AttrValue> BatchParserProc<V> {
+    fn ship(&mut self, ctx: &mut Ctx<BatchMsg<V>>, ticket: usize) {
+        let sh = Arc::clone(&self.shared);
+        ctx.phase("ship subtrees");
+        let decomp = &sh.decomps[ticket];
+        for r in 0..decomp.len() as RegionId {
+            let info = &decomp.regions[r as usize];
+            ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
+            let bytes = region_wire_size(&sh.trees[ticket], decomp, r);
+            ctx.send(
+                sh.proc_of_region(r),
+                BatchMsg::Subtree { ticket, region: r },
+                bytes,
+                "subtree",
+            );
+        }
+    }
+
+    /// Resolves (or directly finishes, in naive mode) every ticket
+    /// whose roots are complete and whose regions have all reported
+    /// done, strictly in order — only then does the pool retire a tree
+    /// and free its window slot — keeping the ship window full as
+    /// tickets finish.
+    fn advance(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        while !self.resolving && self.next_resolve < sh.trees.len() {
+            let complete = {
+                let roots = sh.root_values.lock().unwrap();
+                roots[self.next_resolve].len() == sh.expected_roots[self.next_resolve]
+                    && self.region_dones[self.next_resolve] == sh.decomps[self.next_resolve].len()
+            };
+            if !complete {
+                return;
+            }
+            match sh.result {
+                ResultPropagation::Librarian => {
+                    ctx.phase("result propagation");
+                    ctx.send(
+                        sh.librarian,
+                        BatchMsg::Resolve {
+                            ticket: self.next_resolve,
+                        },
+                        64,
+                        "resolve",
+                    );
+                    self.resolving = true;
+                }
+                ResultPropagation::Naive => {
+                    let t = self.next_resolve;
+                    self.finish_ticket(ctx, t);
+                }
+            }
+        }
+    }
+
+    fn finish_ticket(&mut self, ctx: &mut Ctx<BatchMsg<V>>, ticket: usize) {
+        let sh = Arc::clone(&self.shared);
+        sh.finish.lock().unwrap()[ticket] = ctx.now();
+        self.finished += 1;
+        self.next_resolve = ticket + 1;
+        self.resolving = false;
+        // Retirement frees a window slot: dispatch the next tree.
+        if self.next_ship < sh.trees.len() {
+            let t = self.next_ship;
+            self.next_ship += 1;
+            self.ship(ctx, t);
+        }
+        if self.finished == sh.trees.len() {
+            ctx.stop();
+        }
+    }
+}
+
+impl<V: AttrValue> Process<BatchMsg<V>> for BatchParserProc<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        ctx.phase("parse");
+        let nodes: usize = sh.trees.iter().map(|t| t.len()).sum();
+        ctx.spend(nodes as Time * sh.cost.parse_node_us);
+        *sh.eval_start.lock().unwrap() = ctx.now();
+        // Fill the pipeline window.
+        while self.next_ship < sh.trees.len().min(sh.depth) {
+            let t = self.next_ship;
+            self.next_ship += 1;
+            self.ship(ctx, t);
+        }
+        // Degenerate trees with no root attributes complete at once.
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<BatchMsg<V>>, _from: ProcId, msg: BatchMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        match msg {
+            BatchMsg::Attr {
+                ticket,
+                attr,
+                value,
+                ..
+            } => {
+                ctx.phase("result propagation");
+                sh.root_values.lock().unwrap()[ticket].push((attr, value));
+                self.advance(ctx);
+            }
+            BatchMsg::Done { ticket } => {
+                self.region_dones[ticket] += 1;
+                self.advance(ctx);
+            }
+            BatchMsg::Resolved { ticket } => {
+                debug_assert_eq!(ticket, self.next_resolve);
+                self.finish_ticket(ctx, ticket);
+                self.advance(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One active machine on a simulated evaluator (mirrors the pool
+/// worker's `Running` entry).
+struct BatchRunning<V: AttrValue> {
+    ticket: usize,
+    machine: Machine<V>,
+    next_seg: u32,
+}
+
+struct BatchEvaluatorProc<V: AttrValue> {
+    shared: Arc<BatchShared<V>>,
+    region: RegionId,
+    /// Active machines in ticket order, multiplexed oldest-first
+    /// exactly like a pool worker: a starved older machine yields the
+    /// (virtual) CPU to the next tree's machine instead of idling.
+    running: Vec<BatchRunning<V>>,
+    /// Attribute values that raced ahead of their ticket's subtree.
+    parked: Vec<(usize, NodeId, AttrId, V)>,
+}
+
+impl<V: AttrValue> BatchEvaluatorProc<V> {
+    /// Steps machines oldest-first until every one is starved,
+    /// retiring finished machines (mirrors the pool worker loop; CPU
+    /// consumption is serialized on this process by `ctx.spend`).
+    fn pump(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        let mut i = 0;
+        while i < self.running.len() {
+            let ticket = self.running[i].ticket;
+            match self.running[i].machine.step() {
+                Err(e) => {
+                    *sh.error.lock().unwrap() = Some(e);
+                    ctx.stop();
+                    return;
+                }
+                Ok(None) => {
+                    if self.running[i].machine.is_done() {
+                        let stats = self.running[i].machine.stats();
+                        sh.per_machine.lock().unwrap()[self.region as usize] += stats;
+                        ctx.send(sh.parser, BatchMsg::Done { ticket }, 16, "done");
+                        self.running.remove(i);
+                    } else {
+                        i += 1; // starved: let the next ticket's machine run
+                    }
+                }
+                Ok(Some(outcome)) => {
+                    let label =
+                        classify(sh.trees[ticket].grammar(), &sh.classifier, outcome.target);
+                    ctx.phase(label);
+                    ctx.spend(
+                        outcome.cost_units * sh.cost.rule_unit_us
+                            + outcome.dynamic_rules as Time * sh.cost.dynamic_rule_us
+                            + outcome.static_rules as Time * sh.cost.static_rule_us,
+                    );
+                    for send in outcome.sends {
+                        self.transmit(ctx, i, send);
+                    }
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<BatchMsg<V>>, idx: usize, msg: AttrMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        let ticket = self.running[idx].ticket;
+        let decomp = &sh.decomps[ticket];
+        let upward = match msg.to {
+            SendTarget::Parser => true,
+            SendTarget::Region(r) => Some(r) == decomp.regions[self.region as usize].parent,
+        };
+        let mut value = msg.value;
+        if upward && sh.result == ResultPropagation::Librarian {
+            // Registration phase of the split-phase protocol: large
+            // code text streams to the librarian mid-evaluation, tagged
+            // with this tree's ticket.
+            let region = self.region;
+            let next = &mut self.running[idx].next_seg;
+            let mut segments: Vec<(SegmentId, Rope)> = Vec::new();
+            let deflated = value.deflate(&mut |text: Rope| {
+                let id = SegmentId::from_parts(region, *next);
+                *next += 1;
+                segments.push((id, text));
+                id
+            });
+            if let Some(d) = deflated {
+                value = d;
+                ctx.phase("result propagation");
+                for (id, text) in segments {
+                    let bytes = text.physical_wire_size();
+                    ctx.send(
+                        sh.librarian,
+                        BatchMsg::Register { ticket, id, text },
+                        bytes,
+                        "code-segment",
+                    );
+                }
+            }
+        }
+        let dest = match msg.to {
+            SendTarget::Parser => sh.parser,
+            SendTarget::Region(r) => sh.proc_of_region(r),
+        };
+        let bytes = value.wire_size();
+        ctx.send(
+            dest,
+            BatchMsg::Attr {
+                ticket,
+                node: msg.node,
+                attr: msg.attr,
+                value,
+            },
+            bytes,
+            "attr",
+        );
+    }
+}
+
+impl<V: AttrValue> Process<BatchMsg<V>> for BatchEvaluatorProc<V> {
+    fn on_message(&mut self, ctx: &mut Ctx<BatchMsg<V>>, _from: ProcId, msg: BatchMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        match msg {
+            BatchMsg::Subtree { ticket, region } => {
+                debug_assert_eq!(region, self.region);
+                ctx.phase("build");
+                let mut machine = Machine::from_plan(
+                    &sh.plan,
+                    &sh.trees[ticket],
+                    &sh.decomps[ticket],
+                    self.region,
+                    sh.mode,
+                    MachineScratch::new(),
+                );
+                let (gn, ge) = machine.graph_size();
+                ctx.spend(
+                    machine.local_nodes() as Time * sh.cost.ship_node_us
+                        + gn as Time * sh.cost.graph_node_us
+                        + ge as Time * sh.cost.graph_edge_us,
+                );
+                // Replay values that arrived before this machine existed.
+                let mut i = 0;
+                while i < self.parked.len() {
+                    if self.parked[i].0 == ticket {
+                        let (_, node, attr, value) = self.parked.swap_remove(i);
+                        machine.provide(node, attr, value);
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.running.push(BatchRunning {
+                    ticket,
+                    machine,
+                    next_seg: 0,
+                });
+                self.pump(ctx);
+            }
+            BatchMsg::Attr {
+                ticket,
+                node,
+                attr,
+                value,
+            } => match self.running.iter_mut().find(|r| r.ticket == ticket) {
+                Some(r) => {
+                    r.machine.provide(node, attr, value);
+                    self.pump(ctx);
+                }
+                None => self.parked.push((ticket, node, attr, value)),
+            },
+            _ => {}
+        }
+    }
+}
+
+struct BatchLibrarianProc<V: AttrValue> {
+    shared: Arc<BatchShared<V>>,
+    ledger: SegmentLedger,
+}
+
+impl<V: AttrValue> Process<BatchMsg<V>> for BatchLibrarianProc<V> {
+    fn on_message(&mut self, ctx: &mut Ctx<BatchMsg<V>>, from: ProcId, msg: BatchMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        match msg {
+            BatchMsg::Register { ticket, id, text } => {
+                ctx.phase("receive code");
+                ctx.spend((text.len() as Time).div_ceil(1024) * sh.cost.resolve_kb_us / 10);
+                self.ledger.register(ticket as u64, id, text);
+            }
+            BatchMsg::Resolve { ticket } => {
+                ctx.phase("combine code");
+                let total = self.ledger.ticket_bytes(ticket as u64);
+                ctx.spend((total as Time).div_ceil(1024) * sh.cost.resolve_kb_us);
+                let store = self.ledger.resolve(ticket as u64);
+                sh.segstores.lock().unwrap().insert(ticket, store);
+                ctx.send(from, BatchMsg::Resolved { ticket }, 64, "resolved");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs one simulated *batched* parallel compilation: `trees` stream
+/// through the same evaluator machines with up to `pipeline_depth`
+/// trees in flight, modelling the pool's split-phase/ticket schedule on
+/// the paper's simulated network. Depth 1 reproduces the strict
+/// one-tree-at-a-time barrier; depth ≥ 2 lets tree N+1's subtrees ship
+/// (and its machines start) while tree N's stragglers drain.
+///
+/// All trees must share one grammar; `plans` must be `Some` for
+/// [`MachineMode::Combined`].
+///
+/// # Panics
+///
+/// Panics if evaluation fails or the protocol deadlocks — validate the
+/// grammar with the sequential evaluators first.
+pub fn run_sim_batch<V: AttrValue>(
+    trees: &[Arc<ParseTree<V>>],
+    plans: Option<&Arc<Plans>>,
+    config: &SimConfig,
+    pipeline_depth: usize,
+) -> BatchSimReport<V> {
+    assert!(!trees.is_empty(), "batch must contain at least one tree");
+    let g = trees[0].grammar();
+    assert!(
+        trees.iter().all(|t| Arc::ptr_eq(t.grammar(), g)),
+        "all trees in a batch share one grammar"
+    );
+    let depth = pipeline_depth.max(1);
+    let decomps: Vec<Arc<Decomposition>> = trees
+        .iter()
+        .map(|t| {
+            Arc::new(decompose(
+                t,
+                SplitConfig {
+                    target_regions: config.machines,
+                    min_size_scale: config.min_size_scale,
+                },
+            ))
+        })
+        .collect();
+    let machines = decomps.iter().map(|d| d.len()).max().unwrap();
+    let expected_roots: Vec<usize> = trees
+        .iter()
+        .map(|t| {
+            let root_sym = g.prod(t.node(t.root()).prod).lhs;
+            g.symbol(root_sym).attrs_of_kind(AttrKind::Syn).count()
+        })
+        .collect();
+
+    let shared = Arc::new(BatchShared {
+        trees: trees.to_vec(),
+        decomps,
+        plan: Arc::new(EvalPlan::from_parts(g, plans.cloned(), None)),
+        cost: config.cost,
+        mode: config.mode,
+        result: config.result,
+        classifier: Arc::clone(&config.classifier),
+        librarian: ProcId(1 + machines),
+        parser: ProcId(0),
+        depth,
+        expected_roots,
+        eval_start: Mutex::new(0),
+        finish: Mutex::new(vec![0; trees.len()]),
+        root_values: Mutex::new(vec![Vec::new(); trees.len()]),
+        segstores: Mutex::new(HashMap::new()),
+        per_machine: Mutex::new(vec![EvalStats::default(); machines]),
+        error: Mutex::new(None),
+    });
+
+    let mut sim: Sim<BatchMsg<V>> = Sim::new(config.net);
+    sim.add_process(
+        "parser",
+        BatchParserProc {
+            shared: Arc::clone(&shared),
+            next_ship: 0,
+            next_resolve: 0,
+            resolving: false,
+            region_dones: vec![0; trees.len()],
+            finished: 0,
+        },
+    );
+    for r in 0..machines {
+        let letter = (b'a' + (r % 26) as u8) as char;
+        sim.add_process(
+            format!("evaluator-{letter}"),
+            BatchEvaluatorProc {
+                shared: Arc::clone(&shared),
+                region: r as RegionId,
+                running: Vec::new(),
+                parked: Vec::new(),
+            },
+        );
+    }
+    sim.add_process(
+        "librarian",
+        BatchLibrarianProc {
+            shared: Arc::clone(&shared),
+            ledger: SegmentLedger::new(),
+        },
+    );
+    sim.run();
+
+    if let Some(e) = shared.error.lock().unwrap().take() {
+        panic!("batched parallel evaluation failed: {e}");
+    }
+    let eval_start = *shared.eval_start.lock().unwrap();
+    let finish = shared.finish.lock().unwrap().clone();
+    let last = finish.iter().copied().max().unwrap_or(0);
+    assert!(
+        last >= eval_start && last > 0,
+        "batch simulation ended without all roots resolved (deadlock?)"
+    );
+
+    let per_machine = shared.per_machine.lock().unwrap().clone();
+    let mut stats = EvalStats::default();
+    for s in &per_machine {
+        stats += *s;
+    }
+    let segstores = shared.segstores.lock().unwrap();
+    let root_values: Vec<Vec<(AttrId, V)>> = shared
+        .root_values
+        .lock()
+        .unwrap()
+        .iter()
+        .enumerate()
+        .map(|(t, roots)| {
+            let empty = SegmentStore::new();
+            let store = segstores.get(&t).unwrap_or(&empty);
+            roots.iter().map(|(a, v)| (*a, v.inflate(store))).collect()
+        })
+        .collect();
+    drop(segstores);
+
+    BatchSimReport {
+        makespan: last - eval_start,
+        finish_times: finish
+            .iter()
+            .map(|&f| f.saturating_sub(eval_start))
+            .collect(),
+        parse_time: eval_start,
+        regions: shared.decomps.iter().map(|d| d.len()).collect(),
+        stats,
+        per_machine,
+        trace: sim.trace().clone(),
+        names: sim.names().to_vec(),
+        root_values,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,10 +1111,28 @@ mod tests {
         code: AttrId,
     }
 
+    /// A batch of mini trees sharing one grammar/plan set.
+    struct MiniBatch {
+        trees: Vec<Arc<ParseTree<Value>>>,
+        plans: Arc<Plans>,
+        code: AttrId,
+    }
+
     /// `n` statements; each statement owns an off-spine "procedure body"
     /// subtree of `depth` costly nodes — the shape that makes parallel
     /// evaluation worthwhile in the paper's workload.
     fn mini_shape(n: usize, depth: usize) -> Mini {
+        let mut b = mini_batch(&[(n, depth)]);
+        Mini {
+            tree: b.trees.remove(0),
+            plans: b.plans,
+            code: b.code,
+        }
+    }
+
+    /// Like [`mini_shape`] but building one tree per `(n, depth)` pair,
+    /// all over the same grammar (the batched-simulation fixture).
+    fn mini_batch(shapes: &[(usize, usize)]) -> MiniBatch {
         let mut g = GrammarBuilder::<Value>::new();
         let s = g.nonterminal("S");
         let l = g.nonterminal("stmts");
@@ -599,19 +1191,24 @@ mod tests {
 
         let grammar: Arc<Grammar<Value>> = Arc::new(g.build(s).unwrap());
         let plans = Arc::new(compute_plans(&grammar).unwrap());
-        let mut tb = TreeBuilder::new(&grammar);
-        let mut tail = tb.leaf(nil);
-        for _ in 0..n {
-            let mut b = tb.leaf(unit);
-            for _ in 0..depth {
-                b = tb.node(wrap, [b]);
-            }
-            tail = tb.node(cons, [b, tail]);
-        }
-        let root = tb.node(top, [tail]);
-        let tree = Arc::new(tb.finish(root).unwrap());
-        Mini {
-            tree,
+        let trees = shapes
+            .iter()
+            .map(|&(n, depth)| {
+                let mut tb = TreeBuilder::new(&grammar);
+                let mut tail = tb.leaf(nil);
+                for _ in 0..n {
+                    let mut b = tb.leaf(unit);
+                    for _ in 0..depth {
+                        b = tb.node(wrap, [b]);
+                    }
+                    tail = tb.node(cons, [b, tail]);
+                }
+                let root = tb.node(top, [tail]);
+                Arc::new(tb.finish(root).unwrap())
+            })
+            .collect();
+        MiniBatch {
+            trees,
             plans,
             code: done_code,
         }
@@ -709,5 +1306,72 @@ mod tests {
         let a = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(3)).eval_time;
         let b = run_sim(&m.tree, Some(&m.plans), &SimConfig::paper(3)).eval_time;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_sim_produces_correct_code_at_every_depth() {
+        let b = mini_batch(&[(24, 5), (40, 6), (9, 4), (31, 5)]);
+        let want: Vec<Rope> = b
+            .trees
+            .iter()
+            .map(|t| {
+                let (dstore, _) = dynamic_eval(t).unwrap();
+                dstore
+                    .get(t.root(), b.code)
+                    .and_then(|v| v.as_rope().cloned())
+                    .unwrap()
+            })
+            .collect();
+        for depth in [1usize, 2, 3] {
+            let report = run_sim_batch(&b.trees, Some(&b.plans), &SimConfig::paper(3), depth);
+            assert_eq!(report.root_values.len(), b.trees.len());
+            assert_eq!(report.regions.len(), b.trees.len());
+            for (t, want) in want.iter().enumerate() {
+                let got = report.root_values[t]
+                    .iter()
+                    .find(|(a, _)| *a == b.code)
+                    .and_then(|(_, v)| v.as_rope().cloned())
+                    .expect("root code attribute present");
+                assert!(
+                    got.content_eq(want),
+                    "depth={depth} tree {t}: code mismatch"
+                );
+            }
+            // Trees finish in submission order (FIFO retirement).
+            for w in report.finish_times.windows(2) {
+                assert!(w[0] <= w[1], "depth={depth}: finish order violated");
+            }
+            assert!(report.stats.total_applied() > 0);
+        }
+    }
+
+    #[test]
+    fn pipelined_batch_beats_the_barrier_schedule() {
+        let b = mini_batch(&[(48, 6), (16, 4), (40, 6), (12, 4), (44, 6), (20, 5)]);
+        let barrier = run_sim_batch(&b.trees, Some(&b.plans), &SimConfig::paper(4), 1).makespan;
+        let pipelined = run_sim_batch(&b.trees, Some(&b.plans), &SimConfig::paper(4), 2).makespan;
+        assert!(
+            pipelined < barrier,
+            "depth 2 ({pipelined}µs) should beat the barrier ({barrier}µs)"
+        );
+    }
+
+    #[test]
+    fn batch_sim_is_deterministic_and_matches_single_tree_at_depth_one() {
+        let b = mini_batch(&[(32, 5), (32, 5)]);
+        let r1 = run_sim_batch(&b.trees, Some(&b.plans), &SimConfig::paper(3), 2);
+        let r2 = run_sim_batch(&b.trees, Some(&b.plans), &SimConfig::paper(3), 2);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.finish_times, r2.finish_times);
+        // Depth-1 single-tree batch reproduces run_sim's code result.
+        let single = run_sim(&b.trees[0], Some(&b.plans), &SimConfig::paper(3));
+        let batch1 = run_sim_batch(&b.trees[..1], Some(&b.plans), &SimConfig::paper(3), 1);
+        let a = root_code(&single, b.code);
+        let c = batch1.root_values[0]
+            .iter()
+            .find(|(x, _)| *x == b.code)
+            .and_then(|(_, v)| v.as_rope().cloned())
+            .unwrap();
+        assert!(a.content_eq(&c));
     }
 }

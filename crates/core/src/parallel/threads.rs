@@ -10,10 +10,12 @@
 //!
 //! Since the batched driver landed, the actual thread management lives
 //! in [`crate::parallel::pool`]: [`run_threads`] is the one-shot
-//! convenience entry — it spins up a [`WorkerPool`] for a single tree
-//! and tears it down again. Callers compiling a *stream* of trees
-//! should hold a [`WorkerPool`] (or a `paragram-driver` batch driver)
-//! instead, so thread spawn and plan construction amortize.
+//! convenience entry — it spins up a [`WorkerPool`] at pipeline depth 1
+//! (one tree, one ticket, strict barrier) for a single tree and tears
+//! it down again. Callers compiling a *stream* of trees should hold a
+//! [`WorkerPool`] (or a `paragram-driver` batch driver) instead, so
+//! thread spawn and plan construction amortize and consecutive trees
+//! pipeline through the pool's ticket window.
 //!
 //! Wall-clock speedup naturally requires a multi-core host; on a
 //! single-core machine this runtime still produces identical results
@@ -76,6 +78,8 @@ pub fn run_threads<V: AttrValue>(
             mode: config.mode,
             result: config.result,
             min_size_scale: config.min_size_scale,
+            // One tree, one ticket: the single-compilation barrier.
+            pipeline_depth: 1,
         },
     );
     pool.eval(tree)

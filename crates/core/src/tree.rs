@@ -434,14 +434,85 @@ impl<V: AttrValue> TreeBuilder<V> {
     }
 }
 
+/// Dense slot storage with a side presence bitset: a slot is exactly
+/// one `V` wide (no `Option` discriminant padding), so large value
+/// domains halve their footprint and the gather path walks a compact
+/// array. Unwritten slots hold `V::default()`, which is never
+/// observable through the accessors — presence lives in the bitset.
+///
+/// Shared by [`AttrStore`] and the incremental evaluator's token
+/// overlays, which mirror this layout.
+#[derive(Clone)]
+pub(crate) struct PackedSlots<V> {
+    values: Vec<V>,
+    present: Vec<u64>,
+}
+
+impl<V: Default> PackedSlots<V> {
+    pub(crate) fn new(len: usize) -> Self {
+        let mut values = Vec::new();
+        values.resize_with(len, V::default);
+        PackedSlots {
+            values,
+            present: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Presence check; out-of-range indices read as unset.
+    #[inline]
+    pub(crate) fn is_set(&self, i: usize) -> bool {
+        i < self.values.len() && (self.present[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<&V> {
+        if self.is_set(i) {
+            Some(&self.values[i])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize, v: V) {
+        self.values[i] = v;
+        self.present[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn filled(&self) -> usize {
+        self.present.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Mutable iteration over the filled slots only.
+    pub(crate) fn iter_set_mut(&mut self) -> impl Iterator<Item = &mut V> + '_ {
+        let present = &self.present;
+        self.values
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(i, v)| {
+                if (present[i / 64] >> (i % 64)) & 1 == 1 {
+                    Some(v)
+                } else {
+                    None
+                }
+            })
+    }
+}
+
 /// Attribute-instance storage for one evaluation of a tree.
 ///
 /// One slot per (node, attribute-of-node's-LHS-symbol) pair; slots are
 /// write-once (enforced in debug builds — semantic rules are pure and an
-/// instance has exactly one defining rule).
+/// instance has exactly one defining rule). Storage is a dense value
+/// array plus a presence bitset ([`PackedSlots`]), so each slot costs
+/// exactly one `V`.
 pub struct AttrStore<V> {
     base: Vec<u32>,
-    slots: Vec<Option<V>>,
+    slots: PackedSlots<V>,
 }
 
 impl<V: AttrValue> AttrStore<V> {
@@ -456,7 +527,7 @@ impl<V: AttrValue> AttrStore<V> {
         }
         AttrStore {
             base,
-            slots: vec![None; total as usize],
+            slots: PackedSlots::new(total as usize),
         }
     }
 
@@ -467,7 +538,7 @@ impl<V: AttrValue> AttrStore<V> {
 
     /// Reads an instance.
     pub fn get(&self, node: NodeId, attr: AttrId) -> Option<&V> {
-        self.slots[self.instance(node, attr)].as_ref()
+        self.slots.get(self.instance(node, attr))
     }
 
     /// Writes an instance.
@@ -479,15 +550,15 @@ impl<V: AttrValue> AttrStore<V> {
     pub fn set(&mut self, node: NodeId, attr: AttrId, value: V) {
         let idx = self.instance(node, attr);
         debug_assert!(
-            self.slots[idx].is_none(),
+            !self.slots.is_set(idx),
             "attribute instance ({node:?}, {attr:?}) written twice"
         );
-        self.slots[idx] = Some(value);
+        self.slots.set(idx, value);
     }
 
     /// Reads by dense instance index.
     pub fn get_by_index(&self, idx: usize) -> Option<&V> {
-        self.slots[idx].as_ref()
+        self.slots.get(idx)
     }
 
     /// Overwrites an instance (incremental re-evaluation only; ordinary
@@ -495,13 +566,13 @@ impl<V: AttrValue> AttrStore<V> {
     /// [`AttrStore::set`]).
     pub fn replace(&mut self, node: NodeId, attr: AttrId, value: V) {
         let idx = self.instance(node, attr);
-        self.slots[idx] = Some(value);
+        self.slots.set(idx, value);
     }
 
     /// Writes by dense instance index.
     pub fn set_by_index(&mut self, idx: usize, value: V) {
-        debug_assert!(self.slots[idx].is_none());
-        self.slots[idx] = Some(value);
+        debug_assert!(!self.slots.is_set(idx));
+        self.slots.set(idx, value);
     }
 
     /// Total number of instances.
@@ -511,12 +582,12 @@ impl<V: AttrValue> AttrStore<V> {
 
     /// `true` if the tree has no attribute instances.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.slots.len() == 0
     }
 
     /// Number of instances currently filled.
     pub fn filled(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.slots.filled()
     }
 
     /// Resolves every filled slot against a librarian segment store
@@ -524,18 +595,25 @@ impl<V: AttrValue> AttrStore<V> {
     /// references; see [`AttrValue::inflate`]). After this the store's
     /// contents are independent of how the tree was decomposed.
     pub fn inflate_all(&mut self, segments: &paragram_rope::SegmentStore) {
-        for v in self.slots.iter_mut().flatten() {
+        for v in self.slots.iter_set_mut() {
             *v = v.inflate(segments);
         }
     }
 
     /// Merges another store's filled slots into this one (used when
-    /// combining per-machine results; disjoint by construction).
-    pub fn absorb(&mut self, other: AttrStore<V>) {
-        for (i, v) in other.slots.into_iter().enumerate() {
-            if let Some(v) = v {
-                if self.slots[i].is_none() {
-                    self.slots[i] = Some(v);
+    /// combining per-machine results; disjoint by construction). Walks
+    /// the presence words, so sparse region stores merge in time
+    /// proportional to what they actually filled.
+    pub fn absorb(&mut self, mut other: AttrStore<V>) {
+        debug_assert_eq!(self.len(), other.len());
+        for wi in 0..other.slots.present.len() {
+            let mut word = other.slots.present[wi];
+            while word != 0 {
+                let i = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if !self.slots.is_set(i) {
+                    self.slots
+                        .set(i, std::mem::take(&mut other.slots.values[i]));
                 }
             }
         }

@@ -18,7 +18,11 @@ use std::sync::Arc;
 /// flattened, contiguous representation suitable for transmission over the
 /// network must exist, and its size drives the simulated (and measured)
 /// communication cost.
-pub trait AttrValue: Clone + Send + Sync + fmt::Debug + 'static {
+///
+/// `Default` provides the placeholder that packed attribute stores keep
+/// in unwritten slots (presence is tracked in a side bitset, so the
+/// placeholder is never observable through the store API).
+pub trait AttrValue: Clone + Default + Send + Sync + fmt::Debug + 'static {
     /// Bytes needed to ship this value over the network.
     fn wire_size(&self) -> usize {
         16

@@ -32,11 +32,15 @@
 //!
 //! The librarian protocol separates *registration* (segments stream to
 //! the librarian while evaluation runs) from *resolution* (the parser's
-//! final read). The pool keeps exactly that split per tree — each
-//! [`BatchDriver::compile_tree`] call is one librarian epoch whose
-//! registrations overlap evaluation and whose resolution happens once
-//! at the end — which is what lets consecutive trees reuse the same
-//! librarian process without their segments colliding.
+//! final read). The pool implements that split per **ticket**: every
+//! tree's registrations are tagged with its ticket and stream in while
+//! evaluation runs (even the next tree's), and resolution happens once
+//! per ticket at the parser's final read. Because the two phases are
+//! decoupled, [`BatchDriver::compile_batch`] keeps a small window of
+//! trees in flight ([`DriverConfig::pipeline_depth`], default 2):
+//! tree N+1's region jobs fill workers idling behind tree N's
+//! stragglers, and tree N's result assembly overlaps tree N+1's
+//! evaluation. Depth 1 restores the strict one-tree-per-epoch barrier.
 //!
 //! # Example
 //!
@@ -96,16 +100,40 @@ pub struct DriverConfig {
     pub result: ResultPropagation,
     /// Split-granularity scale (the paper's runtime argument).
     pub min_size_scale: f64,
+    /// Trees kept in flight on the pool at once (see
+    /// [`paragram_core::parallel::pool::PoolConfig::pipeline_depth`]).
+    /// Depth 1 is the strict per-tree barrier; the default of 2
+    /// pipelines each tree behind its predecessor's stragglers.
+    pub pipeline_depth: usize,
 }
 
 impl DriverConfig {
-    /// Librarian propagation, best available mode, `n` workers.
+    /// Librarian propagation, best available mode, `n` workers, default
+    /// pipeline window.
     pub fn workers(n: usize) -> Self {
         DriverConfig {
             workers: n.max(1),
             mode: None,
             result: ResultPropagation::Librarian,
             min_size_scale: 1.0,
+            pipeline_depth: 2,
+        }
+    }
+
+    /// Same as [`DriverConfig::workers`] with the strict one-tree
+    /// barrier (no cross-tree pipelining).
+    pub fn barrier(n: usize) -> Self {
+        DriverConfig {
+            pipeline_depth: 1,
+            ..DriverConfig::workers(n)
+        }
+    }
+
+    /// Returns the configuration with the given in-flight window depth.
+    pub fn with_pipeline_depth(self, depth: usize) -> Self {
+        DriverConfig {
+            pipeline_depth: depth.max(1),
+            ..self
         }
     }
 }
@@ -214,6 +242,12 @@ pub struct BatchReport<V: AttrValue> {
     /// Wall-clock time for the whole batch (including decomposition,
     /// excluding plan construction and pool spin-up).
     pub elapsed: Duration,
+    /// The configured in-flight window depth the batch ran with.
+    pub pipeline_depth: usize,
+    /// The largest number of trees actually in flight at once during
+    /// this batch (≤ `pipeline_depth`; 1 means the batch degenerated to
+    /// the barrier schedule, e.g. a single-tree batch).
+    pub max_in_flight: usize,
 }
 
 impl<V: AttrValue> BatchReport<V> {
@@ -246,6 +280,7 @@ impl<V: AttrValue> BatchDriver<V> {
                 mode: plan.mode(),
                 result: cfg.result,
                 min_size_scale: cfg.min_size_scale,
+                pipeline_depth: cfg.pipeline_depth,
             },
         );
         BatchDriver {
@@ -259,12 +294,19 @@ impl<V: AttrValue> BatchDriver<V> {
         self.pool.workers()
     }
 
+    /// The configured in-flight window depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pool.pipeline_depth()
+    }
+
     /// Trees compiled by this driver so far.
     pub fn trees_compiled(&self) -> usize {
         self.trees_compiled
     }
 
-    /// Compiles one tree on the pool.
+    /// Compiles one tree on the pool, start to finish (no overlap with
+    /// other trees — stream trees through [`BatchDriver::compile_batch`]
+    /// to pipeline them).
     ///
     /// # Errors
     ///
@@ -275,7 +317,11 @@ impl<V: AttrValue> BatchDriver<V> {
         Ok(TreeOutput::from_report(report))
     }
 
-    /// Compiles a stream of trees, in order, on the same pool.
+    /// Compiles a stream of trees on the same pool, keeping up to
+    /// [`DriverConfig::pipeline_depth`] trees in flight so each tree's
+    /// region jobs fill workers idling behind its predecessor's
+    /// stragglers. Outputs come back in input order regardless of the
+    /// overlap.
     ///
     /// # Errors
     ///
@@ -287,12 +333,24 @@ impl<V: AttrValue> BatchDriver<V> {
     ) -> Result<BatchReport<V>, EvalError> {
         let start = Instant::now();
         let mut outputs = Vec::new();
+        let mut max_in_flight = 0usize;
         for tree in trees {
-            outputs.push(self.compile_tree(&tree)?);
+            self.pool.submit(&tree)?;
+            max_in_flight = max_in_flight.max(self.pool.in_flight());
+            while let Some(report) = self.pool.take_ready() {
+                self.trees_compiled += 1;
+                outputs.push(TreeOutput::from_report(report));
+            }
+        }
+        while let Some(report) = self.pool.collect()? {
+            self.trees_compiled += 1;
+            outputs.push(TreeOutput::from_report(report));
         }
         Ok(BatchReport {
             outputs,
             elapsed: start.elapsed(),
+            pipeline_depth: self.pool.pipeline_depth(),
+            max_in_flight,
         })
     }
 }

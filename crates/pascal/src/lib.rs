@@ -187,18 +187,22 @@ impl Compiler {
     }
 
     /// A reusable batch driver over this compiler's (already computed)
-    /// plan: persistent evaluator workers fed a stream of parse trees.
-    /// Hold on to it when compiling many programs — plan construction
-    /// and worker spin-up amortize across every
-    /// [`BatchDriver::compile_tree`] call.
+    /// plan: persistent evaluator workers fed a stream of parse trees,
+    /// pipelined through the pool's ticket window. Hold on to it when
+    /// compiling many programs — plan construction and worker spin-up
+    /// amortize across every [`BatchDriver::compile_tree`] /
+    /// [`BatchDriver::compile_batch`] call.
     pub fn batch_driver(&self, config: DriverConfig) -> BatchDriver<PVal> {
         BatchDriver::new(&CompilationPlan::from_plan(self.evals.plan(), config))
     }
 
     /// Compiles a batch of programs through the parallel batch driver
-    /// (shared plan, persistent worker pool, one librarian epoch per
-    /// program). Outputs are returned in input order and are identical
-    /// to what [`Compiler::compile`] produces for each source.
+    /// (shared plan, persistent worker pool, split-phase librarian with
+    /// one ticket per program). Up to [`DriverConfig::pipeline_depth`]
+    /// programs are kept in flight so each program's region jobs fill
+    /// workers idling behind its predecessor's stragglers. Outputs are
+    /// returned in input order and are identical to what
+    /// [`Compiler::compile`] produces for each source.
     ///
     /// # Errors
     ///

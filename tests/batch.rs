@@ -1,16 +1,24 @@
 //! Batched-compilation determinism: compiling the same stream of trees
 //! through the driver must yield byte-identical output code and
 //! identical attribute stores regardless of how many pool workers (and
-//! therefore regions, message interleavings and librarian epochs) were
-//! involved — and regardless of how often it is repeated on the same
-//! pool.
+//! therefore regions, message interleavings and librarian tickets) were
+//! involved, regardless of the pipeline window depth (how many trees
+//! overlap in flight), and regardless of how often it is repeated on
+//! the same pool.
+//!
+//! The `#[ignore]`d property test at the bottom drives the split-phase
+//! librarian ledger directly with randomized out-of-order
+//! `Register`/`Resolve` interleavings (run it with
+//! `cargo test -- --ignored`; CI does).
 
 use paragram::core::eval::static_eval;
 use paragram::core::grammar::AttrId;
+use paragram::core::parallel::pool::SegmentLedger;
 use paragram::core::tree::{AttrStore, ParseTree};
 use paragram::driver::{BatchDriver, CompilationPlan, DriverConfig};
 use paragram::pascal::generator::{generate, GenConfig};
 use paragram::pascal::{Compiler, PVal};
+use paragram::rope::{Rope, SegmentId, SegmentStore};
 use std::sync::Arc;
 
 fn sources() -> Vec<String> {
@@ -48,7 +56,15 @@ fn run_once(
     trees: &[Arc<ParseTree<PVal>>],
     workers: usize,
 ) -> Vec<(String, Vec<Option<PVal>>)> {
-    let plan = CompilationPlan::from_plan(compiler.evals.plan(), DriverConfig::workers(workers));
+    run_once_with(compiler, trees, DriverConfig::workers(workers))
+}
+
+fn run_once_with(
+    compiler: &Compiler,
+    trees: &[Arc<ParseTree<PVal>>],
+    config: DriverConfig,
+) -> Vec<(String, Vec<Option<PVal>>)> {
+    let plan = CompilationPlan::from_plan(compiler.evals.plan(), config);
     let mut driver = BatchDriver::new(&plan);
     let report = driver.compile_batch(trees.iter().cloned()).unwrap();
     trees
@@ -115,6 +131,113 @@ fn batch_output_is_identical_across_worker_counts_and_runs() {
     }
 }
 
+mod interleaving {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    /// One ticket's ground truth: its segments registered alone.
+    fn expected_store(segs: &[(SegmentId, String)]) -> SegmentStore {
+        let mut store = SegmentStore::new();
+        for (id, text) in segs {
+            store.register(*id, Rope::from(text.clone()));
+        }
+        store
+    }
+
+    fn stores_equal(a: &SegmentStore, b: &SegmentStore, ids: &[SegmentId]) -> bool {
+        a.len() == b.len()
+            && a.total_bytes() == b.total_bytes()
+            && ids.iter().all(|id| match (a.get(*id), b.get(*id)) {
+                (Some(x), Some(y)) => x.content_eq(y),
+                (None, None) => true,
+                _ => false,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Split-phase soundness: for ANY interleaving of ticket-tagged
+        /// `Register` messages and per-ticket `Resolve` reads — tickets
+        /// registering concurrently, resolutions happening while later
+        /// tickets still stream in — each ticket resolves to exactly
+        /// the store it would have produced registering alone.
+        #[test]
+        #[ignore = "interleaving sweep; run with cargo test -- --ignored (CI does)"]
+        fn out_of_order_register_resolve_interleavings_resolve_identically(
+            nsegs in prop::collection::vec(0usize..8, 1..6),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Per-ticket segment sets. Region/local parts overlap across
+            // tickets on purpose: identical SegmentIds in different
+            // tickets must not collide in the ledger.
+            let tickets: Vec<Vec<(SegmentId, String)>> = nsegs
+                .iter()
+                .enumerate()
+                .map(|(t, &n)| {
+                    (0..n)
+                        .map(|i| {
+                            let id = SegmentId::from_parts((i % 3) as u32, (i / 3) as u32);
+                            let text = format!("t{t}.s{i}.{:x}\n", rng.next_u64());
+                            (id, text)
+                        })
+                        .collect()
+                })
+                .collect();
+
+            // Shuffle all register events globally (Fisher-Yates).
+            let mut events: Vec<(usize, usize)> = tickets
+                .iter()
+                .enumerate()
+                .flat_map(|(t, segs)| (0..segs.len()).map(move |i| (t, i)))
+                .collect();
+            for i in (1..events.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                events.swap(i, j);
+            }
+
+            let mut ledger = SegmentLedger::new();
+            let mut remaining: Vec<usize> = nsegs.clone();
+            let mut resolved: Vec<Option<SegmentStore>> =
+                (0..tickets.len()).map(|_| None).collect();
+            for (t, i) in events {
+                let (id, text) = &tickets[t][i];
+                ledger.register(t as u64, *id, Rope::from(text.clone()));
+                remaining[t] -= 1;
+                // Randomly resolve any fully-registered ticket mid-stream
+                // (out of ticket order, while other registrations are
+                // still arriving).
+                for rt in 0..tickets.len() {
+                    if remaining[rt] == 0 && resolved[rt].is_none() && rng.gen_range(0usize..2) == 0
+                    {
+                        resolved[rt] = Some(ledger.resolve(rt as u64));
+                    }
+                }
+            }
+            for (rt, slot) in resolved.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = Some(ledger.resolve(rt as u64));
+                }
+            }
+            prop_assert_eq!(ledger.open_tickets(), 0);
+
+            for (t, segs) in tickets.iter().enumerate() {
+                let want = expected_store(segs);
+                let got = resolved[t].as_ref().unwrap();
+                let ids: Vec<SegmentId> = segs.iter().map(|(id, _)| *id).collect();
+                prop_assert!(
+                    stores_equal(&want, got, &ids),
+                    "ticket {} resolved to a different store (seed {})",
+                    t,
+                    seed
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn reused_pool_is_deterministic_across_repeats() {
     let compiler = Compiler::new();
@@ -138,6 +261,76 @@ fn reused_pool_is_deterministic_across_repeats() {
         }
     }
     assert_eq!(driver.trees_compiled(), 3 * trees.len());
+}
+
+/// The acceptance bar for cross-tree pipelining: every window depth
+/// (barrier, default, deep) at every worker count must produce output
+/// byte-identical to the sequential static evaluator — overlapping
+/// trees in flight may change the schedule, never the result.
+#[test]
+fn pipelined_batch_is_byte_identical_across_window_depths() {
+    let compiler = Compiler::new();
+    let trees: Vec<Arc<ParseTree<PVal>>> = sources()
+        .iter()
+        .map(|s| compiler.tree_from_source(s).unwrap())
+        .collect();
+    let plans = compiler.evals.plans().unwrap();
+    let reference: Vec<(String, Vec<Option<PVal>>)> = trees
+        .iter()
+        .map(|tree| {
+            let (store, stats) = static_eval(tree, plans).unwrap();
+            let out = compiler.output_from_store(tree, &store, stats);
+            assert!(out.errors.is_empty(), "{:?}", out.errors);
+            (out.asm, store_snapshot(tree, &store))
+        })
+        .collect();
+
+    for depth in [1usize, 2, 4] {
+        for workers in [1usize, 2, 8] {
+            let config = DriverConfig::workers(workers).with_pipeline_depth(depth);
+            let got = run_once_with(&compiler, &trees, config);
+            for (i, ((want_asm, want_store), (got_asm, got_store))) in
+                reference.iter().zip(&got).enumerate()
+            {
+                assert_eq!(
+                    want_asm, got_asm,
+                    "tree {i}: asm differs at depth={depth} workers={workers}"
+                );
+                assert_eq!(
+                    want_store, got_store,
+                    "tree {i}: store differs at depth={depth} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+/// Pipelining actually overlaps trees: a multi-tree batch at depth ≥ 2
+/// reports more than one tree in flight.
+#[test]
+fn batch_report_exposes_in_flight_depth() {
+    let compiler = Compiler::new();
+    let trees: Vec<Arc<ParseTree<PVal>>> = sources()
+        .iter()
+        .map(|s| compiler.tree_from_source(s).unwrap())
+        .collect();
+    let plan = CompilationPlan::from_plan(
+        compiler.evals.plan(),
+        DriverConfig::workers(2).with_pipeline_depth(2),
+    );
+    let mut driver = BatchDriver::new(&plan);
+    assert_eq!(driver.pipeline_depth(), 2);
+    let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+    assert_eq!(report.pipeline_depth, 2);
+    assert_eq!(
+        report.max_in_flight, 2,
+        "a 4-tree batch fills a depth-2 window"
+    );
+    // Barrier config degenerates to one in flight.
+    let plan1 = CompilationPlan::from_plan(compiler.evals.plan(), DriverConfig::barrier(2));
+    let mut driver1 = BatchDriver::new(&plan1);
+    let report1 = driver1.compile_batch(trees.iter().cloned()).unwrap();
+    assert_eq!(report1.max_in_flight, 1);
 }
 
 #[test]
