@@ -31,16 +31,27 @@
 //! Trees are parsed up front (the paper's parser is a separate
 //! sequential pipeline stage); distinct seeds make the trees distinct.
 //!
+//! A third axis, **`--single-tree`**, measures region-granular
+//! scheduling on one bigger-than-paper tree ([`GenConfig::huge`], ≥10×
+//! the paper workload): the same tree compiled whole-tree (fixed-count
+//! decomposition, at most one region per worker) vs adaptive-region
+//! (cost-driven budget, many region jobs round-robining over the pool),
+//! interleaved rep by rep, plus the deterministic simulated-network
+//! comparison on a stream led by the huge tree. Emits a `single_tree`
+//! section in the JSON. In `--smoke` mode the paper-sized tree stands
+//! in for the huge one.
+//!
 //! Writes `BENCH_throughput.json` (override with `--out`). `--smoke`
 //! runs a seconds-scale subset and writes nothing unless `--out` is
 //! given — CI uses it (once per mode) to keep both driver schedules
 //! alive.
 //!
 //! Usage: `cargo run --release --bin bench_throughput --
-//! [--smoke] [--workers N] [--depth N] [--modes barrier,pipelined]
-//! [--out PATH] [--label TEXT]`
+//! [--smoke] [--single-tree] [--workers N] [--depth N]
+//! [--modes barrier,pipelined] [--out PATH] [--label TEXT]`
 
-use paragram_core::parallel::sim::{run_sim_batch, SimConfig};
+use paragram_core::parallel::sim::{run_sim_batch, run_sim_batch_with, SimConfig};
+use paragram_core::split::RegionGranularity;
 use paragram_core::tree::ParseTree;
 use paragram_driver::{BatchDriver, CompilationPlan, DriverConfig};
 use paragram_pascal::generator::{generate, GenConfig};
@@ -50,6 +61,7 @@ use std::time::Instant;
 
 struct Args {
     smoke: bool,
+    single_tree: bool,
     workers: usize,
     depth: usize,
     modes: Vec<Mode>,
@@ -67,6 +79,7 @@ struct Mode {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
+        single_tree: false,
         workers: 4,
         depth: 2,
         modes: Vec::new(),
@@ -85,6 +98,7 @@ fn parse_args() -> Args {
         };
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--single-tree" => args.single_tree = true,
             "--workers" => {
                 args.workers = val("--workers").parse().unwrap_or_else(|_| {
                     eprintln!("error: --workers takes an integer");
@@ -112,7 +126,7 @@ fn parse_args() -> Args {
             "--label" => args.label = val("--label"),
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?}\nusage: bench_throughput [--smoke] [--workers N] [--depth N] [--modes barrier,pipelined] [--out PATH] [--label TEXT]"
+                    "error: unknown argument {other:?}\nusage: bench_throughput [--smoke] [--single-tree] [--workers N] [--depth N] [--modes barrier,pipelined] [--out PATH] [--label TEXT]"
                 );
                 std::process::exit(2);
             }
@@ -231,6 +245,111 @@ fn run_batch(
 fn median(mut xs: Vec<u128>) -> u128 {
     xs.sort_unstable();
     xs[xs.len() / 2]
+}
+
+/// The `--single-tree` axis: one bigger-than-paper tree compiled
+/// whole-tree (fixed-count regions ≤ workers) vs adaptive-region
+/// (cost-driven budget, regions ≫ workers), reps interleaved so the
+/// ratio is a same-box, same-moment comparison. Appends a
+/// `single_tree` object (with a trailing comma) to the JSON.
+fn run_single_tree(compiler: &Compiler, args: &Args, out: &mut String) {
+    let (workload, cfg) = if args.smoke {
+        ("paper", GenConfig::paper())
+    } else {
+        ("huge", GenConfig::huge())
+    };
+    let src = generate(&cfg);
+    let tree = compiler
+        .tree_from_source(&src)
+        .expect("generated workload parses");
+    let plan = compiler.evals.plan();
+    // Budget ≈ a quarter of a worker's fair share: several region jobs
+    // per worker, so stragglers interleave. On a single-core host the
+    // extra regions cost wall clock (each machine pays its own
+    // construction; there is no idle core to fill) — the sim section
+    // below shows the scheduling win on a real machine park.
+    let budget = (plan.tree_work(&tree) / (args.workers as u64 * 4)).max(1);
+    let whole_cfg = DriverConfig::workers(args.workers).with_pipeline_depth(args.depth);
+    let adaptive_cfg = whole_cfg.with_adaptive_budget(budget);
+    let reps = if args.smoke { 3 } else { 7 };
+    println!(
+        "single tree ({workload}): {} nodes, budget {budget} work units",
+        tree.len()
+    );
+
+    let run = |config: DriverConfig| -> (u128, usize) {
+        let t = Instant::now();
+        let cp = CompilationPlan::from_plan(plan, config);
+        let mut driver = BatchDriver::new(&cp);
+        let output = driver.compile_tree(&tree).expect("evaluation succeeds");
+        std::hint::black_box(output.stats.total_applied());
+        (t.elapsed().as_nanos(), output.regions)
+    };
+    run(whole_cfg); // warm-up
+    let mut whole_times = Vec::with_capacity(reps);
+    let mut adaptive_times = Vec::with_capacity(reps);
+    let (mut whole_regions, mut adaptive_regions) = (0usize, 0usize);
+    for _ in 0..reps {
+        let (t, r) = run(whole_cfg);
+        whole_times.push(t);
+        whole_regions = r;
+        let (t, r) = run(adaptive_cfg);
+        adaptive_times.push(t);
+        adaptive_regions = r;
+    }
+    let wm = median(whole_times);
+    let am = median(adaptive_times);
+    let wall_ratio = wm as f64 / am as f64;
+    println!(
+        "  whole-tree: median {wm} ns ({whole_regions} regions); adaptive-region: median {am} ns ({adaptive_regions} regions) — adaptive is {wall_ratio:.2}x whole-tree wall clock"
+    );
+
+    // Deterministic simulated-network comparison: a stream led by the
+    // single big tree plus small units behind it — the head-of-line
+    // case region granularity exists for.
+    let plans = compiler.evals.plans().expect("pascal grammar is l-ordered");
+    let machines = args.workers.max(2);
+    let mut stream = vec![Arc::clone(&tree)];
+    stream.extend(build_trees(compiler, &scales(true)[0].cfg, 4));
+    let sim_cfg = SimConfig::paper(machines);
+    let whole_ms = run_sim_batch(&stream, Some(plans), &sim_cfg, args.depth).makespan;
+    let adaptive_ms = run_sim_batch_with(
+        &stream,
+        Some(plans),
+        &sim_cfg,
+        args.depth,
+        RegionGranularity::Adaptive { budget },
+    )
+    .makespan;
+    let sim_ratio = whole_ms as f64 / adaptive_ms as f64;
+    println!(
+        "  sim ({machines} machines, {} trees): whole-tree {whole_ms}µs, adaptive {adaptive_ms}µs — adaptive is {sim_ratio:.2}x whole-tree throughput",
+        stream.len()
+    );
+
+    out.push_str("  \"single_tree\": {\n");
+    out.push_str(&format!("    \"workload\": {workload:?},\n"));
+    out.push_str(&format!("    \"tree_nodes\": {},\n", tree.len()));
+    out.push_str(&format!("    \"budget_work_units\": {budget},\n"));
+    out.push_str(&format!(
+        "    \"whole_tree\": {{ \"median_ns\": {wm}, \"regions\": {whole_regions} }},\n"
+    ));
+    out.push_str(&format!(
+        "    \"adaptive_region\": {{ \"median_ns\": {am}, \"regions\": {adaptive_regions} }},\n"
+    ));
+    out.push_str(&format!(
+        "    \"adaptive_vs_whole_tree_wall\": {wall_ratio:.2},\n"
+    ));
+    out.push_str("    \"sim\": {\n");
+    out.push_str(&format!("      \"machines\": {machines},\n"));
+    out.push_str(&format!("      \"trees\": {},\n", stream.len()));
+    out.push_str(&format!("      \"whole_tree_makespan_us\": {whole_ms},\n"));
+    out.push_str(&format!("      \"adaptive_makespan_us\": {adaptive_ms},\n"));
+    out.push_str(&format!(
+        "      \"adaptive_vs_whole_tree\": {sim_ratio:.2}\n"
+    ));
+    out.push_str("    }\n");
+    out.push_str("  },\n");
 }
 
 fn main() {
@@ -360,6 +479,12 @@ fn main() {
         }
         out.push_str("  },\n");
         let _ = si;
+    }
+
+    // Region-granular single-tree axis (adaptive vs whole-tree on one
+    // bigger-than-paper tree).
+    if args.single_tree {
+        run_single_tree(&compiler, &args, &mut out);
     }
 
     // Simulated multi-machine axis: the same kind of stream on the

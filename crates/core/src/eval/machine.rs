@@ -117,6 +117,7 @@ pub struct Machine<V: AttrValue> {
     graph_nodes: usize,
     graph_edges: usize,
     local_nodes: usize,
+    est_work: u64,
 }
 
 impl<V: AttrValue> Machine<V> {
@@ -211,6 +212,13 @@ impl<V: AttrValue> Machine<V> {
 
         let store = AttrStore::new(tree);
         let local_nodes = scratch.region_nodes.len();
+        // Fold the region's work estimate into the construction pass —
+        // the number the adaptive decomposition sized this region by.
+        let est_work: u64 = scratch
+            .region_nodes
+            .iter()
+            .map(|&n| plan.prod_work(tree.node(n).prod))
+            .sum();
         let mut m = Machine {
             tree: Arc::clone(tree),
             plan: Arc::clone(plan),
@@ -231,6 +239,7 @@ impl<V: AttrValue> Machine<V> {
             graph_nodes: 0,
             graph_edges: 0,
             local_nodes,
+            est_work,
         };
 
         // External inputs: syn attrs of boundary children ...
@@ -381,6 +390,14 @@ impl<V: AttrValue> Machine<V> {
     /// Number of tree nodes owned by this machine.
     pub fn local_nodes(&self) -> usize {
         self.local_nodes
+    }
+
+    /// Estimated work (rule-cost units) of this machine's region — the
+    /// quantity [`crate::split::decompose_adaptive`] budgets regions
+    /// by. Machines are constructed from an arbitrary region set; the
+    /// estimate is summed over exactly the nodes this region owns.
+    pub fn estimated_work(&self) -> u64 {
+        self.est_work
     }
 
     /// Size of the dependency graph built at start-up — the cost the
@@ -803,6 +820,37 @@ mod tests {
             cn < dn,
             "combined graph ({cn}) should be smaller than dynamic ({dn})"
         );
+    }
+
+    #[test]
+    fn region_work_estimates_sum_to_tree_work() {
+        let fx = fixture(12, 3);
+        let plan = Arc::new(EvalPlan::from_parts(
+            &fx.grammar,
+            Some(Arc::clone(&fx.plans)),
+            None,
+        ));
+        let decomp = decompose(&fx.tree, SplitConfig::machines(4));
+        assert!(decomp.len() > 1);
+        let total: u64 = (0..decomp.len() as RegionId)
+            .map(|r| {
+                let m = Machine::from_plan(
+                    &plan,
+                    &fx.tree,
+                    &decomp,
+                    r,
+                    MachineMode::Combined,
+                    crate::eval::MachineScratch::new(),
+                );
+                assert_eq!(
+                    m.estimated_work(),
+                    plan.region_work(&fx.tree, &decomp, r),
+                    "region {r}"
+                );
+                m.estimated_work()
+            })
+            .sum();
+        assert_eq!(total, plan.tree_work(&fx.tree));
     }
 
     #[test]

@@ -32,7 +32,8 @@
 
 use crate::analysis::{compute_plans, OagError, Plans};
 use crate::grammar::{ArgScratch, AttrId, AttrKind, Grammar};
-use crate::tree::NodeId;
+use crate::split::{Decomposition, RegionId, WorkTable};
+use crate::tree::{NodeId, ParseTree};
 use crate::value::AttrValue;
 use std::fmt;
 use std::sync::Arc;
@@ -52,6 +53,9 @@ pub struct EvalPlan<V: AttrValue> {
     syn_attrs: Vec<Vec<AttrId>>,
     /// `inh_attrs[symbol]` — inherited attribute ids, in order.
     inh_attrs: Vec<Vec<AttrId>>,
+    /// Per-production work estimates (Σ rule costs) — what the adaptive
+    /// decomposition sizes its regions with.
+    work: WorkTable,
 }
 
 impl<V: AttrValue> EvalPlan<V> {
@@ -103,6 +107,7 @@ impl<V: AttrValue> EvalPlan<V> {
             rule_priority,
             syn_attrs,
             inh_attrs,
+            work: WorkTable::new(grammar.as_ref()),
         }
     }
 
@@ -147,6 +152,33 @@ impl<V: AttrValue> EvalPlan<V> {
     #[inline]
     pub fn inh_attrs(&self, sym: crate::grammar::SymbolId) -> &[AttrId] {
         &self.inh_attrs[sym.0 as usize]
+    }
+
+    /// The per-production work-estimate table (for cost-driven
+    /// decomposition).
+    pub fn work_table(&self) -> &WorkTable {
+        &self.work
+    }
+
+    /// Estimated work (rule-cost units) of one application of `prod`.
+    #[inline]
+    pub fn prod_work(&self, prod: crate::grammar::ProdId) -> u64 {
+        self.work.prod_work(prod)
+    }
+
+    /// Estimated total work of a tree under this plan's grammar.
+    pub fn tree_work(&self, tree: &ParseTree<V>) -> u64 {
+        self.work.tree_work(tree)
+    }
+
+    /// Estimated work of one region of a decomposition.
+    pub fn region_work(
+        &self,
+        tree: &ParseTree<V>,
+        decomp: &Decomposition,
+        region: RegionId,
+    ) -> u64 {
+        self.work.region_work(tree, decomp, region)
     }
 }
 

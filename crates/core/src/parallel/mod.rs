@@ -7,10 +7,12 @@
 //!   [`paragram_netsim`] network-multiprocessor simulator, reproducing
 //!   the paper's running-time and activity-trace figures exactly.
 //! * [`pool`] — persistent evaluator worker pool (threads + librarian
-//!   spawned once, fed ticket-tagged region jobs): the
-//!   batched-compilation runtime, with split-phase code combining
-//!   (registration streams during evaluation, resolution at the
-//!   parser's final read) and a small cross-tree pipeline window.
+//!   spawned once) scheduling **region jobs** — `(ticket, region)`
+//!   pairs, not whole trees: the batched-compilation runtime, with
+//!   split-phase code combining (registration streams during
+//!   evaluation, resolution at the parser's final read), a small
+//!   cross-tree pipeline window, and cost-driven adaptive decomposition
+//!   so one huge tree fills the pool like a batch of small ones.
 //! * [`threads`] — the same protocol as a one-shot, depth-1 convenience
 //!   wrapper over [`pool`], demonstrating genuine parallel speedup on
 //!   host cores for a single tree.

@@ -26,31 +26,70 @@
 //!   librarian to resolve — and by then the *next* tree's registrations
 //!   are already streaming in.
 //!
+//! # Region-granular scheduling
+//!
+//! The pool's unit of scheduling is the **region job** — a
+//! `(ticket, region)` pair with its own machine, dependencies and
+//! completion signal — *not* the tree. A tree's pass through the pool:
+//!
+//! ```text
+//! submit(tree)
+//!   │ decompose                     fixed-count (Machines) or
+//!   │                               cost-driven (Adaptive budget)
+//!   ▼
+//! ticket t ──┬─ job (t,0) ─▶ worker w(t,0)    one Machine per job;
+//!            ├─ job (t,1) ─▶ worker w(t,1)    workers multiplex their
+//!            ├─ job (t,2) ─▶ worker w(t,2)    machines, oldest
+//!            └─ job (t,r) ─▶ worker w(t,r)    (ticket, region) first
+//!                  │
+//!                  │  Attr { t, region, .. }   between (t,q) machines
+//!                  │  Register { t, .. }       streams to librarian
+//!                  ▼
+//! Done(t, q) per region ─▶ parser assembles InFlight(t)
+//!                        ─▶ Resolve(t) at retirement ─▶ PoolReport
+//! ```
+//!
+//! Because regions — not trees — are the work items, a single huge tree
+//! decomposed into many budget-sized regions
+//! ([`crate::split::decompose_adaptive`], selected with
+//! [`RegionGranularity::Adaptive`]) fills the worker park exactly like
+//! a batch of small trees does, and mixed streams of huge and tiny
+//! trees interleave at region granularity: there is no head-of-line
+//! blocking behind a big tree's longest region, because every worker
+//! holds several of the big tree's regions and any younger tree's
+//! regions besides. [`RegionGranularity::Machines`] (the default,
+//! regions ≤ workers) reproduces the paper's fixed one-region-per-
+//! machine decomposition and the pre-region-granular pool schedule.
+//!
 //! # Cross-tree pipelining
 //!
 //! Because registration and resolution are decoupled per ticket, the
-//! pool no longer needs a barrier between trees. A small in-flight
-//! window ([`PoolConfig::pipeline_depth`], default 2) lets tree N+1's
-//! region jobs dispatch while tree N's regions drain, and workers run
-//! one machine per in-flight ticket, **multiplexed, oldest first**:
-//! whenever tree N's machine starves (blocked on an attribute from a
-//! straggling peer — e.g. downstream of the symbol-table pipeline),
-//! the worker steps tree N+1's machine instead of idling. Both the
-//! early-finisher idle time *and* the blocked-on-messages time the
-//! epoch barrier wasted become useful work, and the parser-side
-//! assembly of tree N (store merge + segment inflation) overlaps tree
-//! N+1's evaluation. Depth 1 restores the strict one-epoch-per-tree
-//! barrier.
+//! pool needs no barrier between trees. A small in-flight window
+//! ([`PoolConfig::pipeline_depth`], default 2) lets tree N+1's region
+//! jobs dispatch while tree N's regions drain; workers multiplex their
+//! machines **oldest job first**: whenever an older machine starves
+//! (blocked on an attribute from a straggling peer — e.g. downstream of
+//! the symbol-table pipeline), the worker steps the next job's machine
+//! instead of idling. Both the early-finisher idle time *and* the
+//! blocked-on-messages time an epoch barrier would waste become useful
+//! work, and the parser-side assembly of tree N (store merge + segment
+//! inflation) overlaps tree N+1's evaluation. Depth 1 restores the
+//! strict one-epoch-per-tree barrier.
 //!
-//! The protocol stays deterministic at every depth: region *r* of every
-//! tree is pinned to worker *r*, attribute messages carry their ticket
-//! (values racing ahead of their tree's job are parked, values for
-//! finished tickets dropped), and per-ticket result assembly merges
-//! region stores in region order — machine scheduling affects timing
-//! only, never values (each attribute instance has exactly one defining
-//! rule). Dependencies between machines exist only *within* a ticket
-//! and no machine ever waits for CPU behind a *later* ticket, so the
-//! pipelined schedule cannot deadlock.
+//! The protocol stays deterministic at every depth and granularity:
+//! every region job is pinned to a worker by a pure function of its
+//! `(ticket, region)` pair — `region mod W` under fixed-count
+//! granularity (the paper's region-k-on-machine-k placement),
+//! `(region + ticket) mod W` under adaptive granularity (the rotation
+//! keeps consecutive trees' low regions off one worker) — attribute
+//! messages carry their `(ticket, region)` destination
+//! (values racing ahead of their region's job are parked, values for
+//! finished jobs dropped), and per-ticket result assembly merges region
+//! stores in region order — machine scheduling affects timing only,
+//! never values (each attribute instance has exactly one defining
+//! rule). Dependencies between machines exist only *within* a ticket,
+//! region jobs arrive in `(ticket, region)` order, and no machine ever
+//! waits for CPU behind a *later* job, so the schedule cannot deadlock.
 //!
 //! Use [`WorkerPool::submit`] / [`WorkerPool::collect`] to keep the
 //! window full (what `paragram-driver`'s batch driver does), or the
@@ -58,7 +97,7 @@
 
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::AttrId;
-use crate::split::{decompose_with, Decomposition, RegionId, SplitTable};
+use crate::split::{decompose_granular, Decomposition, RegionGranularity, RegionId, SplitTable};
 use crate::stats::EvalStats;
 use crate::tree::{AttrStore, NodeId, ParseTree};
 use crate::value::AttrValue;
@@ -79,9 +118,10 @@ pub type Ticket = u64;
 /// Configuration for a [`WorkerPool`].
 #[derive(Debug, Clone, Copy)]
 pub struct PoolConfig {
-    /// Number of persistent evaluator threads (and the region target
-    /// per tree — a tree is never split into more regions than there
-    /// are workers to run them).
+    /// Number of persistent evaluator threads. Under the default
+    /// fixed-count granularity this is also the per-tree region target;
+    /// under adaptive granularity a tree may decompose into more
+    /// regions than workers, which then round-robin over the pool.
     pub workers: usize,
     /// Combined or purely dynamic machines.
     pub mode: MachineMode,
@@ -94,6 +134,12 @@ pub struct PoolConfig {
     /// region jobs fill workers idling behind the current tree's
     /// stragglers.
     pub pipeline_depth: usize,
+    /// How trees are carved into region jobs:
+    /// [`RegionGranularity::Machines`] (one region per worker, the
+    /// paper's decomposition and the constructors' default) or
+    /// [`RegionGranularity::Adaptive`] (one region per work budget, so
+    /// a huge tree yields many jobs that round-robin over the workers).
+    pub granularity: RegionGranularity,
 }
 
 impl PoolConfig {
@@ -106,6 +152,7 @@ impl PoolConfig {
             result: ResultPropagation::Librarian,
             min_size_scale: 1.0,
             pipeline_depth: 2,
+            granularity: RegionGranularity::Machines(n),
         }
     }
 
@@ -118,10 +165,28 @@ impl PoolConfig {
         }
     }
 
+    /// Same as [`PoolConfig::combined`] but with cost-driven
+    /// region-granular decomposition: every tree is carved into regions
+    /// of ≈`budget` work units, independent of the worker count.
+    pub fn adaptive(n: usize, budget: u64) -> Self {
+        PoolConfig {
+            granularity: RegionGranularity::Adaptive { budget },
+            ..PoolConfig::combined(n)
+        }
+    }
+
     /// Returns the configuration with the given in-flight window depth.
     pub fn with_pipeline_depth(self, depth: usize) -> Self {
         PoolConfig {
             pipeline_depth: depth.max(1),
+            ..self
+        }
+    }
+
+    /// Returns the configuration with the given region granularity.
+    pub fn with_granularity(self, granularity: RegionGranularity) -> Self {
+        PoolConfig {
+            granularity,
             ..self
         }
     }
@@ -196,6 +261,10 @@ enum WorkerMsg<V> {
     Job(JobMsg<V>),
     Attr {
         ticket: Ticket,
+        /// Destination region — with region-granular scheduling a worker
+        /// hosts several regions per ticket, so the ticket alone no
+        /// longer identifies the receiving machine.
+        region: RegionId,
         node: NodeId,
         attr: AttrId,
         value: V,
@@ -260,6 +329,7 @@ pub struct WorkerPool<V: AttrValue> {
     in_flight: VecDeque<InFlight<V>>,
     ready: VecDeque<PoolReport<V>>,
     max_in_flight: usize,
+    max_regions_in_flight: usize,
     poisoned: Option<EvalError>,
 }
 
@@ -270,8 +340,20 @@ struct WorkerCtx<V: AttrValue> {
     peers: Vec<Sender<WorkerMsg<V>>>,
     parser_tx: Sender<ParserMsg<V>>,
     lib_tx: Sender<LibMsg>,
-    mode: MachineMode,
-    result: ResultPropagation,
+    /// The pool configuration — workers route attribute messages with
+    /// the same [`worker_of`] placement function the dispatch side
+    /// uses, so the two can never drift apart.
+    config: PoolConfig,
+}
+
+/// The region→worker placement: a pure function of `(ticket, region)`
+/// shared by job dispatch and attribute routing.
+fn worker_of(config: &PoolConfig, ticket: Ticket, region: RegionId) -> usize {
+    let offset = match config.granularity {
+        RegionGranularity::Adaptive { .. } => ticket as usize,
+        RegionGranularity::Machines(_) => 0,
+    };
+    (region as usize + offset) % config.workers
 }
 
 impl<V: AttrValue> WorkerPool<V> {
@@ -301,8 +383,11 @@ impl<V: AttrValue> WorkerPool<V> {
                 peers: worker_txs.clone(),
                 parser_tx: parser_tx.clone(),
                 lib_tx: lib_tx.clone(),
-                mode: config.mode,
-                result: config.result,
+                config: PoolConfig {
+                    workers,
+                    pipeline_depth: depth,
+                    ..config
+                },
             };
             handles.push(std::thread::spawn(move || worker_main(ctx)));
         }
@@ -340,6 +425,7 @@ impl<V: AttrValue> WorkerPool<V> {
             in_flight: VecDeque::with_capacity(depth),
             ready: VecDeque::new(),
             max_in_flight: 0,
+            max_regions_in_flight: 0,
             poisoned: None,
         }
     }
@@ -371,13 +457,26 @@ impl<V: AttrValue> WorkerPool<V> {
         self.max_in_flight
     }
 
+    /// Region jobs currently dispatched and not yet reported done —
+    /// the region-granular view of [`WorkerPool::in_flight`].
+    pub fn regions_in_flight(&self) -> usize {
+        self.in_flight.iter().map(|f| f.regions - f.done).sum()
+    }
+
+    /// The largest number of region jobs ever simultaneously in flight
+    /// (observed at submit time).
+    pub fn max_regions_in_flight(&self) -> usize {
+        self.max_regions_in_flight
+    }
+
     /// The shared plan this pool evaluates against.
     pub fn plan(&self) -> &Arc<EvalPlan<V>> {
         &self.plan
     }
 
-    /// Submits one tree into the pipeline window: decomposes it,
-    /// assigns the next ticket and dispatches its region jobs. If the
+    /// Submits one tree into the pipeline window: decomposes it (at the
+    /// configured granularity), assigns the next ticket and dispatches
+    /// one region job per region, round-robin over the workers. If the
     /// window is full, the oldest in-flight tree is retired first (its
     /// report is buffered for [`WorkerPool::collect`]).
     ///
@@ -396,7 +495,12 @@ impl<V: AttrValue> WorkerPool<V> {
 
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        let decomp = Arc::new(decompose_with(tree, &self.split, self.config.workers));
+        let decomp = Arc::new(decompose_granular(
+            tree,
+            &self.split,
+            self.plan.work_table(),
+            self.config.granularity,
+        ));
         let regions = decomp.len();
         let root_sym = self.plan.grammar().prod(tree.node(tree.root()).prod).lhs;
         let expected_roots = self.plan.syn_attrs(root_sym).len();
@@ -409,7 +513,18 @@ impl<V: AttrValue> WorkerPool<V> {
                 decomp: Arc::clone(&decomp),
                 region: r as RegionId,
             });
-            self.worker_txs[r].send(job).expect("worker alive");
+            // Region r of ticket t is pinned to worker
+            // (r + offset(t)) mod W: a tree with more regions than
+            // workers (adaptive granularity on a huge tree) spreads
+            // evenly, the ticket rotation keeps consecutive small
+            // trees' region 0 off one overloaded worker, and every
+            // message route stays a pure function of (ticket, region) —
+            // which is what keeps results deterministic. Fixed-count
+            // granularity keeps the paper's region-k-on-worker-k
+            // placement (offset 0).
+            self.worker_txs[worker_of(&self.config, ticket, r as RegionId)]
+                .send(job)
+                .expect("worker alive");
         }
         self.in_flight.push_back(InFlight {
             ticket,
@@ -421,6 +536,7 @@ impl<V: AttrValue> WorkerPool<V> {
             start,
         });
         self.max_in_flight = self.max_in_flight.max(self.in_flight.len());
+        self.max_regions_in_flight = self.max_regions_in_flight.max(self.regions_in_flight());
         Ok(())
     }
 
@@ -602,8 +718,9 @@ impl<V: AttrValue> std::fmt::Debug for WorkerPool<V> {
     }
 }
 
-/// One region machine a worker is currently running (one per in-flight
-/// ticket that assigned this worker a region).
+/// One region machine a worker is currently running (one per region
+/// job assigned to this worker — possibly several per in-flight
+/// ticket under adaptive granularity).
 struct Running<V: AttrValue> {
     ticket: Ticket,
     region: RegionId,
@@ -626,35 +743,41 @@ enum Drive {
 }
 
 /// How many scheduler steps a *non-oldest* machine may run before the
-/// worker polls the channel for values that unblock an older ticket.
+/// worker polls the channel for values that unblock an older job.
 /// The oldest machine runs unbudgeted — nothing can preempt it.
 const YIELD_STEPS: usize = 64;
 
-/// The persistent worker loop. Machines for every in-flight ticket run
-/// **multiplexed**: jobs activate the moment they arrive, and whenever
-/// the oldest tree's machine starves (blocked on attribute messages
-/// from a straggling peer region), the worker steps the next tree's
-/// machine instead of idling — this is where cross-tree pipelining
-/// recovers the blocked-straggler time the epoch barrier wasted. Older
-/// tickets are always preferred: younger machines run on a small step
-/// budget and the channel is polled between bursts, so a value that
-/// unblocks an older machine preempts younger-ticket work within
-/// [`YIELD_STEPS`] scheduler steps and pipelining never materially
-/// delays the tree the parser will read next.
+/// The persistent worker loop. Machines for every region job assigned
+/// to this worker run **multiplexed**: jobs activate the moment they
+/// arrive, and whenever the oldest job's machine starves (blocked on
+/// attribute messages from a straggling peer region), the worker steps
+/// the next job's machine instead of idling — this is where region-
+/// granular scheduling recovers both the blocked-straggler time an
+/// epoch barrier wasted *and* the head-of-line time a huge tree's
+/// longest region would otherwise impose. Older jobs are always
+/// preferred: younger machines run on a small step budget and the
+/// channel is polled between bursts, so a value that unblocks an older
+/// machine preempts younger work within [`YIELD_STEPS`] scheduler
+/// steps and pipelining never materially delays the tree the parser
+/// will read next.
 fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
     // Recycled construction/evaluation buffers, one per concurrently
-    // running machine (bounded by the pool's pipeline depth).
+    // running machine (bounded by the window depth × regions per
+    // ticket on this worker).
     let mut scratches: Vec<MachineScratch<V>> = Vec::new();
-    // Attribute values whose ticket has no running machine yet.
-    let mut parked_attrs: Vec<(Ticket, NodeId, AttrId, V)> = Vec::new();
-    // Active machines in ticket order (jobs arrive in ticket order).
+    // Attribute values whose (ticket, region) has no running machine
+    // yet.
+    let mut parked_attrs: Vec<(Ticket, RegionId, NodeId, AttrId, V)> = Vec::new();
+    // Active machines in job order (jobs arrive in (ticket, region)
+    // order).
     let mut running: Vec<Running<V>> = Vec::new();
     loop {
-        // Step machines oldest-first. (Machines on one worker never
-        // feed each other — regions send only to peer workers/the
-        // parser — but incoming values can unblock an older machine,
-        // so the channel is drained between bursts and the pass jumps
-        // back whenever an older machine is fed.)
+        // Step machines oldest-first. (Co-located machines may feed
+        // each other — under adaptive granularity one worker can host
+        // parent and child regions of the same ticket — but every send
+        // goes through a channel, self-sends included, so the drain
+        // between bursts delivers them and the pass jumps back whenever
+        // a machine at or before the cursor is fed.)
         let mut i = 0;
         while i < running.len() {
             let budget = if i == 0 { usize::MAX } else { YIELD_STEPS };
@@ -749,24 +872,28 @@ enum Absorbed {
 }
 
 /// Routes one incoming message: activates jobs, feeds attribute values
-/// to their ticket's machine (parking values whose machine does not
-/// exist yet, dropping values for already-finished tickets).
+/// to their `(ticket, region)` machine (parking values whose machine
+/// does not exist yet, dropping values for already-finished jobs).
 fn absorb<V: AttrValue>(
     ctx: &WorkerCtx<V>,
     msg: WorkerMsg<V>,
     running: &mut Vec<Running<V>>,
-    parked_attrs: &mut Vec<(Ticket, NodeId, AttrId, V)>,
+    parked_attrs: &mut Vec<(Ticket, RegionId, NodeId, AttrId, V)>,
     scratches: &mut Vec<MachineScratch<V>>,
 ) -> Absorbed {
     match msg {
         WorkerMsg::Shutdown => Absorbed::Shutdown,
         WorkerMsg::Attr {
             ticket,
+            region,
             node,
             attr,
             value,
         } => {
-            match running.iter_mut().position(|r| r.ticket == ticket) {
+            match running
+                .iter_mut()
+                .position(|r| r.ticket == ticket && r.region == region)
+            {
                 Some(idx) => {
                     running[idx].machine.provide(node, attr, value);
                     Absorbed::Fed(idx)
@@ -774,7 +901,7 @@ fn absorb<V: AttrValue>(
                 // Either the job has not arrived yet (replayed at
                 // activation) or it already finished (pruned then).
                 None => {
-                    parked_attrs.push((ticket, node, attr, value));
+                    parked_attrs.push((ticket, region, node, attr, value));
                     Absorbed::Other
                 }
             }
@@ -787,22 +914,26 @@ fn absorb<V: AttrValue>(
                 region,
             } = job;
             debug_assert!(
-                running.last().is_none_or(|r| r.ticket < ticket),
-                "jobs arrive in ticket order"
+                running
+                    .last()
+                    .is_none_or(|r| (r.ticket, r.region) < (ticket, region)),
+                "jobs arrive in (ticket, region) order"
             );
             let scratch = scratches.pop().unwrap_or_default();
             let mut machine =
-                Machine::from_plan(&ctx.plan, &tree, &decomp, region, ctx.mode, scratch);
+                Machine::from_plan(&ctx.plan, &tree, &decomp, region, ctx.config.mode, scratch);
             // Replay values that raced ahead of this job; prune values
-            // for tickets that can no longer have a machine (older than
-            // this job, not running — i.e. finished).
+            // for jobs that can no longer have a machine (lexically
+            // older than this job, not running — i.e. finished).
             let mut i = 0;
             while i < parked_attrs.len() {
-                let t = parked_attrs[i].0;
-                if t == ticket {
-                    let (_, node, attr, value) = parked_attrs.swap_remove(i);
+                let (t, q) = (parked_attrs[i].0, parked_attrs[i].1);
+                if (t, q) == (ticket, region) {
+                    let (_, _, node, attr, value) = parked_attrs.swap_remove(i);
                     machine.provide(node, attr, value);
-                } else if t < ticket && !running.iter().any(|r| r.ticket == t) {
+                } else if (t, q) < (ticket, region)
+                    && !running.iter().any(|r| r.ticket == t && r.region == q)
+                {
                     parked_attrs.swap_remove(i);
                 } else {
                     i += 1;
@@ -856,7 +987,7 @@ fn route_send<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, send: AttrMs
         SendTarget::Region(q) => Some(q) == r.parent,
     };
     let mut value = send.value;
-    if upward && ctx.result == ResultPropagation::Librarian {
+    if upward && ctx.config.result == ResultPropagation::Librarian {
         let ticket = r.ticket;
         let region = r.region;
         let next_seg = &mut r.next_seg;
@@ -879,9 +1010,12 @@ fn route_send<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, send: AttrMs
                 value,
             })
             .is_ok(),
-        SendTarget::Region(q) => ctx.peers[q as usize]
+        // Region q of ticket t lives on worker (q + offset(t)) mod W —
+        // the same pinning submit used to dispatch its job.
+        SendTarget::Region(q) => ctx.peers[worker_of(&ctx.config, r.ticket, q)]
             .send(WorkerMsg::Attr {
                 ticket: r.ticket,
+                region: q,
                 node: send.node,
                 attr: send.attr,
                 value,
@@ -1002,11 +1136,9 @@ mod tests {
     fn pool_works_in_dynamic_mode_with_naive_propagation() {
         let (tree, plan, out) = fixture(32);
         let config = PoolConfig {
-            workers: 3,
             mode: MachineMode::Dynamic,
             result: ResultPropagation::Naive,
-            min_size_scale: 1.0,
-            pipeline_depth: 2,
+            ..PoolConfig::combined(3)
         };
         let mut pool = WorkerPool::new(&plan, config);
         let report = pool.eval(&tree).unwrap();
@@ -1043,6 +1175,68 @@ mod tests {
             for ((tree, report), (i, _)) in trees.iter().zip(&reports).zip(sizes.iter().enumerate())
             {
                 assert_eq!(report.ticket, i as Ticket, "reports in submission order");
+                let (dstore, _) = dynamic_eval(tree).unwrap();
+                let want = dstore
+                    .get(tree.root(), out)
+                    .and_then(|v| v.as_rope().cloned())
+                    .unwrap();
+                assert!(
+                    root_rope(report, out).content_eq(&want),
+                    "depth={depth} tree {i}"
+                );
+                assert_eq!(report.store.filled(), report.store.len());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_granularity_runs_more_regions_than_workers() {
+        let (tree, plan, out) = fixture(96);
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        let want = dstore
+            .get(tree.root(), out)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        let budget = (plan.tree_work(&tree) / 8).max(1);
+        for workers in [1usize, 2, 3] {
+            let mut pool = WorkerPool::new(&plan, PoolConfig::adaptive(workers, budget));
+            let report = pool.eval(&tree).unwrap();
+            assert!(
+                report.regions > workers,
+                "workers={workers}: {} regions should exceed the worker park",
+                report.regions
+            );
+            assert!(
+                root_rope(&report, out).content_eq(&want),
+                "workers={workers}"
+            );
+            assert_eq!(report.store.filled(), report.store.len());
+        }
+    }
+
+    #[test]
+    fn adaptive_granularity_is_decomposition_equivalent_across_depths() {
+        let sizes = [120usize, 7, 64, 3, 96];
+        let (trees, plan, out) = fixture_trees(&sizes);
+        let budget = (plan.tree_work(&trees[0]) / 6).max(1);
+        for depth in [1usize, 2, 4] {
+            let mut pool = WorkerPool::new(
+                &plan,
+                PoolConfig::adaptive(2, budget).with_pipeline_depth(depth),
+            );
+            for tree in &trees {
+                pool.submit(tree).unwrap();
+            }
+            assert!(pool.regions_in_flight() > 0);
+            let mut reports = Vec::new();
+            while let Some(r) = pool.collect().unwrap() {
+                reports.push(r);
+            }
+            assert!(
+                pool.max_regions_in_flight() >= pool.max_in_flight(),
+                "regions in flight at least one per tree"
+            );
+            for (i, (tree, report)) in trees.iter().zip(&reports).enumerate() {
                 let (dstore, _) = dynamic_eval(tree).unwrap();
                 let want = dstore
                     .get(tree.root(), out)

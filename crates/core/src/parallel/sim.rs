@@ -20,7 +20,10 @@ use crate::analysis::Plans;
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::{AttrId, AttrKind};
 use crate::parallel::pool::SegmentLedger;
-use crate::split::{decompose, Decomposition, RegionId, SplitConfig};
+use crate::split::{
+    decompose, decompose_granular, Decomposition, RegionGranularity, RegionId, SplitConfig,
+    SplitTable, WorkTable,
+};
 use crate::stats::EvalStats;
 use crate::tree::{Child, NodeId, ParseTree};
 use crate::value::AttrValue;
@@ -564,6 +567,10 @@ enum BatchMsg<V> {
     },
     Attr {
         ticket: usize,
+        /// Destination region (an evaluator machine hosts several
+        /// regions under region-granular scheduling). Ignored for
+        /// parser-bound root attributes.
+        region: RegionId,
         node: NodeId,
         attr: AttrId,
         value: V,
@@ -600,6 +607,11 @@ struct BatchShared<V: AttrValue> {
     librarian: ProcId,
     parser: ProcId,
     depth: usize,
+    /// Evaluator machine park size; region r lives on machine r mod
+    /// park (identity when every tree has ≤ park regions).
+    park: usize,
+    /// Whether placement rotates by ticket (adaptive granularity).
+    rotate: bool,
     expected_roots: Vec<usize>,
     eval_start: Mutex<Time>,
     finish: Mutex<Vec<Time>>,
@@ -610,8 +622,16 @@ struct BatchShared<V: AttrValue> {
 }
 
 impl<V: AttrValue> BatchShared<V> {
-    fn proc_of_region(&self, r: RegionId) -> ProcId {
-        ProcId(1 + r as usize)
+    /// Under adaptive granularity region r of ticket t runs on machine
+    /// (r + t) mod park: decompositions are machine-agnostic, and the
+    /// rotation spreads consecutive trees' low-numbered regions over
+    /// the whole park (without it, machine 0 would host region 0 of
+    /// *every* tree and the tail machines would starve whenever a tree
+    /// has fewer regions than the park). Fixed-count granularity keeps
+    /// the paper's "region k on machine k" placement.
+    fn proc_of_region(&self, ticket: usize, r: RegionId) -> ProcId {
+        let offset = if self.rotate { ticket } else { 0 };
+        ProcId(1 + (r as usize + offset) % self.park)
     }
 }
 
@@ -640,7 +660,7 @@ impl<V: AttrValue> BatchParserProc<V> {
             ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
             let bytes = region_wire_size(&sh.trees[ticket], decomp, r);
             ctx.send(
-                sh.proc_of_region(r),
+                sh.proc_of_region(ticket, r),
                 BatchMsg::Subtree { ticket, region: r },
                 bytes,
                 "subtree",
@@ -748,7 +768,8 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchParserProc<V> {
 }
 
 /// One active machine on a simulated evaluator (mirrors the pool
-/// worker's `Running` entry).
+/// worker's `Running` entry). The region is recoverable from the
+/// machine itself ([`Machine::region`]).
 struct BatchRunning<V: AttrValue> {
     ticket: usize,
     machine: Machine<V>,
@@ -757,13 +778,17 @@ struct BatchRunning<V: AttrValue> {
 
 struct BatchEvaluatorProc<V: AttrValue> {
     shared: Arc<BatchShared<V>>,
-    region: RegionId,
-    /// Active machines in ticket order, multiplexed oldest-first
-    /// exactly like a pool worker: a starved older machine yields the
-    /// (virtual) CPU to the next tree's machine instead of idling.
+    /// This machine's index in the park; it hosts region r of every
+    /// tree whenever r mod park == evaluator.
+    evaluator: usize,
+    /// Active machines in (ticket, region) job order, multiplexed
+    /// oldest-first exactly like a pool worker: a starved older machine
+    /// yields the (virtual) CPU to the next job's machine instead of
+    /// idling.
     running: Vec<BatchRunning<V>>,
-    /// Attribute values that raced ahead of their ticket's subtree.
-    parked: Vec<(usize, NodeId, AttrId, V)>,
+    /// Attribute values that raced ahead of their region's subtree,
+    /// keyed (ticket, region).
+    parked: Vec<(usize, RegionId, NodeId, AttrId, V)>,
 }
 
 impl<V: AttrValue> BatchEvaluatorProc<V> {
@@ -784,11 +809,11 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
                 Ok(None) => {
                     if self.running[i].machine.is_done() {
                         let stats = self.running[i].machine.stats();
-                        sh.per_machine.lock().unwrap()[self.region as usize] += stats;
+                        sh.per_machine.lock().unwrap()[self.evaluator] += stats;
                         ctx.send(sh.parser, BatchMsg::Done { ticket }, 16, "done");
                         self.running.remove(i);
                     } else {
-                        i += 1; // starved: let the next ticket's machine run
+                        i += 1; // starved: let the next job's machine run
                     }
                 }
                 Ok(Some(outcome)) => {
@@ -811,17 +836,17 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
     fn transmit(&mut self, ctx: &mut Ctx<BatchMsg<V>>, idx: usize, msg: AttrMsg<V>) {
         let sh = Arc::clone(&self.shared);
         let ticket = self.running[idx].ticket;
+        let region = self.running[idx].machine.region();
         let decomp = &sh.decomps[ticket];
         let upward = match msg.to {
             SendTarget::Parser => true,
-            SendTarget::Region(r) => Some(r) == decomp.regions[self.region as usize].parent,
+            SendTarget::Region(r) => Some(r) == decomp.regions[region as usize].parent,
         };
         let mut value = msg.value;
         if upward && sh.result == ResultPropagation::Librarian {
             // Registration phase of the split-phase protocol: large
             // code text streams to the librarian mid-evaluation, tagged
             // with this tree's ticket.
-            let region = self.region;
             let next = &mut self.running[idx].next_seg;
             let mut segments: Vec<(SegmentId, Rope)> = Vec::new();
             let deflated = value.deflate(&mut |text: Rope| {
@@ -844,15 +869,16 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
                 }
             }
         }
-        let dest = match msg.to {
-            SendTarget::Parser => sh.parser,
-            SendTarget::Region(r) => sh.proc_of_region(r),
+        let (dest, dest_region) = match msg.to {
+            SendTarget::Parser => (sh.parser, 0),
+            SendTarget::Region(r) => (sh.proc_of_region(ticket, r), r),
         };
         let bytes = value.wire_size();
         ctx.send(
             dest,
             BatchMsg::Attr {
                 ticket,
+                region: dest_region,
                 node: msg.node,
                 attr: msg.attr,
                 value,
@@ -868,13 +894,17 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchEvaluatorProc<V> {
         let sh = Arc::clone(&self.shared);
         match msg {
             BatchMsg::Subtree { ticket, region } => {
-                debug_assert_eq!(region, self.region);
+                debug_assert_eq!(
+                    sh.proc_of_region(ticket, region),
+                    ProcId(1 + self.evaluator),
+                    "subtree shipped to the wrong machine"
+                );
                 ctx.phase("build");
                 let mut machine = Machine::from_plan(
                     &sh.plan,
                     &sh.trees[ticket],
                     &sh.decomps[ticket],
-                    self.region,
+                    region,
                     sh.mode,
                     MachineScratch::new(),
                 );
@@ -887,8 +917,8 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchEvaluatorProc<V> {
                 // Replay values that arrived before this machine existed.
                 let mut i = 0;
                 while i < self.parked.len() {
-                    if self.parked[i].0 == ticket {
-                        let (_, node, attr, value) = self.parked.swap_remove(i);
+                    if (self.parked[i].0, self.parked[i].1) == (ticket, region) {
+                        let (_, _, node, attr, value) = self.parked.swap_remove(i);
                         machine.provide(node, attr, value);
                     } else {
                         i += 1;
@@ -903,15 +933,20 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchEvaluatorProc<V> {
             }
             BatchMsg::Attr {
                 ticket,
+                region,
                 node,
                 attr,
                 value,
-            } => match self.running.iter_mut().find(|r| r.ticket == ticket) {
+            } => match self
+                .running
+                .iter_mut()
+                .find(|r| r.ticket == ticket && r.machine.region() == region)
+            {
                 Some(r) => {
                     r.machine.provide(node, attr, value);
                     self.pump(ctx);
                 }
-                None => self.parked.push((ticket, node, attr, value)),
+                None => self.parked.push((ticket, region, node, attr, value)),
             },
             _ => {}
         }
@@ -952,6 +987,12 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchLibrarianProc<V> {
 /// one-tree-at-a-time barrier; depth ≥ 2 lets tree N+1's subtrees ship
 /// (and its machines start) while tree N's stragglers drain.
 ///
+/// This entry decomposes each tree into (at most) `config.machines`
+/// regions — the whole-tree-ticketing compatibility schedule. Use
+/// [`run_sim_batch_with`] to model region-granular scheduling, where a
+/// cost-driven decomposition may produce more regions than machines and
+/// region jobs round-robin over the park.
+///
 /// All trees must share one grammar; `plans` must be `Some` for
 /// [`MachineMode::Combined`].
 ///
@@ -965,6 +1006,37 @@ pub fn run_sim_batch<V: AttrValue>(
     config: &SimConfig,
     pipeline_depth: usize,
 ) -> BatchSimReport<V> {
+    run_sim_batch_with(
+        trees,
+        plans,
+        config,
+        pipeline_depth,
+        RegionGranularity::Machines(config.machines),
+    )
+}
+
+/// [`run_sim_batch`] with an explicit [`RegionGranularity`].
+///
+/// With [`RegionGranularity::Adaptive`] each tree is carved into
+/// budget-sized regions independent of the machine count; region `r`
+/// runs on machine `r % machines` and each simulated evaluator
+/// multiplexes its region jobs oldest-first, exactly like a pool
+/// worker. A single huge tree therefore spreads over the whole park in
+/// balanced chunks instead of riding one fixed uneven split — the
+/// schedule the region-granular [`crate::parallel::pool::WorkerPool`]
+/// runs on real threads.
+///
+/// # Panics
+///
+/// Panics if evaluation fails or the protocol deadlocks — validate the
+/// grammar with the sequential evaluators first.
+pub fn run_sim_batch_with<V: AttrValue>(
+    trees: &[Arc<ParseTree<V>>],
+    plans: Option<&Arc<Plans>>,
+    config: &SimConfig,
+    pipeline_depth: usize,
+    granularity: RegionGranularity,
+) -> BatchSimReport<V> {
     assert!(!trees.is_empty(), "batch must contain at least one tree");
     let g = trees[0].grammar();
     assert!(
@@ -972,19 +1044,20 @@ pub fn run_sim_batch<V: AttrValue>(
         "all trees in a batch share one grammar"
     );
     let depth = pipeline_depth.max(1);
+    let table = SplitTable::new(g.as_ref(), config.min_size_scale);
+    let work = WorkTable::new(g.as_ref());
     let decomps: Vec<Arc<Decomposition>> = trees
         .iter()
-        .map(|t| {
-            Arc::new(decompose(
-                t,
-                SplitConfig {
-                    target_regions: config.machines,
-                    min_size_scale: config.min_size_scale,
-                },
-            ))
-        })
+        .map(|t| Arc::new(decompose_granular(t, &table, &work, granularity)))
         .collect();
-    let machines = decomps.iter().map(|d| d.len()).max().unwrap();
+    // The machine park: one evaluator process per region up to the
+    // configured machine count; beyond that, regions round-robin.
+    let machines = decomps
+        .iter()
+        .map(|d| d.len())
+        .max()
+        .unwrap()
+        .min(config.machines.max(1));
     let expected_roots: Vec<usize> = trees
         .iter()
         .map(|t| {
@@ -1004,6 +1077,8 @@ pub fn run_sim_batch<V: AttrValue>(
         librarian: ProcId(1 + machines),
         parser: ProcId(0),
         depth,
+        park: machines,
+        rotate: matches!(granularity, RegionGranularity::Adaptive { .. }),
         expected_roots,
         eval_start: Mutex::new(0),
         finish: Mutex::new(vec![0; trees.len()]),
@@ -1031,7 +1106,7 @@ pub fn run_sim_batch<V: AttrValue>(
             format!("evaluator-{letter}"),
             BatchEvaluatorProc {
                 shared: Arc::clone(&shared),
-                region: r as RegionId,
+                evaluator: r,
                 running: Vec::new(),
                 parked: Vec::new(),
             },
@@ -1353,6 +1428,91 @@ mod tests {
         assert!(
             pipelined < barrier,
             "depth 2 ({pipelined}µs) should beat the barrier ({barrier}µs)"
+        );
+    }
+
+    #[test]
+    fn region_granular_batch_produces_correct_code() {
+        let b = mini_batch(&[(96, 6), (10, 4), (48, 5)]);
+        let work = WorkTable::new(b.trees[0].grammar().as_ref());
+        let budget = (work.tree_work(&b.trees[0]) / 8).max(1);
+        let report = run_sim_batch_with(
+            &b.trees,
+            Some(&b.plans),
+            &SimConfig::paper(4),
+            2,
+            RegionGranularity::Adaptive { budget },
+        );
+        // The huge tree produced more regions than machines.
+        assert!(report.regions[0] > 4, "regions: {:?}", report.regions);
+        for (t, tree) in b.trees.iter().enumerate() {
+            let (dstore, _) = dynamic_eval(tree).unwrap();
+            let want = dstore
+                .get(tree.root(), b.code)
+                .and_then(|v| v.as_rope().cloned())
+                .unwrap();
+            let got = report.root_values[t]
+                .iter()
+                .find(|(a, _)| *a == b.code)
+                .and_then(|(_, v)| v.as_rope().cloned())
+                .expect("root code attribute present");
+            assert!(got.content_eq(&want), "tree {t}: code mismatch");
+        }
+    }
+
+    #[test]
+    fn region_granular_beats_whole_tree_ticketing_on_a_huge_tree_stream() {
+        // One huge tree followed by small ones: under whole-tree
+        // ticketing the huge tree's fixed (and possibly uneven) split
+        // gates the stream; region-granular scheduling spreads it in
+        // budget-sized chunks over the park. No head-of-line blocking.
+        let b = mini_batch(&[(256, 6), (8, 4), (8, 4), (8, 4), (8, 4), (8, 4)]);
+        let work = WorkTable::new(b.trees[0].grammar().as_ref());
+        let budget = (work.tree_work(&b.trees[0]) / 8).max(1);
+        let cfg = SimConfig::paper(4);
+        let whole = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2).makespan;
+        let granular = run_sim_batch_with(
+            &b.trees,
+            Some(&b.plans),
+            &cfg,
+            2,
+            RegionGranularity::Adaptive { budget },
+        )
+        .makespan;
+        assert!(
+            granular < whole,
+            "region-granular ({granular}µs) should strictly beat whole-tree ticketing ({whole}µs)"
+        );
+    }
+
+    #[test]
+    fn region_granular_holds_throughput_on_a_mixed_stream() {
+        // The PR 3 acceptance stream shape: mixed tree sizes. Region
+        // granularity must not regress the pipelined schedule.
+        let shapes: Vec<(usize, usize)> = (0..24)
+            .map(|i| match i % 3 {
+                0 => (48, 6),
+                1 => (16, 4),
+                _ => (40, 5),
+            })
+            .collect();
+        let b = mini_batch(&shapes);
+        let work = WorkTable::new(b.trees[0].grammar().as_ref());
+        let biggest = b.trees.iter().map(|t| work.tree_work(t)).max().unwrap();
+        let budget = (biggest / 4).max(1);
+        let cfg = SimConfig::paper(4);
+        let pipelined = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2).makespan;
+        let granular = run_sim_batch_with(
+            &b.trees,
+            Some(&b.plans),
+            &cfg,
+            2,
+            RegionGranularity::Adaptive { budget },
+        )
+        .makespan;
+        assert!(
+            granular <= pipelined,
+            "region-granular ({granular}µs) must be ≥ the pipelined schedule's throughput ({pipelined}µs)"
         );
     }
 

@@ -74,12 +74,12 @@ pub fn run_threads<V: AttrValue>(
     let mut pool = WorkerPool::new(
         &plan,
         PoolConfig {
-            workers: config.machines,
             mode: config.mode,
             result: config.result,
             min_size_scale: config.min_size_scale,
-            // One tree, one ticket: the single-compilation barrier.
-            pipeline_depth: 1,
+            // One tree, one ticket, one region per machine: the paper's
+            // single-compilation barrier (fixed-count granularity).
+            ..PoolConfig::barrier(config.machines)
         },
     );
     pool.eval(tree)

@@ -7,13 +7,30 @@
 //! argument "to allow for easy experimentation with decompositions with
 //! different granularities".
 //!
-//! [`decompose`] targets a region count (one region per machine) and
-//! greedily splits the largest region at the candidate that yields the
-//! most even partition, reproducing the balanced five-way decomposition
-//! of the paper's Figure 7 (and the *uneven* six-way decomposition that
-//! makes the paper's running time non-monotonic in machine count).
+//! Two decomposition engines live here:
+//!
+//! * [`decompose`] (fixed count) targets a region count — one region
+//!   per machine — and greedily splits the largest region at the
+//!   candidate that yields the most even partition, reproducing the
+//!   balanced five-way decomposition of the paper's Figure 7 (and the
+//!   *uneven* six-way decomposition that makes the paper's running time
+//!   non-monotonic in machine count). This is the compatibility mode:
+//!   it is what the paper measured.
+//! * [`decompose_adaptive`] (cost-driven) targets a per-region **work
+//!   budget** instead of a machine count: regions ≈ total work /
+//!   budget, oversized regions are re-split at `%split` candidates and
+//!   undersized ones merged back into their parent region. Work is
+//!   estimated from the grammar's per-production rule costs
+//!   ([`WorkTable`]), so the region count follows the *tree*, not the
+//!   machine park — a huge tree yields many budget-sized regions that a
+//!   region-granular scheduler can round-robin over however many
+//!   workers exist, which removes the fixed-count split's sensitivity
+//!   to uneven partitions.
+//!
+//! [`RegionGranularity`] names the two modes for schedulers
+//! (`core::parallel::pool`, `core::parallel::sim`) that accept either.
 
-use crate::grammar::{Grammar, SymbolId};
+use crate::grammar::{Grammar, ProdId, SymbolId};
 use crate::tree::{NodeId, ParseTree};
 use crate::value::AttrValue;
 use std::fmt;
@@ -47,9 +64,22 @@ impl Decomposition {
         self.regions.len()
     }
 
-    /// `true` if the tree was not split at all.
-    pub fn is_empty(&self) -> bool {
+    /// `true` if the tree was not split at all (a single region).
+    ///
+    /// Note this is *not* the `len`/`is_empty` convention — a
+    /// decomposition always has at least one region — which is why the
+    /// old `is_empty` name is deprecated in favour of this one.
+    pub fn is_unsplit(&self) -> bool {
         self.regions.len() <= 1
+    }
+
+    /// `true` if the tree was not split at all.
+    #[deprecated(
+        since = "0.2.0",
+        note = "misleading name: a decomposition is never empty; use `is_unsplit`"
+    )]
+    pub fn is_empty(&self) -> bool {
+        self.is_unsplit()
     }
 
     /// Region owning a node.
@@ -157,6 +187,90 @@ impl SplitTable {
     /// Scaled minimum split size of a symbol, if it is a split point.
     pub fn min_size(&self, sym: SymbolId) -> Option<usize> {
         self.min_size[sym.0 as usize]
+    }
+}
+
+/// Per-production work estimates: the sum of a production's semantic
+/// rule costs (at least 1, so every node carries some weight). Built
+/// once per grammar and shared across every tree the adaptive
+/// decomposition sizes — the unit of [`decompose_adaptive`]'s budget.
+#[derive(Debug, Clone)]
+pub struct WorkTable {
+    prod_work: Vec<u64>,
+}
+
+impl WorkTable {
+    /// Builds the table for `grammar`.
+    pub fn new<V: AttrValue>(grammar: &Grammar<V>) -> Self {
+        WorkTable {
+            prod_work: grammar
+                .prods()
+                .iter()
+                .map(|p| p.rules.iter().map(|r| r.cost).sum::<u64>().max(1))
+                .collect(),
+        }
+    }
+
+    /// Estimated work (rule-cost units) of one application of `prod`.
+    #[inline]
+    pub fn prod_work(&self, prod: ProdId) -> u64 {
+        self.prod_work[prod.0 as usize]
+    }
+
+    /// Estimated work of a single tree node.
+    #[inline]
+    pub fn node_work<V: AttrValue>(&self, tree: &ParseTree<V>, n: NodeId) -> u64 {
+        self.prod_work(tree.node(n).prod)
+    }
+
+    /// Estimated work of the whole tree.
+    pub fn tree_work<V: AttrValue>(&self, tree: &ParseTree<V>) -> u64 {
+        tree.node_ids().map(|n| self.node_work(tree, n)).sum()
+    }
+
+    /// Estimated work of one region of a decomposition (its local nodes
+    /// only).
+    pub fn region_work<V: AttrValue>(
+        &self,
+        tree: &ParseTree<V>,
+        d: &Decomposition,
+        region: RegionId,
+    ) -> u64 {
+        tree.node_ids()
+            .filter(|&n| d.region(n) == region)
+            .map(|n| self.node_work(tree, n))
+            .sum()
+    }
+}
+
+/// How a scheduler asks for a tree to be carved into regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionGranularity {
+    /// Fixed region count: one region per evaluator machine, the
+    /// paper's decomposition (and the whole-tree ticketing of earlier
+    /// drivers). Reproduces Figure 7 exactly.
+    Machines(usize),
+    /// Cost-driven: one region per ≈`budget` work units (rule-cost
+    /// units, see [`WorkTable`]), independent of the machine count. A
+    /// huge tree becomes many budget-sized region jobs that pipeline
+    /// through a worker pool exactly like many small trees.
+    Adaptive {
+        /// Target work units per region.
+        budget: u64,
+    },
+}
+
+/// Dispatches to [`decompose_with`] or [`decompose_adaptive`] according
+/// to the granularity.
+pub fn decompose_granular<V: AttrValue>(
+    tree: &Arc<ParseTree<V>>,
+    table: &SplitTable,
+    work: &WorkTable,
+    granularity: RegionGranularity,
+) -> Decomposition {
+    match granularity {
+        RegionGranularity::Machines(n) => decompose_with(tree, table, n.max(1)),
+        RegionGranularity::Adaptive { budget } => decompose_adaptive(tree, table, work, budget),
     }
 }
 
@@ -278,6 +392,187 @@ pub fn decompose_with<V: AttrValue>(
     d
 }
 
+/// Splits `tree` into regions of ≈`budget` work units each (cost-driven
+/// adaptive decomposition).
+///
+/// The engine works in the [`WorkTable`]'s rule-cost units instead of
+/// node counts, so a region's size tracks how long an evaluator will
+/// chew on it, not how many nodes it ships:
+///
+/// 1. **Re-split oversized regions**: while any region's local work
+///    exceeds 1.5× the budget, carve out of the (largest such) region
+///    the eligible `%split` subtree whose local work is closest to the
+///    budget. A region with no remaining candidate is frozen as-is —
+///    splits only happen where the grammar allows them.
+/// 2. **Merge undersized regions**: a region below ¼ of the budget is
+///    folded back into the region owning its root's parent, provided
+///    the combined region stays within the 1.5× bound — tiny regions
+///    cost more in messages and machine setup than they recover in
+///    overlap.
+///
+/// The result depends only on the tree and the budget — *not* on the
+/// machine count — so the same tree decomposes identically no matter
+/// how many workers the pool runs, and a region-granular scheduler can
+/// map regions onto workers round-robin. Returns the trivial
+/// decomposition when the whole tree fits within 1.5× the budget.
+///
+/// Cost: each split iteration rescans the candidates of the largest
+/// oversized region, and a candidate's local work walks the carved
+/// region list — O(splits × candidates × regions) worst case. Measured
+/// on the 264k-node `huge` Pascal workload this is 15–60 ms for 10–65
+/// regions (a few percent of that tree's evaluation time); it runs
+/// once per tree on the submit thread. If region counts grow far
+/// beyond that, maintain per-region candidate lists and update local
+/// work incrementally on `split_off`.
+pub fn decompose_adaptive<V: AttrValue>(
+    tree: &Arc<ParseTree<V>>,
+    table: &SplitTable,
+    work: &WorkTable,
+    budget: u64,
+) -> Decomposition {
+    let g = tree.grammar();
+    let budget = budget.max(1);
+    let oversize = budget.saturating_add(budget / 2);
+    let undersize = budget / 4;
+
+    let mut d = Decomposition::whole(tree);
+
+    // Per-subtree work in one reverse-preorder accumulation.
+    let pre: Vec<NodeId> = tree.subtree(tree.root()).collect();
+    let mut sub_work = vec![0u64; tree.len()];
+    for &n in pre.iter().rev() {
+        let mut w = work.node_work(tree, n);
+        for c in &tree.node(n).children {
+            if let crate::tree::Child::Node(c) = c {
+                w += sub_work[c.idx()];
+            }
+        }
+        sub_work[n.idx()] = w;
+    }
+    let mut local_work: Vec<u64> = vec![sub_work[tree.root().idx()]];
+    if local_work[0] <= oversize {
+        return d;
+    }
+
+    // Candidate split points (as in `decompose_with`).
+    let candidates: Vec<NodeId> = tree
+        .node_ids()
+        .filter(|&n| n != tree.root())
+        .filter(|&n| {
+            let sym = g.prod(tree.node(n).prod).lhs;
+            table
+                .min_size(sym)
+                .is_some_and(|min| tree.subtree_size(n) >= min)
+        })
+        .collect();
+
+    let mut pre_in = vec![0u32; tree.len()];
+    for (i, n) in pre.iter().enumerate() {
+        pre_in[n.idx()] = i as u32;
+    }
+    let under = |anc: NodeId, desc: NodeId| {
+        let a = pre_in[anc.idx()] as usize;
+        let di = pre_in[desc.idx()] as usize;
+        di > a && di < a + tree.subtree_size(anc)
+    };
+    // Local (work, node count) of candidate `n` within its region: its
+    // subtree minus any maximal-in-region nested region roots under it.
+    let local_of = |d: &Decomposition, n: NodeId| -> (u64, usize) {
+        let r = d.region(n);
+        let mut w = sub_work[n.idx()];
+        let mut s = tree.subtree_size(n);
+        for info in d.regions.iter().skip(1) {
+            let (pnode, _) = tree
+                .node(info.root)
+                .parent
+                .expect("carved region roots are not the tree root");
+            if d.region(pnode) == r && under(n, info.root) {
+                w -= sub_work[info.root.idx()];
+                s -= tree.subtree_size(info.root);
+            }
+        }
+        (w, s)
+    };
+
+    // Phase 1: re-split oversized regions.
+    let mut frozen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut roots: std::collections::HashSet<NodeId> =
+        std::collections::HashSet::from([tree.root()]);
+    while let Some((big, _)) = local_work
+        .iter()
+        .enumerate()
+        .filter(|&(i, &w)| w > oversize && !frozen.contains(&i))
+        .max_by_key(|&(_, &w)| w)
+    {
+        let big_nodes = d.regions[big].local_size;
+        let mut best: Option<(NodeId, u64, u64)> = None; // (node, score, local work)
+        for &n in &candidates {
+            if d.region(n) != big as RegionId || roots.contains(&n) {
+                continue;
+            }
+            let (lw, ln) = local_of(&d, n);
+            if ln < 2 || big_nodes - ln < 2 {
+                continue;
+            }
+            let score = lw.abs_diff(budget);
+            if best.is_none_or(|(_, s, _)| score < s) {
+                best = Some((n, score, lw));
+            }
+        }
+        match best {
+            None => {
+                frozen.insert(big);
+            }
+            Some((node, _, lw)) => {
+                split_off(tree, &mut d, node);
+                roots.insert(node);
+                local_work[big] -= lw;
+                local_work.push(lw);
+            }
+        }
+    }
+
+    // Phase 2: merge undersized regions into their parent region.
+    let mut i = d.regions.len();
+    while i > 1 {
+        i -= 1;
+        if local_work[i] >= undersize {
+            continue;
+        }
+        let (pnode, _) = tree
+            .node(d.regions[i].root)
+            .parent
+            .expect("carved region roots are not the tree root");
+        let target = d.region_of[pnode.idx()] as usize;
+        if local_work[target].saturating_add(local_work[i]) > oversize {
+            continue;
+        }
+        let victim = i as RegionId;
+        for slot in d.region_of.iter_mut() {
+            if *slot == victim {
+                *slot = target as RegionId;
+            } else if *slot > victim {
+                *slot -= 1;
+            }
+        }
+        d.regions[target].local_size += d.regions[i].local_size;
+        local_work[target] += local_work[i];
+        d.regions.remove(i);
+        local_work.remove(i);
+    }
+
+    // Recompute parent links from the final map (as in decompose_with).
+    for i in 1..d.regions.len() {
+        let root = d.regions[i].root;
+        let (p, _) = tree
+            .node(root)
+            .parent
+            .expect("non-root region root has a parent");
+        d.regions[i].parent = Some(d.region_of[p.idx()]);
+    }
+    d
+}
+
 /// Carves the local subtree of `node` out of its current region into a
 /// new one.
 fn split_off<V: AttrValue>(tree: &Arc<ParseTree<V>>, d: &mut Decomposition, node: NodeId) {
@@ -378,7 +673,7 @@ mod tests {
         let (tree, _) = comb(4, 1);
         let d = Decomposition::whole(&tree);
         assert_eq!(d.len(), 1);
-        assert!(d.is_empty());
+        assert!(d.is_unsplit());
         assert!(tree.node_ids().all(|n| d.region(n) == 0));
     }
 
@@ -451,6 +746,134 @@ mod tests {
                 .expect("region root has a parent node");
             assert_eq!(d.region(pnode), parent, "region {i}");
         }
+    }
+
+    /// Checks the structural invariants every decomposition must obey:
+    /// nodes partitioned, region 0 at the tree root, region roots and
+    /// parent links consistent, boundary children owned by child-region
+    /// roots.
+    fn assert_partition(tree: &Arc<ParseTree<i64>>, d: &Decomposition) {
+        let total: usize = d.regions.iter().map(|r| r.local_size).sum();
+        assert_eq!(total, tree.len(), "regions partition the tree");
+        assert_eq!(d.regions[0].root, tree.root());
+        assert_eq!(d.region(tree.root()), 0);
+        for n in tree.node_ids() {
+            assert!((d.region(n) as usize) < d.len(), "node region in range");
+        }
+        for (i, r) in d.regions.iter().enumerate() {
+            assert_eq!(d.region(r.root), i as RegionId, "root owned by region");
+        }
+        for (i, r) in d.regions.iter().enumerate().skip(1) {
+            let parent = r.parent.expect("non-root regions have parents");
+            let (pnode, _) = tree.node(r.root).parent.expect("root has parent node");
+            assert_eq!(d.region(pnode), parent, "region {i} parent link");
+        }
+        for r in 0..d.len() as RegionId {
+            for (p, c) in boundary_children(tree, d, r) {
+                assert_eq!(d.region(p), r);
+                assert_ne!(d.region(c), r);
+                assert_eq!(d.regions[d.region(c) as usize].root, c);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_decomposition_tracks_the_budget_not_the_machine_count() {
+        let (tree, _) = comb(96, 4);
+        let table = SplitTable::new(tree.grammar().as_ref(), 1.0);
+        let work = WorkTable::new(tree.grammar().as_ref());
+        let total = work.tree_work(&tree);
+        for div in [2u64, 4, 8, 16] {
+            let budget = (total / div).max(1);
+            let d = decompose_adaptive(&tree, &table, &work, budget);
+            assert_partition(&tree, &d);
+            assert!(d.len() > 1, "budget {budget}: tree should split");
+            for r in 0..d.len() as RegionId {
+                let w = work.region_work(&tree, &d, r);
+                assert!(w > 0, "budget {budget}: region {r} has work");
+            }
+            // Region count is in the ballpark of work/budget.
+            let expect = total.div_ceil(budget) as usize;
+            assert!(
+                d.len() <= 2 * expect + 1,
+                "budget {budget}: {} regions for expected ≈{expect}",
+                d.len()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_huge_budget_leaves_tree_whole() {
+        let (tree, _) = comb(32, 3);
+        let table = SplitTable::new(tree.grammar().as_ref(), 1.0);
+        let work = WorkTable::new(tree.grammar().as_ref());
+        let d = decompose_adaptive(&tree, &table, &work, u64::MAX / 4);
+        assert!(d.is_unsplit());
+    }
+
+    #[test]
+    fn adaptive_merges_undersized_regions() {
+        let (tree, _) = comb(64, 4);
+        let table = SplitTable::new(tree.grammar().as_ref(), 1.0);
+        let work = WorkTable::new(tree.grammar().as_ref());
+        let total = work.tree_work(&tree);
+        let budget = (total / 6).max(1);
+        let d = decompose_adaptive(&tree, &table, &work, budget);
+        assert!(d.len() > 1);
+        // On this uniform-cost comb every undersized region has room to
+        // fold into its parent, so none survives below ¼ budget.
+        for r in 0..d.len() as RegionId {
+            let w = work.region_work(&tree, &d, r);
+            assert!(
+                w >= budget / 4,
+                "region {r} undersized at {w} (budget {budget}, total {total})"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_is_deterministic() {
+        let (tree, _) = comb(48, 3);
+        let table = SplitTable::new(tree.grammar().as_ref(), 1.0);
+        let work = WorkTable::new(tree.grammar().as_ref());
+        let a = decompose_adaptive(&tree, &table, &work, 64);
+        let b = decompose_adaptive(&tree, &table, &work, 64);
+        assert_eq!(a.region_of, b.region_of);
+        assert_eq!(a.regions, b.regions);
+    }
+
+    #[test]
+    fn granularity_dispatch_matches_both_engines() {
+        let (tree, _) = comb(32, 3);
+        let table = SplitTable::new(tree.grammar().as_ref(), 1.0);
+        let work = WorkTable::new(tree.grammar().as_ref());
+        let fixed = decompose_granular(&tree, &table, &work, RegionGranularity::Machines(3));
+        assert_eq!(fixed.len(), decompose_with(&tree, &table, 3).len());
+        let adaptive = decompose_granular(
+            &tree,
+            &table,
+            &work,
+            RegionGranularity::Adaptive { budget: 40 },
+        );
+        assert_eq!(
+            adaptive.len(),
+            decompose_adaptive(&tree, &table, &work, 40).len()
+        );
+    }
+
+    #[test]
+    fn work_table_weights_sum_over_the_tree() {
+        let (tree, _) = comb(8, 2);
+        let work = WorkTable::new(tree.grammar().as_ref());
+        let total = work.tree_work(&tree);
+        let by_node: u64 = tree.node_ids().map(|n| work.node_work(&tree, n)).sum();
+        assert_eq!(total, by_node);
+        assert!(total >= tree.len() as u64, "every node weighs at least 1");
+        let d = decompose(&tree, SplitConfig::machines(2));
+        let by_region: u64 = (0..d.len() as RegionId)
+            .map(|r| work.region_work(&tree, &d, r))
+            .sum();
+        assert_eq!(by_region, total);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Cost-driven adaptive decomposition equivalence properties.
+//!
+//! `decompose_adaptive` may carve a tree into any number of regions —
+//! more than there are machines, fewer than a fixed-count split would —
+//! yet evaluation over the region machines must fill the attribute
+//! store with exactly the values the whole-tree sequential static
+//! evaluator produces, for arbitrary tree shapes, work budgets and
+//! split granularities. Alongside value equivalence this pins the
+//! structural invariants region-granular scheduling relies on: every
+//! node owned by exactly one region, region 0 at the tree root, parent
+//! links consistent with the node map, and every boundary child the
+//! root of the region that owns it.
+
+use paragram_core::analysis::{compute_plans, Plans};
+use paragram_core::eval::{static_eval, AttrMsg, Machine, MachineMode, SendTarget};
+use paragram_core::grammar::{AttrId, Grammar, GrammarBuilder, ProdId};
+use paragram_core::split::{
+    boundary_children, decompose_adaptive, Decomposition, RegionId, SplitTable, WorkTable,
+};
+use paragram_core::tree::{AttrStore, ParseTree, TreeBuilder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The paper's compiler shape over i64 (decls up, priority env down,
+/// code up), with splittable lists and bodies — the same fixture the
+/// cross-evaluator equivalence suite uses, here driven through the
+/// adaptive decomposition instead of the fixed-count one.
+struct Fixture {
+    grammar: Arc<Grammar<i64>>,
+    top: ProdId,
+    cons: ProdId,
+    nil: ProdId,
+    wrap: ProdId,
+    unit: ProdId,
+}
+
+fn fixture() -> Fixture {
+    let mut g = GrammarBuilder::<i64>::new();
+    let s = g.nonterminal("S");
+    let l = g.nonterminal("L");
+    let b = g.nonterminal("B");
+    let out = g.synthesized(s, "out");
+    let decls = g.synthesized(l, "decls");
+    let env = g.inherited(l, "env");
+    let code = g.synthesized(l, "code");
+    let benv = g.inherited(b, "env");
+    let bcode = g.synthesized(b, "code");
+    g.mark_split(l, 2);
+    g.mark_split(b, 2);
+    g.mark_priority(l, env);
+    g.mark_priority(b, benv);
+
+    let top = g.production("top", s, [l]);
+    g.rule(top, (1, env), [(1, decls)], |a| a[0].wrapping_mul(31) + 1);
+    g.rule(top, (0, out), [(1, code)], |a| a[0]);
+    let cons = g.production("cons", l, [b, l]);
+    g.rule(cons, (0, decls), [(2, decls)], |a| a[0] + 1);
+    g.rule(cons, (2, env), [(0, env)], |a| a[0].wrapping_add(3));
+    g.rule(cons, (1, benv), [(0, env)], |a| a[0] ^ 0x55);
+    g.rule(cons, (0, code), [(1, bcode), (2, code)], |a| {
+        a[0].wrapping_mul(1_000_003).wrapping_add(a[1])
+    });
+    let nil = g.production("nil", l, []);
+    g.rule(nil, (0, decls), [], |_| 0);
+    g.rule(nil, (0, code), [(0, env)], |a| a[0]);
+    let wrap = g.production("wrap", b, [b]);
+    g.rule(wrap, (1, benv), [(0, benv)], |a| a[0].wrapping_add(7));
+    g.rule_with_cost(
+        wrap,
+        (0, bcode),
+        [(1, bcode), (0, benv)],
+        |a| a[0].wrapping_mul(17) ^ a[1],
+        3,
+    );
+    let unit = g.production("unit", b, []);
+    g.rule(unit, (0, bcode), [(0, benv)], |a| a[0].wrapping_mul(13) + 1);
+
+    Fixture {
+        grammar: Arc::new(g.build(s).unwrap()),
+        top,
+        cons,
+        nil,
+        wrap,
+        unit,
+    }
+}
+
+/// One list item per shape entry, each with a body of that depth.
+fn build_tree(fx: &Fixture, shape: &[u8]) -> Arc<ParseTree<i64>> {
+    let mut tb = TreeBuilder::new(&fx.grammar);
+    let mut tail = tb.leaf(fx.nil);
+    for &depth in shape {
+        let mut body = tb.leaf(fx.unit);
+        for _ in 0..depth {
+            body = tb.node(fx.wrap, [body]);
+        }
+        tail = tb.node(fx.cons, [body, tail]);
+    }
+    let root = tb.node(fx.top, [tail]);
+    Arc::new(tb.finish(root).unwrap())
+}
+
+/// Every node owned by exactly one region, boundary invariants intact.
+fn assert_partition(tree: &Arc<ParseTree<i64>>, d: &Decomposition) -> Result<(), TestCaseError> {
+    let total: usize = d.regions.iter().map(|r| r.local_size).sum();
+    prop_assert_eq!(total, tree.len(), "regions must partition the tree");
+    prop_assert_eq!(d.regions[0].root, tree.root());
+    prop_assert_eq!(d.region(tree.root()), 0);
+    for n in tree.node_ids() {
+        prop_assert!((d.region(n) as usize) < d.len());
+    }
+    for (i, r) in d.regions.iter().enumerate() {
+        prop_assert_eq!(d.region(r.root), i as RegionId, "root owned by its region");
+        if i > 0 {
+            let parent = r.parent.expect("non-root regions have parents");
+            let (pnode, _) = tree.node(r.root).parent.expect("root has a parent node");
+            prop_assert_eq!(d.region(pnode), parent, "parent link consistent");
+        }
+    }
+    for r in 0..d.len() as RegionId {
+        for (p, c) in boundary_children(tree, d, r) {
+            prop_assert_eq!(d.region(p), r);
+            prop_assert_ne!(d.region(c), r);
+            prop_assert_eq!(
+                d.regions[d.region(c) as usize].root,
+                c,
+                "boundary child must be its region's root"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs all machines of a decomposition to completion with a
+/// synchronous round-robin message pump; returns the merged store.
+fn pump_machines(
+    tree: &Arc<ParseTree<i64>>,
+    plans: &Arc<Plans>,
+    decomp: &Decomposition,
+    mode: MachineMode,
+) -> AttrStore<i64> {
+    let mut machines: Vec<Machine<i64>> = (0..decomp.len() as RegionId)
+        .map(|r| Machine::new(tree, Some(plans), decomp, r, mode))
+        .collect();
+    let mut inbox: Vec<AttrMsg<i64>> = Vec::new();
+    loop {
+        let mut progressed = false;
+        for m in machines.iter_mut() {
+            let sends = m.run().unwrap();
+            progressed |= !sends.is_empty();
+            inbox.extend(sends);
+        }
+        for msg in inbox.drain(..) {
+            if let SendTarget::Region(r) = msg.to {
+                machines[r as usize].provide(msg.node, msg.attr, msg.value);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    assert!(
+        machines.iter().all(|m| m.is_done()),
+        "machine pump deadlocked: {machines:?}"
+    );
+    let mut merged: Option<AttrStore<i64>> = None;
+    for m in machines {
+        let s = m.into_store();
+        merged = Some(match merged {
+            None => s,
+            Some(mut acc) => {
+                acc.absorb(s);
+                acc
+            }
+        });
+    }
+    merged.expect("at least one region")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random tree shapes, budgets and granularity scales, the
+    /// adaptive decomposition partitions the tree soundly and region
+    /// evaluation over it matches whole-tree sequential static eval.
+    #[test]
+    fn adaptive_decomposition_evaluates_like_whole_tree_static(
+        shape in prop::collection::vec(0u8..6, 1..20),
+        divisor in prop::sample::select(vec![2u64, 3, 6, 12, 24]),
+        scale in prop::sample::select(vec![0.5f64, 1.0, 4.0]),
+    ) {
+        let fx = fixture();
+        let tree = build_tree(&fx, &shape);
+        let plans = Arc::new(compute_plans(fx.grammar.as_ref()).unwrap());
+        let (want, _) = static_eval(&tree, &plans).unwrap();
+
+        let table = SplitTable::new(fx.grammar.as_ref(), scale);
+        let work = WorkTable::new(fx.grammar.as_ref());
+        let budget = (work.tree_work(&tree) / divisor).max(1);
+        let d = decompose_adaptive(&tree, &table, &work, budget);
+        assert_partition(&tree, &d)?;
+        // Regions' work estimates cover the tree exactly.
+        let covered: u64 = (0..d.len() as RegionId)
+            .map(|r| work.region_work(&tree, &d, r))
+            .sum();
+        prop_assert_eq!(covered, work.tree_work(&tree));
+
+        for mode in [MachineMode::Combined, MachineMode::Dynamic] {
+            let got = pump_machines(&tree, &plans, &d, mode);
+            for node in tree.node_ids() {
+                let sym = fx.grammar.prod(tree.node(node).prod).lhs;
+                for i in 0..fx.grammar.attr_count(sym) {
+                    let attr = AttrId(i as u32);
+                    prop_assert_eq!(
+                        want.get(node, attr),
+                        got.get(node, attr),
+                        "{:?} disagrees at {:?} attr {:?} (budget {}, {} regions)",
+                        mode, node, attr, budget, d.len()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -42,6 +42,18 @@
 //! stragglers, and tree N's result assembly overlaps tree N+1's
 //! evaluation. Depth 1 restores the strict one-tree-per-epoch barrier.
 //!
+//! # Region-granular scheduling
+//!
+//! The pool's unit of work is the *region job* — a `(ticket, region)`
+//! pair — not the tree. By default each tree is carved into at most
+//! `workers` regions (the paper's decomposition);
+//! [`DriverConfig::with_adaptive_budget`] switches to cost-driven
+//! decomposition where regions are sized by a work budget, so one huge
+//! tree becomes many region jobs that fill the pipeline exactly like a
+//! batch of small trees (no head-of-line blocking behind a big
+//! compilation unit). [`BatchReport::max_regions_in_flight`] reports
+//! the region-level concurrency the batch actually reached.
+//!
 //! # Example
 //!
 //! ```
@@ -81,6 +93,7 @@ use paragram_core::eval::{EvalError, EvalPlan, MachineMode};
 use paragram_core::grammar::{AttrId, Grammar};
 use paragram_core::parallel::pool::{PoolConfig, PoolReport, WorkerPool};
 use paragram_core::parallel::ResultPropagation;
+use paragram_core::split::RegionGranularity;
 use paragram_core::stats::EvalStats;
 use paragram_core::tree::{AttrStore, ParseTree};
 use paragram_core::value::AttrValue;
@@ -105,6 +118,13 @@ pub struct DriverConfig {
     /// Depth 1 is the strict per-tree barrier; the default of 2
     /// pipelines each tree behind its predecessor's stragglers.
     pub pipeline_depth: usize,
+    /// Region granularity override; `None` (the default) carves each
+    /// tree into at most `workers` regions (whole-tree ticketing, the
+    /// paper's decomposition). [`RegionGranularity::Adaptive`] sizes
+    /// regions by a work budget instead, so a huge tree becomes many
+    /// region jobs that pipeline through the pool like many small
+    /// trees.
+    pub granularity: Option<RegionGranularity>,
 }
 
 impl DriverConfig {
@@ -117,6 +137,7 @@ impl DriverConfig {
             result: ResultPropagation::Librarian,
             min_size_scale: 1.0,
             pipeline_depth: 2,
+            granularity: None,
         }
     }
 
@@ -135,6 +156,25 @@ impl DriverConfig {
             pipeline_depth: depth.max(1),
             ..self
         }
+    }
+
+    /// Returns the configuration with cost-driven region-granular
+    /// scheduling: trees are carved into regions of ≈`budget` work
+    /// units (rule-cost units; see
+    /// [`paragram_core::split::decompose_adaptive`]), independent of
+    /// the worker count.
+    pub fn with_adaptive_budget(self, budget: u64) -> Self {
+        DriverConfig {
+            granularity: Some(RegionGranularity::Adaptive { budget }),
+            ..self
+        }
+    }
+
+    /// The effective granularity: the override, or one region per
+    /// worker.
+    pub fn effective_granularity(&self) -> RegionGranularity {
+        self.granularity
+            .unwrap_or(RegionGranularity::Machines(self.workers))
     }
 }
 
@@ -248,6 +288,11 @@ pub struct BatchReport<V: AttrValue> {
     /// this batch (≤ `pipeline_depth`; 1 means the batch degenerated to
     /// the barrier schedule, e.g. a single-tree batch).
     pub max_in_flight: usize,
+    /// The largest number of region jobs in flight at once — the
+    /// region-granular view of `max_in_flight`: under adaptive
+    /// granularity a single huge tree alone can keep many more region
+    /// jobs live than the tree window suggests.
+    pub max_regions_in_flight: usize,
 }
 
 impl<V: AttrValue> BatchReport<V> {
@@ -281,6 +326,7 @@ impl<V: AttrValue> BatchDriver<V> {
                 result: cfg.result,
                 min_size_scale: cfg.min_size_scale,
                 pipeline_depth: cfg.pipeline_depth,
+                granularity: cfg.effective_granularity(),
             },
         );
         BatchDriver {
@@ -334,9 +380,11 @@ impl<V: AttrValue> BatchDriver<V> {
         let start = Instant::now();
         let mut outputs = Vec::new();
         let mut max_in_flight = 0usize;
+        let mut max_regions_in_flight = 0usize;
         for tree in trees {
             self.pool.submit(&tree)?;
             max_in_flight = max_in_flight.max(self.pool.in_flight());
+            max_regions_in_flight = max_regions_in_flight.max(self.pool.regions_in_flight());
             while let Some(report) = self.pool.take_ready() {
                 self.trees_compiled += 1;
                 outputs.push(TreeOutput::from_report(report));
@@ -351,6 +399,7 @@ impl<V: AttrValue> BatchDriver<V> {
             elapsed: start.elapsed(),
             pipeline_depth: self.pool.pipeline_depth(),
             max_in_flight,
+            max_regions_in_flight,
         })
     }
 }
@@ -466,6 +515,36 @@ mod tests {
             .unwrap();
         assert!(output.regions > 1, "large tree should be split");
         assert!(output.stats.static_applied > 0, "combined mode ran plans");
+    }
+
+    #[test]
+    fn adaptive_granularity_reports_region_level_stats() {
+        let (gr, top, cons, nil, out) = grammar();
+        let tree = chain(&gr, top, cons, nil, 96);
+        let base = CompilationPlan::analyze(&gr, DriverConfig::workers(2));
+        let budget = (base.eval_plan().tree_work(&tree) / 8).max(1);
+        let plan = CompilationPlan::from_plan(
+            base.eval_plan(),
+            DriverConfig::workers(2).with_adaptive_budget(budget),
+        );
+        let mut driver = BatchDriver::new(&plan);
+        let report = driver
+            .compile_batch([Arc::clone(&tree), Arc::clone(&tree)])
+            .unwrap();
+        // A single huge tree keeps more region jobs in flight than the
+        // tree window suggests.
+        assert!(
+            report.max_regions_in_flight > report.max_in_flight,
+            "regions {} vs trees {}",
+            report.max_regions_in_flight,
+            report.max_in_flight
+        );
+        assert!(report.outputs[0].regions > driver.workers());
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        for output in &report.outputs {
+            assert_eq!(output.root_value(out), dstore.get(tree.root(), out));
+            assert_eq!(output.store.filled(), output.store.len());
+        }
     }
 
     #[test]

@@ -49,6 +49,22 @@ impl GenConfig {
             seed: 42,
         }
     }
+
+    /// A bigger-than-paper single compilation unit: one tree with at
+    /// least 10× the [`GenConfig::paper`] node count. This is the
+    /// workload for region-granular scheduling — a fixed five-way split
+    /// leaves a tree this size gated by its largest region, while the
+    /// adaptive decomposition carves it into many budget-sized region
+    /// jobs that fill a worker pool like a batch of small trees.
+    pub fn huge() -> Self {
+        GenConfig {
+            clusters: 10,
+            procs_per_cluster: 26,
+            stmts_per_proc: 50,
+            nesting: 5,
+            seed: 2026,
+        }
+    }
 }
 
 /// Generates a Pascal program for the given shape.
@@ -232,6 +248,19 @@ mod tests {
             ..GenConfig::paper()
         });
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn huge_workload_is_at_least_ten_paper_trees() {
+        let c = Compiler::new();
+        let paper = c.tree_from_source(&generate(&GenConfig::paper())).unwrap();
+        let huge = c.tree_from_source(&generate(&GenConfig::huge())).unwrap();
+        assert!(
+            huge.len() >= 10 * paper.len(),
+            "huge tree has {} nodes, paper {} — need ≥10×",
+            huge.len(),
+            paper.len()
+        );
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! overlap in flight), and regardless of how often it is repeated on
 //! the same pool.
 //!
-//! The `#[ignore]`d property test at the bottom drives the split-phase
-//! librarian ledger directly with randomized out-of-order
-//! `Register`/`Resolve` interleavings (run it with
-//! `cargo test -- --ignored`; CI does).
+//! Two `#[ignore]`d tests extend the matrix on CI (`cargo test --
+//! --ignored` runs them): the split-phase librarian property test
+//! (randomized out-of-order `Register`/`Resolve` interleavings) and the
+//! region-granular determinism matrix, which pushes a
+//! `GenConfig::huge()` single tree through the adaptive pool at depths
+//! 1/2/4 × workers 1/2/8. A seconds-scale region-granular smoke stays
+//! in the default set.
 
 use paragram::core::eval::static_eval;
 use paragram::core::grammar::AttrId;
@@ -301,6 +304,107 @@ fn pipelined_batch_is_byte_identical_across_window_depths() {
                     "tree {i}: store differs at depth={depth} workers={workers}"
                 );
             }
+        }
+    }
+}
+
+/// The region-granular acceptance bar: a single `GenConfig::huge()`
+/// tree (≥10× the paper workload) run through the adaptive
+/// region-granular pool must produce output byte-identical to the
+/// sequential static evaluator at every depth×worker combination —
+/// even though the tree decomposes into far more regions than there
+/// are workers, and the regions round-robin over the pool.
+#[test]
+#[ignore = "minutes-scale huge-workload matrix; run with cargo test -- --ignored (CI does)"]
+fn region_granular_huge_single_tree_matches_sequential_at_every_depth_and_worker_count() {
+    let compiler = Compiler::new();
+    let huge = compiler
+        .tree_from_source(&generate(&GenConfig::huge()))
+        .unwrap();
+    // Two small trees ride along so the pipeline window actually
+    // overlaps the huge tree's regions with neighbours.
+    let small = compiler
+        .tree_from_source("program s; var x: integer; begin x := 6 * 7; write(x) end.")
+        .unwrap();
+    let trees = [Arc::clone(&huge), Arc::clone(&small), Arc::clone(&huge)];
+
+    let plans = compiler.evals.plans().unwrap();
+    let reference: Vec<(String, Vec<Option<PVal>>)> = trees
+        .iter()
+        .map(|tree| {
+            let (store, stats) = static_eval(tree, plans).unwrap();
+            let out = compiler.output_from_store(tree, &store, stats);
+            assert!(out.errors.is_empty(), "{:?}", out.errors);
+            (out.asm, store_snapshot(tree, &store))
+        })
+        .collect();
+
+    // Budget ≈ 1/16 of the huge tree: many more regions than any
+    // tested worker count, identical decomposition at every count.
+    let budget = (compiler.evals.plan().tree_work(&huge) / 16).max(1);
+    for depth in [1usize, 2, 4] {
+        for workers in [1usize, 2, 8] {
+            let config = DriverConfig::workers(workers)
+                .with_pipeline_depth(depth)
+                .with_adaptive_budget(budget);
+            let plan = CompilationPlan::from_plan(compiler.evals.plan(), config);
+            let mut driver = BatchDriver::new(&plan);
+            let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+            assert!(
+                report.outputs[0].regions > workers,
+                "depth={depth} workers={workers}: huge tree made {} regions",
+                report.outputs[0].regions
+            );
+            for (i, (tree, out)) in trees.iter().zip(&report.outputs).enumerate() {
+                let output = compiler.output_from_store(tree, &out.store, out.stats);
+                assert!(output.errors.is_empty(), "{:?}", output.errors);
+                let (want_asm, want_store) = &reference[i];
+                assert_eq!(
+                    want_asm, &output.asm,
+                    "tree {i}: asm differs at depth={depth} workers={workers}"
+                );
+                assert_eq!(
+                    want_store,
+                    &store_snapshot(tree, &out.store),
+                    "tree {i}: store differs at depth={depth} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+/// Seconds-scale region-granular determinism smoke (the huge-workload
+/// matrix above is the `--ignored` CI version): the generated
+/// multi-cluster program decomposed adaptively must match the
+/// sequential static evaluator byte for byte.
+#[test]
+fn region_granular_smoke_matches_sequential() {
+    let compiler = Compiler::new();
+    let trees: Vec<Arc<ParseTree<PVal>>> = sources()
+        .iter()
+        .map(|s| compiler.tree_from_source(s).unwrap())
+        .collect();
+    let biggest = trees
+        .iter()
+        .map(|t| compiler.evals.plan().tree_work(t))
+        .max()
+        .unwrap();
+    let budget = (biggest / 8).max(1);
+    let reference = run_once(&compiler, &trees, 2);
+    for workers in [1usize, 4] {
+        let config = DriverConfig::workers(workers).with_adaptive_budget(budget);
+        let got = run_once_with(&compiler, &trees, config);
+        for (i, ((want_asm, want_store), (got_asm, got_store))) in
+            reference.iter().zip(&got).enumerate()
+        {
+            assert_eq!(
+                want_asm, got_asm,
+                "tree {i}: asm differs at workers={workers}"
+            );
+            assert_eq!(
+                want_store, got_store,
+                "tree {i}: store differs at workers={workers}"
+            );
         }
     }
 }
