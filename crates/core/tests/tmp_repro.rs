@@ -1,0 +1,69 @@
+//! Temporary review repro: phase-2 merge where the target region index
+//! exceeds the victim's.
+
+use paragram_core::grammar::GrammarBuilder;
+use paragram_core::split::{decompose_adaptive, RegionId, SplitTable, WorkTable};
+use paragram_core::tree::TreeBuilder;
+use std::sync::Arc;
+
+#[test]
+fn merge_into_higher_index_region() {
+    let mut g = GrammarBuilder::<i64>::new();
+    let s = g.nonterminal("S");
+    let e = g.nonterminal("E");
+    let sv = g.synthesized(s, "v");
+    let ev = g.synthesized(e, "v");
+    g.mark_split(e, 2);
+
+    let rootp = g.production("root", s, [e]);
+    g.rule(rootp, (0, sv), [(1, ev)], |a| a[0]);
+    let pair = g.production("pair", e, [e, e]);
+    g.rule(pair, (0, ev), [(1, ev), (2, ev)], |a| a[0] + a[1]);
+    let heavy = g.production("heavy", e, [e]);
+    g.rule_with_cost(heavy, (0, ev), [(1, ev)], |a| a[0], 60);
+    let light = g.production("light", e, [e]);
+    g.rule(light, (0, ev), [(1, ev)], |a| a[0]);
+    let leafp = g.production("leaf", e, []);
+    g.rule(leafp, (0, ev), [], |_| 1);
+
+    let gr = Arc::new(g.build(s).unwrap());
+    let mut tb = TreeBuilder::new(&gr);
+    // H1 = heavy(leaf): work 61
+    let h1 = tb.node(heavy, [tb.leaf(leafp)]);
+    // T = light(light(light(leaf))): work 4
+    let mut t = tb.leaf(leafp);
+    for _ in 0..3 {
+        t = tb.node(light, [t]);
+    }
+    // X = pair(H1, T): work 66
+    let mut chain = tb.node(pair, [h1, t]);
+    // 45 light levels above X
+    for _ in 0..45 {
+        chain = tb.node(light, [chain]);
+    }
+    let root = tb.node(rootp, [chain]);
+    let tree = Arc::new(tb.finish(root).unwrap());
+
+    let table = SplitTable::new(gr.as_ref(), 1.0);
+    let work = WorkTable::new(gr.as_ref());
+    assert_eq!(work.tree_work(&tree), 112);
+
+    let d = decompose_adaptive(&tree, &table, &work, 30);
+    eprintln!("regions: {}", d.len());
+    let total: usize = d.regions.iter().map(|r| r.local_size).sum();
+    let mut oob = Vec::new();
+    for n in tree.node_ids() {
+        if (d.region(n) as usize) >= d.len() {
+            oob.push((n, d.region(n)));
+        }
+    }
+    for (i, r) in d.regions.iter().enumerate() {
+        assert_eq!(
+            d.region(r.root),
+            i as RegionId,
+            "region {i} root not owned by its region"
+        );
+    }
+    assert!(oob.is_empty(), "out-of-range region ids: {oob:?}");
+    assert_eq!(total, tree.len(), "regions must partition the tree");
+}
