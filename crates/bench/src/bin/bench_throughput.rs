@@ -37,9 +37,11 @@
 //! decomposition, at most one region per worker) vs adaptive-region
 //! (cost-driven budget, many region jobs round-robining over the pool),
 //! interleaved rep by rep, plus the deterministic simulated-network
-//! comparison on a stream led by the huge tree. Emits a `single_tree`
-//! section in the JSON. In `--smoke` mode the paper-sized tree stands
-//! in for the huge one.
+//! comparison on a stream led by the huge tree, plus a
+//! store-construction axis (total/peak machine-store slots per
+//! decomposition vs the tree's instance count — the O(region) win of
+//! region-local stores). Emits a `single_tree` section in the JSON. In
+//! `--smoke` mode the paper-sized tree stands in for the huge one.
 //!
 //! Writes `BENCH_throughput.json` (override with `--out`). `--smoke`
 //! runs a seconds-scale subset and writes nothing unless `--out` is
@@ -51,7 +53,7 @@
 //! [--modes barrier,pipelined] [--out PATH] [--label TEXT]`
 
 use paragram_core::parallel::sim::{run_sim_batch, run_sim_batch_with, SimConfig};
-use paragram_core::split::RegionGranularity;
+use paragram_core::split::{decompose_granular, RegionGranularity, RegionId, SplitTable};
 use paragram_core::tree::ParseTree;
 use paragram_driver::{BatchDriver, CompilationPlan, DriverConfig};
 use paragram_pascal::generator::{generate, GenConfig};
@@ -304,6 +306,28 @@ fn run_single_tree(compiler: &Compiler, args: &Args, out: &mut String) {
         "  whole-tree: median {wm} ns ({whole_regions} regions); adaptive-region: median {am} ns ({adaptive_regions} regions) — adaptive is {wall_ratio:.2}x whole-tree wall clock"
     );
 
+    // Store-construction axis: how many attribute slots the region
+    // machines of each decomposition allocate in total / at peak.
+    // Region-local stores put both modes at ≈1× the tree's instance
+    // count (owned spans partition the instances; boundary aliases are
+    // the only overhead), where whole-tree stores per machine used to
+    // cost regions × tree instances under adaptive granularity.
+    let split_table = SplitTable::new(tree.grammar().as_ref(), 1.0);
+    let machine_slots = |granularity: RegionGranularity| -> (usize, usize, usize) {
+        let d = decompose_granular(&tree, &split_table, plan.work_table(), granularity);
+        let map = d.slot_map();
+        (0..d.len() as RegionId).fold((0, 0, map.tree_instances()), |(total, peak, ti), r| {
+            let slots = map.total_slots(r);
+            (total + slots, peak.max(slots), ti)
+        })
+    };
+    let (whole_slots, whole_peak, tree_instances) =
+        machine_slots(RegionGranularity::Machines(args.workers));
+    let (adaptive_slots, adaptive_peak, _) = machine_slots(RegionGranularity::Adaptive { budget });
+    println!(
+        "  store slots: tree {tree_instances}; whole-tree machines Σ{whole_slots} (peak {whole_peak}); adaptive machines Σ{adaptive_slots} (peak {adaptive_peak})"
+    );
+
     // Deterministic simulated-network comparison: a stream led by the
     // single big tree plus small units behind it — the head-of-line
     // case region granularity exists for.
@@ -340,6 +364,15 @@ fn run_single_tree(compiler: &Compiler, args: &Args, out: &mut String) {
     out.push_str(&format!(
         "    \"adaptive_vs_whole_tree_wall\": {wall_ratio:.2},\n"
     ));
+    out.push_str("    \"store_slots\": {\n");
+    out.push_str(&format!("      \"tree_instances\": {tree_instances},\n"));
+    out.push_str(&format!(
+        "      \"whole_tree\": {{ \"machine_total\": {whole_slots}, \"machine_peak\": {whole_peak} }},\n"
+    ));
+    out.push_str(&format!(
+        "      \"adaptive_region\": {{ \"machine_total\": {adaptive_slots}, \"machine_peak\": {adaptive_peak} }}\n"
+    ));
+    out.push_str("    },\n");
     out.push_str("    \"sim\": {\n");
     out.push_str(&format!("      \"machines\": {machines},\n"));
     out.push_str(&format!("      \"trees\": {},\n", stream.len()));

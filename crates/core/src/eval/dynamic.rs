@@ -18,7 +18,7 @@
 use crate::csr::CsrCounter;
 use crate::grammar::{ArgScratch, OccRef};
 use crate::stats::EvalStats;
-use crate::tree::{occ_slot, occ_value, AttrStore, Child, NodeId, ParseTree};
+use crate::tree::{occ_slot, occ_value, AttrSlots, AttrStore, Child, NodeId, ParseTree};
 use crate::value::AttrValue;
 use std::collections::VecDeque;
 
@@ -238,10 +238,11 @@ pub fn dynamic_eval_with<V: AttrValue>(
 }
 
 /// Instance index of a rule-argument occurrence, or `None` for token
-/// occurrences (always available, no graph edge needed).
-pub(crate) fn arg_instance<V: AttrValue>(
+/// occurrences (always available, no graph edge needed). Generic over
+/// the store so machine construction resolves region-local indices.
+pub(crate) fn arg_instance<V: AttrValue, S: AttrSlots<V>>(
     tree: &ParseTree<V>,
-    store: &AttrStore<V>,
+    store: &S,
     node: NodeId,
     arg: OccRef,
 ) -> Option<usize> {

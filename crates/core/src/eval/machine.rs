@@ -21,13 +21,28 @@
 //!
 //! In [`MachineMode::Dynamic`] every region node is treated as spine,
 //! which is exactly the paper's "purely dynamic" parallel evaluator.
+//!
+//! # Region-local storage
+//!
+//! A machine's attribute store is a [`RegionStore`]: slots indexed
+//! *within the region* through the decomposition's shared
+//! [`crate::split::SlotMap`]. The only nodes a machine ever addresses
+//! are the nodes its region owns (dense span from 0) and its boundary
+//! children (roots of child regions, aliased through the layout's
+//! small remap) — so construction and memory are O(region), the
+//! dependency CSR and the ready bookkeeping are sized by the region's
+//! slots, and K-region decomposition of a tree allocates ≈1× the
+//! tree's instances in total rather than K×. [`Machine::recycle`] /
+//! [`Machine::into_store`] hand the region-local store back for sparse
+//! assembly into the final whole-tree store
+//! ([`crate::tree::AttrStore::absorb_region`]).
 
 use crate::analysis::Plans;
 use crate::csr::Csr;
 use crate::grammar::{AttrId, SymbolId};
 use crate::split::{Decomposition, RegionId};
 use crate::stats::EvalStats;
-use crate::tree::{occ_slot, occ_value, AttrStore, NodeId, ParseTree};
+use crate::tree::{occ_slot, occ_value, NodeId, ParseTree, RegionStore};
 use crate::value::AttrValue;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -92,7 +107,7 @@ pub struct Machine<V: AttrValue> {
     tree: Arc<ParseTree<V>>,
     plan: Arc<EvalPlan<V>>,
     region: RegionId,
-    store: AttrStore<V>,
+    store: RegionStore<V>,
     tasks: Vec<Task>,
     missing: Vec<u32>,
     /// instance -> tasks waiting on it, in compressed sparse row form
@@ -210,7 +225,9 @@ impl<V: AttrValue> Machine<V> {
             }
         }
 
-        let store = AttrStore::new(tree);
+        // O(region) storage: the slot layout was computed once at
+        // decomposition time and is shared by every region's machine.
+        let store = RegionStore::new(decomp.slot_map(), region);
         let local_nodes = scratch.region_nodes.len();
         // Fold the region's work estimate into the construction pass —
         // the number the adaptive decomposition sized this region by.
@@ -426,30 +443,42 @@ impl<V: AttrValue> Machine<V> {
         self.stats
     }
 
-    /// Consumes the machine, returning its (partially) filled store.
-    pub fn into_store(self) -> AttrStore<V> {
+    /// Consumes the machine, returning its (partially) filled
+    /// region-local store. Merge it into a whole-tree result with
+    /// [`crate::tree::AttrStore::absorb_region`].
+    pub fn into_store(self) -> RegionStore<V> {
         self.store
     }
 
-    /// Consumes the machine, returning its store, final statistics and
-    /// the reusable scratch buffers (for the next tree's machine).
-    pub fn recycle(self) -> (AttrStore<V>, EvalStats, MachineScratch<V>) {
+    /// Consumes the machine, returning its region-local store, final
+    /// statistics and the reusable scratch buffers (for the next
+    /// tree's machine).
+    pub fn recycle(self) -> (RegionStore<V>, EvalStats, MachineScratch<V>) {
         (self.store, self.stats, self.scratch)
     }
 
-    /// Read access to the machine's store.
-    pub fn store(&self) -> &AttrStore<V> {
+    /// Read access to the machine's region-local store.
+    pub fn store(&self) -> &RegionStore<V> {
         &self.store
     }
 
     /// Delivers an external attribute value (from the network).
+    /// Duplicate deliveries of an instance are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is neither owned by this machine's region nor
+    /// one of its boundary children — the region-local store has no
+    /// slot for any other node. Senders route by the decomposition's
+    /// `(ticket, region)` placement, which only ever produces those
+    /// two cases; anything else is a routing bug worth crashing on.
     pub fn provide(&mut self, node: NodeId, attr: AttrId, value: V) {
         let inst = self.store.instance(node, attr);
         if !self.awaiting.remove(&inst) {
-            return; // duplicate or unrelated delivery
+            return; // duplicate (or locally computed) delivery
         }
         self.stats.attrs_received += 1;
-        self.store.set(node, attr, value);
+        self.store.set_by_index(inst, value);
         self.notify(inst);
     }
 
@@ -473,7 +502,7 @@ impl<V: AttrValue> Machine<V> {
         if let Some((node, attr, to)) = self.send_on_fill.remove(&inst) {
             let value = self
                 .store
-                .get(node, attr)
+                .get_by_index(inst)
                 .expect("instance was just filled")
                 .clone();
             self.stats.attrs_sent += 1;
@@ -608,7 +637,7 @@ mod tests {
     use crate::eval::dynamic_eval;
     use crate::grammar::{AttrKind, Grammar, GrammarBuilder, ProdId};
     use crate::split::{decompose, SplitConfig};
-    use crate::tree::TreeBuilder;
+    use crate::tree::{AttrStore, TreeBuilder};
 
     /// Two-pass grammar with splittable list; used across machine tests.
     struct Fixture {
@@ -721,18 +750,13 @@ mod tests {
         );
         assert!(!parser_got.is_empty(), "root attributes must reach parser");
         let stats: Vec<EvalStats> = machines.iter().map(|m| m.stats()).collect();
-        let mut merged: Option<AttrStore<i64>> = None;
+        // Sparse assembly: each region's owned span maps back into the
+        // whole-tree store through the decomposition's slot layout.
+        let mut merged = AttrStore::new(&fx.tree);
         for m in machines {
-            let s = m.into_store();
-            merged = Some(match merged {
-                None => s,
-                Some(mut acc) => {
-                    acc.absorb(s);
-                    acc
-                }
-            });
+            merged.absorb_region(&fx.tree, m.into_store());
         }
-        (merged.unwrap(), stats)
+        (merged, stats)
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::analysis::{Plans, Step};
 use crate::grammar::ArgScratch;
 use crate::stats::EvalStats;
-use crate::tree::{occ_slot, occ_value, AttrStore, NodeId, ParseTree};
+use crate::tree::{occ_slot, occ_value, AttrSlots, AttrStore, NodeId, ParseTree};
 use crate::value::AttrValue;
 
 use super::EvalError;
@@ -55,17 +55,18 @@ pub fn static_eval<V: AttrValue>(
 /// This is the building block shared by [`static_eval`] and the combined
 /// evaluator's static-subtree tasks. `scratch` is the caller's reusable
 /// argument buffer, so repeated segments amortize gathering to zero
-/// allocations.
+/// allocations. Generic over the store ([`AttrSlots`]) so region
+/// machines run static subtrees against their region-local storage.
 ///
 /// # Errors
 ///
 /// [`EvalError::PlanInconsistency`] when a step's inputs are missing —
 /// for the combined evaluator this would mean an inherited attribute of
 /// the subtree root was not provided before the visit.
-pub fn run_static_segment<V: AttrValue>(
+pub fn run_static_segment<V: AttrValue, S: AttrSlots<V>>(
     tree: &ParseTree<V>,
     plans: &Plans,
-    store: &mut AttrStore<V>,
+    store: &mut S,
     node: NodeId,
     visit: u32,
     stats: &mut EvalStats,

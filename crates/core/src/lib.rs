@@ -70,5 +70,5 @@ pub mod uniq;
 pub mod value;
 
 pub use grammar::{AttrId, AttrKind, Grammar, GrammarBuilder, ProdId, SymbolId};
-pub use tree::{AttrStore, NodeId, ParseTree, TreeBuilder};
+pub use tree::{AttrSlots, AttrStore, NodeId, ParseTree, RegionStore, TreeBuilder};
 pub use value::{AttrValue, Value};

@@ -99,7 +99,7 @@ use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScr
 use crate::grammar::AttrId;
 use crate::split::{decompose_granular, Decomposition, RegionGranularity, RegionId, SplitTable};
 use crate::stats::EvalStats;
-use crate::tree::{AttrStore, NodeId, ParseTree};
+use crate::tree::{AttrStore, NodeId, ParseTree, RegionStore};
 use crate::value::AttrValue;
 use paragram_rope::{Rope, SegmentId, SegmentStore};
 use std::collections::{HashMap, VecDeque};
@@ -281,7 +281,9 @@ enum ParserMsg<V> {
     Done {
         ticket: Ticket,
         region: RegionId,
-        result: Result<(EvalStats, AttrStore<V>), EvalError>,
+        /// A finished region ships its O(region) local store back; the
+        /// parser role maps it into the whole-tree store at assembly.
+        result: Result<(EvalStats, RegionStore<V>), EvalError>,
     },
 }
 
@@ -305,10 +307,13 @@ enum LibMsg {
 /// one in-flight tree so far.
 struct InFlight<V: AttrValue> {
     ticket: Ticket,
+    /// The tree under evaluation — assembly sizes the whole-tree store
+    /// and resolves the region stores' slot spans against it.
+    tree: Arc<ParseTree<V>>,
     regions: usize,
     expected_roots: usize,
     raw_roots: Vec<(AttrId, V)>,
-    region_results: Vec<Option<(EvalStats, AttrStore<V>)>>,
+    region_results: Vec<Option<(EvalStats, RegionStore<V>)>>,
     done: usize,
     start: Instant,
 }
@@ -528,6 +533,7 @@ impl<V: AttrValue> WorkerPool<V> {
         }
         self.in_flight.push_back(InFlight {
             ticket,
+            tree: Arc::clone(tree),
             regions,
             expected_roots,
             raw_roots: Vec::with_capacity(expected_roots),
@@ -651,23 +657,19 @@ impl<V: AttrValue> WorkerPool<V> {
             .collect();
         let elapsed = fl.start.elapsed();
 
-        // Merge per-region stores in region order (deterministic), then
-        // resolve segment references so the result is independent of the
+        // Sparse assembly: size the whole-tree store once, then map each
+        // region's O(region) owned span into it through the
+        // decomposition's slot layout (region order — deterministic,
+        // though the spans are disjoint anyway), and finally resolve
+        // segment references so the result is independent of the
         // decomposition.
         let mut stats = EvalStats::default();
-        let mut merged: Option<AttrStore<V>> = None;
+        let mut store = AttrStore::new(&fl.tree);
         for r in fl.region_results.into_iter() {
-            let (s, store) = r.expect("every region reported");
+            let (s, region_store) = r.expect("every region reported");
             stats += s;
-            merged = Some(match merged {
-                None => store,
-                Some(mut acc) => {
-                    acc.absorb(store);
-                    acc
-                }
-            });
+            store.absorb_region(&fl.tree, region_store);
         }
-        let mut store = merged.expect("at least one region");
         store.inflate_all(&segments);
 
         Ok(PoolReport {

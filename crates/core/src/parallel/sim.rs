@@ -14,7 +14,11 @@
 //! attributes of region roots travel up, inherited attributes of remote
 //! subtree roots travel down; in librarian mode large code text goes to
 //! the librarian once and only small descriptor ropes travel up the
-//! process tree (§4.2).
+//! process tree (§4.2). Each simulated evaluator's [`Machine`] holds a
+//! region-local store ([`crate::tree::RegionStore`], O(region) slots),
+//! matching the paper's setting where a machine only ever materializes
+//! the subtree it was shipped — root attributes reach the parser as
+//! messages, so the simulation never assembles a whole-tree store.
 
 use crate::analysis::Plans;
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};

@@ -17,6 +17,12 @@
 //! thread spawn and plan construction amortize and consecutive trees
 //! pipeline through the pool's ticket window.
 //!
+//! Each region machine evaluates into an O(region)
+//! [`crate::tree::RegionStore`]; the pool's per-ticket assembly maps
+//! the region-local spans back into the whole-tree store the report
+//! exposes (see [`crate::tree::AttrStore::absorb_region`]), so the
+//! report's store is identical to the pre-region-local layout's.
+//!
 //! Wall-clock speedup naturally requires a multi-core host; on a
 //! single-core machine this runtime still produces identical results
 //! (the equivalence tests run it everywhere) but measures scheduling

@@ -29,8 +29,18 @@
 //!
 //! [`RegionGranularity`] names the two modes for schedulers
 //! (`core::parallel::pool`, `core::parallel::sim`) that accept either.
+//!
+//! Both engines finish by growing a per-region [`SlotMap`] — the slot
+//! layout of the region-local attribute stores
+//! ([`crate::tree::RegionStore`]): each region's owned attribute
+//! instances are numbered densely from 0, and the region's *boundary
+//! children* (roots of child regions, the only foreign nodes a region
+//! machine ever addresses) are aliased into a small remap appended
+//! after the owned span. Machines therefore allocate O(region) slots
+//! instead of a whole-tree store each, and result assembly maps local
+//! slots back to whole-tree instances through the same layout.
 
-use crate::grammar::{Grammar, ProdId, SymbolId};
+use crate::grammar::{AttrId, Grammar, ProdId, SymbolId};
 use crate::tree::{NodeId, ParseTree};
 use crate::value::AttrValue;
 use std::fmt;
@@ -50,16 +60,26 @@ pub struct RegionInfo {
     pub local_size: usize,
 }
 
-/// A partition of a tree's nodes into regions.
+/// A partition of a tree's nodes into regions, plus the slot layout
+/// ([`SlotMap`]) of the region-local attribute stores built over it.
 pub struct Decomposition {
     /// Region of each node, indexed by [`NodeId`].
     pub region_of: Vec<RegionId>,
     /// Region metadata, indexed by [`RegionId`].
     pub regions: Vec<RegionInfo>,
+    /// Region-local slot layout, rebuilt by the decomposition engines
+    /// once the partition is final and shared (via `Arc`) by every
+    /// region machine evaluating this decomposition.
+    slots: Arc<SlotMap>,
 }
 
 impl Decomposition {
     /// Number of regions.
+    // No `is_empty` on purpose: a decomposition always has at least one
+    // region, so the method the convention asks for could only lie —
+    // `is_unsplit` is the meaningful predicate (the old deprecated
+    // `is_empty` alias for it is gone).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.regions.len()
     }
@@ -67,19 +87,9 @@ impl Decomposition {
     /// `true` if the tree was not split at all (a single region).
     ///
     /// Note this is *not* the `len`/`is_empty` convention — a
-    /// decomposition always has at least one region — which is why the
-    /// old `is_empty` name is deprecated in favour of this one.
+    /// decomposition always has at least one region.
     pub fn is_unsplit(&self) -> bool {
         self.regions.len() <= 1
-    }
-
-    /// `true` if the tree was not split at all.
-    #[deprecated(
-        since = "0.2.0",
-        note = "misleading name: a decomposition is never empty; use `is_unsplit`"
-    )]
-    pub fn is_empty(&self) -> bool {
-        self.is_unsplit()
     }
 
     /// Region owning a node.
@@ -87,8 +97,24 @@ impl Decomposition {
         self.region_of[n.idx()]
     }
 
+    /// The region-local slot layout of this decomposition's machines.
+    pub fn slot_map(&self) -> &Arc<SlotMap> {
+        &self.slots
+    }
+
     /// The trivial decomposition: everything in region 0.
     pub fn whole<V: AttrValue>(tree: &ParseTree<V>) -> Self {
+        let mut d = Decomposition::whole_unfinalized(tree);
+        d.finalize_slots(tree);
+        d
+    }
+
+    /// [`Decomposition::whole`] with the slot layout left empty — the
+    /// starting point of the decomposition engines, which mutate the
+    /// partition and build the layout exactly once at the end
+    /// ([`Decomposition::finalize_slots`]) instead of paying an
+    /// immediately discarded whole-tree build here.
+    fn whole_unfinalized<V: AttrValue>(tree: &ParseTree<V>) -> Self {
         Decomposition {
             region_of: vec![0; tree.len()],
             regions: vec![RegionInfo {
@@ -96,7 +122,16 @@ impl Decomposition {
                 parent: None,
                 local_size: tree.len(),
             }],
+            slots: Arc::new(SlotMap::default()),
         }
+    }
+
+    /// Rebuilds the slot layout from the current node map. The
+    /// decomposition engines call this once the partition is final;
+    /// anything that mutates `region_of`/`regions` afterwards must call
+    /// it again before machines are built.
+    fn finalize_slots<V: AttrValue>(&mut self, tree: &ParseTree<V>) {
+        self.slots = Arc::new(SlotMap::build(tree, &self.region_of, &self.regions));
     }
 
     /// Renders the decomposition in the style of the paper's Figure 7:
@@ -131,6 +166,179 @@ impl Decomposition {
 impl fmt::Debug for Decomposition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Decomposition({} regions)", self.regions.len())
+    }
+}
+
+/// Region-local slot layout for one decomposition.
+///
+/// For every region `r` the layout numbers attribute slots *within the
+/// region*:
+///
+/// * **owned slots** `0..owned_slots(r)` — one dense span per node the
+///   region owns, in the order [`SlotMap::region_nodes`] lists them
+///   (node `n`'s attribute `a` lives at `local_base(n) + a`);
+/// * **foreign slots** `owned_slots(r)..total_slots(r)` — aliases for
+///   the region's boundary children. A boundary child is always the
+///   root of a child region (the structural invariant the
+///   decomposition tests pin), and those roots are the *only* foreign
+///   nodes a region machine ever addresses: their synthesized
+///   attributes arrive as external inputs and their inherited
+///   attributes leave as sends. The remap is a small sorted list, one
+///   entry per child region.
+///
+/// The layout is built once per decomposition (shared by every machine
+/// via `Arc`), so a region machine's store costs O(region) slots while
+/// whole-tree assembly maps local slots back to global instances
+/// through the same tables.
+///
+/// The `Default` layout is the engines' pre-finalize placeholder (no
+/// regions, no slots); any machine built against it would index out of
+/// bounds, which is exactly the loud failure an unfinalized
+/// decomposition deserves.
+#[derive(Debug, Default)]
+pub struct SlotMap {
+    /// Owning region per node (snapshot of the final node map).
+    region_of: Vec<RegionId>,
+    /// Per node: slot base within its owning region's store.
+    local_base: Vec<u32>,
+    /// CSR over `nodes`: region → its owned nodes, in layout order.
+    node_start: Vec<u32>,
+    nodes: Vec<NodeId>,
+    /// Per region: number of owned slots (= base of the foreign span).
+    owned_slots: Vec<u32>,
+    /// Per region: owned + foreign slots (the region store's length).
+    total_slots: Vec<u32>,
+    /// CSR over `foreign`: region → its boundary-child aliases, sorted
+    /// by node id for binary search.
+    foreign_start: Vec<u32>,
+    foreign: Vec<(NodeId, u32)>,
+}
+
+impl SlotMap {
+    /// Builds the layout for a final `region_of`/`regions` partition.
+    pub fn build<V: AttrValue>(
+        tree: &ParseTree<V>,
+        region_of: &[RegionId],
+        regions: &[RegionInfo],
+    ) -> Self {
+        let g = tree.grammar();
+        let nregions = regions.len();
+        // Pass 1: per-region owned node and slot counts.
+        let mut node_count = vec![0u32; nregions];
+        let mut owned_slots = vec![0u32; nregions];
+        let mut attr_count = vec![0u32; tree.len()];
+        for n in tree.node_ids() {
+            let r = region_of[n.idx()] as usize;
+            node_count[r] += 1;
+            let sym = g.prod(tree.node(n).prod).lhs;
+            attr_count[n.idx()] = g.attr_count(sym) as u32;
+            owned_slots[r] += attr_count[n.idx()];
+        }
+        // Pass 2: assign per-node bases in arena order (counting sort
+        // into per-region node lists).
+        let mut node_start = vec![0u32; nregions + 1];
+        for (r, &c) in node_count.iter().enumerate() {
+            node_start[r + 1] = node_start[r] + c;
+        }
+        let mut cursor: Vec<u32> = node_start[..nregions].to_vec();
+        let mut slot_cursor = vec![0u32; nregions];
+        let mut nodes = vec![NodeId(0); tree.len()];
+        let mut local_base = vec![0u32; tree.len()];
+        for n in tree.node_ids() {
+            let r = region_of[n.idx()] as usize;
+            nodes[cursor[r] as usize] = n;
+            cursor[r] += 1;
+            local_base[n.idx()] = slot_cursor[r];
+            slot_cursor[r] += attr_count[n.idx()];
+        }
+        // Pass 3: foreign aliases — every non-root region's root is a
+        // boundary child of its parent region.
+        let mut total_slots = owned_slots.clone();
+        let mut foreign_lists: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); nregions];
+        for info in regions.iter().skip(1) {
+            let parent = info.parent.expect("non-root regions have parents") as usize;
+            foreign_lists[parent].push((info.root, total_slots[parent]));
+            total_slots[parent] += attr_count[info.root.idx()];
+        }
+        let mut foreign_start = vec![0u32; nregions + 1];
+        let mut foreign = Vec::new();
+        for (r, mut list) in foreign_lists.into_iter().enumerate() {
+            list.sort_unstable_by_key(|&(n, _)| n);
+            foreign_start[r + 1] = foreign_start[r] + list.len() as u32;
+            foreign.extend(list);
+        }
+        SlotMap {
+            region_of: region_of.to_vec(),
+            local_base,
+            node_start,
+            nodes,
+            owned_slots,
+            total_slots,
+            foreign_start,
+            foreign,
+        }
+    }
+
+    /// Local slot index of `(node, attr)` within `region`'s store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is neither owned by `region` nor one of its
+    /// boundary children — a region machine never addresses any other
+    /// node.
+    #[inline]
+    pub fn slot_of(&self, region: RegionId, node: NodeId, attr: AttrId) -> usize {
+        if self.region_of[node.idx()] == region {
+            self.local_base[node.idx()] as usize + attr.0 as usize
+        } else {
+            let range = self.foreign_start[region as usize] as usize
+                ..self.foreign_start[region as usize + 1] as usize;
+            let span = &self.foreign[range];
+            let i = span
+                .binary_search_by_key(&node, |&(n, _)| n)
+                .expect("foreign node must be a boundary child of the region");
+            span[i].1 as usize + attr.0 as usize
+        }
+    }
+
+    /// Region owning a node (snapshot taken at layout-build time).
+    #[inline]
+    pub fn owner(&self, node: NodeId) -> RegionId {
+        self.region_of[node.idx()]
+    }
+
+    /// Slot base of `node` within its owning region's store.
+    #[inline]
+    pub fn local_base(&self, node: NodeId) -> usize {
+        self.local_base[node.idx()] as usize
+    }
+
+    /// The nodes a region owns, in owned-slot layout order.
+    pub fn region_nodes(&self, region: RegionId) -> &[NodeId] {
+        let r = region as usize;
+        &self.nodes[self.node_start[r] as usize..self.node_start[r + 1] as usize]
+    }
+
+    /// Number of slots for a region's owned nodes.
+    pub fn owned_slots(&self, region: RegionId) -> usize {
+        self.owned_slots[region as usize] as usize
+    }
+
+    /// Total slots of a region's store (owned + boundary aliases).
+    pub fn total_slots(&self, region: RegionId) -> usize {
+        self.total_slots[region as usize] as usize
+    }
+
+    /// Number of regions in the layout.
+    pub fn regions(&self) -> usize {
+        self.owned_slots.len()
+    }
+
+    /// Total attribute instances of the tree (the owned spans partition
+    /// them, so this is the Σ of every region's owned slots — and the
+    /// length a whole-tree store for the same tree would have).
+    pub fn tree_instances(&self) -> usize {
+        self.owned_slots.iter().map(|&s| s as usize).sum()
     }
 }
 
@@ -297,8 +505,9 @@ pub fn decompose_with<V: AttrValue>(
     target_regions: usize,
 ) -> Decomposition {
     let g = tree.grammar();
-    let mut d = Decomposition::whole(tree);
+    let mut d = Decomposition::whole_unfinalized(tree);
     if target_regions <= 1 {
+        d.finalize_slots(tree.as_ref());
         return d;
     }
     let quantum = (tree.len() / target_regions).max(2);
@@ -389,6 +598,7 @@ pub fn decompose_with<V: AttrValue>(
             .expect("non-root region root has a parent");
         d.regions[i].parent = Some(d.region_of[p.idx()]);
     }
+    d.finalize_slots(tree.as_ref());
     d
 }
 
@@ -435,7 +645,7 @@ pub fn decompose_adaptive<V: AttrValue>(
     let oversize = budget.saturating_add(budget / 2);
     let undersize = budget / 4;
 
-    let mut d = Decomposition::whole(tree);
+    let mut d = Decomposition::whole_unfinalized(tree);
 
     // Per-subtree work in one reverse-preorder accumulation.
     let pre: Vec<NodeId> = tree.subtree(tree.root()).collect();
@@ -451,6 +661,7 @@ pub fn decompose_adaptive<V: AttrValue>(
     }
     let mut local_work: Vec<u64> = vec![sub_work[tree.root().idx()]];
     if local_work[0] <= oversize {
+        d.finalize_slots(tree.as_ref());
         return d;
     }
 
@@ -548,9 +759,13 @@ pub fn decompose_adaptive<V: AttrValue>(
             continue;
         }
         let victim = i as RegionId;
+        // Post-removal id of the target: removing the victim shifts
+        // every higher-indexed region down by one, the target included
+        // when it sits above the victim.
+        let target_after = if target > i { target - 1 } else { target } as RegionId;
         for slot in d.region_of.iter_mut() {
             if *slot == victim {
-                *slot = target as RegionId;
+                *slot = target_after;
             } else if *slot > victim {
                 *slot -= 1;
             }
@@ -570,6 +785,7 @@ pub fn decompose_adaptive<V: AttrValue>(
             .expect("non-root region root has a parent");
         d.regions[i].parent = Some(d.region_of[p.idx()]);
     }
+    d.finalize_slots(tree.as_ref());
     d
 }
 

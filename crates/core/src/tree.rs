@@ -7,13 +7,59 @@
 //! threads.
 //!
 //! Attribute *instances* (one per attribute of each node's symbol) are
-//! stored out-of-line in an [`AttrStore`], so several evaluations of the
-//! same tree can proceed independently.
+//! stored out-of-line, so several evaluations of the same tree can
+//! proceed independently. Two stores share one slot discipline (the
+//! [`AttrSlots`] trait):
+//!
+//! * [`AttrStore`] — the whole-tree store of the sequential evaluators
+//!   and of assembled parallel results: one dense slot per (node,
+//!   attribute) instance, addressed through a per-node base table.
+//! * [`RegionStore`] — the region-local store of a parallel region
+//!   machine: slots are numbered *within the region* through the
+//!   decomposition's [`crate::split::SlotMap`]. Instances of nodes the
+//!   region owns occupy a dense span from 0; the region's boundary
+//!   children (roots of child regions — the only foreign nodes a
+//!   machine ever reads or writes) are aliased through a small remap
+//!   appended after that span. A machine's store therefore costs
+//!   O(region) slots, not O(tree), so a cost-driven decomposition into
+//!   K regions allocates ≈1× the tree's instances in total instead of
+//!   K×.
+//!
+//! The remap invariants the region layout relies on: regions partition
+//! the tree's nodes; every boundary child is the root of the region
+//! that owns it; and each attribute instance has exactly one defining
+//! rule, evaluated by the machine owning the defining node — so merging
+//! only the *owned* spans back into a whole-tree store
+//! ([`AttrStore::absorb_region`]) visits every instance exactly once,
+//! and the foreign aliases (each value's second copy at the producing
+//! or consuming peer) are dropped as the duplicates they are.
 
 use crate::grammar::{AttrId, AttrKind, Grammar, ProdId};
+use crate::split::{RegionId, SlotMap};
 use crate::value::AttrValue;
 use std::fmt;
 use std::sync::Arc;
+
+/// Debug-only instrumentation: cumulative attribute slots allocated by
+/// every store (whole-tree and region-local) in this process. Tests use
+/// deltas of this counter to pin that region machines allocate
+/// O(region), not O(tree), slots. Always 0 in release builds.
+#[cfg(debug_assertions)]
+static ALLOCATED_SLOTS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Cumulative slots allocated by all attribute stores so far (debug
+/// builds only; release builds always return 0 — the counter would be
+/// contended overhead on the hot construction path).
+pub fn debug_allocated_slots() -> usize {
+    #[cfg(debug_assertions)]
+    {
+        ALLOCATED_SLOTS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
 
 /// Identifies a node within its [`ParseTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -450,6 +496,8 @@ pub(crate) struct PackedSlots<V> {
 
 impl<V: Default> PackedSlots<V> {
     pub(crate) fn new(len: usize) -> Self {
+        #[cfg(debug_assertions)]
+        ALLOCATED_SLOTS.fetch_add(len, std::sync::atomic::Ordering::Relaxed);
         let mut values = Vec::new();
         values.resize_with(len, V::default);
         PackedSlots {
@@ -501,6 +549,25 @@ impl<V: Default> PackedSlots<V> {
                 }
             })
     }
+}
+
+/// Slot-addressed attribute storage: the discipline shared by the
+/// whole-tree [`AttrStore`] and the region-local [`RegionStore`].
+///
+/// Evaluator building blocks ([`occ_value`], the static-segment
+/// interpreter, the machine's dependency-graph construction) are
+/// generic over this trait, so the sequential evaluators monomorphize
+/// against the dense whole-tree store exactly as before while region
+/// machines run the same code against O(region) storage.
+pub trait AttrSlots<V: AttrValue> {
+    /// Dense index of an attribute instance within this store.
+    fn instance(&self, node: NodeId, attr: AttrId) -> usize;
+    /// Reads an instance.
+    fn get(&self, node: NodeId, attr: AttrId) -> Option<&V>;
+    /// Writes an instance (write-once; checked in debug builds).
+    fn set(&mut self, node: NodeId, attr: AttrId, value: V);
+    /// Reads by dense instance index.
+    fn get_by_index(&self, idx: usize) -> Option<&V>;
 }
 
 /// Attribute-instance storage for one evaluation of a tree.
@@ -600,23 +667,56 @@ impl<V: AttrValue> AttrStore<V> {
         }
     }
 
-    /// Merges another store's filled slots into this one (used when
-    /// combining per-machine results; disjoint by construction). Walks
-    /// the presence words, so sparse region stores merge in time
-    /// proportional to what they actually filled.
-    pub fn absorb(&mut self, mut other: AttrStore<V>) {
-        debug_assert_eq!(self.len(), other.len());
-        for wi in 0..other.slots.present.len() {
-            let mut word = other.slots.present[wi];
-            while word != 0 {
-                let i = wi * 64 + word.trailing_zeros() as usize;
-                word &= word - 1;
-                if !self.slots.is_set(i) {
-                    self.slots
-                        .set(i, std::mem::take(&mut other.slots.values[i]));
+    /// Merges a region machine's local store into this whole-tree store
+    /// — the sparse assembly step of a parallel evaluation. Only the
+    /// region's *owned* span is copied: each attribute instance is
+    /// owned by exactly one region (regions partition the nodes), so
+    /// assembling every region's owned span fills the whole store
+    /// exactly once, and the foreign aliases — a boundary value's
+    /// second copy at the producing or consuming peer — are dropped as
+    /// duplicates. Cost is O(region), independent of the tree.
+    pub fn absorb_region(&mut self, tree: &ParseTree<V>, mut region: RegionStore<V>) {
+        let g = tree.grammar();
+        let map = Arc::clone(&region.map);
+        for &n in map.region_nodes(region.region) {
+            let sym = g.prod(tree.node(n).prod).lhs;
+            let local = map.local_base(n);
+            let global = self.base[n.idx()] as usize;
+            for a in 0..g.attr_count(sym) {
+                if region.slots.is_set(local + a) {
+                    debug_assert!(
+                        !self.slots.is_set(global + a),
+                        "instance owned by two regions"
+                    );
+                    self.slots.set(
+                        global + a,
+                        std::mem::take(&mut region.slots.values[local + a]),
+                    );
                 }
             }
         }
+    }
+}
+
+impl<V: AttrValue> AttrSlots<V> for AttrStore<V> {
+    #[inline]
+    fn instance(&self, node: NodeId, attr: AttrId) -> usize {
+        AttrStore::instance(self, node, attr)
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId, attr: AttrId) -> Option<&V> {
+        AttrStore::get(self, node, attr)
+    }
+
+    #[inline]
+    fn set(&mut self, node: NodeId, attr: AttrId, value: V) {
+        AttrStore::set(self, node, attr, value);
+    }
+
+    #[inline]
+    fn get_by_index(&self, idx: usize) -> Option<&V> {
+        AttrStore::get_by_index(self, idx)
     }
 }
 
@@ -626,11 +726,146 @@ impl<V: AttrValue> fmt::Debug for AttrStore<V> {
     }
 }
 
+/// Region-local attribute storage for one parallel region machine.
+///
+/// Slots are addressed through the decomposition's shared
+/// [`SlotMap`]: instances of nodes the region owns form a dense span
+/// from 0, and the region's boundary children are aliased after it.
+/// Construction is O(region) — the per-machine cost that lets a
+/// cost-driven decomposition carve a huge tree into many regions
+/// without multiplying store allocations by the region count.
+///
+/// The store addresses exactly the instances its machine touches;
+/// [`AttrStore::absorb_region`] maps the owned span back into a
+/// whole-tree store at assembly time.
+pub struct RegionStore<V> {
+    map: Arc<SlotMap>,
+    region: RegionId,
+    slots: PackedSlots<V>,
+}
+
+impl<V: AttrValue> RegionStore<V> {
+    /// Creates an empty region-local store for `region` of the layout.
+    pub fn new(map: &Arc<SlotMap>, region: RegionId) -> Self {
+        RegionStore {
+            map: Arc::clone(map),
+            region,
+            slots: PackedSlots::new(map.total_slots(region)),
+        }
+    }
+
+    /// The region this store belongs to.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The shared slot layout this store is addressed through.
+    pub fn slot_map(&self) -> &Arc<SlotMap> {
+        &self.map
+    }
+
+    /// Local index of an attribute instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is neither owned by the region nor one of its
+    /// boundary children (see [`SlotMap::slot_of`]).
+    #[inline]
+    pub fn instance(&self, node: NodeId, attr: AttrId) -> usize {
+        self.map.slot_of(self.region, node, attr)
+    }
+
+    /// Reads an instance.
+    #[inline]
+    pub fn get(&self, node: NodeId, attr: AttrId) -> Option<&V> {
+        self.slots.get(self.instance(node, attr))
+    }
+
+    /// Writes an instance.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the instance was already written.
+    pub fn set(&mut self, node: NodeId, attr: AttrId, value: V) {
+        let idx = self.instance(node, attr);
+        debug_assert!(
+            !self.slots.is_set(idx),
+            "attribute instance ({node:?}, {attr:?}) written twice"
+        );
+        self.slots.set(idx, value);
+    }
+
+    /// Reads by local instance index.
+    #[inline]
+    pub fn get_by_index(&self, idx: usize) -> Option<&V> {
+        self.slots.get(idx)
+    }
+
+    /// Writes by local instance index.
+    pub fn set_by_index(&mut self, idx: usize, value: V) {
+        debug_assert!(!self.slots.is_set(idx));
+        self.slots.set(idx, value);
+    }
+
+    /// Total slots this store allocated (owned span + boundary
+    /// aliases) — the machine's O(region) footprint, and what the
+    /// slot-counter CI assertion compares against the whole tree's
+    /// instance count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the region has no addressable slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.len() == 0
+    }
+
+    /// Number of slots currently filled.
+    pub fn filled(&self) -> usize {
+        self.slots.filled()
+    }
+}
+
+impl<V: AttrValue> AttrSlots<V> for RegionStore<V> {
+    #[inline]
+    fn instance(&self, node: NodeId, attr: AttrId) -> usize {
+        RegionStore::instance(self, node, attr)
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId, attr: AttrId) -> Option<&V> {
+        RegionStore::get(self, node, attr)
+    }
+
+    #[inline]
+    fn set(&mut self, node: NodeId, attr: AttrId, value: V) {
+        RegionStore::set(self, node, attr, value);
+    }
+
+    #[inline]
+    fn get_by_index(&self, idx: usize) -> Option<&V> {
+        RegionStore::get_by_index(self, idx)
+    }
+}
+
+impl<V: AttrValue> fmt::Debug for RegionStore<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RegionStore(region {}, {}/{} filled)",
+            self.region,
+            self.filled(),
+            self.len()
+        )
+    }
+}
+
 /// Looks up the value of an argument occurrence for a rule at `node`:
-/// either an attribute slot or a token's lexical value.
-pub fn occ_value<'a, V: AttrValue>(
+/// either an attribute slot or a token's lexical value. Generic over
+/// the store so region machines resolve through their local layout.
+pub fn occ_value<'a, V: AttrValue, S: AttrSlots<V>>(
     tree: &'a ParseTree<V>,
-    store: &'a AttrStore<V>,
+    store: &'a S,
     node: NodeId,
     occ: usize,
     attr: AttrId,
@@ -787,20 +1022,27 @@ mod tests {
     }
 
     #[test]
-    fn absorb_merges_disjoint_stores() {
+    fn absorb_region_maps_owned_slots_into_whole_store() {
         let (g, leaf, fork, _wrap, size) = tree_grammar();
         let mut tb = TreeBuilder::new(&g);
         let l1 = tb.node_full(leaf, vec![token(vec![5i64])]);
         let l2 = tb.node_full(leaf, vec![token(vec![7i64])]);
         let root = tb.node(fork, [l1, l2]);
         let tree = tb.finish(root).unwrap();
-        let mut a = AttrStore::new(&tree);
-        let mut b = AttrStore::new(&tree);
-        a.set(tree.root(), size, 1);
-        b.set(NodeId(0), size, 2);
-        a.absorb(b);
-        assert_eq!(a.get(tree.root(), size), Some(&1));
-        assert_eq!(a.get(NodeId(0), size), Some(&2));
-        assert_eq!(a.filled(), 2);
+        let decomp = crate::split::Decomposition::whole(&tree);
+        let map = decomp.slot_map();
+        assert_eq!(map.tree_instances(), 3);
+
+        let mut region = RegionStore::new(map, 0);
+        assert_eq!(region.len(), 3, "single region owns every instance");
+        region.set(tree.root(), size, 1);
+        region.set(NodeId(0), size, 2);
+        assert_eq!(region.get(tree.root(), size), Some(&1));
+
+        let mut whole = AttrStore::new(&tree);
+        whole.absorb_region(&tree, region);
+        assert_eq!(whole.get(tree.root(), size), Some(&1));
+        assert_eq!(whole.get(NodeId(0), size), Some(&2));
+        assert_eq!(whole.filled(), 2);
     }
 }

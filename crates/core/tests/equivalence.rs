@@ -127,18 +127,13 @@ fn pump_machines(
         machines.iter().all(|m| m.is_done()),
         "machine pump deadlocked: {machines:?}"
     );
-    let mut merged: Option<AttrStore<i64>> = None;
+    // Sparse assembly through the decomposition's slot layout: each
+    // region's owned span fills disjoint whole-tree instances.
+    let mut merged = AttrStore::new(tree);
     for m in machines {
-        let s = m.into_store();
-        merged = Some(match merged {
-            None => s,
-            Some(mut acc) => {
-                acc.absorb(s);
-                acc
-            }
-        });
+        merged.absorb_region(tree, m.into_store());
     }
-    merged.expect("at least one region")
+    merged
 }
 
 fn assert_stores_equal(

@@ -6,18 +6,21 @@
 //! overlap in flight), and regardless of how often it is repeated on
 //! the same pool.
 //!
-//! Two `#[ignore]`d tests extend the matrix on CI (`cargo test --
+//! Three `#[ignore]`d tests extend the matrix on CI (`cargo test --
 //! --ignored` runs them): the split-phase librarian property test
-//! (randomized out-of-order `Register`/`Resolve` interleavings) and the
+//! (randomized out-of-order `Register`/`Resolve` interleavings), the
 //! region-granular determinism matrix, which pushes a
 //! `GenConfig::huge()` single tree through the adaptive pool at depths
-//! 1/2/4 × workers 1/2/8. A seconds-scale region-granular smoke stays
-//! in the default set.
+//! 1/2/4 × workers 1/2/8, and the region-local store slot audit, which
+//! pins (via the debug-build allocated-slot counter) that huge-tree
+//! region machines allocate O(region), not O(tree), slots. A
+//! seconds-scale region-granular smoke stays in the default set.
 
-use paragram::core::eval::static_eval;
+use paragram::core::eval::{static_eval, Machine, MachineScratch};
 use paragram::core::grammar::AttrId;
 use paragram::core::parallel::pool::SegmentLedger;
-use paragram::core::tree::{AttrStore, ParseTree};
+use paragram::core::split::{decompose_granular, RegionGranularity, RegionId, SplitTable};
+use paragram::core::tree::{debug_allocated_slots, AttrStore, ParseTree};
 use paragram::driver::{BatchDriver, CompilationPlan, DriverConfig};
 use paragram::pascal::generator::{generate, GenConfig};
 use paragram::pascal::{Compiler, PVal};
@@ -371,6 +374,82 @@ fn region_granular_huge_single_tree_matches_sequential_at_every_depth_and_worker
             }
         }
     }
+}
+
+/// The region-local store footprint audit (CI's `--ignored` step runs
+/// it in a debug build, where the allocated-slot counter is live): a
+/// region machine on the huge tree must allocate O(region) slots —
+/// its store sized by the region's owned instances plus boundary
+/// aliases — and constructing machines for *every* region of a
+/// K-region adaptive decomposition must allocate ≈1× the tree's
+/// instances in total, not K×, which is what makes the work-budget
+/// choice allocation-free.
+#[test]
+#[ignore = "huge-workload slot audit; run with cargo test -- --ignored (CI does)"]
+fn region_machines_on_the_huge_tree_allocate_o_region_slots() {
+    let compiler = Compiler::new();
+    let huge = compiler
+        .tree_from_source(&generate(&GenConfig::huge()))
+        .unwrap();
+    let plan = compiler.evals.plan();
+    let g = huge.grammar();
+    let tree_instances: usize = huge
+        .node_ids()
+        .map(|n| g.attr_count(g.prod(huge.node(n).prod).lhs))
+        .sum();
+
+    let budget = (plan.tree_work(&huge) / 16).max(1);
+    let table = SplitTable::new(g.as_ref(), 1.0);
+    let decomp = decompose_granular(
+        &huge,
+        &table,
+        plan.work_table(),
+        RegionGranularity::Adaptive { budget },
+    );
+    let regions = decomp.len();
+    assert!(regions >= 8, "budget /16 should carve many regions");
+
+    let before = debug_allocated_slots();
+    let mut scratch = MachineScratch::new();
+    let (mut total_slots, mut max_slots) = (0usize, 0usize);
+    for r in 0..regions as RegionId {
+        let m = Machine::from_plan(
+            plan,
+            &huge,
+            &decomp,
+            r,
+            compiler.evals.plan().best_mode(),
+            scratch,
+        );
+        total_slots += m.store().len();
+        max_slots = max_slots.max(m.store().len());
+        let (_, _, sc) = m.recycle();
+        scratch = sc;
+    }
+    let allocated = debug_allocated_slots() - before;
+
+    // The counter saw the region stores built above. A lower bound
+    // only: the counter is process-global and other tests in this
+    // binary may allocate concurrently; and in release builds it stays
+    // 0 (lower-bounded by nothing).
+    if cfg!(debug_assertions) {
+        assert!(
+            allocated >= total_slots,
+            "counter ({allocated}) missed store construction ({total_slots})"
+        );
+    }
+    // O(region), not O(tree): no single machine's store approaches the
+    // whole tree, and all K machines together stay ≈1× the tree's
+    // instance count (boundary aliases are the only overhead) instead
+    // of the K× a whole-tree store per machine would cost.
+    assert!(
+        max_slots * 4 <= tree_instances,
+        "largest region store ({max_slots}) must be well under the tree's {tree_instances} instances"
+    );
+    assert!(
+        total_slots < tree_instances + tree_instances / 4,
+        "{regions} region stores totalled {total_slots} slots for a {tree_instances}-instance tree"
+    );
 }
 
 /// Seconds-scale region-granular determinism smoke (the huge-workload
