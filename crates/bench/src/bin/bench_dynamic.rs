@@ -4,9 +4,20 @@
 //! sanity), the median wall-clock time of:
 //!
 //! * `dynamic_eval` — graph construction + dynamic evaluation,
-//! * `static_eval` — plan-driven evaluation (no graph),
+//! * `static_eval` — compiled-visit-program evaluation (no graph; the
+//!   programs are prebuilt with the plan, outside the timed loop),
+//! * `machine_combined` — a whole-tree combined-mode [`Machine`] run
+//!   over the same programs (the region engine's sequential floor),
 //! * dependency-graph construction alone (a dynamic-mode [`Machine`]
 //!   over the undecomposed tree builds exactly the instance graph).
+//!
+//! With `--programs-vs-segments` the static measurement becomes an
+//! *interleaved* A/B comparison against the reference segment walker
+//! (`static_eval_segments`): iterations alternate program/segment on
+//! the same box so neither side benefits from thermal or cache drift.
+//! The run fails (non-zero exit) if the compiled programs are slower
+//! than the segment walker by more than 10% on any non-small workload —
+//! CI runs this in `--smoke` mode as a dispatch-regression gate.
 //!
 //! Writes `BENCH_dynamic.json` (override with `--out`). With
 //! `--baseline FILE` (a previous run's output), the new file embeds the
@@ -14,22 +25,31 @@
 //! its perf trajectory across PRs.
 //!
 //! Usage: `cargo run --release --bin bench_dynamic -- [--iters N]
-//! [--out PATH] [--baseline PATH] [--label TEXT]`
+//! [--out PATH] [--baseline PATH] [--label TEXT] [--huge] [--smoke]
+//! [--programs-vs-segments]`
 
 use paragram_bench::Workload;
 use paragram_core::eval::{
-    dynamic_eval, static_eval, EvalPlan, Machine, MachineMode, MachineScratch,
+    dynamic_eval, static_eval_segments, static_eval_with_programs, EvalPlan, Machine, MachineMode,
+    MachineScratch,
 };
 use paragram_core::split::Decomposition;
 use paragram_pascal::generator::GenConfig;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Regression gate: programs must not trail the segment walker by more
+/// than this factor on non-small workloads.
+const GATE_RATIO: f64 = 1.10;
+
 struct Args {
     iters: usize,
     out: String,
     baseline: Option<String>,
     label: String,
+    huge: bool,
+    smoke: bool,
+    programs_vs_segments: bool,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +58,9 @@ fn parse_args() -> Args {
         out: "BENCH_dynamic.json".to_string(),
         baseline: None,
         label: "current".to_string(),
+        huge: false,
+        smoke: false,
+        programs_vs_segments: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -58,13 +81,21 @@ fn parse_args() -> Args {
             "--out" => args.out = val("--out"),
             "--baseline" => args.baseline = Some(val("--baseline")),
             "--label" => args.label = val("--label"),
+            "--huge" => args.huge = true,
+            "--smoke" => args.smoke = true,
+            "--programs-vs-segments" => args.programs_vs_segments = true,
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?}\nusage: bench_dynamic [--iters N] [--out PATH] [--baseline PATH] [--label TEXT]"
+                    "error: unknown argument {other:?}\nusage: bench_dynamic [--iters N] [--out PATH] [--baseline PATH] [--label TEXT] [--huge] [--smoke] [--programs-vs-segments]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if args.smoke {
+        // Quick CI mode: fewer iterations, never the huge workload.
+        args.iters = args.iters.min(9);
+        args.huge = false;
     }
     args
 }
@@ -81,40 +112,112 @@ fn median_ns<O>(iters: usize, mut f: impl FnMut() -> O) -> u128 {
     times[times.len() / 2]
 }
 
+/// Interleaved A/B medians: each iteration times `a` then `b`
+/// back-to-back, so both sides see the same thermal, frequency and
+/// cache conditions. Returns `(median_a, median_b)`.
+fn medians_interleaved<A, B>(
+    iters: usize,
+    mut a: impl FnMut() -> A,
+    mut b: impl FnMut() -> B,
+) -> (u128, u128) {
+    let mut ta: Vec<u128> = Vec::with_capacity(iters);
+    let mut tb: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(a());
+        ta.push(t.elapsed().as_nanos());
+        let t = Instant::now();
+        std::hint::black_box(b());
+        tb.push(t.elapsed().as_nanos());
+    }
+    ta.sort_unstable();
+    tb.sort_unstable();
+    (ta[ta.len() / 2], tb[tb.len() / 2])
+}
+
 struct Measurement {
     name: &'static str,
     median_ns: u128,
 }
 
-fn measure(w: &Workload, iters: usize) -> Vec<Measurement> {
+struct WorkloadResults {
+    measurements: Vec<Measurement>,
+    /// Relative advantage of programs over segments (positive =
+    /// programs faster), from the interleaved comparison.
+    programs_vs_segments_pct: Option<f64>,
+}
+
+fn measure(w: &Workload, iters: usize, compare_segments: bool) -> WorkloadResults {
     let whole = Decomposition::whole(&w.tree);
     // Plan tables are grammar-level and shared; build them outside the
     // timed loop so graph_build isolates graph construction.
-    let plan = Arc::new(EvalPlan::from_parts(w.tree.grammar(), None, None));
-    vec![
-        Measurement {
-            name: "dynamic_eval",
-            median_ns: median_ns(iters, || dynamic_eval(&w.tree).unwrap()),
-        },
-        Measurement {
+    let dyn_plan = Arc::new(EvalPlan::from_parts(w.tree.grammar(), None, None));
+    let plan = w.plan();
+    let programs = plan
+        .programs()
+        .expect("pascal grammar compiles to programs");
+
+    let mut measurements = vec![Measurement {
+        name: "dynamic_eval",
+        median_ns: median_ns(iters, || dynamic_eval(&w.tree).unwrap()),
+    }];
+    let mut pct = None;
+    if compare_segments {
+        let (prog_ns, seg_ns) = medians_interleaved(
+            iters,
+            || static_eval_with_programs(&w.tree, &w.plans, programs).unwrap(),
+            || static_eval_segments(&w.tree, &w.plans).unwrap(),
+        );
+        pct = Some(100.0 * (seg_ns as f64 - prog_ns as f64) / seg_ns as f64);
+        measurements.push(Measurement {
             name: "static_eval",
-            median_ns: median_ns(iters, || static_eval(&w.tree, &w.plans).unwrap()),
-        },
-        Measurement {
-            name: "graph_build",
+            median_ns: prog_ns,
+        });
+        measurements.push(Measurement {
+            name: "static_eval_segments",
+            median_ns: seg_ns,
+        });
+    } else {
+        measurements.push(Measurement {
+            name: "static_eval",
             median_ns: median_ns(iters, || {
-                Machine::from_plan(
-                    &plan,
-                    &w.tree,
-                    &whole,
-                    0,
-                    MachineMode::Dynamic,
-                    MachineScratch::new(),
-                )
-                .graph_size()
+                static_eval_with_programs(&w.tree, &w.plans, programs).unwrap()
             }),
-        },
-    ]
+        });
+    }
+    measurements.push(Measurement {
+        name: "machine_combined",
+        median_ns: median_ns(iters, || {
+            let mut m = Machine::from_plan(
+                plan,
+                &w.tree,
+                &whole,
+                0,
+                MachineMode::Combined,
+                MachineScratch::new(),
+            );
+            m.run().unwrap();
+            assert!(m.is_done());
+        }),
+    });
+    measurements.push(Measurement {
+        name: "graph_build",
+        median_ns: median_ns(iters, || {
+            Machine::from_plan(
+                &dyn_plan,
+                &w.tree,
+                &whole,
+                0,
+                MachineMode::Dynamic,
+                MachineScratch::new(),
+            )
+            .graph_size()
+        }),
+    });
+    WorkloadResults {
+        measurements,
+        programs_vs_segments_pct: pct,
+    }
 }
 
 /// Pulls `"name": { ... "median_ns": N ... }` out of a previous run's
@@ -144,7 +247,11 @@ fn main() {
     out.push_str(&format!("  \"label\": {:?},\n", args.label));
     out.push_str(&format!("  \"iters\": {},\n", args.iters));
 
-    let workloads = [("small", GenConfig::small()), ("paper", GenConfig::paper())];
+    let mut workloads = vec![("small", GenConfig::small()), ("paper", GenConfig::paper())];
+    if args.huge {
+        workloads.push(("huge", GenConfig::huge()));
+    }
+    let mut gate_failures: Vec<String> = Vec::new();
     for (wi, (wname, cfg)) in workloads.iter().enumerate() {
         let w = Workload::from_config(cfg);
         let (d, dstats) = dynamic_eval(&w.tree).unwrap();
@@ -156,13 +263,25 @@ fn main() {
             dstats.graph_nodes,
             dstats.graph_edges
         );
-        let results = measure(&w, args.iters);
+        let results = measure(&w, args.iters, args.programs_vs_segments);
         out.push_str(&format!("  \"{wname}\": {{\n"));
         out.push_str(&format!("    \"source_lines\": {},\n", w.lines()));
         out.push_str(&format!("    \"tree_nodes\": {},\n", w.tree.len()));
         out.push_str(&format!("    \"graph_nodes\": {},\n", dstats.graph_nodes));
         out.push_str(&format!("    \"graph_edges\": {},\n", dstats.graph_edges));
-        for (i, m) in results.iter().enumerate() {
+        if let Some(pct) = results.programs_vs_segments_pct {
+            out.push_str(&format!("    \"programs_vs_segments_pct\": {pct:.1},\n"));
+            println!("  {wname}/programs_vs_segments: programs {pct:+.1}% vs segments");
+            if *wname != "small" && pct < 100.0 * (1.0 - GATE_RATIO) {
+                gate_failures.push(format!(
+                    "{wname}: compiled programs are {:.1}% slower than the segment walker (gate: {:.0}%)",
+                    -pct,
+                    100.0 * (GATE_RATIO - 1.0)
+                ));
+            }
+        }
+        let ms = &results.measurements;
+        for (i, m) in ms.iter().enumerate() {
             let base = baseline
                 .as_deref()
                 .and_then(|b| baseline_value(b, wname, m.name));
@@ -180,7 +299,7 @@ fn main() {
                 println!("  {wname}/{}: {} ns", m.name, m.median_ns);
             }
             out.push_str("\n    }");
-            out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < ms.len() { ",\n" } else { "\n" });
         }
         out.push_str("  }");
         out.push_str(if wi + 1 < workloads.len() {
@@ -192,4 +311,10 @@ fn main() {
     out.push_str("}\n");
     std::fs::write(&args.out, out).expect("write output");
     println!("wrote {}", args.out);
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("DISPATCH REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
 }

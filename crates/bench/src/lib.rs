@@ -3,7 +3,7 @@
 //! formatting helpers.
 
 use paragram_core::analysis::Plans;
-use paragram_core::eval::MachineMode;
+use paragram_core::eval::{EvalPlan, MachineMode};
 use paragram_core::parallel::sim::{run_sim, SimConfig, SimReport};
 use paragram_core::parallel::{phase_classifier, PhaseClassifier, ResultPropagation};
 use paragram_core::tree::ParseTree;
@@ -59,6 +59,14 @@ impl Workload {
     /// Source line count.
     pub fn lines(&self) -> usize {
         self.source.lines().count()
+    }
+
+    /// The compiler's shared evaluation plan: grammar analysis, visit
+    /// sequences and the compiled visit programs, built once per
+    /// grammar. Benchmarks take this so program compilation stays out
+    /// of their timed loops.
+    pub fn plan(&self) -> &Arc<EvalPlan<PVal>> {
+        self.compiler.evals.plan()
     }
 }
 

@@ -452,6 +452,19 @@ impl Plans {
         &self.plans[p.0 as usize]
     }
 
+    /// Total number of segments across all productions (one per
+    /// (production, LHS visit) pair).
+    pub fn segment_count(&self) -> usize {
+        self.plans.iter().map(|p| p.segments.len()).sum()
+    }
+
+    /// Exact length of the flattened opcode stream the compiled visit
+    /// programs use: one opcode per step plus one segment terminator per
+    /// segment (see [`crate::eval::VisitPrograms`]).
+    pub fn program_len(&self) -> usize {
+        self.plans.iter().map(Plan::step_count).sum::<usize>() + self.segment_count()
+    }
+
     /// Renders one production's visit sequence in a human-readable form
     /// — the "collection of mutually recursive visit procedures" of the
     /// paper's §2.3, as text:

@@ -47,7 +47,7 @@ use crate::value::AttrValue;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use super::{run_static_segment, EvalError, EvalPlan, MachineScratch};
+use super::{run_program_segment, EvalError, EvalPlan, MachineScratch};
 
 /// Evaluation strategy of a machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -537,7 +537,7 @@ impl<V: AttrValue> Machine<V> {
                 let r = &g.prod(self.tree.node(node).prod).rules[rule];
                 let tree = &self.tree;
                 let store = &self.store;
-                let value = self.scratch.arg.apply(r, |a| {
+                let value = self.scratch.eval.arg.apply(r, |a| {
                     occ_value(tree, store, node, a.occ, a.attr)
                         .expect("scheduler readiness guarantees arguments")
                 });
@@ -560,15 +560,18 @@ impl<V: AttrValue> Machine<V> {
             Task::StaticVisit { node, visit } => {
                 let plan = Arc::clone(&self.plan);
                 let plans = plan.plans().expect("combined mode");
+                // Region machines execute the same compiled programs the
+                // sequential evaluator runs, over their RegionStore.
+                let programs = plan.programs().expect("combined mode");
                 let before = self.stats;
-                run_static_segment(
+                run_program_segment(
                     &self.tree,
-                    plans,
+                    programs,
                     &mut self.store,
                     node,
                     visit,
                     &mut self.stats,
-                    &mut self.scratch.arg,
+                    &mut self.scratch.eval,
                 )?;
                 let rules = self.stats.static_applied - before.static_applied;
                 let cost = self.stats.rule_cost_units - before.rule_cost_units;

@@ -13,18 +13,55 @@
 //! [`Evaluators`] bundles the analysis artifacts and picks the best
 //! strategy available, falling back to dynamic evaluation for grammars
 //! the static method cannot order (the paper's §4.1 caveat).
+//!
+//! # Compiled visit programs
+//!
+//! The static and combined evaluators do not interpret the analysis
+//! artifact ([`crate::analysis::Plans`]) step by step. At [`EvalPlan`]
+//! build time every production's plan segments are flattened into one
+//! grammar-wide **visit program** ([`VisitPrograms`]):
+//!
+//! * **Opcode layout** — a single flat `Vec` of [`Op`]s:
+//!   `Op::Eval(rule)` applies a compiled rule, `Op::Visit { occ, visit }`
+//!   descends into a child's program, and `Op::Ret` terminates a
+//!   segment. An interpreter frame is a bare `(node, pc)` pair.
+//! * **Offset tables** — per-(production, visit) entry points: a dense
+//!   `prod_base` table indexes a dense `entries` table mapping each
+//!   (production, visit) pair to its first opcode. Child productions are
+//!   tree data, so `Op::Visit` re-resolves through the same table at run
+//!   time; all other operands (targets, arguments, costs) are resolved
+//!   at build time into a shared operand slab.
+//! * **Direct-call table contract** — a rule registered with a plain
+//!   `fn` pointer ([`crate::grammar::GrammarBuilder::rule_direct`], the
+//!   spec layer's named-function registry, or `copy_rule`) is dispatched
+//!   without `Arc<dyn Fn>` indirection; any rule the registry cannot
+//!   name falls back to its boxed closure. Both paths must compute the
+//!   identical value — the direct pointer *is* the registered function,
+//!   and the equivalence property suite pins program, segment and
+//!   dynamic evaluation to identical stores.
+//!
+//! [`run_program_segment`] is the interpreter (generic over
+//! [`crate::tree::AttrSlots`], so region machines execute the same
+//! programs over their `RegionStore`s); [`run_static_segment`] remains
+//! as the reference segment walker for equivalence tests and the
+//! `bench_dynamic --programs-vs-segments` comparison axis.
 
 mod dynamic;
 mod incremental;
 mod machine;
 mod plan;
+mod program;
 mod static_eval;
 
 pub use dynamic::{dynamic_eval, dynamic_eval_with, ReadyPolicy};
 pub use incremental::{Incremental, UpdateError};
 pub use machine::{AttrMsg, Machine, MachineMode, SendTarget, StepOutcome};
 pub use plan::{EvalPlan, MachineScratch};
-pub use static_eval::{run_static_segment, static_eval};
+pub use program::{Op, VisitPrograms};
+pub use static_eval::{
+    run_program_segment, run_static_segment, static_eval, static_eval_segments,
+    static_eval_with_programs, EvalScratch,
+};
 
 use crate::analysis::{OagError, Plans};
 use crate::grammar::Grammar;
@@ -148,9 +185,12 @@ impl<V: AttrValue> Evaluators<V> {
         &self,
         tree: &ParseTree<V>,
     ) -> Result<(AttrStore<V>, EvalStats), EvalError> {
-        match self.plan.plans() {
-            Some(p) => static_eval(tree, p),
-            None => dynamic_eval(tree),
+        match (self.plan.plans(), self.plan.programs()) {
+            // The programs were compiled when the plan was built; run
+            // them directly instead of re-flattening per tree.
+            (Some(p), Some(programs)) => static_eval_with_programs(tree, p, programs),
+            (Some(p), None) => static_eval(tree, p),
+            _ => dynamic_eval(tree),
         }
     }
 }

@@ -17,8 +17,9 @@
 //!
 //! [`MachineScratch`] is the complementary *reusable* state: buffers a
 //! machine needs during construction and evaluation (the CSR pair list,
-//! the region-node worklist, the [`ArgScratch`] argument gatherer) whose
-//! capacity should survive from one tree to the next. A pool worker
+//! the region-node worklist, the [`super::EvalScratch`] argument
+//! gatherer and interpreter frame stacks) whose capacity should survive
+//! from one tree to the next. A pool worker
 //! keeps one scratch alive across its whole lifetime:
 //!
 //! ```text
@@ -31,20 +32,24 @@
 //! ```
 
 use crate::analysis::{compute_plans, OagError, Plans};
-use crate::grammar::{ArgScratch, AttrId, AttrKind, Grammar};
+use crate::grammar::{AttrId, AttrKind, Grammar};
 use crate::split::{Decomposition, RegionId, WorkTable};
 use crate::tree::{NodeId, ParseTree};
 use crate::value::AttrValue;
 use std::fmt;
 use std::sync::Arc;
 
-use super::MachineMode;
+use super::program::VisitPrograms;
+use super::{EvalScratch, MachineMode};
 
 /// Immutable grammar-level evaluation artifacts, computed once and
 /// shared across all compilations of the same grammar.
 pub struct EvalPlan<V: AttrValue> {
     grammar: Arc<Grammar<V>>,
     plans: Option<Arc<Plans>>,
+    /// The plans compiled into flat opcode streams (see
+    /// [`super::program`]) — present exactly when `plans` is.
+    programs: Option<Arc<VisitPrograms<V>>>,
     ordered_failure: Option<OagError>,
     /// `rule_priority[prod][rule]`: the rule's target attribute is a
     /// priority attribute (grammar-level fact; needs no tree).
@@ -100,9 +105,13 @@ impl<V: AttrValue> EvalPlan<V> {
             .iter()
             .map(|s| s.attrs_of_kind(AttrKind::Inh).collect())
             .collect();
+        let programs = plans
+            .as_ref()
+            .map(|p| Arc::new(VisitPrograms::build(grammar.as_ref(), p)));
         EvalPlan {
             grammar: Arc::clone(grammar),
             plans,
+            programs,
             ordered_failure,
             rule_priority,
             syn_attrs,
@@ -119,6 +128,12 @@ impl<V: AttrValue> EvalPlan<V> {
     /// The static visit sequences, when the grammar is l-ordered.
     pub fn plans(&self) -> Option<&Arc<Plans>> {
         self.plans.as_ref()
+    }
+
+    /// The compiled visit programs — the flattened, devirtualized form
+    /// of [`EvalPlan::plans`]; present exactly when plans are.
+    pub fn programs(&self) -> Option<&Arc<VisitPrograms<V>>> {
+        self.programs.as_ref()
     }
 
     /// Why static ordering failed, if it did.
@@ -212,8 +227,9 @@ pub struct MachineScratch<V> {
     pub(super) spine: std::collections::HashSet<NodeId>,
     /// Static-subtree roots hanging off the spine.
     pub(super) static_roots: Vec<NodeId>,
-    /// Argument-gathering buffer for rule applications.
-    pub(super) arg: ArgScratch<V>,
+    /// Evaluation scratch: the argument-gathering buffer plus the
+    /// interpreter frame stacks reused across static visits.
+    pub(super) eval: EvalScratch<V>,
 }
 
 impl<V> Default for MachineScratch<V> {
@@ -225,7 +241,7 @@ impl<V> Default for MachineScratch<V> {
             boundary: Vec::new(),
             spine: std::collections::HashSet::new(),
             static_roots: Vec::new(),
-            arg: ArgScratch::new(),
+            eval: EvalScratch::new(),
         }
     }
 }

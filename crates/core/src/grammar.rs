@@ -340,6 +340,40 @@ impl<V> ArgScratch<V> {
         self.ptrs.clear();
         Ok(value)
     }
+
+    /// Gathers `count` argument references through `resolve` and hands
+    /// them to `call` as a borrowed [`Args`] view — the compiled-program
+    /// counterpart of [`ArgScratch::try_apply`], where the operand list
+    /// lives in the program rather than on a [`Rule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `resolve`'s error for the first unresolvable operand.
+    pub(crate) fn try_call_gathered<'t, E>(
+        &mut self,
+        count: usize,
+        mut resolve: impl FnMut(usize) -> Result<&'t V, E>,
+        call: impl FnOnce(Args<'_, V>) -> V,
+    ) -> Result<V, E>
+    where
+        V: 't,
+    {
+        self.ptrs.clear();
+        for i in 0..count {
+            match resolve(i) {
+                Ok(v) => self.ptrs.push(v as *const V),
+                Err(e) => {
+                    self.ptrs.clear();
+                    return Err(e);
+                }
+            }
+        }
+        // SAFETY: as in `apply` — the pointers come from `&'t V` borrows
+        // outliving this call, and `Args` does not escape `call`.
+        let value = call(unsafe { Args::from_ptrs(&self.ptrs) });
+        self.ptrs.clear();
+        Ok(value)
+    }
 }
 
 impl<V> fmt::Debug for ArgScratch<V> {
@@ -352,6 +386,16 @@ impl<V> fmt::Debug for ArgScratch<V> {
 /// value.
 pub type RuleFn<V> = Arc<dyn for<'a> Fn(Args<'a, V>) -> V + Send + Sync>;
 
+/// A *nameable* semantic function: a plain `fn` pointer with no captured
+/// environment.
+///
+/// Rules registered with one (via [`GrammarBuilder::rule_direct`] /
+/// [`GrammarBuilder::rule_with_cost_direct`]) form the grammar's
+/// direct-call table: the compiled visit programs
+/// ([`crate::eval::VisitPrograms`]) call them without the
+/// `Arc<dyn Fn>` double indirection of [`RuleFn`].
+pub type DirectFn<V> = fn(Args<'_, V>) -> V;
+
 /// A semantic rule: `target = func(args...)`.
 #[derive(Clone)]
 pub struct Rule<V> {
@@ -361,6 +405,10 @@ pub struct Rule<V> {
     pub args: Vec<OccRef>,
     /// The semantic function.
     pub func: RuleFn<V>,
+    /// The same function as a plain `fn` pointer, when the registering
+    /// layer could name one (the direct-call table entry; `None` means
+    /// evaluators must go through the boxed `func`).
+    pub direct: Option<DirectFn<V>>,
     /// Abstract CPU cost of one application (used by the simulator's cost
     /// model; 1 = a trivial copy/arithmetic rule).
     pub cost: u64,
@@ -685,18 +733,57 @@ impl<V: AttrValue> GrammarBuilder<V> {
             target: target.into(),
             args: args.into_iter().map(OccRef::from).collect(),
             func: Arc::new(func),
+            direct: None,
+            cost,
+        });
+    }
+
+    /// Adds a semantic rule whose function is a plain `fn` pointer, with
+    /// unit cost.
+    ///
+    /// Such rules enter the grammar's direct-call table: compiled visit
+    /// programs dispatch to them without boxed-closure indirection.
+    /// Non-capturing closure literals coerce, so most call sites read
+    /// exactly like [`GrammarBuilder::rule`].
+    pub fn rule_direct(
+        &mut self,
+        prod: ProdId,
+        target: impl Into<OccRef>,
+        args: impl IntoIterator<Item = (usize, AttrId)>,
+        func: DirectFn<V>,
+    ) {
+        self.rule_with_cost_direct(prod, target, args, func, 1);
+    }
+
+    /// Adds a direct-call rule with an explicit abstract cost.
+    pub fn rule_with_cost_direct(
+        &mut self,
+        prod: ProdId,
+        target: impl Into<OccRef>,
+        args: impl IntoIterator<Item = (usize, AttrId)>,
+        func: DirectFn<V>,
+        cost: u64,
+    ) {
+        self.prods[prod.0 as usize].rules.push(Rule {
+            target: target.into(),
+            args: args.into_iter().map(OccRef::from).collect(),
+            func: Arc::new(func),
+            direct: Some(func),
             cost,
         });
     }
 
     /// Convenience: a copy rule `target = source` (very common in real
     /// grammars — e.g. threading the symbol table through expressions).
-    pub fn copy_rule(&mut self, prod: ProdId, target: impl Into<OccRef>, source: impl Into<OccRef>)
-    where
-        V: Clone,
-    {
+    /// Copy rules are always direct-callable.
+    pub fn copy_rule(
+        &mut self,
+        prod: ProdId,
+        target: impl Into<OccRef>,
+        source: impl Into<OccRef>,
+    ) {
         let src: OccRef = source.into();
-        self.rule(prod, target, [(src.occ, src.attr)], |args| args[0].clone());
+        self.rule_direct(prod, target, [(src.occ, src.attr)], |args| args[0].clone());
     }
 
     /// Validates and freezes the grammar.

@@ -11,7 +11,10 @@
 //! others.
 
 use paragram_core::analysis::{compute_plans, Plans};
-use paragram_core::eval::{dynamic_eval, static_eval, AttrMsg, Machine, MachineMode, SendTarget};
+use paragram_core::eval::{
+    dynamic_eval, static_eval, static_eval_segments, static_eval_with_programs, AttrMsg, EvalPlan,
+    Machine, MachineMode, SendTarget,
+};
 use paragram_core::grammar::{AttrId, Grammar, GrammarBuilder, ProdId};
 use paragram_core::parallel::threads::{run_threads, ThreadConfig};
 use paragram_core::parallel::ResultPropagation;
@@ -23,6 +26,9 @@ use std::sync::Arc;
 /// The paper's compiler shape over i64: decls flow up, a *priority*
 /// env flows down (the symbol-table chain §4.3 serves first), code
 /// flows up — with splittable statement lists and off-spine bodies.
+/// Rules are a deliberate mix of direct-call-table entries
+/// (`rule_direct`) and boxed closures, so every evaluator exercises
+/// both dispatch paths of the compiled visit programs.
 struct Fixture {
     grammar: Arc<Grammar<i64>>,
     top: ProdId,
@@ -49,21 +55,21 @@ fn fixture() -> Fixture {
     g.mark_priority(b, benv);
 
     let top = g.production("top", s, [l]);
-    g.rule(top, (1, env), [(1, decls)], |a| a[0].wrapping_mul(31) + 1);
+    g.rule_direct(top, (1, env), [(1, decls)], |a| a[0].wrapping_mul(31) + 1);
     g.rule(top, (0, out), [(1, code)], |a| a[0]);
     let cons = g.production("cons", l, [b, l]);
-    g.rule(cons, (0, decls), [(2, decls)], |a| a[0] + 1);
+    g.rule_direct(cons, (0, decls), [(2, decls)], |a| a[0] + 1);
     g.rule(cons, (2, env), [(0, env)], |a| a[0].wrapping_add(3));
-    g.rule(cons, (1, benv), [(0, env)], |a| a[0] ^ 0x55);
+    g.rule_direct(cons, (1, benv), [(0, env)], |a| a[0] ^ 0x55);
     g.rule(cons, (0, code), [(1, bcode), (2, code)], |a| {
         a[0].wrapping_mul(1_000_003).wrapping_add(a[1])
     });
     let nil = g.production("nil", l, []);
-    g.rule(nil, (0, decls), [], |_| 0);
+    g.rule_direct(nil, (0, decls), [], |_| 0);
     g.rule(nil, (0, code), [(0, env)], |a| a[0]);
     let wrap = g.production("wrap", b, [b]);
     g.rule(wrap, (1, benv), [(0, benv)], |a| a[0].wrapping_add(7));
-    g.rule(wrap, (0, bcode), [(1, bcode), (0, benv)], |a| {
+    g.rule_direct(wrap, (0, bcode), [(1, bcode), (0, benv)], |a| {
         a[0].wrapping_mul(17) ^ a[1]
     });
     let unit = g.production("unit", b, []);
@@ -182,6 +188,11 @@ proptest! {
         let (stat, _) = static_eval(&tree, &plans).unwrap();
         assert_stores_equal(&fx.grammar, &tree, &reference, &stat, "static")?;
 
+        // The compiled-program interpreter and the reference segment
+        // walker must agree opcode-for-step.
+        let (seg, _) = static_eval_segments(&tree, &plans).unwrap();
+        assert_stores_equal(&fx.grammar, &tree, &reference, &seg, "static segments")?;
+
         let decomp = decompose(&tree, SplitConfig {
             target_regions: machines,
             min_size_scale: scale,
@@ -213,6 +224,52 @@ impl RuleCount for Grammar<i64> {
         tree.node_ids()
             .map(|n| self.prod(tree.node(n).prod).rules.len())
             .sum()
+    }
+}
+
+/// The direct-call table is an optimisation, never a semantics change:
+/// rules absent from it (boxed closures) fall back to `Arc<dyn Fn>`
+/// dispatch inside the same compiled program, and the mixed grammar
+/// still agrees with the dynamic reference everywhere.
+#[test]
+fn boxed_rules_fall_back_and_agree_with_direct_dispatch() {
+    let fx = fixture();
+    let tree = build_tree(&fx, &[2, 4, 0, 1, 3]);
+    let plan = EvalPlan::analyze(&fx.grammar);
+    let programs = plan.programs().expect("fixture grammar is l-ordered");
+
+    // The fixture deliberately mixes registration styles; the compiled
+    // rule table must mirror the grammar's `direct` slots exactly.
+    let direct_in_grammar: usize = fx
+        .grammar
+        .prods()
+        .iter()
+        .flat_map(|p| &p.rules)
+        .filter(|r| r.direct.is_some())
+        .count();
+    assert_eq!(programs.direct_rule_count(), direct_in_grammar);
+    assert!(
+        programs.direct_rule_count() > 0,
+        "fixture should exercise the direct path"
+    );
+    assert!(
+        programs.direct_rule_count() < programs.rule_count(),
+        "fixture should exercise the boxed fallback path"
+    );
+
+    let (reference, _) = dynamic_eval(&tree).unwrap();
+    let (via_programs, _) =
+        static_eval_with_programs(&tree, plan.plans().unwrap(), programs).unwrap();
+    for node in tree.node_ids() {
+        let sym = fx.grammar.prod(tree.node(node).prod).lhs;
+        for i in 0..fx.grammar.attr_count(sym) {
+            let attr = AttrId(i as u32);
+            assert_eq!(
+                reference.get(node, attr),
+                via_programs.get(node, attr),
+                "mixed direct/boxed program disagrees at {node:?} {attr:?}"
+            );
+        }
     }
 }
 

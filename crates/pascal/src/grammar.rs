@@ -322,16 +322,16 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     // ---------------------------------------------------------------
     // S -> ID decls stmts
     let p_prog = g.production("prog", s, [t_id, decls, stmts]);
-    g.rule(p_prog, (2, a_decls.env_in), [], |_| PVal::Env(Env::new()));
-    g.rule(p_prog, (2, a_decls.level), [], |_| PVal::Int(0));
-    g.rule(p_prog, (2, a_decls.off_in), [], |_| PVal::Int(-8));
+    g.rule_direct(p_prog, (2, a_decls.env_in), [], |_| PVal::Env(Env::new()));
+    g.rule_direct(p_prog, (2, a_decls.level), [], |_| PVal::Int(0));
+    g.rule_direct(p_prog, (2, a_decls.off_in), [], |_| PVal::Int(-8));
     // The complete global scope flows back down for code generation
     // (visit 2) — this syn→inh dependency is what makes the grammar
     // two-visit and the codegen phase parallel.
     g.copy_rule(p_prog, (2, a_decls.genv), (2, a_decls.env_out));
     g.copy_rule(p_prog, (3, a_stmts.env), (2, a_decls.env_out));
-    g.rule(p_prog, (3, a_stmts.level), [], |_| PVal::Int(0));
-    g.rule_with_cost(
+    g.rule_direct(p_prog, (3, a_stmts.level), [], |_| PVal::Int(0));
+    g.rule_with_cost_direct(
         p_prog,
         (0, s_code),
         [(2, a_decls.off_out), (3, a_stmts.code), (2, a_decls.code)],
@@ -344,7 +344,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         4,
     );
-    g.rule(
+    g.rule_direct(
         p_prog,
         (0, s_errs),
         [(2, a_decls.errs), (3, a_stmts.errs)],
@@ -365,14 +365,14 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.copy_rule(p_decls_cons, (2, a_decls.genv), (0, a_decls.genv));
     g.copy_rule(p_decls_cons, (0, a_decls.env_out), (2, a_decls.env_out));
     g.copy_rule(p_decls_cons, (0, a_decls.off_out), (2, a_decls.off_out));
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_decls_cons,
         (0, a_decls.code),
         [(1, a_decl.code), (2, a_decls.code)],
         |a| PVal::Code(a[0].code().concat(a[1].code())),
         2,
     );
-    g.rule(
+    g.rule_direct(
         p_decls_cons,
         (0, a_decls.errs),
         [(1, a_decl.errs), (2, a_decls.errs)],
@@ -382,17 +382,17 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_decls_nil = g.production("decls_nil", decls, []);
     g.copy_rule(p_decls_nil, (0, a_decls.env_out), (0, a_decls.env_in));
     g.copy_rule(p_decls_nil, (0, a_decls.off_out), (0, a_decls.off_in));
-    g.rule(p_decls_nil, (0, a_decls.code), [], |_| {
+    g.rule_direct(p_decls_nil, (0, a_decls.code), [], |_| {
         PVal::Code(Rope::new())
     });
-    g.rule(p_decls_nil, (0, a_decls.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_decls_nil, (0, a_decls.errs), [], |_| PVal::no_errs());
 
     // ---------------------------------------------------------------
     // Single declarations.
     // ---------------------------------------------------------------
     // const ID = NUM
     let p_const = g.production("const", decl, [t_id, t_num]);
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_const,
         (0, a_decl.env_out),
         [(0, a_decl.env_in), (1, AttrId(0)), (2, AttrId(0))],
@@ -405,8 +405,8 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         3,
     );
     g.copy_rule(p_const, (0, a_decl.off_out), (0, a_decl.off_in));
-    g.rule(p_const, (0, a_decl.code), [], |_| PVal::Code(Rope::new()));
-    g.rule(p_const, (0, a_decl.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_const, (0, a_decl.code), [], |_| PVal::Code(Rope::new()));
+    g.rule_direct(p_const, (0, a_decl.errs), [], |_| PVal::no_errs());
 
     // var ID : integer|boolean
     for (p, ty) in [(Ty::Int, "var_int"), (Ty::Bool, "var_bool")]
@@ -435,18 +435,18 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             },
             3,
         );
-        g.rule(p, (0, a_decl.off_out), [(0, a_decl.off_in)], |a| {
+        g.rule_direct(p, (0, a_decl.off_out), [(0, a_decl.off_in)], |a| {
             PVal::Int(a[0].int() - 4)
         });
-        g.rule(p, (0, a_decl.code), [], |_| PVal::Code(Rope::new()));
-        g.rule(p, (0, a_decl.errs), [], |_| PVal::no_errs());
+        g.rule_direct(p, (0, a_decl.code), [], |_| PVal::Code(Rope::new()));
+        g.rule_direct(p, (0, a_decl.errs), [], |_| PVal::no_errs());
     }
     let p_var_int = ProdId(p_const.0 + 1);
     let p_var_bool = ProdId(p_const.0 + 2);
 
     // var ID : array [NUM..NUM] of integer
     let p_var_arr = g.production("var_arr", decl, [t_id, t_num, t_num]);
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_var_arr,
         (0, a_decl.env_out),
         [
@@ -473,7 +473,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         3,
     );
-    g.rule(
+    g.rule_direct(
         p_var_arr,
         (0, a_decl.off_out),
         [(2, AttrId(0)), (3, AttrId(0)), (0, a_decl.off_in)],
@@ -482,8 +482,8 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Int(a[2].int() - 4 * n)
         },
     );
-    g.rule(p_var_arr, (0, a_decl.code), [], |_| PVal::Code(Rope::new()));
-    g.rule(p_var_arr, (0, a_decl.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_var_arr, (0, a_decl.code), [], |_| PVal::Code(Rope::new()));
+    g.rule_direct(p_var_arr, (0, a_decl.errs), [], |_| PVal::no_errs());
 
     // procedure ID (uid) (params) ; decls begin stmts end
     let p_proc = g.production("proc", decl, [t_id, t_uid, params, decls, stmts]);
@@ -572,7 +572,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         // parameter entries. Using `genv` (not `env_out`) is what gives
         // bodies whole-scope visibility and pushes all body work into
         // visit 2.
-        g.rule_with_cost(
+        g.rule_with_cost_direct(
             p,
             (o_decls, a_decls.env_in),
             [(0, a_decl.genv), (o_params, params_sig), (0, a_decl.level)],
@@ -589,14 +589,14 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         // The inner scope's own complete environment (nested routines
         // are mutually visible).
         g.copy_rule(p, (o_decls, a_decls.genv), (o_decls, a_decls.env_out));
-        g.rule(p, (o_decls, a_decls.level), [(0, a_decl.level)], |a| {
+        g.rule_direct(p, (o_decls, a_decls.level), [(0, a_decl.level)], |a| {
             PVal::Int(a[0].int() + 1)
         });
         g.rule(p, (o_decls, a_decls.off_in), [], move |_| {
             PVal::Int(if is_func { -12 } else { -8 })
         });
         g.copy_rule(p, (o_stmts, a_stmts.env), (o_decls, a_decls.env_out));
-        g.rule(p, (o_stmts, a_stmts.level), [(0, a_decl.level)], |a| {
+        g.rule_direct(p, (o_stmts, a_stmts.level), [(0, a_decl.level)], |a| {
             PVal::Int(a[0].int() + 1)
         });
         g.copy_rule(p, (0, a_decl.off_out), (0, a_decl.off_in));
@@ -620,7 +620,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             },
             4,
         );
-        g.rule(
+        g.rule_direct(
             p,
             (0, a_decl.errs),
             [(o_decls, a_decls.errs), (o_stmts, a_stmts.errs)],
@@ -632,7 +632,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     // Formal parameters.
     // ---------------------------------------------------------------
     let p_params_cons = g.production("params_cons", params, [param, params]);
-    g.rule(
+    g.rule_direct(
         p_params_cons,
         (0, params_sig),
         [(1, param_sig), (2, params_sig)],
@@ -643,7 +643,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
     );
     let p_params_nil = g.production("params_nil", params, []);
-    g.rule(p_params_nil, (0, params_sig), [], |_| {
+    g.rule_direct(p_params_nil, (0, params_sig), [], |_| {
         PVal::Sig(Arc::new(Vec::new()))
     });
     let param_prod = |name: &str, ty: Ty, by_ref: bool, g: &mut GrammarBuilder<PVal>| {
@@ -670,24 +670,24 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.copy_rule(p_stmts_cons, (1, a_stmt.level), (0, a_stmts.level));
     g.copy_rule(p_stmts_cons, (2, a_stmts.env), (0, a_stmts.env));
     g.copy_rule(p_stmts_cons, (2, a_stmts.level), (0, a_stmts.level));
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_stmts_cons,
         (0, a_stmts.code),
         [(1, a_stmt.code), (2, a_stmts.code)],
         |a| PVal::Code(a[0].code().concat(a[1].code())),
         2,
     );
-    g.rule(
+    g.rule_direct(
         p_stmts_cons,
         (0, a_stmts.errs),
         [(1, a_stmt.errs), (2, a_stmts.errs)],
         |a| PVal::errs_concat(&[&a[0], &a[1]]),
     );
     let p_stmts_nil = g.production("stmts_nil", stmts, []);
-    g.rule(p_stmts_nil, (0, a_stmts.code), [], |_| {
+    g.rule_direct(p_stmts_nil, (0, a_stmts.code), [], |_| {
         PVal::Code(Rope::new())
     });
-    g.rule(p_stmts_nil, (0, a_stmts.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_stmts_nil, (0, a_stmts.errs), [], |_| PVal::no_errs());
 
     // ---------------------------------------------------------------
     // Statements.
@@ -696,7 +696,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_assign = g.production("assign", stmt, [t_id, expr]);
     g.copy_rule(p_assign, (2, a_expr.env), (0, a_stmt.env));
     g.copy_rule(p_assign, (2, a_expr.level), (0, a_stmt.level));
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_assign,
         (0, a_stmt.code),
         [
@@ -718,7 +718,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         3,
     );
-    g.rule(
+    g.rule_direct(
         p_assign,
         (0, a_stmt.errs),
         [
@@ -754,7 +754,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         g.copy_rule(p_assign_idx, (occ, a_expr.env), (0, a_stmt.env));
         g.copy_rule(p_assign_idx, (occ, a_expr.level), (0, a_stmt.level));
     }
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_assign_idx,
         (0, a_stmt.code),
         [
@@ -783,7 +783,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         4,
     );
-    g.rule(
+    g.rule_direct(
         p_assign_idx,
         (0, a_stmt.errs),
         [
@@ -813,7 +813,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_call = g.production("call", stmt, [t_id, args]);
     g.copy_rule(p_call, (2, a_args.env), (0, a_stmt.env));
     g.copy_rule(p_call, (2, a_args.level), (0, a_stmt.level));
-    g.rule(
+    g.rule_direct(
         p_call,
         (2, a_args.sig_rest),
         [(0, a_stmt.env), (1, AttrId(0))],
@@ -824,7 +824,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             _ => PVal::Sig(Arc::new(Vec::new())),
         },
     );
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_call,
         (0, a_stmt.code),
         [
@@ -847,7 +847,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         3,
     );
-    g.rule(
+    g.rule_direct(
         p_call,
         (0, a_stmt.errs),
         [
@@ -891,7 +891,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             g.copy_rule(p, (3 + i, a_stmts.level), (0, a_stmt.level));
         }
     }
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_if,
         (0, a_stmt.code),
         [(1, AttrId(0)), (2, a_expr.code), (3, a_stmts.code)],
@@ -906,7 +906,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         3,
     );
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_ifelse,
         (0, a_stmt.code),
         [
@@ -928,7 +928,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         3,
     );
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_while,
         (0, a_stmt.code),
         [(1, AttrId(0)), (2, a_expr.code), (3, a_stmts.code)],
@@ -944,7 +944,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         3,
     );
-    g.rule(
+    g.rule_direct(
         p_if,
         (0, a_stmt.errs),
         [(2, a_expr.ty), (2, a_expr.errs), (3, a_stmts.errs)],
@@ -955,7 +955,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Errs(Arc::new(errs))
         },
     );
-    g.rule(
+    g.rule_direct(
         p_ifelse,
         (0, a_stmt.errs),
         [
@@ -972,7 +972,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Errs(Arc::new(errs))
         },
     );
-    g.rule(
+    g.rule_direct(
         p_while,
         (0, a_stmt.errs),
         [(2, a_expr.ty), (2, a_expr.errs), (3, a_stmts.errs)],
@@ -993,7 +993,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         g.copy_rule(p, (0, a_stmt.errs), (1, a_wargs.errs));
     }
     g.copy_rule(p_write, (0, a_stmt.code), (1, a_wargs.code));
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_writeln,
         (0, a_stmt.code),
         [(1, a_wargs.code)],
@@ -1014,8 +1014,8 @@ pub fn build_with(priority: bool) -> PascalGrammar {
 
     // empty
     let p_empty = g.production("empty", stmt, []);
-    g.rule(p_empty, (0, a_stmt.code), [], |_| PVal::Code(Rope::new()));
-    g.rule(p_empty, (0, a_stmt.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_empty, (0, a_stmt.code), [], |_| PVal::Code(Rope::new()));
+    g.rule_direct(p_empty, (0, a_stmt.errs), [], |_| PVal::no_errs());
 
     // write-argument lists
     let p_wargs_expr = g.production("wargs_expr", wargs, [expr, wargs]);
@@ -1023,7 +1023,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.copy_rule(p_wargs_expr, (1, a_expr.level), (0, a_wargs.level));
     g.copy_rule(p_wargs_expr, (2, a_wargs.env), (0, a_wargs.env));
     g.copy_rule(p_wargs_expr, (2, a_wargs.level), (0, a_wargs.level));
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_wargs_expr,
         (0, a_wargs.code),
         [(1, a_expr.code), (2, a_wargs.code)],
@@ -1035,7 +1035,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         2,
     );
-    g.rule(
+    g.rule_direct(
         p_wargs_expr,
         (0, a_wargs.errs),
         [(1, a_expr.errs), (2, a_wargs.errs)],
@@ -1044,7 +1044,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_wargs_str = g.production("wargs_str", wargs, [t_str, wargs]);
     g.copy_rule(p_wargs_str, (2, a_wargs.env), (0, a_wargs.env));
     g.copy_rule(p_wargs_str, (2, a_wargs.level), (0, a_wargs.level));
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_wargs_str,
         (0, a_wargs.code),
         [(1, AttrId(0)), (2, a_wargs.code)],
@@ -1057,10 +1057,10 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     );
     g.copy_rule(p_wargs_str, (0, a_wargs.errs), (2, a_wargs.errs));
     let p_wargs_nil = g.production("wargs_nil", wargs, []);
-    g.rule(p_wargs_nil, (0, a_wargs.code), [], |_| {
+    g.rule_direct(p_wargs_nil, (0, a_wargs.code), [], |_| {
         PVal::Code(Rope::new())
     });
-    g.rule(p_wargs_nil, (0, a_wargs.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_wargs_nil, (0, a_wargs.errs), [], |_| PVal::no_errs());
 
     // actual-argument lists
     let p_args_cons = g.production("args_cons", args, [expr, args]);
@@ -1068,7 +1068,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     g.copy_rule(p_args_cons, (1, a_expr.level), (0, a_args.level));
     g.copy_rule(p_args_cons, (2, a_args.env), (0, a_args.env));
     g.copy_rule(p_args_cons, (2, a_args.level), (0, a_args.level));
-    g.rule(
+    g.rule_direct(
         p_args_cons,
         (2, a_args.sig_rest),
         [(0, a_args.sig_rest)],
@@ -1077,10 +1077,10 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Sig(Arc::new(s.iter().skip(1).cloned().collect()))
         },
     );
-    g.rule(p_args_cons, (0, a_args.count), [(2, a_args.count)], |a| {
+    g.rule_direct(p_args_cons, (0, a_args.count), [(2, a_args.count)], |a| {
         PVal::Int(a[0].int() + 1)
     });
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_args_cons,
         (0, a_args.code),
         [
@@ -1104,7 +1104,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         2,
     );
-    g.rule(
+    g.rule_direct(
         p_args_cons,
         (0, a_args.errs),
         [
@@ -1134,29 +1134,29 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
     );
     let p_args_nil = g.production("args_nil", args, []);
-    g.rule(p_args_nil, (0, a_args.count), [], |_| PVal::Int(0));
-    g.rule(
+    g.rule_direct(p_args_nil, (0, a_args.count), [], |_| PVal::Int(0));
+    g.rule_direct(
         p_args_nil,
         (0, a_args.code),
         [],
         |_| PVal::Code(Rope::new()),
     );
-    g.rule(p_args_nil, (0, a_args.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_args_nil, (0, a_args.errs), [], |_| PVal::no_errs());
 
     // ---------------------------------------------------------------
     // Expressions.
     // ---------------------------------------------------------------
     let no_addr = |g: &mut GrammarBuilder<PVal>, p: ProdId, a: &ExprAttrs| {
-        g.rule(p, (0, a.addr), [], |_| PVal::Unit);
+        g.rule_direct(p, (0, a.addr), [], |_| PVal::Unit);
     };
 
     let p_num = g.production("num", expr, [t_num]);
-    g.rule(p_num, (0, a_expr.code), [(1, AttrId(0))], |a| {
+    g.rule_direct(p_num, (0, a_expr.code), [(1, AttrId(0))], |a| {
         PVal::Code(cg::push_imm(a[0].int()))
     });
     no_addr(&mut g, p_num, &a_expr);
-    g.rule(p_num, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Int));
-    g.rule(p_num, (0, a_expr.errs), [], |_| PVal::no_errs());
+    g.rule_direct(p_num, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Int));
+    g.rule_direct(p_num, (0, a_expr.errs), [], |_| PVal::no_errs());
 
     let p_true = g.production("true", expr, []);
     let p_false = g.production("false", expr, []);
@@ -1165,12 +1165,12 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Code(cg::push_imm(v))
         });
         no_addr(&mut g, p, &a_expr);
-        g.rule(p, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Bool));
-        g.rule(p, (0, a_expr.errs), [], |_| PVal::no_errs());
+        g.rule_direct(p, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Bool));
+        g.rule_direct(p, (0, a_expr.errs), [], |_| PVal::no_errs());
     }
 
     let p_name = g.production("name", expr, [t_id]);
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_name,
         (0, a_expr.code),
         [(0, a_expr.env), (0, a_expr.level), (1, AttrId(0))],
@@ -1195,7 +1195,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         2,
     );
-    g.rule(
+    g.rule_direct(
         p_name,
         (0, a_expr.addr),
         [(0, a_expr.env), (0, a_expr.level), (1, AttrId(0))],
@@ -1213,7 +1213,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             _ => PVal::Unit,
         },
     );
-    g.rule(
+    g.rule_direct(
         p_name,
         (0, a_expr.ty),
         [(0, a_expr.env), (1, AttrId(0))],
@@ -1226,7 +1226,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             })
         },
     );
-    g.rule(
+    g.rule_direct(
         p_name,
         (0, a_expr.errs),
         [(0, a_expr.env), (1, AttrId(0))],
@@ -1250,7 +1250,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_index = g.production("index", expr, [t_id, expr]);
     g.copy_rule(p_index, (2, a_expr.env), (0, a_expr.env));
     g.copy_rule(p_index, (2, a_expr.level), (0, a_expr.level));
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_index,
         (0, a_expr.code),
         [
@@ -1274,7 +1274,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         3,
     );
-    g.rule(
+    g.rule_direct(
         p_index,
         (0, a_expr.addr),
         [
@@ -1297,7 +1297,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Code(code)
         },
     );
-    g.rule(
+    g.rule_direct(
         p_index,
         (0, a_expr.ty),
         [(0, a_expr.env), (1, AttrId(0))],
@@ -1308,7 +1308,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             })
         },
     );
-    g.rule(
+    g.rule_direct(
         p_index,
         (0, a_expr.errs),
         [
@@ -1334,7 +1334,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
     let p_fcall = g.production("fcall", expr, [t_id, args]);
     g.copy_rule(p_fcall, (2, a_args.env), (0, a_expr.env));
     g.copy_rule(p_fcall, (2, a_args.level), (0, a_expr.level));
-    g.rule(
+    g.rule_direct(
         p_fcall,
         (2, a_args.sig_rest),
         [(0, a_expr.env), (1, AttrId(0))],
@@ -1345,7 +1345,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             _ => PVal::Sig(Arc::new(Vec::new())),
         },
     );
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_fcall,
         (0, a_expr.code),
         [
@@ -1369,7 +1369,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         3,
     );
     no_addr(&mut g, p_fcall, &a_expr);
-    g.rule(
+    g.rule_direct(
         p_fcall,
         (0, a_expr.ty),
         [(0, a_expr.env), (1, AttrId(0))],
@@ -1380,7 +1380,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             })
         },
     );
-    g.rule(
+    g.rule_direct(
         p_fcall,
         (0, a_expr.errs),
         [
@@ -1515,7 +1515,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         g.copy_rule(p, (1, a_expr.level), (0, a_expr.level));
         no_addr(&mut g, p, &a_expr);
     }
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_neg,
         (0, a_expr.code),
         [(1, a_expr.code)],
@@ -1526,8 +1526,8 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         2,
     );
-    g.rule(p_neg, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Int));
-    g.rule(
+    g.rule_direct(p_neg, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Int));
+    g.rule_direct(
         p_neg,
         (0, a_expr.errs),
         [(1, a_expr.ty), (1, a_expr.errs)],
@@ -1537,7 +1537,7 @@ pub fn build_with(priority: bool) -> PascalGrammar {
             PVal::Errs(Arc::new(errs))
         },
     );
-    g.rule_with_cost(
+    g.rule_with_cost_direct(
         p_not,
         (0, a_expr.code),
         [(1, a_expr.code)],
@@ -1548,8 +1548,8 @@ pub fn build_with(priority: bool) -> PascalGrammar {
         },
         2,
     );
-    g.rule(p_not, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Bool));
-    g.rule(
+    g.rule_direct(p_not, (0, a_expr.ty), [], |_| PVal::Ty(Ty::Bool));
+    g.rule_direct(
         p_not,
         (0, a_expr.errs),
         [(1, a_expr.ty), (1, a_expr.errs)],

@@ -72,6 +72,11 @@ enum Compiled {
     /// in rule-argument order: the gathered [`Args`] view is forwarded
     /// straight to the semantic function — no allocation, no clones.
     Direct(SemFn),
+    /// [`Compiled::Direct`] where the registry could also name the
+    /// function as a plain `fn` pointer: the rule is registered through
+    /// the grammar's direct-call table, so compiled visit programs skip
+    /// the boxed closure entirely.
+    DirectFn(crate::registry::DirectSemFn),
     Call(SemFn, Vec<Compiled>),
 }
 
@@ -80,6 +85,7 @@ impl Compiled {
         match self {
             Compiled::Arg(i) => args[*i].clone(),
             Compiled::Direct(f) => f(args),
+            Compiled::DirectFn(f) => f(args),
             Compiled::Call(f, sub) => {
                 // Nested calls produce owned intermediate values; those
                 // are genuine data, not argument-passing overhead.
@@ -122,7 +128,12 @@ fn compile_expr(
                 .all(|(i, c)| matches!(c, Compiled::Arg(j) if *j == i))
                 && sub.len() == refs.len();
             if identity {
-                Ok(Compiled::Direct(f))
+                // Prefer the registry's direct-call table entry so the
+                // rule devirtualizes in compiled visit programs.
+                match registry.get_direct(func) {
+                    Some(fp) => Ok(Compiled::DirectFn(fp)),
+                    None => Ok(Compiled::Direct(f)),
+                }
             } else {
                 Ok(Compiled::Call(f, sub))
             }
@@ -372,13 +383,20 @@ impl SpecLang {
                     args.push((*occ, attr_id(s, attr)?));
                 }
                 let compiled = compile_expr(&rule.expr, &refs, registry, &mut err)?;
-                g.rule_with_cost(
-                    prod,
-                    (rule.target_occ, tattr),
-                    args,
-                    move |vals| compiled.eval(vals),
-                    2,
-                );
+                if let Compiled::DirectFn(fp) = compiled {
+                    // The whole rule is one named capture-free function
+                    // in identity argument order: register it through
+                    // the direct-call table.
+                    g.rule_with_cost_direct(prod, (rule.target_occ, tattr), args, fp, 2);
+                } else {
+                    g.rule_with_cost(
+                        prod,
+                        (rule.target_occ, tattr),
+                        args,
+                        move |vals| compiled.eval(vals),
+                        2,
+                    );
+                }
             }
         }
 
@@ -661,6 +679,24 @@ mod tests {
         assert_eq!(roots[0].0, "value");
         assert_eq!(roots[0].1, Value::Int(42));
         assert_eq!(lang.start_fn(), "printn");
+    }
+
+    /// Identity-order calls to registry builtins devirtualize: the rule
+    /// lands in the grammar's direct-call table, and the compiled visit
+    /// programs pick it up.
+    #[test]
+    fn identity_calls_enter_the_direct_call_table() {
+        let spec =
+            "%name N\n%nosplit e { syn v; }\n%start e f\n%%\ne : N { $$.v = id($1.string); }\n";
+        let lang = SpecLang::from_spec(spec, &builtins()).unwrap();
+        let direct: usize = lang
+            .grammar()
+            .prods()
+            .iter()
+            .flat_map(|p| p.rules.iter())
+            .filter(|r| r.direct.is_some())
+            .count();
+        assert!(direct > 0, "no rule entered the direct-call table");
     }
 
     #[test]

@@ -21,10 +21,19 @@ use std::sync::Arc;
 /// convention); call one directly with `f(Args::from_slice(&values))`.
 pub type SemFn = Arc<dyn for<'a> Fn(Args<'a, Value>) -> Value + Send + Sync>;
 
+/// A semantic function nameable as a plain `fn` pointer — the
+/// registry's contribution to the direct-call table the compiled visit
+/// programs dispatch through (see
+/// [`paragram_core::eval::VisitPrograms`]).
+pub type DirectSemFn = paragram_core::grammar::DirectFn<Value>;
+
 /// Name → semantic function bindings for a specification.
 #[derive(Clone, Default)]
 pub struct FnRegistry {
     fns: HashMap<String, SemFn>,
+    /// The direct-call table: functions registered as plain `fn`
+    /// pointers, so compiled rules can skip the boxed closure.
+    direct: HashMap<String, DirectSemFn>,
 }
 
 impl FnRegistry {
@@ -35,18 +44,40 @@ impl FnRegistry {
 
     /// Registers a function under `name` (replacing any previous
     /// binding).
+    ///
+    /// Functions registered this way are *not* in the direct-call
+    /// table: rules calling them dispatch through the boxed closure.
+    /// Prefer [`FnRegistry::register_direct`] for capture-free
+    /// functions.
     pub fn register(
         &mut self,
         name: impl Into<String>,
         f: impl for<'a> Fn(Args<'a, Value>) -> Value + Send + Sync + 'static,
     ) -> &mut Self {
-        self.fns.insert(name.into(), Arc::new(f));
+        let name = name.into();
+        self.direct.remove(&name);
+        self.fns.insert(name, Arc::new(f));
+        self
+    }
+
+    /// Registers a capture-free function under `name`, entering it into
+    /// the direct-call table (non-capturing closure literals coerce to
+    /// the `fn` pointer type).
+    pub fn register_direct(&mut self, name: impl Into<String>, f: DirectSemFn) -> &mut Self {
+        let name = name.into();
+        self.fns.insert(name.clone(), Arc::new(f));
+        self.direct.insert(name, f);
         self
     }
 
     /// Looks up a function.
     pub fn get(&self, name: &str) -> Option<&SemFn> {
         self.fns.get(name)
+    }
+
+    /// Looks up a function's direct-call table entry, if it has one.
+    pub fn get_direct(&self, name: &str) -> Option<DirectSemFn> {
+        self.direct.get(name).copied()
     }
 
     /// Registered names (sorted, for error messages).
@@ -59,47 +90,56 @@ impl FnRegistry {
 
 impl std::fmt::Debug for FnRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "FnRegistry({} functions)", self.fns.len())
+        write!(
+            f,
+            "FnRegistry({} functions, {} direct)",
+            self.fns.len(),
+            self.direct.len()
+        )
     }
 }
 
 /// The standard library of the appendix: symbol tables, integer
-/// arithmetic and rope strings.
+/// arithmetic and rope strings. All builtins are capture-free, so every
+/// one enters the direct-call table.
 pub fn builtins() -> FnRegistry {
     let mut r = FnRegistry::new();
     // Symbol tables (st_create / st_add / st_lookup of the appendix).
-    r.register("st_create", |_| Value::Tab(SymTab::new()));
-    r.register("st_add", |a| match (&a[0], &a[1]) {
+    r.register_direct("st_create", |_| Value::Tab(SymTab::new()));
+    r.register_direct("st_add", |a| match (&a[0], &a[1]) {
         (Value::Tab(t), Value::Str(name)) => Value::Tab(t.add(Arc::clone(name), a[2].clone())),
         _ => Value::Unit,
     });
-    r.register("st_lookup", |a| match (&a[0], &a[1]) {
+    r.register_direct("st_lookup", |a| match (&a[0], &a[1]) {
         (Value::Tab(t), Value::Str(name)) => t.lookup(name).cloned().unwrap_or(Value::Unit),
         _ => Value::Unit,
     });
     // Integer arithmetic.
-    fn int2(r: &mut FnRegistry, name: &str, f: fn(i64, i64) -> i64) {
-        r.register(name, move |a| match (a[0].as_int(), a[1].as_int()) {
-            (Some(x), Some(y)) => Value::Int(f(x, y)),
-            _ => Value::Unit,
-        });
-    }
-    int2(&mut r, "add", i64::wrapping_add);
-    int2(&mut r, "sub", i64::wrapping_sub);
-    int2(&mut r, "mul", i64::wrapping_mul);
-    r.register("neg", |a| match a[0].as_int() {
+    r.register_direct("add", |a| match (a[0].as_int(), a[1].as_int()) {
+        (Some(x), Some(y)) => Value::Int(x.wrapping_add(y)),
+        _ => Value::Unit,
+    });
+    r.register_direct("sub", |a| match (a[0].as_int(), a[1].as_int()) {
+        (Some(x), Some(y)) => Value::Int(x.wrapping_sub(y)),
+        _ => Value::Unit,
+    });
+    r.register_direct("mul", |a| match (a[0].as_int(), a[1].as_int()) {
+        (Some(x), Some(y)) => Value::Int(x.wrapping_mul(y)),
+        _ => Value::Unit,
+    });
+    r.register_direct("neg", |a| match a[0].as_int() {
         Some(x) => Value::Int(-x),
         None => Value::Unit,
     });
     // Rope strings (the code-attribute domain).
-    r.register("str_empty", |_| Value::Rope(Rope::new()));
-    r.register("str_concat", |a| match (&a[0], &a[1]) {
+    r.register_direct("str_empty", |_| Value::Rope(Rope::new()));
+    r.register_direct("str_concat", |a| match (&a[0], &a[1]) {
         (Value::Rope(x), Value::Rope(y)) => Value::Rope(x.concat(y)),
         _ => Value::Unit,
     });
-    r.register("str_of", |a| Value::Rope(Rope::from(format!("{}", a[0]))));
+    r.register_direct("str_of", |a| Value::Rope(Rope::from(format!("{}", a[0]))));
     // Identity, useful for copy rules written as calls.
-    r.register("id", |a| a[0].clone());
+    r.register_direct("id", |a| a[0].clone());
     r
 }
 
@@ -117,6 +157,23 @@ mod tests {
         for name in ["st_create", "st_add", "st_lookup", "add", "mul"] {
             assert!(b.get(name).is_some(), "missing builtin {name}");
         }
+    }
+
+    /// Every builtin is capture-free, so every builtin is in the
+    /// direct-call table — and boxed registration stays out of it.
+    #[test]
+    fn builtins_are_all_direct() {
+        let mut b = builtins();
+        for name in b.names() {
+            assert!(b.get_direct(name).is_some(), "{name} not direct-callable");
+        }
+        let captured = Value::Int(7);
+        b.register("captures", move |_| captured.clone());
+        assert!(b.get("captures").is_some());
+        assert!(b.get_direct("captures").is_none());
+        // Re-registering a direct name as boxed evicts the direct entry.
+        b.register("id", |a| a[0].clone());
+        assert!(b.get_direct("id").is_none());
     }
 
     #[test]
