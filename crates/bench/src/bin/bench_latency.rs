@@ -1,0 +1,523 @@
+//! Latency benchmark for the open-arrival compilation service.
+//!
+//! `bench_throughput` measures *batches*: all trees known up front,
+//! nobody waiting. This binary measures the **service** question —
+//! when requests arrive on their own schedule, how long does each one
+//! wait from enqueue to assembled output, and how much does the
+//! dispatch policy change the tail?
+//!
+//! A seeded request stream ([`paragram_bench::stream`]) mixes size
+//! classes — mostly procedure-sized requests, a few compilation units,
+//! the paper program, and a bigger-than-paper huge unit as the skew
+//! contaminant — with exponential (Poisson) interarrivals. The same
+//! stream is replayed against:
+//!
+//! * **wall**: a real [`ServiceQueue`] over the worker pool, arrivals
+//!   paced to ≈0.9 utilization (estimated from a short calibration),
+//!   bounded waiting room (`--capacity`), per-request timestamps from
+//!   [`paragram_driver::RequestTimes`]. Wall numbers are informational
+//!   on a loaded host — the policy *ranking* is not taken from them.
+//! * **sim**: the deterministic 4-machine network simulator
+//!   (`run_sim_service`), same arrival schedule compressed to virtual
+//!   µs so the waiting room actually fills. This is where the policy
+//!   comparison is reproducible bit-for-bit on a 1-core box — and it
+//!   runs *the same `PolicyQueue` code* the wall service dispatches
+//!   with.
+//!
+//! Each of FIFO, shortest-job-first (keyed by `EvalPlan::tree_work`)
+//! and per-tenant deficit fair queueing runs both sections; the JSON
+//! reports p50/p95/p99 latency per size class plus trees/sec and shed
+//! counts, and a `sim_ranking` object compares p99 on the dominant
+//! (`proc`) class. On a skewed stream a non-FIFO policy must improve
+//! that tail — `--smoke` re-reads the emitted JSON, validates the
+//! schema, and **fails (exit 1)** if SJF's sim p99 exceeds FIFO's.
+//!
+//! Writes `BENCH_latency.json` (override with `--out`; `--smoke`
+//! writes `target/BENCH_latency.smoke.json` unless `--out` is given).
+//!
+//! Usage: `cargo run --release --bin bench_latency --
+//! [--smoke] [--workers N] [--depth N] [--capacity N] [--requests N]
+//! [--seed N] [--out PATH] [--label TEXT]`
+
+use paragram_bench::percentile;
+use paragram_bench::stream::{generate_stream, RequestSpec, SizeClass, StreamConfig};
+use paragram_core::parallel::policy::DispatchPolicy;
+use paragram_core::parallel::sim::{run_sim_service, SimConfig, SimRequest};
+use paragram_core::split::RegionGranularity;
+use paragram_core::tree::ParseTree;
+use paragram_driver::{
+    Admission, BatchDriver, CompilationPlan, DriverConfig, ServiceConfig, ServiceQueue,
+};
+use paragram_pascal::generator::generate;
+use paragram_pascal::{Compiler, PVal};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    workers: usize,
+    depth: usize,
+    capacity: usize,
+    requests: usize,
+    seed: u64,
+    out: String,
+    label: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        workers: 4,
+        depth: 2,
+        capacity: 32,
+        requests: 0, // resolved after --smoke is known
+        seed: 2026,
+        out: String::new(),
+        label: "current".to_string(),
+    };
+    let mut requests: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let int = |name: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} takes an integer");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--workers" => args.workers = int("--workers", val("--workers")).max(1),
+            "--depth" => args.depth = int("--depth", val("--depth")).max(1),
+            "--capacity" => args.capacity = int("--capacity", val("--capacity")).max(1),
+            "--requests" => requests = Some(int("--requests", val("--requests")).max(1)),
+            "--seed" => args.seed = int("--seed", val("--seed")) as u64,
+            "--out" => out = Some(val("--out")),
+            "--label" => args.label = val("--label"),
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?}\nusage: bench_latency [--smoke] [--workers N] [--depth N] [--capacity N] [--requests N] [--seed N] [--out PATH] [--label TEXT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args.requests = requests.unwrap_or(if args.smoke { 24 } else { 96 });
+    args.out = out.unwrap_or_else(|| {
+        if args.smoke {
+            "target/BENCH_latency.smoke.json".to_string()
+        } else {
+            "BENCH_latency.json".to_string()
+        }
+    });
+    args
+}
+
+const POLICIES: [DispatchPolicy; 3] = [
+    DispatchPolicy::Fifo,
+    DispatchPolicy::ShortestJobFirst,
+    DispatchPolicy::FairQueue { quantum: 0 }, // quantum resolved per stream
+];
+
+/// Trees for a stream, index-aligned with the requests. Big classes
+/// draw from small pre-parsed pools (parsing many distinct huge
+/// programs would dominate the benchmark's setup), small classes stay
+/// distinct per request.
+fn build_trees(compiler: &Compiler, stream: &[RequestSpec]) -> Vec<Arc<ParseTree<PVal>>> {
+    let pool_size = |class: SizeClass| match class {
+        SizeClass::Proc => 32u64,
+        SizeClass::Unit => 16,
+        SizeClass::Paper => 2,
+        SizeClass::Huge => 1,
+    };
+    let mut pools: HashMap<(SizeClass, u64), Arc<ParseTree<PVal>>> = HashMap::new();
+    stream
+        .iter()
+        .map(|req| {
+            let key = (req.class, req.seed % pool_size(req.class));
+            Arc::clone(pools.entry(key).or_insert_with(|| {
+                let src = generate(&req.class.gen_config(1 + key.1));
+                compiler
+                    .tree_from_source(&src)
+                    .expect("generated workload parses")
+            }))
+        })
+        .collect()
+}
+
+struct SectionResult {
+    /// Latency µs per request (None = shed), index-aligned with the
+    /// stream.
+    latencies: Vec<Option<u64>>,
+    shed: usize,
+    trees_per_sec: f64,
+}
+
+/// Replays the stream against the real service queue, pacing arrivals
+/// by `ns_per_tick` and pumping between them.
+fn run_wall(
+    plan: &CompilationPlan<PVal>,
+    trees: &[Arc<ParseTree<PVal>>],
+    stream: &[RequestSpec],
+    policy: DispatchPolicy,
+    capacity: usize,
+    ns_per_tick: f64,
+) -> SectionResult {
+    let mut q = ServiceQueue::new(plan, ServiceConfig { policy, capacity });
+    let mut ids: Vec<Option<u64>> = vec![None; stream.len()];
+    let start = Instant::now();
+    for (i, req) in stream.iter().enumerate() {
+        let due = start + Duration::from_nanos((req.arrival as f64 * ns_per_tick) as u64);
+        loop {
+            q.pump().expect("evaluation succeeds");
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            std::thread::sleep((due - now).min(Duration::from_micros(500)));
+        }
+        if let Admission::Admitted { id } = q.offer(&trees[i], req.tenant) {
+            ids[i] = Some(id);
+        }
+    }
+    q.drain().expect("evaluation succeeds");
+    let elapsed = start.elapsed();
+    let stats = q.stats();
+    let latencies = ids
+        .iter()
+        .map(|id| {
+            id.map(|id| {
+                let t = q.times(id).expect("admitted request has times");
+                t.latency().expect("drained request assembled").as_micros() as u64
+            })
+        })
+        .collect();
+    SectionResult {
+        latencies,
+        shed: stats.shed,
+        trees_per_sec: stats.completed as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Replays the stream on the simulated machine park (deterministic;
+/// ticks become virtual µs, which floods the waiting room and makes
+/// the policy differences visible and reproducible).
+fn run_sim(
+    trees: &[Arc<ParseTree<PVal>>],
+    stream: &[RequestSpec],
+    plans: &Arc<paragram_core::analysis::Plans>,
+    machines: usize,
+    depth: usize,
+    policy: DispatchPolicy,
+    capacity: usize,
+) -> SectionResult {
+    let requests: Vec<SimRequest> = stream
+        .iter()
+        .map(|r| SimRequest {
+            arrival_us: r.arrival,
+            tenant: r.tenant,
+        })
+        .collect();
+    let report = run_sim_service(
+        trees,
+        &requests,
+        Some(plans),
+        &SimConfig::paper(machines),
+        depth,
+        RegionGranularity::Machines(machines),
+        policy,
+        capacity,
+    );
+    let completed = stream.len() - report.shed_count();
+    SectionResult {
+        latencies: (0..stream.len()).map(|i| report.latency(i)).collect(),
+        shed: report.shed_count(),
+        trees_per_sec: completed as f64 / (report.makespan as f64 / 1e6),
+    }
+}
+
+/// Emits one section's per-class percentiles.
+fn push_section(out: &mut String, indent: &str, r: &SectionResult, stream: &[RequestSpec]) {
+    out.push_str(&format!("{indent}\"shed\": {},\n", r.shed));
+    out.push_str(&format!(
+        "{indent}\"trees_per_sec\": {:.2},\n",
+        r.trees_per_sec
+    ));
+    out.push_str(&format!("{indent}\"per_class\": {{\n"));
+    let classes = [
+        SizeClass::Proc,
+        SizeClass::Unit,
+        SizeClass::Paper,
+        SizeClass::Huge,
+    ];
+    let present: Vec<SizeClass> = classes
+        .into_iter()
+        .filter(|c| stream.iter().any(|s| s.class == *c))
+        .collect();
+    for (ci, class) in present.iter().enumerate() {
+        let sample: Vec<u64> = stream
+            .iter()
+            .zip(&r.latencies)
+            .filter(|(s, _)| s.class == *class)
+            .filter_map(|(_, l)| *l)
+            .collect();
+        let comma = if ci + 1 == present.len() { "" } else { "," };
+        out.push_str(&format!(
+            "{indent}  \"{}\": {{ \"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {} }}{comma}\n",
+            class.name(),
+            sample.len(),
+            percentile(&sample, 50),
+            percentile(&sample, 95),
+            percentile(&sample, 99),
+        ));
+    }
+    out.push_str(&format!("{indent}}}\n"));
+}
+
+/// p99 of one class's completed latencies in a section.
+fn class_p99(r: &SectionResult, stream: &[RequestSpec], class: SizeClass) -> u64 {
+    let sample: Vec<u64> = stream
+        .iter()
+        .zip(&r.latencies)
+        .filter(|(s, _)| s.class == class)
+        .filter_map(|(_, l)| *l)
+        .collect();
+    percentile(&sample, 99)
+}
+
+/// Extracts `"key": <int>` from a JSON string by scanning (the smoke
+/// validator's minimal parser — the schema is our own).
+fn scan_int(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `--smoke` gate: re-read the emitted JSON, check the schema keys,
+/// and enforce the policy ranking on the deterministic sim stream.
+fn validate(path: &str) {
+    let json = std::fs::read_to_string(path).expect("re-read emitted JSON");
+    for key in [
+        "\"label\"",
+        "\"policies\"",
+        "\"fifo\"",
+        "\"sjf\"",
+        "\"fair\"",
+        "\"wall\"",
+        "\"sim\"",
+        "\"per_class\"",
+        "\"p50_us\"",
+        "\"p95_us\"",
+        "\"p99_us\"",
+        "\"trees_per_sec\"",
+        "\"shed\"",
+        "\"sim_ranking\"",
+        "\"sim_admission\"",
+    ] {
+        assert!(json.contains(key), "schema: missing {key} in {path}");
+    }
+    let fifo = scan_int(&json, "fifo_p99_us").expect("sim_ranking.fifo_p99_us");
+    let sjf = scan_int(&json, "sjf_p99_us").expect("sim_ranking.sjf_p99_us");
+    println!("smoke gate: sim proc p99 fifo={fifo}µs sjf={sjf}µs");
+    if sjf > fifo {
+        eprintln!(
+            "FAIL: shortest-job-first p99 ({sjf}µs) exceeds FIFO p99 ({fifo}µs) on the skewed sim stream"
+        );
+        std::process::exit(1);
+    }
+    println!("smoke gate passed: SJF p99 <= FIFO p99 on the dominant class");
+}
+
+fn main() {
+    let args = parse_args();
+    let compiler = Compiler::new();
+
+    // The stream: skewed small-dominated mix; smoke substitutes the
+    // paper program for the huge unit to stay seconds-scale (the skew
+    // survives — paper is still ~100× a proc request).
+    let mut stream_cfg = StreamConfig::skewed(args.requests, args.seed);
+    if args.smoke {
+        stream_cfg = stream_cfg.capped(SizeClass::Paper);
+    }
+    let stream = generate_stream(&stream_cfg);
+    // The whole point is a *skewed* stream: without at least one
+    // big-class contaminant the policy comparison is vacuous.
+    assert!(
+        stream
+            .iter()
+            .any(|s| matches!(s.class, SizeClass::Paper | SizeClass::Huge)),
+        "stream drew no big-class request — pick another --seed or more --requests"
+    );
+    let trees = build_trees(&compiler, &stream);
+    let nodes: usize = trees.iter().map(|t| t.len()).sum();
+    println!(
+        "stream: {} requests, {} total nodes, classes {:?}",
+        stream.len(),
+        nodes,
+        {
+            let mut counts = HashMap::new();
+            for s in &stream {
+                *counts.entry(s.class.name()).or_insert(0usize) += 1;
+            }
+            let mut v: Vec<_> = counts.into_iter().collect();
+            v.sort();
+            v
+        }
+    );
+
+    let plan_shared = compiler.evals.plan();
+    let driver_cfg = DriverConfig::workers(args.workers).with_pipeline_depth(args.depth);
+    let plan = CompilationPlan::from_plan(plan_shared, driver_cfg);
+    let plans = compiler.evals.plans().expect("pascal grammar is l-ordered");
+
+    // Fair-queueing quantum: the median request's work estimate.
+    let works: Vec<u64> = trees.iter().map(|t| plan_shared.tree_work(t)).collect();
+    let quantum = {
+        let mut w = works.clone();
+        w.sort_unstable();
+        w[w.len() / 2].max(1)
+    };
+
+    // Pace wall arrivals to ≈0.9 utilization: estimate per-tree wall
+    // cost from a short calibration (ns per work unit on this box).
+    let ns_per_tick = {
+        let mut driver = BatchDriver::new(&CompilationPlan::from_plan(plan_shared, driver_cfg));
+        let probe: Vec<_> = trees.iter().take(8).cloned().collect();
+        driver.compile_batch(probe.clone()).expect("calibration");
+        let t = Instant::now();
+        driver.compile_batch(probe.clone()).expect("calibration");
+        let probe_work: u64 = probe.iter().map(|t| plan_shared.tree_work(t)).sum();
+        let ns_per_work = t.elapsed().as_nanos() as f64 / probe_work as f64;
+        let total_ns = works.iter().sum::<u64>() as f64 * ns_per_work;
+        let span_ticks = stream.last().expect("non-empty stream").arrival.max(1);
+        (total_ns / 0.9) / span_ticks as f64
+    };
+    println!("wall pacing: {ns_per_tick:.0} ns/tick (≈0.9 utilization target)");
+
+    let resolve = |p: DispatchPolicy| match p {
+        DispatchPolicy::FairQueue { .. } => DispatchPolicy::FairQueue { quantum },
+        other => other,
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": {:?},\n", args.label));
+    out.push_str(&format!("  \"workers\": {},\n", args.workers));
+    out.push_str(&format!("  \"pipeline_depth\": {},\n", args.depth));
+    out.push_str(&format!("  \"capacity\": {},\n", args.capacity));
+    out.push_str(&format!("  \"requests\": {},\n", stream.len()));
+    out.push_str(&format!("  \"fair_quantum_work\": {quantum},\n"));
+    out.push_str("  \"policies\": {\n");
+
+    let mut sim_results: Vec<(DispatchPolicy, SectionResult)> = Vec::new();
+    for (pi, &policy) in POLICIES.iter().enumerate() {
+        let policy = resolve(policy);
+        let name = policy.name();
+        println!("policy {name}: wall section");
+        let wall = run_wall(&plan, &trees, &stream, policy, args.capacity, ns_per_tick);
+        println!(
+            "  wall: {:.1} trees/sec, {} shed, proc p99 {}µs",
+            wall.trees_per_sec,
+            wall.shed,
+            class_p99(&wall, &stream, SizeClass::Proc)
+        );
+        println!("policy {name}: sim section (4-machine park)");
+        // The ranking runs unbounded so every policy serves the same
+        // request set; deterministic shed accounting is measured
+        // separately below.
+        let sim = run_sim(&trees, &stream, plans, 4, args.depth, policy, stream.len());
+        println!(
+            "  sim: {:.1} trees/sec, proc p99 {}µs",
+            sim.trees_per_sec,
+            class_p99(&sim, &stream, SizeClass::Proc)
+        );
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        out.push_str("      \"wall\": {\n");
+        push_section(&mut out, "        ", &wall, &stream);
+        out.push_str("      },\n");
+        out.push_str("      \"sim\": {\n");
+        push_section(&mut out, "        ", &sim, &stream);
+        out.push_str("      }\n");
+        out.push_str(if pi + 1 == POLICIES.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+        sim_results.push((policy, sim));
+    }
+    out.push_str("  },\n");
+
+    // Deterministic shed accounting: the same sim stream against the
+    // bounded waiting room (FIFO; admission is policy-independent at a
+    // given queue length, but drain order changes how fast it empties).
+    let bounded = run_sim(
+        &trees,
+        &stream,
+        plans,
+        4,
+        args.depth,
+        DispatchPolicy::Fifo,
+        args.capacity.min(8),
+    );
+    out.push_str("  \"sim_admission\": {\n");
+    out.push_str(&format!("    \"capacity\": {},\n", args.capacity.min(8)));
+    out.push_str(&format!("    \"offered\": {},\n", stream.len()));
+    out.push_str(&format!("    \"shed\": {}\n", bounded.shed));
+    out.push_str("  },\n");
+    println!(
+        "sim admission (capacity {}): {} of {} shed",
+        args.capacity.min(8),
+        bounded.shed,
+        stream.len()
+    );
+
+    // The ranking object the smoke gate reads: p99 on the dominant
+    // small class, per policy, on the deterministic sim.
+    let p99 = |name: &str| {
+        sim_results
+            .iter()
+            .find(|(p, _)| p.name() == name)
+            .map(|(_, r)| class_p99(r, &stream, SizeClass::Proc))
+            .expect("policy ran")
+    };
+    let (f, s, q) = (p99("fifo"), p99("sjf"), p99("fair"));
+    let winner = if s <= f.min(q) {
+        "sjf"
+    } else if q <= f {
+        "fair"
+    } else {
+        "fifo"
+    };
+    out.push_str("  \"sim_ranking\": {\n");
+    out.push_str("    \"class\": \"proc\",\n");
+    out.push_str(&format!("    \"fifo_p99_us\": {f},\n"));
+    out.push_str(&format!("    \"sjf_p99_us\": {s},\n"));
+    out.push_str(&format!("    \"fair_p99_us\": {q},\n"));
+    out.push_str(&format!("    \"winner\": \"{winner}\"\n"));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    println!("sim ranking (proc p99): fifo {f}µs, sjf {s}µs, fair {q}µs — winner {winner}");
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, &out).expect("write output");
+    println!("wrote {}", args.out);
+
+    if args.smoke {
+        validate(&args.out);
+    }
+}

@@ -1,6 +1,8 @@
 //! Shared harness code for the figure/table binaries and Criterion
-//! benches: the paper workload, simulator configurations, and small
-//! formatting helpers.
+//! benches: the paper workload, simulator configurations, request
+//! streams ([`stream`]) and small formatting helpers.
+
+pub mod stream;
 
 use paragram_core::analysis::Plans;
 use paragram_core::eval::{EvalPlan, MachineMode};
@@ -100,6 +102,18 @@ pub fn pascal_sim_config(
 pub fn simulate(w: &Workload, machines: usize, mode: MachineMode) -> SimReport<PVal> {
     let cfg = pascal_sim_config(machines, mode, ResultPropagation::Librarian);
     run_sim(&w.tree, Some(&w.plans), &cfg)
+}
+
+/// Nearest-rank percentile (`p` in 1..=100) of an unsorted sample.
+/// Returns 0 for an empty sample.
+pub fn percentile(samples: &[u64], p: usize) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p * sorted.len()).div_ceil(100).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Formats a µs time as seconds with 2 decimals.

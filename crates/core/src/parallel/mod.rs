@@ -16,7 +16,12 @@
 //! * [`threads`] — the same protocol as a one-shot, depth-1 convenience
 //!   wrapper over [`pool`], demonstrating genuine parallel speedup on
 //!   host cores for a single tree.
+//! * [`policy`] — dispatch policies (FIFO / shortest-job-first /
+//!   deficit fair queueing) for service front ends over [`pool`],
+//!   shared with the simulator so sim policy rankings are computed by
+//!   the same code the real queue runs.
 
+pub mod policy;
 pub mod pool;
 pub mod sim;
 pub mod threads;

@@ -190,6 +190,20 @@ impl PoolConfig {
             ..self
         }
     }
+
+    /// The effective configuration: zero worker or window counts are
+    /// meaningless, so both clamp to 1. [`WorkerPool::new`] normalizes
+    /// at construction, which keeps accessors like
+    /// [`WorkerPool::pipeline_depth`] truthful even for a literal
+    /// `PoolConfig { pipeline_depth: 0, .. }` that bypassed
+    /// [`PoolConfig::with_pipeline_depth`].
+    pub fn normalized(self) -> Self {
+        PoolConfig {
+            workers: self.workers.max(1),
+            pipeline_depth: self.pipeline_depth.max(1),
+            ..self
+        }
+    }
 }
 
 /// The librarian's split-phase bookkeeping: one [`SegmentStore`] per
@@ -365,8 +379,9 @@ impl<V: AttrValue> WorkerPool<V> {
     /// Spawns the pool: `config.workers` evaluator threads plus the
     /// librarian, all persistent until the pool is dropped.
     pub fn new(plan: &Arc<EvalPlan<V>>, config: PoolConfig) -> Self {
-        let workers = config.workers.max(1);
-        let depth = config.pipeline_depth.max(1);
+        let config = config.normalized();
+        let workers = config.workers;
+        let depth = config.pipeline_depth;
         let split = SplitTable::new(plan.grammar().as_ref(), config.min_size_scale);
 
         let mut worker_txs = Vec::with_capacity(workers);
@@ -388,11 +403,7 @@ impl<V: AttrValue> WorkerPool<V> {
                 peers: worker_txs.clone(),
                 parser_tx: parser_tx.clone(),
                 lib_tx: lib_tx.clone(),
-                config: PoolConfig {
-                    workers,
-                    pipeline_depth: depth,
-                    ..config
-                },
+                config,
             };
             handles.push(std::thread::spawn(move || worker_main(ctx)));
         }
@@ -414,11 +425,7 @@ impl<V: AttrValue> WorkerPool<V> {
 
         WorkerPool {
             plan: Arc::clone(plan),
-            config: PoolConfig {
-                workers,
-                pipeline_depth: depth,
-                ..config
-            },
+            config,
             split,
             worker_txs,
             parser_rx,
@@ -457,7 +464,12 @@ impl<V: AttrValue> WorkerPool<V> {
     }
 
     /// The largest number of trees that were ever simultaneously in
-    /// flight on this pool.
+    /// flight on this pool (since construction or the last
+    /// [`WorkerPool::reset_high_water`]). Tracked by the pool itself at
+    /// every dispatch — the in-flight count only rises when a job
+    /// dispatches and only falls when the front retires, so the
+    /// dispatch-time samples are the exact maxima, no matter how rarely
+    /// a driver polls.
     pub fn max_in_flight(&self) -> usize {
         self.max_in_flight
     }
@@ -469,9 +481,19 @@ impl<V: AttrValue> WorkerPool<V> {
     }
 
     /// The largest number of region jobs ever simultaneously in flight
-    /// (observed at submit time).
+    /// (since construction or the last
+    /// [`WorkerPool::reset_high_water`]); the region-granular
+    /// counterpart of [`WorkerPool::max_in_flight`].
     pub fn max_regions_in_flight(&self) -> usize {
         self.max_regions_in_flight
+    }
+
+    /// Restarts high-water tracking from the current occupancy, so a
+    /// driver can report per-batch maxima from a long-lived pool
+    /// instead of all-time ones.
+    pub fn reset_high_water(&mut self) {
+        self.max_in_flight = self.in_flight.len();
+        self.max_regions_in_flight = self.regions_in_flight();
     }
 
     /// The shared plan this pool evaluates against.
@@ -555,11 +577,11 @@ impl<V: AttrValue> WorkerPool<V> {
     /// Returns the first [`EvalError`] raised by any machine; the pool
     /// is poisoned afterwards.
     pub fn collect(&mut self) -> Result<Option<PoolReport<V>>, EvalError> {
-        if let Some(r) = self.ready.pop_front() {
-            return Ok(Some(r));
-        }
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
+        }
+        if let Some(r) = self.ready.pop_front() {
+            return Ok(Some(r));
         }
         if self.in_flight.is_empty() {
             return Ok(None);
@@ -568,9 +590,41 @@ impl<V: AttrValue> WorkerPool<V> {
     }
 
     /// Pops a report that already finished (retired as submit-time
-    /// backpressure) without blocking on in-flight trees.
+    /// backpressure or by [`WorkerPool::poll`]) without blocking on
+    /// in-flight trees. Unlike [`WorkerPool::collect`] this keeps
+    /// working on a poisoned pool: reports retired *before* the failure
+    /// are completed work and stay claimable.
     pub fn take_ready(&mut self) -> Option<PoolReport<V>> {
         self.ready.pop_front()
+    }
+
+    /// Drains worker completions without blocking: routes every queued
+    /// message, retires every in-flight tree whose regions have all
+    /// reported (front-first, preserving submission order) into the
+    /// ready buffer, and returns how many reports became ready. A
+    /// service loop calls this between arrivals to harvest finished
+    /// requests while keeping the window topped up via
+    /// [`WorkerPool::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EvalError`] raised by any machine; the pool
+    /// is poisoned afterwards, but reports already retired remain
+    /// available through [`WorkerPool::take_ready`].
+    pub fn poll(&mut self) -> Result<usize, EvalError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        while let Ok(msg) = self.parser_rx.try_recv() {
+            self.route(msg)?;
+        }
+        let mut newly = 0;
+        while self.front_complete() {
+            let report = self.assemble_front();
+            self.ready.push_back(report);
+            newly += 1;
+        }
+        Ok(newly)
     }
 
     /// Evaluates one tree on the pool, start to finish (the one-shot
@@ -602,39 +656,57 @@ impl<V: AttrValue> WorkerPool<V> {
         (ticket - front) as usize
     }
 
-    /// Parser role for the oldest in-flight tree: drain worker messages
-    /// (routing them to whichever ticket they belong to) until its
-    /// regions all report, then perform the librarian's deferred
-    /// resolution and assemble the report.
-    fn retire_front(&mut self) -> Result<PoolReport<V>, EvalError> {
-        while self.in_flight[0].done < self.in_flight[0].regions {
-            match self.parser_rx.recv().expect("workers alive") {
-                ParserMsg::Root {
-                    ticket,
-                    attr,
-                    value,
-                } => {
-                    let i = self.entry_index(ticket);
-                    self.in_flight[i].raw_roots.push((attr, value));
-                }
-                ParserMsg::Done {
-                    ticket,
-                    region,
-                    result,
-                } => {
-                    let i = self.entry_index(ticket);
-                    let entry = &mut self.in_flight[i];
-                    entry.done += 1;
-                    match result {
-                        Ok(r) => entry.region_results[region as usize] = Some(r),
-                        Err(e) => {
-                            self.poison(e.clone());
-                            return Err(e);
-                        }
+    /// Routes one worker message to whichever in-flight ticket it
+    /// belongs to; a region failure poisons the pool.
+    fn route(&mut self, msg: ParserMsg<V>) -> Result<(), EvalError> {
+        match msg {
+            ParserMsg::Root {
+                ticket,
+                attr,
+                value,
+            } => {
+                let i = self.entry_index(ticket);
+                self.in_flight[i].raw_roots.push((attr, value));
+            }
+            ParserMsg::Done {
+                ticket,
+                region,
+                result,
+            } => {
+                let i = self.entry_index(ticket);
+                let entry = &mut self.in_flight[i];
+                entry.done += 1;
+                match result {
+                    Ok(r) => entry.region_results[region as usize] = Some(r),
+                    Err(e) => {
+                        self.poison(e.clone());
+                        return Err(e);
                     }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Whether the oldest in-flight tree has all its regions reported.
+    fn front_complete(&self) -> bool {
+        self.in_flight.front().is_some_and(|f| f.done == f.regions)
+    }
+
+    /// Parser role for the oldest in-flight tree: drain worker messages
+    /// until its regions all report, then perform the librarian's
+    /// deferred resolution and assemble the report.
+    fn retire_front(&mut self) -> Result<PoolReport<V>, EvalError> {
+        while !self.front_complete() {
+            let msg = self.parser_rx.recv().expect("workers alive");
+            self.route(msg)?;
+        }
+        Ok(self.assemble_front())
+    }
+
+    /// Retires the (complete) oldest in-flight tree: librarian
+    /// resolution, root inflation, sparse store assembly.
+    fn assemble_front(&mut self) -> PoolReport<V> {
         let fl = self.in_flight.pop_front().expect("checked non-empty");
         debug_assert_eq!(
             fl.raw_roots.len(),
@@ -672,7 +744,7 @@ impl<V: AttrValue> WorkerPool<V> {
         }
         store.inflate_all(&segments);
 
-        Ok(PoolReport {
+        PoolReport {
             ticket: fl.ticket,
             root_values,
             store,
@@ -680,15 +752,17 @@ impl<V: AttrValue> WorkerPool<V> {
             stats,
             elapsed,
             regions: fl.regions,
-        })
+        }
     }
 
     fn poison(&mut self, e: EvalError) {
         self.poisoned = Some(e);
         // Abandon everything in flight: workers will finish or park
-        // their jobs; a poisoned pool rejects further submissions.
+        // their jobs; a poisoned pool rejects further submissions. The
+        // ready buffer survives — those trees retired *before* the
+        // failure and their reports are completed work, claimable via
+        // `take_ready`.
         self.in_flight.clear();
-        self.ready.clear();
     }
 }
 
@@ -965,6 +1039,19 @@ fn drive<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, budget: usize) ->
             Ok(None) => {
                 if r.machine.is_done() {
                     return Drive::Finished(None);
+                }
+                // A machine with no ready task, unexecuted tasks left
+                // and *no awaited external instance* can never be fed
+                // again — only `provide` enqueues new ready work, and
+                // the awaited set is fixed at construction. That is a
+                // dependency cycle local to this region; surface it
+                // instead of starving the pool forever. (A cycle spread
+                // across regions still deadlocks: every machine then
+                // awaits a peer and no local check can see the loop.)
+                if r.machine.awaiting() == 0 {
+                    return Drive::Finished(Some(EvalError::Cycle {
+                        stuck: r.machine.pending(),
+                    }));
                 }
                 return Drive::Starved;
             }
@@ -1251,6 +1338,153 @@ mod tests {
                 assert_eq!(report.store.filled(), report.store.len());
             }
         }
+    }
+
+    #[test]
+    fn literal_zero_config_is_normalized_at_construction() {
+        let (tree, plan, out) = fixture(16);
+        // Bypass the builder helpers entirely: a literal config with
+        // meaningless zeros must still come out clamped, and the
+        // accessors must report the *effective* values.
+        let config = PoolConfig {
+            workers: 0,
+            pipeline_depth: 0,
+            ..PoolConfig::combined(2)
+        };
+        let mut pool = WorkerPool::new(&plan, config);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.pipeline_depth(), 1);
+        let report = pool.eval(&tree).unwrap();
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        let want = dstore
+            .get(tree.root(), out)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        assert!(root_rope(&report, out).content_eq(&want));
+    }
+
+    #[test]
+    fn high_water_marks_reset_between_batches() {
+        let (trees, plan, _) = fixture_trees(&[24, 24, 24]);
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2).with_pipeline_depth(2));
+        for tree in &trees {
+            pool.submit(tree).unwrap();
+        }
+        while pool.collect().unwrap().is_some() {}
+        assert_eq!(pool.max_in_flight(), 2);
+        pool.reset_high_water();
+        assert_eq!(pool.max_in_flight(), 0);
+        assert_eq!(pool.max_regions_in_flight(), 0);
+        pool.eval(&trees[0]).unwrap();
+        assert_eq!(pool.max_in_flight(), 1);
+    }
+
+    #[test]
+    fn poll_drains_completions_without_blocking() {
+        let sizes = [40usize, 9, 24];
+        let (trees, plan, out) = fixture_trees(&sizes);
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2).with_pipeline_depth(4));
+        for tree in &trees {
+            pool.submit(tree).unwrap();
+        }
+        // poll never blocks: spin it until every report surfaces.
+        let mut got = Vec::new();
+        while got.len() < trees.len() {
+            pool.poll().unwrap();
+            while let Some(r) = pool.take_ready() {
+                got.push(r);
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.poll().unwrap(), 0, "nothing left to retire");
+        for (i, (tree, report)) in trees.iter().zip(&got).enumerate() {
+            assert_eq!(report.ticket, i as Ticket, "submission order");
+            let (dstore, _) = dynamic_eval(tree).unwrap();
+            let want = dstore
+                .get(tree.root(), out)
+                .and_then(|v| v.as_rope().cloned())
+                .unwrap();
+            assert!(root_rope(report, out).content_eq(&want), "tree {i}");
+        }
+    }
+
+    /// One grammar, two wirings of S→T: `ok` feeds the subtree a
+    /// constant, `knot` feeds it its own output — an instance cycle
+    /// local to the (single-region) tree.
+    #[allow(clippy::type_complexity)]
+    fn cyclic_fixture() -> (
+        Vec<Arc<ParseTree<i64>>>,
+        Arc<ParseTree<i64>>,
+        Arc<EvalPlan<i64>>,
+        AttrId,
+    ) {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let t = g.nonterminal("T");
+        let out = g.synthesized(s, "out");
+        let i = g.inherited(t, "i");
+        let o = g.synthesized(t, "o");
+        let ok = g.production("ok", s, [t]);
+        g.rule(ok, (1, i), [], |_| 1);
+        g.rule(ok, (0, out), [(1, o)], |a| a[0] + 100);
+        let knot = g.production("knot", s, [t]);
+        g.rule(knot, (1, i), [(1, o)], |a| a[0]);
+        g.rule(knot, (0, out), [(1, o)], |a| a[0]);
+        let body = g.production("body", t, []);
+        g.rule(body, (0, o), [(0, i)], |a| a[0]);
+        let gr = Arc::new(g.build(s).unwrap());
+        let plan = Arc::new(EvalPlan::analyze(&gr));
+        let mk = |prod| {
+            let mut tb = TreeBuilder::new(&gr);
+            let b = tb.leaf(body);
+            let root = tb.node(prod, [b]);
+            Arc::new(tb.finish(root).unwrap())
+        };
+        let good = (0..3).map(|_| mk(ok)).collect();
+        (good, mk(knot), plan, out)
+    }
+
+    #[test]
+    fn poisoned_pool_keeps_pre_failure_reports_claimable() {
+        let (good, bad, plan, out) = cyclic_fixture();
+        // The cyclic grammar is not statically ordered; the pool runs
+        // it in dynamic mode.
+        assert!(plan.plans().is_none());
+        let config = PoolConfig {
+            mode: MachineMode::Dynamic,
+            result: ResultPropagation::Naive,
+            ..PoolConfig::combined(2).with_pipeline_depth(1)
+        };
+        let mut pool = WorkerPool::new(&plan, config);
+        // Depth 1: each submit retires its predecessor into `ready`, so
+        // by the time the cyclic tree fails, three good reports sit in
+        // the buffer.
+        for tree in &good {
+            pool.submit(tree).unwrap();
+        }
+        pool.submit(&bad).unwrap();
+        let err = pool
+            .submit(&good[0])
+            .expect_err("backpressure retires the cyclic tree");
+        assert!(matches!(err, EvalError::Cycle { .. }), "got {err:?}");
+        // Poisoned: submit and collect keep returning the same error...
+        assert_eq!(pool.submit(&good[0]).unwrap_err(), err);
+        assert_eq!(pool.collect().map(|_| ()).unwrap_err(), err);
+        assert_eq!(pool.poll().unwrap_err(), err);
+        // ...but reports retired before the failure are completed work.
+        let mut drained = 0;
+        while let Some(r) = pool.take_ready() {
+            assert_eq!(r.ticket, drained as Ticket);
+            assert_eq!(r.root_values, vec![(out, 101i64)]);
+            drained += 1;
+        }
+        assert_eq!(drained, good.len());
+        assert_eq!(
+            pool.collect().map(|_| ()).unwrap_err(),
+            err,
+            "error outlives the drain"
+        );
     }
 
     #[test]

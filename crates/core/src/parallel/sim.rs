@@ -23,6 +23,7 @@
 use crate::analysis::Plans;
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::{AttrId, AttrKind};
+use crate::parallel::policy::{DispatchPolicy, PolicyQueue, QueuedJob};
 use crate::parallel::pool::SegmentLedger;
 use crate::split::{
     decompose, decompose_granular, Decomposition, RegionGranularity, RegionId, SplitConfig,
@@ -33,7 +34,7 @@ use crate::tree::{Child, NodeId, ParseTree};
 use crate::value::AttrValue;
 use paragram_netsim::{secs, Ctx, NetModel, ProcId, Process, Sim, Time, Trace};
 use paragram_rope::{Rope, SegmentId, SegmentStore};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -598,6 +599,12 @@ enum BatchMsg<V> {
     Resolved {
         ticket: usize,
     },
+    /// Open-arrival service only: a [`Ctx::wake_at`] alarm telling the
+    /// parser that request `ticket` just arrived. Evaluators and the
+    /// librarian never see it.
+    Arrive {
+        ticket: usize,
+    },
 }
 
 struct BatchShared<V: AttrValue> {
@@ -654,22 +661,29 @@ struct BatchParserProc<V: AttrValue> {
     finished: usize,
 }
 
+/// Ships one ticket's region subtrees to their evaluator machines (the
+/// parser role's dispatch step, shared by the batch and service
+/// parsers).
+fn ship_regions<V: AttrValue>(sh: &BatchShared<V>, ctx: &mut Ctx<BatchMsg<V>>, ticket: usize) {
+    ctx.phase("ship subtrees");
+    let decomp = &sh.decomps[ticket];
+    for r in 0..decomp.len() as RegionId {
+        let info = &decomp.regions[r as usize];
+        ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
+        let bytes = region_wire_size(&sh.trees[ticket], decomp, r);
+        ctx.send(
+            sh.proc_of_region(ticket, r),
+            BatchMsg::Subtree { ticket, region: r },
+            bytes,
+            "subtree",
+        );
+    }
+}
+
 impl<V: AttrValue> BatchParserProc<V> {
     fn ship(&mut self, ctx: &mut Ctx<BatchMsg<V>>, ticket: usize) {
         let sh = Arc::clone(&self.shared);
-        ctx.phase("ship subtrees");
-        let decomp = &sh.decomps[ticket];
-        for r in 0..decomp.len() as RegionId {
-            let info = &decomp.regions[r as usize];
-            ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
-            let bytes = region_wire_size(&sh.trees[ticket], decomp, r);
-            ctx.send(
-                sh.proc_of_region(ticket, r),
-                BatchMsg::Subtree { ticket, region: r },
-                bytes,
-                "subtree",
-            );
-        }
+        ship_regions(&sh, ctx, ticket);
     }
 
     /// Resolves (or directly finishes, in naive mode) every ticket
@@ -1172,6 +1186,409 @@ pub fn run_sim_batch_with<V: AttrValue>(
     }
 }
 
+// ---------------------------------------------------------------------
+// Service simulation: an *open arrival* request stream against the same
+// machine park, with bounded admission and a pluggable dispatch policy.
+// Deterministic — this is how scheduling policies are ranked before a
+// wall-clock run confirms.
+// ---------------------------------------------------------------------
+
+/// One request of an open-arrival service stream: tree `i` of the
+/// accompanying slice arrives at `arrival_us`, billed to `tenant`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimRequest {
+    /// Absolute virtual arrival time, µs.
+    pub arrival_us: Time,
+    /// Tenant the request bills to (fair queueing only).
+    pub tenant: u32,
+}
+
+/// Result of one simulated service run. All per-request vectors are
+/// indexed like the request slice; `None` marks a shed request.
+pub struct ServiceSimReport<V> {
+    /// Final virtual time (last completion or shed decision).
+    pub makespan: Time,
+    /// Arrival times, echoed from the request stream.
+    pub arrivals: Vec<Time>,
+    /// When the parser admitted each request into the waiting queue.
+    pub admitted: Vec<Option<Time>>,
+    /// When each request's first region job was shipped.
+    pub dispatched: Vec<Option<Time>>,
+    /// When each request's root attributes were resolved.
+    pub finished: Vec<Option<Time>>,
+    /// Which requests were shed by admission control.
+    pub shed: Vec<bool>,
+    /// Regions each tree decomposed into.
+    pub regions: Vec<usize>,
+    /// Aggregated statistics over every evaluated request.
+    pub stats: EvalStats,
+    /// Per-evaluator statistics.
+    pub per_machine: Vec<EvalStats>,
+    /// The activity/message trace.
+    pub trace: Trace,
+    /// Process names aligned with the trace.
+    pub names: Vec<String>,
+    /// Per-request root values (empty for shed requests).
+    pub root_values: Vec<Vec<(AttrId, V)>>,
+}
+
+impl<V> ServiceSimReport<V> {
+    /// End-to-end latency (arrival → roots resolved) of request `i`,
+    /// `None` if it was shed.
+    pub fn latency(&self, i: usize) -> Option<Time> {
+        self.finished[i].map(|f| f - self.arrivals[i])
+    }
+
+    /// All end-to-end latencies, request order.
+    pub fn latencies(&self) -> Vec<Option<Time>> {
+        (0..self.arrivals.len()).map(|i| self.latency(i)).collect()
+    }
+
+    /// Number of requests shed by admission control.
+    pub fn shed_count(&self) -> usize {
+        self.shed.iter().filter(|&&s| s).count()
+    }
+}
+
+/// Per-request service timestamps, filled in by the parser process and
+/// read back by [`run_sim_service`] after the run.
+struct ServiceTimes {
+    admitted: Mutex<Vec<Option<Time>>>,
+    dispatched: Mutex<Vec<Option<Time>>>,
+    shed: Mutex<Vec<bool>>,
+}
+
+/// The parser role of the service: parses each request when it
+/// arrives, applies bounded admission against the waiting queue, and
+/// dispatches waiting requests into the pipeline window in the order
+/// the [`DispatchPolicy`] prescribes. Resolution stays strictly in
+/// *dispatch* order — the pool retires tickets FIFO by dispatch, so a
+/// policy reorders service by choosing what enters the window, not by
+/// reordering what is already inside.
+struct ServiceParserProc<V: AttrValue> {
+    shared: Arc<BatchShared<V>>,
+    times: Arc<ServiceTimes>,
+    requests: Vec<SimRequest>,
+    /// Per-request work estimates ([`EvalPlan::tree_work`]) — known at
+    /// admission, before any evaluation.
+    works: Vec<u64>,
+    /// Bounded waiting-room size: an arrival finding this many waiting
+    /// requests is shed.
+    capacity: usize,
+    queue: PolicyQueue,
+    /// Dispatched, unretired tickets in dispatch order.
+    resolve_order: VecDeque<usize>,
+    resolving: bool,
+    region_dones: Vec<usize>,
+    arrivals_seen: usize,
+    admitted_count: usize,
+    finished: usize,
+}
+
+impl<V: AttrValue> ServiceParserProc<V> {
+    /// Fills free window slots from the waiting queue, in policy order.
+    fn try_dispatch(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        while self.resolve_order.len() < sh.depth {
+            let Some(job) = self.queue.pop() else { break };
+            let ticket = job.seq as usize;
+            self.times.dispatched.lock().unwrap()[ticket] = Some(ctx.now());
+            ship_regions(&sh, ctx, ticket);
+            self.resolve_order.push_back(ticket);
+        }
+    }
+
+    /// Resolves dispatched tickets whose regions have all reported, in
+    /// dispatch order (the pool's FIFO retirement).
+    fn advance(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        while !self.resolving {
+            let Some(&ticket) = self.resolve_order.front() else {
+                return;
+            };
+            let complete = {
+                let roots = sh.root_values.lock().unwrap();
+                roots[ticket].len() == sh.expected_roots[ticket]
+                    && self.region_dones[ticket] == sh.decomps[ticket].len()
+            };
+            if !complete {
+                return;
+            }
+            match sh.result {
+                ResultPropagation::Librarian => {
+                    ctx.phase("result propagation");
+                    ctx.send(sh.librarian, BatchMsg::Resolve { ticket }, 64, "resolve");
+                    self.resolving = true;
+                }
+                ResultPropagation::Naive => self.finish_ticket(ctx, ticket),
+            }
+        }
+    }
+
+    fn finish_ticket(&mut self, ctx: &mut Ctx<BatchMsg<V>>, ticket: usize) {
+        let sh = Arc::clone(&self.shared);
+        sh.finish.lock().unwrap()[ticket] = ctx.now();
+        self.finished += 1;
+        debug_assert_eq!(self.resolve_order.front(), Some(&ticket));
+        self.resolve_order.pop_front();
+        self.resolving = false;
+        // Retirement freed a window slot.
+        self.try_dispatch(ctx);
+        self.maybe_stop(ctx);
+    }
+
+    fn maybe_stop(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        if self.arrivals_seen == self.requests.len() && self.finished == self.admitted_count {
+            ctx.stop();
+        }
+    }
+}
+
+impl<V: AttrValue> Process<BatchMsg<V>> for ServiceParserProc<V> {
+    fn on_start(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        // The whole arrival schedule becomes alarms; each request is
+        // parsed (and admission-checked) only when it arrives.
+        for (t, req) in self.requests.iter().enumerate() {
+            ctx.wake_at(req.arrival_us, BatchMsg::Arrive { ticket: t });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<BatchMsg<V>>, _from: ProcId, msg: BatchMsg<V>) {
+        let sh = Arc::clone(&self.shared);
+        match msg {
+            BatchMsg::Arrive { ticket } => {
+                self.arrivals_seen += 1;
+                // Front-end parse of the arriving source.
+                ctx.phase("parse");
+                ctx.spend(sh.trees[ticket].len() as Time * sh.cost.parse_node_us);
+                if self.queue.len() >= self.capacity {
+                    // Backpressure: bounded waiting room, arrival shed.
+                    self.times.shed.lock().unwrap()[ticket] = true;
+                    self.maybe_stop(ctx);
+                    return;
+                }
+                self.times.admitted.lock().unwrap()[ticket] = Some(ctx.now());
+                self.admitted_count += 1;
+                self.queue.push(QueuedJob {
+                    seq: ticket as u64,
+                    tenant: self.requests[ticket].tenant,
+                    work: self.works[ticket],
+                });
+                self.try_dispatch(ctx);
+                self.maybe_stop(ctx);
+            }
+            BatchMsg::Attr {
+                ticket,
+                attr,
+                value,
+                ..
+            } => {
+                ctx.phase("result propagation");
+                sh.root_values.lock().unwrap()[ticket].push((attr, value));
+                self.advance(ctx);
+            }
+            BatchMsg::Done { ticket } => {
+                self.region_dones[ticket] += 1;
+                self.advance(ctx);
+            }
+            BatchMsg::Resolved { ticket } => {
+                self.finish_ticket(ctx, ticket);
+                self.advance(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs one simulated compilation *service*: `trees[i]` arrives as an
+/// open-arrival request at `requests[i].arrival_us`, is parsed and
+/// admission-checked on arrival (at most `queue_capacity` requests may
+/// wait; later arrivals are shed), and enters the evaluator park's
+/// pipeline window in the order `policy` prescribes. Everything
+/// downstream of dispatch — region machines, attribute exchange, the
+/// split-phase librarian, FIFO-by-dispatch retirement — is exactly the
+/// batched schedule of [`run_sim_batch_with`].
+///
+/// Fully deterministic, which is the point: policy rankings (FIFO vs
+/// shortest-job-first vs fair queueing) computed here are exactly
+/// reproducible, independent of host load, and the dispatch decisions
+/// are made by the same [`PolicyQueue`] the wall-clock service queue
+/// uses.
+///
+/// # Panics
+///
+/// Panics if evaluation fails or the protocol deadlocks, like
+/// [`run_sim_batch_with`]; also if `requests.len() != trees.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sim_service<V: AttrValue>(
+    trees: &[Arc<ParseTree<V>>],
+    requests: &[SimRequest],
+    plans: Option<&Arc<Plans>>,
+    config: &SimConfig,
+    pipeline_depth: usize,
+    granularity: RegionGranularity,
+    policy: DispatchPolicy,
+    queue_capacity: usize,
+) -> ServiceSimReport<V> {
+    assert!(!trees.is_empty(), "service stream needs at least one tree");
+    assert_eq!(
+        trees.len(),
+        requests.len(),
+        "one request per tree, index-aligned"
+    );
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us),
+        "requests must be sorted by arrival time (ticket order is arrival order)"
+    );
+    let g = trees[0].grammar();
+    assert!(
+        trees.iter().all(|t| Arc::ptr_eq(t.grammar(), g)),
+        "all trees in a stream share one grammar"
+    );
+    let depth = pipeline_depth.max(1);
+    let capacity = queue_capacity.max(1);
+    let table = SplitTable::new(g.as_ref(), config.min_size_scale);
+    let work = WorkTable::new(g.as_ref());
+    let decomps: Vec<Arc<Decomposition>> = trees
+        .iter()
+        .map(|t| Arc::new(decompose_granular(t, &table, &work, granularity)))
+        .collect();
+    let machines = decomps
+        .iter()
+        .map(|d| d.len())
+        .max()
+        .unwrap()
+        .min(config.machines.max(1));
+    let expected_roots: Vec<usize> = trees
+        .iter()
+        .map(|t| {
+            let root_sym = g.prod(t.node(t.root()).prod).lhs;
+            g.symbol(root_sym).attrs_of_kind(AttrKind::Syn).count()
+        })
+        .collect();
+    let works: Vec<u64> = trees.iter().map(|t| work.tree_work(t)).collect();
+
+    let shared = Arc::new(BatchShared {
+        trees: trees.to_vec(),
+        decomps,
+        plan: Arc::new(EvalPlan::from_parts(g, plans.cloned(), None)),
+        cost: config.cost,
+        mode: config.mode,
+        result: config.result,
+        classifier: Arc::clone(&config.classifier),
+        librarian: ProcId(1 + machines),
+        parser: ProcId(0),
+        depth,
+        park: machines,
+        rotate: matches!(granularity, RegionGranularity::Adaptive { .. }),
+        expected_roots,
+        eval_start: Mutex::new(0),
+        finish: Mutex::new(vec![0; trees.len()]),
+        root_values: Mutex::new(vec![Vec::new(); trees.len()]),
+        segstores: Mutex::new(HashMap::new()),
+        per_machine: Mutex::new(vec![EvalStats::default(); machines]),
+        error: Mutex::new(None),
+    });
+    let times = Arc::new(ServiceTimes {
+        admitted: Mutex::new(vec![None; trees.len()]),
+        dispatched: Mutex::new(vec![None; trees.len()]),
+        shed: Mutex::new(vec![false; trees.len()]),
+    });
+
+    let mut sim: Sim<BatchMsg<V>> = Sim::new(config.net);
+    sim.add_process(
+        "parser",
+        ServiceParserProc {
+            shared: Arc::clone(&shared),
+            times: Arc::clone(&times),
+            requests: requests.to_vec(),
+            works,
+            capacity,
+            queue: PolicyQueue::new(policy),
+            resolve_order: VecDeque::new(),
+            resolving: false,
+            region_dones: vec![0; trees.len()],
+            arrivals_seen: 0,
+            admitted_count: 0,
+            finished: 0,
+        },
+    );
+    for r in 0..machines {
+        let letter = (b'a' + (r % 26) as u8) as char;
+        sim.add_process(
+            format!("evaluator-{letter}"),
+            BatchEvaluatorProc {
+                shared: Arc::clone(&shared),
+                evaluator: r,
+                running: Vec::new(),
+                parked: Vec::new(),
+            },
+        );
+    }
+    sim.add_process(
+        "librarian",
+        BatchLibrarianProc {
+            shared: Arc::clone(&shared),
+            ledger: SegmentLedger::new(),
+        },
+    );
+    sim.run();
+
+    if let Some(e) = shared.error.lock().unwrap().take() {
+        panic!("service simulation evaluation failed: {e}");
+    }
+    let shed = times.shed.lock().unwrap().clone();
+    let finish_raw = shared.finish.lock().unwrap().clone();
+    let finished: Vec<Option<Time>> = finish_raw
+        .iter()
+        .zip(&shed)
+        .map(|(&f, &s)| if s { None } else { Some(f) })
+        .collect();
+    assert!(
+        finished.iter().zip(&shed).all(|(f, &s)| s || f.is_some()),
+        "service simulation ended with unresolved requests (deadlock?)"
+    );
+
+    let per_machine = shared.per_machine.lock().unwrap().clone();
+    let mut stats = EvalStats::default();
+    for s in &per_machine {
+        stats += *s;
+    }
+    let segstores = shared.segstores.lock().unwrap();
+    let root_values: Vec<Vec<(AttrId, V)>> = shared
+        .root_values
+        .lock()
+        .unwrap()
+        .iter()
+        .enumerate()
+        .map(|(t, roots)| {
+            let empty = SegmentStore::new();
+            let store = segstores.get(&t).unwrap_or(&empty);
+            roots.iter().map(|(a, v)| (*a, v.inflate(store))).collect()
+        })
+        .collect();
+    drop(segstores);
+
+    let admitted = times.admitted.lock().unwrap().clone();
+    let dispatched = times.dispatched.lock().unwrap().clone();
+    ServiceSimReport {
+        makespan: sim.now(),
+        arrivals: requests.iter().map(|r| r.arrival_us).collect(),
+        admitted,
+        dispatched,
+        finished,
+        shed,
+        regions: shared.decomps.iter().map(|d| d.len()).collect(),
+        stats,
+        per_machine,
+        trace: sim.trace().clone(),
+        names: sim.names().to_vec(),
+        root_values,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1537,5 +1954,213 @@ mod tests {
             .and_then(|(_, v)| v.as_rope().cloned())
             .unwrap();
         assert!(a.content_eq(&c));
+    }
+
+    // --- service (open-arrival) simulation ---
+
+    fn requests_at(arrivals: &[(Time, u32)]) -> Vec<SimRequest> {
+        arrivals
+            .iter()
+            .map(|&(arrival_us, tenant)| SimRequest { arrival_us, tenant })
+            .collect()
+    }
+
+    fn service_code(report: &ServiceSimReport<Value>, t: usize, attr: AttrId) -> Rope {
+        report.root_values[t]
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .and_then(|(_, v)| v.as_rope().cloned())
+            .expect("root code attribute present")
+    }
+
+    #[test]
+    fn service_sim_with_simultaneous_arrivals_matches_batch_results() {
+        let b = mini_batch(&[(24, 5), (9, 4), (31, 5), (16, 4)]);
+        let req = requests_at(&[(0, 0), (0, 0), (0, 0), (0, 0)]);
+        let report = run_sim_service(
+            &b.trees,
+            &req,
+            Some(&b.plans),
+            &SimConfig::paper(3),
+            2,
+            RegionGranularity::Machines(3),
+            DispatchPolicy::Fifo,
+            usize::MAX,
+        );
+        assert_eq!(report.shed_count(), 0);
+        for (t, tree) in b.trees.iter().enumerate() {
+            let (dstore, _) = dynamic_eval(tree).unwrap();
+            let want = dstore
+                .get(tree.root(), b.code)
+                .and_then(|v| v.as_rope().cloned())
+                .unwrap();
+            assert!(
+                service_code(&report, t, b.code).content_eq(&want),
+                "tree {t}: code mismatch"
+            );
+            // Timestamps are coherent: arrival ≤ admit ≤ dispatch ≤ finish.
+            let adm = report.admitted[t].expect("admitted");
+            let dsp = report.dispatched[t].expect("dispatched");
+            let fin = report.finished[t].expect("finished");
+            assert!(report.arrivals[t] <= adm && adm <= dsp && dsp <= fin);
+        }
+        // FIFO over simultaneous arrivals preserves submission order,
+        // exactly like the batch schedule's FIFO retirement.
+        for w in report.finished.windows(2) {
+            assert!(w[0].unwrap() <= w[1].unwrap(), "finish order violated");
+        }
+        // Deterministic replay.
+        let again = run_sim_service(
+            &b.trees,
+            &req,
+            Some(&b.plans),
+            &SimConfig::paper(3),
+            2,
+            RegionGranularity::Machines(3),
+            DispatchPolicy::Fifo,
+            usize::MAX,
+        );
+        assert_eq!(report.finished, again.finished);
+        assert_eq!(report.makespan, again.makespan);
+    }
+
+    #[test]
+    fn sjf_beats_fifo_small_class_latency_on_a_skewed_stream() {
+        // A huge request lands amid a burst of small ones. FIFO
+        // dispatches it in arrival order, gating every later small
+        // request behind its whole evaluation; shortest-job-first
+        // (keyed by the same work table adaptive decomposition budgets
+        // with) lets the smalls flow past it.
+        let mut shapes = vec![(8usize, 4usize); 10];
+        shapes[2] = (200, 6);
+        let b = mini_batch(&shapes);
+        let req = requests_at(&(0..10).map(|i| (i as Time * 1_000, 0)).collect::<Vec<_>>());
+        let run = |policy| {
+            run_sim_service(
+                &b.trees,
+                &req,
+                Some(&b.plans),
+                &SimConfig::paper(4),
+                1,
+                RegionGranularity::Machines(4),
+                policy,
+                usize::MAX,
+            )
+        };
+        let fifo = run(DispatchPolicy::Fifo);
+        let sjf = run(DispatchPolicy::ShortestJobFirst);
+        assert_eq!(fifo.shed_count(), 0);
+        assert_eq!(sjf.shed_count(), 0);
+        let worst_small = |r: &ServiceSimReport<Value>| {
+            (0..10)
+                .filter(|&i| i != 2)
+                .map(|i| r.latency(i).unwrap())
+                .max()
+                .unwrap()
+        };
+        let (wf, ws) = (worst_small(&fifo), worst_small(&sjf));
+        assert!(
+            ws < wf,
+            "SJF worst small latency ({ws}µs) should beat FIFO ({wf}µs)"
+        );
+        // The huge request still completes correctly under SJF.
+        let (dstore, _) = dynamic_eval(&b.trees[2]).unwrap();
+        let want = dstore
+            .get(b.trees[2].root(), b.code)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        assert!(service_code(&sjf, 2, b.code).content_eq(&want));
+    }
+
+    #[test]
+    fn fair_queueing_shields_a_quiet_tenant_from_a_flooder() {
+        // Tenant 0 floods eight requests; tenant 1 submits one mid-
+        // flood. Under FIFO the quiet tenant waits out most of the
+        // flood; deficit round-robin serves it after at most ~one
+        // quantum of tenant-0 work.
+        let mut shapes = vec![(12usize, 5usize); 9];
+        let quiet = 5usize;
+        shapes[quiet] = (8, 4);
+        let b = mini_batch(&shapes);
+        let mut arrivals: Vec<(Time, u32)> = (0..9).map(|i| (i as Time * 1_000, 0)).collect();
+        arrivals[quiet].1 = 1;
+        let req = requests_at(&arrivals);
+        let work = WorkTable::new(b.trees[0].grammar().as_ref());
+        let quantum = work.tree_work(&b.trees[0]);
+        let run = |policy| {
+            run_sim_service(
+                &b.trees,
+                &req,
+                Some(&b.plans),
+                &SimConfig::paper(4),
+                1,
+                RegionGranularity::Machines(4),
+                policy,
+                usize::MAX,
+            )
+        };
+        let fifo = run(DispatchPolicy::Fifo);
+        let fair = run(DispatchPolicy::FairQueue { quantum });
+        let lf = fifo.latency(quiet).unwrap();
+        let lq = fair.latency(quiet).unwrap();
+        assert!(
+            lq < lf,
+            "fair queueing ({lq}µs) should shield the quiet tenant vs FIFO ({lf}µs)"
+        );
+    }
+
+    #[test]
+    fn bounded_admission_sheds_deterministically_and_serves_the_rest() {
+        // Six near-simultaneous arrivals against a 2-deep waiting room
+        // and a depth-1 window: the overflow is shed, everything
+        // admitted completes correctly, and a replay is identical.
+        let b = mini_batch(&[(16, 5); 6]);
+        let req = requests_at(&(0..6).map(|i| (i as Time * 10, 0)).collect::<Vec<_>>());
+        let run = || {
+            run_sim_service(
+                &b.trees,
+                &req,
+                Some(&b.plans),
+                &SimConfig::paper(3),
+                1,
+                RegionGranularity::Machines(3),
+                DispatchPolicy::Fifo,
+                2,
+            )
+        };
+        let report = run();
+        assert!(report.shed_count() > 0, "burst must overflow capacity 2");
+        assert!(!report.shed[0], "first arrival finds an empty service");
+        let (dstore, _) = dynamic_eval(&b.trees[0]).unwrap();
+        let want = dstore
+            .get(b.trees[0].root(), b.code)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        for t in 0..6 {
+            if report.shed[t] {
+                assert_eq!(report.admitted[t], None);
+                assert_eq!(report.dispatched[t], None);
+                assert_eq!(report.finished[t], None);
+                assert!(report.root_values[t].is_empty());
+            } else {
+                assert!(report.finished[t].is_some());
+                assert!(service_code(&report, t, b.code).content_eq(&want));
+            }
+        }
+        let again = run();
+        assert_eq!(report.shed, again.shed);
+        assert_eq!(report.finished, again.finished);
+        // A large enough waiting room sheds nothing from the same burst.
+        let roomy = run_sim_service(
+            &b.trees,
+            &req,
+            Some(&b.plans),
+            &SimConfig::paper(3),
+            1,
+            RegionGranularity::Machines(3),
+            DispatchPolicy::Fifo,
+            6,
+        );
+        assert_eq!(roomy.shed_count(), 0);
     }
 }

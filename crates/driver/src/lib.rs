@@ -54,6 +54,24 @@
 //! compilation unit). [`BatchReport::max_regions_in_flight`] reports
 //! the region-level concurrency the batch actually reached.
 //!
+//! # Serving, not just batching
+//!
+//! [`BatchDriver::compile_batch`] assumes the whole batch is known up
+//! front. A compilation *service* faces an **open arrival** stream —
+//! requests show up while earlier ones are still evaluating, and
+//! nobody may block. [`ServiceQueue`] (the [`service`] module) wraps
+//! the same pool with a bounded waiting room (admission control with
+//! shed accounting), a pluggable
+//! [`DispatchPolicy`](paragram_core::parallel::policy::DispatchPolicy)
+//! — FIFO, shortest-job-first keyed by
+//! [`EvalPlan::tree_work`](paragram_core::eval::EvalPlan::tree_work),
+//! or per-tenant deficit fair queueing — and per-request timestamps
+//! (enqueue → admit → first region dispatched → assembled). Policy
+//! rankings are reproducible on one core:
+//! `paragram_core::parallel::sim::run_sim_service` replays the same
+//! policies (literally the same `PolicyQueue` code) on the simulated
+//! machine park.
+//!
 //! # Example
 //!
 //! ```
@@ -88,6 +106,12 @@
 //! assert_eq!(report.outputs.len(), 3);
 //! assert_eq!(report.outputs[0].root_values[0].1, 3);
 //! ```
+
+pub mod service;
+
+pub use service::{
+    Admission, RequestTimes, ServiceConfig, ServiceOutput, ServiceQueue, ServiceStats,
+};
 
 use paragram_core::eval::{EvalError, EvalPlan, MachineMode};
 use paragram_core::grammar::{AttrId, Grammar};
@@ -264,7 +288,7 @@ impl<V: AttrValue> TreeOutput<V> {
             .map(|(_, v)| v)
     }
 
-    fn from_report(report: PoolReport<V>) -> Self {
+    pub(crate) fn from_report(report: PoolReport<V>) -> Self {
         TreeOutput {
             root_values: report.root_values,
             store: report.store,
@@ -272,6 +296,49 @@ impl<V: AttrValue> TreeOutput<V> {
             elapsed: report.elapsed,
             regions: report.regions,
         }
+    }
+}
+
+/// A batch failure that does not discard finished work: the first
+/// [`EvalError`] any machine raised, together with every tree that had
+/// already been fully compiled and assembled before the failure.
+///
+/// The pool is poisoned once a machine fails, so trees submitted after
+/// the failing one are lost — but trees *retired before* it are
+/// completed work, and a caller (a service shedding one bad request, a
+/// build system reporting per-unit results) should not have to redo
+/// them.
+pub struct BatchError<V: AttrValue> {
+    /// The first evaluation error any machine raised.
+    pub error: EvalError,
+    /// Outputs of trees that completed before the failure, in input
+    /// order.
+    pub completed: Vec<TreeOutput<V>>,
+}
+
+impl<V: AttrValue> fmt::Debug for BatchError<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchError")
+            .field("error", &self.error)
+            .field("completed", &self.completed.len())
+            .finish()
+    }
+}
+
+impl<V: AttrValue> fmt::Display for BatchError<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} earlier trees completed)",
+            self.error,
+            self.completed.len()
+        )
+    }
+}
+
+impl<V: AttrValue> std::error::Error for BatchError<V> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -371,35 +438,60 @@ impl<V: AttrValue> BatchDriver<V> {
     ///
     /// # Errors
     ///
-    /// Stops at (and returns) the first [`EvalError`]; earlier trees'
-    /// outputs are dropped with the error, as the pool is poisoned.
+    /// Stops at the first [`EvalError`]. The pool is poisoned, so trees
+    /// submitted after the failing one are lost — but trees that had
+    /// already completed are returned inside the [`BatchError`] rather
+    /// than dropped.
     pub fn compile_batch(
         &mut self,
         trees: impl IntoIterator<Item = Arc<ParseTree<V>>>,
-    ) -> Result<BatchReport<V>, EvalError> {
+    ) -> Result<BatchReport<V>, BatchError<V>> {
         let start = Instant::now();
+        // Per-batch maxima from a long-lived pool: the pool tracks the
+        // exact high-water marks at every dispatch (a driver sampling
+        // only at submit boundaries would miss peaks reached while it
+        // was blocked inside `submit`'s backpressure).
+        self.pool.reset_high_water();
         let mut outputs = Vec::new();
-        let mut max_in_flight = 0usize;
-        let mut max_regions_in_flight = 0usize;
+        let mut failed = None;
         for tree in trees {
-            self.pool.submit(&tree)?;
-            max_in_flight = max_in_flight.max(self.pool.in_flight());
-            max_regions_in_flight = max_regions_in_flight.max(self.pool.regions_in_flight());
+            if let Err(e) = self.pool.submit(&tree) {
+                failed = Some(e);
+                break;
+            }
             while let Some(report) = self.pool.take_ready() {
                 self.trees_compiled += 1;
                 outputs.push(TreeOutput::from_report(report));
             }
         }
-        while let Some(report) = self.pool.collect()? {
-            self.trees_compiled += 1;
-            outputs.push(TreeOutput::from_report(report));
+        while failed.is_none() {
+            match self.pool.collect() {
+                Ok(Some(report)) => {
+                    self.trees_compiled += 1;
+                    outputs.push(TreeOutput::from_report(report));
+                }
+                Ok(None) => break,
+                Err(e) => failed = Some(e),
+            }
+        }
+        if let Some(error) = failed {
+            // Reports retired before the failure stay claimable on the
+            // poisoned pool; hand them to the caller with the error.
+            while let Some(report) = self.pool.take_ready() {
+                self.trees_compiled += 1;
+                outputs.push(TreeOutput::from_report(report));
+            }
+            return Err(BatchError {
+                error,
+                completed: outputs,
+            });
         }
         Ok(BatchReport {
             outputs,
             elapsed: start.elapsed(),
             pipeline_depth: self.pool.pipeline_depth(),
-            max_in_flight,
-            max_regions_in_flight,
+            max_in_flight: self.pool.max_in_flight(),
+            max_regions_in_flight: self.pool.max_regions_in_flight(),
         })
     }
 }
@@ -545,6 +637,47 @@ mod tests {
             assert_eq!(output.root_value(out), dstore.get(tree.root(), out));
             assert_eq!(output.store.filled(), output.store.len());
         }
+    }
+
+    #[test]
+    fn failed_batch_returns_earlier_completed_trees_with_the_error() {
+        // Grammar with a benign production and a self-dependent one:
+        // trees of `ok` leaves evaluate, a tree containing `knot`
+        // raises a cycle error mid-batch.
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let b = g.nonterminal("B");
+        let out = g.synthesized(s, "out");
+        let bi = g.inherited(b, "i");
+        let bo = g.synthesized(b, "o");
+        let top = g.production("top", s, [b]);
+        g.rule(top, (1, bi), [], |_| 1);
+        g.rule(top, (0, out), [(1, bo)], |a| a[0] + 100);
+        let ok = g.production("ok", b, []);
+        g.rule(ok, (0, bo), [(0, bi)], |a| a[0]);
+        let knot = g.production("knot", b, []);
+        g.rule(knot, (0, bo), [(0, bo)], |a| a[0]);
+        let gr = Arc::new(g.build(s).unwrap());
+        let mk = |prod| {
+            let mut tb = TreeBuilder::new(&gr);
+            let leaf = tb.leaf(prod);
+            let root = tb.node(top, [leaf]);
+            Arc::new(tb.finish(root).unwrap())
+        };
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::barrier(2));
+        assert_eq!(plan.mode(), MachineMode::Dynamic, "cyclic grammar");
+        let mut driver = BatchDriver::new(&plan);
+        let batch = [mk(ok), mk(ok), mk(ok), mk(knot), mk(ok)];
+        let err = driver.compile_batch(batch).map(|_| ()).unwrap_err();
+        assert!(matches!(err.error, EvalError::Cycle { .. }), "{err}");
+        // Depth-1 backpressure had retired the three healthy trees
+        // before the knot's region failed; they come back with the
+        // error instead of being dropped.
+        assert_eq!(err.completed.len(), 3);
+        for output in &err.completed {
+            assert_eq!(output.root_value(out), Some(&101));
+        }
+        assert_eq!(driver.trees_compiled(), 3);
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! Open-arrival service front end over the region pool.
+//!
+//! [`super::BatchDriver::compile_batch`] is a *closed* model: the whole
+//! batch is known up front and the driver may block. A compilation
+//! service faces an **open arrival** stream — requests arrive while
+//! earlier ones are still evaluating — and needs three things the batch
+//! driver does not provide:
+//!
+//! * **Bounded admission.** A waiting room of at most
+//!   [`ServiceConfig::capacity`] requests; an arrival that finds it
+//!   full is [shed](Admission::Shed) instead of growing an unbounded
+//!   queue. Shed decisions are a pure function of the waiting-queue
+//!   length, never of wall-clock timing, so they are reproducible.
+//! * **Policy-ordered dispatch.** The waiting room drains through a
+//!   [`PolicyQueue`] — FIFO, shortest-job-first keyed by
+//!   [`EvalPlan::tree_work`](paragram_core::eval::EvalPlan::tree_work)
+//!   (an admission-time estimate, no evaluation needed), or per-tenant
+//!   deficit fair queueing. The pool retires trees FIFO in *dispatch*
+//!   order, so the policy's entire lever is choosing what enters the
+//!   pipeline window next — exactly the lever the simulated service
+//!   (`paragram_core::parallel::sim::run_sim_service`) models with the
+//!   same `PolicyQueue` code.
+//! * **Non-blocking progress.** [`ServiceQueue::offer`] never blocks
+//!   and performs no pool work; [`ServiceQueue::pump`] drains worker
+//!   completions ([`WorkerPool::poll`]), tops up the pipeline window,
+//!   and harvests finished requests. A serving loop interleaves the two
+//!   however its arrival source dictates.
+//!
+//! Every request carries [`RequestTimes`]: enqueue → admit → first
+//! region dispatched → assembled, the measurement points
+//! `bench_latency` turns into per-size-class percentiles.
+
+use crate::{CompilationPlan, TreeOutput};
+use paragram_core::eval::EvalError;
+use paragram_core::parallel::policy::{DispatchPolicy, PolicyQueue, QueuedJob};
+use paragram_core::parallel::pool::{PoolConfig, WorkerPool};
+use paragram_core::tree::ParseTree;
+use paragram_core::value::AttrValue;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service shape: how many requests may wait, and in what order they
+/// leave the waiting room.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Dispatch policy for the waiting room.
+    pub policy: DispatchPolicy,
+    /// Waiting-room bound (clamped ≥ 1): an [`ServiceQueue::offer`]
+    /// that finds this many requests *waiting* (not yet dispatched) is
+    /// shed.
+    pub capacity: usize,
+}
+
+impl ServiceConfig {
+    /// FIFO dispatch with the given waiting-room bound.
+    pub fn fifo(capacity: usize) -> Self {
+        ServiceConfig {
+            policy: DispatchPolicy::Fifo,
+            capacity,
+        }
+    }
+
+    /// The configuration with a different dispatch policy.
+    pub fn with_policy(self, policy: DispatchPolicy) -> Self {
+        ServiceConfig { policy, ..self }
+    }
+}
+
+/// Outcome of offering one request to the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request entered the waiting room; its output will carry this
+    /// id.
+    Admitted {
+        /// Monotonic per-queue request id (also the key for
+        /// [`ServiceQueue::times`]).
+        id: u64,
+    },
+    /// The waiting room was full; the request was dropped. The caller
+    /// owns retry/backoff.
+    Shed,
+}
+
+/// Wall-clock milestones of one admitted request.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestTimes {
+    /// When the request was offered.
+    pub enqueued: Instant,
+    /// When admission accepted it (same instant as `enqueued` here —
+    /// admission is synchronous; the simulated service separates the
+    /// two by the parse cost).
+    pub admitted: Instant,
+    /// When its first region job was dispatched to a worker.
+    pub dispatched: Option<Instant>,
+    /// When its assembled output became available.
+    pub assembled: Option<Instant>,
+}
+
+impl RequestTimes {
+    /// Enqueue-to-assembled latency, if the request completed.
+    pub fn latency(&self) -> Option<std::time::Duration> {
+        self.assembled.map(|a| a - self.enqueued)
+    }
+
+    /// Time spent waiting for dispatch (enqueue → first region job).
+    pub fn queueing(&self) -> Option<std::time::Duration> {
+        self.dispatched.map(|d| d - self.enqueued)
+    }
+}
+
+/// A finished request: its id, tenant, and compiled output.
+pub struct ServiceOutput<V: AttrValue> {
+    /// The id [`ServiceQueue::offer`] returned for this request.
+    pub id: u64,
+    /// The tenant it was billed to.
+    pub tenant: u32,
+    /// The compiled tree.
+    pub output: TreeOutput<V>,
+}
+
+/// Admission / completion accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests offered, admitted or not.
+    pub offered: usize,
+    /// Requests admitted to the waiting room.
+    pub admitted: usize,
+    /// Requests shed by the full waiting room.
+    pub shed: usize,
+    /// Requests fully compiled and assembled.
+    pub completed: usize,
+    /// Largest number of requests ever waiting at once.
+    pub max_waiting: usize,
+}
+
+/// An open-arrival compilation service over one persistent
+/// [`WorkerPool`]: bounded admission, policy-ordered dispatch,
+/// non-blocking progress. See the [module docs](self).
+pub struct ServiceQueue<V: AttrValue> {
+    pool: WorkerPool<V>,
+    queue: PolicyQueue,
+    /// Trees admitted but not yet dispatched, by request id.
+    waiting: HashMap<u64, Arc<ParseTree<V>>>,
+    /// Tenants of admitted requests, by request id.
+    tenants: HashMap<u64, u32>,
+    /// Dispatched, uncompleted request ids in dispatch order — the pool
+    /// retires FIFO in dispatch order, so completed reports match this
+    /// front to back.
+    dispatched: VecDeque<u64>,
+    completed: VecDeque<ServiceOutput<V>>,
+    times: HashMap<u64, RequestTimes>,
+    capacity: usize,
+    next_id: u64,
+    stats: ServiceStats,
+}
+
+impl<V: AttrValue> ServiceQueue<V> {
+    /// Spawns the worker pool (threads + librarian) and an empty
+    /// waiting room.
+    pub fn new(plan: &CompilationPlan<V>, service: ServiceConfig) -> Self {
+        let cfg = plan.config();
+        let pool = WorkerPool::new(
+            plan.eval_plan(),
+            PoolConfig {
+                workers: cfg.workers,
+                mode: plan.mode(),
+                result: cfg.result,
+                min_size_scale: cfg.min_size_scale,
+                pipeline_depth: cfg.pipeline_depth,
+                granularity: cfg.effective_granularity(),
+            },
+        );
+        ServiceQueue {
+            pool,
+            queue: PolicyQueue::new(service.policy),
+            waiting: HashMap::new(),
+            tenants: HashMap::new(),
+            dispatched: VecDeque::new(),
+            completed: VecDeque::new(),
+            times: HashMap::new(),
+            capacity: service.capacity.max(1),
+            next_id: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The dispatch policy in force.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.queue.policy()
+    }
+
+    /// Admission / completion accounting so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Requests admitted but not yet dispatched.
+    pub fn waiting(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests dispatched but not yet completed.
+    pub fn in_service(&self) -> usize {
+        self.dispatched.len()
+    }
+
+    /// Milestones of request `id` (admitted requests only).
+    pub fn times(&self, id: u64) -> Option<&RequestTimes> {
+        self.times.get(&id)
+    }
+
+    /// Offers one request. Never blocks and never performs pool work —
+    /// the admission decision is a pure function of the waiting-queue
+    /// length, so a given arrival sequence always sheds the same
+    /// requests regardless of wall-clock timing. Call
+    /// [`ServiceQueue::pump`] to make progress.
+    pub fn offer(&mut self, tree: &Arc<ParseTree<V>>, tenant: u32) -> Admission {
+        self.stats.offered += 1;
+        if self.queue.len() >= self.capacity {
+            self.stats.shed += 1;
+            return Admission::Shed;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let work = self.pool.plan().tree_work(tree);
+        self.queue.push(QueuedJob {
+            seq: id,
+            tenant,
+            work,
+        });
+        self.waiting.insert(id, Arc::clone(tree));
+        self.tenants.insert(id, tenant);
+        let now = Instant::now();
+        self.times.insert(
+            id,
+            RequestTimes {
+                enqueued: now,
+                admitted: now,
+                dispatched: None,
+                assembled: None,
+            },
+        );
+        self.stats.admitted += 1;
+        self.stats.max_waiting = self.stats.max_waiting.max(self.queue.len());
+        Admission::Admitted { id }
+    }
+
+    /// Makes all currently possible progress without blocking: drains
+    /// worker completions, tops up the pipeline window from the waiting
+    /// room in policy order, and moves finished requests to
+    /// [`ServiceQueue::take_completed`]. Returns how many requests
+    /// completed during this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EvalError`] any machine raised. The pool is
+    /// poisoned afterwards, but requests completed *before* the failure
+    /// remain claimable via [`ServiceQueue::take_completed`].
+    pub fn pump(&mut self) -> Result<usize, EvalError> {
+        self.pool.poll()?;
+        while self.pool.in_flight() < self.pool.pipeline_depth() {
+            let Some(job) = self.queue.pop() else { break };
+            let tree = self.waiting.remove(&job.seq).expect("queued tree kept");
+            // The window has room, so submit dispatches without
+            // blocking on retirement.
+            self.pool.submit(&tree)?;
+            self.times.get_mut(&job.seq).expect("admitted").dispatched = Some(Instant::now());
+            self.dispatched.push_back(job.seq);
+        }
+        self.pool.poll()?;
+        Ok(self.harvest())
+    }
+
+    /// Runs the service to completion: blocks until every admitted
+    /// request has been compiled and assembled (use between arrival
+    /// bursts, or at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceQueue::pump`].
+    pub fn drain(&mut self) -> Result<(), EvalError> {
+        loop {
+            self.pump()?;
+            if self.queue.is_empty() && self.dispatched.is_empty() {
+                return Ok(());
+            }
+            if let Some(report) = self.pool.collect()? {
+                self.finish(crate::TreeOutput::from_report(report));
+            }
+        }
+    }
+
+    /// Pops the oldest finished request (completion order).
+    pub fn take_completed(&mut self) -> Option<ServiceOutput<V>> {
+        self.completed.pop_front()
+    }
+
+    fn harvest(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(report) = self.pool.take_ready() {
+            self.finish(crate::TreeOutput::from_report(report));
+            n += 1;
+        }
+        n
+    }
+
+    fn finish(&mut self, output: TreeOutput<V>) {
+        let id = self
+            .dispatched
+            .pop_front()
+            .expect("reports match dispatched requests FIFO");
+        self.times.get_mut(&id).expect("admitted").assembled = Some(Instant::now());
+        let tenant = self.tenants[&id];
+        self.stats.completed += 1;
+        self.completed
+            .push_back(ServiceOutput { id, tenant, output });
+    }
+}
+
+impl<V: AttrValue> fmt::Debug for ServiceQueue<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ServiceQueue({}, {} waiting, {} in service, {:?})",
+            self.policy().name(),
+            self.waiting(),
+            self.in_service(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompilationPlan, DriverConfig};
+    use paragram_core::eval::dynamic_eval;
+    use paragram_core::grammar::{AttrId, Grammar, GrammarBuilder, ProdId};
+    use paragram_core::tree::TreeBuilder;
+
+    /// Integer chain grammar: cheap, deterministic, splittable.
+    fn grammar() -> (Arc<Grammar<i64>>, ProdId, ProdId, ProdId, AttrId) {
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("list");
+        let out = g.synthesized(s, "sum");
+        let total = g.synthesized(l, "total");
+        g.mark_split(l, 4);
+        let top = g.production("top", s, [l]);
+        g.rule(top, (0, out), [(1, total)], |a| a[0] + 100);
+        let cons = g.production("cons", l, [l]);
+        g.rule(cons, (0, total), [(1, total)], |a| a[0] + 1);
+        let nil = g.production("nil", l, []);
+        g.rule(nil, (0, total), [], |_| 0);
+        (Arc::new(g.build(s).unwrap()), top, cons, nil, out)
+    }
+
+    fn chain(
+        grammar: &Arc<Grammar<i64>>,
+        top: ProdId,
+        cons: ProdId,
+        nil: ProdId,
+        n: usize,
+    ) -> Arc<ParseTree<i64>> {
+        let mut tb = TreeBuilder::new(grammar);
+        let mut tail = tb.leaf(nil);
+        for _ in 0..n {
+            tail = tb.node(cons, [tail]);
+        }
+        let root = tb.node(top, [tail]);
+        Arc::new(tb.finish(root).unwrap())
+    }
+
+    #[test]
+    fn service_compiles_an_open_stream_correctly() {
+        let (gr, top, cons, nil, out) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(2));
+        let mut q = ServiceQueue::new(&plan, ServiceConfig::fifo(64));
+        let sizes = [5usize, 40, 12, 64, 1, 23];
+        let mut ids = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let tree = chain(&gr, top, cons, nil, n);
+            match q.offer(&tree, (i % 2) as u32) {
+                Admission::Admitted { id } => ids.push((id, n)),
+                Admission::Shed => panic!("roomy queue must not shed"),
+            }
+            // Interleave progress with arrivals, as a serving loop does.
+            q.pump().unwrap();
+        }
+        q.drain().unwrap();
+        let mut seen = 0;
+        while let Some(done) = q.take_completed() {
+            let (_, n) = ids.iter().find(|&&(id, _)| id == done.id).unwrap();
+            let tree = chain(&gr, top, cons, nil, *n);
+            let (dstore, _) = dynamic_eval(&tree).unwrap();
+            assert_eq!(done.output.root_value(out), dstore.get(tree.root(), out));
+            let t = q.times(done.id).unwrap();
+            assert!(t.dispatched.is_some() && t.assembled.is_some());
+            assert!(t.latency().unwrap() >= t.queueing().unwrap());
+            seen += 1;
+        }
+        assert_eq!(seen, sizes.len());
+        let stats = q.stats();
+        assert_eq!(stats.offered, sizes.len());
+        assert_eq!(stats.admitted, sizes.len());
+        assert_eq!(stats.completed, sizes.len());
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn admission_sheds_deterministically_at_capacity() {
+        let (gr, top, cons, nil, _) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(2).with_pipeline_depth(1));
+        let mut q = ServiceQueue::new(&plan, ServiceConfig::fifo(2));
+        let tree = chain(&gr, top, cons, nil, 16);
+        // No pump between offers: the waiting room fills at exactly
+        // capacity and sheds everything after, independent of timing.
+        let admissions: Vec<bool> = (0..5)
+            .map(|_| matches!(q.offer(&tree, 0), Admission::Admitted { .. }))
+            .collect();
+        assert_eq!(admissions, vec![true, true, false, false, false]);
+        let stats = q.stats();
+        assert_eq!((stats.offered, stats.admitted, stats.shed), (5, 2, 3));
+        assert_eq!(stats.max_waiting, 2);
+        q.drain().unwrap();
+        assert_eq!(q.stats().completed, 2);
+        // The drained queue has room again.
+        assert!(matches!(q.offer(&tree, 0), Admission::Admitted { .. }));
+        q.drain().unwrap();
+        assert_eq!(q.stats().completed, 3);
+    }
+
+    #[test]
+    fn sjf_dispatches_small_requests_past_a_queued_huge_one() {
+        let (gr, top, cons, nil, _) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(2).with_pipeline_depth(1));
+        let mut q = ServiceQueue::new(
+            &plan,
+            ServiceConfig::fifo(16).with_policy(DispatchPolicy::ShortestJobFirst),
+        );
+        // All four queue while nothing pumps; the depth-1 window then
+        // admits them strictly in SJF order, and FIFO retirement means
+        // completion order equals dispatch order.
+        let sizes = [300usize, 8, 150, 4];
+        for &n in &sizes {
+            q.offer(&chain(&gr, top, cons, nil, n), 0);
+        }
+        q.drain().unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.take_completed())
+            .map(|d| d.id)
+            .collect();
+        assert_eq!(order, vec![3, 1, 2, 0], "smallest work first");
+        // Dispatch preserved the policy order in the timestamps too.
+        let dispatch_times: Vec<_> = order
+            .iter()
+            .map(|&id| q.times(id).unwrap().dispatched.unwrap())
+            .collect();
+        assert!(dispatch_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fair_queueing_alternates_tenants_under_flood() {
+        let (gr, top, cons, nil, _) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(2).with_pipeline_depth(1));
+        let tree = chain(&gr, top, cons, nil, 16);
+        let quantum = plan.eval_plan().tree_work(&tree);
+        let mut q = ServiceQueue::new(
+            &plan,
+            ServiceConfig::fifo(16).with_policy(DispatchPolicy::FairQueue { quantum }),
+        );
+        // Tenant 0 floods four requests before tenant 1's one arrives.
+        for _ in 0..4 {
+            q.offer(&tree, 0);
+        }
+        q.offer(&tree, 1);
+        q.drain().unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.take_completed())
+            .map(|d| d.id)
+            .collect();
+        assert_eq!(
+            order,
+            vec![0, 4, 1, 2, 3],
+            "tenant 1 is served after one of tenant 0's, not after the flood"
+        );
+    }
+}

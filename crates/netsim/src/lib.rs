@@ -149,6 +149,7 @@ pub struct Ctx<'a, M> {
     segments: Vec<(Time, Time, &'static str)>, // cpu offsets [start,end)
     seg_start: Time,
     sends: Vec<PendingSend<M>>,
+    timers: Vec<(Time, M)>,
     names: &'a [String],
     stopped: bool,
 }
@@ -195,6 +196,18 @@ impl<'a, M> Ctx<'a, M> {
         });
     }
 
+    /// Schedules `msg` for delivery *to this process* at absolute
+    /// virtual time `at` (clamped to the process's local clock if it is
+    /// still busy then). Unlike [`Ctx::send`], a timer never touches
+    /// the network: no bus occupancy, no latency, no send/recv CPU, no
+    /// message-trace record — it models a local alarm (an arrival
+    /// schedule, a timeout), not communication. The message arrives
+    /// through [`Process::on_message`] with `from` equal to the process
+    /// itself.
+    pub fn wake_at(&mut self, at: Time, msg: M) {
+        self.timers.push((at, msg));
+    }
+
     /// Name of a process (for diagnostics).
     pub fn name_of(&self, p: ProcId) -> &str {
         &self.names[p.0]
@@ -209,7 +222,17 @@ impl<'a, M> Ctx<'a, M> {
 
 enum Event<M> {
     Start(ProcId),
-    Deliver { to: ProcId, from: ProcId, msg: M },
+    Deliver {
+        to: ProcId,
+        from: ProcId,
+        msg: M,
+    },
+    /// A [`Ctx::wake_at`] alarm: delivered like a message from the
+    /// process to itself, but without any network cost.
+    Timer {
+        to: ProcId,
+        msg: M,
+    },
 }
 
 /// The discrete-event simulator.
@@ -294,27 +317,25 @@ impl<M> Sim<M> {
             }
             let ev = self.events[idx].take().expect("event consumed twice");
             match ev {
-                Event::Start(p) => self.dispatch(at, p, None),
-                Event::Deliver { to, from, msg } => self.dispatch(at, to, Some((from, msg))),
+                Event::Start(p) => self.dispatch(at, p, None, false),
+                Event::Deliver { to, from, msg } => self.dispatch(at, to, Some((from, msg)), true),
+                Event::Timer { to, msg } => self.dispatch(at, to, Some((to, msg)), false),
             }
         }
         self.now
     }
 
-    fn dispatch(&mut self, at: Time, p: ProcId, incoming: Option<(ProcId, M)>) {
+    fn dispatch(&mut self, at: Time, p: ProcId, incoming: Option<(ProcId, M)>, charge_recv: bool) {
         let wake = at.max(self.local_time[p.0]);
         let mut ctx = Ctx {
             me: p,
             wake,
-            cpu: if incoming.is_some() {
-                self.net.recv_cpu_us
-            } else {
-                0
-            },
+            cpu: if charge_recv { self.net.recv_cpu_us } else { 0 },
             phase: "recv",
             segments: Vec::new(),
             seg_start: 0,
             sends: Vec::new(),
+            timers: Vec::new(),
             names: &self.names,
             stopped: false,
         };
@@ -346,7 +367,11 @@ impl<M> Sim<M> {
         }
         let stopped = ctx.stopped;
         let sends = std::mem::take(&mut ctx.sends);
+        let timers = std::mem::take(&mut ctx.timers);
         drop(ctx);
+        for (when, msg) in timers {
+            self.push_event(when, Event::Timer { to: p, msg });
+        }
         for send in sends {
             let send_time = wake + send.at_cpu + self.net.send_cpu_us;
             // Sender CPU for the message itself.
@@ -528,6 +553,53 @@ mod tests {
         let mut sim = Sim::new(NetModel::instant());
         sim.add_process("src", Busy);
         sim.add_process("busy", Busy);
+        sim.run();
+    }
+
+    #[test]
+    fn timers_fire_at_absolute_times_without_network_cost() {
+        struct Alarmed {
+            fired: Vec<Time>,
+        }
+        impl Process<u32> for Alarmed {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                // Out of order on purpose: the event queue sorts them.
+                ctx.wake_at(5_000, 2);
+                ctx.wake_at(1_000, 1);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<u32>, from: ProcId, msg: u32) {
+                assert_eq!(from, ctx.me(), "timers come from the process itself");
+                self.fired.push(ctx.now());
+                ctx.spend(100);
+                if msg == 1 {
+                    ctx.wake_at(2_000, 3);
+                }
+            }
+        }
+        let mut sim = Sim::new(NetModel::lan_1987());
+        sim.add_process("alarmed", Alarmed { fired: Vec::new() });
+        let end = sim.run();
+        // No network legs: virtual time is exactly the last alarm plus
+        // its handler CPU, with zero recv-CPU charges.
+        assert_eq!(end, 5_100);
+        assert!(sim.trace().messages.is_empty(), "timers leave no msg trace");
+    }
+
+    #[test]
+    fn timer_delivery_waits_for_a_busy_process() {
+        struct BusyAlarm;
+        impl Process<u32> for BusyAlarm {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.wake_at(10, 0);
+                ctx.spend(5_000);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<u32>, _: ProcId, _: u32) {
+                assert!(ctx.now() >= 5_000, "alarm clamped to the local clock");
+                ctx.stop();
+            }
+        }
+        let mut sim = Sim::new(NetModel::instant());
+        sim.add_process("busy", BusyAlarm);
         sim.run();
     }
 

@@ -218,7 +218,11 @@ impl Compiler {
             .map(|s| self.tree_from_source(s))
             .collect::<Result<Vec<_>, _>>()?;
         let mut driver = self.batch_driver(config);
-        let report = driver.compile_batch(trees.iter().cloned())?;
+        // The per-program outputs a BatchError carries are of no use
+        // here: a Pascal batch is all-or-nothing, so keep the error.
+        let report = driver
+            .compile_batch(trees.iter().cloned())
+            .map_err(|e| CompileError::Eval(e.error))?;
         Ok(trees
             .iter()
             .zip(report.outputs)
