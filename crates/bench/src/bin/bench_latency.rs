@@ -32,6 +32,12 @@
 //! that tail — `--smoke` re-reads the emitted JSON, validates the
 //! schema, and **fails (exit 1)** if SJF's sim p99 exceeds FIFO's.
 //!
+//! A `duplicated_traffic` section additionally replays the stream with
+//! `template_fraction` 0.5 (half the requests drawn from a small
+//! template pool — the replay shape of real fleets) against a memo-off
+//! and a memo-on wall service, recording shed/p99 deltas and the cache
+//! hit rate. Informational only: the deltas are reported, not gated.
+//!
 //! Writes `BENCH_latency.json` (override with `--out`; `--smoke`
 //! writes `target/BENCH_latency.smoke.json` unless `--out` is given).
 //!
@@ -161,7 +167,9 @@ struct SectionResult {
 }
 
 /// Replays the stream against the real service queue, pacing arrivals
-/// by `ns_per_tick` and pumping between them.
+/// by `ns_per_tick` and pumping between them. Also returns the
+/// service's memo counters (all zero unless the plan enables the
+/// cache).
 fn run_wall(
     plan: &CompilationPlan<PVal>,
     trees: &[Arc<ParseTree<PVal>>],
@@ -169,7 +177,7 @@ fn run_wall(
     policy: DispatchPolicy,
     capacity: usize,
     ns_per_tick: f64,
-) -> SectionResult {
+) -> (SectionResult, paragram_core::memo::MemoCounters) {
     let mut q = ServiceQueue::new(plan, ServiceConfig { policy, capacity });
     let mut ids: Vec<Option<u64>> = vec![None; stream.len()];
     let start = Instant::now();
@@ -199,11 +207,14 @@ fn run_wall(
             })
         })
         .collect();
-    SectionResult {
-        latencies,
-        shed: stats.shed,
-        trees_per_sec: stats.completed as f64 / elapsed.as_secs_f64(),
-    }
+    (
+        SectionResult {
+            latencies,
+            shed: stats.shed,
+            trees_per_sec: stats.completed as f64 / elapsed.as_secs_f64(),
+        },
+        stats.memo,
+    )
 }
 
 /// Replays the stream on the simulated machine park (deterministic;
@@ -324,6 +335,7 @@ fn validate(path: &str) {
         "\"shed\"",
         "\"sim_ranking\"",
         "\"sim_admission\"",
+        "\"duplicated_traffic\"",
     ] {
         assert!(json.contains(key), "schema: missing {key} in {path}");
     }
@@ -425,7 +437,7 @@ fn main() {
         let policy = resolve(policy);
         let name = policy.name();
         println!("policy {name}: wall section");
-        let wall = run_wall(&plan, &trees, &stream, policy, args.capacity, ns_per_tick);
+        let (wall, _) = run_wall(&plan, &trees, &stream, policy, args.capacity, ns_per_tick);
         println!(
             "  wall: {:.1} trees/sec, {} shed, proc p99 {}µs",
             wall.trees_per_sec,
@@ -480,6 +492,66 @@ fn main() {
         args.capacity.min(8),
         bounded.shed,
         stream.len()
+    );
+
+    // Duplicated-traffic replay: the same arrival schedule with half
+    // the requests drawing from a small template pool, served memo-off
+    // vs memo-on (FIFO). Recorded as shed/p99 deltas — informational
+    // wall numbers, deliberately not gated yet. Both sides use
+    // adaptive granularity (budget = the median request's work) so the
+    // cache's leaf regions exist; small duplicated requests then replay
+    // as whole-tree hits.
+    let dup_fraction = 0.5;
+    let dup_stream = generate_stream(&stream_cfg.clone().with_template_fraction(dup_fraction));
+    let dup_trees = build_trees(&compiler, &dup_stream);
+    let adaptive_cfg = driver_cfg.with_adaptive_budget(quantum);
+    let (dup_off, _) = run_wall(
+        &CompilationPlan::from_plan(plan_shared, adaptive_cfg),
+        &dup_trees,
+        &dup_stream,
+        DispatchPolicy::Fifo,
+        args.capacity,
+        ns_per_tick,
+    );
+    let (dup_on, dup_memo) = run_wall(
+        &CompilationPlan::from_plan(plan_shared, adaptive_cfg.with_memo_capacity(64 << 20)),
+        &dup_trees,
+        &dup_stream,
+        DispatchPolicy::Fifo,
+        args.capacity,
+        ns_per_tick,
+    );
+    let (off_p99, on_p99) = (
+        class_p99(&dup_off, &dup_stream, SizeClass::Proc),
+        class_p99(&dup_on, &dup_stream, SizeClass::Proc),
+    );
+    out.push_str("  \"duplicated_traffic\": {\n");
+    out.push_str(&format!("    \"template_fraction\": {dup_fraction},\n"));
+    out.push_str("    \"policy\": \"fifo\",\n");
+    out.push_str(&format!(
+        "    \"memo_off\": {{ \"shed\": {}, \"trees_per_sec\": {:.2}, \"proc_p99_us\": {} }},\n",
+        dup_off.shed, dup_off.trees_per_sec, off_p99
+    ));
+    out.push_str(&format!(
+        "    \"memo_on\": {{ \"shed\": {}, \"trees_per_sec\": {:.2}, \"proc_p99_us\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3} }},\n",
+        dup_on.shed,
+        dup_on.trees_per_sec,
+        on_p99,
+        dup_memo.hits,
+        dup_memo.misses,
+        dup_memo.hit_rate()
+    ));
+    out.push_str(&format!(
+        "    \"delta\": {{ \"proc_p99_us\": {}, \"shed\": {} }}\n",
+        on_p99 as i64 - off_p99 as i64,
+        dup_on.shed as i64 - dup_off.shed as i64
+    ));
+    out.push_str("  },\n");
+    println!(
+        "duplicated traffic (fraction {dup_fraction}): memo-off proc p99 {off_p99}µs / shed {}, memo-on proc p99 {on_p99}µs / shed {} (hit rate {:.2})",
+        dup_off.shed,
+        dup_on.shed,
+        dup_memo.hit_rate()
     );
 
     // The ranking object the smoke gate reads: p99 on the dominant

@@ -48,8 +48,19 @@
 //! given — CI uses it (once per mode) to keep both driver schedules
 //! alive.
 //!
+//! A fourth axis, **`--memo`**, measures cross-request subtree sharing:
+//! streams of separately parsed trees — fully duplicated, sharing a
+//! template prefix of clusters, or i.i.d. — compiled with the memo
+//! cache off vs on ([`DriverConfig::with_memo_capacity`]), interleaved
+//! rep by rep, cold (first pass of a fresh pool) and warm (second pass
+//! of the same pool) measured separately. Hit rates come from
+//! [`BatchReport::memo`]. Two properties are asserted, not just
+//! reported: memo-on outputs are value-identical to memo-off on every
+//! tree, and the warm duplicated pass actually hits. Emits a `memo`
+//! section in the JSON.
+//!
 //! Usage: `cargo run --release --bin bench_throughput --
-//! [--smoke] [--single-tree] [--workers N] [--depth N]
+//! [--smoke] [--single-tree] [--memo] [--workers N] [--depth N]
 //! [--modes barrier,pipelined] [--out PATH] [--label TEXT]`
 
 use paragram_core::parallel::sim::{run_sim_batch, run_sim_batch_with, SimConfig};
@@ -64,6 +75,7 @@ use std::time::Instant;
 struct Args {
     smoke: bool,
     single_tree: bool,
+    memo: bool,
     workers: usize,
     depth: usize,
     modes: Vec<Mode>,
@@ -82,6 +94,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         single_tree: false,
+        memo: false,
         workers: 4,
         depth: 2,
         modes: Vec::new(),
@@ -101,6 +114,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--single-tree" => args.single_tree = true,
+            "--memo" => args.memo = true,
             "--workers" => {
                 args.workers = val("--workers").parse().unwrap_or_else(|_| {
                     eprintln!("error: --workers takes an integer");
@@ -128,7 +142,7 @@ fn parse_args() -> Args {
             "--label" => args.label = val("--label"),
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?}\nusage: bench_throughput [--smoke] [--single-tree] [--workers N] [--depth N] [--modes barrier,pipelined] [--out PATH] [--label TEXT]"
+                    "error: unknown argument {other:?}\nusage: bench_throughput [--smoke] [--single-tree] [--memo] [--workers N] [--depth N] [--modes barrier,pipelined] [--out PATH] [--label TEXT]"
                 );
                 std::process::exit(2);
             }
@@ -187,6 +201,7 @@ fn scales(smoke: bool) -> Vec<Scale> {
             stmts_per_proc: 3,
             nesting: 1,
             seed: 7,
+            template_clusters: 0,
         },
     };
     let unit = Scale {
@@ -197,6 +212,7 @@ fn scales(smoke: bool) -> Vec<Scale> {
             stmts_per_proc: 4,
             nesting: 1,
             seed: 2024,
+            template_clusters: 0,
         },
     };
     if smoke {
@@ -247,6 +263,213 @@ fn run_batch(
 fn median(mut xs: Vec<u128>) -> u128 {
     xs.sort_unstable();
     xs[xs.len() / 2]
+}
+
+/// One memo-axis stream shape: how many distinct sources the stream
+/// cycles through and how many leading clusters are template-shared.
+struct MemoVariant {
+    name: &'static str,
+    distinct: usize,
+    template_clusters: usize,
+}
+
+/// Builds a memo-axis stream: `count` separately parsed trees whose
+/// generator seeds cycle through `distinct` values (identical sources
+/// parse to identical trees — same unique-id tokens, same hashes — but
+/// each occurrence is its own parse, as duplicated service traffic
+/// would be).
+fn memo_stream(
+    compiler: &Compiler,
+    variant: &MemoVariant,
+    count: usize,
+) -> Vec<Arc<ParseTree<PVal>>> {
+    let base = GenConfig {
+        clusters: 3,
+        procs_per_cluster: 2,
+        stmts_per_proc: 4,
+        nesting: 1,
+        seed: 0,
+        template_clusters: variant.template_clusters,
+    };
+    (0..count)
+        .map(|i| {
+            let src = generate(&GenConfig {
+                seed: 9_000 + (i % variant.distinct) as u64,
+                ..base
+            });
+            compiler
+                .tree_from_source(&src)
+                .expect("generated workload parses")
+        })
+        .collect()
+}
+
+/// Asserts two outputs of the same tree are value-identical, instance
+/// by instance (the bench-level equivalence gate; the unit suites do
+/// the same per fixture).
+fn assert_outputs_match(
+    tree: &ParseTree<PVal>,
+    on: &paragram_driver::TreeOutput<PVal>,
+    off: &paragram_driver::TreeOutput<PVal>,
+    ctx: &str,
+) {
+    let g = tree.grammar();
+    for node in tree.node_ids() {
+        let sym = g.prod(tree.node(node).prod).lhs;
+        for a in 0..g.attr_count(sym) {
+            let attr = paragram_core::grammar::AttrId(a as u32);
+            assert_eq!(
+                on.store.get(node, attr),
+                off.store.get(node, attr),
+                "{ctx}: node {node:?} attr {attr:?} diverged with the memo cache on"
+            );
+        }
+    }
+    assert_eq!(
+        on.root_values, off.root_values,
+        "{ctx}: root values diverged with the memo cache on"
+    );
+}
+
+/// The `--memo` axis: duplicated / shared-prefix / i.i.d. streams with
+/// the cache off vs on, cold and warm passes, interleaved rep by rep.
+fn run_memo(compiler: &Compiler, args: &Args, out: &mut String) {
+    const MEMO_BYTES: usize = 64 << 20;
+    let count = if args.smoke { 8 } else { 32 };
+    let reps = if args.smoke { 2 } else { 7 };
+    let variants = [
+        MemoVariant {
+            name: "duplicated",
+            distinct: if args.smoke { 2 } else { 4 },
+            template_clusters: 0,
+        },
+        MemoVariant {
+            name: "shared_prefix",
+            distinct: count,
+            template_clusters: 2,
+        },
+        MemoVariant {
+            name: "iid",
+            distinct: count,
+            template_clusters: 0,
+        },
+    ];
+    let plan = compiler.evals.plan();
+    out.push_str("  \"memo\": {\n");
+    out.push_str(&format!("    \"capacity_bytes\": {MEMO_BYTES},\n"));
+    out.push_str(&format!("    \"stream_len\": {count},\n"));
+    for (vi, variant) in variants.iter().enumerate() {
+        let trees = memo_stream(compiler, variant, count);
+        let nodes_avg: usize = trees.iter().map(|t| t.len()).sum::<usize>() / trees.len();
+        println!(
+            "memo/{}: {count} trees ({} distinct), ~{nodes_avg} nodes each",
+            variant.name, variant.distinct
+        );
+
+        // Both sides run adaptive granularity: the memo caches *leaf*
+        // regions, and only cost-driven decomposition carves procedure
+        // bodies (`stmts` subtrees — memo-safe symbols) into leaves.
+        // Fixed per-worker carving roots every pascal leaf at `decls`,
+        // whose forward-reference loop (genv ← env_out) makes it
+        // uncacheable. Same budget on the off side keeps the ratio a
+        // pure memo effect.
+        let budget = (plan.tree_work(&trees[0]) / 16).max(1);
+
+        // One full-detail pass for the equivalence gate and hit rates:
+        // the same stream through a memo-off and a memo-on driver, two
+        // passes each (cold, then warm on the same pool).
+        let config = |bytes: usize| {
+            DriverConfig::workers(args.workers)
+                .with_pipeline_depth(args.depth)
+                .with_adaptive_budget(budget)
+                .with_memo_capacity(bytes)
+        };
+        let mut off_driver = BatchDriver::new(&CompilationPlan::from_plan(plan, config(0)));
+        let mut on_driver = BatchDriver::new(&CompilationPlan::from_plan(plan, config(MEMO_BYTES)));
+        let off_cold = off_driver.compile_batch(trees.iter().cloned()).unwrap();
+        let on_cold = on_driver.compile_batch(trees.iter().cloned()).unwrap();
+        let off_warm = off_driver.compile_batch(trees.iter().cloned()).unwrap();
+        let on_warm = on_driver.compile_batch(trees.iter().cloned()).unwrap();
+        for (i, tree) in trees.iter().enumerate() {
+            let ctx = format!("memo/{} tree {i}", variant.name);
+            assert_outputs_match(tree, &on_cold.outputs[i], &off_cold.outputs[i], &ctx);
+            assert_outputs_match(tree, &on_warm.outputs[i], &off_warm.outputs[i], &ctx);
+        }
+        let cold_counters = on_cold.memo.expect("memo on");
+        let warm_counters = on_warm.memo.expect("memo on");
+        if variant.name == "duplicated" {
+            assert!(
+                warm_counters.hits > 0,
+                "warm duplicated stream must hit the memo cache: {warm_counters:?}"
+            );
+        }
+        println!(
+            "  hit rate: cold {:.2} ({}/{} probes), warm {:.2} ({}/{} probes)",
+            cold_counters.hit_rate(),
+            cold_counters.hits,
+            cold_counters.hits + cold_counters.misses,
+            warm_counters.hit_rate(),
+            warm_counters.hits,
+            warm_counters.hits + warm_counters.misses,
+        );
+
+        // Timed reps, memo-off and memo-on interleaved: fresh pool per
+        // rep, pass 1 is the cold measurement, pass 2 the warm one.
+        let mut times: [Vec<u128>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..reps {
+            for (oi, bytes) in [(0usize, 0usize), (1, MEMO_BYTES)] {
+                let mut driver = BatchDriver::new(&CompilationPlan::from_plan(plan, config(bytes)));
+                for pass in 0..2 {
+                    let t = Instant::now();
+                    let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+                    std::hint::black_box(report.outputs.len());
+                    times[oi * 2 + pass].push(t.elapsed().as_nanos());
+                }
+            }
+        }
+        let [off_cold_ns, off_warm_ns, on_cold_ns, on_warm_ns] = times.map(median);
+        let tps = |ns: u128| count as f64 / (ns as f64 / 1e9);
+        let warm_ratio = tps(on_warm_ns) / tps(off_warm_ns);
+        let cold_ratio = tps(on_cold_ns) / tps(off_cold_ns);
+        println!(
+            "  memo-off: cold {:.1} / warm {:.1} trees/sec; memo-on: cold {:.1} / warm {:.1} trees/sec — warm memo-on is {warm_ratio:.2}x memo-off",
+            tps(off_cold_ns),
+            tps(off_warm_ns),
+            tps(on_cold_ns),
+            tps(on_warm_ns),
+        );
+
+        out.push_str(&format!("    \"{}\": {{\n", variant.name));
+        out.push_str(&format!(
+            "      \"distinct_sources\": {},\n",
+            variant.distinct
+        ));
+        out.push_str(&format!("      \"tree_nodes_avg\": {nodes_avg},\n"));
+        out.push_str(&format!(
+            "      \"hit_rate\": {{ \"cold\": {:.3}, \"warm\": {:.3} }},\n",
+            cold_counters.hit_rate(),
+            warm_counters.hit_rate()
+        ));
+        out.push_str(&format!(
+            "      \"memo_off\": {{ \"cold_trees_per_sec\": {:.1}, \"warm_trees_per_sec\": {:.1} }},\n",
+            tps(off_cold_ns),
+            tps(off_warm_ns)
+        ));
+        out.push_str(&format!(
+            "      \"memo_on\": {{ \"cold_trees_per_sec\": {:.1}, \"warm_trees_per_sec\": {:.1} }},\n",
+            tps(on_cold_ns),
+            tps(on_warm_ns)
+        ));
+        out.push_str(&format!(
+            "      \"memo_on_vs_off\": {{ \"cold\": {cold_ratio:.2}, \"warm\": {warm_ratio:.2} }}\n"
+        ));
+        out.push_str(if vi + 1 == variants.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  },\n");
 }
 
 /// The `--single-tree` axis: one bigger-than-paper tree compiled
@@ -512,6 +735,12 @@ fn main() {
         }
         out.push_str("  },\n");
         let _ = si;
+    }
+
+    // Cross-request memo-cache axis (duplicated / shared-prefix /
+    // i.i.d. streams, cache off vs on, cold and warm).
+    if args.memo {
+        run_memo(&compiler, &args, &mut out);
     }
 
     // Region-granular single-tree axis (adaptive vs whole-tree on one

@@ -58,6 +58,7 @@ impl SizeClass {
                 stmts_per_proc: 3,
                 nesting: 1,
                 seed,
+                template_clusters: 0,
             },
             SizeClass::Unit => GenConfig {
                 clusters: 1,
@@ -65,6 +66,7 @@ impl SizeClass {
                 stmts_per_proc: 4,
                 nesting: 1,
                 seed,
+                template_clusters: 0,
             },
             SizeClass::Paper => GenConfig {
                 seed,
@@ -93,7 +95,21 @@ pub struct StreamConfig {
     pub tenants: u32,
     /// Size-class mix as `(class, weight)` pairs; weights are relative.
     pub mix: Vec<(SizeClass, u32)>,
+    /// Fraction of requests (0.0–1.0) whose generator seed is drawn
+    /// from a small fixed pool instead of being unique: duplicated
+    /// traffic, the replay shape a cross-request memo cache exploits.
+    /// Sampled from a side RNG so the arrival schedule, tenants and
+    /// size classes are *identical* at any fraction. 0.0 (the default)
+    /// keeps every request's source distinct.
+    pub template_fraction: f64,
 }
+
+/// Number of distinct template seeds duplicated traffic draws from.
+const TEMPLATE_POOL: u64 = 4;
+
+/// Base of the template seed range — far from the per-request seed
+/// range `cfg.seed + 1 + i` for any realistic stream seed.
+const TEMPLATE_SEED_BASE: u64 = 0x7e3a_11ab_0000_0000;
 
 impl StreamConfig {
     /// A skewed service stream: overwhelmingly small requests with a
@@ -111,7 +127,15 @@ impl StreamConfig {
                 (SizeClass::Paper, 4),
                 (SizeClass::Huge, 2),
             ],
+            template_fraction: 0.0,
         }
+    }
+
+    /// Returns the stream with the given duplicated-traffic fraction
+    /// (clamped to 0.0–1.0); the arrival schedule is unchanged.
+    pub fn with_template_fraction(mut self, fraction: f64) -> Self {
+        self.template_fraction = fraction.clamp(0.0, 1.0);
+        self
     }
 
     /// The same stream shape with every class at or above `cap`
@@ -166,6 +190,9 @@ pub fn generate_stream(cfg: &StreamConfig) -> Vec<RequestSpec> {
     let total_weight: u32 = cfg.mix.iter().map(|&(_, w)| w).sum();
     assert!(total_weight > 0, "stream mix needs positive weight");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Template decisions come from a separate RNG: the arrival/class/
+    // tenant schedule is byte-identical at any template fraction.
+    let mut trng = SmallRng::seed_from_u64(cfg.seed ^ TEMPLATE_SEED_BASE);
     let mut at = 0u64;
     (0..cfg.requests)
         .map(|i| {
@@ -187,11 +214,18 @@ pub fn generate_stream(cfg: &StreamConfig) -> Vec<RequestSpec> {
                 .expect("weights sum to total")
                 .0;
             let tenant = rng.gen_range(0..cfg.tenants.max(1));
+            let seed = if cfg.template_fraction > 0.0
+                && unit_uniform(trng.next_u64()) < cfg.template_fraction
+            {
+                TEMPLATE_SEED_BASE + trng.next_u64() % TEMPLATE_POOL
+            } else {
+                cfg.seed.wrapping_add(1 + i as u64)
+            };
             RequestSpec {
                 arrival: at,
                 tenant,
                 class,
-                seed: cfg.seed.wrapping_add(1 + i as u64),
+                seed,
             }
         })
         .collect()
@@ -258,6 +292,33 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 1_000);
+    }
+
+    #[test]
+    fn template_fraction_duplicates_seeds_without_touching_the_schedule() {
+        let base = StreamConfig::skewed(400, 11);
+        let plain = generate_stream(&base);
+        let templated = generate_stream(&base.clone().with_template_fraction(0.5));
+        // Identical schedule, tenants and classes at any fraction.
+        for (a, b) in plain.iter().zip(&templated) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.class, b.class);
+        }
+        // Roughly half the requests now share a handful of seeds.
+        let mut seeds: Vec<u64> = templated.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let dups = templated.len() - seeds.len();
+        assert!(
+            (100..300).contains(&dups),
+            "≈50% of 400 requests should duplicate, got {dups}"
+        );
+        // Fraction 0 is byte-identical to the unfractioned stream.
+        let zero = generate_stream(&base.clone().with_template_fraction(0.0));
+        for (a, b) in plain.iter().zip(&zero) {
+            assert_eq!(a.seed, b.seed);
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod analysis;
 pub mod csr;
 pub mod eval;
 pub mod grammar;
+pub mod memo;
 pub mod parallel;
 pub mod split;
 pub mod stats;
@@ -70,5 +71,6 @@ pub mod uniq;
 pub mod value;
 
 pub use grammar::{AttrId, AttrKind, Grammar, GrammarBuilder, ProdId, SymbolId};
+pub use memo::{MemoCache, MemoCounters};
 pub use tree::{AttrSlots, AttrStore, NodeId, ParseTree, RegionStore, TreeBuilder};
 pub use value::{AttrValue, Value};

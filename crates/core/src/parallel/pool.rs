@@ -96,7 +96,8 @@
 //! one-shot [`WorkerPool::eval`] when compiling a single tree.
 
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
-use crate::grammar::AttrId;
+use crate::grammar::{AttrId, AttrKind};
+use crate::memo::{inherited_fingerprint, MemoCache, MemoCounters, MemoEntry, MemoKey};
 use crate::split::{decompose_granular, Decomposition, RegionGranularity, RegionId, SplitTable};
 use crate::stats::EvalStats;
 use crate::tree::{AttrStore, NodeId, ParseTree, RegionStore};
@@ -140,6 +141,11 @@ pub struct PoolConfig {
     /// [`RegionGranularity::Adaptive`] (one region per work budget, so
     /// a huge tree yields many jobs that round-robin over the workers).
     pub granularity: RegionGranularity,
+    /// Byte budget for the cross-tree attribute memo cache
+    /// ([`crate::memo::MemoCache`]); 0 (the default everywhere)
+    /// disables memoization entirely, keeping the paper's Fig-7
+    /// behaviour bit-for-bit.
+    pub memo_capacity: usize,
 }
 
 impl PoolConfig {
@@ -153,6 +159,7 @@ impl PoolConfig {
             min_size_scale: 1.0,
             pipeline_depth: 2,
             granularity: RegionGranularity::Machines(n),
+            memo_capacity: 0,
         }
     }
 
@@ -187,6 +194,15 @@ impl PoolConfig {
     pub fn with_granularity(self, granularity: RegionGranularity) -> Self {
         PoolConfig {
             granularity,
+            ..self
+        }
+    }
+
+    /// Returns the configuration with a memo cache of roughly
+    /// `bytes` capacity (0 disables memoization).
+    pub fn with_memo_capacity(self, bytes: usize) -> Self {
+        PoolConfig {
+            memo_capacity: bytes,
             ..self
         }
     }
@@ -324,6 +340,9 @@ struct InFlight<V: AttrValue> {
     /// The tree under evaluation — assembly sizes the whole-tree store
     /// and resolves the region stores' slot spans against it.
     tree: Arc<ParseTree<V>>,
+    /// The decomposition — retire-time memo installation needs region
+    /// roots and parents.
+    decomp: Arc<Decomposition>,
     regions: usize,
     expected_roots: usize,
     raw_roots: Vec<(AttrId, V)>,
@@ -350,6 +369,14 @@ pub struct WorkerPool<V: AttrValue> {
     max_in_flight: usize,
     max_regions_in_flight: usize,
     poisoned: Option<EvalError>,
+    /// Cross-tree attribute memo cache (None when
+    /// [`PoolConfig::memo_capacity`] is 0). Shared with the workers:
+    /// they probe before building a machine, the pool installs at
+    /// retirement.
+    memo: Option<Arc<MemoCache<V>>>,
+    /// Per-symbol memo safety (see [`memo_safety`]); empty when the
+    /// cache is off.
+    memo_safe: Arc<Vec<bool>>,
 }
 
 /// Everything a worker thread needs; owned by the thread.
@@ -363,6 +390,44 @@ struct WorkerCtx<V: AttrValue> {
     /// the same [`worker_of`] placement function the dispatch side
     /// uses, so the two can never drift apart.
     config: PoolConfig,
+    /// Shared memo cache (probe side); None when memoization is off.
+    memo: Option<Arc<MemoCache<V>>>,
+    /// Per-symbol memo safety, aligned with the grammar's symbol ids.
+    memo_safe: Arc<Vec<bool>>,
+}
+
+/// Per-symbol memoization safety: a split symbol is memo-safe iff no
+/// inherited attribute of the symbol may (transitively) depend on a
+/// synthesized attribute of the *same* occurrence. A probe holds a leaf
+/// region's synthesized outputs back until every inherited input has
+/// arrived; if the parent needed one of those outputs to compute a
+/// later inherited input, probe and parent would deadlock. The induced
+/// dependency relation is exactly the may-depend closure, so its
+/// absence makes the hold-back safe in both machine modes. Grammars the
+/// fixpoint rejects (cyclic — dynamic-mode only) get no safe symbols.
+fn memo_safety<V: AttrValue>(plan: &EvalPlan<V>) -> Vec<bool> {
+    let g = plan.grammar();
+    let Ok(deps) = crate::analysis::induced_deps(g.as_ref()) else {
+        return vec![false; g.symbols().len()];
+    };
+    g.symbols()
+        .iter()
+        .enumerate()
+        .map(|(si, sym)| {
+            let rel = &deps.ids[si];
+            for (a, aa) in sym.attrs.iter().enumerate() {
+                if aa.kind != AttrKind::Syn {
+                    continue;
+                }
+                for (b, ba) in sym.attrs.iter().enumerate() {
+                    if ba.kind == AttrKind::Inh && rel.has(a, b) {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+        .collect()
 }
 
 /// The region→worker placement: a pure function of `(ticket, region)`
@@ -383,6 +448,13 @@ impl<V: AttrValue> WorkerPool<V> {
         let workers = config.workers;
         let depth = config.pipeline_depth;
         let split = SplitTable::new(plan.grammar().as_ref(), config.min_size_scale);
+        let memo =
+            (config.memo_capacity > 0).then(|| Arc::new(MemoCache::new(config.memo_capacity)));
+        let memo_safe = Arc::new(if memo.is_some() {
+            memo_safety(plan)
+        } else {
+            Vec::new()
+        });
 
         let mut worker_txs = Vec::with_capacity(workers);
         let mut worker_rxs = Vec::with_capacity(workers);
@@ -404,6 +476,8 @@ impl<V: AttrValue> WorkerPool<V> {
                 parser_tx: parser_tx.clone(),
                 lib_tx: lib_tx.clone(),
                 config,
+                memo: memo.clone(),
+                memo_safe: Arc::clone(&memo_safe),
             };
             handles.push(std::thread::spawn(move || worker_main(ctx)));
         }
@@ -439,6 +513,8 @@ impl<V: AttrValue> WorkerPool<V> {
             max_in_flight: 0,
             max_regions_in_flight: 0,
             poisoned: None,
+            memo,
+            memo_safe,
         }
     }
 
@@ -501,6 +577,13 @@ impl<V: AttrValue> WorkerPool<V> {
         &self.plan
     }
 
+    /// Lifetime counter snapshot of the memo cache (None when
+    /// memoization is off). Drivers diff two snapshots for per-batch
+    /// deltas.
+    pub fn memo_counters(&self) -> Option<MemoCounters> {
+        self.memo.as_ref().map(|m| m.counters())
+    }
+
     /// Submits one tree into the pipeline window: decomposes it (at the
     /// configured granularity), assigns the next ticket and dispatches
     /// one region job per region, round-robin over the workers. If the
@@ -556,6 +639,7 @@ impl<V: AttrValue> WorkerPool<V> {
         self.in_flight.push_back(InFlight {
             ticket,
             tree: Arc::clone(tree),
+            decomp,
             regions,
             expected_roots,
             raw_roots: Vec::with_capacity(expected_roots),
@@ -735,6 +819,76 @@ impl<V: AttrValue> WorkerPool<V> {
         // though the spans are disjoint anyway), and finally resolve
         // segment references so the result is independent of the
         // decomposition.
+        // Retire-time memo installation: every cacheable region of a
+        // successfully evaluated tree deposits its owned span under its
+        // input signature, so later structurally identical requests can
+        // skip the machine entirely. Spans are extracted in *preorder*
+        // of the subtree — arena ids are builder-dependent, preorder is
+        // not.
+        if let Some(memo) = &self.memo {
+            let g = fl.tree.grammar();
+            for (ri, res) in fl.region_results.iter().enumerate() {
+                let Some((_, rstore)) = res else { continue };
+                let Some((root, subtree, inh)) = region_cacheable(
+                    &self.plan,
+                    &self.memo_safe,
+                    &fl.tree,
+                    &fl.decomp,
+                    ri as RegionId,
+                ) else {
+                    continue;
+                };
+                let Some(vals) = inh
+                    .iter()
+                    .map(|&a| rstore.get(root, a))
+                    .collect::<Option<Vec<_>>>()
+                else {
+                    continue;
+                };
+                let Some(inherited) = inherited_fingerprint(vals) else {
+                    continue;
+                };
+                let key = MemoKey { subtree, inherited };
+                if memo.contains(key) {
+                    continue;
+                }
+                let mut span = Vec::new();
+                let mut bytes = 0usize;
+                let mut plain = true;
+                'span: for n in fl.tree.subtree(root) {
+                    let sym = g.prod(fl.tree.node(n).prod).lhs;
+                    for a in 0..g.attr_count(sym) {
+                        let v = rstore.get(n, AttrId(a as u32)).cloned();
+                        if let Some(v) = &v {
+                            // A value that is not fingerprintable may
+                            // hold a ticket-local segment reference;
+                            // replaying it under another ticket would
+                            // resolve against the wrong segment store.
+                            // Skip the whole span.
+                            if !v.is_fingerprintable() {
+                                plain = false;
+                                break 'span;
+                            }
+                            bytes += v.wire_size();
+                        }
+                        span.push(v);
+                    }
+                }
+                if !plain {
+                    continue;
+                }
+                memo.insert(
+                    key,
+                    MemoEntry {
+                        span,
+                        nodes: fl.tree.subtree_size(root) as u32,
+                        root_prod: fl.tree.node(root).prod,
+                        bytes,
+                    },
+                );
+            }
+        }
+
         let mut stats = EvalStats::default();
         let mut store = AttrStore::new(&fl.tree);
         for r in fl.region_results.into_iter() {
@@ -794,7 +948,7 @@ impl<V: AttrValue> std::fmt::Debug for WorkerPool<V> {
     }
 }
 
-/// One region machine a worker is currently running (one per region
+/// One region job a worker is currently running (one per region
 /// job assigned to this worker — possibly several per in-flight
 /// ticket under adaptive granularity).
 struct Running<V: AttrValue> {
@@ -802,10 +956,48 @@ struct Running<V: AttrValue> {
     region: RegionId,
     parent: Option<RegionId>,
     next_seg: u32,
-    machine: Machine<V>,
+    state: JobState<V>,
 }
 
-/// What [`drive`] left the machine in.
+/// A running job's evaluation state.
+///
+/// `Machine` dwarfs the other variants, but it is also the common
+/// case: boxing it would buy nothing (jobs sit in per-worker maps and
+/// are rarely moved) while costing a pointer chase on every `drive`.
+#[allow(clippy::large_enum_variant)]
+enum JobState<V: AttrValue> {
+    /// A memo-eligible leaf region collecting its root inherited values
+    /// before probing the cache; machine construction is deferred until
+    /// the probe resolves (hit: replay the cached span, miss: build the
+    /// machine and feed it the collected values).
+    Probing(Probe<V>),
+    /// An ordinary region machine.
+    Machine(Machine<V>),
+    /// Transient placeholder while a probe resolves; never observed
+    /// outside [`resolve_probe`].
+    Resolving,
+}
+
+/// A pre-machine probe: a leaf region's only external inputs are the
+/// inherited attributes of its root, so the probe parks the job until
+/// they have all arrived (every inherited instance has exactly one
+/// defining rule in the parent, so each *will* arrive), then forms the
+/// region input signature and consults the cache.
+struct Probe<V: AttrValue> {
+    tree: Arc<ParseTree<V>>,
+    decomp: Arc<Decomposition>,
+    /// The region root node.
+    root: NodeId,
+    /// Exact subtree hash at the root.
+    subtree: u64,
+    /// Root inherited attributes, ascending `AttrId` order.
+    needed: Vec<AttrId>,
+    /// Collected values, aligned with `needed`.
+    got: Vec<Option<V>>,
+    filled: usize,
+}
+
+/// What [`drive`] left the job in.
 enum Drive {
     /// Out of ready work, waiting on attribute messages.
     Starved,
@@ -814,8 +1006,46 @@ enum Drive {
     Yielded,
     /// Ran to completion (`None`) or failed (`Some(error)`).
     Finished(Option<EvalError>),
+    /// A memo hit replayed the region; Done is already sent, the entry
+    /// just needs dropping.
+    Replayed,
     /// A send failed: the pool is gone, terminate the worker.
     Dead,
+}
+
+/// Decides whether `region` of `tree` is memoizable, and under what
+/// signature inputs. Cacheable regions are **leaf** regions (no
+/// boundary children — their owned span is their whole subtree and
+/// their only external inputs are the root's inherited values) whose
+/// root symbol is memo-safe (see [`memo_safety`]; the tree root is
+/// trivially safe, it awaits nothing) and whose subtree hash is exact.
+/// Returns the region root, its subtree hash, and the root inherited
+/// attributes in ascending `AttrId` order (the fingerprint order both
+/// the probe and the retire-time install use).
+fn region_cacheable<V: AttrValue>(
+    plan: &EvalPlan<V>,
+    memo_safe: &[bool],
+    tree: &ParseTree<V>,
+    decomp: &Decomposition,
+    region: RegionId,
+) -> Option<(NodeId, u64, Vec<AttrId>)> {
+    let map = decomp.slot_map();
+    if map.total_slots(region) != map.owned_slots(region) {
+        return None; // boundary children: an interior region
+    }
+    let root = decomp.regions[region as usize].root;
+    let root_sym = plan.grammar().prod(tree.node(root).prod).lhs;
+    if root != tree.root() && !memo_safe.get(root_sym.0 as usize).copied().unwrap_or(false) {
+        return None;
+    }
+    let subtree = tree.subtree_hash(root)?;
+    let mut inh: Vec<AttrId> = if root == tree.root() {
+        Vec::new() // machines await no inherited values at the tree root
+    } else {
+        plan.inh_attrs(root_sym).to_vec()
+    };
+    inh.sort_unstable_by_key(|a| a.0);
+    Some((root, subtree, inh))
 }
 
 /// How many scheduler steps a *non-oldest* machine may run before the
@@ -857,12 +1087,20 @@ fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
         let mut i = 0;
         while i < running.len() {
             let budget = if i == 0 { usize::MAX } else { YIELD_STEPS };
-            let outcome = drive(&ctx, &mut running[i], budget);
+            let outcome = drive(&ctx, &mut running[i], budget, &mut scratches);
             match outcome {
                 Drive::Dead => return,
+                Drive::Replayed => {
+                    // Memo hit: the probe already sent the root values
+                    // and Done. The next job shifted into `i`.
+                    running.remove(i);
+                }
                 Drive::Finished(err) => {
                     let done = running.remove(i);
-                    let (store, stats, sc) = done.machine.recycle();
+                    let JobState::Machine(machine) = done.state else {
+                        unreachable!("only machines finish");
+                    };
+                    let (store, stats, sc) = machine.recycle();
                     scratches.push(sc);
                     let result = match err {
                         Some(e) => Err(e),
@@ -947,6 +1185,27 @@ enum Absorbed {
     Other,
 }
 
+/// Feeds one attribute value to a running job: machines get a
+/// `provide`, probes collect their root inherited values.
+fn feed<V: AttrValue>(r: &mut Running<V>, node: NodeId, attr: AttrId, value: V) {
+    match &mut r.state {
+        JobState::Machine(m) => m.provide(node, attr, value),
+        JobState::Probing(p) => {
+            debug_assert_eq!(
+                node, p.root,
+                "a leaf region only receives its root's inherited values"
+            );
+            if let Some(i) = p.needed.iter().position(|&a| a == attr) {
+                if p.got[i].is_none() {
+                    p.got[i] = Some(value);
+                    p.filled += 1;
+                }
+            }
+        }
+        JobState::Resolving => unreachable!("transient state"),
+    }
+}
+
 /// Routes one incoming message: activates jobs, feeds attribute values
 /// to their `(ticket, region)` machine (parking values whose machine
 /// does not exist yet, dropping values for already-finished jobs).
@@ -971,7 +1230,7 @@ fn absorb<V: AttrValue>(
                 .position(|r| r.ticket == ticket && r.region == region)
             {
                 Some(idx) => {
-                    running[idx].machine.provide(node, attr, value);
+                    feed(&mut running[idx], node, attr, value);
                     Absorbed::Fed(idx)
                 }
                 // Either the job has not arrived yet (replayed at
@@ -995,9 +1254,47 @@ fn absorb<V: AttrValue>(
                     .is_none_or(|r| (r.ticket, r.region) < (ticket, region)),
                 "jobs arrive in (ticket, region) order"
             );
-            let scratch = scratches.pop().unwrap_or_default();
-            let mut machine =
-                Machine::from_plan(&ctx.plan, &tree, &decomp, region, ctx.config.mode, scratch);
+            let parent = decomp.regions[region as usize].parent;
+            // Memo-eligible leaf regions defer machine construction
+            // behind a cache probe; everything else builds its machine
+            // immediately as before. Holding a region for its root
+            // inherited values costs parallelism, so the hold is only
+            // taken when the cache has seen this subtree at all — a
+            // never-seen subtree (counted as a miss) evaluates normally
+            // and the retire path installs it for next time.
+            let cacheable = ctx.memo.as_ref().and_then(|m| {
+                let c = region_cacheable(&ctx.plan, &ctx.memo_safe, &tree, &decomp, region)?;
+                m.has_subtree(c.1).then_some(c)
+            });
+            let state = match cacheable {
+                Some((root, subtree, needed)) => JobState::Probing(Probe {
+                    got: vec![None; needed.len()],
+                    filled: 0,
+                    tree,
+                    decomp,
+                    root,
+                    subtree,
+                    needed,
+                }),
+                None => {
+                    let scratch = scratches.pop().unwrap_or_default();
+                    JobState::Machine(Machine::from_plan(
+                        &ctx.plan,
+                        &tree,
+                        &decomp,
+                        region,
+                        ctx.config.mode,
+                        scratch,
+                    ))
+                }
+            };
+            let mut entry = Running {
+                ticket,
+                region,
+                parent,
+                next_seg: 0,
+                state,
+            };
             // Replay values that raced ahead of this job; prune values
             // for jobs that can no longer have a machine (lexically
             // older than this job, not running — i.e. finished).
@@ -1006,7 +1303,7 @@ fn absorb<V: AttrValue>(
                 let (t, q) = (parked_attrs[i].0, parked_attrs[i].1);
                 if (t, q) == (ticket, region) {
                     let (_, _, node, attr, value) = parked_attrs.swap_remove(i);
-                    machine.provide(node, attr, value);
+                    feed(&mut entry, node, attr, value);
                 } else if (t, q) < (ticket, region)
                     && !running.iter().any(|r| r.ticket == t && r.region == q)
                 {
@@ -1015,29 +1312,172 @@ fn absorb<V: AttrValue>(
                     i += 1;
                 }
             }
-            running.push(Running {
-                ticket,
-                region,
-                parent: decomp.regions[region as usize].parent,
-                next_seg: 0,
-                machine,
-            });
+            running.push(entry);
             Absorbed::Other
         }
     }
 }
 
-/// Steps one machine until it starves, finishes, fails, or exhausts
+/// What [`resolve_probe`] decided.
+enum ProbeOutcome {
+    /// Cache hit: span replayed, root values and Done sent.
+    Replayed,
+    /// Cache miss: the job's state is now a machine fed with the
+    /// collected inherited values — drive it.
+    Miss,
+    /// A send failed: the pool is gone.
+    Dead,
+}
+
+/// Resolves a completed probe: forms the region input signature,
+/// consults the cache, and either replays the cached span (sending the
+/// root's synthesized values upward exactly as a machine would on fill,
+/// then Done) or falls back to building the machine and feeding it the
+/// collected inherited values.
+fn resolve_probe<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    r: &mut Running<V>,
+    scratches: &mut Vec<MachineScratch<V>>,
+) -> ProbeOutcome {
+    let JobState::Probing(p) = std::mem::replace(&mut r.state, JobState::Resolving) else {
+        unreachable!("caller checked Probing");
+    };
+    let memo = ctx.memo.as_ref().expect("probing implies a cache");
+    let nodes = p.tree.subtree_size(p.root) as u32;
+    let root_prod = p.tree.node(p.root).prod;
+    let fingerprint =
+        inherited_fingerprint(p.got.iter().map(|v| v.as_ref().expect("probe complete")));
+    let mut hit = fingerprint.and_then(|inherited| {
+        memo.probe(
+            MemoKey {
+                subtree: p.subtree,
+                inherited,
+            },
+            nodes,
+            root_prod,
+        )
+    });
+
+    if let Some(entry) = hit.take() {
+        // Replay: fill a fresh region store from the cached preorder
+        // span. The walk is over *this* tree's subtree — structurally
+        // identical to the cached one, but arena ids may differ.
+        let g = p.tree.grammar();
+        let mut store = RegionStore::new(p.decomp.slot_map(), r.region);
+        let mut vals = entry.span.into_iter();
+        let mut complete = true;
+        'fill: for n in p.tree.subtree(p.root) {
+            let sym = g.prod(p.tree.node(n).prod).lhs;
+            for a in 0..g.attr_count(sym) {
+                let Some(v) = vals.next() else {
+                    complete = false;
+                    break 'fill;
+                };
+                if let Some(v) = v {
+                    store.set(n, AttrId(a as u32), v);
+                }
+            }
+        }
+        if complete && vals.next().is_none() {
+            let root_sym = g.prod(root_prod).lhs;
+            for &a in ctx.plan.syn_attrs(root_sym) {
+                let Some(v) = store.get(p.root, a).cloned() else {
+                    continue;
+                };
+                let sent = match r.parent {
+                    None => ctx
+                        .parser_tx
+                        .send(ParserMsg::Root {
+                            ticket: r.ticket,
+                            attr: a,
+                            value: v,
+                        })
+                        .is_ok(),
+                    Some(q) => ctx.peers[worker_of(&ctx.config, r.ticket, q)]
+                        .send(WorkerMsg::Attr {
+                            ticket: r.ticket,
+                            region: q,
+                            node: p.root,
+                            attr: a,
+                            value: v,
+                        })
+                        .is_ok(),
+                };
+                if !sent {
+                    return ProbeOutcome::Dead;
+                }
+            }
+            let done = ctx.parser_tx.send(ParserMsg::Done {
+                ticket: r.ticket,
+                region: r.region,
+                result: Ok((EvalStats::default(), store)),
+            });
+            return if done.is_ok() {
+                ProbeOutcome::Replayed
+            } else {
+                ProbeOutcome::Dead
+            };
+        }
+        // Span shape disagreed with this subtree (a hash collision the
+        // sanity fields missed): evaluate fresh.
+    }
+
+    let scratch = scratches.pop().unwrap_or_default();
+    let mut machine = Machine::from_plan(
+        &ctx.plan,
+        &p.tree,
+        &p.decomp,
+        r.region,
+        ctx.config.mode,
+        scratch,
+    );
+    for (&attr, v) in p.needed.iter().zip(p.got) {
+        if let Some(v) = v {
+            machine.provide(p.root, attr, v);
+        }
+    }
+    r.state = JobState::Machine(machine);
+    ProbeOutcome::Miss
+}
+
+/// Steps one job until it starves, finishes, fails, or exhausts
 /// `budget` scheduler steps ([`Drive::Yielded`], so the worker can poll
 /// for older-ticket work), forwarding its sends immediately (peers
 /// block on these values; see `super::threads` for why batching would
-/// serialize the pipeline).
-fn drive<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, budget: usize) -> Drive {
+/// serialize the pipeline). Probing jobs resolve here the moment their
+/// last inherited value has arrived.
+fn drive<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    r: &mut Running<V>,
+    budget: usize,
+    scratches: &mut Vec<MachineScratch<V>>,
+) -> Drive {
+    if let JobState::Probing(p) = &r.state {
+        if p.filled < p.needed.len() {
+            return Drive::Starved;
+        }
+        match resolve_probe(ctx, r, scratches) {
+            ProbeOutcome::Replayed => return Drive::Replayed,
+            ProbeOutcome::Dead => return Drive::Dead,
+            ProbeOutcome::Miss => {}
+        }
+    }
+    let Running {
+        ticket,
+        region,
+        parent,
+        next_seg,
+        state,
+    } = r;
+    let (ticket, region, parent) = (*ticket, *region, *parent);
+    let JobState::Machine(machine) = state else {
+        unreachable!("probes resolved above");
+    };
     for _ in 0..budget {
-        match r.machine.step() {
+        match machine.step() {
             Err(e) => return Drive::Finished(Some(e)),
             Ok(None) => {
-                if r.machine.is_done() {
+                if machine.is_done() {
                     return Drive::Finished(None);
                 }
                 // A machine with no ready task, unexecuted tasks left
@@ -1048,16 +1488,16 @@ fn drive<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, budget: usize) ->
                 // instead of starving the pool forever. (A cycle spread
                 // across regions still deadlocks: every machine then
                 // awaits a peer and no local check can see the loop.)
-                if r.machine.awaiting() == 0 {
+                if machine.awaiting() == 0 {
                     return Drive::Finished(Some(EvalError::Cycle {
-                        stuck: r.machine.pending(),
+                        stuck: machine.pending(),
                     }));
                 }
                 return Drive::Starved;
             }
             Ok(Some(outcome)) => {
                 for send in outcome.sends {
-                    if !route_send(ctx, r, send) {
+                    if !route_send(ctx, ticket, region, parent, next_seg, send) {
                         return Drive::Dead;
                     }
                 }
@@ -1070,16 +1510,20 @@ fn drive<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, budget: usize) ->
 /// Forwards one attribute send, deflating librarian-bound string values
 /// into streaming ticket-tagged segment registrations (§4.2's
 /// registration phase). Returns `false` when the pool is gone.
-fn route_send<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, send: AttrMsg<V>) -> bool {
+fn route_send<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    ticket: Ticket,
+    region: RegionId,
+    parent: Option<RegionId>,
+    next_seg: &mut u32,
+    send: AttrMsg<V>,
+) -> bool {
     let upward = match send.to {
         SendTarget::Parser => true,
-        SendTarget::Region(q) => Some(q) == r.parent,
+        SendTarget::Region(q) => Some(q) == parent,
     };
     let mut value = send.value;
     if upward && ctx.config.result == ResultPropagation::Librarian {
-        let ticket = r.ticket;
-        let region = r.region;
-        let next_seg = &mut r.next_seg;
         let deflated = value.deflate(&mut |text: Rope| {
             let id = SegmentId::from_parts(region, *next_seg);
             *next_seg += 1;
@@ -1094,16 +1538,16 @@ fn route_send<V: AttrValue>(ctx: &WorkerCtx<V>, r: &mut Running<V>, send: AttrMs
         SendTarget::Parser => ctx
             .parser_tx
             .send(ParserMsg::Root {
-                ticket: r.ticket,
+                ticket,
                 attr: send.attr,
                 value,
             })
             .is_ok(),
         // Region q of ticket t lives on worker (q + offset(t)) mod W —
         // the same pinning submit used to dispatch its job.
-        SendTarget::Region(q) => ctx.peers[worker_of(&ctx.config, r.ticket, q)]
+        SendTarget::Region(q) => ctx.peers[worker_of(&ctx.config, ticket, q)]
             .send(WorkerMsg::Attr {
-                ticket: r.ticket,
+                ticket,
                 region: q,
                 node: send.node,
                 attr: send.attr,
@@ -1485,6 +1929,144 @@ mod tests {
             err,
             "error outlives the drain"
         );
+    }
+
+    /// Memo-safe splittable grammar: the chain's inherited `env` comes
+    /// from a root token, never from a synthesized attribute of the
+    /// same occurrence, so leaf regions can hold their outputs back
+    /// until every input arrives. Values are scalar so every span is
+    /// cache-plain under either propagation mode.
+    #[allow(clippy::type_complexity)]
+    fn memo_fixture(
+        seed: i64,
+        items: &[i64],
+    ) -> (Arc<ParseTree<Value>>, Arc<EvalPlan<Value>>, AttrId) {
+        use crate::tree::token;
+        let mut g = GrammarBuilder::<Value>::new();
+        let s = g.nonterminal("S");
+        let l = g.nonterminal("stmts");
+        let num = g.terminal("num");
+        let val = g.synthesized(num, "val");
+        let out = g.synthesized(s, "out");
+        let env = g.inherited(l, "env");
+        let code = g.synthesized(l, "code");
+        g.mark_split(l, 4);
+        let top = g.production("top", s, [num, l]);
+        g.rule(top, (2, env), [(1, val)], |a| a[0].clone());
+        g.rule(top, (0, out), [(2, code)], |a| a[0].clone());
+        let cons = g.production("cons", l, [num, l]);
+        g.rule(cons, (2, env), [(0, env)], |a| a[0].clone());
+        g.rule(cons, (0, code), [(1, val), (0, env), (2, code)], |a| {
+            Value::Int(a[0].as_int().unwrap() * a[1].as_int().unwrap() + a[2].as_int().unwrap())
+        });
+        let nil = g.production("nil", l, []);
+        g.rule(nil, (0, code), [], |_| Value::Int(0));
+        let grammar = Arc::new(g.build(s).unwrap());
+        let plan = Arc::new(EvalPlan::analyze(&grammar));
+        let mut tb = TreeBuilder::new(&grammar);
+        let mut tail = tb.leaf(nil);
+        for &v in items.iter().rev() {
+            tail = tb.node_full(cons, vec![token(vec![Value::Int(v)]), tail.into()]);
+        }
+        let root = tb.node_full(top, vec![token(vec![Value::Int(seed)]), tail.into()]);
+        (Arc::new(tb.finish(root).unwrap()), plan, out)
+    }
+
+    #[test]
+    fn memo_replays_repeated_trees_and_matches_memo_off() {
+        let items: Vec<i64> = (0..24).map(|i| i * 3 + 1).collect();
+        for mode in [MachineMode::Combined, MachineMode::Dynamic] {
+            // Two structurally identical trees built independently —
+            // distinct arenas, identical subtree hashes.
+            let (t1, plan, out) = memo_fixture(7, &items);
+            let (t2, _, _) = memo_fixture(7, &items);
+            let config = PoolConfig {
+                mode,
+                ..PoolConfig::combined(2).with_memo_capacity(1 << 20)
+            };
+            let mut pool = WorkerPool::new(&plan, config);
+            let r1 = pool.eval(&t1).unwrap();
+            let after_first = pool.memo_counters().unwrap();
+            assert!(after_first.inserts >= 1, "{mode:?}: first tree installs");
+            assert_eq!(after_first.hits, 0, "{mode:?}: cold cache cannot hit");
+            let r2 = pool.eval(&t2).unwrap();
+            let after_second = pool.memo_counters().unwrap();
+            assert!(
+                after_second.hits >= 1,
+                "{mode:?}: identical tree replays ({after_second:?})"
+            );
+
+            // Replay must be value-identical to a memo-off evaluation,
+            // instance by instance.
+            let (dstore, _) = dynamic_eval(&t2).unwrap();
+            let g = t2.grammar();
+            for node in t2.node_ids() {
+                let sym = g.prod(t2.node(node).prod).lhs;
+                for a in 0..g.attr_count(sym) {
+                    let attr = AttrId(a as u32);
+                    assert_eq!(
+                        r2.store.get(node, attr),
+                        dstore.get(node, attr),
+                        "{mode:?} node={node:?} attr={attr:?}"
+                    );
+                }
+            }
+            assert_eq!(r2.store.filled(), r2.store.len());
+            assert_eq!(
+                r1.root_values.iter().find(|(a, _)| *a == out),
+                r2.root_values.iter().find(|(a, _)| *a == out),
+                "{mode:?}: replayed root value"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_distinguishes_inherited_context() {
+        let items: Vec<i64> = (0..16).map(|i| i + 1).collect();
+        let (t1, plan, out) = memo_fixture(2, &items);
+        // Same chain, different root seed: the leaf region's subtree is
+        // identical but its inherited `env` differs, so the cached span
+        // must NOT be reused.
+        let (t2, _, _) = memo_fixture(5, &items);
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2).with_memo_capacity(1 << 20));
+        pool.eval(&t1).unwrap();
+        let r2 = pool.eval(&t2).unwrap();
+        let c = pool.memo_counters().unwrap();
+        assert_eq!(c.hits, 0, "different inherited context never hits ({c:?})");
+        let (dstore, _) = dynamic_eval(&t2).unwrap();
+        let want = dstore.get(t2.root(), out).unwrap();
+        assert_eq!(
+            &r2.root_values.iter().find(|(a, _)| *a == out).unwrap().1,
+            want
+        );
+    }
+
+    #[test]
+    fn memo_skips_symbols_where_inherited_depends_on_synthesized() {
+        // The base fixture's `top` computes the child's `env` from the
+        // child's own `decls` — holding `decls` back until `env` arrives
+        // would deadlock, so those regions must never probe or install.
+        let (tree, plan, out) = fixture(32);
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2).with_memo_capacity(1 << 20));
+        let (dstore, _) = dynamic_eval(&tree).unwrap();
+        let want = dstore
+            .get(tree.root(), out)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        for round in 0..2 {
+            let report = pool.eval(&tree).unwrap();
+            assert!(root_rope(&report, out).content_eq(&want), "round {round}");
+        }
+        let c = pool.memo_counters().unwrap();
+        assert_eq!((c.hits, c.misses, c.inserts), (0, 0, 0), "{c:?}");
+    }
+
+    #[test]
+    fn memo_off_reports_no_counters() {
+        let (tree, plan, _) = fixture(8);
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2));
+        pool.eval(&tree).unwrap();
+        assert!(pool.memo_counters().is_none());
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use crate::grammar::{AttrId, AttrKind, Grammar, ProdId};
 use crate::split::{RegionId, SlotMap};
-use crate::value::AttrValue;
+use crate::value::{fnv1a_u64, AttrValue};
 use std::fmt;
 use std::sync::Arc;
 
@@ -102,6 +102,12 @@ pub struct ParseTree<V> {
     nodes: Vec<Node<V>>,
     root: NodeId,
     subtree_size: Vec<u32>,
+    subtree_hash: Vec<u64>,
+    /// Whether the subtree's hash covers *all* of its content: false if
+    /// any token value in the subtree returned `None` from
+    /// [`AttrValue::content_hash`].
+    hash_exact: Vec<bool>,
+    subtree_wire: Vec<u64>,
 }
 
 impl<V: AttrValue> ParseTree<V> {
@@ -134,6 +140,17 @@ impl<V: AttrValue> ParseTree<V> {
     /// Number of nodes in the subtree rooted at `id` (including `id`).
     pub fn subtree_size(&self, id: NodeId) -> usize {
         self.subtree_size[id.idx()] as usize
+    }
+
+    /// Structural content hash of the subtree rooted at `id`, computed
+    /// bottom-up from `(production, token values, child hashes)` in one
+    /// pass at [`TreeBuilder::finish`]. Returns `None` when some token
+    /// value in the subtree is not fingerprintable (see
+    /// [`AttrValue::content_hash`]) — such subtrees must not be used as
+    /// memoization keys. Equal subtrees always hash equal; the converse
+    /// holds up to 64-bit collisions.
+    pub fn subtree_hash(&self, id: NodeId) -> Option<u64> {
+        self.hash_exact[id.idx()].then(|| self.subtree_hash[id.idx()])
     }
 
     /// The nonterminal child at RHS occurrence `occ` (1-based), if it is
@@ -177,18 +194,10 @@ impl<V: AttrValue> ParseTree<V> {
 
     /// Approximate linearized size in bytes of the subtree at `id` — the
     /// cost of shipping the subtree to a remote evaluator (production id +
-    /// child arity per node plus token payloads).
+    /// child arity per node plus token payloads). O(1): precomputed per
+    /// node in the bottom-up pass at [`TreeBuilder::finish`].
     pub fn subtree_wire_size(&self, id: NodeId) -> usize {
-        let mut bytes = 0;
-        for n in self.subtree(id) {
-            bytes += 8;
-            for c in &self.node(n).children {
-                if let Child::Token(vals) = c {
-                    bytes += vals.iter().map(|v| v.wire_size()).sum::<usize>();
-                }
-            }
-        }
-        bytes
+        self.subtree_wire[id.idx()] as usize
     }
 }
 
@@ -461,21 +470,50 @@ impl<V: AttrValue> TreeBuilder<V> {
         // a child's size is final before its parent is processed only if
         // child id < parent id, which bottom-up construction guarantees.
         let mut size = vec![1u32; self.nodes.len()];
+        let mut hash = vec![0u64; self.nodes.len()];
+        let mut exact = vec![true; self.nodes.len()];
+        let mut wire = vec![0u64; self.nodes.len()];
         for i in 0..self.nodes.len() {
             let mut s = 1;
+            // Seed with the production id; it determines the RHS shape,
+            // so combining child/token hashes positionally after it is
+            // injective over well-formed trees (up to hash collisions).
+            let mut h = fnv1a_u64(0xcbf2_9ce4_8422_2325, self.nodes[i].prod.0 as u64);
+            let mut ok = true;
+            let mut w = 8u64;
             for c in &self.nodes[i].children {
-                if let Child::Node(cid) = c {
-                    debug_assert!(cid.idx() < i, "bottom-up build order violated");
-                    s += size[cid.idx()];
+                match c {
+                    Child::Node(cid) => {
+                        debug_assert!(cid.idx() < i, "bottom-up build order violated");
+                        s += size[cid.idx()];
+                        h = fnv1a_u64(h, hash[cid.idx()]);
+                        ok &= exact[cid.idx()];
+                        w += wire[cid.idx()];
+                    }
+                    Child::Token(vals) => {
+                        for v in vals.iter() {
+                            match v.content_hash() {
+                                Some(vh) => h = fnv1a_u64(h, vh),
+                                None => ok = false,
+                            }
+                            w += v.wire_size() as u64;
+                        }
+                    }
                 }
             }
             size[i] = s;
+            hash[i] = h;
+            exact[i] = ok;
+            wire[i] = w;
         }
         Ok(ParseTree {
             grammar: self.grammar,
             nodes: self.nodes,
             root,
             subtree_size: size,
+            subtree_hash: hash,
+            hash_exact: exact,
+            subtree_wire: wire,
         })
     }
 }

@@ -73,6 +73,119 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
 
+    /// Label safety under cross-tree memoization.
+    ///
+    /// A cached region replayed into a new tree must not smuggle in
+    /// labels that collide with the rest of that tree. The memo design
+    /// guarantees this *by construction*: label-producing rules draw
+    /// from per-tree unique-id **tokens** (the parser-communicated base
+    /// values of §4.3, materialized as token values), never from live
+    /// [`IdBase`] allocator state — and token values are part of the
+    /// subtree hash, so a cache hit implies the replayed labels are
+    /// byte-identical to what a fresh evaluation of *this* subtree
+    /// would produce. Disjointness within a tree then follows from the
+    /// builder's per-tree uid uniqueness, replay or no replay.
+    #[test]
+    fn memoized_regions_replay_disjoint_labels_across_trees() {
+        use crate::eval::EvalPlan;
+        use crate::grammar::GrammarBuilder;
+        use crate::parallel::pool::{PoolConfig, WorkerPool};
+        use crate::tree::{token, TreeBuilder};
+        use crate::value::Value;
+        use std::sync::Arc;
+
+        let mut g = GrammarBuilder::<Value>::new();
+        let s = g.nonterminal("S");
+        let p = g.nonterminal("stmts");
+        let num = g.terminal("num");
+        let val = g.synthesized(num, "val");
+        let out = g.synthesized(s, "out");
+        let code = g.synthesized(p, "code");
+        g.mark_split(p, 4);
+        let top = g.production("top", s, [p, p]);
+        g.rule(top, (0, out), [(1, code), (2, code)], |a| {
+            Value::str(format!(
+                "{} {}",
+                a[0].as_str().unwrap(),
+                a[1].as_str().unwrap()
+            ))
+        });
+        // The labels come from uid tokens — part of the subtree hash —
+        // not from a runtime counter.
+        let cons = g.production("cons", p, [num, p]);
+        g.rule(cons, (0, code), [(1, val), (2, code)], |a| {
+            Value::str(format!(
+                "L{} {}",
+                a[0].as_int().unwrap(),
+                a[1].as_str().unwrap()
+            ))
+        });
+        let last = g.production("last", p, [num]);
+        g.rule(last, (0, code), [(1, val)], |a| {
+            Value::str(format!("L{}", a[0].as_int().unwrap()))
+        });
+        let grammar = Arc::new(g.build(s).unwrap());
+        let plan = Arc::new(EvalPlan::analyze(&grammar));
+        let chain = |tb: &mut TreeBuilder<Value>, uids: &[i64]| {
+            let mut tail = tb.node_full(last, vec![token(vec![Value::Int(uids[uids.len() - 1])])]);
+            for &u in uids[..uids.len() - 1].iter().rev() {
+                tail = tb.node_full(cons, vec![token(vec![Value::Int(u)]), tail.into()]);
+            }
+            tail
+        };
+        let mk = |first: &[i64], second: &[i64]| {
+            let mut tb = TreeBuilder::new(&grammar);
+            let p1 = chain(&mut tb, first);
+            let p2 = chain(&mut tb, second);
+            let root = tb.node_full(top, vec![p1.into(), p2.into()]);
+            Arc::new(tb.finish(root).unwrap())
+        };
+        // Tree A and tree B share their second procedure (uids 1..=16);
+        // each has a private first one. The shared chain dominates the
+        // tree's work, so the decomposition's leaf region falls inside
+        // it and tree B replays it from tree A's cached evaluation.
+        let shared: Vec<i64> = (1..=16).collect();
+        let a = mk(&[101, 102], &shared);
+        let b = mk(&[201, 202], &shared);
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2).with_memo_capacity(1 << 20));
+        let ra = pool.eval(&a).unwrap();
+        let rb = pool.eval(&b).unwrap();
+        let c = pool.memo_counters().unwrap();
+        assert!(
+            c.hits >= 1,
+            "shared procedure must replay from cache: {c:?}"
+        );
+
+        let labels = |r: &crate::parallel::pool::PoolReport<Value>| -> Vec<String> {
+            r.root_values
+                .iter()
+                .find(|(attr, _)| *attr == out)
+                .and_then(|(_, v)| v.as_str())
+                .unwrap()
+                .split(' ')
+                .map(str::to_string)
+                .collect()
+        };
+        for (name, r, base) in [("A", &ra, 101i64), ("B", &rb, 201)] {
+            let ls = labels(r);
+            let distinct: HashSet<&String> = ls.iter().collect();
+            assert_eq!(
+                distinct.len(),
+                ls.len(),
+                "tree {name}: labels collide: {ls:?}"
+            );
+            let want: Vec<String> = [base, base + 1]
+                .iter()
+                .chain(&shared)
+                .map(|u| format!("L{u}"))
+                .collect();
+            assert_eq!(
+                ls, want,
+                "tree {name}: replayed labels match fresh evaluation"
+            );
+        }
+    }
+
     #[test]
     fn fresh_ids_are_sequential_within_an_evaluator() {
         let b = IdBase::new(0);

@@ -45,29 +45,86 @@ pub trait AttrValue: Clone + Default + Send + Sync + fmt::Debug + 'static {
     fn inflate(&self, _store: &paragram_rope::SegmentStore) -> Self {
         self.clone()
     }
+
+    /// Content fingerprint for memoization (subtree hashing and region
+    /// input signatures). Two values with equal content must hash
+    /// equal; the converse need not hold — a miss only costs a cache
+    /// reuse, never correctness. Return `None` when the value is not
+    /// fingerprintable (the default), which marks any tree node or
+    /// region input carrying it as uncacheable.
+    fn content_hash(&self) -> Option<u64> {
+        None
+    }
+
+    /// `true` iff [`AttrValue::content_hash`] would return `Some` —
+    /// i.e. the value carries no ticket-local state (such as unresolved
+    /// segment references) that would make it unsafe to replay under
+    /// another ticket. The retire-time memo installer calls this on
+    /// every value of a candidate span, so implementations should
+    /// answer with a cheap structural check rather than the default,
+    /// which computes (and discards) the full content hash.
+    fn is_fingerprintable(&self) -> bool {
+        self.content_hash().is_some()
+    }
+}
+
+/// FNV-1a over a byte slice — the workhorse for `content_hash` impls.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Extends an FNV-1a state with one 64-bit word (for combining child
+/// hashes and variant tags).
+pub fn fnv1a_u64(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl AttrValue for i64 {
     fn wire_size(&self) -> usize {
         8
     }
+    fn content_hash(&self) -> Option<u64> {
+        Some(fnv1a(&self.to_le_bytes()))
+    }
 }
 impl AttrValue for u64 {
     fn wire_size(&self) -> usize {
         8
+    }
+    fn content_hash(&self) -> Option<u64> {
+        Some(fnv1a(&self.to_le_bytes()))
     }
 }
 impl AttrValue for bool {
     fn wire_size(&self) -> usize {
         1
     }
+    fn content_hash(&self) -> Option<u64> {
+        Some(fnv1a(&[*self as u8]))
+    }
 }
 impl AttrValue for String {
     fn wire_size(&self) -> usize {
         self.len() + 8
     }
+    fn content_hash(&self) -> Option<u64> {
+        Some(fnv1a(self.as_bytes()))
+    }
 }
-impl AttrValue for () {}
+impl AttrValue for () {
+    fn content_hash(&self) -> Option<u64> {
+        Some(fnv1a(&[]))
+    }
+}
 
 /// A general-purpose attribute value domain: everything the paper's
 /// appendix grammar and the examples need.
@@ -197,6 +254,62 @@ impl AttrValue for Value {
                 Err(_) => self.clone(),
             },
             _ => self.clone(),
+        }
+    }
+
+    fn content_hash(&self) -> Option<u64> {
+        let mut h = fnv1a(&[match self {
+            Value::Unit => 0u8,
+            Value::Int(_) => 1,
+            Value::Bool(_) => 2,
+            Value::Str(_) => 3,
+            Value::Rope(_) => 4,
+            Value::Tab(_) => 5,
+            Value::List(_) => 6,
+        }]);
+        match self {
+            Value::Unit => {}
+            Value::Int(i) => h = fnv1a_u64(h, *i as u64),
+            Value::Bool(b) => h = fnv1a_u64(h, *b as u64),
+            Value::Str(s) => h = fnv1a_u64(h, fnv1a(s.as_bytes())),
+            Value::Rope(r) => {
+                // Unresolved segment references are placeholders whose
+                // text lives elsewhere — not fingerprintable.
+                if r.has_segments() {
+                    return None;
+                }
+                for chunk in r.chunks() {
+                    h = fnv1a_u64(h, fnv1a(chunk.as_bytes()));
+                }
+            }
+            Value::Tab(t) => {
+                // Iteration order is determined by the table's build
+                // sequence; identical builds hash identically, while
+                // equal-content tables built differently may miss
+                // (never false-hit, since the node hash still pins the
+                // full iteration content).
+                for (name, v) in t.iter() {
+                    h = fnv1a_u64(h, fnv1a(name.as_bytes()));
+                    h = fnv1a_u64(h, v.content_hash()?);
+                }
+                h = fnv1a_u64(h, t.len() as u64);
+            }
+            Value::List(l) => {
+                for v in l.iter() {
+                    h = fnv1a_u64(h, v.content_hash()?);
+                }
+                h = fnv1a_u64(h, l.len() as u64);
+            }
+        }
+        Some(h)
+    }
+
+    fn is_fingerprintable(&self) -> bool {
+        match self {
+            Value::Rope(r) => !r.has_segments(),
+            Value::Tab(t) => t.iter().all(|(_, v)| v.is_fingerprintable()),
+            Value::List(l) => l.iter().all(|v| v.is_fingerprintable()),
+            _ => true,
         }
     }
 }

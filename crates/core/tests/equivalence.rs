@@ -16,6 +16,7 @@ use paragram_core::eval::{
     Machine, MachineMode, SendTarget,
 };
 use paragram_core::grammar::{AttrId, Grammar, GrammarBuilder, ProdId};
+use paragram_core::parallel::pool::{PoolConfig, WorkerPool};
 use paragram_core::parallel::threads::{run_threads, ThreadConfig};
 use paragram_core::parallel::ResultPropagation;
 use paragram_core::split::{decompose, Decomposition, RegionId, SplitConfig};
@@ -210,6 +211,89 @@ proptest! {
             min_size_scale: scale,
         }).unwrap();
         assert_stores_equal(&fx.grammar, &tree, &reference, &report.store, "run_threads")?;
+    }
+
+    /// Subtree hashing is structural: within and across generated
+    /// trees, two subtree hashes are equal exactly when the subtrees
+    /// are structurally equal (same productions, same token values,
+    /// recursively) — collision-free on this fixture set.
+    #[test]
+    fn subtree_hash_equality_is_structural_equality(
+        shape_a in prop::collection::vec(0u8..6, 1..12),
+        shape_b in prop::collection::vec(0u8..6, 1..12),
+    ) {
+        let fx = fixture();
+        let a = build_tree(&fx, &shape_a);
+        let b = build_tree(&fx, &shape_b);
+        // Root hashes agree iff the shapes (⇔ the trees) agree.
+        let ha = a.subtree_hash(a.root()).expect("i64 tokens hash exactly");
+        let hb = b.subtree_hash(b.root()).expect("i64 tokens hash exactly");
+        prop_assert_eq!(shape_a == shape_b, ha == hb,
+            "root hashes {} vs {} for shapes {:?} / {:?}", ha, hb, shape_a, shape_b);
+        // Node by node across both trees: hash equality must coincide
+        // with structural subtree equality.
+        let subtree_sig = |t: &ParseTree<i64>, n| {
+            t.subtree(n)
+                .map(|m| t.node(m).prod)
+                .collect::<Vec<_>>()
+        };
+        for (t1, t2) in [(&a, &a), (&a, &b)] {
+            for n1 in t1.node_ids() {
+                for n2 in t2.node_ids() {
+                    let h1 = t1.subtree_hash(n1).unwrap();
+                    let h2 = t2.subtree_hash(n2).unwrap();
+                    // Productions in preorder pin structure (the
+                    // fixture has no token values to differ on).
+                    prop_assert_eq!(
+                        subtree_sig(t1, n1) == subtree_sig(t2, n2),
+                        h1 == h2,
+                        "subtree hash/structure mismatch at {:?}/{:?}", n1, n2
+                    );
+                }
+            }
+        }
+    }
+
+    /// The memo cache is invisible in the values: a pool with the cache
+    /// on — cold pass, then a warm pass replaying cached spans — fills
+    /// the store identically to the dynamic reference and to a memo-off
+    /// pool, in both machine modes, for arbitrary shapes and machine
+    /// counts (each (shape, machines) draw exercises a different
+    /// region/schedule interleaving).
+    #[test]
+    fn memo_on_equals_memo_off_across_modes_and_schedules(
+        shape in prop::collection::vec(0u8..6, 1..16),
+        machines in 1usize..5,
+    ) {
+        let fx = fixture();
+        let tree = build_tree(&fx, &shape);
+        let plan = Arc::new(EvalPlan::analyze(&fx.grammar));
+        let (reference, _) = dynamic_eval(&tree).unwrap();
+        for mode in [MachineMode::Combined, MachineMode::Dynamic] {
+            let off = PoolConfig { mode, ..PoolConfig::combined(machines) };
+            let on = PoolConfig {
+                mode,
+                ..PoolConfig::combined(machines).with_memo_capacity(1 << 20)
+            };
+            let mut off_pool = WorkerPool::new(&plan, off);
+            let off_report = off_pool.eval(&tree).unwrap();
+            assert_stores_equal(
+                &fx.grammar, &tree, &reference, &off_report.store,
+                &format!("{mode:?} memo-off"),
+            )?;
+            let mut on_pool = WorkerPool::new(&plan, on);
+            for round in 0..2 {
+                let r = on_pool.eval(&tree).unwrap();
+                assert_stores_equal(
+                    &fx.grammar, &tree, &reference, &r.store,
+                    &format!("{mode:?} memo-on round {round}"),
+                )?;
+                prop_assert_eq!(
+                    &r.root_values, &off_report.root_values,
+                    "{:?} memo-on round {} root values", mode, round
+                );
+            }
+        }
     }
 }
 

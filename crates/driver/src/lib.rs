@@ -115,6 +115,7 @@ pub use service::{
 
 use paragram_core::eval::{EvalError, EvalPlan, MachineMode};
 use paragram_core::grammar::{AttrId, Grammar};
+use paragram_core::memo::MemoCounters;
 use paragram_core::parallel::pool::{PoolConfig, PoolReport, WorkerPool};
 use paragram_core::parallel::ResultPropagation;
 use paragram_core::split::RegionGranularity;
@@ -149,6 +150,11 @@ pub struct DriverConfig {
     /// region jobs that pipeline through the pool like many small
     /// trees.
     pub granularity: Option<RegionGranularity>,
+    /// Cross-request attribute memo cache budget in bytes; 0 (the
+    /// default) disables memoization entirely, reproducing the paper's
+    /// Figure-7 behaviour where every region is evaluated from scratch.
+    /// See [`paragram_core::memo`] for the signature contract.
+    pub memo_capacity: usize,
 }
 
 impl DriverConfig {
@@ -162,6 +168,7 @@ impl DriverConfig {
             min_size_scale: 1.0,
             pipeline_depth: 2,
             granularity: None,
+            memo_capacity: 0,
         }
     }
 
@@ -190,6 +197,15 @@ impl DriverConfig {
     pub fn with_adaptive_budget(self, budget: u64) -> Self {
         DriverConfig {
             granularity: Some(RegionGranularity::Adaptive { budget }),
+            ..self
+        }
+    }
+
+    /// Returns the configuration with a cross-request memo cache of the
+    /// given byte budget (0 turns memoization back off).
+    pub fn with_memo_capacity(self, bytes: usize) -> Self {
+        DriverConfig {
+            memo_capacity: bytes,
             ..self
         }
     }
@@ -360,6 +376,10 @@ pub struct BatchReport<V: AttrValue> {
     /// granularity a single huge tree alone can keep many more region
     /// jobs live than the tree window suggests.
     pub max_regions_in_flight: usize,
+    /// Memo cache activity attributable to *this* batch (the pool's
+    /// counters are cumulative; this is the delta over the batch).
+    /// `None` when [`DriverConfig::memo_capacity`] is 0.
+    pub memo: Option<MemoCounters>,
 }
 
 impl<V: AttrValue> BatchReport<V> {
@@ -394,6 +414,7 @@ impl<V: AttrValue> BatchDriver<V> {
                 min_size_scale: cfg.min_size_scale,
                 pipeline_depth: cfg.pipeline_depth,
                 granularity: cfg.effective_granularity(),
+                memo_capacity: cfg.memo_capacity,
             },
         );
         BatchDriver {
@@ -415,6 +436,12 @@ impl<V: AttrValue> BatchDriver<V> {
     /// Trees compiled by this driver so far.
     pub fn trees_compiled(&self) -> usize {
         self.trees_compiled
+    }
+
+    /// Cumulative memo cache counters since the pool was spawned;
+    /// `None` when memoization is off.
+    pub fn memo_counters(&self) -> Option<MemoCounters> {
+        self.pool.memo_counters()
     }
 
     /// Compiles one tree on the pool, start to finish (no overlap with
@@ -452,6 +479,7 @@ impl<V: AttrValue> BatchDriver<V> {
         // only at submit boundaries would miss peaks reached while it
         // was blocked inside `submit`'s backpressure).
         self.pool.reset_high_water();
+        let memo_start = self.pool.memo_counters();
         let mut outputs = Vec::new();
         let mut failed = None;
         for tree in trees {
@@ -492,6 +520,10 @@ impl<V: AttrValue> BatchDriver<V> {
             pipeline_depth: self.pool.pipeline_depth(),
             max_in_flight: self.pool.max_in_flight(),
             max_regions_in_flight: self.pool.max_regions_in_flight(),
+            memo: self
+                .pool
+                .memo_counters()
+                .map(|c| c.since(&memo_start.unwrap_or_default())),
         })
     }
 }

@@ -32,6 +32,7 @@
 
 use crate::{CompilationPlan, TreeOutput};
 use paragram_core::eval::EvalError;
+use paragram_core::memo::MemoCounters;
 use paragram_core::parallel::policy::{DispatchPolicy, PolicyQueue, QueuedJob};
 use paragram_core::parallel::pool::{PoolConfig, WorkerPool};
 use paragram_core::tree::ParseTree;
@@ -133,6 +134,10 @@ pub struct ServiceStats {
     pub completed: usize,
     /// Largest number of requests ever waiting at once.
     pub max_waiting: usize,
+    /// Cumulative memo cache activity (all zeros when
+    /// [`DriverConfig::memo_capacity`](crate::DriverConfig::memo_capacity)
+    /// is 0 — the cache is off and nothing ever probes it).
+    pub memo: MemoCounters,
 }
 
 /// An open-arrival compilation service over one persistent
@@ -170,6 +175,7 @@ impl<V: AttrValue> ServiceQueue<V> {
                 min_size_scale: cfg.min_size_scale,
                 pipeline_depth: cfg.pipeline_depth,
                 granularity: cfg.effective_granularity(),
+                memo_capacity: cfg.memo_capacity,
             },
         );
         ServiceQueue {
@@ -191,9 +197,13 @@ impl<V: AttrValue> ServiceQueue<V> {
         self.queue.policy()
     }
 
-    /// Admission / completion accounting so far.
+    /// Admission / completion accounting so far, including the pool's
+    /// cumulative memo cache counters.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        ServiceStats {
+            memo: self.pool.memo_counters().unwrap_or_default(),
+            ..self.stats
+        }
     }
 
     /// Requests admitted but not yet dispatched.

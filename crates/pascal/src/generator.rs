@@ -24,7 +24,20 @@ pub struct GenConfig {
     pub nesting: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Leading clusters drawn from a fixed, seed-independent RNG: two
+    /// programs that differ only in [`GenConfig::seed`] share the first
+    /// `template_clusters` clusters *byte for byte*. Because everything
+    /// before a shared cluster is also shared, the attribute-grammar
+    /// trees agree on unique-id tokens and environment threading there
+    /// — exactly the duplicated-traffic shape a cross-request memo
+    /// cache can exploit. 0 (the default constructors) disables
+    /// templating; the whole program then varies with the seed.
+    pub template_clusters: usize,
 }
+
+/// Seed of the template RNG (one per template cluster, offset by the
+/// cluster index) — deliberately unrelated to any workload seed.
+const TEMPLATE_SEED: u64 = 0x7e3a_11ab_5eed_0000;
 
 impl GenConfig {
     /// The paper's measurement program shape: ≈2000 lines, ≈60
@@ -36,6 +49,7 @@ impl GenConfig {
             stmts_per_proc: 18,
             nesting: 4,
             seed: 1987,
+            template_clusters: 0,
         }
     }
 
@@ -47,6 +61,7 @@ impl GenConfig {
             stmts_per_proc: 6,
             nesting: 2,
             seed: 42,
+            template_clusters: 0,
         }
     }
 
@@ -63,6 +78,17 @@ impl GenConfig {
             stmts_per_proc: 50,
             nesting: 5,
             seed: 2026,
+            template_clusters: 0,
+        }
+    }
+
+    /// Returns the configuration with the given number of leading
+    /// template (seed-independent) clusters, clamped to the cluster
+    /// count.
+    pub fn with_template_clusters(self, n: usize) -> Self {
+        GenConfig {
+            template_clusters: n.min(self.clusters),
+            ..self
         }
     }
 }
@@ -76,7 +102,15 @@ pub fn generate(cfg: &GenConfig) -> String {
     let _ = writeln!(src, "var g0, g1, g2, g3: integer;");
 
     for c in 0..cfg.clusters {
-        gen_cluster(&mut src, cfg, c, &mut rng);
+        if c < cfg.template_clusters {
+            // Template clusters never touch the workload RNG, so the
+            // seed-varying clusters are unaffected by how many template
+            // clusters precede them.
+            let mut trng = SmallRng::seed_from_u64(TEMPLATE_SEED.wrapping_add(c as u64));
+            gen_cluster(&mut src, cfg, c, &mut trng);
+        } else {
+            gen_cluster(&mut src, cfg, c, &mut rng);
+        }
     }
 
     // Main: initialize globals, call each cluster's last function,
@@ -248,6 +282,34 @@ mod tests {
             ..GenConfig::paper()
         });
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn template_clusters_are_shared_across_seeds() {
+        let base = GenConfig::small().with_template_clusters(2);
+        let a = generate(&base);
+        let b = generate(&GenConfig { seed: 99, ..base });
+        assert_ne!(a, b, "seed still varies the non-template clusters");
+        // The shared prefix (everything up to the first seed-varying
+        // cluster) is byte-identical.
+        let marker = "function cluster2(";
+        let (pa, pb) = (a.find(marker).unwrap(), b.find(marker).unwrap());
+        assert_eq!(pa, pb);
+        assert_eq!(a[..pa], b[..pb], "template prefix is shared verbatim");
+        // Templated programs still compile cleanly and agree with the
+        // direct compiler.
+        let c = Compiler::new();
+        let ag = c.compile(&a).unwrap();
+        assert!(ag.errors.is_empty(), "{:?}", ag.errors);
+        let direct = compile_direct(&parse(&a).unwrap());
+        assert_eq!(run_asm(&ag.asm).unwrap(), run_asm(&direct.asm).unwrap());
+    }
+
+    #[test]
+    fn zero_template_clusters_reproduces_untemplated_output() {
+        let a = generate(&GenConfig::small());
+        let b = generate(&GenConfig::small().with_template_clusters(0));
+        assert_eq!(a, b);
     }
 
     #[test]

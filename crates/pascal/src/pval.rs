@@ -1,7 +1,7 @@
 //! The Pascal compiler's attribute-value domain.
 
-use crate::env::{Env, ParamSig, Ty};
-use paragram_core::value::AttrValue;
+use crate::env::{Entry, Env, ParamSig, Ty};
+use paragram_core::value::{fnv1a, fnv1a_u64, AttrValue};
 use paragram_rope::Rope;
 use std::fmt;
 use std::sync::Arc;
@@ -159,6 +159,138 @@ impl AttrValue for PVal {
                 Err(_) => self.clone(),
             },
             _ => self.clone(),
+        }
+    }
+
+    fn content_hash(&self) -> Option<u64> {
+        let mut h = fnv1a(&[match self {
+            PVal::Unit => 0u8,
+            PVal::Int(_) => 1,
+            PVal::Str(_) => 2,
+            PVal::Ty(_) => 3,
+            PVal::Env(_) => 4,
+            PVal::Code(_) => 5,
+            PVal::Errs(_) => 6,
+            PVal::Sig(_) => 7,
+        }]);
+        match self {
+            PVal::Unit => {}
+            PVal::Int(i) => h = fnv1a_u64(h, *i as u64),
+            PVal::Str(s) => h = fnv1a_u64(h, fnv1a(s.as_bytes())),
+            PVal::Ty(t) => h = fnv1a_u64(h, ty_hash(*t)),
+            PVal::Env(e) => {
+                // Iteration order follows the table's build sequence:
+                // identically threaded environments hash identically;
+                // equal-content tables built differently may miss,
+                // never false-hit.
+                for (name, entry) in e.iter() {
+                    h = fnv1a_u64(h, fnv1a(name.as_bytes()));
+                    h = fnv1a_u64(h, entry_hash(entry));
+                }
+                h = fnv1a_u64(h, e.len() as u64);
+            }
+            PVal::Code(c) => {
+                // Unresolved segment references are ticket-local
+                // placeholders — not fingerprintable.
+                if c.has_segments() {
+                    return None;
+                }
+                for chunk in c.chunks() {
+                    h = fnv1a_u64(h, fnv1a(chunk.as_bytes()));
+                }
+            }
+            PVal::Errs(e) => {
+                for msg in e.iter() {
+                    h = fnv1a_u64(h, fnv1a(msg.as_bytes()));
+                }
+                h = fnv1a_u64(h, e.len() as u64);
+            }
+            PVal::Sig(s) => {
+                for p in s.iter() {
+                    h = fnv1a_u64(h, sig_hash(p));
+                }
+                h = fnv1a_u64(h, s.len() as u64);
+            }
+        }
+        Some(h)
+    }
+
+    fn is_fingerprintable(&self) -> bool {
+        match self {
+            PVal::Code(c) => !c.has_segments(),
+            _ => true,
+        }
+    }
+}
+
+fn ty_hash(t: Ty) -> u64 {
+    match t {
+        Ty::Int => 1,
+        Ty::Bool => 2,
+        Ty::Error => 3,
+    }
+}
+
+fn sig_hash(p: &ParamSig) -> u64 {
+    let mut h = fnv1a(p.name.as_bytes());
+    h = fnv1a_u64(h, ty_hash(p.ty));
+    fnv1a_u64(h, p.by_ref as u64)
+}
+
+fn entry_hash(e: &Entry) -> u64 {
+    match e {
+        Entry::Const(v) => fnv1a_u64(fnv1a(&[1u8]), *v as u64),
+        Entry::Var {
+            level,
+            offset,
+            ty,
+            by_ref,
+        } => {
+            let mut h = fnv1a(&[2u8]);
+            h = fnv1a_u64(h, *level as u64);
+            h = fnv1a_u64(h, *offset as u64);
+            h = fnv1a_u64(h, ty_hash(*ty));
+            fnv1a_u64(h, *by_ref as u64)
+        }
+        Entry::Arr {
+            level,
+            offset,
+            lo,
+            hi,
+        } => {
+            let mut h = fnv1a(&[3u8]);
+            h = fnv1a_u64(h, *level as u64);
+            h = fnv1a_u64(h, *offset as u64);
+            h = fnv1a_u64(h, *lo as u64);
+            fnv1a_u64(h, *hi as u64)
+        }
+        Entry::Proc {
+            label,
+            level,
+            params,
+        } => {
+            let mut h = fnv1a(&[4u8]);
+            h = fnv1a_u64(h, fnv1a(label.as_bytes()));
+            h = fnv1a_u64(h, *level as u64);
+            for p in params.iter() {
+                h = fnv1a_u64(h, sig_hash(p));
+            }
+            fnv1a_u64(h, params.len() as u64)
+        }
+        Entry::Func {
+            label,
+            level,
+            params,
+            ret,
+        } => {
+            let mut h = fnv1a(&[5u8]);
+            h = fnv1a_u64(h, fnv1a(label.as_bytes()));
+            h = fnv1a_u64(h, *level as u64);
+            for p in params.iter() {
+                h = fnv1a_u64(h, sig_hash(p));
+            }
+            h = fnv1a_u64(h, params.len() as u64);
+            fnv1a_u64(h, ty_hash(*ret))
         }
     }
 }

@@ -19,6 +19,7 @@ fn main() {
         stmts_per_proc: 10,
         nesting: 3,
         seed: 7,
+        template_clusters: 0,
     });
     let tree = compiler.tree_from_source(&source).expect("workload parses");
     let plans = Arc::clone(compiler.evals.plans().expect("ordered grammar"));

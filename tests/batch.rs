@@ -40,6 +40,7 @@ fn sources() -> Vec<String> {
         stmts_per_proc: 5,
         nesting: 2,
         seed: 99,
+        template_clusters: 0,
     }));
     srcs
 }

@@ -19,6 +19,7 @@ fn workload(seed: u64) -> (Compiler, String) {
         stmts_per_proc: 8,
         nesting: 3,
         seed,
+        template_clusters: 0,
     };
     (Compiler::new(), generate(&cfg))
 }

@@ -172,6 +172,7 @@ proptest! {
             stmts_per_proc: 5,
             nesting: 2,
             seed,
+            template_clusters: 0,
         };
         let src = generate(&cfg);
         let compiler = paragram::pascal::Compiler::new();
