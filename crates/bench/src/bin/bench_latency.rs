@@ -32,6 +32,14 @@
 //! that tail — `--smoke` re-reads the emitted JSON, validates the
 //! schema, and **fails (exit 1)** if SJF's sim p99 exceeds FIFO's.
 //!
+//! With `--sched`, the FIFO stream is additionally replayed under the
+//! work-stealing scheduler (`SchedulerMode::Stealing`) on both the wall
+//! service and the sim park, reporting proc-class p99 side by side with
+//! the steal/locality telemetry from [`paragram_driver::ServiceStats`].
+//! Informational: latency tails on this small-dominated stream are a
+//! placement wash by design — the throughput acceptance scenario lives
+//! in `bench_throughput --sched`.
+//!
 //! A `duplicated_traffic` section additionally replays the stream with
 //! `template_fraction` 0.5 (half the requests drawn from a small
 //! template pool — the replay shape of real fleets) against a memo-off
@@ -42,12 +50,13 @@
 //! writes `target/BENCH_latency.smoke.json` unless `--out` is given).
 //!
 //! Usage: `cargo run --release --bin bench_latency --
-//! [--smoke] [--workers N] [--depth N] [--capacity N] [--requests N]
-//! [--seed N] [--out PATH] [--label TEXT]`
+//! [--smoke] [--sched] [--workers N] [--depth N] [--capacity N]
+//! [--requests N] [--seed N] [--out PATH] [--label TEXT]`
 
 use paragram_bench::percentile;
 use paragram_bench::stream::{generate_stream, RequestSpec, SizeClass, StreamConfig};
 use paragram_core::parallel::policy::DispatchPolicy;
+use paragram_core::parallel::pool::SchedulerMode;
 use paragram_core::parallel::sim::{run_sim_service, SimConfig, SimRequest};
 use paragram_core::split::RegionGranularity;
 use paragram_core::tree::ParseTree;
@@ -62,6 +71,7 @@ use std::time::{Duration, Instant};
 
 struct Args {
     smoke: bool,
+    sched: bool,
     workers: usize,
     depth: usize,
     capacity: usize,
@@ -74,6 +84,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
+        sched: false,
         workers: 4,
         depth: 2,
         capacity: 32,
@@ -100,6 +111,7 @@ fn parse_args() -> Args {
         };
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--sched" => args.sched = true,
             "--workers" => args.workers = int("--workers", val("--workers")).max(1),
             "--depth" => args.depth = int("--depth", val("--depth")).max(1),
             "--capacity" => args.capacity = int("--capacity", val("--capacity")).max(1),
@@ -109,7 +121,7 @@ fn parse_args() -> Args {
             "--label" => args.label = val("--label"),
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?}\nusage: bench_latency [--smoke] [--workers N] [--depth N] [--capacity N] [--requests N] [--seed N] [--out PATH] [--label TEXT]"
+                    "error: unknown argument {other:?}\nusage: bench_latency [--smoke] [--sched] [--workers N] [--depth N] [--capacity N] [--requests N] [--seed N] [--out PATH] [--label TEXT]"
                 );
                 std::process::exit(2);
             }
@@ -177,7 +189,11 @@ fn run_wall(
     policy: DispatchPolicy,
     capacity: usize,
     ns_per_tick: f64,
-) -> (SectionResult, paragram_core::memo::MemoCounters) {
+) -> (
+    SectionResult,
+    paragram_core::memo::MemoCounters,
+    paragram_core::parallel::pool::SchedCounters,
+) {
     let mut q = ServiceQueue::new(plan, ServiceConfig { policy, capacity });
     let mut ids: Vec<Option<u64>> = vec![None; stream.len()];
     let start = Instant::now();
@@ -214,12 +230,14 @@ fn run_wall(
             trees_per_sec: stats.completed as f64 / elapsed.as_secs_f64(),
         },
         stats.memo,
+        stats.sched,
     )
 }
 
 /// Replays the stream on the simulated machine park (deterministic;
 /// ticks become virtual µs, which floods the waiting room and makes
 /// the policy differences visible and reproducible).
+#[allow(clippy::too_many_arguments)]
 fn run_sim(
     trees: &[Arc<ParseTree<PVal>>],
     stream: &[RequestSpec],
@@ -228,6 +246,7 @@ fn run_sim(
     depth: usize,
     policy: DispatchPolicy,
     capacity: usize,
+    scheduler: SchedulerMode,
 ) -> SectionResult {
     let requests: Vec<SimRequest> = stream
         .iter()
@@ -240,7 +259,7 @@ fn run_sim(
         trees,
         &requests,
         Some(plans),
-        &SimConfig::paper(machines),
+        &SimConfig::paper(machines).with_scheduler(scheduler),
         depth,
         RegionGranularity::Machines(machines),
         policy,
@@ -437,7 +456,7 @@ fn main() {
         let policy = resolve(policy);
         let name = policy.name();
         println!("policy {name}: wall section");
-        let (wall, _) = run_wall(&plan, &trees, &stream, policy, args.capacity, ns_per_tick);
+        let (wall, _, _) = run_wall(&plan, &trees, &stream, policy, args.capacity, ns_per_tick);
         println!(
             "  wall: {:.1} trees/sec, {} shed, proc p99 {}µs",
             wall.trees_per_sec,
@@ -448,7 +467,16 @@ fn main() {
         // The ranking runs unbounded so every policy serves the same
         // request set; deterministic shed accounting is measured
         // separately below.
-        let sim = run_sim(&trees, &stream, plans, 4, args.depth, policy, stream.len());
+        let sim = run_sim(
+            &trees,
+            &stream,
+            plans,
+            4,
+            args.depth,
+            policy,
+            stream.len(),
+            SchedulerMode::Fixed,
+        );
         println!(
             "  sim: {:.1} trees/sec, proc p99 {}µs",
             sim.trees_per_sec,
@@ -481,6 +509,7 @@ fn main() {
         args.depth,
         DispatchPolicy::Fifo,
         args.capacity.min(8),
+        SchedulerMode::Fixed,
     );
     out.push_str("  \"sim_admission\": {\n");
     out.push_str(&format!("    \"capacity\": {},\n", args.capacity.min(8)));
@@ -505,7 +534,7 @@ fn main() {
     let dup_stream = generate_stream(&stream_cfg.clone().with_template_fraction(dup_fraction));
     let dup_trees = build_trees(&compiler, &dup_stream);
     let adaptive_cfg = driver_cfg.with_adaptive_budget(quantum);
-    let (dup_off, _) = run_wall(
+    let (dup_off, _, _) = run_wall(
         &CompilationPlan::from_plan(plan_shared, adaptive_cfg),
         &dup_trees,
         &dup_stream,
@@ -513,7 +542,7 @@ fn main() {
         args.capacity,
         ns_per_tick,
     );
-    let (dup_on, dup_memo) = run_wall(
+    let (dup_on, dup_memo, _) = run_wall(
         &CompilationPlan::from_plan(plan_shared, adaptive_cfg.with_memo_capacity(64 << 20)),
         &dup_trees,
         &dup_stream,
@@ -553,6 +582,77 @@ fn main() {
         dup_on.shed,
         dup_memo.hit_rate()
     );
+
+    // The --sched axis: FIFO replayed under the stealing scheduler,
+    // wall (with steal telemetry) and sim, against the Fixed runs
+    // above. Informational — see the module doc.
+    if args.sched {
+        let steal_plan = CompilationPlan::from_plan(
+            plan_shared,
+            driver_cfg.with_scheduler(SchedulerMode::Stealing),
+        );
+        let (wall_fixed, _, _) = run_wall(
+            &plan,
+            &trees,
+            &stream,
+            DispatchPolicy::Fifo,
+            args.capacity,
+            ns_per_tick,
+        );
+        let (wall_steal, _, wsched) = run_wall(
+            &steal_plan,
+            &trees,
+            &stream,
+            DispatchPolicy::Fifo,
+            args.capacity,
+            ns_per_tick,
+        );
+        let sim_steal = run_sim(
+            &trees,
+            &stream,
+            plans,
+            4,
+            args.depth,
+            DispatchPolicy::Fifo,
+            stream.len(),
+            SchedulerMode::Stealing,
+        );
+        let sim_fixed_p99 = sim_results
+            .iter()
+            .find(|(p, _)| p.name() == "fifo")
+            .map(|(_, r)| class_p99(r, &stream, SizeClass::Proc))
+            .expect("fifo ran");
+        let (wf_p99, ws_p99) = (
+            class_p99(&wall_fixed, &stream, SizeClass::Proc),
+            class_p99(&wall_steal, &stream, SizeClass::Proc),
+        );
+        let ss_p99 = class_p99(&sim_steal, &stream, SizeClass::Proc);
+        out.push_str(
+            "  \"sched\": {
+",
+        );
+        out.push_str(
+            "    \"policy\": \"fifo\",
+",
+        );
+        out.push_str(&format!(
+            "    \"wall\": {{ \"fixed_proc_p99_us\": {wf_p99}, \"stealing_proc_p99_us\": {ws_p99}, \"steals\": {}, \"migrated_attrs\": {}, \"local_sends\": {}, \"remote_sends\": {} }},
+",
+            wsched.steals, wsched.migrated_attrs, wsched.local_sends, wsched.remote_sends
+        ));
+        out.push_str(&format!(
+            "    \"sim\": {{ \"fixed_proc_p99_us\": {sim_fixed_p99}, \"stealing_proc_p99_us\": {ss_p99} }}
+"
+        ));
+        out.push_str(
+            "  },
+",
+        );
+        println!(
+            "sched (fifo): wall proc p99 fixed {wf_p99}µs / stealing {ws_p99}µs ({} steals, {} local / {} remote sends); sim proc p99 fixed {sim_fixed_p99}µs / stealing {ss_p99}µs",
+            wsched.steals, wsched.local_sends, wsched.remote_sends
+        );
+    }
 
     // The ranking object the smoke gate reads: p99 on the dominant
     // small class, per policy, on the deterministic sim.

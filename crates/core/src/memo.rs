@@ -52,11 +52,27 @@
 
 use crate::grammar::ProdId;
 use crate::value::{fnv1a_u64, AttrValue};
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// When a cacheable span offered at retirement is actually installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstallPolicy {
+    /// Install every cacheable span immediately (the original policy).
+    #[default]
+    Always,
+    /// 2Q-style scan resistance: the *first* retirement of a subtree
+    /// hash only marks it (a deferred install, counted in
+    /// [`MemoCounters::deferred`]); the span is installed when a marked
+    /// subtree recurs. A one-pass scan of distinct trees then costs a
+    /// bounded mark per region instead of a span copy plus an LRU
+    /// eviction, while any recurring subtree is cached from its second
+    /// appearance on. Marks are FIFO-bounded per shard, so a scan
+    /// cannot grow them without bound either.
+    SecondTouch,
+}
 
 /// A region's input signature: `(subtree hash at the region root,
 /// fingerprint of the inherited attribute values at the region root)`.
@@ -107,6 +123,9 @@ pub struct MemoCounters {
     pub inserts: u64,
     /// Entries evicted to stay under the byte budget.
     pub evictions: u64,
+    /// Installs deferred by [`InstallPolicy::SecondTouch`] (the span
+    /// was dropped and only its subtree hash marked).
+    pub deferred: u64,
 }
 
 impl MemoCounters {
@@ -117,6 +136,7 @@ impl MemoCounters {
             misses: self.misses - earlier.misses,
             inserts: self.inserts - earlier.inserts,
             evictions: self.evictions - earlier.evictions,
+            deferred: self.deferred - earlier.deferred,
         }
     }
 
@@ -141,6 +161,10 @@ struct Shard<V> {
     /// probe fast path asks "any entry for this subtree at all?" before
     /// deciding to hold a region back for its inherited values.
     subtrees: HashMap<u64, u32>,
+    /// Second-touch marks ([`InstallPolicy::SecondTouch`]): subtree
+    /// hashes seen exactly once at retirement, FIFO-bounded.
+    marked: HashSet<u64>,
+    mark_order: VecDeque<u64>,
     bytes: usize,
     next_stamp: u64,
 }
@@ -151,8 +175,23 @@ impl<V> Shard<V> {
             map: HashMap::new(),
             order: VecDeque::new(),
             subtrees: HashMap::new(),
+            marked: HashSet::new(),
+            mark_order: VecDeque::new(),
             bytes: 0,
             next_stamp: 0,
+        }
+    }
+
+    /// Marks a subtree hash as seen-once, evicting the oldest marks
+    /// beyond `cap` (marks removed at install leave stale FIFO slots
+    /// behind; popping them is a no-op on the set).
+    fn mark(&mut self, subtree: u64, cap: usize) {
+        if self.marked.insert(subtree) {
+            self.mark_order.push_back(subtree);
+            while self.mark_order.len() > cap {
+                let old = self.mark_order.pop_front().expect("non-empty");
+                self.marked.remove(&old);
+            }
         }
     }
 
@@ -190,24 +229,39 @@ pub struct MemoCache<V> {
     shards: Vec<Mutex<Shard<V>>>,
     /// Approximate per-shard byte budget (total budget / shard count).
     shard_budget: usize,
+    install: InstallPolicy,
+    /// Per-shard bound on second-touch marks (derived from the budget:
+    /// a mark costs ~8 bytes vs. a span's hundreds, so the mark table
+    /// stays a small fraction of the cache).
+    mark_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    deferred: AtomicU64,
 }
 
 impl<V: AttrValue> MemoCache<V> {
     /// Creates a cache bounded by roughly `capacity_bytes` of cached
     /// attribute values (approximate: sizes come from
-    /// [`AttrValue::wire_size`]).
+    /// [`AttrValue::wire_size`]), installing every cacheable span.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_install_policy(capacity_bytes, InstallPolicy::Always)
+    }
+
+    /// As [`MemoCache::new`] with an explicit install policy.
+    pub fn with_install_policy(capacity_bytes: usize, install: InstallPolicy) -> Self {
+        let shard_budget = (capacity_bytes / SHARDS).max(1);
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
-            shard_budget: (capacity_bytes / SHARDS).max(1),
+            shard_budget,
+            install,
+            mark_cap: (shard_budget / 64).max(256),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
         }
     }
 
@@ -263,12 +317,24 @@ impl<V: AttrValue> MemoCache<V> {
 
     /// Installs an entry, evicting least-recently-used entries from its
     /// shard as needed to stay under the budget. Entries bigger than a
-    /// whole shard's budget are not cached.
+    /// whole shard's budget are not cached. Under
+    /// [`InstallPolicy::SecondTouch`], the first offer of a subtree
+    /// hash only marks it and the entry is dropped; the install goes
+    /// through once a marked (or already-installed) subtree recurs.
     pub fn insert(&self, key: MemoKey, entry: MemoEntry<V>) {
         if entry.bytes > self.shard_budget {
             return;
         }
         let mut shard = self.shard(&key).lock().unwrap();
+        if self.install == InstallPolicy::SecondTouch
+            && !shard.subtrees.contains_key(&key.subtree)
+            && !shard.marked.remove(&key.subtree)
+        {
+            let cap = self.mark_cap;
+            shard.mark(key.subtree, cap);
+            self.deferred.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if let Some((old, _)) = shard.map.remove(&key) {
             shard.bytes -= old.bytes;
             shard.forget_subtree(key.subtree);
@@ -306,6 +372,7 @@ impl<V: AttrValue> MemoCache<V> {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
         }
     }
 
@@ -470,6 +537,50 @@ mod tests {
         cache.insert(key(1), entry(1_000));
         assert!(cache.probe(key(1), 2, ProdId(0)).is_none());
         assert_eq!(cache.counters().inserts, 0);
+    }
+
+    #[test]
+    fn second_touch_defers_first_install_and_installs_on_recurrence() {
+        let cache = MemoCache::with_install_policy(1 << 20, InstallPolicy::SecondTouch);
+        // First offer: dropped, subtree marked.
+        cache.insert(key(1), entry(100));
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().deferred, 1);
+        assert_eq!(cache.counters().inserts, 0);
+        assert!(!cache.has_subtree(1));
+        // Second offer of the same subtree: installed.
+        cache.insert(key(1), entry(100));
+        assert_eq!(cache.counters().inserts, 1);
+        assert!(cache.probe(key(1), 2, ProdId(0)).is_some());
+        // A different inherited context of an installed subtree is not
+        // a scan — it installs immediately.
+        cache.insert(
+            MemoKey {
+                subtree: 1,
+                inherited: 99,
+            },
+            entry(100),
+        );
+        assert_eq!(cache.counters().inserts, 2);
+    }
+
+    #[test]
+    fn second_touch_marks_are_bounded() {
+        let cache = MemoCache::<i64>::with_install_policy(16, InstallPolicy::SecondTouch);
+        // Scan far past the mark cap (256 at this tiny budget): marks
+        // stay bounded, nothing installs, and old marks age out.
+        for i in 0..100_000u64 {
+            cache.insert(key(i), entry(1));
+        }
+        assert!(cache.is_empty());
+        let c = cache.counters();
+        assert_eq!(c.deferred, 100_000);
+        // Subtree 0's mark long evicted: a re-offer defers again.
+        cache.insert(key(0), entry(1));
+        assert_eq!(cache.counters().deferred, 100_001);
+        // A recent subtree's mark survives: its re-offer installs.
+        cache.insert(key(99_999), entry(1));
+        assert_eq!(cache.counters().inserts, 1);
     }
 
     #[test]

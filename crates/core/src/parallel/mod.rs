@@ -12,7 +12,16 @@
 //!   split-phase code combining (registration streams during
 //!   evaluation, resolution at the parser's final read), a small
 //!   cross-tree pipeline window, and cost-driven adaptive decomposition
-//!   so one huge tree fills the pool like a batch of small ones.
+//!   so one huge tree fills the pool like a batch of small ones. Two
+//!   placement schedulers: fixed modular assignment (the paper's
+//!   layout, the default) and a locality-aware work-stealing scheduler
+//!   (`SchedulerMode::Stealing`) — per-worker deques seeded
+//!   largest-job-first with parent/child co-seeding, idle workers
+//!   stealing the largest pending job from the most-loaded victim, a
+//!   shared job-location table routing boundary attributes to wherever
+//!   a job actually ran, and steal/locality telemetry surfaced through
+//!   batch and service reports. The simulator seeds and steals with
+//!   the same policy code, so sim rankings exercise what deploys.
 //! * [`threads`] — the same protocol as a one-shot, depth-1 convenience
 //!   wrapper over [`pool`], demonstrating genuine parallel speedup on
 //!   host cores for a single tree.

@@ -17,6 +17,15 @@
 //! deterministic network-simulator service (`super::sim`) — so the
 //! policy ranking the sim produces is computed by *exactly* the code
 //! the real queue runs.
+//!
+//! Dispatch order composes with, and is independent of, *placement*
+//! ([`super::pool::SchedulerMode`]): the policy decides **which** tree
+//! enters the pipeline window next; the scheduler decides **where**
+//! that tree's region jobs run (fixed modular assignment, or LPT-seeded
+//! deques rebalanced by work stealing). A policy that releases a huge
+//! tree still benefits from stealing spreading its regions; stealing
+//! never reorders dispatch, so policy-level fairness guarantees hold
+//! under either scheduler.
 
 use std::collections::{HashMap, VecDeque};
 

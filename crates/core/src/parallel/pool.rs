@@ -76,20 +76,53 @@
 //! inflation) overlaps tree N+1's evaluation. Depth 1 restores the
 //! strict one-epoch-per-tree barrier.
 //!
-//! The protocol stays deterministic at every depth and granularity:
-//! every region job is pinned to a worker by a pure function of its
-//! `(ticket, region)` pair — `region mod W` under fixed-count
-//! granularity (the paper's region-k-on-machine-k placement),
-//! `(region + ticket) mod W` under adaptive granularity (the rotation
-//! keeps consecutive trees' low regions off one worker) — attribute
-//! messages carry their `(ticket, region)` destination
-//! (values racing ahead of their region's job are parked, values for
-//! finished jobs dropped), and per-ticket result assembly merges region
-//! stores in region order — machine scheduling affects timing only,
-//! never values (each attribute instance has exactly one defining
-//! rule). Dependencies between machines exist only *within* a ticket,
-//! region jobs arrive in `(ticket, region)` order, and no machine ever
-//! waits for CPU behind a *later* job, so the schedule cannot deadlock.
+//! # Placement: fixed modular vs. work stealing
+//!
+//! [`SchedulerMode`] selects how region jobs land on workers:
+//!
+//! * [`SchedulerMode::Fixed`] (the default) pins every job by a pure
+//!   function of its `(ticket, region)` pair — `region mod W` under
+//!   fixed-count granularity (the paper's region-k-on-machine-k
+//!   placement), `(region + ticket) mod W` under adaptive granularity
+//!   (the rotation keeps consecutive trees' low regions off one
+//!   worker). Dispatch and attribute routing share the function, so
+//!   they can never drift apart — and no shared mutable state exists.
+//! * [`SchedulerMode::Stealing`] replaces the pure function with
+//!   per-worker **deques** plus a shared **job-location table**.
+//!   `submit` seeds a ticket's jobs LPT-style — largest estimated work
+//!   placed first, each onto the least-loaded worker — except that
+//!   parent/child regions of one tree are co-seeded onto the same
+//!   worker (while its load stays near the fair share), so
+//!   boundary-attribute sends stay worker-local. A worker whose
+//!   machines all starve claims the front of its own deque; an idle
+//!   worker with an empty deque **steals** the largest pending job
+//!   from the most-loaded victim, searching the victim's deque from
+//!   the back. The location table maps each live `(ticket, region)` to
+//!   `Queued(worker)` or `Active(worker)` and replaces [`worker_of`]
+//!   on every routing path: values for a *queued* job attach to its
+//!   deque entry and migrate with it if it is stolen (memo-probing
+//!   jobs therefore survive migration — their probe is built at
+//!   activation, after the migrated values landed); values for an
+//!   *active* job are channel-sent to the worker that claimed it
+//!   (jobs never migrate once active); an *absent* entry means the job
+//!   already finished and the value is dropped. `submit` registers
+//!   every region of a ticket in the table before waking any worker,
+//!   so the absent-means-finished reading is sound.
+//!   [`WorkerPool::sched_counters`] reports steals, migrated values
+//!   and the local/remote split of boundary sends.
+//!
+//! Either way the protocol stays deterministic in *results* at every
+//! depth and granularity: attribute messages carry their
+//! `(ticket, region)` destination, and per-ticket result assembly
+//! merges region stores in region order — placement and machine
+//! scheduling affect timing only, never values (each attribute
+//! instance has exactly one defining rule). Dependencies between
+//! machines exist only *within* a ticket and no machine ever waits for
+//! CPU behind a *later* job on the same worker (stolen jobs insert in
+//! `(ticket, region)` order and the oldest machine runs unbudgeted),
+//! so the schedule cannot deadlock: a starved worker always drains its
+//! channel, then claims or steals pending work, and blocks only when
+//! no queued job exists anywhere.
 //!
 //! Use [`WorkerPool::submit`] / [`WorkerPool::collect`] to keep the
 //! window full (what `paragram-driver`'s batch driver does), or the
@@ -104,8 +137,9 @@ use crate::tree::{AttrStore, NodeId, ParseTree, RegionStore};
 use crate::value::AttrValue;
 use paragram_rope::{Rope, SegmentId, SegmentStore};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use super::ResultPropagation;
@@ -115,6 +149,51 @@ use super::ResultPropagation;
 /// registration, attribute exchange and resolution of overlapping trees
 /// never interfere.
 pub type Ticket = u64;
+
+/// How region jobs are placed on workers (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// The paper's fixed modular placement: region `r` of ticket `t`
+    /// runs on worker `(r + offset(t)) mod W`, a pure function shared
+    /// by dispatch and attribute routing. No migration, no shared
+    /// scheduler state.
+    #[default]
+    Fixed,
+    /// Per-worker deques with LPT seeding, parent/child co-seeding and
+    /// steal-from-the-back work stealing; attribute routing goes
+    /// through a shared job-location table.
+    Stealing,
+}
+
+/// Steal-scheduler telemetry, cumulative since pool construction or
+/// the last [`WorkerPool::reset_high_water`]. All zeros under
+/// [`SchedulerMode::Fixed`] (nothing is ever stolen and no boundary
+/// send consults the location table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Jobs an idle worker took from another worker's deque.
+    pub steals: u64,
+    /// Early-arrival attribute values that migrated with a stolen job.
+    pub migrated_attrs: u64,
+    /// Boundary-attribute sends whose destination job lived on the
+    /// sending worker (the co-seeding payoff).
+    pub local_sends: u64,
+    /// Boundary-attribute sends that crossed workers.
+    pub remote_sends: u64,
+}
+
+impl SchedCounters {
+    /// Fraction of boundary sends that stayed worker-local (0.0 when
+    /// none were routed).
+    pub fn locality_rate(&self) -> f64 {
+        let total = self.local_sends + self.remote_sends;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_sends as f64 / total as f64
+        }
+    }
+}
 
 /// Configuration for a [`WorkerPool`].
 #[derive(Debug, Clone, Copy)]
@@ -146,6 +225,14 @@ pub struct PoolConfig {
     /// disables memoization entirely, keeping the paper's Fig-7
     /// behaviour bit-for-bit.
     pub memo_capacity: usize,
+    /// Memo install policy (only meaningful with a non-zero
+    /// `memo_capacity`): install every cacheable span at retirement, or
+    /// defer to the second touch of a subtree (scan resistance).
+    pub memo_install: crate::memo::InstallPolicy,
+    /// Region-job placement: the paper's fixed modular function (the
+    /// default everywhere, keeping Fig-7 schedules bit-for-bit) or the
+    /// locality-aware work-stealing scheduler.
+    pub scheduler: SchedulerMode,
 }
 
 impl PoolConfig {
@@ -160,6 +247,8 @@ impl PoolConfig {
             pipeline_depth: 2,
             granularity: RegionGranularity::Machines(n),
             memo_capacity: 0,
+            memo_install: crate::memo::InstallPolicy::Always,
+            scheduler: SchedulerMode::Fixed,
         }
     }
 
@@ -205,6 +294,19 @@ impl PoolConfig {
             memo_capacity: bytes,
             ..self
         }
+    }
+
+    /// Returns the configuration with the given memo install policy.
+    pub fn with_memo_install(self, policy: crate::memo::InstallPolicy) -> Self {
+        PoolConfig {
+            memo_install: policy,
+            ..self
+        }
+    }
+
+    /// Returns the configuration with the given region-job scheduler.
+    pub fn with_scheduler(self, scheduler: SchedulerMode) -> Self {
+        PoolConfig { scheduler, ..self }
     }
 
     /// The effective configuration: zero worker or window counts are
@@ -299,6 +401,10 @@ enum WorkerMsg<V> {
         attr: AttrId,
         value: V,
     },
+    /// Stealing scheduler only: new jobs were seeded — drain the
+    /// channel, then claim or steal. Carries nothing; the work lives in
+    /// the shared deques.
+    Wake,
     Shutdown,
 }
 
@@ -377,23 +483,32 @@ pub struct WorkerPool<V: AttrValue> {
     /// Per-symbol memo safety (see [`memo_safety`]); empty when the
     /// cache is off.
     memo_safe: Arc<Vec<bool>>,
+    /// Stealing-scheduler shared state; `None` under
+    /// [`SchedulerMode::Fixed`].
+    sched: Option<Arc<Sched<V>>>,
 }
 
 /// Everything a worker thread needs; owned by the thread.
 struct WorkerCtx<V: AttrValue> {
     plan: Arc<EvalPlan<V>>,
+    /// This worker's index — the stealing scheduler's claim/steal and
+    /// locality accounting key.
+    me: usize,
     rx: Receiver<WorkerMsg<V>>,
     peers: Vec<Sender<WorkerMsg<V>>>,
     parser_tx: Sender<ParserMsg<V>>,
     lib_tx: Sender<LibMsg>,
-    /// The pool configuration — workers route attribute messages with
-    /// the same [`worker_of`] placement function the dispatch side
-    /// uses, so the two can never drift apart.
+    /// The pool configuration — under fixed placement, workers route
+    /// attribute messages with the same [`worker_of`] function the
+    /// dispatch side uses, so the two can never drift apart.
     config: PoolConfig,
     /// Shared memo cache (probe side); None when memoization is off.
     memo: Option<Arc<MemoCache<V>>>,
     /// Per-symbol memo safety, aligned with the grammar's symbol ids.
     memo_safe: Arc<Vec<bool>>,
+    /// Stealing-scheduler shared state; `None` under
+    /// [`SchedulerMode::Fixed`].
+    sched: Option<Arc<Sched<V>>>,
 }
 
 /// Per-symbol memoization safety: a split symbol is memo-safe iff no
@@ -440,6 +555,144 @@ fn worker_of(config: &PoolConfig, ticket: Ticket, region: RegionId) -> usize {
     (region as usize + offset) % config.workers
 }
 
+/// Where a region job currently lives under the stealing scheduler.
+/// Shared with the simulator's mirror of the protocol.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum JobLoc {
+    /// Waiting in this worker's deque — stealable.
+    Queued(usize),
+    /// Claimed by this worker — never migrates again.
+    Active(usize),
+}
+
+/// Chooses a worker for every region of one tree under the stealing
+/// scheduler's seeding policy, updating `load` (one slot per worker)
+/// in place. LPT: regions are placed largest-estimated-work first, so
+/// big regions spread before small ones fill the gaps. Locality: a
+/// region whose parent region (or an already-placed child) has a home
+/// prefers that relative's worker — keeping boundary-attribute
+/// messages worker-local — unless that worker's load exceeds the
+/// least-loaded worker's by more than one region's worth (capped at a
+/// fair share), which would stack a dependency chain onto one worker
+/// and serialize it. Ties break toward the lowest worker index, so
+/// placement is deterministic.
+///
+/// This is the single implementation of the policy: the live
+/// [`WorkerPool`] seeds its deques with it, and the simulator
+/// ([`crate::parallel::sim`]) calls the same function so simulated
+/// schedule rankings exercise deployed code.
+pub(crate) fn seed_placements(
+    decomp: &Decomposition,
+    work: &[u64],
+    load: &mut [u64],
+) -> Vec<usize> {
+    let workers = load.len();
+    let total: u64 = work.iter().sum();
+    // A little over-filling for locality is tolerable — runtime
+    // stealing corrects residual imbalance — but co-locating a whole
+    // region chain serializes it, so the slack is tight.
+    let bound = (total / workers as u64).max(1);
+    let mut order: Vec<usize> = (0..work.len()).collect();
+    order.sort_by(|&a, &b| work[b].cmp(&work[a]).then(a.cmp(&b)));
+    let mut placements = vec![usize::MAX; work.len()];
+    let mut placed_child: HashMap<RegionId, usize> = HashMap::new();
+    for &r in &order {
+        let rid = r as RegionId;
+        let parent = decomp.regions[r].parent;
+        let pref = parent
+            .and_then(|p| {
+                let w = placements[p as usize];
+                (w != usize::MAX).then_some(w)
+            })
+            .or_else(|| placed_child.get(&rid).copied());
+        let least = (0..workers)
+            .min_by_key(|&w| (load[w], w))
+            .expect("at least one worker");
+        let w = match pref {
+            Some(p) if load[p] <= load[least] + bound.min(work[r]) => p,
+            _ => least,
+        };
+        placements[r] = w;
+        load[w] += work[r];
+        if let Some(p) = parent {
+            placed_child.entry(p).or_insert(w);
+        }
+    }
+    placements
+}
+
+/// A seeded-but-unclaimed region job. Attribute values that arrive
+/// before activation attach here (not to any worker's local state), so
+/// a steal migrates them with the job.
+struct PendingJob<V: AttrValue> {
+    ticket: Ticket,
+    region: RegionId,
+    tree: Arc<ParseTree<V>>,
+    decomp: Arc<Decomposition>,
+    /// Estimated work (rule-cost units) — the LPT seeding key, and the
+    /// unit of the per-worker load accounting.
+    work: u64,
+    early: Vec<(NodeId, AttrId, V)>,
+}
+
+/// The stealing scheduler's shared state: one deque per worker, the
+/// job-location table, and per-worker outstanding estimated work
+/// (queued + active). One mutex guards all three so seed / claim /
+/// steal / route decisions are atomic.
+struct SchedState<V: AttrValue> {
+    deques: Vec<VecDeque<PendingJob<V>>>,
+    table: HashMap<(Ticket, RegionId), JobLoc>,
+    load: Vec<u64>,
+}
+
+struct Sched<V: AttrValue> {
+    state: Mutex<SchedState<V>>,
+    steals: AtomicU64,
+    migrated_attrs: AtomicU64,
+    local_sends: AtomicU64,
+    remote_sends: AtomicU64,
+}
+
+impl<V: AttrValue> Sched<V> {
+    fn new(workers: usize) -> Self {
+        Sched {
+            state: Mutex::new(SchedState {
+                deques: (0..workers).map(|_| VecDeque::new()).collect(),
+                table: HashMap::new(),
+                load: vec![0; workers],
+            }),
+            steals: AtomicU64::new(0),
+            migrated_attrs: AtomicU64::new(0),
+            local_sends: AtomicU64::new(0),
+            remote_sends: AtomicU64::new(0),
+        }
+    }
+
+    fn counters(&self) -> SchedCounters {
+        SchedCounters {
+            steals: self.steals.load(Ordering::Relaxed),
+            migrated_attrs: self.migrated_attrs.load(Ordering::Relaxed),
+            local_sends: self.local_sends.load(Ordering::Relaxed),
+            remote_sends: self.remote_sends.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.steals.store(0, Ordering::Relaxed);
+        self.migrated_attrs.store(0, Ordering::Relaxed);
+        self.local_sends.store(0, Ordering::Relaxed);
+        self.remote_sends.store(0, Ordering::Relaxed);
+    }
+
+    fn count_send(&self, local: bool) {
+        if local {
+            self.local_sends.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.remote_sends.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 impl<V: AttrValue> WorkerPool<V> {
     /// Spawns the pool: `config.workers` evaluator threads plus the
     /// librarian, all persistent until the pool is dropped.
@@ -448,13 +701,19 @@ impl<V: AttrValue> WorkerPool<V> {
         let workers = config.workers;
         let depth = config.pipeline_depth;
         let split = SplitTable::new(plan.grammar().as_ref(), config.min_size_scale);
-        let memo =
-            (config.memo_capacity > 0).then(|| Arc::new(MemoCache::new(config.memo_capacity)));
+        let memo = (config.memo_capacity > 0).then(|| {
+            Arc::new(MemoCache::with_install_policy(
+                config.memo_capacity,
+                config.memo_install,
+            ))
+        });
         let memo_safe = Arc::new(if memo.is_some() {
             memo_safety(plan)
         } else {
             Vec::new()
         });
+        let sched =
+            (config.scheduler == SchedulerMode::Stealing).then(|| Arc::new(Sched::new(workers)));
 
         let mut worker_txs = Vec::with_capacity(workers);
         let mut worker_rxs = Vec::with_capacity(workers);
@@ -468,9 +727,10 @@ impl<V: AttrValue> WorkerPool<V> {
         let (lib_reply_tx, lib_reply_rx) = channel::<(Ticket, SegmentStore)>();
 
         let mut handles = Vec::with_capacity(workers);
-        for rx in worker_rxs.iter_mut() {
+        for (me, rx) in worker_rxs.iter_mut().enumerate() {
             let ctx = WorkerCtx {
                 plan: Arc::clone(plan),
+                me,
                 rx: rx.take().expect("receiver unclaimed"),
                 peers: worker_txs.clone(),
                 parser_tx: parser_tx.clone(),
@@ -478,6 +738,7 @@ impl<V: AttrValue> WorkerPool<V> {
                 config,
                 memo: memo.clone(),
                 memo_safe: Arc::clone(&memo_safe),
+                sched: sched.clone(),
             };
             handles.push(std::thread::spawn(move || worker_main(ctx)));
         }
@@ -515,6 +776,7 @@ impl<V: AttrValue> WorkerPool<V> {
             poisoned: None,
             memo,
             memo_safe,
+            sched,
         }
     }
 
@@ -566,10 +828,24 @@ impl<V: AttrValue> WorkerPool<V> {
 
     /// Restarts high-water tracking from the current occupancy, so a
     /// driver can report per-batch maxima from a long-lived pool
-    /// instead of all-time ones.
+    /// instead of all-time ones. Also zeroes the steal-scheduler
+    /// counters, so [`WorkerPool::sched_counters`] reads per-batch.
     pub fn reset_high_water(&mut self) {
         self.max_in_flight = self.in_flight.len();
         self.max_regions_in_flight = self.regions_in_flight();
+        if let Some(s) = &self.sched {
+            s.reset_counters();
+        }
+    }
+
+    /// Steal-scheduler telemetry since construction or the last
+    /// [`WorkerPool::reset_high_water`]; all zeros under
+    /// [`SchedulerMode::Fixed`].
+    pub fn sched_counters(&self) -> SchedCounters {
+        self.sched
+            .as_ref()
+            .map(|s| s.counters())
+            .unwrap_or_default()
     }
 
     /// The shared plan this pool evaluates against.
@@ -616,25 +892,28 @@ impl<V: AttrValue> WorkerPool<V> {
         let expected_roots = self.plan.syn_attrs(root_sym).len();
 
         let start = Instant::now();
-        for r in 0..regions {
-            let job = WorkerMsg::Job(JobMsg {
-                ticket,
-                tree: Arc::clone(tree),
-                decomp: Arc::clone(&decomp),
-                region: r as RegionId,
-            });
-            // Region r of ticket t is pinned to worker
-            // (r + offset(t)) mod W: a tree with more regions than
-            // workers (adaptive granularity on a huge tree) spreads
-            // evenly, the ticket rotation keeps consecutive small
-            // trees' region 0 off one overloaded worker, and every
-            // message route stays a pure function of (ticket, region) —
-            // which is what keeps results deterministic. Fixed-count
-            // granularity keeps the paper's region-k-on-worker-k
-            // placement (offset 0).
-            self.worker_txs[worker_of(&self.config, ticket, r as RegionId)]
-                .send(job)
-                .expect("worker alive");
+        if self.sched.is_some() {
+            self.seed_stealing(ticket, tree, &decomp);
+        } else {
+            for r in 0..regions {
+                let job = WorkerMsg::Job(JobMsg {
+                    ticket,
+                    tree: Arc::clone(tree),
+                    decomp: Arc::clone(&decomp),
+                    region: r as RegionId,
+                });
+                // Region r of ticket t is pinned to worker
+                // (r + offset(t)) mod W: a tree with more regions than
+                // workers (adaptive granularity on a huge tree) spreads
+                // evenly, the ticket rotation keeps consecutive small
+                // trees' region 0 off one overloaded worker, and every
+                // message route stays a pure function of
+                // (ticket, region). Fixed-count granularity keeps the
+                // paper's region-k-on-worker-k placement (offset 0).
+                self.worker_txs[worker_of(&self.config, ticket, r as RegionId)]
+                    .send(job)
+                    .expect("worker alive");
+            }
         }
         self.in_flight.push_back(InFlight {
             ticket,
@@ -650,6 +929,45 @@ impl<V: AttrValue> WorkerPool<V> {
         self.max_in_flight = self.max_in_flight.max(self.in_flight.len());
         self.max_regions_in_flight = self.max_regions_in_flight.max(self.regions_in_flight());
         Ok(())
+    }
+
+    /// Seeds one ticket's region jobs into the stealing scheduler:
+    /// largest-estimated-work regions are placed first (LPT), each on
+    /// the least-loaded worker — except that a region whose parent or
+    /// child was already placed prefers that relative's worker (while
+    /// the relative's load stays near the fair share), keeping
+    /// boundary-attribute traffic worker-local. Every region is
+    /// registered in the location table *before* any worker is woken,
+    /// so the routing paths may read an absent entry as "finished".
+    fn seed_stealing(&self, ticket: Ticket, tree: &Arc<ParseTree<V>>, decomp: &Arc<Decomposition>) {
+        let sched = self.sched.as_ref().expect("stealing scheduler on");
+        let workers = self.config.workers;
+        let regions = decomp.len();
+        let work: Vec<u64> = (0..regions)
+            .map(|r| self.plan.region_work(tree, decomp, r as RegionId).max(1))
+            .collect();
+        let mut st = sched.state.lock().expect("scheduler lock");
+        debug_assert_eq!(workers, st.load.len());
+        let mut load = std::mem::take(&mut st.load);
+        let placements = seed_placements(decomp, &work, &mut load);
+        st.load = load;
+        for (r, &w) in placements.iter().enumerate() {
+            let rid = r as RegionId;
+            st.table.insert((ticket, rid), JobLoc::Queued(w));
+            st.deques[w].push_back(PendingJob {
+                ticket,
+                region: rid,
+                tree: Arc::clone(tree),
+                decomp: Arc::clone(decomp),
+                work: work[r],
+                early: Vec::new(),
+            });
+        }
+        drop(st);
+        // Wake everyone: idle workers with empty deques can steal.
+        for tx in &self.worker_txs {
+            tx.send(WorkerMsg::Wake).expect("worker alive");
+        }
     }
 
     /// Collects the oldest uncollected tree's report (submission
@@ -956,6 +1274,10 @@ struct Running<V: AttrValue> {
     region: RegionId,
     parent: Option<RegionId>,
     next_seg: u32,
+    /// Estimated work — the stealing scheduler's load unit, returned to
+    /// the worker's load account at completion (0 under fixed
+    /// placement, which keeps no load accounts).
+    work: u64,
     state: JobState<V>,
 }
 
@@ -1093,10 +1415,12 @@ fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
                 Drive::Replayed => {
                     // Memo hit: the probe already sent the root values
                     // and Done. The next job shifted into `i`.
-                    running.remove(i);
+                    let done = running.remove(i);
+                    retire_sched(&ctx, &done);
                 }
                 Drive::Finished(err) => {
                     let done = running.remove(i);
+                    retire_sched(&ctx, &done);
                     let JobState::Machine(machine) = done.state else {
                         unreachable!("only machines finish");
                     };
@@ -1150,8 +1474,25 @@ fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
                 }
             }
         }
-        // Everything starved (or no machines): block for one message,
-        // then drain whatever else is queued.
+        // Everything starved (or no machines). Drain the channel
+        // without blocking first: a queued message may feed a starved
+        // machine or (fixed placement) activate a job.
+        let mut absorbed = false;
+        while let Ok(m) = ctx.rx.try_recv() {
+            match absorb(&ctx, m, &mut running, &mut parked_attrs, &mut scratches) {
+                Absorbed::Shutdown => return,
+                _ => absorbed = true,
+            }
+        }
+        if absorbed {
+            continue;
+        }
+        // Stealing scheduler: pull pending work — own deque first,
+        // then the most-loaded victim — before going idle.
+        if claim_or_steal(&ctx, &mut running, &mut scratches) {
+            continue;
+        }
+        // Idle: block for one message.
         match ctx.rx.recv() {
             Err(_) => return, // pool dropped
             Ok(m) => {
@@ -1163,14 +1504,112 @@ fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
                 }
             }
         }
-        while let Ok(m) = ctx.rx.try_recv() {
-            if matches!(
-                absorb(&ctx, m, &mut running, &mut parked_attrs, &mut scratches),
-                Absorbed::Shutdown
-            ) {
-                return;
+    }
+}
+
+/// Claims work for an idle worker under the stealing scheduler: the
+/// front of its own deque (oldest seeded job), else the **largest**
+/// pending job of the most-loaded victim, searched from the back of
+/// the victim's deque. Returns `false` when no pending job exists
+/// anywhere (or under fixed placement, which has no deques).
+fn claim_or_steal<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    running: &mut Vec<Running<V>>,
+    scratches: &mut Vec<MachineScratch<V>>,
+) -> bool {
+    let Some(sched) = &ctx.sched else {
+        return false;
+    };
+    let claimed = {
+        let mut st = sched.state.lock().expect("scheduler lock");
+        let job = match st.deques[ctx.me].pop_front() {
+            Some(job) => Some(job),
+            None => {
+                let victim = (0..st.deques.len())
+                    .filter(|&w| !st.deques[w].is_empty())
+                    .max_by_key(|&w| (st.load[w], w));
+                victim.and_then(|v| {
+                    let (mut best, mut best_work) = (None, 0u64);
+                    for (i, j) in st.deques[v].iter().enumerate().rev() {
+                        if j.work > best_work {
+                            (best, best_work) = (Some(i), j.work);
+                        }
+                    }
+                    let job = st.deques[v].remove(best?).expect("index in range");
+                    st.load[v] = st.load[v].saturating_sub(job.work);
+                    st.load[ctx.me] += job.work;
+                    sched.steals.fetch_add(1, Ordering::Relaxed);
+                    sched
+                        .migrated_attrs
+                        .fetch_add(job.early.len() as u64, Ordering::Relaxed);
+                    Some(job)
+                })
             }
+        };
+        if let Some(j) = &job {
+            // Active jobs never migrate: routing from here on is a
+            // plain channel send to this worker.
+            st.table
+                .insert((j.ticket, j.region), JobLoc::Active(ctx.me));
         }
+        job
+    };
+    match claimed {
+        Some(job) => {
+            activate(ctx, job, running, scratches);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Activates a claimed pending job on this worker: builds its probe or
+/// machine (exactly as the fixed path does on `Job` arrival), replays
+/// the early-arrival values that traveled with it (which is how memo
+/// `Probing` jobs survive migration — the probe forms *after* the
+/// migrated values land), and inserts it into `running` in
+/// `(ticket, region)` order: stolen jobs activate out of order, and
+/// the drive loop's oldest-first preference keys off that order.
+fn activate<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    job: PendingJob<V>,
+    running: &mut Vec<Running<V>>,
+    scratches: &mut Vec<MachineScratch<V>>,
+) {
+    let PendingJob {
+        ticket,
+        region,
+        tree,
+        decomp,
+        work,
+        early,
+    } = job;
+    let parent = decomp.regions[region as usize].parent;
+    let state = initial_state(ctx, tree, decomp, region, scratches);
+    let mut entry = Running {
+        ticket,
+        region,
+        parent,
+        next_seg: 0,
+        work,
+        state,
+    };
+    for (node, attr, value) in early {
+        feed(&mut entry, node, attr, value);
+    }
+    let pos = running.partition_point(|r| (r.ticket, r.region) < (ticket, region));
+    running.insert(pos, entry);
+}
+
+/// Clears a finished job out of the stealing scheduler's shared state:
+/// removes its location-table entry (an absent entry reads as "done"
+/// on every routing path) and returns its work to this worker's load
+/// account. No-op under fixed placement.
+fn retire_sched<V: AttrValue>(ctx: &WorkerCtx<V>, done: &Running<V>) {
+    if let Some(sched) = &ctx.sched {
+        let mut st = sched.state.lock().expect("scheduler lock");
+        st.table.remove(&(done.ticket, done.region));
+        st.load[ctx.me] = st.load[ctx.me].saturating_sub(done.work);
     }
 }
 
@@ -1218,6 +1657,7 @@ fn absorb<V: AttrValue>(
 ) -> Absorbed {
     match msg {
         WorkerMsg::Shutdown => Absorbed::Shutdown,
+        WorkerMsg::Wake => Absorbed::Other,
         WorkerMsg::Attr {
             ticket,
             region,
@@ -1233,10 +1673,16 @@ fn absorb<V: AttrValue>(
                     feed(&mut running[idx], node, attr, value);
                     Absorbed::Fed(idx)
                 }
-                // Either the job has not arrived yet (replayed at
-                // activation) or it already finished (pruned then).
                 None => {
-                    parked_attrs.push((ticket, region, node, attr, value));
+                    // Under stealing, a channel-sent value was routed
+                    // while the job was Active here — not in `running`
+                    // means it finished; the value is stale. Under
+                    // fixed placement the job may simply not have
+                    // arrived yet (replayed at activation; pruned when
+                    // a later job proves it finished).
+                    if ctx.sched.is_none() {
+                        parked_attrs.push((ticket, region, node, attr, value));
+                    }
                     Absorbed::Other
                 }
             }
@@ -1255,44 +1701,13 @@ fn absorb<V: AttrValue>(
                 "jobs arrive in (ticket, region) order"
             );
             let parent = decomp.regions[region as usize].parent;
-            // Memo-eligible leaf regions defer machine construction
-            // behind a cache probe; everything else builds its machine
-            // immediately as before. Holding a region for its root
-            // inherited values costs parallelism, so the hold is only
-            // taken when the cache has seen this subtree at all — a
-            // never-seen subtree (counted as a miss) evaluates normally
-            // and the retire path installs it for next time.
-            let cacheable = ctx.memo.as_ref().and_then(|m| {
-                let c = region_cacheable(&ctx.plan, &ctx.memo_safe, &tree, &decomp, region)?;
-                m.has_subtree(c.1).then_some(c)
-            });
-            let state = match cacheable {
-                Some((root, subtree, needed)) => JobState::Probing(Probe {
-                    got: vec![None; needed.len()],
-                    filled: 0,
-                    tree,
-                    decomp,
-                    root,
-                    subtree,
-                    needed,
-                }),
-                None => {
-                    let scratch = scratches.pop().unwrap_or_default();
-                    JobState::Machine(Machine::from_plan(
-                        &ctx.plan,
-                        &tree,
-                        &decomp,
-                        region,
-                        ctx.config.mode,
-                        scratch,
-                    ))
-                }
-            };
+            let state = initial_state(ctx, tree, decomp, region, scratches);
             let mut entry = Running {
                 ticket,
                 region,
                 parent,
                 next_seg: 0,
+                work: 0,
                 state,
             };
             // Replay values that raced ahead of this job; prune values
@@ -1314,6 +1729,47 @@ fn absorb<V: AttrValue>(
             }
             running.push(entry);
             Absorbed::Other
+        }
+    }
+}
+
+/// Builds the initial evaluation state for one region job: a probe for
+/// memo-eligible leaf regions whose subtree the cache has seen, a
+/// machine otherwise. Holding a region for its root inherited values
+/// costs parallelism, so the hold is only taken when the cache has
+/// seen this subtree at all — a never-seen subtree (counted as a miss)
+/// evaluates normally and the retire path installs it for next time.
+fn initial_state<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    tree: Arc<ParseTree<V>>,
+    decomp: Arc<Decomposition>,
+    region: RegionId,
+    scratches: &mut Vec<MachineScratch<V>>,
+) -> JobState<V> {
+    let cacheable = ctx.memo.as_ref().and_then(|m| {
+        let c = region_cacheable(&ctx.plan, &ctx.memo_safe, &tree, &decomp, region)?;
+        m.has_subtree(c.1).then_some(c)
+    });
+    match cacheable {
+        Some((root, subtree, needed)) => JobState::Probing(Probe {
+            got: vec![None; needed.len()],
+            filled: 0,
+            tree,
+            decomp,
+            root,
+            subtree,
+            needed,
+        }),
+        None => {
+            let scratch = scratches.pop().unwrap_or_default();
+            JobState::Machine(Machine::from_plan(
+                &ctx.plan,
+                &tree,
+                &decomp,
+                region,
+                ctx.config.mode,
+                scratch,
+            ))
         }
     }
 }
@@ -1393,15 +1849,7 @@ fn resolve_probe<V: AttrValue>(
                             value: v,
                         })
                         .is_ok(),
-                    Some(q) => ctx.peers[worker_of(&ctx.config, r.ticket, q)]
-                        .send(WorkerMsg::Attr {
-                            ticket: r.ticket,
-                            region: q,
-                            node: p.root,
-                            attr: a,
-                            value: v,
-                        })
-                        .is_ok(),
+                    Some(q) => send_attr(ctx, r.ticket, q, p.root, a, v),
                 };
                 if !sent {
                     return ProbeOutcome::Dead;
@@ -1468,6 +1916,7 @@ fn drive<V: AttrValue>(
         parent,
         next_seg,
         state,
+        work: _,
     } = r;
     let (ticket, region, parent) = (*ticket, *region, *parent);
     let JobState::Machine(machine) = state else {
@@ -1543,17 +1992,66 @@ fn route_send<V: AttrValue>(
                 value,
             })
             .is_ok(),
-        // Region q of ticket t lives on worker (q + offset(t)) mod W —
-        // the same pinning submit used to dispatch its job.
-        SendTarget::Region(q) => ctx.peers[worker_of(&ctx.config, ticket, q)]
+        SendTarget::Region(q) => send_attr(ctx, ticket, q, send.node, send.attr, value),
+    }
+}
+
+/// Delivers one boundary attribute to region `to` of `ticket`. Fixed
+/// placement computes the destination worker with [`worker_of`] — the
+/// same pinning `submit` used to dispatch the job. The stealing
+/// scheduler looks the job up in the location table instead: a
+/// still-queued job collects the value on its deque entry (so a steal
+/// migrates the value with the job), an active job gets a channel send
+/// to the worker that claimed it, and an absent entry means the job
+/// already finished — the machine completed without the value, so it
+/// is dropped (`submit` registers every region of a ticket before any
+/// of its machines can send, so "absent" can never mean "not yet
+/// seeded"). Returns `false` when the pool is gone.
+fn send_attr<V: AttrValue>(
+    ctx: &WorkerCtx<V>,
+    ticket: Ticket,
+    to: RegionId,
+    node: NodeId,
+    attr: AttrId,
+    value: V,
+) -> bool {
+    let Some(sched) = &ctx.sched else {
+        return ctx.peers[worker_of(&ctx.config, ticket, to)]
             .send(WorkerMsg::Attr {
                 ticket,
-                region: q,
-                node: send.node,
-                attr: send.attr,
+                region: to,
+                node,
+                attr,
                 value,
             })
-            .is_ok(),
+            .is_ok();
+    };
+    let mut st = sched.state.lock().expect("scheduler lock");
+    match st.table.get(&(ticket, to)).copied() {
+        Some(JobLoc::Queued(w)) => {
+            let pending = st.deques[w]
+                .iter_mut()
+                .find(|j| j.ticket == ticket && j.region == to)
+                .expect("queued jobs live in their worker's deque");
+            pending.early.push((node, attr, value));
+            drop(st);
+            sched.count_send(w == ctx.me);
+            true
+        }
+        Some(JobLoc::Active(w)) => {
+            drop(st);
+            sched.count_send(w == ctx.me);
+            ctx.peers[w]
+                .send(WorkerMsg::Attr {
+                    ticket,
+                    region: to,
+                    node,
+                    attr,
+                    value,
+                })
+                .is_ok()
+        }
+        None => true,
     }
 }
 
@@ -2067,6 +2565,141 @@ mod tests {
         let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2));
         pool.eval(&tree).unwrap();
         assert!(pool.memo_counters().is_none());
+    }
+
+    #[test]
+    fn stealing_matches_sequential_across_workers_and_depths() {
+        let sizes = [96usize, 5, 33, 17, 64, 2, 21, 48];
+        let (trees, plan, out) = fixture_trees(&sizes);
+        for workers in [1usize, 2, 4] {
+            for depth in [1usize, 2, 4] {
+                let mut pool = WorkerPool::new(
+                    &plan,
+                    PoolConfig::combined(workers)
+                        .with_pipeline_depth(depth)
+                        .with_scheduler(SchedulerMode::Stealing),
+                );
+                for tree in &trees {
+                    pool.submit(tree).unwrap();
+                }
+                let mut reports = Vec::new();
+                while let Some(r) = pool.collect().unwrap() {
+                    reports.push(r);
+                }
+                assert_eq!(reports.len(), trees.len());
+                for (i, (tree, report)) in trees.iter().zip(&reports).enumerate() {
+                    assert_eq!(report.ticket, i as Ticket, "reports in submission order");
+                    let (dstore, _) = dynamic_eval(tree).unwrap();
+                    let want = dstore
+                        .get(tree.root(), out)
+                        .and_then(|v| v.as_rope().cloned())
+                        .unwrap();
+                    assert!(
+                        root_rope(report, out).content_eq(&want),
+                        "workers={workers} depth={depth} tree {i}"
+                    );
+                    assert_eq!(report.store.filled(), report.store.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_counters_are_reported_and_reset() {
+        let sizes = [64usize, 48, 33, 21, 96, 17];
+        let (trees, plan, _) = fixture_trees(&sizes);
+        // Fixed placement never touches the steal scheduler: all zeros.
+        let mut fixed = WorkerPool::new(&plan, PoolConfig::combined(2));
+        fixed.submit(&trees[0]).unwrap();
+        while fixed.collect().unwrap().is_some() {}
+        assert_eq!(fixed.sched_counters(), SchedCounters::default());
+        let mut pool = WorkerPool::new(
+            &plan,
+            PoolConfig::combined(2).with_scheduler(SchedulerMode::Stealing),
+        );
+        for tree in &trees {
+            pool.submit(tree).unwrap();
+        }
+        while pool.collect().unwrap().is_some() {}
+        let c = pool.sched_counters();
+        assert!(
+            c.local_sends + c.remote_sends > 0,
+            "boundary sends were classified ({c:?})"
+        );
+        assert!(c.locality_rate() >= 0.0 && c.locality_rate() <= 1.0);
+        // `reset_high_water` covers the steal telemetry too.
+        pool.reset_high_water();
+        assert_eq!(pool.sched_counters(), SchedCounters::default());
+    }
+
+    #[test]
+    fn stealing_keeps_memo_probing_jobs_correct() {
+        // Probing jobs park on a memo probe until their boundary
+        // attributes arrive; under stealing those arrive through the
+        // job-location table (possibly before activation). The replay
+        // must still be value-identical.
+        let items: Vec<i64> = (0..24).map(|i| i * 3 + 1).collect();
+        let (t1, plan, out) = memo_fixture(7, &items);
+        let (t2, _, _) = memo_fixture(7, &items);
+        let mut pool = WorkerPool::new(
+            &plan,
+            PoolConfig::combined(2)
+                .with_memo_capacity(1 << 20)
+                .with_scheduler(SchedulerMode::Stealing),
+        );
+        let r1 = pool.eval(&t1).unwrap();
+        let r2 = pool.eval(&t2).unwrap();
+        let c = pool.memo_counters().unwrap();
+        assert!(c.hits >= 1, "identical tree replays under stealing ({c:?})");
+        assert_eq!(
+            r1.root_values.iter().find(|(a, _)| *a == out),
+            r2.root_values.iter().find(|(a, _)| *a == out),
+        );
+        let (dstore, _) = dynamic_eval(&t2).unwrap();
+        let g = t2.grammar();
+        for node in t2.node_ids() {
+            let sym = g.prod(t2.node(node).prod).lhs;
+            for a in 0..g.attr_count(sym) {
+                let attr = AttrId(a as u32);
+                assert_eq!(
+                    r2.store.get(node, attr),
+                    dstore.get(node, attr),
+                    "node={node:?} attr={attr:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_poisoned_pool_keeps_pre_failure_reports_claimable() {
+        let (good, bad, plan, out) = cyclic_fixture();
+        assert!(plan.plans().is_none());
+        let config = PoolConfig {
+            mode: MachineMode::Dynamic,
+            result: ResultPropagation::Naive,
+            ..PoolConfig::combined(2)
+                .with_pipeline_depth(1)
+                .with_scheduler(SchedulerMode::Stealing)
+        };
+        let mut pool = WorkerPool::new(&plan, config);
+        // Depth 1: each submit retires its predecessor into `ready`, so
+        // by the time the cyclic tree fails, the good reports sit in
+        // the buffer — migration must not lose them.
+        for tree in &good {
+            pool.submit(tree).unwrap();
+        }
+        pool.submit(&bad).unwrap();
+        let err = pool
+            .submit(&good[0])
+            .expect_err("backpressure retires the cyclic tree");
+        assert!(matches!(err, EvalError::Cycle { .. }), "got {err:?}");
+        let mut drained = 0;
+        while let Some(r) = pool.take_ready() {
+            assert_eq!(r.ticket, drained as Ticket);
+            assert_eq!(r.root_values, vec![(out, 101i64)]);
+            drained += 1;
+        }
+        assert_eq!(drained, good.len());
     }
 
     #[test]

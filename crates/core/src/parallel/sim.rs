@@ -24,7 +24,7 @@ use crate::analysis::Plans;
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::{AttrId, AttrKind};
 use crate::parallel::policy::{DispatchPolicy, PolicyQueue, QueuedJob};
-use crate::parallel::pool::SegmentLedger;
+use crate::parallel::pool::{seed_placements, JobLoc, SchedCounters, SchedulerMode, SegmentLedger};
 use crate::split::{
     decompose, decompose_granular, Decomposition, RegionGranularity, RegionId, SplitConfig,
     SplitTable, WorkTable,
@@ -81,6 +81,7 @@ impl CostModel {
 }
 
 /// Everything configurable about one simulated parallel compilation.
+#[derive(Clone)]
 pub struct SimConfig {
     /// Number of evaluator machines (regions targeted by the splitter).
     pub machines: usize,
@@ -96,6 +97,13 @@ pub struct SimConfig {
     pub min_size_scale: f64,
     /// Attribute-name → phase label mapping for the activity trace.
     pub classifier: PhaseClassifier,
+    /// Region-job placement for the batch/service simulations: the
+    /// paper's fixed modular map ([`SchedulerMode::Fixed`], the
+    /// default) or the same LPT-seeded, locality-aware work-stealing
+    /// policy the live [`crate::parallel::pool::WorkerPool`] runs
+    /// ([`SchedulerMode::Stealing`]). Ignored by [`run_sim`] (one
+    /// region per machine leaves nothing to steal).
+    pub scheduler: SchedulerMode,
 }
 
 impl SimConfig {
@@ -115,7 +123,13 @@ impl SimConfig {
                 ("decl", "symbol table"),
                 ("code", "code generation"),
             ]),
+            scheduler: SchedulerMode::Fixed,
         }
+    }
+
+    /// The configuration with a different region-job scheduler.
+    pub fn with_scheduler(self, scheduler: SchedulerMode) -> Self {
+        SimConfig { scheduler, ..self }
     }
 }
 
@@ -556,6 +570,9 @@ pub struct BatchSimReport<V> {
     pub names: Vec<String>,
     /// Per-tree root attribute values (librarian-resolved).
     pub root_values: Vec<Vec<(AttrId, V)>>,
+    /// Steal-scheduler telemetry for the run (all zeros under
+    /// [`SchedulerMode::Fixed`]).
+    pub sched: SchedCounters,
 }
 
 impl<V> BatchSimReport<V> {
@@ -605,6 +622,49 @@ enum BatchMsg<V> {
     Arrive {
         ticket: usize,
     },
+    /// Stealing scheduler only: the parser seeded new region jobs —
+    /// every evaluator gets one so idle machines can claim or steal
+    /// (mirrors the live pool's `WorkerMsg::Wake` broadcast).
+    Wake,
+}
+
+/// A seeded-but-unclaimed region job in the simulated stealing
+/// scheduler — the simulator's `PendingJob`. The subtree data itself
+/// is not stored (the sim reads trees from [`BatchShared`]); `bytes`
+/// remembers the wire size so a claim can charge the transfer.
+struct SimJob<V> {
+    ticket: usize,
+    region: RegionId,
+    /// Estimated work — the LPT seeding key and load-account unit.
+    work: u64,
+    /// Wire size of the linearized region subtree.
+    bytes: usize,
+    /// Attribute values that arrived before the job was claimed; they
+    /// migrate with the job on a steal, exactly like the live pool's
+    /// `PendingJob::early`.
+    early: Vec<(NodeId, AttrId, V)>,
+}
+
+/// The simulated stealing scheduler's shared state — the mirror of the
+/// live pool's `SchedState` plus its counters. One mutex guards the
+/// deques, the job-location table, and the per-machine load accounts;
+/// the event simulation is single-threaded, so the mutex is really a
+/// stand-in for "the shared scheduler board every machine can reach".
+struct SimSched<V> {
+    deques: Vec<VecDeque<SimJob<V>>>,
+    table: HashMap<(usize, RegionId), JobLoc>,
+    load: Vec<u64>,
+    /// Each machine's local clock at the end of its last handler. The
+    /// event simulation runs one handler atomically even though its
+    /// CPU spend advances the machine's clock, so without a guard the
+    /// first machine woken would claim *and steal* every seeded job
+    /// before its peers' wakes are even delivered. A thief may steal
+    /// from a victim only when `busy_until[victim] > now`: the victim
+    /// provably cannot reach its own deque before the thief — which is
+    /// exactly the "steal from a busy machine" the live pool's real
+    /// concurrency produces.
+    busy_until: Vec<Time>,
+    counters: SchedCounters,
 }
 
 struct BatchShared<V: AttrValue> {
@@ -623,6 +683,11 @@ struct BatchShared<V: AttrValue> {
     park: usize,
     /// Whether placement rotates by ticket (adaptive granularity).
     rotate: bool,
+    /// Fixed modular placement vs. the LPT-seeded stealing policy.
+    scheduler: SchedulerMode,
+    /// Network model copy, for charging a stolen job's subtree fetch.
+    net: NetModel,
+    sched: Mutex<SimSched<V>>,
     expected_roots: Vec<usize>,
     eval_start: Mutex<Time>,
     finish: Mutex<Vec<Time>>,
@@ -664,9 +729,52 @@ struct BatchParserProc<V: AttrValue> {
 /// Ships one ticket's region subtrees to their evaluator machines (the
 /// parser role's dispatch step, shared by the batch and service
 /// parsers).
+///
+/// Fixed placement sends each region's linearized subtree straight to
+/// its modular home. Under the stealing scheduler the parser instead
+/// *seeds*: it linearizes each region (same per-node cost), registers
+/// the job on its seeded machine's deque — placement chosen by the
+/// deployed [`seed_placements`] policy against the park's live load
+/// accounts — and broadcasts a small wake so idle machines can claim
+/// or steal. The subtree transfer is then charged to whichever machine
+/// claims the job (a point-to-point fetch at bus rate; steals of
+/// seeded-but-unclaimed jobs re-fetch nothing extra since the data
+/// only ever moves once, to the claimer).
 fn ship_regions<V: AttrValue>(sh: &BatchShared<V>, ctx: &mut Ctx<BatchMsg<V>>, ticket: usize) {
     ctx.phase("ship subtrees");
     let decomp = &sh.decomps[ticket];
+    if sh.scheduler == SchedulerMode::Stealing {
+        let work: Vec<u64> = (0..decomp.len())
+            .map(|r| {
+                sh.plan
+                    .region_work(&sh.trees[ticket], decomp, r as RegionId)
+                    .max(1)
+            })
+            .collect();
+        let mut st = sh.sched.lock().unwrap();
+        let mut load = std::mem::take(&mut st.load);
+        let placements = seed_placements(decomp, &work, &mut load);
+        st.load = load;
+        for (r, &w) in placements.iter().enumerate() {
+            let rid = r as RegionId;
+            let info = &decomp.regions[r];
+            ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
+            st.table.insert((ticket, rid), JobLoc::Queued(w));
+            st.deques[w].push_back(SimJob {
+                ticket,
+                region: rid,
+                work: work[r],
+                bytes: region_wire_size(&sh.trees[ticket], decomp, rid),
+                early: Vec::new(),
+            });
+        }
+        drop(st);
+        // Wake everyone: idle machines with empty deques can steal.
+        for w in 0..sh.park {
+            ctx.send(ProcId(1 + w), BatchMsg::Wake, 16, "wake");
+        }
+        return;
+    }
     for r in 0..decomp.len() as RegionId {
         let info = &decomp.regions[r as usize];
         ctx.spend(info.local_size as Time * sh.cost.ship_node_us);
@@ -792,6 +900,9 @@ struct BatchRunning<V: AttrValue> {
     ticket: usize,
     machine: Machine<V>,
     next_seg: u32,
+    /// Estimated work, returned to this machine's load account at
+    /// retirement (stealing scheduler only; 0 under fixed placement).
+    work: u64,
 }
 
 struct BatchEvaluatorProc<V: AttrValue> {
@@ -828,6 +939,16 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
                     if self.running[i].machine.is_done() {
                         let stats = self.running[i].machine.stats();
                         sh.per_machine.lock().unwrap()[self.evaluator] += stats;
+                        if sh.scheduler == SchedulerMode::Stealing {
+                            // Retire from the scheduler board: an
+                            // absent table entry reads as "finished"
+                            // on every routing path.
+                            let region = self.running[i].machine.region();
+                            let work = self.running[i].work;
+                            let mut st = sh.sched.lock().unwrap();
+                            st.table.remove(&(ticket, region));
+                            st.load[self.evaluator] = st.load[self.evaluator].saturating_sub(work);
+                        }
                         ctx.send(sh.parser, BatchMsg::Done { ticket }, 16, "done");
                         self.running.remove(i);
                     } else {
@@ -889,6 +1010,23 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
         }
         let (dest, dest_region) = match msg.to {
             SendTarget::Parser => (sh.parser, 0),
+            SendTarget::Region(r) if sh.scheduler == SchedulerMode::Stealing => {
+                // Route via the job-location table, not the modular
+                // map: the job may have been seeded elsewhere or
+                // stolen. An absent entry means the region already
+                // finished — the value is no longer needed.
+                let mut st = sh.sched.lock().unwrap();
+                let w = match st.table.get(&(ticket, r)) {
+                    Some(&(JobLoc::Queued(w) | JobLoc::Active(w))) => w,
+                    None => return,
+                };
+                if w == self.evaluator {
+                    st.counters.local_sends += 1;
+                } else {
+                    st.counters.remote_sends += 1;
+                }
+                (ProcId(1 + w), r)
+            }
             SendTarget::Region(r) => (sh.proc_of_region(ticket, r), r),
         };
         let bytes = value.wire_size();
@@ -904,6 +1042,186 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
             bytes,
             "attr",
         );
+    }
+
+    /// Stealing-scheduler drive loop, mirroring the live worker's
+    /// drain → claim-or-steal → block cycle: steps every running
+    /// machine until starved, then claims the front of this machine's
+    /// own deque — or steals the largest pending job from the
+    /// most-loaded victim — and activates it, until no work is left
+    /// anywhere.
+    /// Pumps, claims at most ONE pending job, pumps it, and — if a job
+    /// was claimed — chains a zero-cost self-wake to look for the next
+    /// one. The live worker claims one job per loop iteration with a
+    /// channel drain in between; claiming the whole deque inside one
+    /// atomic handler would make every queued job vanish before any
+    /// peer's events interleave, leaving nothing stealable and
+    /// un-modelling exactly the window work stealing exists for.
+    fn claim_and_pump(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        self.pump(ctx);
+        if self.claim_one(ctx) {
+            self.pump(ctx);
+            ctx.wake_at(ctx.now(), BatchMsg::Wake);
+        }
+    }
+
+    /// Claims one pending job (own deque front first, else a steal)
+    /// and activates it: charges the subtree fetch and machine build,
+    /// replays early-arrival values, and enters it into `running`.
+    /// Returns `false` when every deque is empty.
+    fn claim_one(&mut self, ctx: &mut Ctx<BatchMsg<V>>) -> bool {
+        let sh = Arc::clone(&self.shared);
+        let me = self.evaluator;
+        let claimed = {
+            let mut st = sh.sched.lock().unwrap();
+            let job = match st.deques[me].pop_front() {
+                Some(job) => Some(job),
+                None => {
+                    let now = ctx.now();
+                    let victim = (0..st.deques.len())
+                        .filter(|&w| !st.deques[w].is_empty() && st.busy_until[w] > now)
+                        .max_by_key(|&w| (st.load[w], w));
+                    victim.and_then(|v| {
+                        let (mut best, mut best_work) = (None, 0u64);
+                        for (i, j) in st.deques[v].iter().enumerate().rev() {
+                            if j.work > best_work
+                                && st.busy_until[v] > now + 2 * sh.net.tx_time(j.bytes)
+                            {
+                                (best, best_work) = (Some(i), j.work);
+                            }
+                        }
+                        let job = st.deques[v].remove(best?).expect("index in range");
+                        st.load[v] = st.load[v].saturating_sub(job.work);
+                        st.load[me] += job.work;
+                        st.counters.steals += 1;
+                        st.counters.migrated_attrs += job.early.len() as u64;
+                        Some(job)
+                    })
+                }
+            };
+            if let Some(j) = &job {
+                st.table.insert((j.ticket, j.region), JobLoc::Active(me));
+            }
+            job
+        };
+        let Some(job) = claimed else { return false };
+        let SimJob {
+            ticket,
+            region,
+            work,
+            bytes,
+            early,
+        } = job;
+        // Fetch the linearized subtree (point-to-point pull at bus
+        // rate — charged to the claimer, wherever the job ended up),
+        // then build the machine exactly as fixed placement does on
+        // `Subtree` arrival.
+        ctx.phase("ship subtrees");
+        ctx.spend(sh.net.tx_time(bytes));
+        ctx.phase("build");
+        let mut machine = Machine::from_plan(
+            &sh.plan,
+            &sh.trees[ticket],
+            &sh.decomps[ticket],
+            region,
+            sh.mode,
+            MachineScratch::new(),
+        );
+        let (gn, ge) = machine.graph_size();
+        ctx.spend(
+            machine.local_nodes() as Time * sh.cost.ship_node_us
+                + gn as Time * sh.cost.graph_node_us
+                + ge as Time * sh.cost.graph_edge_us,
+        );
+        for (node, attr, value) in early {
+            machine.provide(node, attr, value);
+        }
+        // Stolen jobs activate out of submission order; keep `running`
+        // sorted so the pump's oldest-first preference holds.
+        let pos = self
+            .running
+            .partition_point(|r| (r.ticket, r.machine.region()) < (ticket, region));
+        self.running.insert(
+            pos,
+            BatchRunning {
+                ticket,
+                machine,
+                next_seg: 0,
+                work,
+            },
+        );
+        true
+    }
+
+    /// Delivers an attribute value under the stealing scheduler. The
+    /// sender routed it by the location table, but the job may have
+    /// moved (or finished) while the message was on the wire: a value
+    /// for a job still queued *here* attaches to the pending job (so a
+    /// later steal migrates it), a value for a job active here feeds
+    /// the running machine, a value for a job that moved is forwarded
+    /// to its new home, and a value for a finished job is dropped.
+    fn route_attr(
+        &mut self,
+        ctx: &mut Ctx<BatchMsg<V>>,
+        ticket: usize,
+        region: RegionId,
+        node: NodeId,
+        attr: AttrId,
+        value: V,
+    ) {
+        enum Routed<V> {
+            Stored,
+            Mine(V),
+            Forward(usize, V),
+            Dropped,
+        }
+        let sh = Arc::clone(&self.shared);
+        let me = self.evaluator;
+        let routed = {
+            let mut st = sh.sched.lock().unwrap();
+            match st.table.get(&(ticket, region)).copied() {
+                Some(JobLoc::Queued(w)) if w == me => {
+                    let job = st.deques[me]
+                        .iter_mut()
+                        .find(|j| j.ticket == ticket && j.region == region)
+                        .expect("a Queued(me) job is in my deque");
+                    job.early.push((node, attr, value));
+                    Routed::Stored
+                }
+                Some(JobLoc::Active(w)) if w == me => Routed::Mine(value),
+                Some(JobLoc::Queued(w) | JobLoc::Active(w)) => Routed::Forward(w, value),
+                None => Routed::Dropped,
+            }
+        };
+        match routed {
+            Routed::Mine(value) => {
+                if let Some(r) = self
+                    .running
+                    .iter_mut()
+                    .find(|r| r.ticket == ticket && r.machine.region() == region)
+                {
+                    r.machine.provide(node, attr, value);
+                }
+                self.claim_and_pump(ctx);
+            }
+            Routed::Stored => self.claim_and_pump(ctx),
+            Routed::Forward(w, value) => {
+                let bytes = value.wire_size();
+                ctx.send(
+                    ProcId(1 + w),
+                    BatchMsg::Attr {
+                        ticket,
+                        region,
+                        node,
+                        attr,
+                        value,
+                    },
+                    bytes,
+                    "attr",
+                );
+            }
+            Routed::Dropped => {}
+        }
     }
 }
 
@@ -946,6 +1264,7 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchEvaluatorProc<V> {
                     ticket,
                     machine,
                     next_seg: 0,
+                    work: 0,
                 });
                 self.pump(ctx);
             }
@@ -955,18 +1274,34 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchEvaluatorProc<V> {
                 node,
                 attr,
                 value,
-            } => match self
-                .running
-                .iter_mut()
-                .find(|r| r.ticket == ticket && r.machine.region() == region)
-            {
-                Some(r) => {
-                    r.machine.provide(node, attr, value);
-                    self.pump(ctx);
+            } => {
+                if sh.scheduler == SchedulerMode::Stealing {
+                    self.route_attr(ctx, ticket, region, node, attr, value);
+                    return;
                 }
-                None => self.parked.push((ticket, region, node, attr, value)),
-            },
+                match self
+                    .running
+                    .iter_mut()
+                    .find(|r| r.ticket == ticket && r.machine.region() == region)
+                {
+                    Some(r) => {
+                        r.machine.provide(node, attr, value);
+                        self.pump(ctx);
+                    }
+                    None => self.parked.push((ticket, region, node, attr, value)),
+                }
+            }
+            BatchMsg::Wake if sh.scheduler == SchedulerMode::Stealing => {
+                self.claim_and_pump(ctx);
+            }
             _ => {}
+        }
+        if sh.scheduler == SchedulerMode::Stealing {
+            // Publish how far this handler ran our clock so that peers
+            // processed later in event order can tell busy from idle.
+            let mut st = sh.sched.lock().expect("sim scheduler lock");
+            let me = self.evaluator;
+            st.busy_until[me] = st.busy_until[me].max(ctx.now());
         }
     }
 }
@@ -1097,6 +1432,15 @@ pub fn run_sim_batch_with<V: AttrValue>(
         depth,
         park: machines,
         rotate: matches!(granularity, RegionGranularity::Adaptive { .. }),
+        scheduler: config.scheduler,
+        net: config.net,
+        sched: Mutex::new(SimSched {
+            deques: (0..machines).map(|_| VecDeque::new()).collect(),
+            table: HashMap::new(),
+            load: vec![0; machines],
+            busy_until: vec![0; machines],
+            counters: SchedCounters::default(),
+        }),
         expected_roots,
         eval_start: Mutex::new(0),
         finish: Mutex::new(vec![0; trees.len()]),
@@ -1170,6 +1514,7 @@ pub fn run_sim_batch_with<V: AttrValue>(
         .collect();
     drop(segstores);
 
+    let sched = shared.sched.lock().unwrap().counters;
     BatchSimReport {
         makespan: last - eval_start,
         finish_times: finish
@@ -1183,6 +1528,7 @@ pub fn run_sim_batch_with<V: AttrValue>(
         trace: sim.trace().clone(),
         names: sim.names().to_vec(),
         root_values,
+        sched,
     }
 }
 
@@ -1230,6 +1576,9 @@ pub struct ServiceSimReport<V> {
     pub names: Vec<String>,
     /// Per-request root values (empty for shed requests).
     pub root_values: Vec<Vec<(AttrId, V)>>,
+    /// Steal-scheduler telemetry for the run (all zeros under
+    /// [`SchedulerMode::Fixed`]).
+    pub sched: SchedCounters,
 }
 
 impl<V> ServiceSimReport<V> {
@@ -1483,6 +1832,15 @@ pub fn run_sim_service<V: AttrValue>(
         depth,
         park: machines,
         rotate: matches!(granularity, RegionGranularity::Adaptive { .. }),
+        scheduler: config.scheduler,
+        net: config.net,
+        sched: Mutex::new(SimSched {
+            deques: (0..machines).map(|_| VecDeque::new()).collect(),
+            table: HashMap::new(),
+            load: vec![0; machines],
+            busy_until: vec![0; machines],
+            counters: SchedCounters::default(),
+        }),
         expected_roots,
         eval_start: Mutex::new(0),
         finish: Mutex::new(vec![0; trees.len()]),
@@ -1573,6 +1931,7 @@ pub fn run_sim_service<V: AttrValue>(
 
     let admitted = times.admitted.lock().unwrap().clone();
     let dispatched = times.dispatched.lock().unwrap().clone();
+    let sched = shared.sched.lock().unwrap().counters;
     ServiceSimReport {
         makespan: sim.now(),
         arrivals: requests.iter().map(|r| r.arrival_us).collect(),
@@ -1586,6 +1945,7 @@ pub fn run_sim_service<V: AttrValue>(
         trace: sim.trace().clone(),
         names: sim.names().to_vec(),
         root_values,
+        sched,
     }
 }
 
@@ -1934,6 +2294,89 @@ mod tests {
         assert!(
             granular <= pipelined,
             "region-granular ({granular}µs) must be ≥ the pipelined schedule's throughput ({pipelined}µs)"
+        );
+    }
+
+    #[test]
+    fn stealing_sim_produces_correct_code_and_telemetry() {
+        // A mixed stream deep enough that machines go idle while peers
+        // hold queued work: the steal path itself must fire, not just
+        // the LPT seeding.
+        let shapes: Vec<(usize, usize)> = (0..16)
+            .map(|i| match i % 4 {
+                0 => (96, 6),
+                1 => (8, 4),
+                2 => (48, 5),
+                _ => (16, 4),
+            })
+            .collect();
+        let b = mini_batch(&shapes);
+        let cfg = SimConfig::paper(4).with_scheduler(SchedulerMode::Stealing);
+        let report = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2);
+        for (t, tree) in b.trees.iter().enumerate() {
+            let (dstore, _) = dynamic_eval(tree).unwrap();
+            let want = dstore
+                .get(tree.root(), b.code)
+                .and_then(|v| v.as_rope().cloned())
+                .unwrap();
+            let got = report.root_values[t]
+                .iter()
+                .find(|(a, _)| *a == b.code)
+                .and_then(|(_, v)| v.as_rope().cloned())
+                .expect("root code attribute present");
+            assert!(got.content_eq(&want), "tree {t}: code mismatch");
+        }
+        // Attribute routing went through the shared job-location table,
+        // and idle machines actually stole queued work.
+        let sent = report.sched.local_sends + report.sched.remote_sends;
+        assert!(sent > 0, "no table-routed attribute sends recorded");
+        assert!(report.sched.steals > 0, "no steals fired on this stream");
+        // Deterministic replay, telemetry included.
+        let again = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2);
+        assert_eq!(report.makespan, again.makespan);
+        assert_eq!(report.finish_times, again.finish_times);
+        assert_eq!(report.sched, again.sched);
+    }
+
+    #[test]
+    fn stealing_beats_fixed_placement_on_a_skewed_huge_tree_stream() {
+        // One huge tree amid small ones: fixed modular placement parks
+        // every small tree's first region on the same machine while the
+        // huge tree's regions gate the others. LPT seeding spreads the
+        // smalls and idle machines steal the stragglers.
+        let b = mini_batch(&[(256, 6), (8, 4), (8, 4), (8, 4), (8, 4), (8, 4)]);
+        let cfg = SimConfig::paper(4);
+        let fixed = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2);
+        let stealing = run_sim_batch(
+            &b.trees,
+            Some(&b.plans),
+            &cfg.clone().with_scheduler(SchedulerMode::Stealing),
+            2,
+        );
+        // Zero result divergence: byte-identical root attributes.
+        for (t, (f, s)) in fixed
+            .root_values
+            .iter()
+            .zip(stealing.root_values.iter())
+            .enumerate()
+        {
+            assert_eq!(f.len(), s.len(), "tree {t}: root attr count differs");
+            for ((fa, fv), (sa, sv)) in f.iter().zip(s.iter()) {
+                assert_eq!(fa, sa, "tree {t}: attr order differs");
+                match (fv.as_rope(), sv.as_rope()) {
+                    (Some(fr), Some(sr)) => {
+                        assert!(fr.content_eq(sr), "tree {t}: rope diverged")
+                    }
+                    _ => assert_eq!(fv, sv, "tree {t}: value diverged"),
+                }
+            }
+        }
+        // The acceptance bar: ≥ 1.15× throughput on this stream.
+        assert!(
+            stealing.makespan * 115 <= fixed.makespan * 100,
+            "stealing ({}µs) should beat fixed placement ({}µs) by ≥ 1.15×",
+            stealing.makespan,
+            fixed.makespan
         );
     }
 

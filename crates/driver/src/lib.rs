@@ -115,8 +115,10 @@ pub use service::{
 
 use paragram_core::eval::{EvalError, EvalPlan, MachineMode};
 use paragram_core::grammar::{AttrId, Grammar};
-use paragram_core::memo::MemoCounters;
-use paragram_core::parallel::pool::{PoolConfig, PoolReport, WorkerPool};
+use paragram_core::memo::{InstallPolicy, MemoCounters};
+use paragram_core::parallel::pool::{
+    PoolConfig, PoolReport, SchedCounters, SchedulerMode, WorkerPool,
+};
 use paragram_core::parallel::ResultPropagation;
 use paragram_core::split::RegionGranularity;
 use paragram_core::stats::EvalStats;
@@ -155,6 +157,15 @@ pub struct DriverConfig {
     /// Figure-7 behaviour where every region is evaluated from scratch.
     /// See [`paragram_core::memo`] for the signature contract.
     pub memo_capacity: usize,
+    /// Memo install policy (only meaningful with a non-zero
+    /// `memo_capacity`): [`InstallPolicy::Always`] (the default) or the
+    /// scan-resistant [`InstallPolicy::SecondTouch`].
+    pub memo_install: InstallPolicy,
+    /// Region-job placement: the paper's fixed modular function
+    /// ([`SchedulerMode::Fixed`], the default — Fig-7 schedules and all
+    /// prior benches unchanged) or the locality-aware work-stealing
+    /// scheduler ([`SchedulerMode::Stealing`]).
+    pub scheduler: SchedulerMode,
 }
 
 impl DriverConfig {
@@ -169,6 +180,8 @@ impl DriverConfig {
             pipeline_depth: 2,
             granularity: None,
             memo_capacity: 0,
+            memo_install: InstallPolicy::Always,
+            scheduler: SchedulerMode::Fixed,
         }
     }
 
@@ -208,6 +221,19 @@ impl DriverConfig {
             memo_capacity: bytes,
             ..self
         }
+    }
+
+    /// Returns the configuration with the given memo install policy.
+    pub fn with_memo_install(self, policy: InstallPolicy) -> Self {
+        DriverConfig {
+            memo_install: policy,
+            ..self
+        }
+    }
+
+    /// Returns the configuration with the given region-job scheduler.
+    pub fn with_scheduler(self, scheduler: SchedulerMode) -> Self {
+        DriverConfig { scheduler, ..self }
     }
 
     /// The effective granularity: the override, or one region per
@@ -380,6 +406,10 @@ pub struct BatchReport<V: AttrValue> {
     /// counters are cumulative; this is the delta over the batch).
     /// `None` when [`DriverConfig::memo_capacity`] is 0.
     pub memo: Option<MemoCounters>,
+    /// Steal-scheduler telemetry for this batch
+    /// ([`WorkerPool::reset_high_water`] zeroes the counters at batch
+    /// start); all zeros under [`SchedulerMode::Fixed`].
+    pub sched: SchedCounters,
 }
 
 impl<V: AttrValue> BatchReport<V> {
@@ -415,6 +445,8 @@ impl<V: AttrValue> BatchDriver<V> {
                 pipeline_depth: cfg.pipeline_depth,
                 granularity: cfg.effective_granularity(),
                 memo_capacity: cfg.memo_capacity,
+                memo_install: cfg.memo_install,
+                scheduler: cfg.scheduler,
             },
         );
         BatchDriver {
@@ -524,6 +556,9 @@ impl<V: AttrValue> BatchDriver<V> {
                 .pool
                 .memo_counters()
                 .map(|c| c.since(&memo_start.unwrap_or_default())),
+            // `reset_high_water` above zeroed the steal counters, so
+            // the cumulative read is this batch's delta.
+            sched: self.pool.sched_counters(),
         })
     }
 }

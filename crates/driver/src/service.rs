@@ -34,7 +34,7 @@ use crate::{CompilationPlan, TreeOutput};
 use paragram_core::eval::EvalError;
 use paragram_core::memo::MemoCounters;
 use paragram_core::parallel::policy::{DispatchPolicy, PolicyQueue, QueuedJob};
-use paragram_core::parallel::pool::{PoolConfig, WorkerPool};
+use paragram_core::parallel::pool::{PoolConfig, SchedCounters, WorkerPool};
 use paragram_core::tree::ParseTree;
 use paragram_core::value::AttrValue;
 use std::collections::{HashMap, VecDeque};
@@ -138,6 +138,9 @@ pub struct ServiceStats {
     /// [`DriverConfig::memo_capacity`](crate::DriverConfig::memo_capacity)
     /// is 0 — the cache is off and nothing ever probes it).
     pub memo: MemoCounters,
+    /// Cumulative steal-scheduler telemetry (all zeros under
+    /// [`SchedulerMode::Fixed`](paragram_core::parallel::pool::SchedulerMode::Fixed)).
+    pub sched: SchedCounters,
 }
 
 /// An open-arrival compilation service over one persistent
@@ -176,6 +179,8 @@ impl<V: AttrValue> ServiceQueue<V> {
                 pipeline_depth: cfg.pipeline_depth,
                 granularity: cfg.effective_granularity(),
                 memo_capacity: cfg.memo_capacity,
+                memo_install: cfg.memo_install,
+                scheduler: cfg.scheduler,
             },
         );
         ServiceQueue {
@@ -202,6 +207,7 @@ impl<V: AttrValue> ServiceQueue<V> {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             memo: self.pool.memo_counters().unwrap_or_default(),
+            sched: self.pool.sched_counters(),
             ..self.stats
         }
     }

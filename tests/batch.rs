@@ -18,7 +18,7 @@
 
 use paragram::core::eval::{static_eval, Machine, MachineScratch};
 use paragram::core::grammar::AttrId;
-use paragram::core::parallel::pool::SegmentLedger;
+use paragram::core::parallel::pool::{SchedulerMode, SegmentLedger};
 use paragram::core::split::{decompose_granular, RegionGranularity, RegionId, SplitTable};
 use paragram::core::tree::{debug_allocated_slots, AttrStore, ParseTree};
 use paragram::driver::{BatchDriver, CompilationPlan, DriverConfig};
@@ -305,6 +305,64 @@ fn pipelined_batch_is_byte_identical_across_window_depths() {
                 );
                 assert_eq!(
                     want_store, got_store,
+                    "tree {i}: store differs at depth={depth} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+/// The work-stealing acceptance bar: the stealing scheduler replaces
+/// fixed modular placement with LPT-seeded deques and runtime steals —
+/// placement and claim order become load- and timing-dependent — yet
+/// every depth×worker combination must still produce output
+/// byte-identical to the sequential static evaluator.
+#[test]
+fn stealing_scheduler_is_byte_identical_across_workers_and_depths() {
+    let compiler = Compiler::new();
+    let trees: Vec<Arc<ParseTree<PVal>>> = sources()
+        .iter()
+        .map(|s| compiler.tree_from_source(s).unwrap())
+        .collect();
+    let plans = compiler.evals.plans().unwrap();
+    let reference: Vec<(String, Vec<Option<PVal>>)> = trees
+        .iter()
+        .map(|tree| {
+            let (store, stats) = static_eval(tree, plans).unwrap();
+            let out = compiler.output_from_store(tree, &store, stats);
+            assert!(out.errors.is_empty(), "{:?}", out.errors);
+            (out.asm, store_snapshot(tree, &store))
+        })
+        .collect();
+
+    for depth in [1usize, 2, 4] {
+        for workers in [1usize, 2, 8] {
+            let config = DriverConfig::workers(workers)
+                .with_pipeline_depth(depth)
+                .with_scheduler(SchedulerMode::Stealing);
+            let plan = CompilationPlan::from_plan(compiler.evals.plan(), config);
+            let mut driver = BatchDriver::new(&plan);
+            let report = driver.compile_batch(trees.iter().cloned()).unwrap();
+            if workers > 1 {
+                // Multi-region trees route boundary attributes through
+                // the shared job-location table; the telemetry must see
+                // them.
+                assert!(
+                    report.sched.local_sends + report.sched.remote_sends > 0,
+                    "depth={depth} workers={workers}: no table-routed sends"
+                );
+            }
+            for (i, (tree, out)) in trees.iter().zip(&report.outputs).enumerate() {
+                let output = compiler.output_from_store(tree, &out.store, out.stats);
+                assert!(output.errors.is_empty(), "{:?}", output.errors);
+                let (want_asm, want_store) = &reference[i];
+                assert_eq!(
+                    want_asm, &output.asm,
+                    "tree {i}: asm differs at depth={depth} workers={workers}"
+                );
+                assert_eq!(
+                    want_store,
+                    &store_snapshot(tree, &out.store),
                     "tree {i}: store differs at depth={depth} workers={workers}"
                 );
             }
