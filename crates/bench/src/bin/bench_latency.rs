@@ -40,6 +40,16 @@
 //! placement wash by design — the throughput acceptance scenario lives
 //! in `bench_throughput --sched`.
 //!
+//! With `--faults`, the FIFO stream is additionally replayed on the
+//! stealing sim park with a seeded mid-evaluation crash+restart of one
+//! evaluator ([`paragram_netsim::FaultPlan`]): the victim and crash
+//! instant are probed deterministically until the crash lands on held
+//! work, and the `faults` JSON section records the recovery telemetry.
+//! `--smoke --faults` **gates** (exit 1 on violation): zero output
+//! divergence vs the fault-free run, recovered makespan ≤ 1.25× the
+//! fault-free makespan, regions re-executed and duplicate deliveries
+//! suppressed both > 0, and shed accounting unchanged by the crash.
+//!
 //! A `duplicated_traffic` section additionally replays the stream with
 //! `template_fraction` 0.5 (half the requests drawn from a small
 //! template pool — the replay shape of real fleets) against a memo-off
@@ -50,19 +60,22 @@
 //! writes `target/BENCH_latency.smoke.json` unless `--out` is given).
 //!
 //! Usage: `cargo run --release --bin bench_latency --
-//! [--smoke] [--sched] [--workers N] [--depth N] [--capacity N]
-//! [--requests N] [--seed N] [--out PATH] [--label TEXT]`
+//! [--smoke] [--sched] [--faults] [--workers N] [--depth N]
+//! [--capacity N] [--requests N] [--seed N] [--out PATH] [--label TEXT]`
 
 use paragram_bench::percentile;
 use paragram_bench::stream::{generate_stream, RequestSpec, SizeClass, StreamConfig};
 use paragram_core::parallel::policy::DispatchPolicy;
 use paragram_core::parallel::pool::SchedulerMode;
-use paragram_core::parallel::sim::{run_sim_service, SimConfig, SimRequest};
+use paragram_core::parallel::sim::{
+    run_sim_service, run_sim_service_with_faults, ServiceSimReport, SimConfig, SimRequest,
+};
 use paragram_core::split::RegionGranularity;
 use paragram_core::tree::ParseTree;
 use paragram_driver::{
     Admission, BatchDriver, CompilationPlan, DriverConfig, ServiceConfig, ServiceQueue,
 };
+use paragram_netsim::FaultPlan;
 use paragram_pascal::generator::generate;
 use paragram_pascal::{Compiler, PVal};
 use std::collections::HashMap;
@@ -72,6 +85,7 @@ use std::time::{Duration, Instant};
 struct Args {
     smoke: bool,
     sched: bool,
+    faults: bool,
     workers: usize,
     depth: usize,
     capacity: usize,
@@ -85,6 +99,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         sched: false,
+        faults: false,
         workers: 4,
         depth: 2,
         capacity: 32,
@@ -112,6 +127,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--sched" => args.sched = true,
+            "--faults" => args.faults = true,
             "--workers" => args.workers = int("--workers", val("--workers")).max(1),
             "--depth" => args.depth = int("--depth", val("--depth")).max(1),
             "--capacity" => args.capacity = int("--capacity", val("--capacity")).max(1),
@@ -121,7 +137,7 @@ fn parse_args() -> Args {
             "--label" => args.label = val("--label"),
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?}\nusage: bench_latency [--smoke] [--sched] [--workers N] [--depth N] [--capacity N] [--requests N] [--seed N] [--out PATH] [--label TEXT]"
+                    "error: unknown argument {other:?}\nusage: bench_latency [--smoke] [--sched] [--faults] [--workers N] [--depth N] [--capacity N] [--requests N] [--seed N] [--out PATH] [--label TEXT]"
                 );
                 std::process::exit(2);
             }
@@ -194,13 +210,13 @@ fn run_wall(
     paragram_core::memo::MemoCounters,
     paragram_core::parallel::pool::SchedCounters,
 ) {
-    let mut q = ServiceQueue::new(plan, ServiceConfig { policy, capacity });
+    let mut q = ServiceQueue::new(plan, ServiceConfig::fifo(capacity).with_policy(policy));
     let mut ids: Vec<Option<u64>> = vec![None; stream.len()];
     let start = Instant::now();
     for (i, req) in stream.iter().enumerate() {
         let due = start + Duration::from_nanos((req.arrival as f64 * ns_per_tick) as u64);
         loop {
-            q.pump().expect("evaluation succeeds");
+            q.pump();
             let now = Instant::now();
             if now >= due {
                 break;
@@ -211,7 +227,7 @@ fn run_wall(
             ids[i] = Some(id);
         }
     }
-    q.drain().expect("evaluation succeeds");
+    q.drain();
     let elapsed = start.elapsed();
     let stats = q.stats();
     let latencies = ids
@@ -335,8 +351,10 @@ fn scan_int(json: &str, key: &str) -> Option<u64> {
 }
 
 /// `--smoke` gate: re-read the emitted JSON, check the schema keys,
-/// and enforce the policy ranking on the deterministic sim stream.
-fn validate(path: &str) {
+/// and enforce the policy ranking on the deterministic sim stream —
+/// plus, with `--faults`, the crash-recovery gates on the `faults`
+/// section.
+fn validate(path: &str, faults: bool) {
     let json = std::fs::read_to_string(path).expect("re-read emitted JSON");
     for key in [
         "\"label\"",
@@ -368,6 +386,54 @@ fn validate(path: &str) {
         std::process::exit(1);
     }
     println!("smoke gate passed: SJF p99 <= FIFO p99 on the dominant class");
+
+    if faults {
+        assert!(
+            json.contains("\"faults\""),
+            "schema: missing faults section"
+        );
+        let get = |key: &str| scan_int(&json, key).unwrap_or_else(|| panic!("faults.{key}"));
+        let divergent = get("divergent_trees");
+        let reexec = get("regions_reexecuted");
+        let dups = get("dup_suppressed");
+        let clean_ms = get("clean_makespan_us");
+        let faulty_ms = get("faulty_makespan_us");
+        let (clean_shed, faulty_shed) = (get("clean_shed"), get("faulty_shed"));
+        println!(
+            "faults gate: {reexec} re-executed, {dups} dups suppressed, {divergent} divergent, makespan {faulty_ms}µs vs {clean_ms}µs, shed {faulty_shed} vs {clean_shed}"
+        );
+        let mut failed = false;
+        if divergent != 0 {
+            eprintln!("FAIL: {divergent} trees diverged from the fault-free output");
+            failed = true;
+        }
+        if reexec == 0 || dups == 0 {
+            eprintln!(
+                "FAIL: the crash exercised no recovery (regions_reexecuted {reexec}, dup_suppressed {dups})"
+            );
+            failed = true;
+        }
+        // Recovery bound: the detour costs at most 25% of the
+        // fault-free makespan on the open-arrival stream.
+        if faulty_ms * 4 > clean_ms * 5 {
+            eprintln!(
+                "FAIL: recovered makespan {faulty_ms}µs exceeds 1.25× fault-free {clean_ms}µs"
+            );
+            failed = true;
+        }
+        if faulty_shed != clean_shed {
+            eprintln!(
+                "FAIL: crash changed admission accounting ({clean_shed} → {faulty_shed} shed)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "faults gate passed: byte-identical recovery within 1.25× makespan, shed accounting intact"
+        );
+    }
 }
 
 fn main() {
@@ -654,6 +720,104 @@ fn main() {
         );
     }
 
+    // The --faults axis: the FIFO stream replayed on the stealing sim
+    // park with a mid-evaluation crash+restart of one evaluator. The
+    // victim/instant pair is probed deterministically (the sim replays
+    // bit-for-bit, so the probe always lands on the same pair) until
+    // the crash hits held work AND forces duplicate-suppressed replay —
+    // the recovery paths the smoke exists to exercise.
+    if args.faults {
+        let machines = 4usize;
+        let cfg = SimConfig::paper(machines).with_scheduler(SchedulerMode::Stealing);
+        let requests: Vec<SimRequest> = stream
+            .iter()
+            .map(|r| SimRequest {
+                arrival_us: r.arrival,
+                tenant: r.tenant,
+            })
+            .collect();
+        let run_faulty = |plan: &FaultPlan| -> ServiceSimReport<PVal> {
+            run_sim_service_with_faults(
+                &trees,
+                &requests,
+                Some(plans),
+                &cfg,
+                args.depth,
+                RegionGranularity::Machines(machines),
+                DispatchPolicy::Fifo,
+                stream.len(),
+                plan,
+            )
+        };
+        let clean = run_faulty(&FaultPlan::default());
+
+        // Candidate crash instants: quarters of the evaluation window,
+        // from the first dispatch to the fault-free makespan.
+        let d0 = clean
+            .dispatched
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            .expect("stream dispatched at least one request");
+        let downtime = (clean.makespan / 20).max(1);
+        let probe = (1..=3u64)
+            .flat_map(|frac| {
+                (1..=machines).map(move |victim| (victim, d0 + (clean.makespan - d0) * frac / 4))
+            })
+            .map(|(victim, at)| {
+                let plan = FaultPlan::seeded(args.seed).crash_restart(victim, at, downtime);
+                (victim, at, run_faulty(&plan))
+            })
+            .find(|(_, _, rep)| rep.faults.regions_reexecuted > 0 && rep.faults.dup_suppressed > 0);
+        let (victim, crash_at, faulty) =
+            probe.expect("some victim×instant crash lands on mid-evaluation work");
+
+        // Byte-identical recovery: every request's root attributes,
+        // compared content-deep (ropes by bytes) after canonicalizing
+        // by attribute id — faults may reorder arrival, never content.
+        let canonical = |rep: &ServiceSimReport<PVal>| -> Vec<Vec<(u32, PVal)>> {
+            rep.root_values
+                .iter()
+                .map(|roots| {
+                    let mut r: Vec<(u32, PVal)> =
+                        roots.iter().map(|(a, v)| (a.0, v.clone())).collect();
+                    r.sort_by_key(|(a, _)| *a);
+                    r
+                })
+                .collect()
+        };
+        let divergent = canonical(&clean)
+            .iter()
+            .zip(canonical(&faulty).iter())
+            .filter(|(c, f)| c != f)
+            .count();
+        let f = faulty.faults;
+        out.push_str("  \"faults\": {\n");
+        out.push_str(&format!("    \"victim\": {victim},\n"));
+        out.push_str(&format!("    \"crash_at_us\": {crash_at},\n"));
+        out.push_str(&format!("    \"restart_after_us\": {downtime},\n"));
+        out.push_str(&format!("    \"crashes\": {},\n", f.crashes));
+        out.push_str(&format!(
+            "    \"regions_reexecuted\": {},\n",
+            f.regions_reexecuted
+        ));
+        out.push_str(&format!("    \"dup_suppressed\": {},\n", f.dup_suppressed));
+        out.push_str(&format!("    \"divergent_trees\": {divergent},\n"));
+        out.push_str(&format!("    \"clean_makespan_us\": {},\n", clean.makespan));
+        out.push_str(&format!(
+            "    \"faulty_makespan_us\": {},\n",
+            faulty.makespan
+        ));
+        out.push_str(&format!("    \"clean_shed\": {},\n", clean.shed_count()));
+        out.push_str(&format!("    \"faulty_shed\": {}\n", faulty.shed_count()));
+        out.push_str("  },\n");
+        println!(
+            "faults (fifo, stealing): crash p{victim}@{crash_at}µs ↓{downtime}µs — {} regions re-executed, {} dups suppressed, {} divergent trees, makespan {}µs vs clean {}µs",
+            f.regions_reexecuted, f.dup_suppressed, divergent, faulty.makespan, clean.makespan
+        );
+    }
+
     // The ranking object the smoke gate reads: p99 on the dominant
     // small class, per policy, on the deterministic sim.
     let p99 = |name: &str| {
@@ -690,6 +854,6 @@ fn main() {
     println!("wrote {}", args.out);
 
     if args.smoke {
-        validate(&args.out);
+        validate(&args.out, args.faults);
     }
 }

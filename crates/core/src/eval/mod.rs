@@ -94,6 +94,13 @@ pub enum EvalError {
         /// Number of external instances still missing.
         missing: usize,
     },
+    /// A semantic rule panicked during evaluation. The parallel pool
+    /// contains the unwind ([`std::panic::catch_unwind`]) so a buggy
+    /// rule fails only its own ticket instead of the whole pool.
+    RulePanic {
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -110,6 +117,9 @@ impl fmt::Display for EvalError {
             }
             EvalError::MissingInputs { missing } => {
                 write!(f, "{missing} external attribute values never arrived")
+            }
+            EvalError::RulePanic { message } => {
+                write!(f, "semantic rule panicked: {message}")
             }
         }
     }

@@ -29,6 +29,54 @@
 //!   deficit fair queueing) for service front ends over [`pool`],
 //!   shared with the simulator so sim policy rankings are computed by
 //!   the same code the real queue runs.
+//!
+//! # Failure model and recovery protocol
+//!
+//! Both runtimes tolerate **fail-stop evaluator loss** under
+//! `SchedulerMode::Stealing`: a worker thread dying mid-region (live
+//! pool, [`pool::WorkerPool::kill_worker`]) or a simulated machine
+//! crashing at a scheduled virtual time (sim,
+//! [`sim::run_sim_batch_with_faults`] driven by a
+//! [`paragram_netsim::FaultPlan`]). The parser and librarian are the
+//! reliable tier — they hold per-batch state that regions cannot
+//! reconstruct — so the fault plans that target them are rejected up
+//! front rather than half-recovered.
+//!
+//! **What survives a crash.** Everything a region job needs to re-run
+//! lives outside the evaluator that ran it: the immutable `ParseTree`
+//! and decomposition (shared, read-only), the shared job-location
+//! table mapping `(ticket, region) → JobLoc` (which worker holds each
+//! job, queued or active), and the per-job **input log** — every
+//! boundary attribute `(node, attr, value)` is appended to
+//! `logs[(ticket, region)]` at *send* time, under the scheduler lock,
+//! before it ever reaches a worker. The log is the protocol's stable
+//! storage: a message in flight to a dead worker is lost with the
+//! worker, but its logged copy is not. Only evaluator-volatile state
+//! dies: partially evaluated machines and parked mid-visit values.
+//!
+//! **Recovery.** When a worker dies, the scheduler (live) or the
+//! parser's crash oracle (sim) marks it dead (`DEAD_LOAD` pins it out
+//! of every least-loaded choice), collects its queued and active
+//! region jobs from the table, rebuilds each as a fresh job whose
+//! `early` buffer is the *full* input log replay, and reseeds them
+//! least-loaded-first over the survivors in deterministic
+//! `(ticket, region)` order. Re-execution regenerates the same
+//! segment ids, attribute values and root attributes, because region
+//! evaluation is a pure function of tree + replayed inputs.
+//!
+//! **Idempotent delivery.** Replay means survivors can receive an
+//! attribute twice and the librarian can see a segment registered
+//! twice. Every duplicate path is absorbed and *counted*
+//! ([`pool::FaultCounters::dup_suppressed`]): sends are content-keyed
+//! against the input log (a `(node, attr)` already logged for a region
+//! is suppressed at the sender), machines drop deliveries for
+//! instances they are no longer awaiting, the parser ignores a root
+//! attribute it already holds, and segment re-registration replaces
+//! byte-identical text. The acceptance bar — pinned by unit,
+//! integration and chaos property tests — is that a crashed-and-
+//! recovered run produces output **byte-identical** to the fault-free
+//! run, with `crashes`, `regions_reexecuted` and `dup_suppressed`
+//! accounting for the detour.
 
 pub mod policy;
 pub mod pool;

@@ -195,6 +195,79 @@ impl SchedCounters {
     }
 }
 
+/// Fault-injection and recovery telemetry, cumulative since pool
+/// construction or the last [`WorkerPool::reset_high_water`]. The pool
+/// fills the crash/re-execution/duplicate/panic fields; the deadline
+/// and retry fields belong to the serving layer (`paragram-driver`'s
+/// service queue), which merges its own counts in. The simulator's
+/// recovery mirror reports the same struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Worker/machine crashes observed (injected or real).
+    pub crashes: u64,
+    /// Region jobs reseeded onto surviving workers after a crash
+    /// (queued jobs migrate; active jobs restart from their input log).
+    pub regions_reexecuted: u64,
+    /// Duplicate boundary/root sends suppressed by content-keyed
+    /// idempotent delivery during recovery replay.
+    pub dup_suppressed: u64,
+    /// Requests shed at admission because their predicted wait already
+    /// exceeded their deadline (serving layer).
+    pub deadline_sheds: u64,
+    /// Admitted requests whose deadline expired while queued (serving
+    /// layer, enforced at dispatch time).
+    pub deadline_expired: u64,
+    /// Failed tickets re-dispatched by the serving layer's bounded
+    /// retry policy.
+    pub retries: u64,
+    /// Semantic-rule panics converted into per-ticket failures by
+    /// [`std::panic::catch_unwind`] containment.
+    pub panics_contained: u64,
+}
+
+impl FaultCounters {
+    /// Counter deltas relative to an earlier snapshot (saturating, so a
+    /// reset between snapshots reads as zero rather than wrapping).
+    pub fn since(&self, earlier: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            crashes: self.crashes.saturating_sub(earlier.crashes),
+            regions_reexecuted: self
+                .regions_reexecuted
+                .saturating_sub(earlier.regions_reexecuted),
+            dup_suppressed: self.dup_suppressed.saturating_sub(earlier.dup_suppressed),
+            deadline_sheds: self.deadline_sheds.saturating_sub(earlier.deadline_sheds),
+            deadline_expired: self
+                .deadline_expired
+                .saturating_sub(earlier.deadline_expired),
+            retries: self.retries.saturating_sub(earlier.retries),
+            panics_contained: self
+                .panics_contained
+                .saturating_sub(earlier.panics_contained),
+        }
+    }
+}
+
+/// One ticket's evaluation failed (dependency cycle, plan
+/// inconsistency, or a contained rule panic). The pool cancels the
+/// ticket's remaining region jobs and stays fully usable: failures
+/// surface in submission order through [`WorkerPool::collect`] /
+/// [`WorkerPool::take_ready`] exactly like successful reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TicketFailure {
+    /// The failed ticket.
+    pub ticket: Ticket,
+    /// The first error any of its region machines raised.
+    pub error: EvalError,
+}
+
+impl std::fmt::Display for TicketFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket {} failed: {}", self.ticket, self.error)
+    }
+}
+
+impl std::error::Error for TicketFailure {}
+
 /// Configuration for a [`WorkerPool`].
 #[derive(Debug, Clone, Copy)]
 pub struct PoolConfig {
@@ -405,6 +478,15 @@ enum WorkerMsg<V> {
     /// channel, then claim or steal. Carries nothing; the work lives in
     /// the shared deques.
     Wake,
+    /// A ticket failed: drop every running job and parked value that
+    /// belongs to it (its Done will never be awaited).
+    Cancel {
+        ticket: Ticket,
+    },
+    /// Injected crash ([`WorkerPool::kill_worker`]): the worker thread
+    /// exits immediately, abandoning its machines without sending any
+    /// Done — the pool has already reseeded its jobs onto survivors.
+    Die,
     Shutdown,
 }
 
@@ -455,6 +537,9 @@ struct InFlight<V: AttrValue> {
     region_results: Vec<Option<(EvalStats, RegionStore<V>)>>,
     done: usize,
     start: Instant,
+    /// First error any region machine raised; a failed entry's
+    /// remaining regions are cancelled and never report.
+    failed: Option<EvalError>,
 }
 
 /// Persistent evaluator threads + librarian, reusable across a stream
@@ -471,10 +556,12 @@ pub struct WorkerPool<V: AttrValue> {
     lib_handle: Option<std::thread::JoinHandle<()>>,
     next_ticket: Ticket,
     in_flight: VecDeque<InFlight<V>>,
-    ready: VecDeque<PoolReport<V>>,
+    ready: VecDeque<Result<PoolReport<V>, TicketFailure>>,
     max_in_flight: usize,
     max_regions_in_flight: usize,
-    poisoned: Option<EvalError>,
+    /// Shared fault/recovery telemetry (workers bump the panic and
+    /// duplicate counters; the pool bumps crashes and re-executions).
+    faults: Arc<FaultCell>,
     /// Cross-tree attribute memo cache (None when
     /// [`PoolConfig::memo_capacity`] is 0). Shared with the workers:
     /// they probe before building a machine, the pool installs at
@@ -486,6 +573,36 @@ pub struct WorkerPool<V: AttrValue> {
     /// Stealing-scheduler shared state; `None` under
     /// [`SchedulerMode::Fixed`].
     sched: Option<Arc<Sched<V>>>,
+}
+
+/// Atomic fault telemetry shared between the pool and its workers
+/// (the deadline/retry fields of [`FaultCounters`] live in the serving
+/// layer, not here).
+#[derive(Default)]
+struct FaultCell {
+    crashes: AtomicU64,
+    regions_reexecuted: AtomicU64,
+    dup_suppressed: AtomicU64,
+    panics_contained: AtomicU64,
+}
+
+impl FaultCell {
+    fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            crashes: self.crashes.load(Ordering::Relaxed),
+            regions_reexecuted: self.regions_reexecuted.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            ..FaultCounters::default()
+        }
+    }
+
+    fn reset(&self) {
+        self.crashes.store(0, Ordering::Relaxed);
+        self.regions_reexecuted.store(0, Ordering::Relaxed);
+        self.dup_suppressed.store(0, Ordering::Relaxed);
+        self.panics_contained.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Everything a worker thread needs; owned by the thread.
@@ -509,6 +626,9 @@ struct WorkerCtx<V: AttrValue> {
     /// Stealing-scheduler shared state; `None` under
     /// [`SchedulerMode::Fixed`].
     sched: Option<Arc<Sched<V>>>,
+    /// Shared fault telemetry (panic containment, duplicate
+    /// suppression).
+    faults: Arc<FaultCell>,
 }
 
 /// Per-symbol memoization safety: a split symbol is memo-safe iff no
@@ -635,6 +755,10 @@ struct PendingJob<V: AttrValue> {
     early: Vec<(NodeId, AttrId, V)>,
 }
 
+/// Per-job input log: every boundary value delivered to a live job,
+/// in delivery order, keyed `(ticket, region)`.
+pub(crate) type InputLogs<K, V> = HashMap<(K, RegionId), Vec<(NodeId, AttrId, V)>>;
+
 /// The stealing scheduler's shared state: one deque per worker, the
 /// job-location table, and per-worker outstanding estimated work
 /// (queued + active). One mutex guards all three so seed / claim /
@@ -643,7 +767,25 @@ struct SchedState<V: AttrValue> {
     deques: Vec<VecDeque<PendingJob<V>>>,
     table: HashMap<(Ticket, RegionId), JobLoc>,
     load: Vec<u64>,
+    /// Workers killed by [`WorkerPool::kill_worker`]: they claim no
+    /// further work, and seeding never places jobs on them.
+    dead: Vec<bool>,
+    /// Per-job input log: every boundary value delivered to a live
+    /// `(ticket, region)` job, in delivery order. This generalizes the
+    /// queued job's `early` attachment — it keeps accumulating after
+    /// activation, so a job lost to a crashed worker can be
+    /// reconstituted and replayed from it. Doubles as the content-keyed
+    /// duplicate filter: a `(node, attr)` already in the destination's
+    /// log is never delivered twice, which is what keeps recovery
+    /// replay byte-identical. Entries are dropped when their job
+    /// retires or its ticket is cancelled.
+    logs: InputLogs<Ticket, V>,
 }
+
+/// Load value pinning a dead worker at the bottom of every
+/// least-loaded choice (large enough to lose all comparisons, small
+/// enough never to overflow when summed with real work).
+pub(crate) const DEAD_LOAD: u64 = u64::MAX / 2;
 
 struct Sched<V: AttrValue> {
     state: Mutex<SchedState<V>>,
@@ -660,6 +802,8 @@ impl<V: AttrValue> Sched<V> {
                 deques: (0..workers).map(|_| VecDeque::new()).collect(),
                 table: HashMap::new(),
                 load: vec![0; workers],
+                dead: vec![false; workers],
+                logs: HashMap::new(),
             }),
             steals: AtomicU64::new(0),
             migrated_attrs: AtomicU64::new(0),
@@ -714,6 +858,7 @@ impl<V: AttrValue> WorkerPool<V> {
         });
         let sched =
             (config.scheduler == SchedulerMode::Stealing).then(|| Arc::new(Sched::new(workers)));
+        let faults = Arc::new(FaultCell::default());
 
         let mut worker_txs = Vec::with_capacity(workers);
         let mut worker_rxs = Vec::with_capacity(workers);
@@ -739,6 +884,7 @@ impl<V: AttrValue> WorkerPool<V> {
                 memo: memo.clone(),
                 memo_safe: Arc::clone(&memo_safe),
                 sched: sched.clone(),
+                faults: Arc::clone(&faults),
             };
             handles.push(std::thread::spawn(move || worker_main(ctx)));
         }
@@ -773,7 +919,7 @@ impl<V: AttrValue> WorkerPool<V> {
             ready: VecDeque::new(),
             max_in_flight: 0,
             max_regions_in_flight: 0,
-            poisoned: None,
+            faults,
             memo,
             memo_safe,
             sched,
@@ -828,14 +974,24 @@ impl<V: AttrValue> WorkerPool<V> {
 
     /// Restarts high-water tracking from the current occupancy, so a
     /// driver can report per-batch maxima from a long-lived pool
-    /// instead of all-time ones. Also zeroes the steal-scheduler
-    /// counters, so [`WorkerPool::sched_counters`] reads per-batch.
+    /// instead of all-time ones. Also zeroes the steal-scheduler and
+    /// fault counters, so [`WorkerPool::sched_counters`] and
+    /// [`WorkerPool::fault_counters`] read per-batch.
     pub fn reset_high_water(&mut self) {
         self.max_in_flight = self.in_flight.len();
         self.max_regions_in_flight = self.regions_in_flight();
         if let Some(s) = &self.sched {
             s.reset_counters();
         }
+        self.faults.reset();
+    }
+
+    /// Fault/recovery telemetry since construction or the last
+    /// [`WorkerPool::reset_high_water`]. The deadline and retry fields
+    /// are always zero here — they belong to the serving layer, which
+    /// merges its own counts into the same struct.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.counters()
     }
 
     /// Steal-scheduler telemetry since construction or the last
@@ -861,22 +1017,19 @@ impl<V: AttrValue> WorkerPool<V> {
     }
 
     /// Submits one tree into the pipeline window: decomposes it (at the
-    /// configured granularity), assigns the next ticket and dispatches
-    /// one region job per region, round-robin over the workers. If the
-    /// window is full, the oldest in-flight tree is retired first (its
-    /// report is buffered for [`WorkerPool::collect`]).
+    /// configured granularity), assigns the next ticket (returned, so
+    /// serving layers can correlate retries) and dispatches one region
+    /// job per region. If the window is full, the oldest in-flight tree
+    /// is retired first (its report — or failure — is buffered for
+    /// [`WorkerPool::collect`] / [`WorkerPool::take_ready`]).
     ///
-    /// # Errors
-    ///
-    /// Returns the first [`EvalError`] raised by any machine; the pool
-    /// is poisoned afterwards (subsequent calls return the same error).
-    pub fn submit(&mut self, tree: &Arc<ParseTree<V>>) -> Result<(), EvalError> {
-        if let Some(e) = &self.poisoned {
-            return Err(e.clone());
-        }
+    /// A ticket whose evaluation fails (cycle, plan inconsistency,
+    /// contained rule panic) surfaces as a [`TicketFailure`] in
+    /// submission order; the pool itself stays fully usable.
+    pub fn submit(&mut self, tree: &Arc<ParseTree<V>>) -> Ticket {
         while self.in_flight.len() >= self.config.pipeline_depth {
-            let report = self.retire_front()?;
-            self.ready.push_back(report);
+            let retired = self.retire_front();
+            self.ready.push_back(retired);
         }
 
         let ticket = self.next_ticket;
@@ -925,10 +1078,11 @@ impl<V: AttrValue> WorkerPool<V> {
             region_results: (0..regions).map(|_| None).collect(),
             done: 0,
             start,
+            failed: None,
         });
         self.max_in_flight = self.max_in_flight.max(self.in_flight.len());
         self.max_regions_in_flight = self.max_regions_in_flight.max(self.regions_in_flight());
-        Ok(())
+        ticket
     }
 
     /// Seeds one ticket's region jobs into the stealing scheduler:
@@ -948,12 +1102,16 @@ impl<V: AttrValue> WorkerPool<V> {
             .collect();
         let mut st = sched.state.lock().expect("scheduler lock");
         debug_assert_eq!(workers, st.load.len());
+        debug_assert!(st.dead.iter().any(|d| !d), "at least one worker survives");
+        // Dead workers sit at DEAD_LOAD, so the least-loaded choice
+        // (and the locality preference's slack test) never picks them.
         let mut load = std::mem::take(&mut st.load);
         let placements = seed_placements(decomp, &work, &mut load);
         st.load = load;
         for (r, &w) in placements.iter().enumerate() {
             let rid = r as RegionId;
             st.table.insert((ticket, rid), JobLoc::Queued(w));
+            st.logs.insert((ticket, rid), Vec::new());
             st.deques[w].push_back(PendingJob {
                 ticket,
                 region: rid,
@@ -965,68 +1123,50 @@ impl<V: AttrValue> WorkerPool<V> {
         }
         drop(st);
         // Wake everyone: idle workers with empty deques can steal.
+        // Killed workers' channels may be gone — that's fine.
         for tx in &self.worker_txs {
-            tx.send(WorkerMsg::Wake).expect("worker alive");
+            let _ = tx.send(WorkerMsg::Wake);
         }
     }
 
-    /// Collects the oldest uncollected tree's report (submission
-    /// order), blocking until it finishes. Returns `None` when nothing
-    /// is pending.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`EvalError`] raised by any machine; the pool
-    /// is poisoned afterwards.
-    pub fn collect(&mut self) -> Result<Option<PoolReport<V>>, EvalError> {
-        if let Some(e) = &self.poisoned {
-            return Err(e.clone());
-        }
+    /// Collects the oldest uncollected tree's report or failure
+    /// (submission order), blocking until it finishes. Returns `None`
+    /// when nothing is pending.
+    pub fn collect(&mut self) -> Option<Result<PoolReport<V>, TicketFailure>> {
         if let Some(r) = self.ready.pop_front() {
-            return Ok(Some(r));
+            return Some(r);
         }
         if self.in_flight.is_empty() {
-            return Ok(None);
+            return None;
         }
-        self.retire_front().map(Some)
+        Some(self.retire_front())
     }
 
-    /// Pops a report that already finished (retired as submit-time
+    /// Pops a report or failure that already retired (as submit-time
     /// backpressure or by [`WorkerPool::poll`]) without blocking on
-    /// in-flight trees. Unlike [`WorkerPool::collect`] this keeps
-    /// working on a poisoned pool: reports retired *before* the failure
-    /// are completed work and stay claimable.
-    pub fn take_ready(&mut self) -> Option<PoolReport<V>> {
+    /// in-flight trees.
+    pub fn take_ready(&mut self) -> Option<Result<PoolReport<V>, TicketFailure>> {
         self.ready.pop_front()
     }
 
     /// Drains worker completions without blocking: routes every queued
     /// message, retires every in-flight tree whose regions have all
-    /// reported (front-first, preserving submission order) into the
-    /// ready buffer, and returns how many reports became ready. A
-    /// service loop calls this between arrivals to harvest finished
-    /// requests while keeping the window topped up via
-    /// [`WorkerPool::submit`].
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`EvalError`] raised by any machine; the pool
-    /// is poisoned afterwards, but reports already retired remain
-    /// available through [`WorkerPool::take_ready`].
-    pub fn poll(&mut self) -> Result<usize, EvalError> {
-        if let Some(e) = &self.poisoned {
-            return Err(e.clone());
-        }
+    /// reported — or whose evaluation failed — (front-first, preserving
+    /// submission order) into the ready buffer, and returns how many
+    /// results became ready. A service loop calls this between arrivals
+    /// to harvest finished requests while keeping the window topped up
+    /// via [`WorkerPool::submit`].
+    pub fn poll(&mut self) -> usize {
         while let Ok(msg) = self.parser_rx.try_recv() {
-            self.route(msg)?;
+            self.route(msg);
         }
         let mut newly = 0;
         while self.front_complete() {
-            let report = self.assemble_front();
-            self.ready.push_back(report);
+            let retired = self.retire_front();
+            self.ready.push_back(retired);
             newly += 1;
         }
-        Ok(newly)
+        newly
     }
 
     /// Evaluates one tree on the pool, start to finish (the one-shot
@@ -1040,68 +1180,143 @@ impl<V: AttrValue> WorkerPool<V> {
     ///
     /// # Errors
     ///
-    /// Returns the first [`EvalError`] raised by any machine; the pool
-    /// is poisoned afterwards (subsequent calls return the same error).
+    /// Returns the [`EvalError`] of this tree's ticket if its
+    /// evaluation failed. The pool stays usable either way.
     pub fn eval(&mut self, tree: &Arc<ParseTree<V>>) -> Result<PoolReport<V>, EvalError> {
         assert!(
             self.in_flight.is_empty() && self.ready.is_empty(),
             "eval requires an idle pool; drain submit/collect pipelines first"
         );
-        self.submit(tree)?;
-        Ok(self.collect()?.expect("one tree was just submitted"))
+        self.submit(tree);
+        self.collect()
+            .expect("one tree was just submitted")
+            .map_err(|f| f.error)
     }
 
-    /// Index into `in_flight` of the entry holding `ticket`. Tickets
-    /// are assigned and retired in order, so this is a simple offset.
-    fn entry_index(&self, ticket: Ticket) -> usize {
-        let front = self.in_flight.front().expect("in-flight entry").ticket;
-        (ticket - front) as usize
+    /// Index into `in_flight` of the entry holding `ticket`, or `None`
+    /// for a stale message (the ticket already retired — e.g. a
+    /// cancelled ticket's straggler region reporting Done). Tickets are
+    /// assigned and retired in order, so this is a simple offset.
+    fn entry_index(&self, ticket: Ticket) -> Option<usize> {
+        let front = self.in_flight.front()?.ticket;
+        let i = ticket.checked_sub(front)? as usize;
+        (i < self.in_flight.len()).then_some(i)
     }
 
     /// Routes one worker message to whichever in-flight ticket it
-    /// belongs to; a region failure poisons the pool.
-    fn route(&mut self, msg: ParserMsg<V>) -> Result<(), EvalError> {
+    /// belongs to. Stale messages (retired tickets) and duplicate
+    /// deliveries from recovery replay are suppressed; a region failure
+    /// fails its ticket only — the ticket's remaining jobs are
+    /// cancelled and the pool keeps serving every other ticket.
+    fn route(&mut self, msg: ParserMsg<V>) {
         match msg {
             ParserMsg::Root {
                 ticket,
                 attr,
                 value,
             } => {
-                let i = self.entry_index(ticket);
-                self.in_flight[i].raw_roots.push((attr, value));
+                let Some(i) = self.entry_index(ticket) else {
+                    return;
+                };
+                let entry = &mut self.in_flight[i];
+                // A re-executed root region re-sends its root values;
+                // each root attribute is unique per ticket, so presence
+                // is the idempotency key.
+                if entry.raw_roots.iter().any(|(a, _)| *a == attr) {
+                    self.faults.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                entry.raw_roots.push((attr, value));
             }
             ParserMsg::Done {
                 ticket,
                 region,
                 result,
             } => {
-                let i = self.entry_index(ticket);
+                let Some(i) = self.entry_index(ticket) else {
+                    return;
+                };
                 let entry = &mut self.in_flight[i];
-                entry.done += 1;
+                if entry.region_results[region as usize].is_some() {
+                    // Belt and braces: table ownership already keeps
+                    // zombies from reporting, but a duplicate Done is
+                    // harmless either way (results are deterministic).
+                    self.faults.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 match result {
-                    Ok(r) => entry.region_results[region as usize] = Some(r),
+                    Ok(r) => {
+                        entry.region_results[region as usize] = Some(r);
+                        entry.done += 1;
+                    }
                     Err(e) => {
-                        self.poison(e.clone());
-                        return Err(e);
+                        if entry.failed.is_none() {
+                            entry.failed = Some(e);
+                            self.cancel_ticket(ticket);
+                        }
                     }
                 }
             }
         }
-        Ok(())
     }
 
-    /// Whether the oldest in-flight tree has all its regions reported.
+    /// Cancels a failed ticket's remaining region jobs: purges its
+    /// queued jobs, location-table entries and input logs from the
+    /// stealing scheduler, and tells every worker to drop its running
+    /// machines for the ticket. Their Dones will never be awaited.
+    fn cancel_ticket(&mut self, ticket: Ticket) {
+        if let Some(sched) = &self.sched {
+            let mut st = sched.state.lock().expect("scheduler lock");
+            let SchedState { deques, load, .. } = &mut *st;
+            for (w, deque) in deques.iter_mut().enumerate() {
+                let mut kept = VecDeque::with_capacity(deque.len());
+                for job in deque.drain(..) {
+                    if job.ticket == ticket {
+                        load[w] = load[w].saturating_sub(job.work);
+                    } else {
+                        kept.push_back(job);
+                    }
+                }
+                *deque = kept;
+            }
+            st.table.retain(|&(t, _), _| t != ticket);
+            st.logs.retain(|&(t, _), _| t != ticket);
+        }
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Cancel { ticket });
+        }
+    }
+
+    /// Whether the oldest in-flight tree is retirable: all regions
+    /// reported, or the ticket failed (its stragglers were cancelled
+    /// and will never report).
     fn front_complete(&self) -> bool {
-        self.in_flight.front().is_some_and(|f| f.done == f.regions)
+        self.in_flight
+            .front()
+            .is_some_and(|f| f.done == f.regions || f.failed.is_some())
     }
 
     /// Parser role for the oldest in-flight tree: drain worker messages
-    /// until its regions all report, then perform the librarian's
-    /// deferred resolution and assemble the report.
-    fn retire_front(&mut self) -> Result<PoolReport<V>, EvalError> {
+    /// until its regions all report (or its ticket fails), then perform
+    /// the librarian's deferred resolution and assemble the report or
+    /// failure.
+    fn retire_front(&mut self) -> Result<PoolReport<V>, TicketFailure> {
         while !self.front_complete() {
             let msg = self.parser_rx.recv().expect("workers alive");
-            self.route(msg)?;
+            self.route(msg);
+        }
+        if self.in_flight.front().expect("checked").failed.is_some() {
+            let fl = self.in_flight.pop_front().expect("checked");
+            // Keep the librarian protocol in lockstep: resolve the
+            // failed ticket's registrations and discard them.
+            self.lib_tx
+                .send(LibMsg::Resolve { ticket: fl.ticket })
+                .expect("librarian alive");
+            let _ = self.lib_reply_rx.recv().expect("librarian replies");
+            return Err(TicketFailure {
+                ticket: fl.ticket,
+                error: fl.failed.expect("checked"),
+            });
         }
         Ok(self.assemble_front())
     }
@@ -1227,14 +1442,92 @@ impl<V: AttrValue> WorkerPool<V> {
         }
     }
 
-    fn poison(&mut self, e: EvalError) {
-        self.poisoned = Some(e);
-        // Abandon everything in flight: workers will finish or park
-        // their jobs; a poisoned pool rejects further submissions. The
-        // ready buffer survives — those trees retired *before* the
-        // failure and their reports are completed work, claimable via
-        // `take_ready`.
-        self.in_flight.clear();
+    /// Injects a worker crash (the fault-tolerance test hook and the
+    /// live counterpart of the simulator's crash schedule). Only
+    /// meaningful under [`SchedulerMode::Stealing`], whose location
+    /// table and input logs are the recovery substrate; returns `false`
+    /// under fixed placement, for an out-of-range index, for an
+    /// already-dead worker, or when it is the last worker alive.
+    ///
+    /// Recovery: under the scheduler lock, every region job living on
+    /// the victim — queued in its deque or active on it — is
+    /// reconstituted as a fresh pending job (subtree and decomposition
+    /// from the retained in-flight entry, already-delivered boundary
+    /// values replayed from the job's input log) and reseeded onto the
+    /// least-loaded survivors. The victim is told to die and never
+    /// claims work again. Regions that already reported Done are
+    /// retired work and are not re-executed; duplicate sends from
+    /// half-finished lost regions are suppressed content-keyed at
+    /// delivery, so outputs stay byte-identical.
+    pub fn kill_worker(&mut self, victim: usize) -> bool {
+        let Some(sched) = self.sched.clone() else {
+            return false;
+        };
+        if victim >= self.config.workers {
+            return false;
+        }
+        {
+            let mut st = sched.state.lock().expect("scheduler lock");
+            if st.dead[victim] || st.dead.iter().filter(|d| !**d).count() <= 1 {
+                return false;
+            }
+            st.dead[victim] = true;
+            // Everything queued on the victim migrates as-is; every
+            // job *active* on it is lost mid-run and rebuilt from its
+            // input log.
+            let mut lost: Vec<PendingJob<V>> = st.deques[victim].drain(..).collect();
+            let actives: Vec<(Ticket, RegionId)> = st
+                .table
+                .iter()
+                .filter_map(|(&key, loc)| match loc {
+                    JobLoc::Active(w) if *w == victim => Some(key),
+                    _ => None,
+                })
+                .collect();
+            for &(ticket, region) in &actives {
+                let i = self
+                    .entry_index(ticket)
+                    .expect("active jobs belong to in-flight tickets");
+                let entry = &self.in_flight[i];
+                let work = self
+                    .plan
+                    .region_work(&entry.tree, &entry.decomp, region)
+                    .max(1);
+                let early = st.logs.get(&(ticket, region)).cloned().unwrap_or_default();
+                lost.push(PendingJob {
+                    ticket,
+                    region,
+                    tree: Arc::clone(&entry.tree),
+                    decomp: Arc::clone(&entry.decomp),
+                    work,
+                    early,
+                });
+            }
+            st.load[victim] = DEAD_LOAD;
+            // Deterministic reseed order, least-loaded survivor first.
+            lost.sort_by_key(|j| (j.ticket, j.region));
+            let reexecuted = lost.len() as u64;
+            for job in lost {
+                let w = (0..self.config.workers)
+                    .filter(|&w| !st.dead[w])
+                    .min_by_key(|&w| (st.load[w], w))
+                    .expect("a survivor exists");
+                st.load[w] += job.work;
+                st.table.insert((job.ticket, job.region), JobLoc::Queued(w));
+                st.deques[w].push_back(job);
+            }
+            self.faults.crashes.fetch_add(1, Ordering::Relaxed);
+            self.faults
+                .regions_reexecuted
+                .fetch_add(reexecuted, Ordering::Relaxed);
+        }
+        let _ = self.worker_txs[victim].send(WorkerMsg::Die);
+        for (w, tx) in self.worker_txs.iter().enumerate() {
+            if w != victim {
+                let _ = tx.send(WorkerMsg::Wake);
+            }
+        }
+        true
     }
 }
 
@@ -1420,26 +1713,32 @@ fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
                 }
                 Drive::Finished(err) => {
                     let done = running.remove(i);
-                    retire_sched(&ctx, &done);
+                    let owned = retire_sched(&ctx, &done);
                     let JobState::Machine(machine) = done.state else {
                         unreachable!("only machines finish");
                     };
                     let (store, stats, sc) = machine.recycle();
                     scratches.push(sc);
-                    let result = match err {
-                        Some(e) => Err(e),
-                        None => Ok((stats, store)),
-                    };
-                    if ctx
-                        .parser_tx
-                        .send(ParserMsg::Done {
-                            ticket: done.ticket,
-                            region: done.region,
-                            result,
-                        })
-                        .is_err()
-                    {
-                        return;
+                    // A job this worker lost to crash recovery (it was
+                    // reseeded elsewhere while we were still driving
+                    // it) must not report: the reseeded copy owns the
+                    // Done now.
+                    if owned {
+                        let result = match err {
+                            Some(e) => Err(e),
+                            None => Ok((stats, store)),
+                        };
+                        if ctx
+                            .parser_tx
+                            .send(ParserMsg::Done {
+                                ticket: done.ticket,
+                                region: done.region,
+                                result,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
                     }
                     // The next machine shifted into `i`; re-drive it.
                 }
@@ -1460,6 +1759,10 @@ fn worker_main<V: AttrValue>(ctx: WorkerCtx<V>) {
                             ) {
                                 Absorbed::Shutdown => return,
                                 Absorbed::Fed(idx) => fed = fed.min(idx),
+                                // A cancellation shifted `running`
+                                // under the cursor: restart the pass so
+                                // no machine is skipped.
+                                Absorbed::Mutated => fed = 0,
                                 Absorbed::Other => {}
                             },
                         }
@@ -1522,6 +1825,12 @@ fn claim_or_steal<V: AttrValue>(
     };
     let claimed = {
         let mut st = sched.state.lock().expect("scheduler lock");
+        // A worker marked dead is between the crash injection and its
+        // Die message: it must not claim or steal — its jobs were
+        // already reseeded and anything it grabbed would be lost too.
+        if st.dead[ctx.me] {
+            return false;
+        }
         let job = match st.deques[ctx.me].pop_front() {
             Some(job) => Some(job),
             None => {
@@ -1601,25 +1910,41 @@ fn activate<V: AttrValue>(
     running.insert(pos, entry);
 }
 
-/// Clears a finished job out of the stealing scheduler's shared state:
-/// removes its location-table entry (an absent entry reads as "done"
-/// on every routing path) and returns its work to this worker's load
-/// account. No-op under fixed placement.
-fn retire_sched<V: AttrValue>(ctx: &WorkerCtx<V>, done: &Running<V>) {
-    if let Some(sched) = &ctx.sched {
-        let mut st = sched.state.lock().expect("scheduler lock");
-        st.table.remove(&(done.ticket, done.region));
-        st.load[ctx.me] = st.load[ctx.me].saturating_sub(done.work);
+/// Clears a finished job out of the stealing scheduler's shared state
+/// and reports whether this worker still *owned* the job. Ownership is
+/// the location table saying `Active(me)`: crash recovery may have
+/// reseeded the job elsewhere while this (about-to-die) worker was
+/// still driving it, and a cancellation may have purged it — in either
+/// case the entry, and the right to send Done, belong to someone else.
+/// The worker's load account is settled regardless, and an owned
+/// retirement also drops the job's input log. Always "owned" under
+/// fixed placement (no scheduler state, no recovery).
+fn retire_sched<V: AttrValue>(ctx: &WorkerCtx<V>, done: &Running<V>) -> bool {
+    let Some(sched) = &ctx.sched else {
+        return true;
+    };
+    let mut st = sched.state.lock().expect("scheduler lock");
+    st.load[ctx.me] = st.load[ctx.me].saturating_sub(done.work);
+    match st.table.get(&(done.ticket, done.region)) {
+        Some(JobLoc::Active(w)) if *w == ctx.me => {
+            st.table.remove(&(done.ticket, done.region));
+            st.logs.remove(&(done.ticket, done.region));
+            true
+        }
+        _ => false,
     }
 }
 
 /// What [`absorb`] did with a message.
 enum Absorbed {
-    /// Shutdown received: terminate the worker.
+    /// Shutdown (or an injected Die) received: terminate the worker.
     Shutdown,
     /// An attribute value was provided to the running machine at this
     /// index (the caller jumps back if it is older than its cursor).
     Fed(usize),
+    /// Running jobs were removed (a ticket cancellation): indices
+    /// shifted, so the caller must restart its drive pass.
+    Mutated,
     /// Job activated, value parked or dropped.
     Other,
 }
@@ -1657,7 +1982,28 @@ fn absorb<V: AttrValue>(
 ) -> Absorbed {
     match msg {
         WorkerMsg::Shutdown => Absorbed::Shutdown,
+        // An injected crash: abandon every machine without reporting —
+        // the pool already reseeded this worker's jobs onto survivors.
+        WorkerMsg::Die => Absorbed::Shutdown,
         WorkerMsg::Wake => Absorbed::Other,
+        WorkerMsg::Cancel { ticket } => {
+            let before = running.len();
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].ticket == ticket {
+                    let dropped = running.remove(i);
+                    retire_sched(ctx, &dropped);
+                } else {
+                    i += 1;
+                }
+            }
+            parked_attrs.retain(|&(t, ..)| t != ticket);
+            if running.len() < before {
+                Absorbed::Mutated
+            } else {
+                Absorbed::Other
+            }
+        }
         WorkerMsg::Attr {
             ticket,
             region,
@@ -1835,6 +2181,12 @@ fn resolve_probe<V: AttrValue>(
             }
         }
         if complete && vals.next().is_none() {
+            // A probe that lost ownership (its job was reseeded by
+            // crash recovery or cancelled) must not report — the
+            // owning copy will.
+            if !still_owned(ctx, r.ticket, r.region) {
+                return ProbeOutcome::Replayed;
+            }
             let root_sym = g.prod(root_prod).lhs;
             for &a in ctx.plan.syn_attrs(root_sym) {
                 let Some(v) = store.get(p.root, a).cloned() else {
@@ -1923,7 +2275,21 @@ fn drive<V: AttrValue>(
         unreachable!("probes resolved above");
     };
     for _ in 0..budget {
-        match machine.step() {
+        // Contain semantic-rule panics: a buggy rule fails its own
+        // ticket (surfaced as `EvalError::RulePanic` through the normal
+        // Done path) instead of unwinding the worker thread and
+        // wedging the whole pool.
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| machine.step()));
+        let stepped = match stepped {
+            Ok(s) => s,
+            Err(payload) => {
+                ctx.faults.panics_contained.fetch_add(1, Ordering::Relaxed);
+                return Drive::Finished(Some(EvalError::RulePanic {
+                    message: panic_message(payload.as_ref()),
+                }));
+            }
+        };
+        match stepped {
             Err(e) => return Drive::Finished(Some(e)),
             Ok(None) => {
                 if machine.is_done() {
@@ -1954,6 +2320,30 @@ fn drive<V: AttrValue>(
         }
     }
     Drive::Yielded
+}
+
+/// Whether this worker still owns the `(ticket, region)` job in the
+/// stealing scheduler's location table (trivially true under fixed
+/// placement). See [`retire_sched`] for why ownership gates reporting.
+fn still_owned<V: AttrValue>(ctx: &WorkerCtx<V>, ticket: Ticket, region: RegionId) -> bool {
+    match &ctx.sched {
+        None => true,
+        Some(sched) => {
+            let st = sched.state.lock().expect("scheduler lock");
+            matches!(st.table.get(&(ticket, region)), Some(JobLoc::Active(w)) if *w == ctx.me)
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Forwards one attribute send, deflating librarian-bound string values
@@ -2027,8 +2417,24 @@ fn send_attr<V: AttrValue>(
             .is_ok();
     };
     let mut st = sched.state.lock().expect("scheduler lock");
-    match st.table.get(&(ticket, to)).copied() {
-        Some(JobLoc::Queued(w)) => {
+    let Some(loc) = st.table.get(&(ticket, to)).copied() else {
+        return true;
+    };
+    // Idempotent delivery: every value delivered to a live job is
+    // appended to its input log first. A `(node, attr)` already in the
+    // log is a duplicate — a re-executed producer replaying its sends —
+    // and is suppressed, so recovery cannot double-feed a machine. Each
+    // boundary instance has exactly one defining rule, so content is
+    // deterministic and the first delivery is as good as any.
+    let log = st.logs.entry((ticket, to)).or_default();
+    if log.iter().any(|&(n, a, _)| n == node && a == attr) {
+        drop(st);
+        ctx.faults.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    log.push((node, attr, value.clone()));
+    match loc {
+        JobLoc::Queued(w) => {
             let pending = st.deques[w]
                 .iter_mut()
                 .find(|j| j.ticket == ticket && j.region == to)
@@ -2038,7 +2444,7 @@ fn send_attr<V: AttrValue>(
             sched.count_send(w == ctx.me);
             true
         }
-        Some(JobLoc::Active(w)) => {
+        JobLoc::Active(w) => {
             drop(st);
             sched.count_send(w == ctx.me);
             ctx.peers[w]
@@ -2051,7 +2457,6 @@ fn send_attr<V: AttrValue>(
                 })
                 .is_ok()
         }
-        None => true,
     }
 }
 
@@ -2194,10 +2599,10 @@ mod tests {
                 WorkerPool::new(&plan, PoolConfig::combined(3).with_pipeline_depth(depth));
             let mut reports = Vec::new();
             for tree in &trees {
-                pool.submit(tree).unwrap();
+                pool.submit(tree);
             }
             assert!(pool.pending() == trees.len());
-            while let Some(r) = pool.collect().unwrap() {
+            while let Some(r) = pool.collect().map(|r| r.expect("evaluation succeeds")) {
                 reports.push(r);
             }
             assert_eq!(reports.len(), trees.len());
@@ -2256,11 +2661,11 @@ mod tests {
                 PoolConfig::adaptive(2, budget).with_pipeline_depth(depth),
             );
             for tree in &trees {
-                pool.submit(tree).unwrap();
+                pool.submit(tree);
             }
             assert!(pool.regions_in_flight() > 0);
             let mut reports = Vec::new();
-            while let Some(r) = pool.collect().unwrap() {
+            while let Some(r) = pool.collect().map(|r| r.expect("evaluation succeeds")) {
                 reports.push(r);
             }
             assert!(
@@ -2310,9 +2715,11 @@ mod tests {
         let (trees, plan, _) = fixture_trees(&[24, 24, 24]);
         let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2).with_pipeline_depth(2));
         for tree in &trees {
-            pool.submit(tree).unwrap();
+            pool.submit(tree);
         }
-        while pool.collect().unwrap().is_some() {}
+        while let Some(r) = pool.collect() {
+            r.expect("evaluation succeeds");
+        }
         assert_eq!(pool.max_in_flight(), 2);
         pool.reset_high_water();
         assert_eq!(pool.max_in_flight(), 0);
@@ -2327,19 +2734,19 @@ mod tests {
         let (trees, plan, out) = fixture_trees(&sizes);
         let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2).with_pipeline_depth(4));
         for tree in &trees {
-            pool.submit(tree).unwrap();
+            pool.submit(tree);
         }
         // poll never blocks: spin it until every report surfaces.
         let mut got = Vec::new();
         while got.len() < trees.len() {
-            pool.poll().unwrap();
+            pool.poll();
             while let Some(r) = pool.take_ready() {
-                got.push(r);
+                got.push(r.expect("evaluation succeeds"));
             }
             std::thread::yield_now();
         }
         assert_eq!(pool.in_flight(), 0);
-        assert_eq!(pool.poll().unwrap(), 0, "nothing left to retire");
+        assert_eq!(pool.poll(), 0, "nothing left to retire");
         for (i, (tree, report)) in trees.iter().zip(&got).enumerate() {
             assert_eq!(report.ticket, i as Ticket, "submission order");
             let (dstore, _) = dynamic_eval(tree).unwrap();
@@ -2388,7 +2795,7 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_pool_keeps_pre_failure_reports_claimable() {
+    fn failed_ticket_surfaces_in_order_and_pool_stays_usable() {
         let (good, bad, plan, out) = cyclic_fixture();
         // The cyclic grammar is not statically ordered; the pool runs
         // it in dynamic mode.
@@ -2399,34 +2806,40 @@ mod tests {
             ..PoolConfig::combined(2).with_pipeline_depth(1)
         };
         let mut pool = WorkerPool::new(&plan, config);
-        // Depth 1: each submit retires its predecessor into `ready`, so
-        // by the time the cyclic tree fails, three good reports sit in
-        // the buffer.
         for tree in &good {
-            pool.submit(tree).unwrap();
+            pool.submit(tree);
         }
-        pool.submit(&bad).unwrap();
-        let err = pool
-            .submit(&good[0])
-            .expect_err("backpressure retires the cyclic tree");
-        assert!(matches!(err, EvalError::Cycle { .. }), "got {err:?}");
-        // Poisoned: submit and collect keep returning the same error...
-        assert_eq!(pool.submit(&good[0]).unwrap_err(), err);
-        assert_eq!(pool.collect().map(|_| ()).unwrap_err(), err);
-        assert_eq!(pool.poll().unwrap_err(), err);
-        // ...but reports retired before the failure are completed work.
-        let mut drained = 0;
-        while let Some(r) = pool.take_ready() {
-            assert_eq!(r.ticket, drained as Ticket);
+        let bad_ticket = pool.submit(&bad);
+        // Submitting past the failure works: the cyclic tree fails only
+        // its own ticket, it does not poison the pool.
+        let extra_ticket = pool.submit(&good[0]);
+        // Results surface in submission order: the successes, then the
+        // failure, then the post-failure success.
+        for (i, _) in good.iter().enumerate() {
+            let r = pool.collect().expect("pending").expect("good tree");
+            assert_eq!(r.ticket, i as Ticket);
             assert_eq!(r.root_values, vec![(out, 101i64)]);
-            drained += 1;
         }
-        assert_eq!(drained, good.len());
-        assert_eq!(
-            pool.collect().map(|_| ()).unwrap_err(),
-            err,
-            "error outlives the drain"
+        let failure = pool
+            .collect()
+            .expect("pending")
+            .err()
+            .expect("cyclic tree fails its own ticket");
+        assert_eq!(failure.ticket, bad_ticket);
+        assert!(
+            matches!(failure.error, EvalError::Cycle { .. }),
+            "got {failure:?}"
         );
+        let r = pool
+            .collect()
+            .expect("pending")
+            .expect("post-failure submit evaluates normally");
+        assert_eq!(r.ticket, extra_ticket);
+        assert_eq!(r.root_values, vec![(out, 101i64)]);
+        assert!(pool.collect().is_none(), "drained");
+        // And one-shot evals keep working afterwards.
+        let r = pool.eval(&good[1]).unwrap();
+        assert_eq!(r.root_values, vec![(out, 101i64)]);
     }
 
     /// Memo-safe splittable grammar: the chain's inherited `env` comes
@@ -2580,10 +2993,10 @@ mod tests {
                         .with_scheduler(SchedulerMode::Stealing),
                 );
                 for tree in &trees {
-                    pool.submit(tree).unwrap();
+                    pool.submit(tree);
                 }
                 let mut reports = Vec::new();
-                while let Some(r) = pool.collect().unwrap() {
+                while let Some(r) = pool.collect().map(|r| r.expect("evaluation succeeds")) {
                     reports.push(r);
                 }
                 assert_eq!(reports.len(), trees.len());
@@ -2610,17 +3023,21 @@ mod tests {
         let (trees, plan, _) = fixture_trees(&sizes);
         // Fixed placement never touches the steal scheduler: all zeros.
         let mut fixed = WorkerPool::new(&plan, PoolConfig::combined(2));
-        fixed.submit(&trees[0]).unwrap();
-        while fixed.collect().unwrap().is_some() {}
+        fixed.submit(&trees[0]);
+        while let Some(r) = fixed.collect() {
+            r.expect("evaluation succeeds");
+        }
         assert_eq!(fixed.sched_counters(), SchedCounters::default());
         let mut pool = WorkerPool::new(
             &plan,
             PoolConfig::combined(2).with_scheduler(SchedulerMode::Stealing),
         );
         for tree in &trees {
-            pool.submit(tree).unwrap();
+            pool.submit(tree);
         }
-        while pool.collect().unwrap().is_some() {}
+        while let Some(r) = pool.collect() {
+            r.expect("evaluation succeeds");
+        }
         let c = pool.sched_counters();
         assert!(
             c.local_sends + c.remote_sends > 0,
@@ -2671,7 +3088,7 @@ mod tests {
     }
 
     #[test]
-    fn stealing_poisoned_pool_keeps_pre_failure_reports_claimable() {
+    fn stealing_failed_ticket_surfaces_in_order_and_pool_stays_usable() {
         let (good, bad, plan, out) = cyclic_fixture();
         assert!(plan.plans().is_none());
         let config = PoolConfig {
@@ -2682,24 +3099,173 @@ mod tests {
                 .with_scheduler(SchedulerMode::Stealing)
         };
         let mut pool = WorkerPool::new(&plan, config);
-        // Depth 1: each submit retires its predecessor into `ready`, so
-        // by the time the cyclic tree fails, the good reports sit in
-        // the buffer — migration must not lose them.
         for tree in &good {
-            pool.submit(tree).unwrap();
+            pool.submit(tree);
         }
-        pool.submit(&bad).unwrap();
-        let err = pool
-            .submit(&good[0])
-            .expect_err("backpressure retires the cyclic tree");
-        assert!(matches!(err, EvalError::Cycle { .. }), "got {err:?}");
-        let mut drained = 0;
-        while let Some(r) = pool.take_ready() {
-            assert_eq!(r.ticket, drained as Ticket);
+        let bad_ticket = pool.submit(&bad);
+        // Under stealing the failed ticket's jobs are cancelled across
+        // every deque; earlier and later tickets are untouched.
+        let extra_ticket = pool.submit(&good[0]);
+        for (i, _) in good.iter().enumerate() {
+            let r = pool.collect().expect("pending").expect("good tree");
+            assert_eq!(r.ticket, i as Ticket);
             assert_eq!(r.root_values, vec![(out, 101i64)]);
-            drained += 1;
         }
-        assert_eq!(drained, good.len());
+        let failure = pool
+            .collect()
+            .expect("pending")
+            .err()
+            .expect("cyclic tree fails its own ticket");
+        assert_eq!(failure.ticket, bad_ticket);
+        assert!(
+            matches!(failure.error, EvalError::Cycle { .. }),
+            "got {failure:?}"
+        );
+        let r = pool
+            .collect()
+            .expect("pending")
+            .expect("post-failure submit evaluates normally");
+        assert_eq!(r.ticket, extra_ticket);
+        assert_eq!(r.root_values, vec![(out, 101i64)]);
+        assert!(pool.collect().is_none(), "drained");
+        let r = pool.eval(&good[1]).unwrap();
+        assert_eq!(r.root_values, vec![(out, 101i64)]);
+    }
+
+    #[test]
+    fn panicking_rule_fails_only_its_ticket() {
+        // A rule that explodes on a marker input: the unwind must be
+        // contained (surfacing as `RulePanic` on that ticket alone)
+        // instead of tearing down the worker thread. The default panic
+        // hook prints its message to test stderr once — expected noise.
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let t = g.nonterminal("T");
+        let out = g.synthesized(s, "out");
+        let i = g.inherited(t, "i");
+        let o = g.synthesized(t, "o");
+        let ok = g.production("ok", s, [t]);
+        g.rule(ok, (1, i), [], |_| 1);
+        g.rule(ok, (0, out), [(1, o)], |a| a[0] + 100);
+        let boom = g.production("boom", s, [t]);
+        g.rule(boom, (1, i), [], |_| 13);
+        g.rule(boom, (0, out), [(1, o)], |a| a[0]);
+        let body = g.production("body", t, []);
+        g.rule(body, (0, o), [(0, i)], |a| {
+            assert!(a[0] != 13, "rule exploded on marker input");
+            a[0]
+        });
+        let gr = Arc::new(g.build(s).unwrap());
+        let plan = Arc::new(EvalPlan::analyze(&gr));
+        let mk = |prod| {
+            let mut tb = TreeBuilder::new(&gr);
+            let b = tb.leaf(body);
+            let root = tb.node(prod, [b]);
+            Arc::new(tb.finish(root).unwrap())
+        };
+        let mut pool = WorkerPool::new(&plan, PoolConfig::combined(2));
+        let good = mk(ok);
+        pool.submit(&good);
+        let bad_ticket = pool.submit(&mk(boom));
+        pool.submit(&good);
+        let mut outcomes = Vec::new();
+        while let Some(r) = pool.collect() {
+            outcomes.push(r);
+        }
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(
+            outcomes[0].as_ref().unwrap().root_values,
+            vec![(out, 101i64)]
+        );
+        let failure = outcomes[1].as_ref().err().expect("marker tree panics");
+        assert_eq!(failure.ticket, bad_ticket);
+        let EvalError::RulePanic { message } = &failure.error else {
+            panic!("expected RulePanic, got {failure:?}");
+        };
+        assert!(
+            message.contains("rule exploded"),
+            "panic message survives: {message}"
+        );
+        assert_eq!(
+            outcomes[2].as_ref().unwrap().root_values,
+            vec![(out, 101i64)]
+        );
+        assert_eq!(pool.fault_counters().panics_contained, 1);
+        // The pool is still healthy for later one-shot work.
+        let r = pool.eval(&good).unwrap();
+        assert_eq!(r.root_values, vec![(out, 101i64)]);
+    }
+
+    #[test]
+    fn kill_worker_requires_the_stealing_scheduler() {
+        let (tree, plan, _) = fixture(16);
+        let mut fixed = WorkerPool::new(&plan, PoolConfig::combined(2));
+        assert!(!fixed.kill_worker(0), "fixed placement has no recovery");
+        fixed.eval(&tree).unwrap();
+
+        let mut pool = WorkerPool::new(
+            &plan,
+            PoolConfig::combined(2).with_scheduler(SchedulerMode::Stealing),
+        );
+        assert!(!pool.kill_worker(7), "out of range");
+        assert!(pool.kill_worker(1));
+        assert!(!pool.kill_worker(1), "already dead");
+        assert!(!pool.kill_worker(0), "the last survivor is spared");
+        // One survivor still evaluates correctly.
+        let r = pool.eval(&tree).unwrap();
+        assert_eq!(r.store.filled(), r.store.len());
+        assert_eq!(pool.fault_counters().crashes, 1);
+    }
+
+    #[test]
+    fn killed_worker_recovers_regions_and_outputs_stay_identical() {
+        let sizes = [96usize, 64, 80, 72, 88, 56, 100, 48];
+        let (trees, plan, out) = fixture_trees(&sizes);
+        let mut pool = WorkerPool::new(
+            &plan,
+            PoolConfig::combined(3)
+                .with_pipeline_depth(sizes.len())
+                .with_scheduler(SchedulerMode::Stealing),
+        );
+        for tree in &trees {
+            pool.submit(tree);
+        }
+        // Crash one worker while the whole stream is in flight: its
+        // queued jobs migrate, its active jobs re-execute from their
+        // input logs on the survivors.
+        assert!(pool.kill_worker(1));
+        let mut reports = Vec::new();
+        while let Some(r) = pool.collect() {
+            reports.push(r.expect("recovery completes every tree"));
+        }
+        assert_eq!(reports.len(), trees.len());
+        for (i, (tree, report)) in trees.iter().zip(&reports).enumerate() {
+            assert_eq!(report.ticket, i as Ticket, "submission order survives");
+            let (dstore, _) = dynamic_eval(tree).unwrap();
+            let want = dstore
+                .get(tree.root(), out)
+                .and_then(|v| v.as_rope().cloned())
+                .unwrap();
+            assert!(
+                root_rope(report, out).content_eq(&want),
+                "tree {i}: output identical to fault-free evaluation"
+            );
+            assert_eq!(report.store.filled(), report.store.len());
+        }
+        let f = pool.fault_counters();
+        assert_eq!(f.crashes, 1);
+        assert!(f.regions_reexecuted > 0, "lost regions were reseeded {f:?}");
+        // The two survivors keep serving new work.
+        let r = pool.eval(&trees[0]).unwrap();
+        let (dstore, _) = dynamic_eval(&trees[0]).unwrap();
+        let want = dstore
+            .get(trees[0].root(), out)
+            .and_then(|v| v.as_rope().cloned())
+            .unwrap();
+        assert!(root_rope(&r, out).content_eq(&want));
+        // reset_high_water clears the fault telemetry too.
+        pool.reset_high_water();
+        assert_eq!(pool.fault_counters(), FaultCounters::default());
     }
 
     #[test]

@@ -24,7 +24,10 @@ use crate::analysis::Plans;
 use crate::eval::{AttrMsg, EvalError, EvalPlan, Machine, MachineMode, MachineScratch, SendTarget};
 use crate::grammar::{AttrId, AttrKind};
 use crate::parallel::policy::{DispatchPolicy, PolicyQueue, QueuedJob};
-use crate::parallel::pool::{seed_placements, JobLoc, SchedCounters, SchedulerMode, SegmentLedger};
+use crate::parallel::pool::{
+    seed_placements, FaultCounters, InputLogs, JobLoc, SchedCounters, SchedulerMode, SegmentLedger,
+    DEAD_LOAD,
+};
 use crate::split::{
     decompose, decompose_granular, Decomposition, RegionGranularity, RegionId, SplitConfig,
     SplitTable, WorkTable,
@@ -32,7 +35,7 @@ use crate::split::{
 use crate::stats::EvalStats;
 use crate::tree::{Child, NodeId, ParseTree};
 use crate::value::AttrValue;
-use paragram_netsim::{secs, Ctx, NetModel, ProcId, Process, Sim, Time, Trace};
+use paragram_netsim::{secs, Ctx, FaultPlan, NetModel, ProcId, Process, Sim, Time, Trace};
 use paragram_rope::{Rope, SegmentId, SegmentStore};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -573,6 +576,9 @@ pub struct BatchSimReport<V> {
     /// Steal-scheduler telemetry for the run (all zeros under
     /// [`SchedulerMode::Fixed`]).
     pub sched: SchedCounters,
+    /// Crash/re-execution/duplicate-suppression telemetry (all zeros
+    /// when the [`FaultPlan`] is empty).
+    pub faults: FaultCounters,
 }
 
 impl<V> BatchSimReport<V> {
@@ -665,6 +671,22 @@ struct SimSched<V> {
     /// concurrency produces.
     busy_until: Vec<Time>,
     counters: SchedCounters,
+    /// Which machines are currently down (crash-injected). A dead
+    /// machine's load account is pinned at [`DEAD_LOAD`] so seeding and
+    /// reseeding never choose it; steal victim selection skips it
+    /// explicitly.
+    dead: Vec<bool>,
+    /// Per-region input logs, keyed `(ticket, region)` — the recovery
+    /// substrate, mirroring the live pool's `SchedState::logs`. Every
+    /// boundary value is appended at *send* time (so values still on
+    /// the wire when their destination dies are not lost), and a
+    /// `(node, attr)` already present marks a re-executed producer
+    /// replaying its sends — the duplicate is suppressed and counted.
+    /// The board lives outside any machine: it is the sim's stable
+    /// storage, exactly like the pool parser's retained state.
+    logs: InputLogs<usize, V>,
+    /// Crash/re-execution/duplicate telemetry for the run.
+    faults: FaultCounters,
 }
 
 struct BatchShared<V: AttrValue> {
@@ -768,9 +790,12 @@ fn ship_regions<V: AttrValue>(sh: &BatchShared<V>, ctx: &mut Ctx<BatchMsg<V>>, t
                 early: Vec::new(),
             });
         }
+        // Wake every live machine: idle ones with empty deques can
+        // steal. Dead machines get nothing — their reseeded jobs are
+        // already on survivors' deques.
+        let alive: Vec<usize> = (0..sh.park).filter(|&w| !st.dead[w]).collect();
         drop(st);
-        // Wake everyone: idle machines with empty deques can steal.
-        for w in 0..sh.park {
+        for w in alive {
             ctx.send(ProcId(1 + w), BatchMsg::Wake, 16, "wake");
         }
         return;
@@ -785,6 +810,92 @@ fn ship_regions<V: AttrValue>(sh: &BatchShared<V>, ctx: &mut Ctx<BatchMsg<V>>, t
             bytes,
             "subtree",
         );
+    }
+}
+
+/// The parser's response to the failure detector's crash oracle — the
+/// sim mirror of [`crate::parallel::pool::WorkerPool::kill_worker`]'s
+/// recovery half, shared by the batch and service parsers.
+///
+/// Every region job living on the dead machine — queued in its deque
+/// or active on it — is reconstituted as a fresh pending job and
+/// reseeded onto the least-loaded survivors, then a wake lets them
+/// claim. Each lost job's early values are replayed from the shared
+/// board's input log, which survives the crash (values still on the
+/// wire at crash time were logged at send, so nothing is lost;
+/// [`Machine::provide`] drops any duplicate the replay re-delivers).
+/// Regions that already reported Done have no table entry and are not
+/// re-executed; duplicate sends from half-finished lost regions are
+/// suppressed content-keyed at transmit time.
+fn recover_regions<V: AttrValue>(sh: &BatchShared<V>, ctx: &mut Ctx<BatchMsg<V>>, peer: ProcId) {
+    if sh.scheduler != SchedulerMode::Stealing {
+        return;
+    }
+    // Only evaluator machines are recoverable; the entry points reject
+    // fault plans that crash the parser or the librarian.
+    let Some(victim) = peer.0.checked_sub(1).filter(|&w| w < sh.park) else {
+        return;
+    };
+    let alive: Vec<usize> = {
+        let mut st = sh.sched.lock().expect("sim scheduler lock");
+        if st.dead[victim] {
+            return;
+        }
+        st.dead[victim] = true;
+        // Everything queued on the victim migrates; every job *active*
+        // on it is lost mid-run and rebuilt from scratch.
+        let mut lost: Vec<SimJob<V>> = st.deques[victim].drain(..).collect();
+        let actives: Vec<(usize, RegionId)> = st
+            .table
+            .iter()
+            .filter_map(|(&key, loc)| match loc {
+                JobLoc::Active(w) if *w == victim => Some(key),
+                _ => None,
+            })
+            .collect();
+        for &(ticket, region) in &actives {
+            let work = sh
+                .plan
+                .region_work(&sh.trees[ticket], &sh.decomps[ticket], region)
+                .max(1);
+            lost.push(SimJob {
+                ticket,
+                region,
+                work,
+                bytes: region_wire_size(&sh.trees[ticket], &sh.decomps[ticket], region),
+                early: Vec::new(),
+            });
+        }
+        st.load[victim] = DEAD_LOAD;
+        // A queued job's accumulated early values may miss deliveries
+        // that were still on the wire; the input log has everything
+        // sent so far, so every lost job replays the full log.
+        for job in &mut lost {
+            job.early = st
+                .logs
+                .get(&(job.ticket, job.region))
+                .cloned()
+                .unwrap_or_default();
+        }
+        // Deterministic reseed order, least-loaded survivor first.
+        lost.sort_by_key(|j| (j.ticket, j.region));
+        st.faults.crashes += 1;
+        st.faults.regions_reexecuted += lost.len() as u64;
+        for job in lost {
+            let w = (0..sh.park)
+                .filter(|&w| !st.dead[w])
+                .min_by_key(|&w| (st.load[w], w))
+                // No survivor: park on the victim's own deque until a
+                // restart rejoins and claims it.
+                .unwrap_or(victim);
+            st.load[w] = st.load[w].saturating_add(job.work);
+            st.table.insert((job.ticket, job.region), JobLoc::Queued(w));
+            st.deques[w].push_back(job);
+        }
+        (0..sh.park).filter(|&w| !st.dead[w]).collect()
+    };
+    for w in alive {
+        ctx.send(ProcId(1 + w), BatchMsg::Wake, 16, "wake");
     }
 }
 
@@ -876,7 +987,19 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchParserProc<V> {
                 ..
             } => {
                 ctx.phase("result propagation");
-                sh.root_values.lock().unwrap()[ticket].push((attr, value));
+                {
+                    // A re-executed root region re-sends its roots;
+                    // each root attribute is unique per ticket, so
+                    // presence is the idempotency key (the pool's
+                    // exact rule).
+                    let mut roots = sh.root_values.lock().unwrap();
+                    if roots[ticket].iter().any(|(a, _)| *a == attr) {
+                        drop(roots);
+                        sh.sched.lock().unwrap().faults.dup_suppressed += 1;
+                        return;
+                    }
+                    roots[ticket].push((attr, value));
+                }
                 self.advance(ctx);
             }
             BatchMsg::Done { ticket } => {
@@ -890,6 +1013,10 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchParserProc<V> {
             }
             _ => {}
         }
+    }
+
+    fn on_peer_crash(&mut self, ctx: &mut Ctx<BatchMsg<V>>, peer: ProcId) {
+        recover_regions(&self.shared, ctx, peer);
     }
 }
 
@@ -1020,6 +1147,26 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
                     Some(&(JobLoc::Queued(w) | JobLoc::Active(w))) => w,
                     None => return,
                 };
+                // Idempotent delivery: every value bound for a live
+                // job is appended to its input log at send time, so a
+                // crash cannot lose values still on the wire (recovery
+                // replays the log). A `(node, attr)` already logged is
+                // a re-executed producer replaying its sends — the
+                // duplicate is suppressed, and outputs stay
+                // byte-identical.
+                let dup = {
+                    let log = st.logs.entry((ticket, r)).or_default();
+                    if log.iter().any(|&(n, a, _)| n == msg.node && a == msg.attr) {
+                        true
+                    } else {
+                        log.push((msg.node, msg.attr, value.clone()));
+                        false
+                    }
+                };
+                if dup {
+                    st.faults.dup_suppressed += 1;
+                    return;
+                }
                 if w == self.evaluator {
                     st.counters.local_sends += 1;
                 } else {
@@ -1079,7 +1226,9 @@ impl<V: AttrValue> BatchEvaluatorProc<V> {
                 None => {
                     let now = ctx.now();
                     let victim = (0..st.deques.len())
-                        .filter(|&w| !st.deques[w].is_empty() && st.busy_until[w] > now)
+                        .filter(|&w| {
+                            !st.dead[w] && !st.deques[w].is_empty() && st.busy_until[w] > now
+                        })
                         .max_by_key(|&w| (st.load[w], w));
                     victim.and_then(|v| {
                         let (mut best, mut best_work) = (None, 0u64);
@@ -1304,6 +1453,35 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchEvaluatorProc<V> {
             st.busy_until[me] = st.busy_until[me].max(ctx.now());
         }
     }
+
+    fn on_crash(&mut self) {
+        // Volatile state dies with the machine: running region
+        // machines and parked early values are lost. The recovery
+        // substrate — location table, input logs, load accounts on the
+        // shared board — survives; it is the sim's stable storage,
+        // mirroring the retained parser-side state of the live pool.
+        self.running.clear();
+        self.parked.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<BatchMsg<V>>) {
+        let sh = Arc::clone(&self.shared);
+        if sh.scheduler != SchedulerMode::Stealing {
+            return;
+        }
+        let me = self.evaluator;
+        {
+            let mut st = sh.sched.lock().expect("sim scheduler lock");
+            st.dead[me] = false;
+            // Rejoin with a load account reflecting whatever recovery
+            // parked on this deque (normally nothing).
+            st.load[me] = st.deques[me].iter().map(|j| j.work).sum();
+        }
+        // Rejoin the park: claim or steal like any idle machine.
+        self.claim_and_pump(ctx);
+        let mut st = sh.sched.lock().expect("sim scheduler lock");
+        st.busy_until[me] = st.busy_until[me].max(ctx.now());
+    }
 }
 
 struct BatchLibrarianProc<V: AttrValue> {
@@ -1330,6 +1508,29 @@ impl<V: AttrValue> Process<BatchMsg<V>> for BatchLibrarianProc<V> {
             }
             _ => {}
         }
+    }
+}
+
+/// Rejects fault plans the recovery protocol cannot survive: crashes
+/// are only recoverable for evaluator machines (ProcIds `1..=park`)
+/// and only under the stealing scheduler, whose location table and
+/// input logs are the recovery substrate.
+fn validate_fault_plan(faults: &FaultPlan, scheduler: SchedulerMode, machines: usize) {
+    let mut crashes = faults.crash_procs().peekable();
+    if crashes.peek().is_none() {
+        return;
+    }
+    assert!(
+        scheduler == SchedulerMode::Stealing,
+        "crash injection requires SchedulerMode::Stealing — the location \
+         table and input logs are the recovery substrate"
+    );
+    for p in crashes {
+        assert!(
+            (1..=machines).contains(&p),
+            "fault plan crashes p{p}, which is not an evaluator machine \
+             (valid targets: 1..={machines})"
+        );
     }
 }
 
@@ -1390,6 +1591,40 @@ pub fn run_sim_batch_with<V: AttrValue>(
     pipeline_depth: usize,
     granularity: RegionGranularity,
 ) -> BatchSimReport<V> {
+    run_sim_batch_with_faults(
+        trees,
+        plans,
+        config,
+        pipeline_depth,
+        granularity,
+        &FaultPlan::default(),
+    )
+}
+
+/// [`run_sim_batch_with`] under a [`FaultPlan`]: evaluator crashes,
+/// restarts, and tagged message drops/delays are injected at their
+/// scheduled virtual times, and the recovery protocol (oracle crash
+/// detection → region re-execution from input logs → idempotent
+/// redelivery) runs inside the simulation — the deterministic mirror
+/// of [`crate::parallel::pool::WorkerPool::kill_worker`]. Outputs are
+/// byte-identical to the fault-free run; the report's
+/// [`BatchSimReport::faults`] counters expose what recovery did.
+///
+/// # Panics
+///
+/// Panics if the plan crashes any process that is not an evaluator
+/// machine (the parser and librarian are not replicated), or schedules
+/// crashes without [`SchedulerMode::Stealing`] (the location table and
+/// input logs are the recovery substrate); also if evaluation fails or
+/// the protocol deadlocks, like [`run_sim_batch_with`].
+pub fn run_sim_batch_with_faults<V: AttrValue>(
+    trees: &[Arc<ParseTree<V>>],
+    plans: Option<&Arc<Plans>>,
+    config: &SimConfig,
+    pipeline_depth: usize,
+    granularity: RegionGranularity,
+    faults: &FaultPlan,
+) -> BatchSimReport<V> {
     assert!(!trees.is_empty(), "batch must contain at least one tree");
     let g = trees[0].grammar();
     assert!(
@@ -1411,6 +1646,7 @@ pub fn run_sim_batch_with<V: AttrValue>(
         .max()
         .unwrap()
         .min(config.machines.max(1));
+    validate_fault_plan(faults, config.scheduler, machines);
     let expected_roots: Vec<usize> = trees
         .iter()
         .map(|t| {
@@ -1440,6 +1676,9 @@ pub fn run_sim_batch_with<V: AttrValue>(
             load: vec![0; machines],
             busy_until: vec![0; machines],
             counters: SchedCounters::default(),
+            dead: vec![false; machines],
+            logs: HashMap::new(),
+            faults: FaultCounters::default(),
         }),
         expected_roots,
         eval_start: Mutex::new(0),
@@ -1481,6 +1720,7 @@ pub fn run_sim_batch_with<V: AttrValue>(
             ledger: SegmentLedger::new(),
         },
     );
+    sim.set_faults(faults.clone());
     sim.run();
 
     if let Some(e) = shared.error.lock().unwrap().take() {
@@ -1514,7 +1754,10 @@ pub fn run_sim_batch_with<V: AttrValue>(
         .collect();
     drop(segstores);
 
-    let sched = shared.sched.lock().unwrap().counters;
+    let (sched, fault_counters) = {
+        let st = shared.sched.lock().unwrap();
+        (st.counters, st.faults)
+    };
     BatchSimReport {
         makespan: last - eval_start,
         finish_times: finish
@@ -1529,6 +1772,7 @@ pub fn run_sim_batch_with<V: AttrValue>(
         names: sim.names().to_vec(),
         root_values,
         sched,
+        faults: fault_counters,
     }
 }
 
@@ -1579,6 +1823,9 @@ pub struct ServiceSimReport<V> {
     /// Steal-scheduler telemetry for the run (all zeros under
     /// [`SchedulerMode::Fixed`]).
     pub sched: SchedCounters,
+    /// Crash/re-execution/duplicate-suppression telemetry (all zeros
+    /// when the [`FaultPlan`] is empty).
+    pub faults: FaultCounters,
 }
 
 impl<V> ServiceSimReport<V> {
@@ -1733,7 +1980,19 @@ impl<V: AttrValue> Process<BatchMsg<V>> for ServiceParserProc<V> {
                 ..
             } => {
                 ctx.phase("result propagation");
-                sh.root_values.lock().unwrap()[ticket].push((attr, value));
+                {
+                    // A re-executed root region re-sends its roots;
+                    // each root attribute is unique per ticket, so
+                    // presence is the idempotency key (the pool's
+                    // exact rule).
+                    let mut roots = sh.root_values.lock().unwrap();
+                    if roots[ticket].iter().any(|(a, _)| *a == attr) {
+                        drop(roots);
+                        sh.sched.lock().unwrap().faults.dup_suppressed += 1;
+                        return;
+                    }
+                    roots[ticket].push((attr, value));
+                }
                 self.advance(ctx);
             }
             BatchMsg::Done { ticket } => {
@@ -1746,6 +2005,10 @@ impl<V: AttrValue> Process<BatchMsg<V>> for ServiceParserProc<V> {
             }
             _ => {}
         }
+    }
+
+    fn on_peer_crash(&mut self, ctx: &mut Ctx<BatchMsg<V>>, peer: ProcId) {
+        recover_regions(&self.shared, ctx, peer);
     }
 }
 
@@ -1779,6 +2042,42 @@ pub fn run_sim_service<V: AttrValue>(
     policy: DispatchPolicy,
     queue_capacity: usize,
 ) -> ServiceSimReport<V> {
+    run_sim_service_with_faults(
+        trees,
+        requests,
+        plans,
+        config,
+        pipeline_depth,
+        granularity,
+        policy,
+        queue_capacity,
+        &FaultPlan::default(),
+    )
+}
+
+/// [`run_sim_service`] under a [`FaultPlan`] — the open-arrival
+/// counterpart of [`run_sim_batch_with_faults`]: evaluator crashes and
+/// tagged message faults are injected mid-stream and the same
+/// region-re-execution recovery runs, so admitted requests complete
+/// with byte-identical results while [`ServiceSimReport::faults`]
+/// exposes the recovery telemetry.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_sim_service`], plus the
+/// fault-plan validity rules of [`run_sim_batch_with_faults`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sim_service_with_faults<V: AttrValue>(
+    trees: &[Arc<ParseTree<V>>],
+    requests: &[SimRequest],
+    plans: Option<&Arc<Plans>>,
+    config: &SimConfig,
+    pipeline_depth: usize,
+    granularity: RegionGranularity,
+    policy: DispatchPolicy,
+    queue_capacity: usize,
+    faults: &FaultPlan,
+) -> ServiceSimReport<V> {
     assert!(!trees.is_empty(), "service stream needs at least one tree");
     assert_eq!(
         trees.len(),
@@ -1810,6 +2109,7 @@ pub fn run_sim_service<V: AttrValue>(
         .max()
         .unwrap()
         .min(config.machines.max(1));
+    validate_fault_plan(faults, config.scheduler, machines);
     let expected_roots: Vec<usize> = trees
         .iter()
         .map(|t| {
@@ -1840,6 +2140,9 @@ pub fn run_sim_service<V: AttrValue>(
             load: vec![0; machines],
             busy_until: vec![0; machines],
             counters: SchedCounters::default(),
+            dead: vec![false; machines],
+            logs: HashMap::new(),
+            faults: FaultCounters::default(),
         }),
         expected_roots,
         eval_start: Mutex::new(0),
@@ -1892,6 +2195,7 @@ pub fn run_sim_service<V: AttrValue>(
             ledger: SegmentLedger::new(),
         },
     );
+    sim.set_faults(faults.clone());
     sim.run();
 
     if let Some(e) = shared.error.lock().unwrap().take() {
@@ -1931,7 +2235,10 @@ pub fn run_sim_service<V: AttrValue>(
 
     let admitted = times.admitted.lock().unwrap().clone();
     let dispatched = times.dispatched.lock().unwrap().clone();
-    let sched = shared.sched.lock().unwrap().counters;
+    let (sched, fault_counters) = {
+        let st = shared.sched.lock().unwrap();
+        (st.counters, st.faults)
+    };
     ServiceSimReport {
         makespan: sim.now(),
         arrivals: requests.iter().map(|r| r.arrival_us).collect(),
@@ -1946,6 +2253,7 @@ pub fn run_sim_service<V: AttrValue>(
         names: sim.names().to_vec(),
         root_values,
         sched,
+        faults: fault_counters,
     }
 }
 
@@ -2605,5 +2913,190 @@ mod tests {
             6,
         );
         assert_eq!(roomy.shed_count(), 0);
+    }
+
+    // --- fault injection and recovery ---
+
+    /// Asserts two runs' per-tree root values are byte-identical.
+    /// Faults may reorder *arrival* of root attributes (delays, late
+    /// recovery), so comparison is canonicalized by attribute id; each
+    /// value must still match byte-for-byte.
+    fn assert_roots_identical(clean: &[Vec<(AttrId, Value)>], faulty: &[Vec<(AttrId, Value)>]) {
+        assert_eq!(clean.len(), faulty.len());
+        for (t, (c, f)) in clean.iter().zip(faulty.iter()).enumerate() {
+            assert_eq!(c.len(), f.len(), "tree {t}: root attr count differs");
+            let mut c: Vec<_> = c.iter().collect();
+            let mut f: Vec<_> = f.iter().collect();
+            c.sort_by_key(|(a, _)| *a);
+            f.sort_by_key(|(a, _)| *a);
+            for ((ca, cv), (fa, fv)) in c.iter().zip(f.iter()) {
+                assert_eq!(ca, fa, "tree {t}: root attr set differs");
+                match (cv.as_rope(), fv.as_rope()) {
+                    (Some(cr), Some(fr)) => {
+                        assert!(cr.content_eq(fr), "tree {t}: rope diverged under faults")
+                    }
+                    _ => assert_eq!(cv, fv, "tree {t}: value diverged under faults"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_machine_recovers_with_byte_identical_outputs() {
+        // The acceptance stream: the mixed 24-tree shape. One machine
+        // dies mid-evaluation and restarts 200 virtual ms later; the
+        // survivors re-execute its lost regions from the input logs and
+        // every tree still compiles to exactly the fault-free bytes.
+        let shapes: Vec<(usize, usize)> = (0..24)
+            .map(|i| match i % 3 {
+                0 => (48, 6),
+                1 => (16, 4),
+                _ => (40, 5),
+            })
+            .collect();
+        let b = mini_batch(&shapes);
+        let cfg = SimConfig::paper(4).with_scheduler(SchedulerMode::Stealing);
+        let clean = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2);
+        assert_eq!(clean.faults, FaultCounters::default());
+
+        // Crash evaluator-b (ProcId 2) a third of the way through.
+        let crash_at = clean.parse_time + clean.makespan / 3;
+        let plan = FaultPlan::seeded(11).crash_restart(2, crash_at, 200_000);
+        let run = || {
+            run_sim_batch_with_faults(
+                &b.trees,
+                Some(&b.plans),
+                &cfg,
+                2,
+                RegionGranularity::Machines(cfg.machines),
+                &plan,
+            )
+        };
+        let faulty = run();
+        assert_roots_identical(&clean.root_values, &faulty.root_values);
+        assert_eq!(faulty.faults.crashes, 1, "{:?}", faulty.faults);
+        assert!(
+            faulty.faults.regions_reexecuted > 0,
+            "lost regions were reseeded: {:?}",
+            faulty.faults
+        );
+        assert!(
+            faulty.faults.dup_suppressed > 0,
+            "replayed sends were suppressed content-keyed: {:?}",
+            faulty.faults
+        );
+        // The same plan injects the same chaos: deterministic replay.
+        let again = run();
+        assert_eq!(faulty.makespan, again.makespan);
+        assert_eq!(faulty.finish_times, again.finish_times);
+        assert_eq!(faulty.faults, again.faults);
+    }
+
+    #[test]
+    fn permanent_crash_is_survived_by_the_remaining_park() {
+        let b = mini_batch(&[(48, 6), (16, 4), (40, 5), (24, 5), (32, 5), (20, 4)]);
+        let cfg = SimConfig::paper(4).with_scheduler(SchedulerMode::Stealing);
+        let clean = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2);
+        // Machine d dies for good; three survivors absorb its work.
+        let plan = FaultPlan::seeded(3).crash(4, clean.parse_time + clean.makespan / 4);
+        let faulty = run_sim_batch_with_faults(
+            &b.trees,
+            Some(&b.plans),
+            &cfg,
+            2,
+            RegionGranularity::Machines(cfg.machines),
+            &plan,
+        );
+        assert_roots_identical(&clean.root_values, &faulty.root_values);
+        assert_eq!(faulty.faults.crashes, 1);
+        assert!(
+            faulty.makespan >= clean.makespan,
+            "losing a machine cannot speed the park up"
+        );
+    }
+
+    #[test]
+    fn service_sim_survives_a_mid_stream_crash() {
+        let b = mini_batch(&[(24, 5), (16, 4), (31, 5), (20, 4), (28, 5), (12, 4)]);
+        let req = requests_at(&(0..6).map(|i| (i as Time * 2_000, 0)).collect::<Vec<_>>());
+        let cfg = SimConfig::paper(3).with_scheduler(SchedulerMode::Stealing);
+        let run = |plan: &FaultPlan| {
+            run_sim_service_with_faults(
+                &b.trees,
+                &req,
+                Some(&b.plans),
+                &cfg,
+                2,
+                RegionGranularity::Machines(3),
+                DispatchPolicy::Fifo,
+                usize::MAX,
+                plan,
+            )
+        };
+        let clean = run(&FaultPlan::default());
+        assert_eq!(clean.shed_count(), 0);
+        // Crash right after request 2's regions land on the deques:
+        // evaluator a is guaranteed to hold queued work at that instant.
+        let crash_at = clean.dispatched[2].expect("request 2 dispatched") + 1;
+        let faulty = run(&FaultPlan::seeded(5).crash_restart(1, crash_at, 150_000));
+        assert_eq!(
+            faulty.shed_count(),
+            0,
+            "admission is untouched by the crash"
+        );
+        assert_roots_identical(&clean.root_values, &faulty.root_values);
+        assert_eq!(faulty.faults.crashes, 1);
+        assert!(faulty.faults.regions_reexecuted > 0, "{:?}", faulty.faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires SchedulerMode::Stealing")]
+    fn crash_injection_without_the_stealing_scheduler_is_rejected() {
+        let b = mini_batch(&[(16, 4)]);
+        let plan = FaultPlan::seeded(1).crash(1, 1_000);
+        run_sim_batch_with_faults(
+            &b.trees,
+            Some(&b.plans),
+            &SimConfig::paper(2),
+            1,
+            RegionGranularity::Machines(2),
+            &plan,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not an evaluator machine")]
+    fn crashing_the_parser_is_rejected() {
+        let b = mini_batch(&[(16, 4)]);
+        let plan = FaultPlan::seeded(1).crash(0, 1_000);
+        let cfg = SimConfig::paper(2).with_scheduler(SchedulerMode::Stealing);
+        run_sim_batch_with_faults(
+            &b.trees,
+            Some(&b.plans),
+            &cfg,
+            1,
+            RegionGranularity::Machines(2),
+            &plan,
+        );
+    }
+
+    #[test]
+    fn delayed_attribute_messages_do_not_change_results() {
+        let b = mini_batch(&[(32, 5), (16, 4), (24, 5)]);
+        let cfg = SimConfig::paper(3).with_scheduler(SchedulerMode::Stealing);
+        let clean = run_sim_batch(&b.trees, Some(&b.plans), &cfg, 2);
+        // A third of all attribute messages arrive 20 virtual ms late:
+        // delivery reorders but the protocol is insensitive to it.
+        let plan = FaultPlan::seeded(9).delay_tagged("attr", 333, 20_000);
+        let faulty = run_sim_batch_with_faults(
+            &b.trees,
+            Some(&b.plans),
+            &cfg,
+            2,
+            RegionGranularity::Machines(cfg.machines),
+            &plan,
+        );
+        assert_roots_identical(&clean.root_values, &faulty.root_values);
+        assert_eq!(faulty.faults.crashes, 0);
     }
 }

@@ -110,14 +110,15 @@
 pub mod service;
 
 pub use service::{
-    Admission, RequestTimes, ServiceConfig, ServiceOutput, ServiceQueue, ServiceStats,
+    Admission, FailedRequest, FailureReason, RequestTimes, ServiceConfig, ServiceOutput,
+    ServiceQueue, ServiceStats,
 };
 
 use paragram_core::eval::{EvalError, EvalPlan, MachineMode};
 use paragram_core::grammar::{AttrId, Grammar};
 use paragram_core::memo::{InstallPolicy, MemoCounters};
 use paragram_core::parallel::pool::{
-    PoolConfig, PoolReport, SchedCounters, SchedulerMode, WorkerPool,
+    FaultCounters, PoolConfig, PoolReport, SchedCounters, SchedulerMode, WorkerPool,
 };
 use paragram_core::parallel::ResultPropagation;
 use paragram_core::split::RegionGranularity;
@@ -342,19 +343,20 @@ impl<V: AttrValue> TreeOutput<V> {
 }
 
 /// A batch failure that does not discard finished work: the first
-/// [`EvalError`] any machine raised, together with every tree that had
-/// already been fully compiled and assembled before the failure.
+/// [`EvalError`] any tree raised, together with every tree that was
+/// fully compiled and assembled.
 ///
-/// The pool is poisoned once a machine fails, so trees submitted after
-/// the failing one are lost — but trees *retired before* it are
-/// completed work, and a caller (a service shedding one bad request, a
-/// build system reporting per-unit results) should not have to redo
-/// them.
+/// Failures are **ticket-scoped**: a failing tree takes down only its
+/// own ticket, so the batch runs to completion and every healthy tree
+/// — before *or after* the failing one — comes back in `completed`. A
+/// caller (a service shedding one bad request, a build system
+/// reporting per-unit results) never redoes finished work, and the
+/// driver stays usable for the next batch.
 pub struct BatchError<V: AttrValue> {
-    /// The first evaluation error any machine raised.
+    /// The first evaluation error any tree raised.
     pub error: EvalError,
-    /// Outputs of trees that completed before the failure, in input
-    /// order.
+    /// Outputs of the trees that compiled successfully, in input
+    /// order (failed trees are simply absent).
     pub completed: Vec<TreeOutput<V>>,
 }
 
@@ -410,6 +412,13 @@ pub struct BatchReport<V: AttrValue> {
     /// ([`WorkerPool::reset_high_water`] zeroes the counters at batch
     /// start); all zeros under [`SchedulerMode::Fixed`].
     pub sched: SchedCounters,
+    /// Fault and recovery telemetry for this batch (zeroed at batch
+    /// start alongside the scheduler counters): worker crashes
+    /// injected, regions re-executed from their input logs, duplicate
+    /// sends suppressed by idempotent delivery, and semantic-rule
+    /// panics contained to their tickets. All zeros on a fault-free
+    /// run.
+    pub faults: FaultCounters,
 }
 
 impl<V: AttrValue> BatchReport<V> {
@@ -489,6 +498,21 @@ impl<V: AttrValue> BatchDriver<V> {
         Ok(TreeOutput::from_report(report))
     }
 
+    /// Injects a worker crash into the pool: the victim's region jobs
+    /// are re-executed from their input logs on the surviving workers
+    /// (see [`WorkerPool::kill_worker`]). Requires
+    /// [`SchedulerMode::Stealing`]; returns `false` when the scheduler
+    /// cannot recover (fixed placement, last survivor, already dead).
+    pub fn kill_worker(&mut self, victim: usize) -> bool {
+        self.pool.kill_worker(victim)
+    }
+
+    /// Cumulative fault and recovery telemetry since the pool was
+    /// spawned (or since the last batch started — batches zero it).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.pool.fault_counters()
+    }
+
     /// Compiles a stream of trees on the same pool, keeping up to
     /// [`DriverConfig::pipeline_depth`] trees in flight so each tree's
     /// region jobs fill workers idling behind its predecessor's
@@ -497,10 +521,10 @@ impl<V: AttrValue> BatchDriver<V> {
     ///
     /// # Errors
     ///
-    /// Stops at the first [`EvalError`]. The pool is poisoned, so trees
-    /// submitted after the failing one are lost — but trees that had
-    /// already completed are returned inside the [`BatchError`] rather
-    /// than dropped.
+    /// Failures are ticket-scoped: a failing tree cancels only its own
+    /// ticket, the rest of the batch still compiles, and the first
+    /// error comes back in a [`BatchError`] together with every
+    /// successful output. The driver remains usable afterwards.
     pub fn compile_batch(
         &mut self,
         trees: impl IntoIterator<Item = Arc<ParseTree<V>>>,
@@ -515,32 +539,31 @@ impl<V: AttrValue> BatchDriver<V> {
         let mut outputs = Vec::new();
         let mut failed = None;
         for tree in trees {
-            if let Err(e) = self.pool.submit(&tree) {
-                failed = Some(e);
-                break;
-            }
-            while let Some(report) = self.pool.take_ready() {
-                self.trees_compiled += 1;
-                outputs.push(TreeOutput::from_report(report));
+            self.pool.submit(&tree);
+            while let Some(result) = self.pool.take_ready() {
+                match result {
+                    Ok(report) => {
+                        self.trees_compiled += 1;
+                        outputs.push(TreeOutput::from_report(report));
+                    }
+                    Err(f) => {
+                        failed.get_or_insert(f.error);
+                    }
+                }
             }
         }
-        while failed.is_none() {
-            match self.pool.collect() {
-                Ok(Some(report)) => {
+        while let Some(result) = self.pool.collect() {
+            match result {
+                Ok(report) => {
                     self.trees_compiled += 1;
                     outputs.push(TreeOutput::from_report(report));
                 }
-                Ok(None) => break,
-                Err(e) => failed = Some(e),
+                Err(f) => {
+                    failed.get_or_insert(f.error);
+                }
             }
         }
         if let Some(error) = failed {
-            // Reports retired before the failure stay claimable on the
-            // poisoned pool; hand them to the caller with the error.
-            while let Some(report) = self.pool.take_ready() {
-                self.trees_compiled += 1;
-                outputs.push(TreeOutput::from_report(report));
-            }
             return Err(BatchError {
                 error,
                 completed: outputs,
@@ -559,6 +582,7 @@ impl<V: AttrValue> BatchDriver<V> {
             // `reset_high_water` above zeroed the steal counters, so
             // the cumulative read is this batch's delta.
             sched: self.pool.sched_counters(),
+            faults: self.pool.fault_counters(),
         })
     }
 }
@@ -737,14 +761,20 @@ mod tests {
         let batch = [mk(ok), mk(ok), mk(ok), mk(knot), mk(ok)];
         let err = driver.compile_batch(batch).map(|_| ()).unwrap_err();
         assert!(matches!(err.error, EvalError::Cycle { .. }), "{err}");
-        // Depth-1 backpressure had retired the three healthy trees
-        // before the knot's region failed; they come back with the
-        // error instead of being dropped.
-        assert_eq!(err.completed.len(), 3);
+        // The knot fails only its own ticket: every healthy tree —
+        // including the one submitted after it — still compiles.
+        assert_eq!(err.completed.len(), 4);
         for output in &err.completed {
             assert_eq!(output.root_value(out), Some(&101));
         }
-        assert_eq!(driver.trees_compiled(), 3);
+        assert_eq!(driver.trees_compiled(), 4);
+        // The driver is not poisoned: the next batch runs normally.
+        let report = driver.compile_batch([mk(ok), mk(ok)]).unwrap();
+        assert_eq!(report.outputs.len(), 2);
+        assert_eq!(
+            report.faults,
+            paragram_core::parallel::pool::FaultCounters::default()
+        );
     }
 
     #[test]

@@ -34,16 +34,16 @@ use crate::{CompilationPlan, TreeOutput};
 use paragram_core::eval::EvalError;
 use paragram_core::memo::MemoCounters;
 use paragram_core::parallel::policy::{DispatchPolicy, PolicyQueue, QueuedJob};
-use paragram_core::parallel::pool::{PoolConfig, SchedCounters, WorkerPool};
+use paragram_core::parallel::pool::{FaultCounters, PoolConfig, SchedCounters, WorkerPool};
 use paragram_core::tree::ParseTree;
 use paragram_core::value::AttrValue;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Service shape: how many requests may wait, and in what order they
-/// leave the waiting room.
+/// Service shape: how many requests may wait, in what order they leave
+/// the waiting room, and how deadlines and failures are handled.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Dispatch policy for the waiting room.
@@ -52,20 +52,74 @@ pub struct ServiceConfig {
     /// that finds this many requests *waiting* (not yet dispatched) is
     /// shed.
     pub capacity: usize,
+    /// Default completion deadline applied to every offer (overridable
+    /// per request via [`ServiceQueue::offer_with_deadline`]). `None`
+    /// disables deadline handling entirely.
+    pub deadline: Option<Duration>,
+    /// Calibration constant for admission-time deadline shedding:
+    /// estimated wall-clock microseconds per plan work unit
+    /// ([`paragram_core::eval::EvalPlan::tree_work`]). When non-zero
+    /// and a request carries a deadline, an offer whose *predicted*
+    /// completion (pending work ahead of it + its own work, scaled by
+    /// this constant) already exceeds the deadline is shed at the door
+    /// ([`Admission::DeadlineShed`]) instead of occupying a waiting
+    /// slot it cannot use. 0 disables prediction; expiry then happens
+    /// lazily at dispatch time.
+    pub work_unit_us: f64,
+    /// How many times a request whose ticket failed is re-dispatched
+    /// before the failure is surfaced via
+    /// [`ServiceQueue::take_failed`]. 0 (the default) fails fast.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; attempt *n* waits
+    /// `retry_backoff * 2^(n-1)`. Retries park outside the policy
+    /// queue and re-dispatch directly once their backoff elapses.
+    pub retry_backoff: Duration,
 }
 
 impl ServiceConfig {
-    /// FIFO dispatch with the given waiting-room bound.
+    /// FIFO dispatch with the given waiting-room bound; no deadlines,
+    /// no retries.
     pub fn fifo(capacity: usize) -> Self {
         ServiceConfig {
             policy: DispatchPolicy::Fifo,
             capacity,
+            deadline: None,
+            work_unit_us: 0.0,
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
         }
     }
 
     /// The configuration with a different dispatch policy.
     pub fn with_policy(self, policy: DispatchPolicy) -> Self {
         ServiceConfig { policy, ..self }
+    }
+
+    /// The configuration with a default completion deadline.
+    pub fn with_deadline(self, deadline: Duration) -> Self {
+        ServiceConfig {
+            deadline: Some(deadline),
+            ..self
+        }
+    }
+
+    /// The configuration with the given predicted-wait calibration
+    /// (microseconds per work unit) for admission-time shedding.
+    pub fn with_work_unit_us(self, work_unit_us: f64) -> Self {
+        ServiceConfig {
+            work_unit_us,
+            ..self
+        }
+    }
+
+    /// The configuration with bounded retry-with-backoff for failed
+    /// tickets.
+    pub fn with_retries(self, max_retries: u32, retry_backoff: Duration) -> Self {
+        ServiceConfig {
+            max_retries,
+            retry_backoff,
+            ..self
+        }
     }
 }
 
@@ -82,6 +136,11 @@ pub enum Admission {
     /// The waiting room was full; the request was dropped. The caller
     /// owns retry/backoff.
     Shed,
+    /// The request carried a deadline its predicted completion time
+    /// already exceeds; admitting it would waste a waiting slot on
+    /// work that gets thrown away. Counted in
+    /// [`FaultCounters::deadline_sheds`].
+    DeadlineShed,
 }
 
 /// Wall-clock milestones of one admitted request.
@@ -121,6 +180,31 @@ pub struct ServiceOutput<V: AttrValue> {
     pub output: TreeOutput<V>,
 }
 
+/// Why a request could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// Its ticket failed this many times (the configured retry budget
+    /// plus the first attempt) with this error last.
+    Eval(EvalError),
+    /// Its deadline passed while it waited for dispatch; the work was
+    /// never started. Counted in [`FaultCounters::deadline_expired`].
+    DeadlineExpired,
+}
+
+/// A request the service gave up on, surfaced via
+/// [`ServiceQueue::take_failed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedRequest {
+    /// The id [`ServiceQueue::offer`] returned for this request.
+    pub id: u64,
+    /// The tenant it was billed to.
+    pub tenant: u32,
+    /// Re-dispatch attempts consumed before giving up.
+    pub retries: u32,
+    /// Why it failed.
+    pub reason: FailureReason,
+}
+
 /// Admission / completion accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -128,10 +212,15 @@ pub struct ServiceStats {
     pub offered: usize,
     /// Requests admitted to the waiting room.
     pub admitted: usize,
-    /// Requests shed by the full waiting room.
+    /// Requests shed by the full waiting room (deadline sheds are
+    /// counted separately, in `faults`).
     pub shed: usize,
     /// Requests fully compiled and assembled.
     pub completed: usize,
+    /// Requests the service gave up on (retries exhausted or deadline
+    /// expired before dispatch); claimable via
+    /// [`ServiceQueue::take_failed`].
+    pub failed: usize,
     /// Largest number of requests ever waiting at once.
     pub max_waiting: usize,
     /// Cumulative memo cache activity (all zeros when
@@ -141,6 +230,11 @@ pub struct ServiceStats {
     /// Cumulative steal-scheduler telemetry (all zeros under
     /// [`SchedulerMode::Fixed`](paragram_core::parallel::pool::SchedulerMode::Fixed)).
     pub sched: SchedCounters,
+    /// Fault and recovery telemetry: the pool's counters (crashes,
+    /// regions re-executed, duplicates suppressed, panics contained)
+    /// merged with the service's own deadline-shed, deadline-expiry
+    /// and retry counts.
+    pub faults: FaultCounters,
 }
 
 /// An open-arrival compilation service over one persistent
@@ -149,19 +243,47 @@ pub struct ServiceStats {
 pub struct ServiceQueue<V: AttrValue> {
     pool: WorkerPool<V>,
     queue: PolicyQueue,
-    /// Trees admitted but not yet dispatched, by request id.
-    waiting: HashMap<u64, Arc<ParseTree<V>>>,
+    /// Trees of live (admitted, not yet finished/failed) requests, by
+    /// request id. Kept through dispatch so a failed ticket can be
+    /// re-dispatched.
+    trees: HashMap<u64, Arc<ParseTree<V>>>,
     /// Tenants of admitted requests, by request id.
     tenants: HashMap<u64, u32>,
+    /// Plan work estimates of live requests, by request id.
+    work: HashMap<u64, u64>,
+    /// Absolute completion deadlines, by request id.
+    deadlines: HashMap<u64, Instant>,
+    /// Re-dispatch attempts consumed, by request id (absent = 0).
+    retries: HashMap<u64, u32>,
+    /// Failed tickets waiting out their retry backoff; re-dispatched
+    /// directly (bypassing the policy queue) once `not_before` passes.
+    parked_retries: Vec<ParkedRetry>,
     /// Dispatched, uncompleted request ids in dispatch order — the pool
-    /// retires FIFO in dispatch order, so completed reports match this
-    /// front to back.
+    /// retires FIFO in dispatch order, so results match this front to
+    /// back.
     dispatched: VecDeque<u64>,
     completed: VecDeque<ServiceOutput<V>>,
+    failed: VecDeque<FailedRequest>,
     times: HashMap<u64, RequestTimes>,
     capacity: usize,
     next_id: u64,
+    /// Sum of `work` over requests waiting for dispatch.
+    queued_work: u64,
+    /// Sum of `work` over dispatched, uncompleted requests.
+    in_service_work: u64,
+    deadline: Option<Duration>,
+    work_unit_us: f64,
+    max_retries: u32,
+    retry_backoff: Duration,
+    deadline_sheds: u64,
+    deadline_expired: u64,
+    retry_count: u64,
     stats: ServiceStats,
+}
+
+struct ParkedRetry {
+    id: u64,
+    not_before: Instant,
 }
 
 impl<V: AttrValue> ServiceQueue<V> {
@@ -186,13 +308,27 @@ impl<V: AttrValue> ServiceQueue<V> {
         ServiceQueue {
             pool,
             queue: PolicyQueue::new(service.policy),
-            waiting: HashMap::new(),
+            trees: HashMap::new(),
             tenants: HashMap::new(),
+            work: HashMap::new(),
+            deadlines: HashMap::new(),
+            retries: HashMap::new(),
+            parked_retries: Vec::new(),
             dispatched: VecDeque::new(),
             completed: VecDeque::new(),
+            failed: VecDeque::new(),
             times: HashMap::new(),
             capacity: service.capacity.max(1),
             next_id: 0,
+            queued_work: 0,
+            in_service_work: 0,
+            deadline: service.deadline,
+            work_unit_us: service.work_unit_us,
+            max_retries: service.max_retries,
+            retry_backoff: service.retry_backoff,
+            deadline_sheds: 0,
+            deadline_expired: 0,
+            retry_count: 0,
             stats: ServiceStats::default(),
         }
     }
@@ -203,11 +339,18 @@ impl<V: AttrValue> ServiceQueue<V> {
     }
 
     /// Admission / completion accounting so far, including the pool's
-    /// cumulative memo cache counters.
+    /// cumulative memo cache, scheduler and fault counters (the
+    /// service's own deadline and retry counts are merged into
+    /// `faults`).
     pub fn stats(&self) -> ServiceStats {
+        let mut faults = self.pool.fault_counters();
+        faults.deadline_sheds = self.deadline_sheds;
+        faults.deadline_expired = self.deadline_expired;
+        faults.retries = self.retry_count;
         ServiceStats {
             memo: self.pool.memo_counters().unwrap_or_default(),
             sched: self.pool.sched_counters(),
+            faults,
             ..self.stats
         }
     }
@@ -227,28 +370,59 @@ impl<V: AttrValue> ServiceQueue<V> {
         self.times.get(&id)
     }
 
-    /// Offers one request. Never blocks and never performs pool work —
-    /// the admission decision is a pure function of the waiting-queue
-    /// length, so a given arrival sequence always sheds the same
+    /// Offers one request with the configured default deadline. Never
+    /// blocks and never performs pool work — the admission decision is
+    /// a pure function of the waiting-queue length (and, with a
+    /// deadline plus a non-zero `work_unit_us`, of the pending work
+    /// total), so a given arrival sequence always sheds the same
     /// requests regardless of wall-clock timing. Call
     /// [`ServiceQueue::pump`] to make progress.
     pub fn offer(&mut self, tree: &Arc<ParseTree<V>>, tenant: u32) -> Admission {
+        self.offer_with_deadline(tree, tenant, self.deadline)
+    }
+
+    /// Offers one request with an explicit completion deadline
+    /// (overriding the configured default; `None` means no deadline).
+    pub fn offer_with_deadline(
+        &mut self,
+        tree: &Arc<ParseTree<V>>,
+        tenant: u32,
+        deadline: Option<Duration>,
+    ) -> Admission {
         self.stats.offered += 1;
         if self.queue.len() >= self.capacity {
             self.stats.shed += 1;
             return Admission::Shed;
         }
+        let work = self.pool.plan().tree_work(tree);
+        if let Some(d) = deadline {
+            // Predicted completion: everything already pending (waiting
+            // + in service) runs before this request finishes, plus its
+            // own work — all scaled by the calibration constant.
+            if self.work_unit_us > 0.0 {
+                let pending = self.queued_work + self.in_service_work + work;
+                let predicted_us = pending as f64 * self.work_unit_us;
+                if predicted_us > d.as_micros() as f64 {
+                    self.deadline_sheds += 1;
+                    return Admission::DeadlineShed;
+                }
+            }
+        }
         let id = self.next_id;
         self.next_id += 1;
-        let work = self.pool.plan().tree_work(tree);
         self.queue.push(QueuedJob {
             seq: id,
             tenant,
             work,
         });
-        self.waiting.insert(id, Arc::clone(tree));
+        self.trees.insert(id, Arc::clone(tree));
         self.tenants.insert(id, tenant);
+        self.work.insert(id, work);
+        self.queued_work += work;
         let now = Instant::now();
+        if let Some(d) = deadline {
+            self.deadlines.insert(id, now + d);
+        }
         self.times.insert(
             id,
             RequestTimes {
@@ -264,46 +438,77 @@ impl<V: AttrValue> ServiceQueue<V> {
     }
 
     /// Makes all currently possible progress without blocking: drains
-    /// worker completions, tops up the pipeline window from the waiting
-    /// room in policy order, and moves finished requests to
+    /// worker completions, re-dispatches retries whose backoff has
+    /// elapsed, tops up the pipeline window from the waiting room in
+    /// policy order (expiring requests whose deadline already passed),
+    /// and moves finished requests to
     /// [`ServiceQueue::take_completed`]. Returns how many requests
     /// completed during this call.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`EvalError`] any machine raised. The pool is
-    /// poisoned afterwards, but requests completed *before* the failure
-    /// remain claimable via [`ServiceQueue::take_completed`].
-    pub fn pump(&mut self) -> Result<usize, EvalError> {
-        self.pool.poll()?;
+    pub fn pump(&mut self) -> usize {
+        self.pool.poll();
+        let mut done = self.harvest();
         while self.pool.in_flight() < self.pool.pipeline_depth() {
+            let now = Instant::now();
+            // Parked retries first: they already held a window slot
+            // once and bypass the policy queue on re-dispatch.
+            if let Some(pos) = self.parked_retries.iter().position(|p| p.not_before <= now) {
+                let ParkedRetry { id, .. } = self.parked_retries.swap_remove(pos);
+                let tree = Arc::clone(self.trees.get(&id).expect("retried tree kept"));
+                self.pool.submit(&tree);
+                self.in_service_work += self.work.get(&id).copied().unwrap_or(0);
+                self.dispatched.push_back(id);
+                continue;
+            }
             let Some(job) = self.queue.pop() else { break };
-            let tree = self.waiting.remove(&job.seq).expect("queued tree kept");
+            self.queued_work = self.queued_work.saturating_sub(job.work);
+            // Lazy expiry: a request whose deadline passed while it
+            // waited is dropped at the door of the pool — its output
+            // could only be thrown away.
+            if self.deadlines.get(&job.seq).is_some_and(|dl| now > *dl) {
+                self.deadline_expired += 1;
+                self.give_up(job.seq, FailureReason::DeadlineExpired);
+                continue;
+            }
+            let tree = Arc::clone(self.trees.get(&job.seq).expect("queued tree kept"));
             // The window has room, so submit dispatches without
             // blocking on retirement.
-            self.pool.submit(&tree)?;
+            self.pool.submit(&tree);
             self.times.get_mut(&job.seq).expect("admitted").dispatched = Some(Instant::now());
+            self.in_service_work += job.work;
             self.dispatched.push_back(job.seq);
         }
-        self.pool.poll()?;
-        Ok(self.harvest())
+        self.pool.poll();
+        done += self.harvest();
+        done
     }
 
     /// Runs the service to completion: blocks until every admitted
-    /// request has been compiled and assembled (use between arrival
-    /// bursts, or at shutdown).
-    ///
-    /// # Errors
-    ///
-    /// As [`ServiceQueue::pump`].
-    pub fn drain(&mut self) -> Result<(), EvalError> {
+    /// request has been compiled and assembled, failed its retry
+    /// budget, or expired (use between arrival bursts, or at
+    /// shutdown).
+    pub fn drain(&mut self) {
         loop {
-            self.pump()?;
-            if self.queue.is_empty() && self.dispatched.is_empty() {
-                return Ok(());
+            self.pump();
+            if self.queue.is_empty() && self.dispatched.is_empty() && self.parked_retries.is_empty()
+            {
+                return;
             }
-            if let Some(report) = self.pool.collect()? {
-                self.finish(crate::TreeOutput::from_report(report));
+            match self.pool.collect() {
+                Some(Ok(report)) => self.finish(crate::TreeOutput::from_report(report)),
+                Some(Err(failure)) => self.handle_failure(failure.error),
+                // Nothing in flight: parked retries are waiting out
+                // their backoff.
+                None => {
+                    let now = Instant::now();
+                    if let Some(wait) = self
+                        .parked_retries
+                        .iter()
+                        .map(|p| p.not_before.saturating_duration_since(now))
+                        .min()
+                    {
+                        std::thread::sleep(wait);
+                    }
+                }
             }
         }
     }
@@ -313,11 +518,22 @@ impl<V: AttrValue> ServiceQueue<V> {
         self.completed.pop_front()
     }
 
+    /// Pops the oldest given-up request (failure order): retry budget
+    /// exhausted or deadline expired before dispatch.
+    pub fn take_failed(&mut self) -> Option<FailedRequest> {
+        self.failed.pop_front()
+    }
+
     fn harvest(&mut self) -> usize {
         let mut n = 0;
-        while let Some(report) = self.pool.take_ready() {
-            self.finish(crate::TreeOutput::from_report(report));
-            n += 1;
+        while let Some(result) = self.pool.take_ready() {
+            match result {
+                Ok(report) => {
+                    self.finish(crate::TreeOutput::from_report(report));
+                    n += 1;
+                }
+                Err(failure) => self.handle_failure(failure.error),
+            }
         }
         n
     }
@@ -326,12 +542,65 @@ impl<V: AttrValue> ServiceQueue<V> {
         let id = self
             .dispatched
             .pop_front()
-            .expect("reports match dispatched requests FIFO");
+            .expect("results match dispatched requests FIFO");
         self.times.get_mut(&id).expect("admitted").assembled = Some(Instant::now());
         let tenant = self.tenants[&id];
+        self.in_service_work = self
+            .in_service_work
+            .saturating_sub(self.work.get(&id).copied().unwrap_or(0));
+        self.forget(id);
         self.stats.completed += 1;
         self.completed
             .push_back(ServiceOutput { id, tenant, output });
+    }
+
+    /// A dispatched ticket failed: park it for a backed-off retry, or
+    /// surface the failure once the budget is exhausted. Ticket
+    /// failures arrive in dispatch order exactly like successes, so
+    /// the FIFO id mapping holds.
+    fn handle_failure(&mut self, error: EvalError) {
+        let id = self
+            .dispatched
+            .pop_front()
+            .expect("results match dispatched requests FIFO");
+        self.in_service_work = self
+            .in_service_work
+            .saturating_sub(self.work.get(&id).copied().unwrap_or(0));
+        let attempts = self.retries.entry(id).or_insert(0);
+        if *attempts < self.max_retries {
+            *attempts += 1;
+            self.retry_count += 1;
+            let backoff = self.retry_backoff * 2u32.saturating_pow(*attempts - 1);
+            self.parked_retries.push(ParkedRetry {
+                id,
+                not_before: Instant::now() + backoff,
+            });
+        } else {
+            self.give_up(id, FailureReason::Eval(error));
+        }
+    }
+
+    /// Drops a live request and records it as failed.
+    fn give_up(&mut self, id: u64, reason: FailureReason) {
+        let tenant = self.tenants[&id];
+        let retries = self.retries.get(&id).copied().unwrap_or(0);
+        self.forget(id);
+        self.stats.failed += 1;
+        self.failed.push_back(FailedRequest {
+            id,
+            tenant,
+            retries,
+            reason,
+        });
+    }
+
+    /// Releases per-request bookkeeping (timestamps are kept for the
+    /// caller).
+    fn forget(&mut self, id: u64) {
+        self.trees.remove(&id);
+        self.work.remove(&id);
+        self.deadlines.remove(&id);
+        self.retries.remove(&id);
     }
 }
 
@@ -400,12 +669,12 @@ mod tests {
             let tree = chain(&gr, top, cons, nil, n);
             match q.offer(&tree, (i % 2) as u32) {
                 Admission::Admitted { id } => ids.push((id, n)),
-                Admission::Shed => panic!("roomy queue must not shed"),
+                other => panic!("roomy queue must not shed: {other:?}"),
             }
             // Interleave progress with arrivals, as a serving loop does.
-            q.pump().unwrap();
+            q.pump();
         }
-        q.drain().unwrap();
+        q.drain();
         let mut seen = 0;
         while let Some(done) = q.take_completed() {
             let (_, n) = ids.iter().find(|&&(id, _)| id == done.id).unwrap();
@@ -440,11 +709,11 @@ mod tests {
         let stats = q.stats();
         assert_eq!((stats.offered, stats.admitted, stats.shed), (5, 2, 3));
         assert_eq!(stats.max_waiting, 2);
-        q.drain().unwrap();
+        q.drain();
         assert_eq!(q.stats().completed, 2);
         // The drained queue has room again.
         assert!(matches!(q.offer(&tree, 0), Admission::Admitted { .. }));
-        q.drain().unwrap();
+        q.drain();
         assert_eq!(q.stats().completed, 3);
     }
 
@@ -463,7 +732,7 @@ mod tests {
         for &n in &sizes {
             q.offer(&chain(&gr, top, cons, nil, n), 0);
         }
-        q.drain().unwrap();
+        q.drain();
         let order: Vec<u64> = std::iter::from_fn(|| q.take_completed())
             .map(|d| d.id)
             .collect();
@@ -491,7 +760,7 @@ mod tests {
             q.offer(&tree, 0);
         }
         q.offer(&tree, 1);
-        q.drain().unwrap();
+        q.drain();
         let order: Vec<u64> = std::iter::from_fn(|| q.take_completed())
             .map(|d| d.id)
             .collect();
@@ -500,5 +769,140 @@ mod tests {
             vec![0, 4, 1, 2, 3],
             "tenant 1 is served after one of tenant 0's, not after the flood"
         );
+    }
+
+    #[test]
+    fn deadline_shedding_at_admission_is_predicted_from_work() {
+        let (gr, top, cons, nil, _) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(2).with_pipeline_depth(1));
+        let tree = chain(&gr, top, cons, nil, 32);
+        let work = plan.eval_plan().tree_work(&tree);
+        // Calibrate so one request's predicted completion fits inside
+        // the deadline but two pending requests' total does not.
+        let deadline = Duration::from_secs(1);
+        let unit_us = 0.6e6 / work as f64;
+        let mut q = ServiceQueue::new(
+            &plan,
+            ServiceConfig::fifo(64)
+                .with_deadline(deadline)
+                .with_work_unit_us(unit_us),
+        );
+        // No pump between offers: the decision is a pure function of
+        // pending work, reproducible regardless of timing.
+        assert!(matches!(q.offer(&tree, 0), Admission::Admitted { .. }));
+        assert_eq!(q.offer(&tree, 0), Admission::DeadlineShed);
+        // A deadline-free offer of the same tree passes.
+        assert!(matches!(
+            q.offer_with_deadline(&tree, 0, None),
+            Admission::Admitted { .. }
+        ));
+        q.drain();
+        let stats = q.stats();
+        assert_eq!(stats.faults.deadline_sheds, 1);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.shed, 0, "capacity sheds counted separately");
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_expire_at_dispatch() {
+        let (gr, top, cons, nil, _) = grammar();
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::workers(2).with_pipeline_depth(1));
+        let tree = chain(&gr, top, cons, nil, 16);
+        // Zero deadline, no predicted-wait calibration: everything is
+        // admitted, then found expired when it reaches the pool door.
+        let mut q = ServiceQueue::new(&plan, ServiceConfig::fifo(64).with_deadline(Duration::ZERO));
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            match q.offer(&tree, 7) {
+                Admission::Admitted { id } => ids.push(id),
+                other => panic!("unexpected admission {other:?}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        q.drain();
+        let stats = q.stats();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.faults.deadline_expired, 3);
+        for &id in &ids {
+            let f = q.take_failed().expect("expired request surfaces");
+            assert_eq!(f.id, id, "failure order follows dispatch order");
+            assert_eq!(f.tenant, 7);
+            assert_eq!(f.reason, FailureReason::DeadlineExpired);
+        }
+        assert!(q.take_failed().is_none());
+        // The queue still serves fresh deadline-free work.
+        assert!(matches!(
+            q.offer_with_deadline(&tree, 7, None),
+            Admission::Admitted { .. }
+        ));
+        q.drain();
+        assert_eq!(q.stats().completed, 1);
+    }
+
+    #[test]
+    fn failed_tickets_retry_with_backoff_then_surface() {
+        // A self-dependent production fails deterministically on every
+        // attempt: the retry budget is consumed, then the failure
+        // surfaces with the final error. Healthy requests sharing the
+        // service are unaffected.
+        let mut g = GrammarBuilder::<i64>::new();
+        let s = g.nonterminal("S");
+        let b = g.nonterminal("B");
+        let out = g.synthesized(s, "out");
+        let bi = g.inherited(b, "i");
+        let bo = g.synthesized(b, "o");
+        let top = g.production("top", s, [b]);
+        g.rule(top, (1, bi), [], |_| 1);
+        g.rule(top, (0, out), [(1, bo)], |a| a[0] + 100);
+        let ok = g.production("ok", b, []);
+        g.rule(ok, (0, bo), [(0, bi)], |a| a[0]);
+        let knot = g.production("knot", b, []);
+        g.rule(knot, (0, bo), [(0, bo)], |a| a[0]);
+        let gr = Arc::new(g.build(s).unwrap());
+        let mk = |prod| {
+            let mut tb = TreeBuilder::new(&gr);
+            let leaf = tb.leaf(prod);
+            let root = tb.node(top, [leaf]);
+            Arc::new(tb.finish(root).unwrap())
+        };
+        let plan = CompilationPlan::analyze(&gr, DriverConfig::barrier(2));
+        let mut q = ServiceQueue::new(
+            &plan,
+            ServiceConfig::fifo(16).with_retries(2, Duration::from_micros(50)),
+        );
+        let good = mk(ok);
+        let Admission::Admitted { id: good_a } = q.offer(&good, 0) else {
+            panic!("admitted")
+        };
+        let Admission::Admitted { id: bad } = q.offer(&mk(knot), 1) else {
+            panic!("admitted")
+        };
+        let Admission::Admitted { id: good_b } = q.offer(&good, 0) else {
+            panic!("admitted")
+        };
+        q.drain();
+        let stats = q.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.faults.retries, 2, "retry budget consumed");
+        let f = q.take_failed().expect("exhausted request surfaces");
+        assert_eq!(f.id, bad);
+        assert_eq!(f.tenant, 1);
+        assert_eq!(f.retries, 2);
+        assert!(
+            matches!(f.reason, FailureReason::Eval(EvalError::Cycle { .. })),
+            "{f:?}"
+        );
+        let done: Vec<u64> = std::iter::from_fn(|| q.take_completed())
+            .map(|d| d.output.root_value(out).copied().map(|v| (d.id, v)))
+            .map(|o| {
+                let (id, v) = o.unwrap();
+                assert_eq!(v, 101);
+                id
+            })
+            .collect();
+        assert_eq!(done, vec![good_a, good_b]);
     }
 }

@@ -42,7 +42,7 @@
 
 pub mod trace;
 
-pub use trace::{Activity, MsgRecord, Trace};
+pub use trace::{Activity, FaultKind, FaultRecord, MsgRecord, Trace};
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -128,6 +128,133 @@ pub trait Process<M> {
 
     /// Invoked when a message is delivered to this process.
     fn on_message(&mut self, ctx: &mut Ctx<M>, from: ProcId, msg: M);
+
+    /// Invoked when the [`FaultPlan`] crashes this process. All volatile
+    /// handler state should be considered lost; implementations drop it
+    /// here. A dead process has no [`Ctx`] — it cannot spend CPU or
+    /// send — and receives nothing until (and unless) it restarts.
+    fn on_crash(&mut self) {}
+
+    /// Invoked when this process restarts after its downtime window.
+    /// Retained (stable-storage) state is whatever the implementation
+    /// kept across [`Process::on_crash`].
+    fn on_restart(&mut self, _ctx: &mut Ctx<M>) {}
+
+    /// Invoked on every live process when a peer crashes. This is an
+    /// oracle failure detector standing in for the timeout-based
+    /// detection a real network would run; it keeps recovery schedules
+    /// deterministic. Delivered at the crash's virtual time with no
+    /// network cost.
+    fn on_peer_crash(&mut self, _ctx: &mut Ctx<M>, _peer: ProcId) {}
+}
+
+/// A seeded, deterministic schedule of faults to inject into one run:
+/// process crashes at scheduled virtual times (with optional restart
+/// after a downtime window), and probabilistic drop/delay of messages
+/// by trace tag. The same plan against the same simulation always
+/// injects exactly the same faults — chaos schedules are replayable and
+/// CI-gateable. Every injected fault leaves a [`FaultRecord`] in the
+/// [`Trace`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<CrashSpec>,
+    tags: Vec<TagFault>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CrashSpec {
+    proc: usize,
+    at: Time,
+    /// Absolute restart time; `None` keeps the process down forever.
+    restart_at: Option<Time>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TagFault {
+    tag: &'static str,
+    /// Probability, in permille, that a matching message is hit.
+    permille: u32,
+    /// `0` drops the message; otherwise extra delivery delay in µs.
+    delay_us: Time,
+}
+
+impl FaultPlan {
+    /// An empty plan whose probabilistic faults roll from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crashes process `proc` at virtual time `at`, permanently.
+    pub fn crash(mut self, proc: usize, at: Time) -> Self {
+        self.crashes.push(CrashSpec {
+            proc,
+            at,
+            restart_at: None,
+        });
+        self
+    }
+
+    /// Crashes process `proc` at `at` and restarts it after `downtime`.
+    pub fn crash_restart(mut self, proc: usize, at: Time, downtime: Time) -> Self {
+        self.crashes.push(CrashSpec {
+            proc,
+            at,
+            restart_at: Some(at + downtime),
+        });
+        self
+    }
+
+    /// Drops each message tagged `tag` with probability
+    /// `permille`/1000. Only meaningful for protocols that tolerate the
+    /// loss of that tag (retries, hints); dropping a load-bearing
+    /// message deadlocks the run, by design — that is the bug the plan
+    /// exposes.
+    pub fn drop_tagged(mut self, tag: &'static str, permille: u32) -> Self {
+        self.tags.push(TagFault {
+            tag,
+            permille,
+            delay_us: 0,
+        });
+        self
+    }
+
+    /// Delays each message tagged `tag` by `delay_us` with probability
+    /// `permille`/1000. Delays reorder delivery across destinations but
+    /// never lose data.
+    pub fn delay_tagged(mut self, tag: &'static str, permille: u32, delay_us: Time) -> Self {
+        self.tags.push(TagFault {
+            tag,
+            permille,
+            delay_us: delay_us.max(1),
+        });
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.tags.is_empty()
+    }
+
+    /// Registration indices of every process the plan crashes, in
+    /// schedule order. Drivers use this to validate that a plan only
+    /// targets processes whose loss their recovery protocol covers.
+    pub fn crash_procs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.crashes.iter().map(|c| c.proc)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic mixer — the fault
+/// plan's whole entropy source, so no RNG state needs carrying.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 struct PendingSend<M> {
@@ -233,6 +360,26 @@ enum Event<M> {
         to: ProcId,
         msg: M,
     },
+    /// Scheduled by the [`FaultPlan`]: the process dies at this time.
+    Crash(ProcId),
+    /// Scheduled by the [`FaultPlan`]: the process comes back.
+    Restart(ProcId),
+}
+
+/// What a [`Sim::dispatch`] run delivers to the process.
+enum Incoming<M> {
+    /// Simulation start ([`Process::on_start`]).
+    Start,
+    /// A message or timer ([`Process::on_message`]).
+    Msg {
+        from: ProcId,
+        msg: M,
+        charge_recv: bool,
+    },
+    /// The process's own restart ([`Process::on_restart`]).
+    Restarted,
+    /// A peer crashed ([`Process::on_peer_crash`]).
+    PeerCrash(ProcId),
 }
 
 /// The discrete-event simulator.
@@ -248,6 +395,11 @@ pub struct Sim<M> {
     now: Time,
     trace: Trace,
     stopped: bool,
+    faults: FaultPlan,
+    dead: Vec<bool>,
+    /// Monotonic roll counter for the fault plan's probabilistic
+    /// faults: each candidate message mixes it with the plan seed.
+    fault_seq: u64,
 }
 
 impl<M> Sim<M> {
@@ -265,7 +417,16 @@ impl<M> Sim<M> {
             now: 0,
             trace: Trace::default(),
             stopped: false,
+            faults: FaultPlan::default(),
+            dead: Vec::new(),
+            fault_seq: 0,
         }
+    }
+
+    /// Installs a fault plan; call before [`Sim::run`]. Crash schedules
+    /// reference processes by registration index.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
     }
 
     /// Registers a process; returns its id. Processes are started in
@@ -275,6 +436,7 @@ impl<M> Sim<M> {
         self.processes.push(Box::new(p));
         self.names.push(name.into());
         self.local_time.push(0);
+        self.dead.push(false);
         id
     }
 
@@ -307,9 +469,21 @@ impl<M> Sim<M> {
 
     /// Runs the simulation to completion (or until a handler calls
     /// [`Ctx::stop`]). Returns the final virtual time.
+    ///
+    /// Faults from the installed [`FaultPlan`] are injected as the
+    /// event queue reaches their times. Handlers are atomic with
+    /// respect to crashes: a handler that began before the crash time
+    /// completes, and its sends stay on the wire — the crash boundary
+    /// is the event, not the instruction.
     pub fn run(&mut self) -> Time {
         for i in 0..self.processes.len() {
             self.push_event(0, Event::Start(ProcId(i)));
+        }
+        for c in self.faults.crashes.clone() {
+            self.push_event(c.at, Event::Crash(ProcId(c.proc)));
+            if let Some(r) = c.restart_at {
+                self.push_event(r, Event::Restart(ProcId(c.proc)));
+            }
         }
         while let Some(Reverse((at, _, idx))) = self.queue.pop() {
             if self.stopped {
@@ -317,15 +491,100 @@ impl<M> Sim<M> {
             }
             let ev = self.events[idx].take().expect("event consumed twice");
             match ev {
-                Event::Start(p) => self.dispatch(at, p, None, false),
-                Event::Deliver { to, from, msg } => self.dispatch(at, to, Some((from, msg)), true),
-                Event::Timer { to, msg } => self.dispatch(at, to, Some((to, msg)), false),
+                Event::Start(p) => self.dispatch(at, p, Incoming::Start),
+                Event::Deliver { to, from, msg } => {
+                    if self.dead[to.0] {
+                        self.trace.faults.push(FaultRecord {
+                            at,
+                            proc: to,
+                            kind: FaultKind::Lost,
+                            tag: "msg",
+                        });
+                    } else {
+                        self.dispatch(
+                            at,
+                            to,
+                            Incoming::Msg {
+                                from,
+                                msg,
+                                charge_recv: true,
+                            },
+                        );
+                    }
+                }
+                Event::Timer { to, msg } => {
+                    if self.dead[to.0] {
+                        self.trace.faults.push(FaultRecord {
+                            at,
+                            proc: to,
+                            kind: FaultKind::Lost,
+                            tag: "timer",
+                        });
+                    } else {
+                        self.dispatch(
+                            at,
+                            to,
+                            Incoming::Msg {
+                                from: to,
+                                msg,
+                                charge_recv: false,
+                            },
+                        );
+                    }
+                }
+                Event::Crash(p) => self.crash(at, p),
+                Event::Restart(p) => self.restart(at, p),
             }
         }
         self.now
     }
 
-    fn dispatch(&mut self, at: Time, p: ProcId, incoming: Option<(ProcId, M)>, charge_recv: bool) {
+    /// Kills `p`: volatile state is dropped via [`Process::on_crash`],
+    /// and every live peer is notified at the same virtual instant (the
+    /// deterministic stand-in for timeout detection).
+    fn crash(&mut self, at: Time, p: ProcId) {
+        if self.dead[p.0] {
+            return;
+        }
+        self.dead[p.0] = true;
+        self.now = self.now.max(at);
+        self.trace.faults.push(FaultRecord {
+            at,
+            proc: p,
+            kind: FaultKind::Crash,
+            tag: "",
+        });
+        self.processes[p.0].on_crash();
+        for q in 0..self.processes.len() {
+            if q != p.0 && !self.dead[q] {
+                self.dispatch(at, ProcId(q), Incoming::PeerCrash(p));
+            }
+        }
+    }
+
+    fn restart(&mut self, at: Time, p: ProcId) {
+        if !self.dead[p.0] {
+            return;
+        }
+        self.dead[p.0] = false;
+        self.local_time[p.0] = self.local_time[p.0].max(at);
+        self.trace.faults.push(FaultRecord {
+            at,
+            proc: p,
+            kind: FaultKind::Restart,
+            tag: "",
+        });
+        self.dispatch(at, p, Incoming::Restarted);
+    }
+
+    fn dispatch(&mut self, at: Time, p: ProcId, incoming: Incoming<M>) {
+        let charge_recv = matches!(
+            incoming,
+            Incoming::Msg {
+                charge_recv: true,
+                ..
+            }
+        );
         let wake = at.max(self.local_time[p.0]);
         let mut ctx = Ctx {
             me: p,
@@ -345,8 +604,10 @@ impl<M> Sim<M> {
             Box::new(Inert) as Box<dyn Process<M>>,
         );
         match incoming {
-            None => proc_box.on_start(&mut ctx),
-            Some((from, msg)) => proc_box.on_message(&mut ctx, from, msg),
+            Incoming::Start => proc_box.on_start(&mut ctx),
+            Incoming::Msg { from, msg, .. } => proc_box.on_message(&mut ctx, from, msg),
+            Incoming::Restarted => proc_box.on_restart(&mut ctx),
+            Incoming::PeerCrash(peer) => proc_box.on_peer_crash(&mut ctx, peer),
         }
         self.processes[p.0] = proc_box;
 
@@ -376,6 +637,38 @@ impl<M> Sim<M> {
             let send_time = wake + send.at_cpu + self.net.send_cpu_us;
             // Sender CPU for the message itself.
             self.local_time[p.0] = self.local_time[p.0].max(send_time);
+            // Probabilistic tag faults roll deterministically from the
+            // plan seed and a monotonic counter.
+            let mut extra_delay: Time = 0;
+            let mut dropped = false;
+            for i in 0..self.faults.tags.len() {
+                let tf = self.faults.tags[i];
+                if tf.tag != send.tag {
+                    continue;
+                }
+                self.fault_seq += 1;
+                let roll = (splitmix64(self.faults.seed ^ self.fault_seq) % 1000) as u32;
+                if roll < tf.permille {
+                    if tf.delay_us == 0 {
+                        dropped = true;
+                    } else {
+                        extra_delay += tf.delay_us;
+                    }
+                    self.trace.faults.push(FaultRecord {
+                        at: send_time,
+                        proc: send.to,
+                        kind: if tf.delay_us == 0 {
+                            FaultKind::Drop
+                        } else {
+                            FaultKind::Delay
+                        },
+                        tag: send.tag,
+                    });
+                }
+            }
+            if dropped {
+                continue;
+            }
             let tx = self.net.tx_time(send.bytes);
             let on_bus = if self.net.shared_bus {
                 let start = send_time.max(self.bus_free);
@@ -384,7 +677,7 @@ impl<M> Sim<M> {
             } else {
                 send_time
             };
-            let deliver = on_bus + tx + self.net.latency_us;
+            let deliver = on_bus + tx + self.net.latency_us + extra_delay;
             self.trace.messages.push(MsgRecord {
                 from: p,
                 to: send.to,
@@ -606,5 +899,166 @@ mod tests {
     #[test]
     fn secs_formats() {
         assert_eq!(secs(1_500_000), 1.5);
+    }
+
+    // --- fault injection ---
+
+    /// Records the full fault lifecycle it observes.
+    struct Witness {
+        crashed: bool,
+        restarted: bool,
+        peer_crashes: Vec<ProcId>,
+        delivered: usize,
+    }
+
+    impl Witness {
+        fn new() -> Self {
+            Witness {
+                crashed: false,
+                restarted: false,
+                peer_crashes: Vec::new(),
+                delivered: 0,
+            }
+        }
+    }
+
+    impl Process<u32> for Witness {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            if ctx.me() == ProcId(0) {
+                // One early message (lost to the crash window) and one
+                // late message (delivered after restart).
+                ctx.send(ProcId(1), 1, 64, "early");
+                ctx.wake_at(50_000, 0);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, _from: ProcId, msg: u32) {
+            if ctx.me() == ProcId(0) && msg == 0 {
+                ctx.send(ProcId(1), 2, 64, "late");
+                return;
+            }
+            self.delivered += 1;
+        }
+        fn on_crash(&mut self) {
+            self.crashed = true;
+        }
+        fn on_restart(&mut self, _ctx: &mut Ctx<u32>) {
+            self.restarted = true;
+        }
+        fn on_peer_crash(&mut self, _ctx: &mut Ctx<u32>, peer: ProcId) {
+            self.peer_crashes.push(peer);
+        }
+    }
+
+    #[test]
+    fn crash_loses_messages_notifies_peers_and_restart_revives() {
+        let mut sim = Sim::new(NetModel::lan_1987());
+        sim.add_process("a", Witness::new());
+        sim.add_process("b", Witness::new());
+        // b is down across the first delivery, back before the second.
+        sim.set_faults(FaultPlan::seeded(1).crash_restart(1, 1_000, 20_000));
+        sim.run();
+        let faults = &sim.trace().faults;
+        assert!(faults
+            .iter()
+            .any(|f| f.kind == FaultKind::Crash && f.proc == ProcId(1) && f.at == 1_000));
+        assert!(faults
+            .iter()
+            .any(|f| f.kind == FaultKind::Lost && f.proc == ProcId(1)));
+        assert!(faults
+            .iter()
+            .any(|f| f.kind == FaultKind::Restart && f.at == 21_000));
+    }
+
+    #[test]
+    fn permanent_crash_never_restarts() {
+        let mut sim = Sim::new(NetModel::lan_1987());
+        sim.add_process("a", Witness::new());
+        sim.add_process("b", Witness::new());
+        sim.set_faults(FaultPlan::seeded(1).crash(1, 1_000));
+        sim.run();
+        let faults = &sim.trace().faults;
+        assert!(!faults.iter().any(|f| f.kind == FaultKind::Restart));
+        // Both deliveries to the dead process were lost.
+        assert_eq!(
+            faults
+                .iter()
+                .filter(|f| f.kind == FaultKind::Lost && f.tag == "msg")
+                .count(),
+            2
+        );
+    }
+
+    /// Retries until acknowledged — the shape of protocol that makes
+    /// `drop_tagged` survivable.
+    struct Retrier {
+        acked: bool,
+    }
+    impl Process<u32> for Retrier {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            if ctx.me() == ProcId(0) {
+                ctx.send(ProcId(1), 1, 64, "try");
+                ctx.wake_at(100_000, 0);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<u32>, from: ProcId, msg: u32) {
+            match msg {
+                0 => {
+                    // Retry timer: resend unless already acknowledged.
+                    if !self.acked {
+                        ctx.send(ProcId(1), 1, 64, "try");
+                        ctx.wake_at(ctx.now() + 100_000, 0);
+                    }
+                }
+                1 => ctx.send(from, 2, 64, "ack"),
+                _ => {
+                    self.acked = true;
+                    ctx.stop();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_drops_are_deterministic_and_survivable_under_retry() {
+        let run = |seed| {
+            let mut sim = Sim::new(NetModel::lan_1987());
+            sim.add_process("src", Retrier { acked: false });
+            sim.add_process("dst", Retrier { acked: false });
+            sim.set_faults(FaultPlan::seeded(seed).drop_tagged("try", 700));
+            sim.run();
+            let drops = sim
+                .trace()
+                .faults
+                .iter()
+                .filter(|f| f.kind == FaultKind::Drop)
+                .count();
+            (sim.now(), drops)
+        };
+        let (end, drops) = run(42);
+        assert_eq!((end, drops), run(42), "same seed, same chaos");
+        assert!(drops > 0 || end < 200_000, "a 70% drop rate should bite");
+    }
+
+    #[test]
+    fn tagged_delays_postpone_delivery_without_loss() {
+        let mut sim = Sim::new(NetModel::lan_1987());
+        sim.add_process("a", Pinger { replies: 0 });
+        sim.add_process("b", Pinger { replies: 0 });
+        // Every ping is delayed by 100 ms; nothing is lost.
+        sim.set_faults(FaultPlan::seeded(7).delay_tagged("ping", 1000, 100_000));
+        sim.run();
+        let delayed = sim
+            .trace()
+            .messages
+            .iter()
+            .find(|m| m.tag == "ping")
+            .expect("ping still delivered");
+        assert!(delayed.recv >= delayed.send + 100_000);
+        assert!(sim
+            .trace()
+            .faults
+            .iter()
+            .any(|f| f.kind == FaultKind::Delay && f.tag == "ping"));
+        assert_eq!(sim.trace().messages.len(), 3, "all hops completed");
     }
 }

@@ -40,6 +40,36 @@ pub struct MsgRecord {
     pub tag: &'static str,
 }
 
+/// What an injected (or induced) fault did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A process crashed at its scheduled virtual time.
+    Crash,
+    /// A crashed process came back after its downtime window.
+    Restart,
+    /// A message matching a tag fault was dropped on the wire.
+    Drop,
+    /// A message matching a tag fault was delivered late.
+    Delay,
+    /// A message or timer addressed to a dead process was lost.
+    Lost,
+}
+
+/// One fault event, recorded so a chaotic run stays auditable: every
+/// divergence from the fault-free schedule has an entry here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Virtual time the fault took effect.
+    pub at: Time,
+    /// The crashed/restarted process, or the destination of a lost,
+    /// dropped or delayed message.
+    pub proc: ProcId,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Message tag for `Drop`/`Delay`/`Lost`; empty for process faults.
+    pub tag: &'static str,
+}
+
 /// Full record of a simulation run.
 #[derive(Debug, Default, Clone)]
 pub struct Trace {
@@ -47,6 +77,8 @@ pub struct Trace {
     pub activities: Vec<Activity>,
     /// Messages, in send order.
     pub messages: Vec<MsgRecord>,
+    /// Injected faults, in the order they took effect.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl Trace {
@@ -203,6 +235,7 @@ mod tests {
                 bytes: 2_048,
                 tag: "attr",
             }],
+            faults: Vec::new(),
         }
     }
 
